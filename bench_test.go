@@ -1,0 +1,311 @@
+package bundling_test
+
+// One benchmark per table and figure of the paper's evaluation (Sec. 6).
+// Each bench regenerates its artifact on a laptop-scale corpus; run
+//
+//	go test -bench=. -benchmem
+//
+// and see cmd/bundlebench for paper-scale runs with rendered tables. The
+// reported custom metrics carry the headline numbers of each artifact
+// (coverage %, gain %, seconds) so that `go test -bench` output doubles as
+// a compact reproduction record.
+
+import (
+	"sync"
+	"testing"
+
+	"bundling"
+	"bundling/internal/config"
+	"bundling/internal/experiments"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+	benchEnvErr  error
+	sweepEnvOnce sync.Once
+	sweepEnv     *experiments.Env
+	sweepEnvErr  error
+)
+
+// env returns a shared bench-scale environment (600 users × ~150 items)
+// used by the algorithm and scalability benches.
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv, benchEnvErr = experiments.Setup(experiments.BenchScale(), experiments.DefaultLambda)
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnv
+}
+
+// smallEnv returns a shared small environment (200 users × ~60 items) for
+// the figure sweeps, which run all seven methods at every parameter value.
+func smallEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	sweepEnvOnce.Do(func() {
+		sweepEnv, sweepEnvErr = experiments.Setup(experiments.SmallScale(), experiments.DefaultLambda)
+	})
+	if sweepEnvErr != nil {
+		b.Fatal(sweepEnvErr)
+	}
+	return sweepEnv
+}
+
+// BenchmarkTable1Example regenerates the intro's worked example.
+func BenchmarkTable1Example(b *testing.B) {
+	var last *experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.ComponentsRevenue, "components$")
+	b.ReportMetric(last.PureRevenue, "pure$")
+	b.ReportMetric(last.MixedRevenue, "mixed$")
+}
+
+// BenchmarkTable2LambdaSweep regenerates Table 2 (revenue coverage at
+// different λ, optimal vs list pricing).
+func BenchmarkTable2LambdaSweep(b *testing.B) {
+	e := env(b)
+	var last *experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2(e, experiments.DefaultLambdas(), config.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Rows[1].OptimalCoverage, "optCov%@λ1.25")
+	b.ReportMetric(last.Rows[1].ListCoverage, "listCov%@λ1.25")
+}
+
+// BenchmarkFigure2ThetaSweep regenerates Figure 2 (revenue coverage and
+// gain vs the bundling coefficient θ) for all seven methods.
+func BenchmarkFigure2ThetaSweep(b *testing.B) {
+	e := smallEnv(b)
+	thetas := []float64{-0.05, 0, 0.05, 0.1}
+	var last *experiments.SweepResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure2(e, thetas, config.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	at0 := last.Points[1]
+	b.ReportMetric(at0.Gain[experiments.MixedMatching], "mixedMatchGain%@θ0")
+	b.ReportMetric(at0.Gain[experiments.MixedFreqItemset], "freqItemGain%@θ0")
+	b.ReportMetric(last.Points[3].Gain[experiments.PureMatching], "pureMatchGain%@θ.1")
+}
+
+// BenchmarkFigure3GammaSweep regenerates Figure 3 (revenue vs stochastic
+// price sensitivity γ), averaging realized revenue over ten runs.
+func BenchmarkFigure3GammaSweep(b *testing.B) {
+	e := smallEnv(b)
+	gammas := []float64{0.5, 5, 1e6}
+	var last *experiments.SweepResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure3(e, gammas, config.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Points[0].Coverage[experiments.Components], "cov%@γ0.5")
+	b.ReportMetric(last.Points[2].Coverage[experiments.Components], "cov%@γstep")
+}
+
+// BenchmarkFigure4AlphaSweep regenerates Figure 4 (revenue vs adoption
+// bias α).
+func BenchmarkFigure4AlphaSweep(b *testing.B) {
+	e := smallEnv(b)
+	alphas := []float64{0.75, 1.0, 1.25}
+	var last *experiments.SweepResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure4(e, alphas, config.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Points[0].Coverage[experiments.Components], "cov%@α0.75")
+	b.ReportMetric(last.Points[2].Coverage[experiments.Components], "cov%@α1.25")
+}
+
+// BenchmarkFigure5SizeSweep regenerates Figure 5 (revenue vs max bundle
+// size k).
+func BenchmarkFigure5SizeSweep(b *testing.B) {
+	e := smallEnv(b)
+	sizes := []int{1, 2, 4, config.Unlimited}
+	var last *experiments.SweepResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure5(e, sizes, config.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Points[1].Gain[experiments.MixedMatching], "gain%@k2")
+	b.ReportMetric(last.Points[3].Gain[experiments.MixedMatching], "gain%@k∞")
+}
+
+// BenchmarkFigure6Tradeoff regenerates Figure 6 (revenue gain vs running
+// time for the matching and greedy algorithms, pure and mixed).
+func BenchmarkFigure6Tradeoff(b *testing.B) {
+	e := env(b)
+	var last *experiments.Figure6Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure6(e, config.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, s := range last.Series {
+		if s.Method == experiments.MixedMatching {
+			b.ReportMetric(float64(s.Iterations), "matchIters")
+			b.ReportMetric(s.Points[len(s.Points)-1].Gain, "matchGain%")
+		}
+		if s.Method == experiments.MixedGreedy {
+			b.ReportMetric(float64(s.Iterations), "greedyIters")
+		}
+	}
+}
+
+// BenchmarkFigure7Scalability regenerates Figure 7 (running time vs number
+// of users and items).
+func BenchmarkFigure7Scalability(b *testing.B) {
+	e := env(b)
+	var last *experiments.Figure7Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure7(e, []int{1, 2}, []int{e.DS.Items / 2, e.DS.Items}, config.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.UserSweep[0].Seconds[experiments.MixedMatching], "s@users×1")
+	b.ReportMetric(last.UserSweep[1].Seconds[experiments.MixedMatching], "s@users×2")
+}
+
+// BenchmarkTable4WSPRevenue regenerates Table 4 (revenue coverage vs the
+// optimal and greedy weighted-set-packing solvers on small item samples).
+func BenchmarkTable4WSPRevenue(b *testing.B) {
+	e := env(b)
+	opts := experiments.WSPOptions{Sizes: []int{8, 10}, Samples: 3, MaxExactN: 12, Seed: 7, RequireSize3: false, MaxAttempts: 10}
+	var last *experiments.WSPResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.WSP(e, opts, config.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	row := last.Rows[len(last.Rows)-1]
+	b.ReportMetric(row.MatchingCov, "matchCov%")
+	b.ReportMetric(row.OptimalCov, "optCov%")
+	b.ReportMetric(row.GreedyWSPCov, "greedyWSPCov%")
+}
+
+// BenchmarkTable5WSPTime regenerates Table 5 (running time of the same
+// comparison; enumeration of 2^N bundles dominates, as in the paper).
+func BenchmarkTable5WSPTime(b *testing.B) {
+	e := env(b)
+	opts := experiments.WSPOptions{Sizes: []int{12}, Samples: 2, MaxExactN: 14, Seed: 9, RequireSize3: false, MaxAttempts: 6}
+	var last *experiments.WSPResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.WSP(e, opts, config.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	row := last.Rows[0]
+	b.ReportMetric(row.MatchingSec*1000, "matching-ms")
+	b.ReportMetric(row.OptimalSec*1000, "optimal-ms")
+	b.ReportMetric(row.EnumSeconds*1000, "enum-ms")
+}
+
+// BenchmarkTable6CaseStudy regenerates Table 6 (the three-item mixed
+// bundling walk-through).
+func BenchmarkTable6CaseStudy(b *testing.B) {
+	e := env(b)
+	var last *experiments.CaseStudyResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CaseStudy(e, config.DefaultParams(), 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	var totalAdd float64
+	for _, row := range last.Rows[3:] {
+		if row.Selected {
+			totalAdd += row.AddRevenue
+		}
+	}
+	b.ReportMetric(totalAdd, "addRevenue$")
+}
+
+// --- Micro-benchmarks of the hot paths -----------------------------------
+
+// BenchmarkSolveMatching measures the full matching-based algorithm on the
+// bench corpus (the paper's recommended method).
+func BenchmarkSolveMatching(b *testing.B) {
+	e := env(b)
+	opts := bundling.Options{Strategy: bundling.Mixed}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bundling.SolveMatching(e.W, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveGreedy measures the greedy algorithm on the same corpus.
+func BenchmarkSolveGreedy(b *testing.B) {
+	e := env(b)
+	opts := bundling.Options{Strategy: bundling.Mixed}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bundling.SolveGreedy(e.W, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveComponents measures the pricing-only baseline — N optimal
+// price searches over M consumers (the O(M·N) floor of every method).
+func BenchmarkSolveComponents(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bundling.SolveComponents(e.W, bundling.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice ablation table
+// (DESIGN.md): pruning losslessness, bucketed-vs-exact sigmoid pricing,
+// and the global matching step vs greedy merging.
+func BenchmarkAblations(b *testing.B) {
+	e := smallEnv(b)
+	var last *experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Ablations(e, config.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Rows[0].RevenueDeltaPct, "pruningΔrev%")
+	b.ReportMetric(last.Rows[1].RevenueDeltaPct, "sigmoidΔrev%")
+	b.ReportMetric(last.Rows[2].RevenueDeltaPct, "greedyΔrev%")
+}

@@ -1,0 +1,247 @@
+// Package bundling finds revenue-maximizing bundle configurations from
+// consumer preference data.
+//
+// It reproduces Do, Lauw and Wang, "Mining Revenue-Maximizing Bundling
+// Configuration", PVLDB 8(5), 2015. Given a willingness-to-pay matrix —
+// typically mined from ratings — the library partitions a seller's
+// inventory into priced bundles (pure bundling) or layers bundles on top of
+// individually sold components (mixed bundling) so as to maximize total
+// expected revenue.
+//
+// # Quick start
+//
+//	w := bundling.NewMatrix(3, 2) // 3 consumers, 2 items
+//	w.MustSet(0, 0, 12) // consumer 0 pays up to $12 for item 0
+//	// ... fill the matrix ...
+//	cfg, err := bundling.Configure(w, bundling.Options{})
+//	// cfg.Bundles now holds the priced bundle partition.
+//
+// The Solve* functions expose the individual algorithms: SolveComponents
+// (no bundling), SolveOptimal2 (exact for bundles up to two items),
+// SolveMatching and SolveGreedy (the paper's heuristics for any bundle
+// size), and SolveFreqItemset (the "frequently bought together" baseline).
+//
+// Willingness to pay can be mined from star ratings with FromRatings, or
+// synthesized at any scale with the dataset generator in GenerateDataset.
+// See the examples directory for end-to-end programs.
+package bundling
+
+import (
+	"fmt"
+
+	"bundling/internal/adoption"
+	"bundling/internal/config"
+	"bundling/internal/wtp"
+)
+
+// Matrix is an M consumers × N items willingness-to-pay matrix, the input
+// of every bundling algorithm.
+type Matrix = wtp.Matrix
+
+// Rating is one (consumer, item, stars) observation used by FromRatings.
+type Rating = wtp.Rating
+
+// Bundle is one priced offer of a configuration.
+type Bundle = config.Bundle
+
+// Configuration is the result of a bundling algorithm: priced top-level
+// bundles, retained components (mixed bundling), total expected revenue and
+// an iteration trace.
+type Configuration = config.Configuration
+
+// Strategy selects pure or mixed bundling.
+type Strategy = config.Strategy
+
+// The two bundling strategies of the paper (Sec. 3.2).
+const (
+	Pure  = config.Pure
+	Mixed = config.Mixed
+)
+
+// Unlimited disables the bundle size cap.
+const Unlimited = config.Unlimited
+
+// NewMatrix returns an all-zero willingness-to-pay matrix.
+func NewMatrix(consumers, items int) *Matrix {
+	return wtp.MustNew(consumers, items)
+}
+
+// FromRatings mines willingness to pay from star ratings (1..5) and item
+// list prices using the paper's linear conversion with factor λ ≥ 1
+// (Sec. 6.1.1): WTP = stars/5 · λ · price.
+func FromRatings(consumers, items int, ratings []Rating, prices []float64, lambda float64) (*Matrix, error) {
+	return wtp.FromRatings(consumers, items, ratings, prices, lambda)
+}
+
+// Options configures a bundling run. The zero value reproduces the paper's
+// defaults (Table 3): pure bundling, θ = 0, unlimited bundle size,
+// deterministic step adoption, 100 price levels.
+type Options struct {
+	// Strategy selects Pure (default) or Mixed bundling.
+	Strategy Strategy
+	// Theta is the bundling coefficient of Eq. 1: negative for substitute
+	// items, zero for independent (default), positive for complements.
+	// Must be > -1.
+	Theta float64
+	// MaxBundleSize caps bundle sizes (the paper's k); Unlimited (0)
+	// disables the cap.
+	MaxBundleSize int
+	// Gamma is the stochastic price sensitivity (0 = step function). See
+	// Sec. 4.1: lower values model noisier adoption decisions.
+	Gamma float64
+	// Alpha is the adoption bias (0 = unbiased, i.e. α = 1).
+	Alpha float64
+	// PriceLevels is the number of discrete price levels T (0 = 100).
+	PriceLevels int
+	// ProfitWeight is the seller's objective weight between profit and
+	// consumer surplus: utility = weight·profit + (1-weight)·surplus
+	// (paper Sec. 1). 0 selects the paper's default of 1 (profit only).
+	// To optimize pure consumer surplus pass a tiny positive value; an
+	// exact 0 is indistinguishable from "unset".
+	ProfitWeight float64
+	// UnitCosts holds per-item variable costs (nil = zero cost, the
+	// information-goods setting where profit equals revenue). A bundle's
+	// unit cost is the sum of its items' costs.
+	UnitCosts []float64
+}
+
+func (o Options) params() (config.Params, error) {
+	p := config.DefaultParams()
+	p.Strategy = o.Strategy
+	p.Theta = o.Theta
+	p.K = o.MaxBundleSize
+	if o.PriceLevels != 0 {
+		p.PriceLevels = o.PriceLevels
+	}
+	if o.ProfitWeight != 0 {
+		p.ProfitWeight = o.ProfitWeight
+	}
+	p.UnitCosts = o.UnitCosts
+	gamma := o.Gamma
+	if gamma == 0 {
+		gamma = adoption.DefaultGamma
+	}
+	alpha := o.Alpha
+	if alpha == 0 {
+		alpha = adoption.DefaultAlpha
+	}
+	m, err := adoption.New(gamma, alpha, adoption.DefaultEpsilon)
+	if err != nil {
+		return p, err
+	}
+	p.Model = m
+	if err := p.Validate(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// Configure finds a revenue-maximizing bundle configuration using the
+// paper's matching-based heuristic (Algorithm 1), the method its evaluation
+// recommends: it attains the highest revenue coverage in the least time and
+// is optimal for bundle sizes up to two.
+func Configure(w *Matrix, opts Options) (*Configuration, error) {
+	return SolveMatching(w, opts)
+}
+
+// SolveComponents prices every item individually (no bundling) — the
+// baseline every bundling strategy is measured against.
+func SolveComponents(w *Matrix, opts Options) (*Configuration, error) {
+	p, err := opts.params()
+	if err != nil {
+		return nil, err
+	}
+	return config.Components(w, p)
+}
+
+// SolveComponentsAt prices every item at the given fixed prices (e.g. a
+// marketplace's list prices) instead of optimal prices.
+func SolveComponentsAt(w *Matrix, prices []float64, opts Options) (*Configuration, error) {
+	p, err := opts.params()
+	if err != nil {
+		return nil, err
+	}
+	return config.ComponentsAtPrices(w, prices, p)
+}
+
+// SolveOptimal2 solves the 2-sized bundling problem exactly via
+// maximum-weight graph matching (Sec. 5.1). Options.MaxBundleSize is
+// ignored (forced to 2).
+func SolveOptimal2(w *Matrix, opts Options) (*Configuration, error) {
+	p, err := opts.params()
+	if err != nil {
+		return nil, err
+	}
+	return config.Optimal2Sized(w, p)
+}
+
+// SolveMatching runs the matching-based heuristic (Algorithm 1) for
+// arbitrary bundle sizes.
+func SolveMatching(w *Matrix, opts Options) (*Configuration, error) {
+	p, err := opts.params()
+	if err != nil {
+		return nil, err
+	}
+	return config.MatchingBased(w, p)
+}
+
+// SolveGreedy runs the greedy merge heuristic (Algorithm 2) for arbitrary
+// bundle sizes.
+func SolveGreedy(w *Matrix, opts Options) (*Configuration, error) {
+	p, err := opts.params()
+	if err != nil {
+		return nil, err
+	}
+	return config.GreedyMerge(w, p)
+}
+
+// SolveFreqItemset runs the "frequently bought together" baseline: bundle
+// candidates are maximal frequent itemsets of the consumers' interest
+// transactions, greedily selected by revenue gain. minSupport is the
+// relative minimum support; the paper tunes it to 0.001.
+func SolveFreqItemset(w *Matrix, minSupport float64, opts Options) (*Configuration, error) {
+	p, err := opts.params()
+	if err != nil {
+		return nil, err
+	}
+	if minSupport == 0 {
+		minSupport = config.DefaultFreqItemsetOptions().MinSupport
+	}
+	return config.FreqItemset(w, p, config.FreqItemsetOptions{MinSupport: minSupport})
+}
+
+// Evaluate prices a caller-proposed configuration — the "what-if"
+// counterpart of the Solve functions. offers lists the item sets to put on
+// sale; the engine picks each offer's optimal price under opts. Offers
+// must be pairwise disjoint under pure bundling and laminar (disjoint or
+// nested) under mixed bundling; they need not cover every item.
+func Evaluate(w *Matrix, offers [][]int, opts Options) (*Configuration, error) {
+	p, err := opts.params()
+	if err != nil {
+		return nil, err
+	}
+	return config.Evaluate(w, offers, p)
+}
+
+// Coverage returns the revenue coverage (%) of a configuration: its revenue
+// as a share of the aggregate willingness to pay, the upper bound of any
+// revenue (Sec. 6.1.2).
+func Coverage(cfg *Configuration, w *Matrix) float64 {
+	if w.Total() <= 0 {
+		return 0
+	}
+	return cfg.Revenue / w.Total() * 100
+}
+
+// Gain returns the revenue gain (%) of a configuration over the Components
+// baseline computed with the same options.
+func Gain(cfg *Configuration, w *Matrix, opts Options) (float64, error) {
+	comp, err := SolveComponents(w, opts)
+	if err != nil {
+		return 0, err
+	}
+	if comp.Revenue <= 0 {
+		return 0, fmt.Errorf("bundling: components baseline has no revenue")
+	}
+	return (cfg.Revenue - comp.Revenue) / comp.Revenue * 100, nil
+}

@@ -1,0 +1,118 @@
+// Command bundle computes a revenue-maximizing bundle configuration from a
+// ratings CSV and prints it as JSON or text.
+//
+// Input format (see bundling.ReadDatasetCSV): one "price,<item>,<value>"
+// row per item and one "rating,<consumer>,<item>,<stars>" row per rating.
+//
+// Usage:
+//
+//	bundle -in ratings.csv -strategy mixed -theta -0.05 -format json
+//	bundle -demo            # run on a small synthetic corpus
+//
+// Exit status is non-zero on malformed input or invalid parameters.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bundling"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "ratings CSV path (use -demo to synthesize instead)")
+		demo     = flag.Bool("demo", false, "run on a synthetic demo corpus")
+		strategy = flag.String("strategy", "pure", "bundling strategy: pure or mixed")
+		algo     = flag.String("algo", "matching", "algorithm: matching, greedy, components, freqitemset")
+		theta    = flag.Float64("theta", 0, "bundling coefficient θ (> -1)")
+		k        = flag.Int("k", 0, "max bundle size (0 = unlimited)")
+		lambda   = flag.Float64("lambda", 1.25, "ratings→WTP conversion factor λ (≥ 1)")
+		gamma    = flag.Float64("gamma", 0, "stochastic price sensitivity γ (0 = step function)")
+		format   = flag.String("format", "text", "output format: text or json")
+	)
+	flag.Parse()
+	if err := run(*in, *demo, *strategy, *algo, *theta, *k, *lambda, *gamma, *format, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bundle:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, demo bool, strategy, algo string, theta float64, k int, lambda, gamma float64, format string, out io.Writer) error {
+	var ds *bundling.Dataset
+	switch {
+	case demo:
+		var err error
+		ds, err = bundling.GenerateDataset(bundling.DatasetConfig{
+			Users: 300, Items: 60, RatingsPerUser: 15, MinDegree: 4, Seed: 1,
+		})
+		if err != nil {
+			return err
+		}
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ds, err = bundling.ReadDatasetCSV(f)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("either -in <csv> or -demo is required")
+	}
+
+	w, err := ds.WTP(lambda)
+	if err != nil {
+		return err
+	}
+	opts := bundling.Options{Theta: theta, MaxBundleSize: k, Gamma: gamma}
+	switch strategy {
+	case "pure":
+		opts.Strategy = bundling.Pure
+	case "mixed":
+		opts.Strategy = bundling.Mixed
+	default:
+		return fmt.Errorf("unknown strategy %q (want pure or mixed)", strategy)
+	}
+
+	var cfg *bundling.Configuration
+	switch algo {
+	case "matching":
+		cfg, err = bundling.SolveMatching(w, opts)
+	case "greedy":
+		cfg, err = bundling.SolveGreedy(w, opts)
+	case "components":
+		cfg, err = bundling.SolveComponents(w, opts)
+	case "freqitemset":
+		cfg, err = bundling.SolveFreqItemset(w, 0, opts)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	report := bundling.NewReport(cfg, w)
+	switch format {
+	case "json":
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	case "text":
+		fmt.Fprintln(out, report)
+		for _, off := range report.Offers {
+			if len(off.Items) == 1 && off.Kind == "bundle" {
+				continue // keep the listing focused on actual bundles
+			}
+			fmt.Fprintf(out, "  %-9s %v at %.2f\n", off.Kind, off.Items, off.Price)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (want text or json)", format)
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bundling"
+)
+
+func TestRunDemoText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("", true, "mixed", "matching", 0, 0, 1.25, 0, "text", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "mixed bundling") || !strings.Contains(out, "expected revenue") {
+		t.Errorf("text output:\n%s", out)
+	}
+}
+
+func TestRunDemoJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("", true, "pure", "greedy", 0.05, 4, 1.25, 0, "json", &buf); err != nil {
+		t.Fatal(err)
+	}
+	var r bundling.Report
+	if err := json.Unmarshal(buf.Bytes(), &r); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if r.Strategy != "pure" || r.Revenue <= 0 {
+		t.Errorf("report: %+v", r)
+	}
+	for _, off := range r.Offers {
+		if len(off.Items) > 4 {
+			t.Errorf("offer %v exceeds k=4", off.Items)
+		}
+	}
+}
+
+func TestRunFromCSVFile(t *testing.T) {
+	ds, err := bundling.GenerateDataset(bundling.DatasetConfig{
+		Users: 100, Items: 25, RatingsPerUser: 10, MinDegree: 3, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ratings.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var buf bytes.Buffer
+	if err := run(path, false, "pure", "components", 0, 0, 1.25, 0, "text", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pure bundling") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"no input", func() error { return run("", false, "pure", "matching", 0, 0, 1.25, 0, "text", &buf) }},
+		{"missing file", func() error { return run("/no/such/file.csv", false, "pure", "matching", 0, 0, 1.25, 0, "text", &buf) }},
+		{"bad strategy", func() error { return run("", true, "hybrid", "matching", 0, 0, 1.25, 0, "text", &buf) }},
+		{"bad algo", func() error { return run("", true, "pure", "quantum", 0, 0, 1.25, 0, "text", &buf) }},
+		{"bad format", func() error { return run("", true, "pure", "matching", 0, 0, 1.25, 0, "xml", &buf) }},
+		{"bad lambda", func() error { return run("", true, "pure", "matching", 0, 0, 0.5, 0, "text", &buf) }},
+		{"bad theta", func() error { return run("", true, "pure", "matching", -2, 0, 1.25, 0, "text", &buf) }},
+	}
+	for _, c := range cases {
+		if c.err() == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Command bundlebench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	bundlebench -exp all                  # everything, bench scale
+//	bundlebench -exp fig2 -scale full     # θ sweep at the paper's scale
+//	bundlebench -exp wsp                  # Tables 4 & 5
+//
+// Experiments: table1, table2, fig2, fig3, fig4, fig5, fig6, fig7, wsp
+// (Tables 4+5), case (Table 6), ablations, joint (incremental-vs-joint
+// pricing study), welfare, stats (dataset summary), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bundling/internal/config"
+	"bundling/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "experiment: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,wsp,case,ablations,joint,welfare,stats,all")
+		scaleFlag = flag.String("scale", "bench", "dataset scale: small, bench, full")
+		lambda    = flag.Float64("lambda", experiments.DefaultLambda, "ratings→WTP conversion factor λ")
+		theta     = flag.Float64("theta", 0, "bundling coefficient θ")
+		k         = flag.Int("k", config.Unlimited, "max bundle size (0 = unlimited)")
+		seed      = flag.Int64("seed", 42, "dataset generator seed")
+	)
+	flag.Parse()
+	if err := run(*expFlag, *scaleFlag, *lambda, *theta, *k, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "bundlebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, scaleName string, lambda, theta float64, k int, seed int64) error {
+	var scale experiments.Scale
+	switch scaleName {
+	case "small":
+		scale = experiments.SmallScale()
+	case "bench":
+		scale = experiments.BenchScale()
+	case "full":
+		scale = experiments.FullScale()
+	default:
+		return fmt.Errorf("unknown scale %q (want small, bench, full)", scaleName)
+	}
+	scale.Seed = seed
+
+	params := config.DefaultParams()
+	params.Theta = theta
+	params.K = k
+
+	wants := map[string]bool{}
+	for _, e := range strings.Split(exp, ",") {
+		wants[strings.TrimSpace(e)] = true
+	}
+	all := wants["all"]
+	need := func(name string) bool { return all || wants[name] }
+
+	// Table 1 needs no dataset.
+	if need("table1") {
+		res, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	needEnv := false
+	for _, e := range []string{"table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "wsp", "case", "ablations", "joint", "welfare", "stats"} {
+		if need(e) {
+			needEnv = true
+		}
+	}
+	if !needEnv {
+		return nil
+	}
+	start := time.Now()
+	env, err := experiments.Setup(scale, lambda)
+	if err != nil {
+		return err
+	}
+	st := env.DS.Summarize()
+	fmt.Printf("dataset: %d users, %d items, %d ratings (generated in %.1fs)\n\n",
+		st.Users, st.Items, st.Ratings, time.Since(start).Seconds())
+	if need("stats") {
+		fmt.Printf("star shares: %.0f%% %.0f%% %.0f%% %.0f%% %.0f%% (1..5)\n",
+			st.StarShare[0]*100, st.StarShare[1]*100, st.StarShare[2]*100, st.StarShare[3]*100, st.StarShare[4]*100)
+		fmt.Printf("price shares: %.0f%% <$10, %.0f%% $10-20, %.0f%% >$20\n\n",
+			st.PriceShare[0]*100, st.PriceShare[1]*100, st.PriceShare[2]*100)
+	}
+	type step struct {
+		name string
+		fn   func() (interface{ Render() string }, error)
+	}
+	steps := []step{
+		{"table2", func() (interface{ Render() string }, error) {
+			return experiments.Table2(env, experiments.DefaultLambdas(), params)
+		}},
+		{"fig2", func() (interface{ Render() string }, error) {
+			return experiments.Figure2(env, experiments.DefaultThetas(), params)
+		}},
+		{"fig3", func() (interface{ Render() string }, error) {
+			return experiments.Figure3(env, experiments.DefaultGammas(), params)
+		}},
+		{"fig4", func() (interface{ Render() string }, error) {
+			p := params
+			return experiments.Figure4(env, experiments.DefaultAlphas(), p)
+		}},
+		{"fig5", func() (interface{ Render() string }, error) {
+			return experiments.Figure5(env, experiments.DefaultSizes(), params)
+		}},
+		{"fig6", func() (interface{ Render() string }, error) {
+			return experiments.Figure6(env, params)
+		}},
+		{"fig7", func() (interface{ Render() string }, error) {
+			quarter := env.DS.Items / 4
+			counts := []int{quarter, 2 * quarter, 3 * quarter, env.DS.Items}
+			return experiments.Figure7(env, experiments.DefaultUserFactors(), counts, params)
+		}},
+		{"wsp", func() (interface{ Render() string }, error) {
+			opts := experiments.DefaultWSPOptions()
+			if scaleName == "full" {
+				opts = experiments.PaperWSPOptions()
+			}
+			return experiments.WSP(env, opts, params)
+		}},
+		{"case", func() (interface{ Render() string }, error) {
+			return experiments.CaseStudy(env, params, seed)
+		}},
+		{"ablations", func() (interface{ Render() string }, error) {
+			return experiments.Ablations(env, params)
+		}},
+		{"joint", func() (interface{ Render() string }, error) {
+			return experiments.JointPolicy(env, 30, params, seed)
+		}},
+		{"welfare", func() (interface{ Render() string }, error) {
+			return experiments.Welfare(env, params)
+		}},
+	}
+	for _, s := range steps {
+		if !need(s.name) {
+			continue
+		}
+		t0 := time.Now()
+		res, err := s.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(%s completed in %.1fs)\n\n", s.name, time.Since(t0).Seconds())
+	}
+	return nil
+}

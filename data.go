@@ -1,0 +1,37 @@
+package bundling
+
+import (
+	"io"
+
+	"bundling/internal/dataset"
+)
+
+// Dataset is a rating corpus: (consumer, item, stars) triples plus per-item
+// list prices. Convert it to a willingness-to-pay matrix with Dataset.WTP.
+type Dataset = dataset.Dataset
+
+// DatasetConfig configures the synthetic rating-corpus generator.
+type DatasetConfig = dataset.GenConfig
+
+// GenerateDataset synthesizes a rating corpus with realistic marginals:
+// the paper's star distribution (3/5/13/29/49% for 1..5 stars), its price
+// distribution (50% under $10, 45% $10-20, 4% above $20), heavy-tailed
+// popularity, latent-genre co-rating structure, and iterative k-core
+// filtering. Deterministic given cfg.Seed.
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) {
+	return dataset.Generate(cfg)
+}
+
+// PaperDatasetConfig returns the generator configuration matching the
+// corpus statistics of the paper's Amazon Books dataset (4,449 users ×
+// 5,028 items × ~108k ratings after 10-core filtering).
+func PaperDatasetConfig() DatasetConfig {
+	return dataset.PaperScaleConfig()
+}
+
+// ReadDatasetCSV parses a dataset from CSV ("price,item,value" and
+// "rating,consumer,item,stars" rows), the format Dataset.WriteCSV emits.
+// Use it to substitute real rating data for the synthetic corpus.
+func ReadDatasetCSV(r io.Reader) (*Dataset, error) {
+	return dataset.ReadCSV(r)
+}

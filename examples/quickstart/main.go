@@ -1,0 +1,70 @@
+// Quickstart reproduces the paper's introductory example (Table 1): three
+// consumers, two items, and the revenue of the three selling strategies —
+// individual components, pure bundling, and mixed bundling.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bundling"
+)
+
+func main() {
+	// Willingness to pay, straight from the paper's Table 1:
+	//            item A   item B
+	//   u1       $12.00    $4.00
+	//   u2        $8.00    $2.00
+	//   u3        $5.00   $11.00
+	w := bundling.NewMatrix(3, 2)
+	w.MustSet(0, 0, 12)
+	w.MustSet(0, 1, 4)
+	w.MustSet(1, 0, 8)
+	w.MustSet(1, 1, 2)
+	w.MustSet(2, 0, 5)
+	w.MustSet(2, 1, 11)
+
+	// The two books are mild substitutes: θ = -0.05.
+	opts := bundling.Options{Theta: -0.05, PriceLevels: 2000}
+
+	components, err := bundling.SolveComponents(w, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Components:     revenue $%.2f\n", components.Revenue)
+	for _, b := range components.Bundles {
+		fmt.Printf("  item %v at $%.2f → $%.2f\n", b.Items, b.Price, b.Revenue)
+	}
+
+	pure, err := bundling.Configure(w, opts) // pure bundling is the default
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Pure bundling:  revenue $%.2f\n", pure.Revenue)
+	for _, b := range pure.Bundles {
+		fmt.Printf("  bundle %v at $%.2f → $%.2f\n", b.Items, b.Price, b.Revenue)
+	}
+
+	opts.Strategy = bundling.Mixed
+	mixed, err := bundling.Configure(w, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Mixed bundling: revenue $%.2f\n", mixed.Revenue)
+	for _, b := range mixed.Bundles {
+		fmt.Printf("  bundle %v at $%.2f (adds $%.2f)\n", b.Items, b.Price, b.Revenue)
+	}
+	for _, c := range mixed.Components {
+		fmt.Printf("  component %v stays on sale at $%.2f\n", c.Items, c.Price)
+	}
+
+	gain, err := bundling.Gain(mixed, w, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMixed bundling gains %.1f%% over selling items individually.\n", gain)
+}

@@ -1,0 +1,237 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if !s.Empty() {
+		t.Error("new set should be empty")
+	}
+	if s.Count() != 0 {
+		t.Errorf("Count() = %d, want 0", s.Count())
+	}
+	if s.Len() != 100 {
+		t.Errorf("Len() = %d, want 100", s.Len())
+	}
+	if s.Min() != -1 {
+		t.Errorf("Min() = %d, want -1", s.Min())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative universe")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 127, 129} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Errorf("Contains(%d) = false after Add", i)
+		}
+	}
+	if s.Count() != 6 {
+		t.Errorf("Count() = %d, want 6", s.Count())
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("Contains(64) = true after Remove")
+	}
+	if s.Count() != 5 {
+		t.Errorf("Count() = %d, want 5", s.Count())
+	}
+	// Removing an absent element is a no-op.
+	s.Remove(64)
+	if s.Count() != 5 {
+		t.Errorf("Count() = %d after double remove, want 5", s.Count())
+	}
+}
+
+func TestContainsOutOfRange(t *testing.T) {
+	s := New(10)
+	if s.Contains(-1) || s.Contains(10) || s.Contains(100) {
+		t.Error("out-of-range Contains should be false")
+	}
+}
+
+func TestAddOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(10).Add(10)
+}
+
+func TestFromIndices(t *testing.T) {
+	s := FromIndices(10, 1, 3, 5, 3)
+	if got := s.Indices(); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("Indices() = %v, want [1 3 5]", got)
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a := FromIndices(200, 1, 65, 130, 199)
+	b := FromIndices(200, 65, 66, 199)
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if got := u.Indices(); len(got) != 5 {
+		t.Errorf("union = %v, want 5 elements", got)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if got := i.Indices(); len(got) != 2 || got[0] != 65 || got[1] != 199 {
+		t.Errorf("intersection = %v, want [65 199]", got)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if got := d.Indices(); len(got) != 2 || got[0] != 1 || got[1] != 130 {
+		t.Errorf("difference = %v, want [1 130]", got)
+	}
+
+	if !a.Intersects(b) {
+		t.Error("a should intersect b")
+	}
+	if a.IntersectionCount(b) != 2 {
+		t.Errorf("IntersectionCount = %d, want 2", a.IntersectionCount(b))
+	}
+	if FromIndices(200, 0).Intersects(b) {
+		t.Error("{0} should not intersect b")
+	}
+}
+
+func TestSubsetEqual(t *testing.T) {
+	a := FromIndices(100, 2, 50)
+	b := FromIndices(100, 2, 50, 99)
+	if !a.SubsetOf(b) {
+		t.Error("a ⊆ b expected")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b ⊄ a expected")
+	}
+	if !a.SubsetOf(a.Clone()) {
+		t.Error("a ⊆ a expected")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("a == clone expected")
+	}
+	if a.Equal(b) {
+		t.Error("a != b expected")
+	}
+	if a.Equal(FromIndices(50, 2)) {
+		t.Error("different universes should not be Equal")
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for universe mismatch")
+		}
+	}()
+	New(10).UnionWith(New(20))
+}
+
+func TestClearMinString(t *testing.T) {
+	s := FromIndices(70, 69, 3)
+	if s.Min() != 3 {
+		t.Errorf("Min() = %d, want 3", s.Min())
+	}
+	if got := s.String(); got != "{3, 69}" {
+		t.Errorf("String() = %q", got)
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Error("Clear should empty the set")
+	}
+	if got := s.String(); got != "{}" {
+		t.Errorf("String() = %q after clear", got)
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := FromIndices(300, 299, 0, 64, 65, 128)
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	want := []int{0, 64, 65, 128, 299}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQuickAgainstMap property-tests the bitset against a map-based model.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(seed int64, ops uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 150
+		s := New(n)
+		model := map[int]bool{}
+		for op := 0; op < int(ops%500); op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(i)
+				model[i] = true
+			case 1:
+				s.Remove(i)
+				delete(model, i)
+			case 2:
+				if s.Contains(i) != model[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		for _, i := range s.Indices() {
+			if !model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeMorgan checks |A ∩ B| + |A \ B| = |A| on random sets.
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 200
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.3 {
+				a.Add(i)
+			}
+			if rng.Float64() < 0.3 {
+				b.Add(i)
+			}
+		}
+		diff := a.Clone()
+		diff.DifferenceWith(b)
+		return a.IntersectionCount(b)+diff.Count() == a.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,333 @@
+package config
+
+import (
+	"math"
+	"testing"
+
+	"bundling/internal/adoption"
+	"bundling/internal/wtp"
+)
+
+// table1Matrix builds the paper's Table 1 willingness-to-pay matrix:
+// items A=0, B=1; consumers u1, u2, u3.
+func table1Matrix(t *testing.T) *wtp.Matrix {
+	t.Helper()
+	w := wtp.MustNew(3, 2)
+	w.MustSet(0, 0, 12)
+	w.MustSet(0, 1, 4)
+	w.MustSet(1, 0, 8)
+	w.MustSet(1, 1, 2)
+	w.MustSet(2, 0, 5)
+	w.MustSet(2, 1, 11)
+	return w
+}
+
+func fineParams() Params {
+	p := DefaultParams()
+	p.PriceLevels = 2000 // fine grid so optima land on exact values
+	return p
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"bad strategy", func(p *Params) { p.Strategy = Strategy(9) }},
+		{"theta at -1", func(p *Params) { p.Theta = -1 }},
+		{"negative k", func(p *Params) { p.K = -1 }},
+		{"negative levels", func(p *Params) { p.PriceLevels = -1 }},
+		{"zero model", func(p *Params) { p.Model = adoption.Model{} }},
+	}
+	for _, c := range cases {
+		p := DefaultParams()
+		c.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("defaults should validate: %v", err)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Pure.String() != "pure" || Mixed.String() != "mixed" {
+		t.Error("strategy names")
+	}
+	if Strategy(7).String() == "" {
+		t.Error("unknown strategy should still render")
+	}
+}
+
+func TestComponentsPaperExample(t *testing.T) {
+	w := table1Matrix(t)
+	cfg, err := Components(w, fineParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pA = 8 (revenue 16), pB = 11 (revenue 11): total 27.
+	if math.Abs(cfg.Revenue-27) > 0.1 {
+		t.Errorf("components revenue = %g, want 27", cfg.Revenue)
+	}
+	if len(cfg.Bundles) != 2 {
+		t.Fatalf("bundle count = %d, want 2", len(cfg.Bundles))
+	}
+	if !cfg.CoversAll(2) {
+		t.Error("components must cover all items")
+	}
+	if len(cfg.Components) != 0 {
+		t.Error("components baseline retains nothing")
+	}
+}
+
+func TestComponentsAtPrices(t *testing.T) {
+	w := table1Matrix(t)
+	// At list prices pA=5, pB=2 everyone buys: revenue 3·5 + 3·2 = 21.
+	cfg, err := ComponentsAtPrices(w, []float64{5, 2}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cfg.Revenue-21) > 1e-9 {
+		t.Errorf("revenue = %g, want 21", cfg.Revenue)
+	}
+	if _, err := ComponentsAtPrices(w, []float64{5}, DefaultParams()); err == nil {
+		t.Error("expected error for price count mismatch")
+	}
+}
+
+func TestPureBundlingPaperExample(t *testing.T) {
+	w := table1Matrix(t)
+	p := fineParams()
+	p.Theta = -0.05
+	p.Strategy = Pure
+	cfg, err := MatchingBased(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bundle WTPs {15.2, 9.5, 15.2} → price 15.2, revenue 30.4 > 27.
+	if math.Abs(cfg.Revenue-30.4) > 0.1 {
+		t.Errorf("pure revenue = %g, want 30.4", cfg.Revenue)
+	}
+	if len(cfg.Bundles) != 1 || len(cfg.Bundles[0].Items) != 2 {
+		t.Fatalf("expected the single {A,B} bundle, got %+v", cfg.Bundles)
+	}
+	if !cfg.CoversAll(2) {
+		t.Error("pure configuration must partition the items")
+	}
+}
+
+func TestMixedBundlingPaperExample(t *testing.T) {
+	w := table1Matrix(t)
+	p := fineParams()
+	p.Theta = -0.05
+	p.Strategy = Mixed
+	cfg, err := MatchingBased(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upgrade-consistent mixed revenue: u1 keeps A (8), u2 keeps A (8),
+	// u3 upgrades to the bundle (15.2) → 31.2.
+	if math.Abs(cfg.Revenue-31.2) > 0.15 {
+		t.Errorf("mixed revenue = %g, want ≈ 31.2", cfg.Revenue)
+	}
+	// Retained components must appear in X'.
+	if len(cfg.Components) != 2 {
+		t.Fatalf("retained components = %+v, want the two singletons", cfg.Components)
+	}
+}
+
+func TestBundlingNeverBelowComponents(t *testing.T) {
+	// The paper's invariant: bundling reverts to Components when no better
+	// solution exists (Sec. 6.6).
+	w := smallRandomMatrix(t, 40, 12, 5)
+	for _, theta := range []float64{-0.2, -0.05, 0, 0.05, 0.2} {
+		p := DefaultParams()
+		p.Theta = theta
+		comp, err := Components(w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, run := range map[string]func(*wtp.Matrix, Params) (*Configuration, error){
+			"matching": MatchingBased,
+			"greedy":   GreedyMerge,
+		} {
+			for _, strat := range []Strategy{Pure, Mixed} {
+				p.Strategy = strat
+				cfg, err := run(w, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cfg.Revenue < comp.Revenue-1e-6 {
+					t.Errorf("%s/%v at θ=%g: revenue %g below components %g",
+						name, strat, theta, cfg.Revenue, comp.Revenue)
+				}
+				if !cfg.CoversAll(w.Items()) {
+					t.Errorf("%s/%v at θ=%g: configuration does not cover all items", name, strat, theta)
+				}
+			}
+		}
+	}
+}
+
+func TestRevenueBoundedByTotalWTP(t *testing.T) {
+	w := smallRandomMatrix(t, 60, 15, 6)
+	for _, theta := range []float64{-0.1, 0} {
+		for _, strat := range []Strategy{Pure, Mixed} {
+			p := DefaultParams()
+			p.Theta = theta
+			p.Strategy = strat
+			for name, run := range map[string]func(*wtp.Matrix, Params) (*Configuration, error){
+				"matching": MatchingBased,
+				"greedy":   GreedyMerge,
+			} {
+				cfg, err := run(w, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// With θ ≤ 0 no consumer's bundle WTP exceeds their summed
+				// item WTP, so revenue ≤ total willingness to pay.
+				if cfg.Revenue > w.Total()+1e-6 {
+					t.Errorf("%s/%v θ=%g: revenue %g exceeds total WTP %g",
+						name, strat, theta, cfg.Revenue, w.Total())
+				}
+			}
+		}
+	}
+}
+
+func TestSizeCapRespected(t *testing.T) {
+	w := smallRandomMatrix(t, 50, 14, 6)
+	for _, k := range []int{1, 2, 3, 4} {
+		p := DefaultParams()
+		p.K = k
+		p.Theta = 0.1 // encourage merging
+		for name, run := range map[string]func(*wtp.Matrix, Params) (*Configuration, error){
+			"matching": MatchingBased,
+			"greedy":   GreedyMerge,
+		} {
+			for _, strat := range []Strategy{Pure, Mixed} {
+				p.Strategy = strat
+				cfg, err := run(w, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, b := range cfg.Bundles {
+					if len(b.Items) > k {
+						t.Errorf("%s/%v k=%d: bundle %v exceeds cap", name, strat, k, b.Items)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestK1EqualsComponents(t *testing.T) {
+	w := smallRandomMatrix(t, 40, 10, 5)
+	p := DefaultParams()
+	p.K = 1
+	comp, err := Components(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MatchingBased(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := GreedyMerge(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Revenue-comp.Revenue) > 1e-9 || math.Abs(g.Revenue-comp.Revenue) > 1e-9 {
+		t.Errorf("k=1: matching %g, greedy %g, components %g — all should match",
+			m.Revenue, g.Revenue, comp.Revenue)
+	}
+}
+
+func TestMonotoneInK(t *testing.T) {
+	// Larger k can only help (Fig. 5's growth): each cap's solution is
+	// feasible under every larger cap for the greedy/matching heuristics.
+	w := smallRandomMatrix(t, 60, 12, 6)
+	p := DefaultParams()
+	p.Theta = 0.1
+	p.Strategy = Mixed
+	prev := -1.0
+	for _, k := range []int{1, 2, 3, 5, Unlimited} {
+		p.K = k
+		cfg, err := GreedyMerge(w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Revenue < prev-1e-6 {
+			t.Errorf("k=%d: revenue %g dropped below smaller cap's %g", k, cfg.Revenue, prev)
+		}
+		prev = cfg.Revenue
+	}
+}
+
+func TestThetaMonotonePure(t *testing.T) {
+	// Higher θ (more complementary) never hurts pure bundling revenue.
+	w := smallRandomMatrix(t, 50, 10, 5)
+	p := DefaultParams()
+	p.Strategy = Pure
+	prev := -1.0
+	for _, theta := range []float64{-0.1, -0.05, 0, 0.05, 0.1, 0.2} {
+		p.Theta = theta
+		cfg, err := MatchingBased(w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Revenue < prev-1e-6 {
+			t.Errorf("θ=%g: pure revenue %g below previous %g", theta, cfg.Revenue, prev)
+		}
+		prev = cfg.Revenue
+	}
+}
+
+func TestTraceMonotone(t *testing.T) {
+	w := smallRandomMatrix(t, 80, 16, 6)
+	p := DefaultParams()
+	p.Strategy = Mixed
+	for name, run := range map[string]func(*wtp.Matrix, Params) (*Configuration, error){
+		"matching": MatchingBased,
+		"greedy":   GreedyMerge,
+	} {
+		cfg, err := run(w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cfg.Trace) == 0 {
+			t.Fatalf("%s: empty trace", name)
+		}
+		for i := 1; i < len(cfg.Trace); i++ {
+			if cfg.Trace[i].Revenue < cfg.Trace[i-1].Revenue-1e-9 {
+				t.Errorf("%s: trace revenue decreased at %d", name, i)
+			}
+			if cfg.Trace[i].Elapsed < cfg.Trace[i-1].Elapsed {
+				t.Errorf("%s: trace time decreased at %d", name, i)
+			}
+		}
+		last := cfg.Trace[len(cfg.Trace)-1]
+		if math.Abs(last.Revenue-cfg.Revenue) > 1e-6 {
+			t.Errorf("%s: final trace revenue %g != configuration revenue %g",
+				name, last.Revenue, cfg.Revenue)
+		}
+	}
+}
+
+func TestOffersAndCoversAll(t *testing.T) {
+	w := smallRandomMatrix(t, 40, 8, 4)
+	p := DefaultParams()
+	p.Strategy = Mixed
+	cfg, err := GreedyMerge(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cfg.Offers()); got != len(cfg.Bundles)+len(cfg.Components) {
+		t.Errorf("Offers() len = %d", got)
+	}
+	// CoversAll fails on wrong universe sizes.
+	if cfg.CoversAll(w.Items() + 1) {
+		t.Error("CoversAll should fail for larger universe")
+	}
+}

@@ -1,0 +1,275 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bundling/internal/pricing"
+	"bundling/internal/wtp"
+)
+
+// Evaluate prices a caller-proposed bundle configuration — the "what-if"
+// counterpart of the search algorithms. offers lists the item sets to put
+// on sale; prices are chosen optimally by the engine under params.
+//
+// The offers must satisfy the structural condition of the chosen strategy
+// (Problem 1/2 condition 2): pairwise disjoint under pure bundling, laminar
+// (any two offers disjoint or nested) under mixed bundling. Unlike the
+// optimization problems, the offers need not cover the whole item universe;
+// uncovered items simply earn nothing, which lets sellers compare partial
+// lineups.
+//
+// Under mixed bundling the offers are priced bottom-up: smaller offers
+// first at their standalone optimal price, then each subsuming bundle
+// conditioned on the offers it contains (the paper's incremental policy
+// and price window), with consumers re-resolving by the upgrade rule.
+func Evaluate(w *wtp.Matrix, offers [][]int, params Params) (*Configuration, error) {
+	e, err := newEngine(w, params)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	sets, err := normalizeOffers(w.Items(), offers)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkStructure(sets, params.Strategy); err != nil {
+		return nil, err
+	}
+	switch params.Strategy {
+	case Pure:
+		cfg := &Configuration{Strategy: Pure, Iterations: 1}
+		for _, items := range sets {
+			theta := e.params.Theta
+			if len(items) == 1 {
+				theta = 0
+			}
+			_, vals := e.w.BundleVector(items, theta, nil, nil)
+			uq := e.pr.PriceUtility(vals, e.objective(items))
+			cfg.Bundles = append(cfg.Bundles, Bundle{Items: items, Price: uq.Price, Revenue: uq.Revenue})
+			cfg.Revenue += uq.Revenue
+			cfg.Profit += uq.Profit
+			cfg.Surplus += uq.Surplus
+			cfg.Utility += uq.Utility
+		}
+		cfg.Trace = []IterationStat{{Iteration: 1, Revenue: cfg.Revenue, Elapsed: time.Since(start), Bundles: len(cfg.Bundles)}}
+		return cfg, nil
+	default:
+		return e.evaluateMixed(sets, start)
+	}
+}
+
+// evaluateMixed prices a laminar offer family bottom-up.
+func (e *engine) evaluateMixed(sets [][]int, start time.Time) (*Configuration, error) {
+	// Ascending size; ties by first item keep the order deterministic.
+	sort.SliceStable(sets, func(i, j int) bool { return len(sets[i]) < len(sets[j]) })
+	priced := make([]*node, 0, len(sets))
+	isTop := make([]bool, len(sets))
+	for si, items := range sets {
+		// Maximal already-priced strict subsets of this offer; laminarity
+		// makes them pairwise disjoint.
+		var parts []*node
+		covered := make(map[int]bool, len(items))
+		for pi := len(priced) - 1; pi >= 0; pi-- {
+			p := priced[pi]
+			if len(p.items) >= len(items) || !isSubsetSorted(p.items, items) {
+				continue
+			}
+			if covered[p.items[0]] {
+				continue // nested inside an already-collected part
+			}
+			parts = append(parts, p)
+			for _, it := range p.items {
+				covered[it] = true
+			}
+		}
+		n := &node{items: items, fresh: true}
+		n.ids, n.vals = e.w.BundleVector(items, thetaFor(e.params.Theta, len(items)), nil, nil)
+		n.unitC = e.objective(items).UnitCost
+		if len(parts) == 0 {
+			// Leaf offer: standalone optimal price.
+			uq := e.pr.PriceUtility(n.vals, e.objective(items))
+			n.quote = uq.Quote
+			e.initState(n)
+		} else {
+			e.priceOverParts(n, parts)
+			for _, p := range parts {
+				for pi := range priced {
+					if priced[pi] == p {
+						isTop[pi] = false
+					}
+				}
+				n.comps = append(n.comps, p.comps...)
+				n.comps = append(n.comps, p.asBundle())
+			}
+		}
+		priced = append(priced, n)
+		isTop[si] = true
+	}
+	cfg := &Configuration{Strategy: Mixed, Iterations: 1}
+	for pi, n := range priced {
+		if !isTop[pi] {
+			continue
+		}
+		cfg.Bundles = append(cfg.Bundles, n.asBundle())
+		cfg.Components = append(cfg.Components, n.comps...)
+		cfg.Revenue += n.revenue
+		cfg.Profit += n.profit
+		cfg.Surplus += n.surplus
+		cfg.Utility += n.util
+	}
+	sort.Slice(cfg.Bundles, func(i, j int) bool { return cfg.Bundles[i].Items[0] < cfg.Bundles[j].Items[0] })
+	cfg.Trace = []IterationStat{{Iteration: 1, Revenue: cfg.Revenue, Elapsed: time.Since(start), Bundles: len(cfg.Bundles)}}
+	return cfg, nil
+}
+
+// priceOverParts prices node n's bundle over its already-priced disjoint
+// parts (the incremental policy) and commits the combined consumer state.
+// Items of n not covered by any part contribute WTP to the bundle but have
+// no standalone offer.
+func (e *engine) priceOverParts(n *node, parts []*node) {
+	curPay := make([]float64, len(n.ids))
+	curSurp := make([]float64, len(n.ids))
+	curCost := make([]float64, len(n.ids))
+	curESur := make([]float64, len(n.ids))
+	var lo, hi float64
+	for _, p := range parts {
+		pp := alignVals(n.ids, p.ids, p.pay)
+		ps := alignVals(n.ids, p.ids, p.surp)
+		pc := alignVals(n.ids, p.ids, p.cost)
+		pe := alignVals(n.ids, p.ids, p.esur)
+		for j := range curPay {
+			curPay[j] += pp[j]
+			curSurp[j] += ps[j]
+			curCost[j] += pc[j]
+			curESur[j] += pe[j]
+		}
+		if p.quote.Price > lo {
+			lo = p.quote.Price
+		}
+		hi += p.quote.Price
+	}
+	if len(parts) == 1 {
+		// A single part gives a degenerate Guiltinan window (lo, lo); open
+		// the top so the bundle can still price above the part.
+		hi = lo * 2
+	}
+	mq := e.pr.PriceMixed(pricing.MixedOffer{
+		CurPay: curPay, CurSurplus: curSurp, CurCost: curCost, CurESurplus: curESur,
+		WB: n.vals, Lo: lo, Hi: hi, BundleCost: n.unitC,
+		Obj: pricing.Objective{ProfitWeight: e.params.ProfitWeight, UnitCost: n.unitC},
+	})
+	n.pay = make([]float64, len(n.ids))
+	n.surp = make([]float64, len(n.ids))
+	n.cost = make([]float64, len(n.ids))
+	n.esur = make([]float64, len(n.ids))
+	alpha := e.params.Model.Alpha()
+	var pay, cost, sur float64
+	for j := range n.ids {
+		var pj, prob float64
+		var switched bool
+		if mq.Feasible {
+			pj, prob, switched = e.pr.ResolveSwitch(n.vals[j], curPay[j], curSurp[j], mq.Price)
+		} else {
+			pj = curPay[j]
+		}
+		n.pay[j] = pj
+		if switched {
+			n.cost[j] = n.unitC * prob
+			if s := alpha*n.vals[j] - mq.Price; s > 0 {
+				n.surp[j] = s
+				n.esur[j] = s * prob
+			}
+		} else {
+			n.surp[j] = curSurp[j]
+			n.cost[j] = curCost[j]
+			n.esur[j] = curESur[j]
+		}
+		pay += pj
+		cost += n.cost[j]
+		sur += n.esur[j]
+	}
+	n.revenue = pay
+	n.profit = pay - cost
+	n.surplus = sur
+	n.util = e.params.ProfitWeight*n.profit + (1-e.params.ProfitWeight)*n.surplus
+	n.quote = pricing.Quote{Price: mq.Price, Revenue: mq.Revenue - mq.Baseline, Adopters: mq.Adopters}
+}
+
+// thetaFor applies θ only to true bundles.
+func thetaFor(theta float64, size int) float64 {
+	if size <= 1 {
+		return 0
+	}
+	return theta
+}
+
+// normalizeOffers validates item ids, sorts each offer, and rejects
+// duplicates within an offer or duplicate offers.
+func normalizeOffers(items int, offers [][]int) ([][]int, error) {
+	if len(offers) == 0 {
+		return nil, fmt.Errorf("config: no offers to evaluate")
+	}
+	out := make([][]int, len(offers))
+	seen := make(map[string]bool, len(offers))
+	for oi, off := range offers {
+		if len(off) == 0 {
+			return nil, fmt.Errorf("config: offer %d is empty", oi)
+		}
+		s := append([]int(nil), off...)
+		sort.Ints(s)
+		for i, it := range s {
+			if it < 0 || it >= items {
+				return nil, fmt.Errorf("config: offer %d refers to item %d outside [0,%d)", oi, it, items)
+			}
+			if i > 0 && s[i-1] == it {
+				return nil, fmt.Errorf("config: offer %d lists item %d twice", oi, it)
+			}
+		}
+		key := fmt.Sprint(s)
+		if seen[key] {
+			return nil, fmt.Errorf("config: duplicate offer %v", s)
+		}
+		seen[key] = true
+		out[oi] = s
+	}
+	return out, nil
+}
+
+// checkStructure enforces Problem 1/2 condition 2: disjoint offers under
+// pure bundling, laminar offers under mixed bundling.
+func checkStructure(sets [][]int, strategy Strategy) error {
+	for i := 0; i < len(sets); i++ {
+		for j := i + 1; j < len(sets); j++ {
+			a, b := sets[i], sets[j]
+			if !idsIntersect(a, b) {
+				continue
+			}
+			if strategy == Pure {
+				return fmt.Errorf("config: pure bundling requires disjoint offers; %v and %v overlap", a, b)
+			}
+			if !isSubsetSorted(a, b) && !isSubsetSorted(b, a) {
+				return fmt.Errorf("config: mixed bundling requires nested or disjoint offers; %v and %v partially overlap", a, b)
+			}
+		}
+	}
+	return nil
+}
+
+// isSubsetSorted reports whether sub ⊆ super for ascending slices.
+func isSubsetSorted(sub, super []int) bool {
+	i, j := 0, 0
+	for i < len(sub) && j < len(super) {
+		switch {
+		case sub[i] == super[j]:
+			i++
+			j++
+		case sub[i] > super[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(sub)
+}

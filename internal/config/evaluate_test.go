@@ -1,0 +1,159 @@
+package config
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateValidation(t *testing.T) {
+	w := table1Matrix(t)
+	p := DefaultParams()
+	cases := []struct {
+		name   string
+		offers [][]int
+		strat  Strategy
+	}{
+		{"no offers", nil, Pure},
+		{"empty offer", [][]int{{}}, Pure},
+		{"item out of range", [][]int{{0, 5}}, Pure},
+		{"duplicate item", [][]int{{0, 0}}, Pure},
+		{"duplicate offer", [][]int{{0}, {0}}, Pure},
+		{"overlap under pure", [][]int{{0, 1}, {1}}, Pure},
+	}
+	for _, c := range cases {
+		p.Strategy = c.strat
+		if _, err := Evaluate(w, c.offers, p); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// Partial overlap (not nested) is invalid even under mixed.
+	p.Strategy = Mixed
+	w3 := table1Matrix(t)
+	_ = w3
+	wBig := smallRandomMatrix(t, 20, 3, 2)
+	if _, err := Evaluate(wBig, [][]int{{0, 1}, {1, 2}}, p); err == nil {
+		t.Error("partially overlapping mixed offers should be rejected")
+	}
+}
+
+func TestEvaluatePureMatchesComponents(t *testing.T) {
+	w := table1Matrix(t)
+	p := fineParams()
+	offers := [][]int{{0}, {1}}
+	cfg, err := Evaluate(w, offers, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Components(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cfg.Revenue-comp.Revenue) > 1e-9 {
+		t.Errorf("singleton evaluation %g != components %g", cfg.Revenue, comp.Revenue)
+	}
+}
+
+func TestEvaluatePureBundlePaperExample(t *testing.T) {
+	w := table1Matrix(t)
+	p := fineParams()
+	p.Theta = -0.05
+	cfg, err := Evaluate(w, [][]int{{0, 1}}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cfg.Revenue-30.4) > 0.1 {
+		t.Errorf("evaluated pure bundle revenue %g, want 30.4", cfg.Revenue)
+	}
+}
+
+func TestEvaluateMixedPaperExample(t *testing.T) {
+	w := table1Matrix(t)
+	p := fineParams()
+	p.Theta = -0.05
+	p.Strategy = Mixed
+	// The full mixed lineup: both singles plus the bundle.
+	cfg, err := Evaluate(w, [][]int{{0}, {1}, {0, 1}}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cfg.Revenue-31.2) > 0.15 {
+		t.Errorf("evaluated mixed revenue %g, want ≈ 31.2", cfg.Revenue)
+	}
+	if len(cfg.Bundles) != 1 || len(cfg.Components) != 2 {
+		t.Errorf("structure: %d bundles, %d components, want 1 + 2",
+			len(cfg.Bundles), len(cfg.Components))
+	}
+}
+
+func TestEvaluatePartialCoverageAllowed(t *testing.T) {
+	w := smallRandomMatrix(t, 30, 6, 3)
+	p := DefaultParams()
+	cfg, err := Evaluate(w, [][]int{{0}, {2}}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Bundles) != 2 {
+		t.Fatalf("bundles = %d, want 2", len(cfg.Bundles))
+	}
+	full, err := Components(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Revenue >= full.Revenue {
+		t.Errorf("partial lineup %g should earn less than full components %g",
+			cfg.Revenue, full.Revenue)
+	}
+}
+
+// TestEvaluateMatchesAlgorithmOutput: feeding an algorithm's own bundles
+// back through Evaluate reproduces its revenue (pure bundling).
+func TestEvaluateMatchesAlgorithmOutput(t *testing.T) {
+	w := smallRandomMatrix(t, 60, 10, 5)
+	p := DefaultParams()
+	p.Theta = 0.1
+	cfg, err := MatchingBased(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offers := make([][]int, len(cfg.Bundles))
+	for i, b := range cfg.Bundles {
+		offers[i] = b.Items
+	}
+	re, err := Evaluate(w, offers, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(re.Revenue-cfg.Revenue) > 1e-6 {
+		t.Errorf("re-evaluated revenue %g != algorithm revenue %g", re.Revenue, cfg.Revenue)
+	}
+}
+
+// TestEvaluateMixedNestedTriple prices a three-level laminar family.
+func TestEvaluateMixedNestedTriple(t *testing.T) {
+	w := smallRandomMatrix(t, 50, 6, 3)
+	p := DefaultParams()
+	p.Strategy = Mixed
+	p.Theta = 0.05
+	cfg, err := Evaluate(w, [][]int{{0}, {1}, {0, 1}, {2}, {0, 1, 2}}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top-level bundles: {0,1,2} plus the uncovered singletons' trees.
+	found := false
+	for _, b := range cfg.Bundles {
+		if len(b.Items) == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected the 3-item bundle at top level: %+v", cfg.Bundles)
+	}
+	// Revenue never below evaluating just the singles.
+	singles, err := Evaluate(w, [][]int{{0}, {1}, {2}}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Revenue < singles.Revenue-1e-6 {
+		t.Errorf("nested lineup %g below singles %g", cfg.Revenue, singles.Revenue)
+	}
+}

@@ -1,0 +1,225 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bundling/internal/fim"
+	"bundling/internal/pricing"
+	"bundling/internal/wtp"
+)
+
+// defaultMaxItemsets caps mined maximal itemsets when the caller does not;
+// a safety valve against dense transaction data blowing up the search.
+const defaultMaxItemsets = 50000
+
+// FreqItemsetOptions configures the frequent-itemset bundling baseline.
+type FreqItemsetOptions struct {
+	// MinSupport is the relative minimum support (fraction of consumers).
+	// The paper found 0.1% to produce the highest revenue.
+	MinSupport float64
+	// MaxResults caps the number of mined maximal itemsets (0 = unlimited).
+	MaxResults int
+}
+
+// DefaultFreqItemsetOptions returns the paper's tuned setting (Sec. 6.1.3).
+func DefaultFreqItemsetOptions() FreqItemsetOptions {
+	return FreqItemsetOptions{MinSupport: 0.001}
+}
+
+// FreqItemset runs the "Frequently Bought Together" baseline (Sec. 6.1.3):
+// treat each consumer as a transaction of the items she has non-zero WTP
+// for, mine maximal frequent itemsets (our MAFIA substitute), then greedily
+// select the itemset with the highest absolute revenue gain over its
+// components, discarding overlapping itemsets, until all items are covered;
+// remaining items are sold individually. Individual items are admitted as
+// candidates regardless of support, favoring the baseline as the paper does.
+// Works for both pure and mixed bundling (params.Strategy).
+func FreqItemset(w *wtp.Matrix, params Params, opts FreqItemsetOptions) (*Configuration, error) {
+	e, err := newEngine(w, params)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MinSupport < 0 || opts.MinSupport > 1 {
+		return nil, fmt.Errorf("config: minimum support %g outside [0,1]", opts.MinSupport)
+	}
+	start := time.Now()
+	// Transactions: items each consumer is interested in.
+	txs := make([][]int, w.Consumers())
+	for i := 0; i < w.Items(); i++ {
+		for _, en := range w.Postings(i) {
+			txs[en.Consumer] = append(txs[en.Consumer], i)
+		}
+	}
+	minSup := int(opts.MinSupport * float64(w.Consumers()))
+	if minSup < 2 {
+		// An itemset bought by a single consumer is not "frequently bought
+		// together"; the floor also keeps mining tractable on tiny corpora.
+		minSup = 2
+	}
+	maxSize := 0
+	if params.K != Unlimited {
+		maxSize = params.K
+	}
+	maxResults := opts.MaxResults
+	if maxResults == 0 {
+		maxResults = defaultMaxItemsets
+	}
+	itemsets, err := fim.MineMaximal(w.Items(), txs, fim.Config{
+		MinSupport: minSup,
+		MaxSize:    maxSize,
+		MaxResults: maxResults,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Price singletons once; they are both the fallback offers and the
+	// "components" that a candidate itemset must beat.
+	singles := e.singletons()
+
+	// Evaluate each multi-item candidate's absolute gain over components.
+	type candidate struct {
+		items []int
+		node  *node
+		gain  float64
+	}
+	var cands []candidate
+	for _, is := range itemsets {
+		if len(is.Items) < 2 {
+			continue
+		}
+		n, gain := e.evalItemset(is.Items, singles)
+		if n != nil && gain > minGain {
+			cands = append(cands, candidate{items: is.Items, node: n, gain: gain})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].gain != cands[b].gain {
+			return cands[a].gain > cands[b].gain
+		}
+		return len(cands[a].items) < len(cands[b].items)
+	})
+	covered := make([]bool, w.Items())
+	var chosen []*node
+	iterations := 0
+	for _, c := range cands {
+		overlap := false
+		for _, i := range c.items {
+			if covered[i] {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			continue
+		}
+		for _, i := range c.items {
+			covered[i] = true
+		}
+		chosen = append(chosen, c.node)
+		iterations++
+	}
+	// Remaining items sold individually.
+	for i, n := range singles {
+		if !covered[i] {
+			chosen = append(chosen, n)
+		}
+	}
+	total := 0.0
+	for _, n := range chosen {
+		total += n.revenue
+	}
+	trace := []IterationStat{{Iteration: iterations, Revenue: total, Elapsed: time.Since(start), Bundles: len(chosen)}}
+	return e.finish(chosen, iterations, trace), nil
+}
+
+// evalItemset prices a mined itemset as a bundle against its singleton
+// components: standalone pricing for pure bundling, the incremental offer
+// (bundle + all singletons at frozen prices) for mixed bundling. The
+// returned gain is in seller-utility units, like every merge gain.
+func (e *engine) evalItemset(items []int, singles []*node) (*node, float64) {
+	n := &node{items: append([]int(nil), items...), fresh: true}
+	sort.Ints(n.items)
+	n.ids, n.vals = e.w.BundleVector(n.items, e.params.Theta, nil, nil)
+	n.unitC = e.objective(n.items).UnitCost
+	compUtil := 0.0
+	for _, i := range items {
+		compUtil += singles[i].util
+	}
+	switch e.params.Strategy {
+	case Pure:
+		uq := e.pr.PriceUtility(n.vals, e.objective(n.items))
+		n.quote = uq.Quote
+		n.revenue, n.profit, n.surplus, n.util = uq.Revenue, uq.Profit, uq.Surplus, uq.Utility
+		return n, n.util - compUtil
+	default: // Mixed
+		// Combined current state of the singleton components (disjoint, so
+		// payments and surpluses add), plus the paper's price window.
+		curPay := make([]float64, len(n.ids))
+		curSurp := make([]float64, len(n.ids))
+		curCost := make([]float64, len(n.ids))
+		curESur := make([]float64, len(n.ids))
+		var lo, hi float64
+		for _, i := range items {
+			s := singles[i]
+			p := alignVals(n.ids, s.ids, s.pay)
+			q := alignVals(n.ids, s.ids, s.surp)
+			c := alignVals(n.ids, s.ids, s.cost)
+			es := alignVals(n.ids, s.ids, s.esur)
+			for j := range curPay {
+				curPay[j] += p[j]
+				curSurp[j] += q[j]
+				curCost[j] += c[j]
+				curESur[j] += es[j]
+			}
+			if s.quote.Price > lo {
+				lo = s.quote.Price
+			}
+			hi += s.quote.Price
+		}
+		mq := e.pr.PriceMixed(pricing.MixedOffer{
+			CurPay: curPay, CurSurplus: curSurp, CurCost: curCost, CurESurplus: curESur,
+			WB: n.vals, Lo: lo, Hi: hi, BundleCost: n.unitC,
+			Obj: pricing.Objective{ProfitWeight: e.params.ProfitWeight, UnitCost: n.unitC},
+		})
+		delta := mq.Utility - mq.BaselineUtility
+		if !mq.Feasible || delta <= minGain {
+			return nil, 0
+		}
+		n.pay = make([]float64, len(n.ids))
+		n.surp = make([]float64, len(n.ids))
+		n.cost = make([]float64, len(n.ids))
+		n.esur = make([]float64, len(n.ids))
+		alpha := e.params.Model.Alpha()
+		var pay, cost, sur float64
+		for j := range n.ids {
+			pj, prob, switched := e.pr.ResolveSwitch(n.vals[j], curPay[j], curSurp[j], mq.Price)
+			n.pay[j] = pj
+			if switched {
+				n.cost[j] = n.unitC * prob
+				if s := alpha*n.vals[j] - mq.Price; s > 0 {
+					n.surp[j] = s
+					n.esur[j] = s * prob
+				}
+			} else {
+				n.surp[j] = curSurp[j]
+				n.cost[j] = curCost[j]
+				n.esur[j] = curESur[j]
+			}
+			pay += pj
+			cost += n.cost[j]
+			sur += n.esur[j]
+		}
+		n.revenue = pay
+		n.profit = pay - cost
+		n.surplus = sur
+		n.util = e.params.ProfitWeight*n.profit + (1-e.params.ProfitWeight)*n.surplus
+		n.quote = pricing.Quote{Price: mq.Price, Revenue: mq.Revenue - mq.Baseline, Adopters: mq.Adopters}
+		for _, i := range items {
+			n.comps = append(n.comps, singles[i].asBundle())
+		}
+		return n, delta
+	}
+}

@@ -1,0 +1,153 @@
+package config
+
+import (
+	"container/heap"
+	"time"
+
+	"bundling/internal/wtp"
+)
+
+// GreedyMerge runs the paper's Algorithm 2: repeatedly merge the pair of
+// current bundles with the highest absolute revenue gain, until no merge
+// gains revenue. Works for both pure and mixed bundling (params.Strategy).
+//
+// A lazy max-heap holds candidate merges; entries referring to bundles that
+// have since been merged away are discarded on pop. After each merge only
+// pairs involving the new bundle are (re-)evaluated, giving the O(M·N²)
+// revenue-computation bound of Sec. 5.3.2.
+func GreedyMerge(w *wtp.Matrix, params Params) (*Configuration, error) {
+	e, err := newEngine(w, params)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	nodes := e.singletons()
+	total := 0.0
+	for _, n := range nodes {
+		total += n.revenue
+	}
+	trace := []IterationStat{{Iteration: 0, Revenue: total, Elapsed: time.Since(start), Bundles: len(nodes)}}
+
+	// version numbers invalidate heap entries when a node dies.
+	h := &mergeHeap{}
+	push := func(i, j int, merged *node, gain float64) {
+		heap.Push(h, mergeCand{u: i, v: j, merged: merged, gain: gain})
+	}
+	alive := len(nodes)
+	runToEnd := e.params.GreedyRunToEnd
+	var jobs []pairJob
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if e.mergeable(nodes[i], nodes[j]) {
+				jobs = append(jobs, pairJob{u: i, v: j})
+			}
+		}
+	}
+	if runToEnd {
+		// The alternative stopping condition (Sec. 5.3.2) needs every
+		// mergeable pair, not only the gaining ones: the algorithm keeps
+		// taking the least-bad merge all the way to a single bundle and
+		// returns the best configuration seen.
+		for _, j := range jobs {
+			if merged, gain := e.evalMerge(nodes[j.u], nodes[j.v]); merged != nil {
+				push(j.u, j.v, merged, gain)
+			}
+		}
+	} else {
+		for _, r := range e.evalPairs(nodes, jobs) {
+			push(r.u, r.v, r.merged, r.gain)
+		}
+	}
+	// Best-seen snapshot for the run-to-end variant.
+	bestTotal := total
+	bestSurplus := 0.0
+	var bestBundles []Bundle
+	snapshot := func() {
+		bestBundles = bestBundles[:0]
+		bestSurplus = 0
+		for _, n := range nodes {
+			if !n.dead {
+				bestBundles = append(bestBundles, n.asBundle())
+				bestSurplus += n.surplus
+			}
+		}
+	}
+	if runToEnd {
+		snapshot()
+	}
+	iteration := 0
+	for h.Len() > 0 {
+		top := heap.Pop(h).(mergeCand)
+		if nodes[top.u].dead || nodes[top.v].dead {
+			continue
+		}
+		if !runToEnd && top.gain <= minGain {
+			break
+		}
+		iteration++
+		a, bn := nodes[top.u], nodes[top.v]
+		a.dead = true
+		bn.dead = true
+		alive--
+		newIdx := len(nodes)
+		nodes = append(nodes, top.merged)
+		// The gain is measured in seller utility; the trace reports the
+		// revenue delta (identical under the default objective).
+		total += top.merged.revenue - a.revenue - bn.revenue
+		trace = append(trace, IterationStat{Iteration: iteration, Revenue: total, Elapsed: time.Since(start), Bundles: alive})
+		if runToEnd && total > bestTotal {
+			bestTotal = total
+			snapshot()
+		}
+		// Evaluate merges of the new bundle against all live bundles.
+		for i := 0; i < newIdx; i++ {
+			if nodes[i].dead {
+				continue
+			}
+			if !e.mergeable(nodes[i], top.merged) {
+				continue
+			}
+			if merged, gain := e.evalMerge(nodes[i], top.merged); merged != nil && (runToEnd || gain > minGain) {
+				push(i, newIdx, merged, gain)
+			}
+		}
+	}
+	cfg := e.finish(nodes, iteration, trace)
+	if runToEnd && bestTotal > cfg.Revenue+minGain {
+		// Return the best configuration seen along the full merge path.
+		best := &Configuration{
+			Strategy:   e.params.Strategy,
+			Bundles:    append([]Bundle(nil), bestBundles...),
+			Revenue:    bestTotal,
+			Surplus:    bestSurplus,
+			Profit:     bestTotal, // pure + default objective: profit = revenue
+			Utility:    bestTotal,
+			Iterations: iteration,
+			Trace:      trace,
+		}
+		return best, nil
+	}
+	return cfg, nil
+}
+
+// mergeCand is a candidate merge with its revenue gain.
+type mergeCand struct {
+	u, v   int
+	merged *node
+	gain   float64
+}
+
+// mergeHeap is a max-heap of merge candidates by gain.
+type mergeHeap []mergeCand
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeCand)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,116 @@
+package config
+
+import (
+	"time"
+
+	"bundling/internal/matching"
+	"bundling/internal/wtp"
+)
+
+// MatchingBased runs the paper's Algorithm 1: iteratively solve a
+// maximum-weight matching over the current bundles, merging every matched
+// pair, until no matching yields a revenue gain or the size cap k blocks
+// all merges. Works for both pure and mixed bundling (params.Strategy).
+//
+// The matching runs on *gain* weights — the revenue improvement of a merge
+// over keeping its two operands — so that a self-loop ("keep the bundle")
+// is the implicit zero alternative and only positive-gain edges exist.
+// Per the paper's pruning: iteration 1 considers only item pairs sharing an
+// interested consumer (valid for θ ≤ 0, see engine.mergeable), and later
+// iterations only pairs touching a newly formed bundle.
+func MatchingBased(w *wtp.Matrix, params Params) (*Configuration, error) {
+	e, err := newEngine(w, params)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	nodes := e.singletons()
+	var trace []IterationStat
+	total := 0.0
+	for _, n := range nodes {
+		total += n.revenue
+	}
+	trace = append(trace, IterationStat{Iteration: 0, Revenue: total, Elapsed: time.Since(start), Bundles: len(nodes)})
+
+	iteration := 0
+	for {
+		iteration++
+		var jobs []pairJob
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				a, b := nodes[i], nodes[j]
+				if iteration > 1 && !a.fresh && !b.fresh {
+					continue
+				}
+				if !e.mergeable(a, b) {
+					continue
+				}
+				jobs = append(jobs, pairJob{u: i, v: j})
+			}
+		}
+		cands := e.evalPairs(nodes, jobs)
+		if len(cands) == 0 {
+			break
+		}
+		edges := make([]matching.Edge, len(cands))
+		for ci, c := range cands {
+			edges[ci] = matching.Edge{U: c.u, V: c.v, Weight: c.gain}
+		}
+		mate, err := matching.MaxWeight(len(nodes), edges)
+		if err != nil {
+			return nil, err
+		}
+		// Collapse matched pairs. Matched-pair lookup goes through the
+		// candidate list since parallel edges cannot occur here.
+		mergedAny := false
+		next := nodes[:0:0]
+		taken := make([]bool, len(nodes))
+		byPair := make(map[[2]int]*node, len(cands))
+		for _, c := range cands {
+			byPair[[2]int{c.u, c.v}] = c.merged
+		}
+		for i, n := range nodes {
+			n.fresh = false
+			if taken[i] {
+				continue
+			}
+			j := mate[i]
+			if j < 0 {
+				next = append(next, n)
+				continue
+			}
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			m := byPair[[2]int{lo, hi}]
+			taken[i], taken[j] = true, true
+			next = append(next, m)
+			total += m.revenue - nodes[lo].revenue - nodes[hi].revenue
+			mergedAny = true
+		}
+		nodes = next
+		trace = append(trace, IterationStat{Iteration: iteration, Revenue: total, Elapsed: time.Since(start), Bundles: len(nodes)})
+		if !mergedAny {
+			break
+		}
+	}
+	return e.finish(nodes, iteration, trace), nil
+}
+
+// Optimal2Sized solves the 2-sized bundle configuration exactly (Sec. 5.1):
+// with k = 2 a single maximum-weight matching over the item graph is the
+// optimal partition into size-1 and size-2 bundles. For mixed bundling the
+// same reduction holds with edge weights equal to the best mixed-offer
+// revenue (optimal under the paper's incremental pricing policy).
+func Optimal2Sized(w *wtp.Matrix, params Params) (*Configuration, error) {
+	params.K = 2
+	cfg, err := MatchingBased(w, params)
+	if err != nil {
+		return nil, err
+	}
+	// With k = 2 every merge uses two singletons, so Algorithm 1 halts
+	// after one productive iteration and its result is the exact matching
+	// optimum.
+	return cfg, nil
+}

@@ -1,0 +1,326 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+
+	"bundling/internal/pricing"
+	"bundling/internal/wtp"
+)
+
+// node is a bundle under construction inside the iterative algorithms. It
+// caches the bundle's interested-consumer vector and pricing so merge
+// evaluations do not rescan the WTP matrix for unchanged bundles.
+//
+// Under mixed bundling a node additionally carries per-consumer market
+// state for its subtree of offers (the bundle itself plus every retained
+// sub-bundle): pay[j] is consumer ids[j]'s total expected payment within
+// the subtree, surp[j] the deterministic surplus of those purchases (the
+// choice currency of the upgrade rule), cost[j] the expected variable cost
+// of serving them and esur[j] the expected consumer surplus. Merge deltas
+// are computed against this state — the paper's Table 6 accounting — which
+// keeps every consumer counted exactly once and total revenue bounded by
+// total willingness to pay.
+type node struct {
+	items []int     // ascending item ids
+	ids   []int     // interested consumers, ascending
+	vals  []float64 // bundle WTP per interested consumer (Eq. 1)
+	quote pricing.Quote
+	// revenue, profit, surplus and util are the node subtree's expected
+	// totals; util (= α·profit + (1-α)·surplus) is the currency every
+	// merge gain is measured in. Under the paper's default objective
+	// util == profit == revenue.
+	revenue float64
+	profit  float64
+	surplus float64
+	util    float64
+	unitC   float64 // bundle unit cost (Σ item costs)
+	// Mixed-bundling per-consumer state (nil under pure bundling):
+	pay  []float64
+	surp []float64
+	cost []float64
+	esur []float64
+	// comps are the retained sub-bundles (mixed only), flattened over the
+	// node's merge history; they form the X'_I output.
+	comps []Bundle
+	fresh bool // formed in the most recent iteration
+	dead  bool // merged away (greedy bookkeeping)
+}
+
+// engine carries shared state for the configuration algorithms.
+type engine struct {
+	w      *wtp.Matrix
+	params Params
+	pr     *pricing.Pricer
+	k      int
+}
+
+func newEngine(w *wtp.Matrix, params Params) (*engine, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if params.UnitCosts != nil && len(params.UnitCosts) != w.Items() {
+		return nil, errCostCount(len(params.UnitCosts), w.Items())
+	}
+	pr, err := params.pricer()
+	if err != nil {
+		return nil, err
+	}
+	return &engine{w: w, params: params, pr: pr, k: params.maxSize()}, nil
+}
+
+// objective assembles the pricing objective for a bundle: the configured
+// profit weight α and the bundle's summed unit cost.
+func (e *engine) objective(items []int) pricing.Objective {
+	obj := pricing.Objective{ProfitWeight: e.params.ProfitWeight}
+	if e.params.UnitCosts != nil {
+		for _, i := range items {
+			obj.UnitCost += e.params.UnitCosts[i]
+		}
+	}
+	return obj
+}
+
+// singletons builds the initial one-item nodes (XI in Algorithms 1 and 2).
+func (e *engine) singletons() []*node {
+	nodes := make([]*node, e.w.Items())
+	for i := range nodes {
+		n := &node{items: []int{i}, fresh: true}
+		// θ never applies to a single item: Eq. 1 degenerates to the raw WTP.
+		n.ids, n.vals = e.w.BundleVector(n.items, 0, nil, nil)
+		uq := e.pr.PriceUtility(n.vals, e.objective(n.items))
+		n.quote = uq.Quote
+		n.revenue, n.profit, n.surplus, n.util = uq.Revenue, uq.Profit, uq.Surplus, uq.Utility
+		n.unitC = e.objective(n.items).UnitCost
+		if e.params.Strategy == Mixed {
+			e.initState(n)
+		}
+		nodes[i] = n
+	}
+	return nodes
+}
+
+// initState populates a node's per-consumer market state from its
+// standalone quote: each consumer's expected payment at the node's price,
+// the deterministic surplus of buying it, and the cost/surplus expectations.
+func (e *engine) initState(n *node) {
+	n.pay = make([]float64, len(n.ids))
+	n.surp = make([]float64, len(n.ids))
+	n.cost = make([]float64, len(n.ids))
+	n.esur = make([]float64, len(n.ids))
+	model := e.params.Model
+	alpha := model.Alpha()
+	var pay, cost, sur float64
+	for j, w := range n.vals {
+		p := model.Probability(n.quote.Price, w)
+		n.pay[j] = n.quote.Price * p
+		n.cost[j] = n.unitC * p
+		if s := alpha*w - n.quote.Price; s > 0 && p > 0 {
+			n.surp[j] = s
+			n.esur[j] = s * p
+		}
+		pay += n.pay[j]
+		cost += n.cost[j]
+		sur += n.esur[j]
+	}
+	n.revenue = pay
+	n.profit = pay - cost
+	n.surplus = sur
+	n.util = e.params.ProfitWeight*n.profit + (1-e.params.ProfitWeight)*n.surplus
+}
+
+// mergeable applies the size cap and the paper's common-interest pruning.
+// The pruning is valid only for θ ≤ 0: with independent or substitute
+// items, no consumer interested in just one side ever yields extra bundle
+// revenue; with complements (θ > 0) a bundle can profit even without a
+// common consumer, so the filter is skipped.
+func (e *engine) mergeable(a, b *node) bool {
+	if len(a.items)+len(b.items) > e.k {
+		return false
+	}
+	if e.params.Theta > 0 || e.params.DisablePruning {
+		return true
+	}
+	return idsIntersect(a.ids, b.ids)
+}
+
+// evalMerge prices the merge of a and b and returns the candidate merged
+// node along with the utility gain over keeping a and b as they are. The
+// returned node is fully formed but not yet inserted anywhere. A nil node
+// means the merge is infeasible.
+func (e *engine) evalMerge(a, b *node) (*node, float64) {
+	return e.evalMergeWith(e.pr, a, b)
+}
+
+// evalMergeWith is evalMerge with an explicit pricer, so concurrent
+// evaluations can each own a pricer (scratch buffers are not shareable).
+func (e *engine) evalMergeWith(pr *pricing.Pricer, a, b *node) (*node, float64) {
+	items := mergeItems(a.items, b.items)
+	n := &node{items: items, fresh: true}
+	n.ids, n.vals = e.w.BundleVector(items, e.params.Theta, nil, nil)
+	n.unitC = e.objective(items).UnitCost
+	switch e.params.Strategy {
+	case Pure:
+		uq := pr.PriceUtility(n.vals, e.objective(items))
+		n.quote = uq.Quote
+		n.revenue, n.profit, n.surplus, n.util = uq.Revenue, uq.Profit, uq.Surplus, uq.Utility
+		return n, n.util - a.util - b.util
+	default:
+		return e.evalMergeMixed(pr, n, a, b)
+	}
+}
+
+// evalMergeMixed prices the new bundle against the combined current state
+// of both subtrees (their offers are item-disjoint, so states add), within
+// the paper's price window (max component price, sum of component prices).
+func (e *engine) evalMergeMixed(pr *pricing.Pricer, n *node, a, b *node) (*node, float64) {
+	curPay := alignVals(n.ids, a.ids, a.pay)
+	curSurp := alignVals(n.ids, a.ids, a.surp)
+	curCost := alignVals(n.ids, a.ids, a.cost)
+	curESur := alignVals(n.ids, a.ids, a.esur)
+	bPay := alignVals(n.ids, b.ids, b.pay)
+	bSurp := alignVals(n.ids, b.ids, b.surp)
+	bCost := alignVals(n.ids, b.ids, b.cost)
+	bESur := alignVals(n.ids, b.ids, b.esur)
+	for j := range curPay {
+		curPay[j] += bPay[j]
+		curSurp[j] += bSurp[j]
+		curCost[j] += bCost[j]
+		curESur[j] += bESur[j]
+	}
+	lo := a.quote.Price
+	if b.quote.Price > lo {
+		lo = b.quote.Price
+	}
+	mq := pr.PriceMixed(pricing.MixedOffer{
+		CurPay:      curPay,
+		CurSurplus:  curSurp,
+		CurCost:     curCost,
+		CurESurplus: curESur,
+		WB:          n.vals,
+		Lo:          lo,
+		Hi:          a.quote.Price + b.quote.Price,
+		BundleCost:  n.unitC,
+		Obj:         pricing.Objective{ProfitWeight: e.params.ProfitWeight, UnitCost: n.unitC},
+	})
+	delta := mq.Utility - mq.BaselineUtility
+	if !mq.Feasible || delta <= minGain {
+		return nil, 0
+	}
+	// Commit the new state: every consumer re-resolves at the chosen price.
+	n.pay = make([]float64, len(n.ids))
+	n.surp = make([]float64, len(n.ids))
+	n.cost = make([]float64, len(n.ids))
+	n.esur = make([]float64, len(n.ids))
+	alpha := e.params.Model.Alpha()
+	var pay, cost, sur float64
+	for j := range n.ids {
+		pj, prob, switched := pr.ResolveSwitch(n.vals[j], curPay[j], curSurp[j], mq.Price)
+		n.pay[j] = pj
+		if switched {
+			n.cost[j] = n.unitC * prob
+			if s := alpha*n.vals[j] - mq.Price; s > 0 {
+				n.surp[j] = s
+				n.esur[j] = s * prob
+			}
+		} else {
+			n.surp[j] = curSurp[j]
+			n.cost[j] = curCost[j]
+			n.esur[j] = curESur[j]
+		}
+		pay += n.pay[j]
+		cost += n.cost[j]
+		sur += n.esur[j]
+	}
+	n.revenue = pay
+	n.profit = pay - cost
+	n.surplus = sur
+	n.util = e.params.ProfitWeight*n.profit + (1-e.params.ProfitWeight)*n.surplus
+	n.quote = pricing.Quote{Price: mq.Price, Revenue: mq.Revenue - mq.Baseline, Adopters: mq.Adopters}
+	n.comps = append(n.comps, a.comps...)
+	n.comps = append(n.comps, b.comps...)
+	n.comps = append(n.comps, a.asBundle(), b.asBundle())
+	return n, delta
+}
+
+// asBundle converts a node to its output Bundle form. For a mixed-bundling
+// merge node, Revenue is the incremental revenue the bundle added over its
+// components (the paper's "Add. revenue" column).
+func (n *node) asBundle() Bundle {
+	return Bundle{Items: append([]int(nil), n.items...), Price: n.quote.Price, Revenue: n.quote.Revenue}
+}
+
+// finish assembles the Configuration from surviving nodes.
+func (e *engine) finish(nodes []*node, iterations int, trace []IterationStat) *Configuration {
+	cfg := &Configuration{Strategy: e.params.Strategy, Iterations: iterations, Trace: trace}
+	for _, n := range nodes {
+		if n.dead {
+			continue
+		}
+		cfg.Bundles = append(cfg.Bundles, n.asBundle())
+		cfg.Components = append(cfg.Components, n.comps...)
+		cfg.Revenue += n.revenue
+		cfg.Profit += n.profit
+		cfg.Surplus += n.surplus
+		cfg.Utility += n.util
+	}
+	sort.Slice(cfg.Bundles, func(i, j int) bool { return cfg.Bundles[i].Items[0] < cfg.Bundles[j].Items[0] })
+	return cfg
+}
+
+func errCostCount(got, want int) error {
+	return fmt.Errorf("config: %d unit costs for %d items", got, want)
+}
+
+// mergeItems unions two ascending item lists.
+func mergeItems(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// idsIntersect reports whether two ascending id lists share an element.
+func idsIntersect(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// alignVals scatters (srcIDs, srcVals) onto the consumer axis given by
+// unionIDs (ascending, a superset of srcIDs), filling gaps with zero.
+func alignVals(unionIDs, srcIDs []int, srcVals []float64) []float64 {
+	out := make([]float64, len(unionIDs))
+	j := 0
+	for i, id := range unionIDs {
+		if j < len(srcIDs) && srcIDs[j] == id {
+			out[i] = srcVals[j]
+			j++
+		}
+	}
+	return out
+}

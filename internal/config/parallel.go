@@ -1,0 +1,84 @@
+package config
+
+import (
+	"runtime"
+	"sync"
+
+	"bundling/internal/pricing"
+)
+
+// parallelism resolves the effective worker count.
+func (p Params) parallelism() int {
+	if p.Parallelism > 0 {
+		return p.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// pairJob is one candidate merge to evaluate.
+type pairJob struct {
+	u, v int
+}
+
+// pairResult is the outcome of evaluating one candidate merge.
+type pairResult struct {
+	u, v   int
+	merged *node
+	gain   float64
+}
+
+// evalPairs prices every candidate pair concurrently. Each worker owns a
+// private Pricer (the pricer's scratch buffers are not goroutine-safe).
+// Results preserve no particular order; infeasible or non-gaining merges
+// are dropped.
+func (e *engine) evalPairs(nodes []*node, jobs []pairJob) []pairResult {
+	if len(jobs) == 0 {
+		return nil
+	}
+	workers := e.params.parallelism()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		out := make([]pairResult, 0, len(jobs))
+		for _, j := range jobs {
+			if merged, gain := e.evalMergeWith(e.pr, nodes[j.u], nodes[j.v]); merged != nil && gain > minGain {
+				out = append(out, pairResult{u: j.u, v: j.v, merged: merged, gain: gain})
+			}
+		}
+		return out
+	}
+	results := make([]pairResult, len(jobs))
+	var wg sync.WaitGroup
+	next := make(chan int) // job indices
+	for w := 0; w < workers; w++ {
+		pr, err := e.params.pricer()
+		if err != nil {
+			// Params were validated at engine construction; a failure here
+			// is a programming error.
+			panic(err)
+		}
+		wg.Add(1)
+		go func(pr *pricing.Pricer) {
+			defer wg.Done()
+			for idx := range next {
+				j := jobs[idx]
+				if merged, gain := e.evalMergeWith(pr, nodes[j.u], nodes[j.v]); merged != nil && gain > minGain {
+					results[idx] = pairResult{u: j.u, v: j.v, merged: merged, gain: gain}
+				}
+			}
+		}(pr)
+	}
+	for idx := range jobs {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+	out := make([]pairResult, 0, len(jobs))
+	for _, r := range results {
+		if r.merged != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package config
+
+import (
+	"math"
+	"testing"
+)
+
+// TestParallelismDeterministic: the configuration is bit-identical across
+// worker counts — parallelism must never change results.
+func TestParallelismDeterministic(t *testing.T) {
+	w := smallRandomMatrix(t, 80, 14, 6)
+	for _, strat := range []Strategy{Pure, Mixed} {
+		for name, run := range map[string]func(p Params) (*Configuration, error){
+			"matching": func(p Params) (*Configuration, error) { return MatchingBased(w, p) },
+			"greedy":   func(p Params) (*Configuration, error) { return GreedyMerge(w, p) },
+		} {
+			var ref *Configuration
+			for _, workers := range []int{1, 2, 4, 7} {
+				p := DefaultParams()
+				p.Strategy = strat
+				p.Theta = 0.1
+				p.Parallelism = workers
+				cfg, err := run(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref == nil {
+					ref = cfg
+					continue
+				}
+				if math.Abs(cfg.Revenue-ref.Revenue) > 1e-12 {
+					t.Errorf("%s/%v: revenue differs at %d workers: %g vs %g",
+						name, strat, workers, cfg.Revenue, ref.Revenue)
+				}
+				if len(cfg.Bundles) != len(ref.Bundles) {
+					t.Errorf("%s/%v: bundle count differs at %d workers", name, strat, workers)
+					continue
+				}
+				for i := range cfg.Bundles {
+					if len(cfg.Bundles[i].Items) != len(ref.Bundles[i].Items) {
+						t.Errorf("%s/%v: bundle %d shape differs at %d workers", name, strat, i, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelismValidation(t *testing.T) {
+	p := DefaultParams()
+	p.Parallelism = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative parallelism should fail validation")
+	}
+}

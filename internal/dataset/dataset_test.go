@@ -1,0 +1,295 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bundling/internal/wtp"
+)
+
+func testConfig() GenConfig {
+	return GenConfig{Users: 300, Items: 80, RatingsPerUser: 15, MinDegree: 4, Seed: 9}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenConfig{
+		{Users: 0, Items: 10, RatingsPerUser: 5},
+		{Users: 10, Items: 0, RatingsPerUser: 5},
+		{Users: 10, Items: 10, RatingsPerUser: 0},
+		{Users: 10, Items: 10, RatingsPerUser: 5, MinDegree: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Ratings) != len(b.Ratings) || a.Users != b.Users || a.Items != b.Items {
+		t.Fatal("same seed should give identical datasets")
+	}
+	for i := range a.Ratings {
+		if a.Ratings[i] != b.Ratings[i] {
+			t.Fatalf("rating %d differs: %+v vs %+v", i, a.Ratings[i], b.Ratings[i])
+		}
+	}
+	cfg := testConfig()
+	cfg.Seed = 10
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Ratings) == len(a.Ratings) {
+		same := true
+		for i := range c.Ratings {
+			if c.Ratings[i] != a.Ratings[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds should give different datasets")
+		}
+	}
+}
+
+func TestGenerateMarginals(t *testing.T) {
+	cfg := PaperScaleConfig()
+	cfg.Users = 1500
+	cfg.Items = 400
+	cfg.MinDegree = 5
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ds.Summarize()
+	// Star distribution should approximate the paper's 3/5/13/29/49%.
+	want := [5]float64{0.03, 0.05, 0.13, 0.29, 0.49}
+	for s, share := range st.StarShare {
+		if math.Abs(share-want[s]) > 0.05 {
+			t.Errorf("star %d share = %.3f, want ≈ %.2f", s+1, share, want[s])
+		}
+	}
+	// Price distribution: ≈50% < $10, ≈45% $10-20, ≈4% > $20.
+	if math.Abs(st.PriceShare[0]-0.50) > 0.08 || math.Abs(st.PriceShare[1]-0.45) > 0.08 || st.PriceShare[2] > 0.10 {
+		t.Errorf("price shares = %v, want ≈ [0.50 0.45 0.04]", st.PriceShare)
+	}
+	for _, p := range ds.Prices {
+		if p <= 0 {
+			t.Fatalf("non-positive price %g", p)
+		}
+	}
+}
+
+func TestKCoreInvariant(t *testing.T) {
+	ds, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testConfig().MinDegree
+	uDeg := make(map[int]int)
+	iDeg := make(map[int]int)
+	for _, r := range ds.Ratings {
+		uDeg[r.Consumer]++
+		iDeg[r.Item]++
+		if r.Consumer < 0 || r.Consumer >= ds.Users || r.Item < 0 || r.Item >= ds.Items {
+			t.Fatalf("rating out of range: %+v", r)
+		}
+	}
+	for u, d := range uDeg {
+		if d < k {
+			t.Errorf("user %d has degree %d < %d after k-core", u, d, k)
+		}
+	}
+	for i, d := range iDeg {
+		if d < k {
+			t.Errorf("item %d has degree %d < %d after k-core", i, d, k)
+		}
+	}
+	// Dense ids: every user/item id in range appears.
+	if len(uDeg) != ds.Users {
+		t.Errorf("users = %d but %d distinct ids", ds.Users, len(uDeg))
+	}
+	if len(iDeg) != ds.Items {
+		t.Errorf("items = %d but %d distinct ids", ds.Items, len(iDeg))
+	}
+}
+
+func TestKCoreHandWorked(t *testing.T) {
+	// User 2 has one rating on item 1; removing it drops item 1 below
+	// degree 2, cascading to remove it entirely.
+	d := &Dataset{
+		Users: 3, Items: 2,
+		Prices: []float64{5, 7},
+		Ratings: []wtp.Rating{
+			{Consumer: 0, Item: 0, Stars: 5},
+			{Consumer: 1, Item: 0, Stars: 4},
+			{Consumer: 0, Item: 1, Stars: 3},
+			{Consumer: 1, Item: 1, Stars: 2},
+			{Consumer: 2, Item: 1, Stars: 1},
+		},
+	}
+	out := d.KCore(2)
+	if out.Users != 2 || out.Items != 2 {
+		t.Fatalf("kcore dims = %d×%d, want 2×2", out.Users, out.Items)
+	}
+	if len(out.Ratings) != 4 {
+		t.Fatalf("kcore kept %d ratings, want 4", len(out.Ratings))
+	}
+}
+
+func TestWTPConversion(t *testing.T) {
+	ds, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ds.WTP(1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Consumers() != ds.Users || w.Items() != ds.Items {
+		t.Fatalf("WTP dims %d×%d, want %d×%d", w.Consumers(), w.Items(), ds.Users, ds.Items)
+	}
+	// Spot-check the linear conversion on the first few ratings.
+	for _, r := range ds.Ratings[:10] {
+		want := float64(r.Stars) / 5 * 1.25 * ds.Prices[r.Item]
+		if got := w.At(r.Consumer, r.Item); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("WTP(%d,%d) = %g, want %g", r.Consumer, r.Item, got, want)
+		}
+	}
+}
+
+func TestSampleItems(t *testing.T) {
+	ds, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	s := ds.SampleItems(10, rng)
+	if s.Items != 10 {
+		t.Fatalf("sampled items = %d, want 10", s.Items)
+	}
+	if s.Users != ds.Users {
+		t.Errorf("sampling should keep all users")
+	}
+	for _, r := range s.Ratings {
+		if r.Item < 0 || r.Item >= 10 {
+			t.Fatalf("sampled rating item %d out of range", r.Item)
+		}
+	}
+	if len(s.Prices) != 10 {
+		t.Fatalf("sampled prices = %d, want 10", len(s.Prices))
+	}
+	// Sampling more items than exist returns the dataset unchanged.
+	if ds.SampleItems(ds.Items+5, rng) != ds {
+		t.Error("oversized sample should return the dataset itself")
+	}
+}
+
+func TestCloneUsers(t *testing.T) {
+	ds, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ds.CloneUsers(3)
+	if c.Users != 3*ds.Users {
+		t.Fatalf("cloned users = %d, want %d", c.Users, 3*ds.Users)
+	}
+	if len(c.Ratings) != 3*len(ds.Ratings) {
+		t.Fatalf("cloned ratings = %d, want %d", len(c.Ratings), 3*len(ds.Ratings))
+	}
+	if c.Items != ds.Items {
+		t.Error("cloning must not change items")
+	}
+	// Clone 1 is the identity.
+	if ds.CloneUsers(1) != ds {
+		t.Error("factor 1 should return the dataset itself")
+	}
+	// Total WTP scales linearly (the paper's Fig. 7a workload property).
+	w1, _ := ds.WTP(1.25)
+	w3, _ := c.WTP(1.25)
+	if math.Abs(w3.Total()-3*w1.Total()) > 1e-6 {
+		t.Errorf("cloned total WTP %g, want %g", w3.Total(), 3*w1.Total())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Users != ds.Users || back.Items != ds.Items || len(back.Ratings) != len(ds.Ratings) {
+		t.Fatalf("round trip dims: %d×%d×%d, want %d×%d×%d",
+			back.Users, back.Items, len(back.Ratings), ds.Users, ds.Items, len(ds.Ratings))
+	}
+	for i := range ds.Ratings {
+		if back.Ratings[i] != ds.Ratings[i] {
+			t.Fatalf("rating %d differs after round trip", i)
+		}
+	}
+	for i := range ds.Prices {
+		if math.Abs(back.Prices[i]-ds.Prices[i]) > 0.005 {
+			t.Fatalf("price %d differs: %g vs %g", i, back.Prices[i], ds.Prices[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"bogus,1,2",
+		"price,x,5",
+		"price,0",
+		"rating,0,0",
+		"rating,a,b,c",
+		"rating,0,0,5", // missing price row for item 0
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("expected error for %q", in)
+		}
+	}
+}
+
+// TestQuickKCoreIdempotent: applying k-core twice equals applying it once.
+func TestQuickKCoreIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := &Dataset{Users: 20, Items: 15, Prices: make([]float64, 15)}
+		for i := range d.Prices {
+			d.Prices[i] = 5
+		}
+		for n := 0; n < 80; n++ {
+			d.Ratings = append(d.Ratings, wtp.Rating{
+				Consumer: rng.Intn(20), Item: rng.Intn(15), Stars: 1 + rng.Intn(5),
+			})
+		}
+		once := d.KCore(3)
+		twice := once.KCore(3)
+		return len(once.Ratings) == len(twice.Ratings) &&
+			once.Users == twice.Users && once.Items == twice.Items
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

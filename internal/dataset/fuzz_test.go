@@ -1,0 +1,45 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures arbitrary input never panics the parser and that
+// anything it accepts round-trips.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("price,0,9.99\nrating,0,0,5\n")
+	f.Add("price,0,1\nprice,1,2\nrating,0,0,1\nrating,1,1,5\n")
+	f.Add("rating,0,0,5\n")        // missing price
+	f.Add("price,0\n")             // short row
+	f.Add("bogus,1,2,3\n")         // unknown kind
+	f.Add("price,0,abc\n")         // bad float
+	f.Add("rating,a,b,c\n")        // bad ints
+	f.Add("price,0,1\n\"unclosed") // malformed CSV quoting
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted datasets must be internally consistent.
+		if len(ds.Prices) != ds.Items {
+			t.Fatalf("accepted dataset with %d prices for %d items", len(ds.Prices), ds.Items)
+		}
+		for _, r := range ds.Ratings {
+			if r.Consumer < 0 || r.Consumer >= ds.Users || r.Item < 0 || r.Item >= ds.Items {
+				t.Fatalf("accepted out-of-range rating %+v", r)
+			}
+		}
+		var buf strings.Builder
+		if err := ds.WriteCSV(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadCSV(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(back.Ratings) != len(ds.Ratings) {
+			t.Fatalf("round trip lost ratings: %d vs %d", len(back.Ratings), len(ds.Ratings))
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bundling/internal/adoption"
+	"bundling/internal/config"
+	"bundling/internal/tabular"
+	"bundling/internal/wtp"
+)
+
+// AblationRow records one design-choice toggle: the configuration revenue
+// and running time with the design choice on (the default) and off.
+type AblationRow struct {
+	Name                    string
+	OnRevenue, OffRevenue   float64
+	OnSeconds, OffSeconds   float64
+	RevenueDeltaPct         float64 // (off-on)/on × 100
+	SpeedupFromDesignChoice float64 // offSeconds / onSeconds
+}
+
+// AblationResult collects the design-choice ablations DESIGN.md calls out:
+//
+//   - common-interest pruning (Sec. 5.3.1): lossless for θ ≤ 0, so turning
+//     it off must not change revenue while costing time;
+//   - bucketed sigmoid pricing (Sec. 4.2): the O(m+T²) approximation vs
+//     the exact O(m·T) evaluation, which must agree on revenue within a
+//     fraction of a percent while the bucketed path is faster on bundles
+//     with many interested consumers;
+//   - matching vs greedy (Sec. 5.3): the paper's own head-to-head, framed
+//     as "what does dropping the global matching step cost".
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// Ablations runs the three studies on the environment.
+func Ablations(env *Env, params config.Params) (*AblationResult, error) {
+	res := &AblationResult{}
+
+	// 1. Common-interest pruning (pure matching, θ = 0 where it is lossless).
+	pruned := params
+	pruned.Strategy = config.Pure
+	unpruned := pruned
+	unpruned.DisablePruning = true
+	row, err := ablate("common-interest pruning (pure matching)",
+		func() (float64, error) { return runRevenue(env, config.MatchingBased, pruned) },
+		func() (float64, error) { return runRevenue(env, config.MatchingBased, unpruned) })
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, row)
+
+	// 2. Bucketed vs exact sigmoid pricing (γ = 1 so the sigmoid matters).
+	soft, err := adoption.New(1, 1, adoption.DefaultEpsilon)
+	if err != nil {
+		return nil, err
+	}
+	bucketed := params
+	bucketed.Strategy = config.Mixed
+	bucketed.Model = soft
+	exact := bucketed
+	exact.ExactSigmoid = true
+	row, err = ablate("bucketed sigmoid pricing (mixed matching, γ=1)",
+		func() (float64, error) { return runRevenue(env, config.MatchingBased, bucketed) },
+		func() (float64, error) { return runRevenue(env, config.MatchingBased, exact) })
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, row)
+
+	// 3. Global matching step vs greedy merging (mixed, θ = 0.05 so both
+	// strategies have work to do).
+	match := params
+	match.Strategy = config.Mixed
+	if match.Theta == 0 {
+		match.Theta = 0.05
+	}
+	row, err = ablate("global matching step (vs greedy merging, mixed)",
+		func() (float64, error) { return runRevenue(env, config.MatchingBased, match) },
+		func() (float64, error) { return runRevenue(env, config.GreedyMerge, match) })
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, row)
+
+	// 4. Greedy early stop vs the run-to-end alternative (Sec. 5.3.2): the
+	// paper reports the exhaustive variant costs much more time for no
+	// meaningful revenue.
+	early := params
+	early.Strategy = config.Pure
+	if early.Theta == 0 {
+		early.Theta = 0.05
+	}
+	exhaustive := early
+	exhaustive.GreedyRunToEnd = true
+	row, err = ablate("greedy early stop (vs run-to-single-bundle, pure)",
+		func() (float64, error) { return runRevenue(env, config.GreedyMerge, early) },
+		func() (float64, error) { return runRevenue(env, config.GreedyMerge, exhaustive) })
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, row)
+	return res, nil
+}
+
+// runRevenue executes one algorithm and returns its revenue.
+func runRevenue(env *Env, algo func(*wtp.Matrix, config.Params) (*config.Configuration, error), p config.Params) (float64, error) {
+	cfg, err := algo(env.W, p)
+	if err != nil {
+		return 0, err
+	}
+	return cfg.Revenue, nil
+}
+
+// ablate times the "on" and "off" variants and assembles the row.
+func ablate(name string, on, off func() (float64, error)) (AblationRow, error) {
+	start := time.Now()
+	onRev, err := on()
+	if err != nil {
+		return AblationRow{}, err
+	}
+	onSec := time.Since(start).Seconds()
+	start = time.Now()
+	offRev, err := off()
+	if err != nil {
+		return AblationRow{}, err
+	}
+	offSec := time.Since(start).Seconds()
+	row := AblationRow{
+		Name:      name,
+		OnRevenue: onRev, OffRevenue: offRev,
+		OnSeconds: onSec, OffSeconds: offSec,
+	}
+	if onRev > 0 {
+		row.RevenueDeltaPct = (offRev - onRev) / onRev * 100
+	}
+	if onSec > 0 {
+		row.SpeedupFromDesignChoice = offSec / onSec
+	}
+	return row, nil
+}
+
+// Render prints the ablation table.
+func (r *AblationResult) Render() string {
+	t := tabular.New("Ablations: design choices of DESIGN.md",
+		"design choice", "revenue (on)", "revenue (off)", "Δrev%", "time on (s)", "time off (s)", "off/on time")
+	for _, row := range r.Rows {
+		t.AddRow(row.Name,
+			fmt.Sprintf("%.0f", row.OnRevenue),
+			fmt.Sprintf("%.0f", row.OffRevenue),
+			fmt.Sprintf("%+.2f", row.RevenueDeltaPct),
+			fmt.Sprintf("%.3f", row.OnSeconds),
+			fmt.Sprintf("%.3f", row.OffSeconds),
+			fmt.Sprintf("%.2f×", row.SpeedupFromDesignChoice),
+		)
+	}
+	return t.String()
+}

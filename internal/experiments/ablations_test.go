@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bundling/internal/config"
+)
+
+// TestAblations verifies the invariants each ablation asserts.
+func TestAblations(t *testing.T) {
+	env := testEnv(t)
+	res, err := Ablations(env, config.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	// Pruning is lossless for θ ≤ 0.
+	pruning := res.Rows[0]
+	if pruning.RevenueDeltaPct < -0.01 || pruning.RevenueDeltaPct > 0.01 {
+		t.Errorf("pruning must not change revenue, Δ = %+.3f%%", pruning.RevenueDeltaPct)
+	}
+	// Bucketed sigmoid pricing agrees with exact within a fraction of a %.
+	sig := res.Rows[1]
+	if sig.RevenueDeltaPct < -1 || sig.RevenueDeltaPct > 1 {
+		t.Errorf("bucketed vs exact sigmoid revenue Δ = %+.3f%%, want within ±1%%", sig.RevenueDeltaPct)
+	}
+	// Run-to-end never loses revenue and, per the paper, gains little.
+	rte := res.Rows[3]
+	if rte.RevenueDeltaPct < -1e-6 {
+		t.Errorf("run-to-end lost revenue: Δ = %+.3f%%", rte.RevenueDeltaPct)
+	}
+	if rte.RevenueDeltaPct > 5 {
+		t.Errorf("run-to-end gained %+.2f%%, expected marginal gain", rte.RevenueDeltaPct)
+	}
+	if !strings.Contains(res.Render(), "Ablations") {
+		t.Error("render should be titled")
+	}
+}
+
+// TestJointPolicy verifies the future-work study: joint pricing never
+// loses to the incremental policy and typically improves some pairs.
+func TestJointPolicy(t *testing.T) {
+	env := testEnv(t)
+	res, err := JointPolicy(env, 15, config.DefaultParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs == 0 {
+		t.Fatal("no pairs evaluated")
+	}
+	if res.MeanJoint < res.MeanIncremental-1e-9 {
+		t.Errorf("joint mean %g below incremental mean %g", res.MeanJoint, res.MeanIncremental)
+	}
+	if res.MeanUpliftPct < -1e-9 {
+		t.Errorf("negative mean uplift %g", res.MeanUpliftPct)
+	}
+	if !strings.Contains(res.Render(), "joint") {
+		t.Error("render should mention joint pricing")
+	}
+}
+
+// TestWelfare checks the decomposition identities and that welfare never
+// exceeds aggregate willingness to pay at θ = 0.
+func TestWelfare(t *testing.T) {
+	env := testEnv(t)
+	res, err := Welfare(env, config.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(AllMethods()) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Welfare > res.TotalWTP+1e-6 {
+			t.Errorf("%s: welfare %g exceeds total WTP %g", row.Method, row.Welfare, res.TotalWTP)
+		}
+		if row.Surplus < -1e-9 || row.Revenue < 0 {
+			t.Errorf("%s: negative component %+v", row.Method, row)
+		}
+		if d := row.Welfare - row.Revenue - row.Surplus; d > 1e-9 || d < -1e-9 {
+			t.Errorf("%s: welfare identity broken", row.Method)
+		}
+	}
+	if !strings.Contains(res.Render(), "Welfare") {
+		t.Error("render title")
+	}
+}

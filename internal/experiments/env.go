@@ -1,0 +1,126 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 6). Each experiment is a pure function from an
+// environment (dataset + willingness-to-pay matrix) and a parameter sweep
+// to a result struct that renders as a paper-style table; cmd/bundlebench
+// and the root bench suite drive them at configurable scales.
+package experiments
+
+import (
+	"fmt"
+
+	"bundling/internal/config"
+	"bundling/internal/dataset"
+	"bundling/internal/wtp"
+)
+
+// DefaultLambda is the conversion factor the paper fixes after the Table 2
+// calibration.
+const DefaultLambda = 1.25
+
+// Scale sizes the synthetic corpus an experiment runs on. The paper's full
+// scale (4,449 × 5,028) is available via FullScale; the default BenchScale
+// keeps every experiment minutes-fast on a laptop while preserving the
+// qualitative shapes.
+type Scale struct {
+	Users          int
+	Items          int
+	RatingsPerUser float64
+	MinDegree      int
+	Seed           int64
+}
+
+// BenchScale is the default reduced scale used by tests and benchmarks.
+func BenchScale() Scale {
+	return Scale{Users: 600, Items: 150, RatingsPerUser: 18, MinDegree: 5, Seed: 42}
+}
+
+// SmallScale is an even smaller scale for unit tests.
+func SmallScale() Scale {
+	return Scale{Users: 200, Items: 60, RatingsPerUser: 12, MinDegree: 3, Seed: 42}
+}
+
+// FullScale matches the paper's corpus statistics.
+func FullScale() Scale {
+	cfg := dataset.PaperScaleConfig()
+	return Scale{Users: cfg.Users, Items: cfg.Items, RatingsPerUser: cfg.RatingsPerUser, MinDegree: cfg.MinDegree, Seed: cfg.Seed}
+}
+
+// Env is a prepared experimental environment.
+type Env struct {
+	DS     *dataset.Dataset
+	W      *wtp.Matrix // at Lambda
+	Lambda float64
+}
+
+// Setup generates the corpus at the given scale and converts it to a WTP
+// matrix at conversion factor λ.
+func Setup(scale Scale, lambda float64) (*Env, error) {
+	ds, err := dataset.Generate(dataset.GenConfig{
+		Users:          scale.Users,
+		Items:          scale.Items,
+		RatingsPerUser: scale.RatingsPerUser,
+		MinDegree:      scale.MinDegree,
+		Seed:           scale.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generate dataset: %w", err)
+	}
+	w, err := ds.WTP(lambda)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build WTP: %w", err)
+	}
+	return &Env{DS: ds, W: w, Lambda: lambda}, nil
+}
+
+// Method identifies a comparative method from Sec. 6.1.3.
+type Method string
+
+// The seven comparative methods of the evaluation.
+const (
+	Components       Method = "Components"
+	PureMatching     Method = "Pure Matching"
+	PureGreedy       Method = "Pure Greedy"
+	MixedMatching    Method = "Mixed Matching"
+	MixedGreedy      Method = "Mixed Greedy"
+	PureFreqItemset  Method = "Pure FreqItemset"
+	MixedFreqItemset Method = "Mixed FreqItemset"
+)
+
+// AllMethods lists the methods in the paper's presentation order.
+func AllMethods() []Method {
+	return []Method{Components, PureMatching, PureGreedy, MixedMatching, MixedGreedy, PureFreqItemset, MixedFreqItemset}
+}
+
+// OurMethods lists only the paper's proposed methods.
+func OurMethods() []Method {
+	return []Method{PureMatching, PureGreedy, MixedMatching, MixedGreedy}
+}
+
+// Run executes a method on w with the base parameters; the method's own
+// strategy overrides params.Strategy.
+func Run(m Method, w *wtp.Matrix, params config.Params) (*config.Configuration, error) {
+	switch m {
+	case Components:
+		return config.Components(w, params)
+	case PureMatching:
+		params.Strategy = config.Pure
+		return config.MatchingBased(w, params)
+	case PureGreedy:
+		params.Strategy = config.Pure
+		return config.GreedyMerge(w, params)
+	case MixedMatching:
+		params.Strategy = config.Mixed
+		return config.MatchingBased(w, params)
+	case MixedGreedy:
+		params.Strategy = config.Mixed
+		return config.GreedyMerge(w, params)
+	case PureFreqItemset:
+		params.Strategy = config.Pure
+		return config.FreqItemset(w, params, config.DefaultFreqItemsetOptions())
+	case MixedFreqItemset:
+		params.Strategy = config.Mixed
+		return config.FreqItemset(w, params, config.DefaultFreqItemsetOptions())
+	default:
+		return nil, fmt.Errorf("experiments: unknown method %q", m)
+	}
+}

@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"bundling/internal/config"
+)
+
+// sharedEnv caches one small environment across tests in this package.
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = Setup(SmallScale(), DefaultLambda)
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func TestSetupScales(t *testing.T) {
+	env := testEnv(t)
+	if env.DS.Users == 0 || env.DS.Items == 0 || len(env.DS.Ratings) == 0 {
+		t.Fatal("empty dataset")
+	}
+	if env.W.Consumers() != env.DS.Users || env.W.Items() != env.DS.Items {
+		t.Fatal("WTP dimensions mismatch dataset")
+	}
+	full := FullScale()
+	if full.Users != 4449 || full.Items != 5028 {
+		t.Errorf("full scale = %d×%d, want the paper's 4449×5028", full.Users, full.Items)
+	}
+}
+
+func TestRunUnknownMethod(t *testing.T) {
+	env := testEnv(t)
+	if _, err := Run(Method("bogus"), env.W, config.DefaultParams()); err == nil {
+		t.Error("expected error for unknown method")
+	}
+}
+
+func TestAllMethodsRun(t *testing.T) {
+	env := testEnv(t)
+	params := config.DefaultParams()
+	if len(AllMethods()) != 7 {
+		t.Fatalf("the paper compares 7 methods, got %d", len(AllMethods()))
+	}
+	for _, m := range AllMethods() {
+		cfg, err := Run(m, env.W, params)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if cfg.Revenue <= 0 {
+			t.Errorf("%s: non-positive revenue", m)
+		}
+		if !cfg.CoversAll(env.W.Items()) {
+			t.Errorf("%s: does not cover all items", m)
+		}
+	}
+}
+
+// TestTable1PaperNumbers verifies the worked example's exact revenues.
+func TestTable1PaperNumbers(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.ComponentsRevenue-27) > 0.05 {
+		t.Errorf("components = %g, want 27", r.ComponentsRevenue)
+	}
+	if math.Abs(r.PureRevenue-30.4) > 0.05 {
+		t.Errorf("pure = %g, want 30.40", r.PureRevenue)
+	}
+	if math.Abs(r.MixedRevenue-31.2) > 0.05 {
+		t.Errorf("mixed (upgrade rule) = %g, want 31.20", r.MixedRevenue)
+	}
+	// The intro's naive rule gives 38.40 (the paper prints 38.20; see
+	// EXPERIMENTS.md for the arithmetic).
+	if math.Abs(r.NaiveMixedRevenue-38.4) > 0.05 {
+		t.Errorf("mixed (naive rule) = %g, want 38.40", r.NaiveMixedRevenue)
+	}
+	if math.Abs(r.PriceBundle-15.2) > 0.05 {
+		t.Errorf("bundle price = %g, want 15.20", r.PriceBundle)
+	}
+	if !strings.Contains(r.Render(), "Pure bundling") {
+		t.Error("render should mention pure bundling")
+	}
+}
+
+// TestTable2Shape: optimal pricing coverage is λ-invariant and dominates
+// list pricing, the paper's two Table 2 findings.
+func TestTable2Shape(t *testing.T) {
+	env := testEnv(t)
+	res, err := Table2(env, DefaultLambdas(), config.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	first := res.Rows[0].OptimalCoverage
+	for _, row := range res.Rows {
+		if math.Abs(row.OptimalCoverage-first) > 0.5 {
+			t.Errorf("optimal coverage at λ=%g is %g, should be ≈ constant %g",
+				row.Lambda, row.OptimalCoverage, first)
+		}
+		if row.OptimalCoverage < row.ListCoverage-1e-9 {
+			t.Errorf("λ=%g: optimal pricing %g below list pricing %g",
+				row.Lambda, row.OptimalCoverage, row.ListCoverage)
+		}
+		if row.OptimalCoverage <= 0 || row.OptimalCoverage > 100 {
+			t.Errorf("coverage %g out of range", row.OptimalCoverage)
+		}
+	}
+	if !strings.Contains(res.Render(), "λ") {
+		t.Error("render should include the λ column")
+	}
+}
+
+// TestFigure2Shape verifies the paper's θ-sweep findings on a small corpus.
+func TestFigure2Shape(t *testing.T) {
+	env := testEnv(t)
+	res, err := Figure2(env, []float64{-0.05, 0, 0.1}, config.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		// Components is unaffected by θ and nothing goes below it.
+		if math.Abs(pt.Gain[Components]) > 1e-9 {
+			t.Errorf("components gain at θ=%g is %g, want 0", pt.Param, pt.Gain[Components])
+		}
+		for _, m := range AllMethods() {
+			if pt.Gain[m] < -1e-6 {
+				t.Errorf("%s at θ=%g: negative gain %g", m, pt.Param, pt.Gain[m])
+			}
+		}
+		// Mixed methods dominate their pure counterparts for θ ≤ 0.
+		if pt.Param <= 0 {
+			if pt.Coverage[MixedMatching] < pt.Coverage[PureMatching]-1e-6 {
+				t.Errorf("θ=%g: mixed matching below pure matching", pt.Param)
+			}
+		}
+		// Our methods dominate the corresponding freq-itemset baselines.
+		if pt.Coverage[MixedMatching] < pt.Coverage[MixedFreqItemset]-1e-6 {
+			t.Errorf("θ=%g: mixed matching below freq-itemset baseline", pt.Param)
+		}
+	}
+	// Pure bundling rises with θ (complements).
+	if res.Points[2].Coverage[PureMatching] <= res.Points[0].Coverage[PureMatching] {
+		t.Error("pure matching should gain from θ > 0")
+	}
+}
+
+// TestFigure3Shape: coverage rises with γ (less uncertainty → higher
+// prices), the paper's Fig. 3(a) trend.
+func TestFigure3Shape(t *testing.T) {
+	env := testEnv(t)
+	res, err := Figure3(env, []float64{0.5, 5, 1e6}, config.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{Components, MixedMatching} {
+		for i := 1; i < len(res.Points); i++ {
+			if res.Points[i].Coverage[m] < res.Points[i-1].Coverage[m]-2 {
+				t.Errorf("%s: coverage dropped from γ=%g to γ=%g (%g → %g)",
+					m, res.Points[i-1].Param, res.Points[i].Param,
+					res.Points[i-1].Coverage[m], res.Points[i].Coverage[m])
+			}
+		}
+	}
+}
+
+// TestFigure4Shape: higher α (bias toward adoption) raises coverage, the
+// paper's Fig. 4(a) trend.
+func TestFigure4Shape(t *testing.T) {
+	env := testEnv(t)
+	base := config.DefaultParams()
+	res, err := Figure4(env, []float64{0.75, 1.0, 1.25}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Coverage[Components] < res.Points[i-1].Coverage[Components]-1 {
+			t.Errorf("components coverage should rise with α: %v", res.Points)
+		}
+	}
+}
+
+// TestFigure5Shape: revenue grows with the size cap k and k=1 equals
+// Components (the paper's Fig. 5).
+func TestFigure5Shape(t *testing.T) {
+	env := testEnv(t)
+	res, err := Figure5(env, []int{1, 2, 4, config.Unlimited}, config.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := res.Points[0]
+	if math.Abs(k1.Gain[MixedMatching]) > 1e-6 {
+		t.Errorf("k=1 mixed matching gain = %g, want 0 (equals Components)", k1.Gain[MixedMatching])
+	}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Coverage[MixedGreedy] < res.Points[i-1].Coverage[MixedGreedy]-1e-6 {
+			t.Errorf("mixed greedy coverage should grow with k")
+		}
+	}
+	if math.IsInf(res.Points[len(res.Points)-1].Param, 1) && !strings.Contains(res.Render(), "∞") {
+		t.Error("render should show ∞ for unlimited k")
+	}
+}
+
+func TestFigure6Traces(t *testing.T) {
+	env := testEnv(t)
+	res, err := Figure6(env, config.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) == 0 {
+			t.Errorf("%s: empty trace", s.Method)
+			continue
+		}
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Gain < s.Points[i-1].Gain-1e-9 {
+				t.Errorf("%s: gain decreased along the trace", s.Method)
+			}
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Mixed Matching") || !strings.Contains(out, "Pure Greedy") {
+		t.Error("render should include all four methods")
+	}
+}
+
+func TestFigure7Scaling(t *testing.T) {
+	env := testEnv(t)
+	res, err := Figure7(env, []int{1, 2}, []int{env.DS.Items / 2, env.DS.Items}, config.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UserSweep) != 2 || len(res.ItemSweep) != 2 {
+		t.Fatalf("sweep sizes: %d users, %d items", len(res.UserSweep), len(res.ItemSweep))
+	}
+	if res.UserSweep[1].Users != 2*res.UserSweep[0].Users {
+		t.Error("user cloning factor not applied")
+	}
+	for _, p := range append(res.UserSweep, res.ItemSweep...) {
+		for _, m := range OurMethods() {
+			if p.Seconds[m] < 0 {
+				t.Errorf("%s negative time", m)
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "Figure 7(a)") {
+		t.Error("render should label the user sweep")
+	}
+}
+
+// TestWSPSmall reproduces the Table 4/5 shape on tiny samples: heuristics
+// within a whisker of Optimal, Greedy WSP clearly below, exact solver far
+// slower than the heuristics on the same samples.
+func TestWSPSmall(t *testing.T) {
+	env := testEnv(t)
+	opts := WSPOptions{Sizes: []int{6, 8}, Samples: 3, MaxExactN: 10, Seed: 3, RequireSize3: false, MaxAttempts: 10}
+	res, err := WSP(env, opts, config.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Samples == 0 {
+			t.Fatalf("N=%d: no samples retained", row.N)
+		}
+		if !row.OptimalFeasible {
+			t.Fatalf("N=%d should be exactly solvable", row.N)
+		}
+		if row.MatchingCov > row.OptimalCov+1e-6 || row.GreedyCov > row.OptimalCov+1e-6 {
+			t.Errorf("N=%d: heuristic coverage above optimal", row.N)
+		}
+		if row.MatchingCov < row.OptimalCov-8 {
+			t.Errorf("N=%d: matching %g too far below optimal %g", row.N, row.MatchingCov, row.OptimalCov)
+		}
+		if row.GreedyWSPCov > row.OptimalCov+1e-6 {
+			t.Errorf("N=%d: greedy WSP above optimal", row.N)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Table 4") || !strings.Contains(out, "Table 5") {
+		t.Error("render should emit both tables")
+	}
+}
+
+func TestCaseStudyStructure(t *testing.T) {
+	env := testEnv(t)
+	res, err := CaseStudy(env, config.DefaultParams(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 6 {
+		t.Fatalf("rows = %d, want ≥ 6 (3 singles + 3 pairs)", len(res.Rows))
+	}
+	for i := 0; i < 3; i++ {
+		if !res.Rows[i].Selected {
+			t.Errorf("single %d must be selected (mixed bundling)", i)
+		}
+		if len(res.Rows[i].Items) != 1 {
+			t.Errorf("row %d should be a single", i)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if len(res.Rows[i].Items) != 2 {
+			t.Errorf("row %d should be a pair", i)
+		}
+		if res.Rows[i].AddRevenue < 0 {
+			t.Errorf("pair %d negative additional revenue", i)
+		}
+	}
+	if !strings.Contains(res.Render(), "Table 6") {
+		t.Error("render should be labelled Table 6")
+	}
+}

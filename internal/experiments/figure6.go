@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bundling/internal/config"
+	"bundling/internal/metrics"
+	"bundling/internal/tabular"
+)
+
+// TradeoffSeries is one method's revenue-vs-time curve (Fig. 6): the
+// cumulative revenue gain over Components after each iteration, with the
+// cumulative elapsed time.
+type TradeoffSeries struct {
+	Method     Method
+	Iterations int
+	Total      time.Duration
+	Points     []TradeoffPoint
+}
+
+// TradeoffPoint is one iteration of an anytime bundling algorithm.
+type TradeoffPoint struct {
+	Iteration int
+	Elapsed   time.Duration
+	Gain      float64 // revenue gain (%) over Components so far
+	Coverage  float64 // revenue coverage (%) so far
+}
+
+// Figure6Result holds the four curves of Fig. 6 (a: mixed, b: pure).
+type Figure6Result struct {
+	Series []TradeoffSeries
+}
+
+// Figure6 traces the revenue/time trade-off of the matching-based and
+// greedy algorithms for both strategies. At θ = 0 the synthetic corpus
+// (independent star values) gives pure bundling no merges, which would
+// collapse the pure traces to a point; like the WSP comparison, the
+// experiment substitutes a mild complementarity θ = 0.05 in that case
+// (see EXPERIMENTS.md).
+func Figure6(env *Env, params config.Params) (*Figure6Result, error) {
+	if params.Theta == 0 {
+		params.Theta = 0.05
+	}
+	comp, err := config.Components(env.W, params)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure6Result{}
+	for _, m := range []Method{MixedMatching, MixedGreedy, PureMatching, PureGreedy} {
+		cfg, err := Run(m, env.W, params)
+		if err != nil {
+			return nil, err
+		}
+		s := TradeoffSeries{Method: m, Iterations: cfg.Iterations}
+		for _, st := range cfg.Trace {
+			s.Points = append(s.Points, TradeoffPoint{
+				Iteration: st.Iteration,
+				Elapsed:   st.Elapsed,
+				Gain:      metrics.Gain(st.Revenue, comp.Revenue),
+				Coverage:  metrics.Coverage(st.Revenue, env.W.Total()),
+			})
+			s.Total = st.Elapsed
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Render prints each curve; long greedy traces are decimated to at most 12
+// rows, always keeping the first and last iterations.
+func (r *Figure6Result) Render() string {
+	out := ""
+	for _, s := range r.Series {
+		t := tabular.New(
+			fmt.Sprintf("Figure 6: %s — %d iterations, %.2fs total", s.Method, s.Iterations, s.Total.Seconds()),
+			"iteration", "elapsed(s)", "gain%", "coverage%")
+		pts := decimate(s.Points, 12)
+		for _, p := range pts {
+			t.AddRow(
+				fmt.Sprintf("%d", p.Iteration),
+				fmt.Sprintf("%.3f", p.Elapsed.Seconds()),
+				fmt.Sprintf("%+.2f", p.Gain),
+				fmt.Sprintf("%.1f", p.Coverage),
+			)
+		}
+		out += t.String() + "\n"
+	}
+	return out
+}
+
+func decimate(pts []TradeoffPoint, maxRows int) []TradeoffPoint {
+	if len(pts) <= maxRows {
+		return pts
+	}
+	out := make([]TradeoffPoint, 0, maxRows)
+	step := float64(len(pts)-1) / float64(maxRows-1)
+	for i := 0; i < maxRows; i++ {
+		out = append(out, pts[int(float64(i)*step+0.5)])
+	}
+	out[maxRows-1] = pts[len(pts)-1]
+	return out
+}

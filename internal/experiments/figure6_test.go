@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDecimate(t *testing.T) {
+	mk := func(n int) []TradeoffPoint {
+		pts := make([]TradeoffPoint, n)
+		for i := range pts {
+			pts[i] = TradeoffPoint{Iteration: i, Elapsed: time.Duration(i)}
+		}
+		return pts
+	}
+	// Short series pass through unchanged.
+	short := mk(5)
+	if got := decimate(short, 12); len(got) != 5 {
+		t.Errorf("short series decimated to %d", len(got))
+	}
+	// Long series shrink to the cap, keeping first and last.
+	long := mk(100)
+	got := decimate(long, 12)
+	if len(got) != 12 {
+		t.Fatalf("decimated length = %d, want 12", len(got))
+	}
+	if got[0].Iteration != 0 || got[len(got)-1].Iteration != 99 {
+		t.Errorf("endpoints not preserved: %d..%d", got[0].Iteration, got[len(got)-1].Iteration)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Iteration <= got[i-1].Iteration {
+			t.Errorf("decimated points not strictly increasing")
+		}
+	}
+}
+
+func TestScalesAreOrdered(t *testing.T) {
+	s, b, f := SmallScale(), BenchScale(), FullScale()
+	if !(s.Users < b.Users && b.Users < f.Users) {
+		t.Errorf("user scales not increasing: %d, %d, %d", s.Users, b.Users, f.Users)
+	}
+	if !(s.Items < b.Items && b.Items < f.Items) {
+		t.Errorf("item scales not increasing: %d, %d, %d", s.Items, b.Items, f.Items)
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bundling/internal/config"
+	"bundling/internal/tabular"
+)
+
+// ScalePoint records per-method running time at one workload size.
+type ScalePoint struct {
+	Label   string // e.g. "users×2" or "items=128"
+	Users   int
+	Items   int
+	Seconds map[Method]float64
+}
+
+// Figure7Result holds the two scalability studies of Fig. 7: running time
+// vs number of users (cloned) and vs number of items (sampled).
+type Figure7Result struct {
+	UserSweep []ScalePoint
+	ItemSweep []ScalePoint
+}
+
+// DefaultUserFactors are the Fig. 7(a) cloning factors (100%..500%).
+func DefaultUserFactors() []int { return []int{1, 2, 3, 4, 5} }
+
+// Figure7 measures how running time scales with the number of users
+// (cloning the population, Fig. 7a) and with the number of items (random
+// item samples doubling in size, Fig. 7b), for the four proposed methods.
+func Figure7(env *Env, userFactors []int, itemCounts []int, params config.Params) (*Figure7Result, error) {
+	res := &Figure7Result{}
+	methods := OurMethods()
+	for _, f := range userFactors {
+		ds := env.DS.CloneUsers(f)
+		w, err := ds.WTP(env.Lambda)
+		if err != nil {
+			return nil, err
+		}
+		p := ScalePoint{Label: fmt.Sprintf("users×%d", f), Users: ds.Users, Items: ds.Items, Seconds: map[Method]float64{}}
+		for _, m := range methods {
+			start := time.Now()
+			if _, err := Run(m, w, params); err != nil {
+				return nil, err
+			}
+			p.Seconds[m] = time.Since(start).Seconds()
+		}
+		res.UserSweep = append(res.UserSweep, p)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range itemCounts {
+		ds := env.DS.SampleItems(n, rng)
+		w, err := ds.WTP(env.Lambda)
+		if err != nil {
+			return nil, err
+		}
+		p := ScalePoint{Label: fmt.Sprintf("items=%d", ds.Items), Users: ds.Users, Items: ds.Items, Seconds: map[Method]float64{}}
+		for _, m := range methods {
+			start := time.Now()
+			if _, err := Run(m, w, params); err != nil {
+				return nil, err
+			}
+			p.Seconds[m] = time.Since(start).Seconds()
+		}
+		res.ItemSweep = append(res.ItemSweep, p)
+	}
+	return res, nil
+}
+
+// Render prints both sweeps.
+func (r *Figure7Result) Render() string {
+	out := ""
+	sections := []struct {
+		name  string
+		sweep []ScalePoint
+	}{
+		{"Figure 7(a): running time vs number of users", r.UserSweep},
+		{"Figure 7(b): running time vs number of items", r.ItemSweep},
+	}
+	for _, sec := range sections {
+		name, sweep := sec.name, sec.sweep
+		if len(sweep) == 0 {
+			continue
+		}
+		headers := []string{"workload", "users", "items"}
+		for _, m := range OurMethods() {
+			headers = append(headers, string(m)+" (s)")
+		}
+		t := tabular.New(name, headers...)
+		for _, p := range sweep {
+			row := []string{p.Label, fmt.Sprintf("%d", p.Users), fmt.Sprintf("%d", p.Items)}
+			for _, m := range OurMethods() {
+				row = append(row, fmt.Sprintf("%.3f", p.Seconds[m]))
+			}
+			t.AddRow(row...)
+		}
+		out += t.String() + "\n"
+	}
+	return out
+}

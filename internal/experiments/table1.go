@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bundling/internal/adoption"
+	"bundling/internal/pricing"
+	"bundling/internal/tabular"
+	"bundling/internal/wtp"
+)
+
+// Table1Result reproduces the paper's introductory example (Table 1):
+// three consumers, two items, θ = -0.05, and the revenue of the three
+// bundling strategies.
+type Table1Result struct {
+	ComponentsRevenue float64 // $27.00 in the paper
+	PureRevenue       float64 // $30.40
+	// MixedRevenue follows the paper's Sec. 4.2 upgrade logic: a consumer
+	// only takes the bundle when the implicit price of the added component
+	// is within its WTP. Under that rule u1 buys A alone and the revenue is
+	// $31.20 — not the $38.20 the intro table reports, which assumes the
+	// naive "buy bundle iff w_AB ≥ p_AB" rule that Sec. 4.2 itself calls
+	// counter-intuitive. Both are reported; see EXPERIMENTS.md.
+	MixedRevenue      float64 // $31.20 (upgrade-consistent)
+	NaiveMixedRevenue float64 // $38.40 (naive rule; the paper prints 38.20)
+	PriceA, PriceB    float64 // $8.00, $11.00
+	PriceBundle       float64 // $15.20
+}
+
+// Table1 builds the worked example from the paper's hand-set willingness
+// to pay and verifies the three strategies' revenues.
+func Table1() (*Table1Result, error) {
+	const theta = -0.05
+	w := wtp.MustNew(3, 2)
+	// Consumers u1, u2, u3; items A=0, B=1 (paper Table 1).
+	for _, e := range []struct {
+		u, i int
+		v    float64
+	}{
+		{0, 0, 12}, {0, 1, 4},
+		{1, 0, 8}, {1, 1, 2},
+		{2, 0, 5}, {2, 1, 11},
+	} {
+		if err := w.Set(e.u, e.i, e.v); err != nil {
+			return nil, err
+		}
+	}
+	// A fine price grid so the optimum lands exactly on the paper's prices.
+	pr, err := pricing.New(adoption.Step(), 2000)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{}
+	idsA, valsA := w.BundleVector([]int{0}, 0, nil, nil)
+	idsB, valsB := w.BundleVector([]int{1}, 0, nil, nil)
+	qa := pr.PriceOptimal(valsA)
+	qb := pr.PriceOptimal(valsB)
+	res.PriceA, res.PriceB = qa.Price, qb.Price
+	res.ComponentsRevenue = qa.Revenue + qb.Revenue
+
+	ids, wb := w.BundleVector([]int{0, 1}, theta, nil, nil)
+	qp := pr.PriceOptimal(wb)
+	res.PureRevenue = qp.Revenue
+	res.PriceBundle = qp.Price
+
+	// Current state under components-only: expected payment and surplus per
+	// consumer for A and B, summed (independent purchases).
+	wA := scatter(ids, idsA, valsA)
+	wB := scatter(ids, idsB, valsB)
+	curPay := make([]float64, len(ids))
+	curSurp := make([]float64, len(ids))
+	for j := range ids {
+		if wA[j] >= qa.Price && wA[j] > 0 {
+			curPay[j] += qa.Price
+			curSurp[j] += wA[j] - qa.Price
+		}
+		if wB[j] >= qb.Price && wB[j] > 0 {
+			curPay[j] += qb.Price
+			curSurp[j] += wB[j] - qb.Price
+		}
+	}
+	lo := qa.Price
+	if qb.Price > lo {
+		lo = qb.Price
+	}
+	mq := pr.PriceMixed(pricing.MixedOffer{
+		CurPay: curPay, CurSurplus: curSurp, WB: wb,
+		Lo: lo, Hi: qa.Price + qb.Price,
+	})
+	res.MixedRevenue = mq.Revenue
+
+	// Naive rule of the intro table: each consumer buys the most expensive
+	// affordable option among {A, B, bundle}.
+	wB2 := wB
+	for j := range ids {
+		bestPrice := 0.0
+		if wA[j] >= qa.Price && qa.Price > bestPrice {
+			bestPrice = qa.Price
+		}
+		if wB2[j] >= qb.Price && qb.Price > bestPrice {
+			bestPrice = qb.Price
+		}
+		if wb[j] >= qp.Price && qp.Price > bestPrice {
+			bestPrice = qp.Price
+		}
+		res.NaiveMixedRevenue += bestPrice
+	}
+	return res, nil
+}
+
+// Render prints the strategy comparison.
+func (r *Table1Result) Render() string {
+	t := tabular.New("Table 1: Positive Example of Bundling (θ = -0.05)",
+		"strategy", "prices", "revenue")
+	t.AddRow("Components",
+		fmt.Sprintf("pA=%.2f pB=%.2f", r.PriceA, r.PriceB),
+		fmt.Sprintf("%.2f", r.ComponentsRevenue))
+	t.AddRow("Pure bundling",
+		fmt.Sprintf("pAB=%.2f", r.PriceBundle),
+		fmt.Sprintf("%.2f", r.PureRevenue))
+	t.AddRow("Mixed bundling (Sec. 4.2 upgrade rule)",
+		fmt.Sprintf("pA=%.2f pB=%.2f pAB=%.2f", r.PriceA, r.PriceB, r.PriceBundle),
+		fmt.Sprintf("%.2f", r.MixedRevenue))
+	t.AddRow("Mixed bundling (intro's naive rule)",
+		fmt.Sprintf("pA=%.2f pB=%.2f pAB=%.2f", r.PriceA, r.PriceB, r.PriceBundle),
+		fmt.Sprintf("%.2f", r.NaiveMixedRevenue))
+	return t.String()
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bundling/internal/config"
+	"bundling/internal/metrics"
+	"bundling/internal/tabular"
+)
+
+// Table2Row is one λ setting of the pricing-baseline calibration.
+type Table2Row struct {
+	Lambda          float64
+	OptimalCoverage float64 // revenue coverage (%) of Components, optimal pricing
+	ListCoverage    float64 // revenue coverage (%) of Components, list (marketplace) pricing
+}
+
+// Table2Result reproduces Table 2: Components revenue coverage at different
+// conversion factors λ, under optimal pricing vs the dataset's list prices.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// DefaultLambdas are the λ values of Table 2.
+func DefaultLambdas() []float64 { return []float64{1.00, 1.25, 1.50, 1.75, 2.00} }
+
+// Table2 runs the calibration on the environment's dataset. Each λ requires
+// its own WTP conversion, so env.W is not used.
+func Table2(env *Env, lambdas []float64, params config.Params) (*Table2Result, error) {
+	res := &Table2Result{}
+	for _, l := range lambdas {
+		w, err := env.DS.WTP(l)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := config.Components(w, params)
+		if err != nil {
+			return nil, err
+		}
+		list, err := config.ComponentsAtPrices(w, env.DS.Prices, params)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table2Row{
+			Lambda:          l,
+			OptimalCoverage: metrics.Coverage(opt.Revenue, w.Total()),
+			ListCoverage:    metrics.Coverage(list.Revenue, w.Total()),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the result in the paper's Table 2 layout.
+func (r *Table2Result) Render() string {
+	t := tabular.New("Table 2: Revenue Coverage at Different λ's",
+		"λ", "Optimal pricing", "List pricing")
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprintf("%.2f", row.Lambda),
+			fmt.Sprintf("%.1f%%", row.OptimalCoverage),
+			fmt.Sprintf("%.1f%%", row.ListCoverage),
+		)
+	}
+	return t.String()
+}

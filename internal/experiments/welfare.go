@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bundling/internal/config"
+	"bundling/internal/metrics"
+	"bundling/internal/tabular"
+)
+
+// WelfareRow decomposes one method's market outcome the way the paper's
+// introduction frames it: the seller's revenue, the consumers' surplus,
+// their sum (total welfare) and the uncaptured remainder of aggregate
+// willingness to pay (deadweight loss).
+type WelfareRow struct {
+	Method         Method
+	Revenue        float64
+	Surplus        float64
+	Welfare        float64 // Revenue + Surplus
+	DeadweightLoss float64 // total WTP − Welfare (θ = 0 makes WTP the welfare bound)
+	WelfarePct     float64 // Welfare as % of total WTP
+}
+
+// WelfareResult compares the welfare decomposition across all methods.
+type WelfareResult struct {
+	TotalWTP float64
+	Rows     []WelfareRow
+}
+
+// Welfare runs every method and decomposes its outcome. The deadweight
+// framing assumes θ ≤ 0, where aggregate WTP bounds attainable welfare
+// (the paper's Table 1 discussion of consumer surplus and deadweight loss).
+func Welfare(env *Env, params config.Params) (*WelfareResult, error) {
+	res := &WelfareResult{TotalWTP: env.W.Total()}
+	for _, m := range AllMethods() {
+		cfg, err := Run(m, env.W, params)
+		if err != nil {
+			return nil, err
+		}
+		row := WelfareRow{
+			Method:  m,
+			Revenue: cfg.Revenue,
+			Surplus: cfg.Surplus,
+			Welfare: cfg.Revenue + cfg.Surplus,
+		}
+		row.DeadweightLoss = res.TotalWTP - row.Welfare
+		row.WelfarePct = metrics.Coverage(row.Welfare, res.TotalWTP)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the welfare table.
+func (r *WelfareResult) Render() string {
+	t := tabular.New(
+		fmt.Sprintf("Welfare decomposition (total WTP %.0f)", r.TotalWTP),
+		"method", "revenue", "consumer surplus", "welfare", "welfare %", "deadweight loss")
+	for _, row := range r.Rows {
+		t.AddRow(string(row.Method),
+			fmt.Sprintf("%.0f", row.Revenue),
+			fmt.Sprintf("%.0f", row.Surplus),
+			fmt.Sprintf("%.0f", row.Welfare),
+			fmt.Sprintf("%.1f%%", row.WelfarePct),
+			fmt.Sprintf("%.0f", row.DeadweightLoss),
+		)
+	}
+	return t.String()
+}

@@ -1,0 +1,241 @@
+// Package fim mines maximal frequent itemsets from transaction data.
+//
+// The paper's bundling baseline ("Frequently Bought Together", Sec. 6.1.3)
+// treats each consumer as a transaction containing the items she has
+// non-zero willingness to pay for, mines maximal frequent itemsets with
+// MAFIA, and greedily assembles a bundle configuration from them. MAFIA is
+// closed-source-era C++; this package re-implements its essence: a
+// depth-first search over the itemset lattice with a vertical bitmap
+// representation, parent-equivalence pruning (PEP), and subsumption checks
+// against the maximal set collection. Maximal frequent itemsets are unique
+// given data and minimum support, so the baseline sees the same candidate
+// bundles MAFIA would produce.
+package fim
+
+import (
+	"fmt"
+	"sort"
+
+	"bundling/internal/bitset"
+)
+
+// Itemset is a mined itemset with its absolute support.
+type Itemset struct {
+	Items   []int // ascending item ids
+	Support int   // number of transactions containing all items
+}
+
+// Config controls the miner.
+type Config struct {
+	// MinSupport is the absolute minimum transaction count. Values < 1 are
+	// treated as 1.
+	MinSupport int
+	// MaxSize caps the itemset size (0 = unlimited). The bundling baseline
+	// passes the bundle-size limit k here.
+	MaxSize int
+	// MaxResults stops the search after this many maximal itemsets
+	// (0 = unlimited); a safety valve for dense data.
+	MaxResults int
+}
+
+// MineMaximal returns all maximal frequent itemsets of the transactions.
+// transactions[t] lists the item ids of transaction t (any order,
+// duplicates ignored). items is the universe size.
+func MineMaximal(items int, transactions [][]int, cfg Config) ([]Itemset, error) {
+	if items < 0 {
+		return nil, fmt.Errorf("fim: negative item universe %d", items)
+	}
+	if cfg.MinSupport < 1 {
+		cfg.MinSupport = 1
+	}
+	m := &miner{cfg: cfg, items: items, nTrans: len(transactions)}
+	// Vertical representation: bitmap of transactions per item.
+	m.tids = make([]*bitset.Set, items)
+	for i := range m.tids {
+		m.tids[i] = bitset.New(len(transactions))
+	}
+	for t, tx := range transactions {
+		for _, i := range tx {
+			if i < 0 || i >= items {
+				return nil, fmt.Errorf("fim: item %d outside universe [0,%d)", i, items)
+			}
+			m.tids[i].Add(t)
+		}
+	}
+	// Frequent single items, ordered by ascending support (MAFIA's dynamic
+	// reordering heuristic: rarest-first keeps subtrees small).
+	type freq struct {
+		item, sup int
+	}
+	var f1 []freq
+	for i := 0; i < items; i++ {
+		if s := m.tids[i].Count(); s >= cfg.MinSupport {
+			f1 = append(f1, freq{i, s})
+		}
+	}
+	sort.Slice(f1, func(a, b int) bool {
+		if f1[a].sup != f1[b].sup {
+			return f1[a].sup < f1[b].sup
+		}
+		return f1[a].item < f1[b].item
+	})
+	order := make([]int, len(f1))
+	for i, f := range f1 {
+		order[i] = f.item
+	}
+	all := bitset.New(len(transactions))
+	for t := 0; t < len(transactions); t++ {
+		all.Add(t)
+	}
+	m.dfs(nil, all, order)
+	return m.results, nil
+}
+
+type miner struct {
+	cfg     Config
+	items   int
+	nTrans  int
+	tids    []*bitset.Set
+	results []Itemset
+	// maximalMasks mirrors results as item bitsets for subsumption checks.
+	maximalMasks []*bitset.Set
+	stopped      bool
+}
+
+// dfs explores extensions of prefix (whose transaction set is tid) with the
+// ordered candidate extension items ext.
+func (m *miner) dfs(prefix []int, tid *bitset.Set, ext []int) {
+	if m.stopped {
+		return
+	}
+	if m.cfg.MaxSize > 0 && len(prefix) >= m.cfg.MaxSize {
+		m.record(prefix, tid.Count())
+		return
+	}
+	prefixSup := tid.Count()
+	// Compute supports of extensions; apply PEP: extensions whose tidset
+	// equals the prefix tidset always co-occur, fold them into the prefix.
+	type cand struct {
+		item int
+		tid  *bitset.Set
+		sup  int
+	}
+	var cands []cand
+	pep := append([]int(nil), prefix...)
+	for _, i := range ext {
+		sup := tid.IntersectionCount(m.tids[i])
+		if sup < m.cfg.MinSupport {
+			continue
+		}
+		if sup == prefixSup && m.cfg.MaxSize == 0 {
+			// PEP: i occurs in every prefix transaction, so every maximal
+			// itemset extending the prefix contains i — fold it in. Only
+			// sound without a size cap: under a cap, capped subsets that
+			// avoid i (e.g. {prefix, j}) can still be maximal-within-cap
+			// and must be enumerated.
+			pep = append(pep, i)
+			continue
+		}
+		t := tid.Clone()
+		t.IntersectWith(m.tids[i])
+		cands = append(cands, cand{item: i, tid: t, sup: sup})
+	}
+	prefix = pep
+	if m.cfg.MaxSize > 0 && len(prefix) >= m.cfg.MaxSize {
+		m.record(prefix, prefixSup)
+		return
+	}
+	if len(cands) == 0 {
+		if len(prefix) > 0 {
+			m.record(prefix, prefixSup)
+		}
+		return
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].sup != cands[b].sup {
+			return cands[a].sup < cands[b].sup
+		}
+		return cands[a].item < cands[b].item
+	})
+	// HUTMFI-style pruning: if prefix ∪ all candidates is already subsumed
+	// by a known maximal itemset, nothing new can be found below.
+	hut := append([]int(nil), prefix...)
+	for _, c := range cands {
+		hut = append(hut, c.item)
+	}
+	if m.subsumed(hut) {
+		return
+	}
+	for ci, c := range cands {
+		child := append(append([]int(nil), prefix...), c.item)
+		rest := make([]int, 0, len(cands)-ci-1)
+		for _, c2 := range cands[ci+1:] {
+			rest = append(rest, c2.item)
+		}
+		m.dfs(child, c.tid, rest)
+		if m.stopped {
+			return
+		}
+	}
+}
+
+// record adds the itemset to the maximal collection unless a superset is
+// already present; any recorded subsets of it are removed.
+func (m *miner) record(items []int, sup int) {
+	if m.subsumed(items) {
+		return
+	}
+	mask := bitset.FromIndices(m.items, items...)
+	// Drop previously recorded subsets.
+	kept := m.results[:0]
+	keptMasks := m.maximalMasks[:0]
+	for i, r := range m.results {
+		if !m.maximalMasks[i].SubsetOf(mask) {
+			kept = append(kept, r)
+			keptMasks = append(keptMasks, m.maximalMasks[i])
+		}
+	}
+	m.results = kept
+	m.maximalMasks = keptMasks
+	sorted := append([]int(nil), items...)
+	sort.Ints(sorted)
+	m.results = append(m.results, Itemset{Items: sorted, Support: sup})
+	m.maximalMasks = append(m.maximalMasks, mask)
+	if m.cfg.MaxResults > 0 && len(m.results) >= m.cfg.MaxResults {
+		m.stopped = true
+	}
+}
+
+// subsumed reports whether items ⊆ some recorded maximal itemset.
+func (m *miner) subsumed(items []int) bool {
+	mask := bitset.FromIndices(m.items, items...)
+	for _, mm := range m.maximalMasks {
+		if mask.SubsetOf(mm) {
+			return true
+		}
+	}
+	return false
+}
+
+// Support computes the absolute support of an itemset directly from
+// transactions; used by tests as an independent oracle.
+func Support(items []int, transactions [][]int) int {
+	n := 0
+	for _, tx := range transactions {
+		have := make(map[int]bool, len(tx))
+		for _, i := range tx {
+			have[i] = true
+		}
+		ok := true
+		for _, i := range items {
+			if !have[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n++
+		}
+	}
+	return n
+}

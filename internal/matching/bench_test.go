@@ -1,0 +1,35 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomGraph(n int, degree int, seed int64) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Edge
+	for u := 0; u < n; u++ {
+		for k := 0; k < degree; k++ {
+			v := rng.Intn(n)
+			if v != u {
+				edges = append(edges, Edge{u, v, rng.Float64() * 100})
+			}
+		}
+	}
+	return edges
+}
+
+func benchMatching(b *testing.B, n, degree int) {
+	edges := randomGraph(n, degree, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxWeight(n, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxWeight100Sparse(b *testing.B)  { benchMatching(b, 100, 4) }
+func BenchmarkMaxWeight500Sparse(b *testing.B)  { benchMatching(b, 500, 4) }
+func BenchmarkMaxWeight100Dense(b *testing.B)   { benchMatching(b, 100, 30) }
+func BenchmarkMaxWeight1000Sparse(b *testing.B) { benchMatching(b, 1000, 3) }

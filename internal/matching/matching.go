@@ -1,0 +1,670 @@
+// Package matching implements maximum-weight matching on general weighted
+// graphs via Edmonds' blossom algorithm.
+//
+// The paper reduces optimal 2-sized bundle configuration to maximum-weight
+// matching (Sec. 5.1) and uses the LEMON C++ library; this package is the
+// from-scratch replacement. The implementation follows Galil's O(V³)
+// primal-dual formulation (as popularized by van Rantwijk's reference
+// implementation): vertex/blossom dual variables are maintained so that all
+// edge slacks stay non-negative, augmenting paths are grown from free
+// vertices, odd cycles are shrunk into blossoms, and dual adjustments are
+// chosen as the minimum over the four classic delta cases.
+//
+// MaxWeight returns a matching that maximizes total edge weight; it is not
+// required to be perfect, so edges with non-positive weight are never
+// matched. This is exactly what the bundling reduction needs: an edge
+// carries the revenue *gain* of merging two bundles, and unmatched vertices
+// keep their self-loop (bundle stays as-is).
+package matching
+
+import "fmt"
+
+// Edge is an undirected edge between two distinct vertices with a weight.
+type Edge struct {
+	U, V   int
+	Weight float64
+}
+
+// MaxWeight computes a maximum-weight matching of the n-vertex graph with
+// the given edges. It returns mate, where mate[v] is the vertex matched to
+// v, or -1 if v is unmatched. Self-loops are rejected; parallel edges are
+// allowed (the heavier one effectively wins).
+func MaxWeight(n int, edges []Edge) ([]int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("matching: negative vertex count %d", n)
+	}
+	for _, e := range edges {
+		if e.U == e.V {
+			return nil, fmt.Errorf("matching: self-loop on vertex %d", e.U)
+		}
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("matching: edge (%d,%d) outside universe [0,%d)", e.U, e.V, n)
+		}
+	}
+	if n == 0 || len(edges) == 0 {
+		mate := make([]int, n)
+		for i := range mate {
+			mate[i] = -1
+		}
+		return mate, nil
+	}
+	s := newSolver(n, edges)
+	s.solve()
+	return s.mateVertices(), nil
+}
+
+// TotalWeight sums the weight of a matching produced by MaxWeight against
+// the given edge list. Each matched pair contributes the maximum weight
+// among parallel edges connecting it.
+func TotalWeight(mate []int, edges []Edge) float64 {
+	best := make(map[[2]int]float64, len(edges))
+	for _, e := range edges {
+		k := [2]int{min(e.U, e.V), max(e.U, e.V)}
+		if w, ok := best[k]; !ok || e.Weight > w {
+			best[k] = e.Weight
+		}
+	}
+	var total float64
+	for v, m := range mate {
+		if m > v {
+			total += best[[2]int{v, m}]
+		}
+	}
+	return total
+}
+
+// solver carries the blossom algorithm state. Vertex ids are 0..n-1;
+// blossom ids are n..2n-1. label values: 0 free, 1 S, 2 T, 5 breadcrumb.
+type solver struct {
+	n     int
+	edges []Edge
+
+	endpoint  []int   // endpoint[p]: vertex at endpoint p of edge p/2
+	neighbend [][]int // per vertex: remote endpoints of incident edges
+
+	mate     []int // per vertex: remote endpoint of matched edge, or -1
+	label    []int
+	labelEnd []int
+	inBloss  []int // per vertex: top-level blossom containing it
+
+	blossParent []int
+	blossChilds [][]int
+	blossBase   []int
+	blossEndps  [][]int
+
+	bestEdge       []int
+	blossBestEdges [][]int
+	unusedBloss    []int
+	dualVar        []float64
+	allowEdge      []bool
+	queue          []int
+}
+
+func newSolver(n int, edges []Edge) *solver {
+	s := &solver{n: n, edges: edges}
+	maxWeight := 0.0
+	for _, e := range edges {
+		if e.Weight > maxWeight {
+			maxWeight = e.Weight
+		}
+	}
+	ne := len(edges)
+	s.endpoint = make([]int, 2*ne)
+	for p := range s.endpoint {
+		if p%2 == 0 {
+			s.endpoint[p] = edges[p/2].U
+		} else {
+			s.endpoint[p] = edges[p/2].V
+		}
+	}
+	s.neighbend = make([][]int, n)
+	for k, e := range edges {
+		s.neighbend[e.U] = append(s.neighbend[e.U], 2*k+1)
+		s.neighbend[e.V] = append(s.neighbend[e.V], 2*k)
+	}
+	s.mate = make([]int, n)
+	for i := range s.mate {
+		s.mate[i] = -1
+	}
+	s.label = make([]int, 2*n)
+	s.labelEnd = make([]int, 2*n)
+	s.inBloss = make([]int, n)
+	s.blossParent = make([]int, 2*n)
+	s.blossChilds = make([][]int, 2*n)
+	s.blossBase = make([]int, 2*n)
+	s.blossEndps = make([][]int, 2*n)
+	s.bestEdge = make([]int, 2*n)
+	s.blossBestEdges = make([][]int, 2*n)
+	s.dualVar = make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		s.inBloss[i] = i
+		s.blossBase[i] = i
+		s.dualVar[i] = maxWeight
+	}
+	for i := 0; i < 2*n; i++ {
+		s.labelEnd[i] = -1
+		s.blossParent[i] = -1
+		s.bestEdge[i] = -1
+	}
+	for i := n; i < 2*n; i++ {
+		s.blossBase[i] = -1
+	}
+	s.unusedBloss = make([]int, 0, n)
+	for b := n; b < 2*n; b++ {
+		s.unusedBloss = append(s.unusedBloss, b)
+	}
+	s.allowEdge = make([]bool, ne)
+	return s
+}
+
+// slack returns the (doubled) reduced cost of edge k.
+func (s *solver) slack(k int) float64 {
+	e := s.edges[k]
+	return s.dualVar[e.U] + s.dualVar[e.V] - 2*e.Weight
+}
+
+// blossomLeaves calls fn for every vertex inside blossom b.
+func (s *solver) blossomLeaves(b int, fn func(v int)) {
+	if b < s.n {
+		fn(b)
+		return
+	}
+	for _, t := range s.blossChilds[b] {
+		s.blossomLeaves(t, fn)
+	}
+}
+
+// assignLabel labels the top-level blossom of w with t (1=S, 2=T) reached
+// through endpoint p, and propagates: an S-blossom's vertices enter the
+// scan queue; a T-blossom's base mate becomes S.
+func (s *solver) assignLabel(w, t, p int) {
+	b := s.inBloss[w]
+	s.label[w] = t
+	s.label[b] = t
+	s.labelEnd[w] = p
+	s.labelEnd[b] = p
+	s.bestEdge[w] = -1
+	s.bestEdge[b] = -1
+	if t == 1 {
+		s.blossomLeaves(b, func(v int) { s.queue = append(s.queue, v) })
+	} else if t == 2 {
+		base := s.blossBase[b]
+		s.assignLabel(s.endpoint[s.mate[base]], 1, s.mate[base]^1)
+	}
+}
+
+// scanBlossom traces back from v and w through alternating paths. It
+// returns the base of a newly discovered blossom, or -1 if the paths reach
+// distinct roots (an augmenting path exists).
+func (s *solver) scanBlossom(v, w int) int {
+	var path []int
+	base := -1
+	for v != -1 || w != -1 {
+		b := s.inBloss[v]
+		if s.label[b]&4 != 0 {
+			base = s.blossBase[b]
+			break
+		}
+		path = append(path, b)
+		s.label[b] = 5
+		if s.labelEnd[b] == -1 {
+			v = -1
+		} else {
+			v = s.endpoint[s.labelEnd[b]]
+			b = s.inBloss[v]
+			v = s.endpoint[s.labelEnd[b]]
+		}
+		if w != -1 {
+			v, w = w, v
+		}
+	}
+	for _, b := range path {
+		s.label[b] = 1
+	}
+	return base
+}
+
+// addBlossom shrinks the odd cycle through edge k with the given base
+// vertex into a new S-blossom.
+func (s *solver) addBlossom(base, k int) {
+	v, w := s.edges[k].U, s.edges[k].V
+	bb := s.inBloss[base]
+	bv := s.inBloss[v]
+	bw := s.inBloss[w]
+	b := s.unusedBloss[len(s.unusedBloss)-1]
+	s.unusedBloss = s.unusedBloss[:len(s.unusedBloss)-1]
+	s.blossBase[b] = base
+	s.blossParent[b] = -1
+	s.blossParent[bb] = b
+	var path, endps []int
+	for bv != bb {
+		s.blossParent[bv] = b
+		path = append(path, bv)
+		endps = append(endps, s.labelEnd[bv])
+		v = s.endpoint[s.labelEnd[bv]]
+		bv = s.inBloss[v]
+	}
+	path = append(path, bb)
+	reverseInts(path)
+	reverseInts(endps)
+	endps = append(endps, 2*k)
+	for bw != bb {
+		s.blossParent[bw] = b
+		path = append(path, bw)
+		endps = append(endps, s.labelEnd[bw]^1)
+		w = s.endpoint[s.labelEnd[bw]]
+		bw = s.inBloss[w]
+	}
+	s.blossChilds[b] = path
+	s.blossEndps[b] = endps
+	s.label[b] = 1
+	s.labelEnd[b] = s.labelEnd[bb]
+	s.dualVar[b] = 0
+	s.blossomLeaves(b, func(v int) {
+		if s.label[s.inBloss[v]] == 2 {
+			s.queue = append(s.queue, v)
+		}
+		s.inBloss[v] = b
+	})
+	// Merge least-slack edge lists of the sub-blossoms.
+	bestEdgeTo := make([]int, 2*s.n)
+	for i := range bestEdgeTo {
+		bestEdgeTo[i] = -1
+	}
+	for _, sub := range path {
+		var nblists [][]int
+		if s.blossBestEdges[sub] == nil {
+			s.blossomLeaves(sub, func(v int) {
+				list := make([]int, 0, len(s.neighbend[v]))
+				for _, p := range s.neighbend[v] {
+					list = append(list, p/2)
+				}
+				nblists = append(nblists, list)
+			})
+		} else {
+			nblists = [][]int{s.blossBestEdges[sub]}
+		}
+		for _, nblist := range nblists {
+			for _, k := range nblist {
+				i, j := s.edges[k].U, s.edges[k].V
+				if s.inBloss[j] == b {
+					i, j = j, i
+				}
+				_ = i
+				bj := s.inBloss[j]
+				if bj != b && s.label[bj] == 1 &&
+					(bestEdgeTo[bj] == -1 || s.slack(k) < s.slack(bestEdgeTo[bj])) {
+					bestEdgeTo[bj] = k
+				}
+			}
+		}
+		s.blossBestEdges[sub] = nil
+		s.bestEdge[sub] = -1
+	}
+	var merged []int
+	for _, k := range bestEdgeTo {
+		if k != -1 {
+			merged = append(merged, k)
+		}
+	}
+	s.blossBestEdges[b] = merged
+	s.bestEdge[b] = -1
+	for _, k := range merged {
+		if s.bestEdge[b] == -1 || s.slack(k) < s.slack(s.bestEdge[b]) {
+			s.bestEdge[b] = k
+		}
+	}
+}
+
+// expandBlossom undoes the shrinking of blossom b. When endStage is false
+// (mid-stage expansion of a T-blossom whose dual hit zero), the sub-blossoms
+// on the alternating path through b are relabeled.
+func (s *solver) expandBlossom(b int, endStage bool) {
+	for _, sub := range s.blossChilds[b] {
+		s.blossParent[sub] = -1
+		switch {
+		case sub < s.n:
+			s.inBloss[sub] = sub
+		case endStage && s.dualVar[sub] == 0:
+			s.expandBlossom(sub, endStage)
+		default:
+			s.blossomLeaves(sub, func(v int) { s.inBloss[v] = sub })
+		}
+	}
+	if !endStage && s.label[b] == 2 {
+		entryChild := s.inBloss[s.endpoint[s.labelEnd[b]^1]]
+		j := indexOf(s.blossChilds[b], entryChild)
+		var jstep, endptrick int
+		if j&1 != 0 {
+			j -= len(s.blossChilds[b])
+			jstep = 1
+			endptrick = 0
+		} else {
+			jstep = -1
+			endptrick = 1
+		}
+		p := s.labelEnd[b]
+		for j != 0 {
+			s.label[s.endpoint[p^1]] = 0
+			s.label[s.endpoint[at(s.blossEndps[b], j-endptrick)^endptrick^1]] = 0
+			s.assignLabel(s.endpoint[p^1], 2, p)
+			s.allowEdge[at(s.blossEndps[b], j-endptrick)/2] = true
+			j += jstep
+			p = at(s.blossEndps[b], j-endptrick) ^ endptrick
+			s.allowEdge[p/2] = true
+			j += jstep
+		}
+		bv := at(s.blossChilds[b], j)
+		s.label[s.endpoint[p^1]] = 2
+		s.label[bv] = 2
+		s.labelEnd[s.endpoint[p^1]] = p
+		s.labelEnd[bv] = p
+		s.bestEdge[bv] = -1
+		j += jstep
+		for at(s.blossChilds[b], j) != entryChild {
+			bv := at(s.blossChilds[b], j)
+			if s.label[bv] == 1 {
+				j += jstep
+				continue
+			}
+			reached := -1
+			s.blossomLeaves(bv, func(v int) {
+				if reached == -1 && s.label[v] != 0 {
+					reached = v
+				}
+			})
+			if reached != -1 {
+				s.label[reached] = 0
+				s.label[s.endpoint[s.mate[s.blossBase[bv]]]] = 0
+				s.assignLabel(reached, 2, s.labelEnd[reached])
+			}
+			j += jstep
+		}
+	}
+	s.label[b] = -1
+	s.labelEnd[b] = -1
+	s.blossChilds[b] = nil
+	s.blossEndps[b] = nil
+	s.blossBase[b] = -1
+	s.blossBestEdges[b] = nil
+	s.bestEdge[b] = -1
+	s.unusedBloss = append(s.unusedBloss, b)
+}
+
+// augmentBlossom swaps matched/unmatched edges along the path inside
+// blossom b from vertex v to the blossom base, making v the new base.
+func (s *solver) augmentBlossom(b, v int) {
+	t := v
+	for s.blossParent[t] != b {
+		t = s.blossParent[t]
+	}
+	if t >= s.n {
+		s.augmentBlossom(t, v)
+	}
+	i := indexOf(s.blossChilds[b], t)
+	j := i
+	var jstep, endptrick int
+	if i&1 != 0 {
+		j -= len(s.blossChilds[b])
+		jstep = 1
+		endptrick = 0
+	} else {
+		jstep = -1
+		endptrick = 1
+	}
+	for j != 0 {
+		j += jstep
+		t = at(s.blossChilds[b], j)
+		p := at(s.blossEndps[b], j-endptrick) ^ endptrick
+		if t >= s.n {
+			s.augmentBlossom(t, s.endpoint[p])
+		}
+		j += jstep
+		t = at(s.blossChilds[b], j)
+		if t >= s.n {
+			s.augmentBlossom(t, s.endpoint[p^1])
+		}
+		s.mate[s.endpoint[p]] = p ^ 1
+		s.mate[s.endpoint[p^1]] = p
+	}
+	s.blossChilds[b] = rotate(s.blossChilds[b], i)
+	s.blossEndps[b] = rotate(s.blossEndps[b], i)
+	s.blossBase[b] = s.blossBase[s.blossChilds[b][0]]
+}
+
+// augmentMatching flips matched/unmatched edges along the augmenting path
+// through edge k.
+func (s *solver) augmentMatching(k int) {
+	starts := [2][2]int{{s.edges[k].U, 2*k + 1}, {s.edges[k].V, 2 * k}}
+	for _, sp := range starts {
+		v, p := sp[0], sp[1]
+		for {
+			bs := s.inBloss[v]
+			if bs >= s.n {
+				s.augmentBlossom(bs, v)
+			}
+			s.mate[v] = p
+			if s.labelEnd[bs] == -1 {
+				break
+			}
+			t := s.endpoint[s.labelEnd[bs]]
+			bt := s.inBloss[t]
+			v = s.endpoint[s.labelEnd[bt]]
+			j := s.endpoint[s.labelEnd[bt]^1]
+			if bt >= s.n {
+				s.augmentBlossom(bt, j)
+			}
+			s.mate[j] = s.labelEnd[bt]
+			p = s.labelEnd[bt] ^ 1
+		}
+	}
+}
+
+// solve runs the stages of the primal-dual algorithm.
+func (s *solver) solve() {
+	n := s.n
+	for stage := 0; stage < n; stage++ {
+		for i := range s.label {
+			s.label[i] = 0
+		}
+		for i := range s.bestEdge {
+			s.bestEdge[i] = -1
+		}
+		for b := n; b < 2*n; b++ {
+			s.blossBestEdges[b] = nil
+		}
+		for i := range s.allowEdge {
+			s.allowEdge[i] = false
+		}
+		s.queue = s.queue[:0]
+		for v := 0; v < n; v++ {
+			if s.mate[v] == -1 && s.label[s.inBloss[v]] == 0 {
+				s.assignLabel(v, 1, -1)
+			}
+		}
+		augmented := false
+		for {
+			for len(s.queue) > 0 && !augmented {
+				v := s.queue[len(s.queue)-1]
+				s.queue = s.queue[:len(s.queue)-1]
+				for _, p := range s.neighbend[v] {
+					k := p / 2
+					w := s.endpoint[p]
+					if s.inBloss[v] == s.inBloss[w] {
+						continue
+					}
+					var kslack float64
+					if !s.allowEdge[k] {
+						kslack = s.slack(k)
+						if kslack <= 0 {
+							s.allowEdge[k] = true
+						}
+					}
+					if s.allowEdge[k] {
+						switch {
+						case s.label[s.inBloss[w]] == 0:
+							s.assignLabel(w, 2, p^1)
+						case s.label[s.inBloss[w]] == 1:
+							base := s.scanBlossom(v, w)
+							if base >= 0 {
+								s.addBlossom(base, k)
+							} else {
+								s.augmentMatching(k)
+								augmented = true
+							}
+						case s.label[w] == 0:
+							s.label[w] = 2
+							s.labelEnd[w] = p ^ 1
+						}
+						if augmented {
+							break
+						}
+					} else if s.label[s.inBloss[w]] == 1 {
+						b := s.inBloss[v]
+						if s.bestEdge[b] == -1 || kslack < s.slack(s.bestEdge[b]) {
+							s.bestEdge[b] = k
+						}
+					} else if s.label[w] == 0 {
+						if s.bestEdge[w] == -1 || kslack < s.slack(s.bestEdge[w]) {
+							s.bestEdge[w] = k
+						}
+					}
+				}
+			}
+			if augmented {
+				break
+			}
+			// Dual update: minimum of the four delta cases.
+			deltaType := 1
+			delta := s.dualVar[0]
+			for v := 1; v < n; v++ {
+				if s.dualVar[v] < delta {
+					delta = s.dualVar[v]
+				}
+			}
+			deltaEdge, deltaBlossom := -1, -1
+			for v := 0; v < n; v++ {
+				if s.label[s.inBloss[v]] == 0 && s.bestEdge[v] != -1 {
+					if d := s.slack(s.bestEdge[v]); d < delta {
+						delta, deltaType, deltaEdge = d, 2, s.bestEdge[v]
+					}
+				}
+			}
+			for b := 0; b < 2*n; b++ {
+				if s.blossParent[b] == -1 && s.label[b] == 1 && s.bestEdge[b] != -1 {
+					if d := s.slack(s.bestEdge[b]) / 2; d < delta {
+						delta, deltaType, deltaEdge = d, 3, s.bestEdge[b]
+					}
+				}
+			}
+			for b := n; b < 2*n; b++ {
+				if s.blossBase[b] >= 0 && s.blossParent[b] == -1 && s.label[b] == 2 {
+					if s.dualVar[b] < delta {
+						delta, deltaType, deltaBlossom = s.dualVar[b], 4, b
+					}
+				}
+			}
+			for v := 0; v < n; v++ {
+				switch s.label[s.inBloss[v]] {
+				case 1:
+					s.dualVar[v] -= delta
+				case 2:
+					s.dualVar[v] += delta
+				}
+			}
+			for b := n; b < 2*n; b++ {
+				if s.blossBase[b] >= 0 && s.blossParent[b] == -1 {
+					switch s.label[b] {
+					case 1:
+						s.dualVar[b] += delta
+					case 2:
+						s.dualVar[b] -= delta
+					}
+				}
+			}
+			switch deltaType {
+			case 1:
+				// Optimum reached for this stage structure; stop.
+				return
+			case 2:
+				s.allowEdge[deltaEdge] = true
+				i := s.edges[deltaEdge].U
+				if s.label[s.inBloss[i]] == 0 {
+					i = s.edges[deltaEdge].V
+				}
+				s.queue = append(s.queue, i)
+			case 3:
+				s.allowEdge[deltaEdge] = true
+				s.queue = append(s.queue, s.edges[deltaEdge].U)
+			case 4:
+				s.expandBlossom(deltaBlossom, false)
+			}
+		}
+		// End of stage: expand S-blossoms with zero dual so the next stage
+		// starts from a canonical structure.
+		for b := n; b < 2*n; b++ {
+			if s.blossParent[b] == -1 && s.blossBase[b] >= 0 &&
+				s.label[b] == 1 && s.dualVar[b] == 0 {
+				s.expandBlossom(b, true)
+			}
+		}
+	}
+}
+
+// mateVertices converts endpoint-based mates to vertex ids.
+func (s *solver) mateVertices() []int {
+	out := make([]int, s.n)
+	for v := 0; v < s.n; v++ {
+		if s.mate[v] >= 0 {
+			out[v] = s.endpoint[s.mate[v]]
+		} else {
+			out[v] = -1
+		}
+	}
+	return out
+}
+
+// at indexes a slice with Python-style negative wrap-around, which the
+// blossom traversals rely on when walking backwards around a cycle.
+func at(s []int, i int) int {
+	if i < 0 {
+		i += len(s)
+	}
+	return s[i]
+}
+
+func indexOf(s []int, x int) int {
+	for i, v := range s {
+		if v == x {
+			return i
+		}
+	}
+	panic("matching: child not found in blossom")
+}
+
+func rotate(s []int, i int) []int {
+	out := make([]int, 0, len(s))
+	out = append(out, s[i:]...)
+	out = append(out, s[:i]...)
+	return out
+}
+
+func reverseInts(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

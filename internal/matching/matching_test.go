@@ -1,0 +1,304 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForce finds the maximum-weight matching by exhaustive search over
+// edge subsets. Exponential; only for small graphs.
+func bruteForce(n int, edges []Edge) float64 {
+	best := 0.0
+	var rec func(idx int, used []bool, acc float64)
+	rec = func(idx int, used []bool, acc float64) {
+		if acc > best {
+			best = acc
+		}
+		for i := idx; i < len(edges); i++ {
+			e := edges[i]
+			if used[e.U] || used[e.V] {
+				continue
+			}
+			used[e.U], used[e.V] = true, true
+			rec(i+1, used, acc+e.Weight)
+			used[e.U], used[e.V] = false, false
+		}
+	}
+	rec(0, make([]bool, n), 0)
+	return best
+}
+
+func matchingWeight(t *testing.T, n int, edges []Edge) float64 {
+	t.Helper()
+	mate, err := MaxWeight(n, edges)
+	if err != nil {
+		t.Fatalf("MaxWeight: %v", err)
+	}
+	if len(mate) != n {
+		t.Fatalf("mate length %d, want %d", len(mate), n)
+	}
+	for v, m := range mate {
+		if m == -1 {
+			continue
+		}
+		if m < 0 || m >= n {
+			t.Fatalf("mate[%d]=%d out of range", v, m)
+		}
+		if mate[m] != v {
+			t.Fatalf("asymmetric matching: mate[%d]=%d but mate[%d]=%d", v, m, m, mate[m])
+		}
+		if m == v {
+			t.Fatalf("vertex %d matched to itself", v)
+		}
+	}
+	return TotalWeight(mate, edges)
+}
+
+func TestEmptyGraph(t *testing.T) {
+	mate, err := MaxWeight(0, nil)
+	if err != nil {
+		t.Fatalf("MaxWeight: %v", err)
+	}
+	if len(mate) != 0 {
+		t.Fatalf("expected empty mate, got %v", mate)
+	}
+}
+
+func TestNoEdges(t *testing.T) {
+	mate, err := MaxWeight(3, nil)
+	if err != nil {
+		t.Fatalf("MaxWeight: %v", err)
+	}
+	for v, m := range mate {
+		if m != -1 {
+			t.Errorf("vertex %d should be unmatched, got %d", v, m)
+		}
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	if _, err := MaxWeight(2, []Edge{{U: 1, V: 1, Weight: 3}}); err == nil {
+		t.Fatal("expected error for self-loop")
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	if _, err := MaxWeight(2, []Edge{{U: 0, V: 5, Weight: 3}}); err == nil {
+		t.Fatal("expected error for out-of-range vertex")
+	}
+	if _, err := MaxWeight(-1, nil); err == nil {
+		t.Fatal("expected error for negative n")
+	}
+}
+
+func TestSingleEdge(t *testing.T) {
+	got := matchingWeight(t, 2, []Edge{{0, 1, 5}})
+	if got != 5 {
+		t.Fatalf("weight = %g, want 5", got)
+	}
+}
+
+func TestNegativeEdgeUnmatched(t *testing.T) {
+	mate, err := MaxWeight(2, []Edge{{0, 1, -5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mate[0] != -1 || mate[1] != -1 {
+		t.Fatalf("negative edge should not be matched: %v", mate)
+	}
+}
+
+func TestPath3(t *testing.T) {
+	// 0-1 (2), 1-2 (3): best is the single heavier edge.
+	got := matchingWeight(t, 3, []Edge{{0, 1, 2}, {1, 2, 3}})
+	if got != 3 {
+		t.Fatalf("weight = %g, want 3", got)
+	}
+}
+
+func TestPath4PrefersTwoEdges(t *testing.T) {
+	// 0-1 (2), 1-2 (3), 2-3 (2): take the two outer edges (4) over middle.
+	got := matchingWeight(t, 4, []Edge{{0, 1, 2}, {1, 2, 3}, {2, 3, 2}})
+	if got != 4 {
+		t.Fatalf("weight = %g, want 4", got)
+	}
+}
+
+// The classic tricky cases from van Rantwijk's test suite: blossoms that
+// must be created, used, expanded, and nested.
+func TestKnownTrickyCases(t *testing.T) {
+	// S-blossom creation and augmentation (van Rantwijk test case 20).
+	mate, err := MaxWeight(6, []Edge{{1, 2, 8}, {1, 3, 9}, {2, 3, 10}, {3, 4, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{-1, 2, 1, 4, 3, -1}
+	for v := range want {
+		if v < len(mate) && mate[v] != want[v] {
+			t.Fatalf("case20: mate=%v want %v", mate, want)
+		}
+	}
+	// With extra edges forcing blossom use (test case 21).
+	mate, err = MaxWeight(7, []Edge{{1, 2, 8}, {1, 3, 9}, {2, 3, 10}, {3, 4, 7}, {1, 6, 5}, {4, 6, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := TotalWeight(mate, []Edge{{1, 2, 8}, {1, 3, 9}, {2, 3, 10}, {3, 4, 7}, {1, 6, 5}, {4, 6, 6}})
+	wantW := bruteForce(7, []Edge{{1, 2, 8}, {1, 3, 9}, {2, 3, 10}, {3, 4, 7}, {1, 6, 5}, {4, 6, 6}})
+	if got != wantW {
+		t.Fatalf("case21: weight %g want %g (mate=%v)", got, wantW, mate)
+	}
+}
+
+// TestSBlossomExpansion exercises T-blossom expansion (van Rantwijk cases
+// 30-34 analogues) by weight comparison against brute force.
+func TestBlossomExpansionCases(t *testing.T) {
+	cases := [][]Edge{
+		// Create S-blossom, relabel as T-blossom, use for augmentation.
+		{{1, 2, 9}, {1, 3, 8}, {2, 3, 10}, {1, 4, 5}, {4, 5, 4}, {1, 6, 3}},
+		{{1, 2, 9}, {1, 3, 8}, {2, 3, 10}, {1, 4, 5}, {4, 5, 3}, {3, 6, 4}},
+		// Create nested S-blossom, use for augmentation.
+		{{1, 2, 9}, {1, 3, 9}, {2, 3, 10}, {2, 4, 8}, {3, 5, 8}, {4, 5, 10}, {5, 6, 6}},
+		// Create S-blossom, relabel as S, include in nested S-blossom.
+		{{1, 2, 10}, {1, 7, 10}, {2, 3, 12}, {3, 4, 20}, {3, 5, 20}, {4, 5, 25}, {5, 6, 10}, {6, 7, 10}, {7, 8, 8}},
+		// Create nested S-blossom, augment, expand recursively.
+		{{1, 2, 8}, {1, 3, 8}, {2, 3, 10}, {2, 4, 12}, {3, 5, 12}, {4, 5, 14}, {4, 6, 12}, {5, 7, 12}, {6, 7, 14}, {7, 8, 12}},
+		// Create S-blossom, relabel as T, expand.
+		{{1, 2, 23}, {1, 5, 22}, {1, 6, 15}, {2, 3, 25}, {3, 4, 22}, {4, 5, 25}, {4, 8, 14}, {5, 7, 13}},
+		// Create nested S-blossom, relabel as T, expand.
+		{{1, 2, 19}, {1, 3, 20}, {1, 8, 8}, {2, 3, 25}, {2, 4, 18}, {3, 5, 18}, {4, 5, 13}, {4, 7, 7}, {5, 6, 7}},
+	}
+	for ci, edges := range cases {
+		n := 0
+		for _, e := range edges {
+			if e.U >= n {
+				n = e.U + 1
+			}
+			if e.V >= n {
+				n = e.V + 1
+			}
+		}
+		got := matchingWeight(t, n, edges)
+		want := bruteForce(n, edges)
+		if got != want {
+			t.Errorf("case %d: weight %g, want %g", ci, got, want)
+		}
+	}
+}
+
+func TestRandomGraphsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		n := 2 + rng.Intn(9) // up to 10 vertices
+		var edges []Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.5 {
+					w := float64(rng.Intn(41) - 5) // occasionally negative
+					edges = append(edges, Edge{u, v, w})
+				}
+			}
+		}
+		got := matchingWeight(t, n, edges)
+		want := bruteForce(n, edges)
+		if got != want {
+			t.Fatalf("trial %d: n=%d edges=%v: weight %g, want %g", trial, n, edges, got, want)
+		}
+	}
+}
+
+func TestRandomFloatWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(7)
+		var edges []Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.6 {
+					edges = append(edges, Edge{u, v, rng.Float64() * 100})
+				}
+			}
+		}
+		got := matchingWeight(t, n, edges)
+		want := bruteForce(n, edges)
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: weight %g, want %g", trial, got, want)
+		}
+	}
+}
+
+// TestQuickValidMatching property-tests structural validity on arbitrary
+// random graphs via testing/quick.
+func TestQuickValidMatching(t *testing.T) {
+	f := func(seed int64, nRaw uint8, density uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%40) + 1
+		p := 0.1 + float64(density%80)/100
+		var edges []Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < p {
+					edges = append(edges, Edge{u, v, rng.Float64()*50 - 5})
+				}
+			}
+		}
+		mate, err := MaxWeight(n, edges)
+		if err != nil {
+			return false
+		}
+		// Validity: symmetric, no self-match, matched pairs connected by an
+		// actual edge.
+		adj := make(map[[2]int]bool)
+		for _, e := range edges {
+			adj[[2]int{e.U, e.V}] = true
+			adj[[2]int{e.V, e.U}] = true
+		}
+		for v, m := range mate {
+			if m == -1 {
+				continue
+			}
+			if m == v || mate[m] != v || !adj[[2]int{v, m}] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeSparseGraphRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 200
+	var edges []Edge
+	for u := 0; u < n; u++ {
+		for k := 0; k < 5; k++ {
+			v := rng.Intn(n)
+			if v != u {
+				edges = append(edges, Edge{u, v, rng.Float64() * 10})
+			}
+		}
+	}
+	mate, err := MaxWeight(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy lower bound: matching weight should beat a naive greedy pick.
+	w := TotalWeight(mate, edges)
+	if w <= 0 {
+		t.Fatalf("expected positive matching weight, got %g", w)
+	}
+}
+
+func TestTotalWeightParallelEdges(t *testing.T) {
+	edges := []Edge{{0, 1, 3}, {1, 0, 7}}
+	mate, err := MaxWeight(2, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TotalWeight(mate, edges); got != 7 {
+		t.Fatalf("parallel edge weight = %g, want 7", got)
+	}
+}

@@ -1,0 +1,21 @@
+// Package metrics implements the paper's evaluation measures (Sec. 6.1.2).
+package metrics
+
+// Coverage is the revenue-coverage metric: the fraction (in percent) of the
+// total willingness to pay that a configuration's revenue captures. The
+// aggregate WTP is the upper bound of any revenue, so 100% is "perfect".
+func Coverage(revenue, totalWTP float64) float64 {
+	if totalWTP <= 0 {
+		return 0
+	}
+	return revenue / totalWTP * 100
+}
+
+// Gain is the revenue-gain metric: the fractional improvement (in percent)
+// of a configuration's revenue over the Components baseline.
+func Gain(revenue, componentsRevenue float64) float64 {
+	if componentsRevenue <= 0 {
+		return 0
+	}
+	return (revenue - componentsRevenue) / componentsRevenue * 100
+}

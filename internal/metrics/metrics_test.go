@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoverage(t *testing.T) {
+	// The paper's own example (Sec. 6.1.2): $11 revenue out of $20 total
+	// willingness to pay is 55% coverage.
+	if got := Coverage(11, 20); math.Abs(got-55) > 1e-12 {
+		t.Errorf("Coverage(11, 20) = %g, want 55", got)
+	}
+	if got := Coverage(20, 20); got != 100 {
+		t.Errorf("perfect coverage = %g, want 100", got)
+	}
+	if got := Coverage(5, 0); got != 0 {
+		t.Errorf("zero total should give 0, got %g", got)
+	}
+	if got := Coverage(5, -1); got != 0 {
+		t.Errorf("negative total should give 0, got %g", got)
+	}
+}
+
+func TestGain(t *testing.T) {
+	// The paper's example: $11 vs $10 components is a 10% gain.
+	if got := Gain(11, 10); math.Abs(got-10) > 1e-12 {
+		t.Errorf("Gain(11, 10) = %g, want 10", got)
+	}
+	if got := Gain(10, 10); got != 0 {
+		t.Errorf("no-change gain = %g, want 0", got)
+	}
+	if got := Gain(9, 10); math.Abs(got+10) > 1e-12 {
+		t.Errorf("Gain(9, 10) = %g, want -10", got)
+	}
+	if got := Gain(5, 0); got != 0 {
+		t.Errorf("zero baseline should give 0, got %g", got)
+	}
+}
+
+func TestQuickCoverageScaleInvariant(t *testing.T) {
+	f := func(rev, total, scale float64) bool {
+		r, tot := math.Abs(rev), math.Abs(total)+1
+		s := math.Abs(scale) + 0.5
+		if math.IsInf(r*s, 0) || math.IsInf(tot*s, 0) {
+			return true
+		}
+		return math.Abs(Coverage(r, tot)-Coverage(r*s, tot*s)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package pricing
+
+import (
+	"math/rand"
+	"testing"
+
+	"bundling/internal/adoption"
+)
+
+func randomWTPs(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64() * 30
+	}
+	return out
+}
+
+func BenchmarkPriceOptimalStep1000(b *testing.B) {
+	pr := Default()
+	wtps := randomWTPs(1000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr.PriceOptimal(wtps)
+	}
+}
+
+func BenchmarkPriceOptimalSigmoidBucketed1000(b *testing.B) {
+	m, _ := adoption.New(1, 1, adoption.DefaultEpsilon)
+	pr, _ := New(m, DefaultLevels)
+	wtps := randomWTPs(1000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr.PriceOptimal(wtps)
+	}
+}
+
+func BenchmarkPriceOptimalSigmoidExact1000(b *testing.B) {
+	m, _ := adoption.New(1, 1, adoption.DefaultEpsilon)
+	pr, _ := New(m, DefaultLevels)
+	pr.SetExact(true)
+	wtps := randomWTPs(1000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr.PriceOptimal(wtps)
+	}
+}
+
+func BenchmarkPriceUtility1000(b *testing.B) {
+	pr := Default()
+	wtps := randomWTPs(1000, 1)
+	obj := Objective{ProfitWeight: 0.8, UnitCost: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr.PriceUtility(wtps, obj)
+	}
+}
+
+func BenchmarkPriceMixed1000(b *testing.B) {
+	pr := Default()
+	rng := rand.New(rand.NewSource(2))
+	n := 1000
+	off := MixedOffer{
+		CurPay:     make([]float64, n),
+		CurSurplus: make([]float64, n),
+		WB:         make([]float64, n),
+		Lo:         8, Hi: 20,
+	}
+	for j := 0; j < n; j++ {
+		off.CurPay[j] = rng.Float64() * 10
+		off.CurSurplus[j] = rng.Float64() * 4
+		off.WB[j] = rng.Float64() * 25
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr.PriceMixed(off)
+	}
+}
+
+func BenchmarkPriceFromList1000(b *testing.B) {
+	pr := Default()
+	pl, _ := NewPriceList([]float64{1.99, 4.99, 9.99, 14.99, 19.99, 24.99})
+	wtps := randomWTPs(1000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr.PriceFromList(wtps, pl)
+	}
+}

@@ -1,0 +1,146 @@
+package pricing
+
+import "bundling/internal/adoption"
+
+// Joint mixed-bundling pricing — the relaxation the paper defers to future
+// work (Sec. 4.2: "we adopt an incremental policy where the prices of
+// components are determined first ... We would investigate a relaxation of
+// this policy as future work").
+//
+// Instead of freezing the component prices at their individually-optimal
+// values and conditioning the bundle price on them, PriceMixedJoint
+// searches the full (p₁, p₂, p_b) grid subject to the same Guiltinan
+// constraints (p_b > max(p₁,p₂), p_b < p₁+p₂), with every consumer choosing
+// the surplus-maximizing affordable option among {nothing, b₁, b₂, both
+// separately, bundle}. The search is O(G³·m) for G levels per dimension,
+// which is why the paper's inner loop cannot afford it; the extension
+// experiment runs it on single offers to quantify what the incremental
+// policy leaves on the table.
+
+// JointOffer is a two-component mixed offer to be priced jointly. The
+// slices are aligned per consumer; W1/W2 are component WTPs (0 when
+// uninterested), WB the bundle WTP (Eq. 1 over all items).
+type JointOffer struct {
+	W1, W2, WB []float64
+}
+
+// JointQuote is the jointly-optimal price triple and its expected revenue.
+type JointQuote struct {
+	P1, P2, PB float64
+	Revenue    float64
+}
+
+// PriceMixedJoint searches grid³ price triples (plus any seed triples) and
+// returns the revenue-maximizing one. Seeds let the caller guarantee the
+// result dominates a known policy (e.g. the incremental triple). grid is
+// clamped to [2, 60] to keep the cubic search bounded.
+func (p *Pricer) PriceMixedJoint(off JointOffer, grid int, seeds ...JointQuote) JointQuote {
+	if len(off.W1) != len(off.WB) || len(off.W2) != len(off.WB) {
+		panic("pricing: misaligned joint offer vectors")
+	}
+	if grid < 2 {
+		grid = 2
+	}
+	if grid > 60 {
+		grid = 60
+	}
+	max1, max2 := 0.0, 0.0
+	alpha := p.model.Alpha()
+	for j := range off.WB {
+		if v := alpha * off.W1[j]; v > max1 {
+			max1 = v
+		}
+		if v := alpha * off.W2[j]; v > max2 {
+			max2 = v
+		}
+	}
+	best := JointQuote{}
+	try := func(p1, p2, pb float64) {
+		if p1 <= 0 || p2 <= 0 {
+			return
+		}
+		lo := p1
+		if p2 > lo {
+			lo = p2
+		}
+		if pb <= lo || pb >= p1+p2 {
+			return
+		}
+		rev := p.jointRevenue(off, p1, p2, pb)
+		if rev > best.Revenue {
+			best = JointQuote{P1: p1, P2: p2, PB: pb, Revenue: rev}
+		}
+	}
+	for _, s := range seeds {
+		try(s.P1, s.P2, s.PB)
+	}
+	for i := 1; i <= grid; i++ {
+		p1 := max1 * float64(i) / float64(grid)
+		for j := 1; j <= grid; j++ {
+			p2 := max2 * float64(j) / float64(grid)
+			lo := p1
+			if p2 > lo {
+				lo = p2
+			}
+			hi := p1 + p2
+			for k := 1; k <= grid; k++ {
+				try(p1, p2, lo+(hi-lo)*float64(k)/float64(grid+1))
+			}
+		}
+	}
+	return best
+}
+
+// EvaluateJoint returns the expected revenue of the offer {b₁ at p1, b₂ at
+// p2, bundle at pb} under the joint choice model, without any search.
+// Callers use it to evaluate a fixed policy (e.g. the incremental triple)
+// on the same footing PriceMixedJoint optimizes over.
+func (p *Pricer) EvaluateJoint(off JointOffer, p1, p2, pb float64) float64 {
+	if len(off.W1) != len(off.WB) || len(off.W2) != len(off.WB) {
+		panic("pricing: misaligned joint offer vectors")
+	}
+	return p.jointRevenue(off, p1, p2, pb)
+}
+
+// jointRevenue evaluates the offer {b₁ at p1, b₂ at p2, bundle at pb}:
+// every consumer picks the surplus-maximizing affordable option, ties
+// toward the larger payment; stochastic models weight the chosen option's
+// payment by its adoption probability.
+func (p *Pricer) jointRevenue(off JointOffer, p1, p2, pb float64) float64 {
+	const eps = adoption.DefaultEpsilon
+	alpha := p.model.Alpha()
+	var rev float64
+	for j := range off.WB {
+		w1, w2, wb := alpha*off.W1[j], alpha*off.W2[j], alpha*off.WB[j]
+		bestSurplus, bestPay, bestWTP := 0.0, 0.0, 0.0
+		consider := func(s, pay, w float64) {
+			if s < -eps || pay <= 0 {
+				return
+			}
+			if s > bestSurplus+eps || (s >= bestSurplus-eps && pay > bestPay) {
+				bestSurplus, bestPay, bestWTP = s, pay, w
+			}
+		}
+		if w1 > 0 {
+			consider(w1-p1, p1, w1)
+		}
+		if w2 > 0 {
+			consider(w2-p2, p2, w2)
+		}
+		if w1 > 0 && w2 > 0 && w1-p1 >= -eps && w2-p2 >= -eps {
+			consider((w1-p1)+(w2-p2), p1+p2, w1+w2)
+		}
+		if wb > 0 {
+			consider(wb-pb, pb, wb)
+		}
+		if bestPay <= 0 {
+			continue
+		}
+		if p.model.Deterministic() {
+			rev += bestPay
+		} else {
+			rev += bestPay * p.model.Probability(bestPay, bestWTP)
+		}
+	}
+	return rev
+}

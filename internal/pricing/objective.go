@@ -1,0 +1,144 @@
+package pricing
+
+// Objective is the seller's utility function from the paper's Sec. 1:
+//
+//	utility = α·profit + (1-α)·consumer surplus
+//
+// with profit = (price − unit cost) × adopters. The paper's evaluation
+// fixes α = 1 and zero variable cost (digital goods), in which case profit
+// maximization degenerates to the revenue maximization implemented by
+// PriceOptimal; this type generalizes pricing to any α and known unit
+// costs, as the paper's discussion promises.
+type Objective struct {
+	// ProfitWeight is α ∈ [0,1]: 1 maximizes profit only (the default
+	// throughout the paper's evaluation), 0 maximizes consumer surplus.
+	ProfitWeight float64
+	// UnitCost is the variable cost of serving one adopter of the bundle
+	// (0 for information goods).
+	UnitCost float64
+}
+
+// RevenueObjective is the paper's default: α = 1, zero variable cost.
+func RevenueObjective() Objective { return Objective{ProfitWeight: 1} }
+
+// UtilityQuote extends Quote with the profit/surplus decomposition.
+type UtilityQuote struct {
+	Quote
+	Profit  float64 // (price − cost) × expected adopters
+	Surplus float64 // Σ over adopters of (WTP − price)
+	Utility float64 // α·Profit + (1-α)·Surplus
+}
+
+// PriceUtility returns the utility-maximizing price for a bundle whose
+// interested consumers have the given WTP values, under the objective.
+// With the default RevenueObjective it agrees with PriceOptimal.
+//
+// Implementation mirrors the histogram pricing of Sec. 4.2, additionally
+// carrying per-bucket WTP sums so the surplus at each price level is
+// available from the same O(m + T) pass (deterministic model) or the
+// bucketed sigmoid evaluation (stochastic model).
+func (p *Pricer) PriceUtility(wtps []float64, obj Objective) UtilityQuote {
+	maxW := 0.0
+	for _, w := range wtps {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW <= 0 {
+		return UtilityQuote{}
+	}
+	T := p.levels
+	alpha := p.model.Alpha()
+	counts := p.fcounts[:T+1]
+	sums := p.fsums[:T+1]
+	for i := range counts {
+		counts[i] = 0
+		sums[i] = 0
+	}
+	for _, w := range wtps {
+		idx := int(alpha*w/(alpha*maxW)*float64(T) + bucketSlack)
+		if idx > T {
+			idx = T
+		}
+		counts[idx]++
+		sums[idx] += alpha * w
+	}
+	best := UtilityQuote{}
+	found := false
+	if p.model.Deterministic() {
+		var n, sw float64
+		for t := T; t >= 1; t-- {
+			n += counts[t]
+			sw += sums[t]
+			price := alpha * maxW * float64(t) / float64(T)
+			q := evalUtility(price, n, sw, obj)
+			if !found || q.Utility > best.Utility {
+				best = q
+				found = true
+			}
+		}
+		return best
+	}
+	if p.exact {
+		// Exact O(m·T) evaluation of expected adopters and adopter WTP
+		// mass at each level.
+		for t := 1; t <= T; t++ {
+			price := alpha * maxW * float64(t) / float64(T)
+			var n, sw float64
+			for _, w := range wtps {
+				prob := p.model.Probability(price, w)
+				n += prob
+				sw += alpha * w * prob
+			}
+			q := evalUtility(price, n, sw, obj)
+			if !found || q.Utility > best.Utility {
+				best = q
+				found = true
+			}
+		}
+		return best
+	}
+	// Stochastic model: expected adopters and expected adopter WTP mass at
+	// each price level, via bucket midpoints.
+	mids := p.mids[:T+1]
+	for t := 0; t <= T; t++ {
+		mids[t] = (float64(t) + 0.5) * maxW / float64(T)
+		if mids[t] > maxW {
+			mids[t] = maxW
+		}
+	}
+	for t := 1; t <= T; t++ {
+		price := alpha * maxW * float64(t) / float64(T)
+		var n, sw float64
+		for s := 0; s <= T; s++ {
+			if counts[s] == 0 {
+				continue
+			}
+			prob := p.model.Probability(price, mids[s])
+			n += counts[s] * prob
+			sw += sums[s] * prob
+		}
+		q := evalUtility(price, n, sw, obj)
+		if !found || q.Utility > best.Utility {
+			best = q
+			found = true
+		}
+	}
+	return best
+}
+
+// evalUtility assembles a UtilityQuote at one price level given the number
+// of (expected) adopters n and their aggregate (effective) WTP sw.
+func evalUtility(price, n, sw float64, obj Objective) UtilityQuote {
+	profit := (price - obj.UnitCost) * n
+	surplus := sw - price*n
+	if surplus < 0 {
+		surplus = 0 // float guard; adopters have WTP ≥ price
+	}
+	return UtilityQuote{
+		Quote:   Quote{Price: price, Revenue: price * n, Adopters: n},
+		Profit:  profit,
+		Surplus: surplus,
+		Utility: obj.ProfitWeight*profit + (1-obj.ProfitWeight)*surplus,
+	}
+}

@@ -1,0 +1,152 @@
+package pricing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bundling/internal/adoption"
+)
+
+func TestRevenueObjectiveMatchesPriceOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pr := Default()
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(30)
+		wtps := make([]float64, n)
+		for i := range wtps {
+			wtps[i] = rng.Float64() * 40
+		}
+		q := pr.PriceOptimal(wtps)
+		uq := pr.PriceUtility(wtps, RevenueObjective())
+		if math.Abs(q.Revenue-uq.Revenue) > 1e-9 || math.Abs(q.Price-uq.Price) > 1e-9 {
+			t.Fatalf("trial %d: PriceOptimal %+v vs PriceUtility %+v", trial, q, uq)
+		}
+		if math.Abs(uq.Utility-uq.Profit) > 1e-12 {
+			t.Fatalf("α=1 utility %g should equal profit %g", uq.Utility, uq.Profit)
+		}
+		if math.Abs(uq.Profit-uq.Revenue) > 1e-9 {
+			t.Fatalf("zero-cost profit %g should equal revenue %g", uq.Profit, uq.Revenue)
+		}
+	}
+}
+
+func TestUnitCostShiftsPriceUp(t *testing.T) {
+	pr := Default()
+	wtps := []float64{10, 10, 10, 20, 20}
+	free := pr.PriceUtility(wtps, Objective{ProfitWeight: 1})
+	costly := pr.PriceUtility(wtps, Objective{ProfitWeight: 1, UnitCost: 9})
+	// At cost 9, selling to everyone at 10 nets 5×1; selling to the two
+	// high types at 20 nets 2×11 — cost pushes the price up.
+	if costly.Price <= free.Price {
+		t.Errorf("price with cost %g should exceed zero-cost price %g", costly.Price, free.Price)
+	}
+	if costly.Profit <= 0 {
+		t.Errorf("profit should remain positive, got %g", costly.Profit)
+	}
+	wantProfit := 2.0 * (20 - 9)
+	if math.Abs(costly.Profit-wantProfit) > 0.5 {
+		t.Errorf("profit = %g, want ≈ %g", costly.Profit, wantProfit)
+	}
+}
+
+func TestSurplusWeightLowersPrice(t *testing.T) {
+	pr := Default()
+	wtps := []float64{10, 10, 20, 20}
+	profitOnly := pr.PriceUtility(wtps, Objective{ProfitWeight: 1})
+	balanced := pr.PriceUtility(wtps, Objective{ProfitWeight: 0.5})
+	surplusOnly := pr.PriceUtility(wtps, Objective{ProfitWeight: 1e-9})
+	// Weighting surplus pushes the price down (more consumers served,
+	// each keeping more surplus).
+	if balanced.Price > profitOnly.Price+1e-9 {
+		t.Errorf("balanced price %g should not exceed profit-only price %g",
+			balanced.Price, profitOnly.Price)
+	}
+	if surplusOnly.Price > balanced.Price+1e-9 {
+		t.Errorf("surplus-only price %g should not exceed balanced price %g",
+			surplusOnly.Price, balanced.Price)
+	}
+	if surplusOnly.Surplus < profitOnly.Surplus {
+		t.Errorf("surplus-only objective should yield at least as much surplus")
+	}
+}
+
+func TestPriceUtilityEmpty(t *testing.T) {
+	pr := Default()
+	if q := pr.PriceUtility(nil, RevenueObjective()); q.Utility != 0 || q.Price != 0 {
+		t.Errorf("empty vector: %+v", q)
+	}
+}
+
+func TestPriceUtilityStochastic(t *testing.T) {
+	model, err := adoption.New(1, 1, adoption.DefaultEpsilon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := New(model, DefaultLevels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wtps := []float64{10, 12, 14, 16}
+	q := pr.PriceUtility(wtps, RevenueObjective())
+	if q.Revenue <= 0 || q.Adopters <= 0 {
+		t.Fatalf("stochastic quote: %+v", q)
+	}
+	// Revenue agrees with the bucketed PriceOptimal path.
+	q2 := pr.PriceOptimal(wtps)
+	if math.Abs(q.Revenue-q2.Revenue) > 1e-9 {
+		t.Errorf("stochastic PriceUtility %g vs PriceOptimal %g", q.Revenue, q2.Revenue)
+	}
+}
+
+// TestQuickUtilityDecomposition: utility = α·profit + (1-α)·surplus and
+// profit = revenue − cost·adopters at the chosen price, on random inputs.
+func TestQuickUtilityDecomposition(t *testing.T) {
+	pr := Default()
+	f := func(seed int64, alphaRaw, costRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := math.Mod(math.Abs(alphaRaw), 1)
+		cost := math.Mod(math.Abs(costRaw), 10)
+		n := 1 + rng.Intn(20)
+		wtps := make([]float64, n)
+		for i := range wtps {
+			wtps[i] = rng.Float64() * 30
+		}
+		q := pr.PriceUtility(wtps, Objective{ProfitWeight: alpha, UnitCost: cost})
+		wantProfit := q.Revenue - cost*q.Adopters
+		if math.Abs(q.Profit-wantProfit) > 1e-6 {
+			return false
+		}
+		wantU := alpha*q.Profit + (1-alpha)*q.Surplus
+		return math.Abs(q.Utility-wantU) < 1e-6 && q.Surplus >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixedObjectiveConsistency: the mixed quote's utility decomposes the
+// same way and the default objective reproduces revenue maximization.
+func TestMixedObjectiveConsistency(t *testing.T) {
+	pr := Default()
+	off := MixedOffer{
+		CurPay:     []float64{8, 0, 5},
+		CurSurplus: []float64{2, 0, 1},
+		WB:         []float64{10, 11, 9},
+		Lo:         8, Hi: 14,
+	}
+	def := pr.PriceMixed(off)
+	if math.Abs(def.Utility-def.Revenue) > 1e-9 || math.Abs(def.BaselineUtility-def.Baseline) > 1e-9 {
+		t.Errorf("default objective: utility %g/%g should equal revenue %g/%g",
+			def.Utility, def.BaselineUtility, def.Revenue, def.Baseline)
+	}
+	// With a bundle cost of 100 the bundle can never be profitable.
+	offCost := off
+	offCost.BundleCost = 100
+	offCost.Obj = Objective{ProfitWeight: 1, UnitCost: 100}
+	q := pr.PriceMixed(offCost)
+	if q.Feasible {
+		t.Errorf("prohibitive bundle cost should be infeasible: %+v", q)
+	}
+}

@@ -1,0 +1,138 @@
+package pricing
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PriceList is an explicit, ascending list of allowed price levels — the
+// paper's "real-life scenario [where] the seller would have a price list of
+// T price levels" with *arbitrary* spacing (Sec. 4.2), e.g. psychological
+// price points ($4.99, $9.99, …). Consumers are assigned to levels by
+// binary search, as the paper prescribes for non-equi-distanced lists.
+type PriceList struct {
+	levels []float64
+}
+
+// NewPriceList validates and sorts the levels. Levels must be positive;
+// duplicates are removed.
+func NewPriceList(levels []float64) (*PriceList, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("pricing: empty price list")
+	}
+	sorted := append([]float64(nil), levels...)
+	sort.Float64s(sorted)
+	out := sorted[:0]
+	var prev float64
+	for _, l := range sorted {
+		if l <= 0 {
+			return nil, fmt.Errorf("pricing: non-positive price level %g", l)
+		}
+		if len(out) == 0 || l != prev {
+			out = append(out, l)
+			prev = l
+		}
+	}
+	return &PriceList{levels: out}, nil
+}
+
+// Levels returns the ascending price levels. The slice must not be
+// modified.
+func (pl *PriceList) Levels() []float64 { return pl.levels }
+
+// LevelFor returns the index of the highest level ≤ value (the bucket a
+// consumer with that willingness to pay falls into), or -1 if value is
+// below every level. Binary search, O(log T).
+func (pl *PriceList) LevelFor(value float64) int {
+	// sort.SearchFloat64s returns the first index with levels[i] >= value;
+	// we want the last index with levels[i] <= value.
+	i := sort.SearchFloat64s(pl.levels, value)
+	if i < len(pl.levels) && pl.levels[i] == value {
+		return i
+	}
+	return i - 1
+}
+
+// PriceFromList returns the revenue-maximizing price restricted to the
+// price list, for a bundle whose interested consumers have the given WTP
+// values. Works for both deterministic and stochastic adoption models.
+func (p *Pricer) PriceFromList(wtps []float64, pl *PriceList) Quote {
+	if pl == nil || len(pl.levels) == 0 {
+		return Quote{}
+	}
+	alpha := p.model.Alpha()
+	if p.model.Deterministic() {
+		// Histogram over list buckets + suffix counts, O(m log T + T).
+		counts := make([]int, len(pl.levels))
+		for _, w := range wtps {
+			if idx := pl.LevelFor(alpha*w + bucketSlack); idx >= 0 {
+				counts[idx]++
+			}
+		}
+		best := Quote{}
+		adopters := 0
+		for t := len(pl.levels) - 1; t >= 0; t-- {
+			adopters += counts[t]
+			if rev := pl.levels[t] * float64(adopters); rev > best.Revenue {
+				best = Quote{Price: pl.levels[t], Revenue: rev, Adopters: float64(adopters)}
+			}
+		}
+		return best
+	}
+	best := Quote{}
+	for _, price := range pl.levels {
+		f := p.model.ExpectedAdopters(price, wtps)
+		if rev := price * f; rev > best.Revenue {
+			best = Quote{Price: price, Revenue: rev, Adopters: f}
+		}
+	}
+	return best
+}
+
+// CentsList builds the "smallest atomic unit" price list the paper
+// mentions: every cent from one cent up to max. Mostly useful in tests —
+// it makes the grid-pricing error bounds exact.
+func CentsList(max float64) (*PriceList, error) {
+	if max <= 0 {
+		return nil, fmt.Errorf("pricing: non-positive max %g", max)
+	}
+	n := int(max * 100)
+	if n < 1 {
+		n = 1
+	}
+	levels := make([]float64, n)
+	for i := range levels {
+		levels[i] = float64(i+1) / 100
+	}
+	return NewPriceList(levels)
+}
+
+// DemandPoint is one point of a bundle's demand/revenue curve.
+type DemandPoint struct {
+	Price    float64
+	Adopters float64 // expected adopters at Price
+	Revenue  float64 // Price × Adopters
+}
+
+// DemandCurve evaluates the expected demand and revenue at every one of T
+// equi-distanced price levels spanning (0, max WTP] — the raw series behind
+// the pricing decision, exposed for inspection and dashboards.
+func (p *Pricer) DemandCurve(wtps []float64) []DemandPoint {
+	maxW := 0.0
+	for _, w := range wtps {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW <= 0 {
+		return nil
+	}
+	alpha := p.model.Alpha()
+	out := make([]DemandPoint, 0, p.levels)
+	for t := 1; t <= p.levels; t++ {
+		price := alpha * maxW * float64(t) / float64(p.levels)
+		f := p.model.ExpectedAdopters(price, wtps)
+		out = append(out, DemandPoint{Price: price, Adopters: f, Revenue: price * f})
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package pricing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bundling/internal/adoption"
+)
+
+func TestNewPriceListValidation(t *testing.T) {
+	if _, err := NewPriceList(nil); err == nil {
+		t.Error("expected error for empty list")
+	}
+	if _, err := NewPriceList([]float64{5, 0}); err == nil {
+		t.Error("expected error for non-positive level")
+	}
+	pl, err := NewPriceList([]float64{9.99, 4.99, 9.99, 1.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pl.Levels()
+	want := []float64{1.99, 4.99, 9.99}
+	if len(got) != len(want) {
+		t.Fatalf("levels = %v, want %v (sorted, deduped)", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLevelFor(t *testing.T) {
+	pl, _ := NewPriceList([]float64{2, 5, 10})
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{1, -1}, {2, 0}, {3, 0}, {5, 1}, {9.99, 1}, {10, 2}, {50, 2},
+	}
+	for _, c := range cases {
+		if got := pl.LevelFor(c.v); got != c.want {
+			t.Errorf("LevelFor(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestPriceFromListStep(t *testing.T) {
+	pr := Default()
+	pl, _ := NewPriceList([]float64{4.99, 9.99, 14.99})
+	// WTPs 12, 10, 5: at 9.99 two adopters (19.98), at 4.99 three (14.97),
+	// at 14.99 none.
+	q := pr.PriceFromList([]float64{12, 10, 5}, pl)
+	if math.Abs(q.Price-9.99) > 1e-9 || math.Abs(q.Revenue-19.98) > 1e-9 {
+		t.Errorf("quote = %+v, want price 9.99 revenue 19.98", q)
+	}
+	if q.Adopters != 2 {
+		t.Errorf("adopters = %g, want 2", q.Adopters)
+	}
+}
+
+func TestPriceFromListEdge(t *testing.T) {
+	pr := Default()
+	if q := pr.PriceFromList([]float64{5}, nil); q.Revenue != 0 {
+		t.Errorf("nil list: %+v", q)
+	}
+	pl, _ := NewPriceList([]float64{10})
+	// WTP below every level: no sale.
+	if q := pr.PriceFromList([]float64{5}, pl); q.Revenue != 0 {
+		t.Errorf("unaffordable list: %+v", q)
+	}
+	// WTP exactly at a level adopts.
+	if q := pr.PriceFromList([]float64{10}, pl); q.Revenue != 10 {
+		t.Errorf("boundary WTP: %+v", q)
+	}
+}
+
+func TestPriceFromListSigmoid(t *testing.T) {
+	model, _ := adoption.New(1, 1, adoption.DefaultEpsilon)
+	pr, _ := New(model, DefaultLevels)
+	pl, _ := NewPriceList([]float64{5, 10, 15})
+	q := pr.PriceFromList([]float64{10, 12, 14}, pl)
+	if q.Revenue <= 0 {
+		t.Fatalf("sigmoid list quote: %+v", q)
+	}
+	// Exact expectation at the chosen price.
+	want := q.Price * model.ExpectedAdopters(q.Price, []float64{10, 12, 14})
+	if math.Abs(q.Revenue-want) > 1e-9 {
+		t.Errorf("revenue %g, want %g", q.Revenue, want)
+	}
+}
+
+// TestCentsListMatchesBruteForce: pricing on the cent grid reaches the
+// exact step optimum (any optimal price can be rounded down to a cent
+// losing at most a cent per adopter).
+func TestCentsListMatchesBruteForce(t *testing.T) {
+	pr := Default()
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		wtps := make([]float64, n)
+		for i := range wtps {
+			wtps[i] = math.Round(rng.Float64()*3000) / 100 // cent-aligned
+		}
+		pl, err := CentsList(35)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := pr.PriceFromList(wtps, pl)
+		want := bruteForceStep(wtps)
+		if math.Abs(got.Revenue-want.Revenue) > 1e-9 {
+			t.Fatalf("trial %d: cents list %g, brute force %g (wtps %v)",
+				trial, got.Revenue, want.Revenue, wtps)
+		}
+	}
+}
+
+func TestCentsListValidation(t *testing.T) {
+	if _, err := CentsList(0); err == nil {
+		t.Error("expected error for max ≤ 0")
+	}
+	pl, err := CentsList(0.005) // below one cent still yields one level
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Levels()) != 1 {
+		t.Errorf("levels = %v, want a single cent", pl.Levels())
+	}
+}
+
+// TestQuickListNeverBeatsUnrestricted: restricting prices to a list can
+// never beat the unrestricted fine-grid optimum.
+func TestQuickListNeverBeatsUnrestricted(t *testing.T) {
+	fine, _ := New(adoption.Step(), 5000)
+	pr := Default()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		wtps := make([]float64, n)
+		for i := range wtps {
+			wtps[i] = rng.Float64() * 40
+		}
+		levels := make([]float64, 1+rng.Intn(8))
+		for i := range levels {
+			levels[i] = 0.5 + rng.Float64()*45
+		}
+		pl, err := NewPriceList(levels)
+		if err != nil {
+			return false
+		}
+		listQ := pr.PriceFromList(wtps, pl)
+		freeQ := fine.PriceOptimal(wtps)
+		// Allow the fine grid's own discretization slack.
+		return listQ.Revenue <= freeQ.Revenue+freeQ.Adopters*40.0/5000+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemandCurve(t *testing.T) {
+	pr := Default()
+	wtps := []float64{10, 20, 30}
+	curve := pr.DemandCurve(wtps)
+	if len(curve) != DefaultLevels {
+		t.Fatalf("curve length = %d, want %d", len(curve), DefaultLevels)
+	}
+	// Demand is non-increasing in price; revenue = price × adopters.
+	for i, pt := range curve {
+		if pt.Revenue != pt.Price*pt.Adopters {
+			t.Fatalf("point %d: revenue %g != price·adopters", i, pt.Revenue)
+		}
+		if i > 0 && pt.Adopters > curve[i-1].Adopters {
+			t.Fatalf("demand increased from %g to %g at price %g",
+				curve[i-1].Adopters, pt.Adopters, pt.Price)
+		}
+	}
+	// The curve's max revenue equals PriceOptimal's.
+	best := 0.0
+	for _, pt := range curve {
+		if pt.Revenue > best {
+			best = pt.Revenue
+		}
+	}
+	if q := pr.PriceOptimal(wtps); math.Abs(q.Revenue-best) > 1e-9 {
+		t.Errorf("curve max %g vs PriceOptimal %g", best, q.Revenue)
+	}
+	if pr.DemandCurve(nil) != nil {
+		t.Error("empty WTPs should give nil curve")
+	}
+}

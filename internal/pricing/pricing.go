@@ -1,0 +1,334 @@
+// Package pricing finds the revenue-maximizing price of a single bundle
+// (paper Sec. 4.2) and evaluates mixed-bundling offers.
+//
+// The search uses a discretized price list of T levels (the paper uses
+// T = 100 and observes larger T yields no meaningful revenue). Consumers are
+// hashed into equi-distanced buckets by willingness to pay, so the optimal
+// price of a bundle with m interested consumers costs O(m + T) under the
+// deterministic step model, matching the paper's O(M) pricing claim. Under
+// the sigmoid model the package offers a bucketed O(m + T²) approximation
+// (default) and an exact O(m·T) evaluation.
+package pricing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bundling/internal/adoption"
+)
+
+// DefaultLevels is the paper's default number of price levels T.
+const DefaultLevels = 100
+
+// bucketSlack absorbs float rounding when hashing a WTP equal to a grid
+// price into its bucket, so "w == p adopts" survives discretization.
+const bucketSlack = 1e-9
+
+// Pricer prices bundles under an adoption model. The zero value is invalid;
+// use New.
+type Pricer struct {
+	model  adoption.Model
+	levels int
+	exact  bool // exact sigmoid evaluation instead of bucketed
+	counts []int
+	// scratch buffers reused by PriceUtility so the per-bundle pricing in
+	// the configuration algorithms stays allocation-free.
+	fcounts []float64
+	fsums   []float64
+	mids    []float64
+}
+
+// New returns a Pricer using T price levels. T must be positive.
+func New(model adoption.Model, levels int) (*Pricer, error) {
+	if levels <= 0 {
+		return nil, fmt.Errorf("pricing: T=%d price levels must be > 0", levels)
+	}
+	return &Pricer{
+		model:   model,
+		levels:  levels,
+		counts:  make([]int, levels+1),
+		fcounts: make([]float64, levels+1),
+		fsums:   make([]float64, levels+1),
+		mids:    make([]float64, levels+1),
+	}, nil
+}
+
+// Default returns a Pricer with the paper's defaults: step model, T = 100.
+func Default() *Pricer {
+	p, _ := New(adoption.Default(), DefaultLevels)
+	return p
+}
+
+// SetExact toggles exact per-consumer sigmoid evaluation (O(m·T)). It has no
+// effect under the deterministic step model, which is always exact.
+func (p *Pricer) SetExact(exact bool) { p.exact = exact }
+
+// Model returns the adoption model in use.
+func (p *Pricer) Model() adoption.Model { return p.model }
+
+// Levels returns T, the number of price levels.
+func (p *Pricer) Levels() int { return p.levels }
+
+// Quote is the result of pricing a bundle.
+type Quote struct {
+	Price    float64 // revenue-maximizing price (0 if no positive demand)
+	Revenue  float64 // expected revenue at Price
+	Adopters float64 // expected number of adopters at Price
+}
+
+// PriceOptimal returns the revenue-maximizing price for a bundle whose
+// interested consumers have the given willingness-to-pay values (Eq. 2).
+// Consumers with zero WTP may be omitted; they never contribute revenue.
+func (p *Pricer) PriceOptimal(wtps []float64) Quote {
+	maxW := 0.0
+	for _, w := range wtps {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW <= 0 {
+		return Quote{}
+	}
+	if p.model.Deterministic() {
+		return p.priceStep(wtps, maxW)
+	}
+	if p.exact {
+		return p.priceSigmoidExact(wtps, maxW)
+	}
+	return p.priceSigmoidBucketed(wtps, maxW)
+}
+
+// priceStep prices under the step model with a histogram + suffix counts.
+func (p *Pricer) priceStep(wtps []float64, maxW float64) Quote {
+	T := p.levels
+	counts := p.counts[:T+1]
+	for i := range counts {
+		counts[i] = 0
+	}
+	alpha := p.model.Alpha()
+	for _, w := range wtps {
+		// Bucket t covers effective WTP α·w ∈ [maxEff·t/T, maxEff·(t+1)/T).
+		idx := int(alpha*w/(alpha*maxW)*float64(T) + bucketSlack)
+		if idx > T {
+			idx = T
+		}
+		if idx >= 0 {
+			counts[idx]++
+		}
+	}
+	// adopters(t) = #consumers with α·w ≥ price level t.
+	best := Quote{}
+	adopters := 0
+	for t := T; t >= 1; t-- {
+		adopters += counts[t]
+		price := alpha * maxW * float64(t) / float64(T)
+		rev := price * float64(adopters)
+		if rev > best.Revenue {
+			best = Quote{Price: price, Revenue: rev, Adopters: float64(adopters)}
+		}
+	}
+	return best
+}
+
+// priceSigmoidBucketed approximates expected adopters by collapsing
+// consumers into T buckets and evaluating the sigmoid at bucket midpoints.
+func (p *Pricer) priceSigmoidBucketed(wtps []float64, maxW float64) Quote {
+	T := p.levels
+	counts := p.counts[:T+1]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, w := range wtps {
+		idx := int(w/maxW*float64(T) + bucketSlack)
+		if idx > T {
+			idx = T
+		}
+		counts[idx]++
+	}
+	mids := make([]float64, T+1)
+	for t := 0; t <= T; t++ {
+		mids[t] = (float64(t) + 0.5) * maxW / float64(T)
+		if mids[t] > maxW {
+			mids[t] = maxW
+		}
+	}
+	best := Quote{}
+	for t := 1; t <= T; t++ {
+		price := maxW * float64(t) / float64(T)
+		var f float64
+		for s := 0; s <= T; s++ {
+			if counts[s] > 0 {
+				f += float64(counts[s]) * p.model.Probability(price, mids[s])
+			}
+		}
+		if rev := price * f; rev > best.Revenue {
+			best = Quote{Price: price, Revenue: rev, Adopters: f}
+		}
+	}
+	return best
+}
+
+// priceSigmoidExact evaluates every price level against every consumer.
+func (p *Pricer) priceSigmoidExact(wtps []float64, maxW float64) Quote {
+	T := p.levels
+	best := Quote{}
+	for t := 1; t <= T; t++ {
+		price := maxW * float64(t) / float64(T)
+		f := p.model.ExpectedAdopters(price, wtps)
+		if rev := price * f; rev > best.Revenue {
+			best = Quote{Price: price, Revenue: rev, Adopters: f}
+		}
+	}
+	return best
+}
+
+// SampleRevenue draws a realized revenue for a bundle sold at price to
+// consumers with the given WTPs, by sampling each adoption decision.
+func (p *Pricer) SampleRevenue(price float64, wtps []float64, rng *rand.Rand) float64 {
+	return price * float64(p.model.SampleAdopters(price, wtps, rng))
+}
+
+// MixedOffer describes a candidate mixed-bundling offer: a set of existing
+// offers stays on sale (the paper's incremental policy — their prices are
+// frozen) and a new bundle covering all their items is priced on top.
+//
+// The existing offers are summarized per consumer by the consumer's current
+// state: CurPay[j] is consumer j's total expected payment under the
+// existing offers, CurSurplus[j] the deterministic surplus of those
+// purchases. A consumer switches to the bundle — abandoning all existing
+// purchases it subsumes — only when the bundle's surplus beats the current
+// surplus (ties break toward the larger payment, the seller-favorable ε
+// convention). This state-based accounting is exactly the paper's Table 6
+// arithmetic: the consumer who "previously would only purchase Born in Fire
+// alone for 7.99 but now buys the bundle of 3 at 13.91" contributes
+// 13.91 − 7.99 = 5.92 of additional revenue. It also reproduces the
+// Sec. 4.2 upgrade logic: upgrading is worthwhile only if the implicit
+// price of what the bundle adds is within the consumer's WTP for it.
+//
+// All slices are aligned: index j refers to the same consumer. CurCost and
+// CurESurplus may be nil (all zeros); they matter only for non-default
+// objectives.
+type MixedOffer struct {
+	CurPay     []float64 // expected payment per consumer under existing offers
+	CurSurplus []float64 // deterministic surplus per consumer under existing offers
+	WB         []float64 // new bundle's WTP per consumer (Eq. 1 over all items)
+	// Lo and Hi bound the bundle price (exclusive): the paper's mixed-
+	// bundling constraints require the bundle price above any component's
+	// price and below the sum of the component prices.
+	Lo, Hi float64
+	// CurCost is the expected variable cost per consumer of serving their
+	// existing purchases; CurESurplus the expected consumer surplus.
+	CurCost     []float64
+	CurESurplus []float64
+	// BundleCost is the new bundle's variable cost per unit.
+	BundleCost float64
+	// Obj is the seller's objective. The zero value selects
+	// RevenueObjective (α = 1, zero costs).
+	Obj Objective
+}
+
+// MixedQuote is the result of pricing a mixed offer.
+type MixedQuote struct {
+	Price    float64 // chosen bundle price (0 if infeasible)
+	Revenue  float64 // total expected offer revenue (existing offers + bundle)
+	Baseline float64 // expected revenue with the bundle absent (Σ CurPay)
+	Adopters float64 // expected bundle adopters at Price
+	Feasible bool    // Utility > BaselineUtility within a valid price window
+	// Utility and BaselineUtility carry the seller's objective with and
+	// without the bundle; under the default objective they equal Revenue
+	// and Baseline.
+	Utility         float64
+	BaselineUtility float64
+	Surplus         float64 // expected consumer surplus with the bundle
+}
+
+// PriceMixed searches the bundle price within (Lo, Hi) maximizing the
+// seller's utility under the switch rule described on MixedOffer.
+func (p *Pricer) PriceMixed(off MixedOffer) MixedQuote {
+	if len(off.CurPay) != len(off.WB) || len(off.CurSurplus) != len(off.WB) {
+		panic("pricing: misaligned mixed offer vectors")
+	}
+	if (off.Obj == Objective{}) {
+		off.Obj = RevenueObjective()
+	}
+	var q MixedQuote
+	var basePay, baseCost, baseSur float64
+	for j, pay := range off.CurPay {
+		basePay += pay
+		baseCost += at0(off.CurCost, j)
+		baseSur += at0(off.CurESurplus, j)
+	}
+	q.Baseline = basePay
+	q.Revenue = basePay
+	q.BaselineUtility = off.Obj.ProfitWeight*(basePay-baseCost) + (1-off.Obj.ProfitWeight)*baseSur
+	q.Utility = q.BaselineUtility
+	q.Surplus = baseSur
+	if off.Hi <= off.Lo {
+		return q // degenerate window (e.g. a free component)
+	}
+	T := p.levels
+	for t := 1; t <= T; t++ {
+		// Strictly inside (Lo, Hi): the bounds themselves are disallowed.
+		pb := off.Lo + (off.Hi-off.Lo)*float64(t)/float64(T+1)
+		rev, cost, sur, adopters := p.offerOutcome(off, pb)
+		util := off.Obj.ProfitWeight*(rev-cost) + (1-off.Obj.ProfitWeight)*sur
+		if util > q.Utility {
+			q.Price, q.Revenue, q.Adopters = pb, rev, adopters
+			q.Utility, q.Surplus = util, sur
+			q.Feasible = true
+		}
+	}
+	return q
+}
+
+// offerOutcome evaluates the offer at bundle price pb: every consumer
+// either keeps their current purchases or switches to the bundle.
+func (p *Pricer) offerOutcome(off MixedOffer, pb float64) (rev, cost, surplus, bundleAdopters float64) {
+	for j := range off.WB {
+		pay, prob, switched := p.ResolveSwitch(off.WB[j], off.CurPay[j], off.CurSurplus[j], pb)
+		rev += pay
+		if switched {
+			bundleAdopters += prob
+			cost += off.BundleCost * prob
+			if s := p.model.Alpha()*off.WB[j] - pb; s > 0 {
+				surplus += s * prob
+			}
+		} else {
+			cost += at0(off.CurCost, j)
+			surplus += at0(off.CurESurplus, j)
+		}
+	}
+	return rev, cost, surplus, bundleAdopters
+}
+
+// at0 indexes a possibly-nil slice, returning 0 when absent.
+func at0(s []float64, j int) float64 {
+	if s == nil {
+		return 0
+	}
+	return s[j]
+}
+
+// ResolveSwitch decides whether a consumer with the given bundle WTP and
+// current (expected payment, deterministic surplus) state switches to the
+// bundle at price pb. It returns the consumer's resulting expected payment
+// and, if they switched, the bundle adoption probability. Exported because
+// the configuration algorithms must update per-consumer state after a merge
+// with the same rule PriceMixed used to choose the price.
+func (p *Pricer) ResolveSwitch(wb, curPay, curSurplus, pb float64) (pay, prob float64, switched bool) {
+	const eps = adoption.DefaultEpsilon
+	ewb := p.model.Alpha() * wb
+	bs := ewb - pb
+	if ewb <= 0 || bs < -eps {
+		return curPay, 0, false
+	}
+	bundleProb := 1.0
+	if !p.model.Deterministic() {
+		bundleProb = p.model.Probability(pb, wb)
+	}
+	bundlePay := pb * bundleProb
+	if bs > curSurplus+eps || (bs >= curSurplus-eps && bundlePay > curPay) {
+		return bundlePay, bundleProb, true
+	}
+	return curPay, 0, false
+}

@@ -1,0 +1,55 @@
+package setpack
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchWeights(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, 1<<uint(n))
+	for m := 1; m < len(w); m++ {
+		w[m] = rng.Float64() * 50
+	}
+	return w
+}
+
+func BenchmarkExactDP12(b *testing.B) {
+	w := benchWeights(12, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExactDP(12, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactDP16(b *testing.B) {
+	w := benchWeights(16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExactDP(16, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactBB12(b *testing.B) {
+	w := benchWeights(12, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExactBB(12, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyRatio16(b *testing.B) {
+	w := benchWeights(16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GreedyRatio(16, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

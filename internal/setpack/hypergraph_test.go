@@ -1,0 +1,93 @@
+package setpack
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// This file validates the reduction in the paper's Theorem 1 proof sketch:
+// 3-sized pure bundling ⟷ maximum matching in a hypergraph with edges of
+// size 1-3. Given a 3-uniform hypergraph H, the proof builds H' by giving
+// every original edge weight 3+Δ and adding "dummy" edges of size 1
+// (weight 1), size 2 (weight 2) and size 3 (weight 3); a maximum matching
+// in H' recovers a maximum matching in H. The test constructs exactly this
+// H' as a set-packing weight vector, solves it exactly, and checks the
+// recovered matching size equals a brute-force maximum matching of H.
+
+// maxHypergraphMatching brute-forces the maximum number of pairwise
+// disjoint edges of a 3-uniform hypergraph.
+func maxHypergraphMatching(edges [][3]int) int {
+	best := 0
+	var rec func(idx, used, count int)
+	rec = func(idx, used, count int) {
+		if count > best {
+			best = count
+		}
+		for i := idx; i < len(edges); i++ {
+			m := 1<<uint(edges[i][0]) | 1<<uint(edges[i][1]) | 1<<uint(edges[i][2])
+			if used&m == 0 {
+				rec(i+1, used|m, count+1)
+			}
+		}
+	}
+	rec(0, 0, 0)
+	return best
+}
+
+func TestTheorem1Reduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const delta = 0.5
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(7) // up to 10 vertices
+		// Random 3-uniform hypergraph.
+		var hEdges [][3]int
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				for c := b + 1; c < n; c++ {
+					if rng.Float64() < 0.25 {
+						hEdges = append(hEdges, [3]int{a, b, c})
+					}
+				}
+			}
+		}
+		// Build H' as a dense weight vector: dummy size-1/2/3 edges at
+		// weights 1/2/3 and original edges at 3+Δ.
+		weights := make([]float64, 1<<uint(n))
+		for m := 1; m < len(weights); m++ {
+			switch bits.OnesCount(uint(m)) {
+			case 1:
+				weights[m] = 1
+			case 2:
+				weights[m] = 2
+			case 3:
+				weights[m] = 3
+			}
+		}
+		for _, e := range hEdges {
+			weights[1<<uint(e[0])|1<<uint(e[1])|1<<uint(e[2])] = 3 + delta
+		}
+		res, err := ExactDP(n, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every vertex is covered (dummy singletons are free revenue), so
+		// the packing weight is n + Δ·(#original edges matched): original
+		// edges beat any dummy decomposition of the same 3 vertices by Δ.
+		matched := 0
+		for _, m := range res.Masks {
+			if bits.OnesCount(uint(m)) == 3 && weights[m] == 3+delta {
+				matched++
+			}
+		}
+		want := maxHypergraphMatching(hEdges)
+		if matched != want {
+			t.Errorf("trial %d: reduction recovered %d matched hyperedges, brute force says %d",
+				trial, matched, want)
+		}
+		wantWeight := float64(n) + delta*float64(want)
+		if diff := res.Weight - wantWeight; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("trial %d: packing weight %g, want %g", trial, res.Weight, wantWeight)
+		}
+	}
+}

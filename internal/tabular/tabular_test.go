@@ -1,0 +1,77 @@
+package tabular
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tbl := New("Title", "a", "bbbb")
+	tbl.AddRow("xx", "y")
+	tbl.AddRow("z")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + header + separator + 2 rows = 5? title(1)+header(1)+sep(1)+rows(2)=5
+		if len(lines) != 5 {
+			t.Fatalf("got %d lines:\n%s", len(lines), out)
+		}
+	}
+	if lines[0] != "Title" {
+		t.Errorf("first line = %q, want title", lines[0])
+	}
+	if !strings.Contains(lines[1], "a") || !strings.Contains(lines[1], "bbbb") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "--") {
+		t.Errorf("separator line = %q", lines[2])
+	}
+	// All data lines padded to equal width.
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("rows unaligned: %q vs %q", lines[3], lines[4])
+	}
+}
+
+func TestAddRowDropsExtraCells(t *testing.T) {
+	tbl := New("", "only")
+	tbl.AddRow("a", "extra", "more")
+	out := tbl.String()
+	if strings.Contains(out, "extra") {
+		t.Errorf("extra cell should be dropped:\n%s", out)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tbl := New("", "n", "f", "s")
+	tbl.AddRowf(3, 1.23456, "txt")
+	out := tbl.String()
+	if !strings.Contains(out, "3") || !strings.Contains(out, "1.23") || !strings.Contains(out, "txt") {
+		t.Errorf("AddRowf output:\n%s", out)
+	}
+	if strings.Contains(out, "1.23456") {
+		t.Errorf("floats should be rounded to 2 decimals:\n%s", out)
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tbl := New("", "h")
+	tbl.AddRow("v")
+	out := tbl.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Errorf("no blank first line expected:\n%q", out)
+	}
+	if !strings.HasPrefix(out, "h") {
+		t.Errorf("should start with header:\n%q", out)
+	}
+}
+
+func TestWideCellGrowsColumn(t *testing.T) {
+	tbl := New("", "h", "x")
+	tbl.AddRow("short", "1")
+	tbl.AddRow("a-much-longer-cell", "2")
+	lines := strings.Split(strings.TrimRight(tbl.String(), "\n"), "\n")
+	for i := 1; i < len(lines); i++ {
+		if len(lines[i]) != len(lines[0]) {
+			t.Errorf("line %d width %d != header width %d", i, len(lines[i]), len(lines[0]))
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package wtp models consumers' willingness to pay (WTP).
+//
+// The paper (Sec. 3) represents consumer preferences as an M×N matrix W
+// where w[u][i] ≥ 0 is how much consumer u is willing to pay for item i.
+// The matrix is derived from rating data (Sec. 6.1.1): a rating r on an item
+// with list price p converts to WTP = (r / r_max) · λ · p, for a conversion
+// factor λ ≥ 1. A bundle's WTP (Eq. 1) is the θ-adjusted sum of its items'
+// WTPs: w[u][b] = (1+θ) Σ_{i∈b} w[u][i].
+//
+// Ratings are sparse, so the package keeps both a dense row-major matrix for
+// O(1) lookup and per-item postings lists (consumers with non-zero WTP) for
+// the union scans the pricing code performs.
+package wtp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MaxRating is the top of the rating scale used by FromRatings (5-star scale,
+// as in the Amazon dataset the paper uses).
+const MaxRating = 5
+
+// Entry is one consumer's non-zero willingness to pay for an item.
+type Entry struct {
+	Consumer int
+	Value    float64
+}
+
+// Matrix is an M consumers × N items willingness-to-pay matrix.
+//
+// Construct with New or FromRatings. The zero value is unusable.
+type Matrix struct {
+	m, n     int
+	dense    []float64 // row-major: dense[u*n+i]
+	postings [][]Entry // per item: consumers with non-zero WTP, ascending
+	colSum   []float64 // per item: total WTP (upper bound of item revenue)
+	total    float64   // grand total WTP (upper bound of any revenue)
+}
+
+// New returns an all-zero M×N matrix.
+func New(consumers, items int) (*Matrix, error) {
+	if consumers < 0 || items < 0 {
+		return nil, fmt.Errorf("wtp: negative dimensions %d×%d", consumers, items)
+	}
+	return &Matrix{
+		m:        consumers,
+		n:        items,
+		dense:    make([]float64, consumers*items),
+		postings: make([][]Entry, items),
+		colSum:   make([]float64, items),
+	}, nil
+}
+
+// MustNew is New but panics on error; intended for tests and examples.
+func MustNew(consumers, items int) *Matrix {
+	w, err := New(consumers, items)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Consumers returns M, the number of consumers.
+func (w *Matrix) Consumers() int { return w.m }
+
+// Items returns N, the number of items.
+func (w *Matrix) Items() int { return w.n }
+
+// Set assigns consumer u's willingness to pay for item i. Values must be
+// finite and non-negative; setting 0 removes any existing entry. Calls may
+// come in any order — the per-item postings list stays sorted (binary
+// search + insert, so ascending-consumer insertion is the cheap path).
+func (w *Matrix) Set(u, i int, value float64) error {
+	if u < 0 || u >= w.m || i < 0 || i >= w.n {
+		return fmt.Errorf("wtp: index (%d,%d) out of range %d×%d", u, i, w.m, w.n)
+	}
+	if value < 0 || math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("wtp: willingness to pay %g must be finite and non-negative", value)
+	}
+	old := w.dense[u*w.n+i]
+	if old == value {
+		return nil
+	}
+	w.dense[u*w.n+i] = value
+	w.colSum[i] += value - old
+	w.total += value - old
+	p := w.postings[i]
+	// Binary search for consumer u in the posting list.
+	lo, hi := 0, len(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p[mid].Consumer < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	switch {
+	case lo < len(p) && p[lo].Consumer == u:
+		if value == 0 {
+			w.postings[i] = append(p[:lo], p[lo+1:]...)
+		} else {
+			p[lo].Value = value
+		}
+	case value != 0:
+		p = append(p, Entry{})
+		copy(p[lo+1:], p[lo:])
+		p[lo] = Entry{Consumer: u, Value: value}
+		w.postings[i] = p
+	}
+	return nil
+}
+
+// MustSet is Set but panics on error; intended for tests and examples.
+func (w *Matrix) MustSet(u, i int, value float64) {
+	if err := w.Set(u, i, value); err != nil {
+		panic(err)
+	}
+}
+
+// At returns consumer u's willingness to pay for item i.
+func (w *Matrix) At(u, i int) float64 {
+	return w.dense[u*w.n+i]
+}
+
+// Postings returns the consumers with non-zero WTP for item i, in ascending
+// consumer order. The returned slice must not be modified.
+func (w *Matrix) Postings(i int) []Entry { return w.postings[i] }
+
+// ItemTotal returns the aggregate WTP for item i across all consumers.
+func (w *Matrix) ItemTotal(i int) float64 { return w.colSum[i] }
+
+// Total returns the aggregate WTP over all consumers and items. This is the
+// revenue upper bound used by the revenue-coverage metric (Sec. 6.1.2).
+func (w *Matrix) Total() float64 { return w.total }
+
+// BundleWTP returns consumer u's willingness to pay for the bundle given by
+// items, following Eq. 1: (1+θ) Σ w[u][i]. θ < -1 would produce negative
+// WTP and is rejected by Params validation upstream; here it is clamped at 0.
+func (w *Matrix) BundleWTP(u int, items []int, theta float64) float64 {
+	var sum float64
+	for _, i := range items {
+		sum += w.dense[u*w.n+i]
+	}
+	v := sum * (1 + theta)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// BundleVector computes, for every consumer with non-zero WTP for at least
+// one item of the bundle, that consumer's bundle WTP (Eq. 1). It returns
+// parallel slices of consumer ids (ascending) and WTP values. The dst slices
+// are reused if they have capacity, so callers can amortize allocations
+// across the many candidate bundles the configuration algorithms price.
+func (w *Matrix) BundleVector(items []int, theta float64, dstIDs []int, dstVals []float64) ([]int, []float64) {
+	dstIDs = dstIDs[:0]
+	dstVals = dstVals[:0]
+	switch len(items) {
+	case 0:
+		return dstIDs, dstVals
+	case 1:
+		// Fast path: single item, postings already hold the answer.
+		for _, e := range w.postings[items[0]] {
+			v := e.Value * (1 + theta)
+			if v > 0 {
+				dstIDs = append(dstIDs, e.Consumer)
+				dstVals = append(dstVals, v)
+			}
+		}
+		return dstIDs, dstVals
+	}
+	// k-way merge over the items' postings lists.
+	type cursor struct {
+		list []Entry
+		pos  int
+	}
+	cursors := make([]cursor, 0, len(items))
+	for _, i := range items {
+		if len(w.postings[i]) > 0 {
+			cursors = append(cursors, cursor{list: w.postings[i]})
+		}
+	}
+	for {
+		// Find the smallest consumer id among live cursors.
+		minU := -1
+		for _, c := range cursors {
+			if c.pos < len(c.list) {
+				u := c.list[c.pos].Consumer
+				if minU == -1 || u < minU {
+					minU = u
+				}
+			}
+		}
+		if minU == -1 {
+			break
+		}
+		var sum float64
+		for ci := range cursors {
+			c := &cursors[ci]
+			if c.pos < len(c.list) && c.list[c.pos].Consumer == minU {
+				sum += c.list[c.pos].Value
+				c.pos++
+			}
+		}
+		v := sum * (1 + theta)
+		if v > 0 {
+			dstIDs = append(dstIDs, minU)
+			dstVals = append(dstVals, v)
+		}
+	}
+	return dstIDs, dstVals
+}
+
+// CommonInterest reports whether any consumer has non-zero WTP for both
+// items; the matching algorithm's first-iteration pruning rule (Sec. 5.3.1)
+// only considers pairs with a common interested consumer.
+func (w *Matrix) CommonInterest(i, j int) bool {
+	a, b := w.postings[i], w.postings[j]
+	ai, bi := 0, 0
+	for ai < len(a) && bi < len(b) {
+		switch {
+		case a[ai].Consumer == b[bi].Consumer:
+			return true
+		case a[ai].Consumer < b[bi].Consumer:
+			ai++
+		default:
+			bi++
+		}
+	}
+	return false
+}
+
+// Rating is one (consumer, item, stars) observation plus the item's list
+// price, the inputs to the ratings→WTP conversion of Sec. 6.1.1.
+type Rating struct {
+	Consumer int
+	Item     int
+	Stars    int // 1..MaxRating
+}
+
+// FromRatings builds a WTP matrix from ratings and per-item list prices
+// using the paper's linear conversion: WTP = (stars / MaxRating) · λ · price.
+func FromRatings(consumers, items int, ratings []Rating, prices []float64, lambda float64) (*Matrix, error) {
+	if lambda < 1 {
+		return nil, fmt.Errorf("wtp: conversion factor λ=%g must be ≥ 1", lambda)
+	}
+	if len(prices) != items {
+		return nil, fmt.Errorf("wtp: %d prices for %d items", len(prices), items)
+	}
+	w, err := New(consumers, items)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range ratings {
+		if r.Stars < 1 || r.Stars > MaxRating {
+			return nil, fmt.Errorf("wtp: rating %d outside 1..%d", r.Stars, MaxRating)
+		}
+		if r.Item < 0 || r.Item >= items || r.Consumer < 0 || r.Consumer >= consumers {
+			return nil, fmt.Errorf("wtp: rating refers to (%d,%d) outside %d×%d", r.Consumer, r.Item, consumers, items)
+		}
+		if prices[r.Item] < 0 {
+			return nil, errors.New("wtp: negative list price")
+		}
+		v := float64(r.Stars) / MaxRating * lambda * prices[r.Item]
+		if err := w.Set(r.Consumer, r.Item, v); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}

@@ -1,0 +1,67 @@
+package bundling
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Report is a serialization-friendly summary of a configuration, suitable
+// for JSON output and downstream tooling (see cmd/bundle).
+type Report struct {
+	Strategy   string        `json:"strategy"`
+	Items      int           `json:"items"`
+	Consumers  int           `json:"consumers"`
+	Revenue    float64       `json:"expected_revenue"`
+	Profit     float64       `json:"expected_profit"`
+	Surplus    float64       `json:"consumer_surplus"`
+	Coverage   float64       `json:"revenue_coverage_pct"`
+	Iterations int           `json:"iterations"`
+	Offers     []OfferReport `json:"offers"`
+}
+
+// OfferReport is one priced offer of the configuration.
+type OfferReport struct {
+	Items []int   `json:"items"`
+	Price float64 `json:"price"`
+	// Kind is "bundle" for top-level bundles, "component" for retained
+	// sub-bundles under mixed bundling.
+	Kind string `json:"kind"`
+	// Revenue is the offer's expected standalone revenue; for merged mixed
+	// bundles it is the incremental revenue over the components.
+	Revenue float64 `json:"expected_revenue"`
+}
+
+// NewReport summarizes a configuration against its WTP matrix.
+func NewReport(cfg *Configuration, w *Matrix) *Report {
+	r := &Report{
+		Strategy:   cfg.Strategy.String(),
+		Items:      w.Items(),
+		Consumers:  w.Consumers(),
+		Revenue:    cfg.Revenue,
+		Profit:     cfg.Profit,
+		Surplus:    cfg.Surplus,
+		Coverage:   Coverage(cfg, w),
+		Iterations: cfg.Iterations,
+	}
+	for _, b := range cfg.Bundles {
+		r.Offers = append(r.Offers, OfferReport{Items: b.Items, Price: b.Price, Kind: "bundle", Revenue: b.Revenue})
+	}
+	for _, c := range cfg.Components {
+		r.Offers = append(r.Offers, OfferReport{Items: c.Items, Price: c.Price, Kind: "component", Revenue: c.Revenue})
+	}
+	sort.SliceStable(r.Offers, func(i, j int) bool {
+		a, b := r.Offers[i], r.Offers[j]
+		if len(a.Items) != len(b.Items) {
+			return len(a.Items) > len(b.Items)
+		}
+		return a.Items[0] < b.Items[0]
+	})
+	return r
+}
+
+// String renders a compact human-readable summary.
+func (r *Report) String() string {
+	s := fmt.Sprintf("%s bundling: %d offers, expected revenue %.2f (%.1f%% coverage)",
+		r.Strategy, len(r.Offers), r.Revenue, r.Coverage)
+	return s
+}

@@ -1,0 +1,104 @@
+package bundling_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bundling"
+)
+
+func TestReportStructure(t *testing.T) {
+	w := paperMatrix()
+	cfg, err := bundling.Configure(w, bundling.Options{
+		Strategy: bundling.Mixed, Theta: -0.05, PriceLevels: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bundling.NewReport(cfg, w)
+	if r.Strategy != "mixed" {
+		t.Errorf("strategy = %q", r.Strategy)
+	}
+	if r.Items != 2 || r.Consumers != 3 {
+		t.Errorf("dims = %d×%d", r.Consumers, r.Items)
+	}
+	if r.Revenue != cfg.Revenue {
+		t.Errorf("revenue mismatch")
+	}
+	var bundles, components int
+	for _, o := range r.Offers {
+		switch o.Kind {
+		case "bundle":
+			bundles++
+		case "component":
+			components++
+		default:
+			t.Errorf("unknown offer kind %q", o.Kind)
+		}
+	}
+	if bundles != len(cfg.Bundles) || components != len(cfg.Components) {
+		t.Errorf("offer counts: %d/%d, want %d/%d",
+			bundles, components, len(cfg.Bundles), len(cfg.Components))
+	}
+	// Largest offers first.
+	for i := 1; i < len(r.Offers); i++ {
+		if len(r.Offers[i].Items) > len(r.Offers[i-1].Items) {
+			t.Errorf("offers not sorted by size descending")
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	w := paperMatrix()
+	cfg, err := bundling.SolveComponents(w, bundling.Options{PriceLevels: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bundling.NewReport(cfg, w)
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"strategy", "expected_revenue", "revenue_coverage_pct", "offers", "kind"} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON missing %q: %s", key, data)
+		}
+	}
+	var back bundling.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Revenue != r.Revenue || len(back.Offers) != len(r.Offers) {
+		t.Error("JSON round trip lost data")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	w := paperMatrix()
+	cfg, err := bundling.SolveComponents(w, bundling.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bundling.NewReport(cfg, w).String()
+	if !strings.Contains(s, "pure bundling") || !strings.Contains(s, "coverage") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestEvaluateFacade(t *testing.T) {
+	w := paperMatrix()
+	cfg, err := bundling.Evaluate(w, [][]int{{0, 1}}, bundling.Options{Theta: -0.05, PriceLevels: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Revenue < 30 || cfg.Revenue > 31 {
+		t.Errorf("evaluated bundle revenue = %g, want ≈ 30.4", cfg.Revenue)
+	}
+	if _, err := bundling.Evaluate(w, [][]int{{0, 1}, {1}}, bundling.Options{}); err == nil {
+		t.Error("overlapping pure offers should be rejected")
+	}
+	if _, err := bundling.Evaluate(w, nil, bundling.Options{}); err == nil {
+		t.Error("empty offer list should be rejected")
+	}
+}
