@@ -1,0 +1,32 @@
+# Developer entry points. CI runs `make check`; `make bench` refreshes the
+# machine-readable perf trajectory in BENCH_greedy.json so performance PRs
+# have a baseline to regress against.
+
+GO ?= go
+
+.PHONY: build test vet race check bench fuzz
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages with lock-free parallel paths (chunked evalPairs).
+race:
+	$(GO) test -race ./internal/config/ ./internal/pricing/ ./internal/wtp/
+
+check: vet build test race
+
+# Benchmark the greedy/matching hot paths at bench scale and write
+# machine-readable results. Compare against the committed BENCH_greedy.json
+# before and after performance work.
+bench:
+	$(GO) run ./cmd/bundlebench -exp perf -benchout BENCH_greedy.json
+
+# Short fuzz pass over the incremental-union equivalence property.
+fuzz:
+	$(GO) test ./internal/wtp -fuzz FuzzUnionVectors -fuzztime 30s -run '^$$'

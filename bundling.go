@@ -24,6 +24,29 @@
 // Willingness to pay can be mined from star ratings with FromRatings, or
 // synthesized at any scale with the dataset generator in GenerateDataset.
 // See the examples directory for end-to-end programs.
+//
+// # Performance
+//
+// The configuration algorithms run on an incremental merge-evaluation
+// engine. Candidate merges derive the merged bundle's interested-consumer
+// vector from the two parents' cached vectors in O(|a|+|b|)
+// (wtp.UnionVectors) instead of rescanning the raw item postings; candidate
+// pricing runs entirely in per-worker scratch buffers, materializing a
+// bundle node only when a candidate survives the gain filter; mixed-bundling
+// price search sweeps all T price levels in O(m·log m + T) by sorting
+// consumers on their switch-threshold price rather than rescanning all m
+// consumers per level; and both the initial pair seeding and the
+// per-iteration re-pricing after each merge are evaluated by a chunked
+// parallel worker pool (Options via config.Params.Parallelism; results are
+// deterministic regardless of worker count).
+//
+// Measured on the 600×150 bench corpus (single core, see
+// BENCH_greedy.json): mixed greedy 3.41s → 0.64s per run (5.3×) with 7.8×
+// fewer allocations, mixed matching 1.79s → 0.37s (4.9×) with 7.4× fewer,
+// pure variants ~1.9× faster with ~80× fewer allocations — with revenues
+// matching the reference postings-scan path within 1e-9 (the fast path
+// reorders float arithmetic), as enforced by the equivalence property
+// tests in internal/config, internal/wtp and internal/pricing.
 package bundling
 
 import (

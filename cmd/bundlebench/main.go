@@ -8,7 +8,10 @@
 //
 // Experiments: table1, table2, fig2, fig3, fig4, fig5, fig6, fig7, wsp
 // (Tables 4+5), case (Table 6), ablations, joint (incremental-vs-joint
-// pricing study), welfare, stats (dataset summary), all.
+// pricing study), welfare, stats (dataset summary), all. The extra `perf`
+// experiment (not part of `all`) benchmarks the greedy and matching hot
+// paths and, with -benchout, emits machine-readable JSON for the perf
+// trajectory tracked in BENCH_greedy.json.
 package main
 
 import (
@@ -24,21 +27,22 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiment: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,wsp,case,ablations,joint,welfare,stats,all")
+		expFlag   = flag.String("exp", "all", "experiment: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,wsp,case,ablations,joint,welfare,stats,perf,all")
 		scaleFlag = flag.String("scale", "bench", "dataset scale: small, bench, full")
 		lambda    = flag.Float64("lambda", experiments.DefaultLambda, "ratings→WTP conversion factor λ")
 		theta     = flag.Float64("theta", 0, "bundling coefficient θ")
 		k         = flag.Int("k", config.Unlimited, "max bundle size (0 = unlimited)")
 		seed      = flag.Int64("seed", 42, "dataset generator seed")
+		benchOut  = flag.String("benchout", "", "perf experiment: write JSON results to this file (e.g. BENCH_greedy.json)")
 	)
 	flag.Parse()
-	if err := run(*expFlag, *scaleFlag, *lambda, *theta, *k, *seed); err != nil {
+	if err := run(*expFlag, *scaleFlag, *lambda, *theta, *k, *seed, *benchOut); err != nil {
 		fmt.Fprintln(os.Stderr, "bundlebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, scaleName string, lambda, theta float64, k int, seed int64) error {
+func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchOut string) error {
 	var scale experiments.Scale
 	switch scaleName {
 	case "small":
@@ -62,6 +66,11 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64) error 
 	}
 	all := wants["all"]
 	need := func(name string) bool { return all || wants[name] }
+	if benchOut != "" && !wants["perf"] {
+		// perf is deliberately excluded from `all`; reject rather than
+		// silently dropping the flag (and never writing the file).
+		return fmt.Errorf("-benchout requires -exp perf")
+	}
 
 	// Table 1 needs no dataset.
 	if need("table1") {
@@ -77,6 +86,11 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64) error 
 			needEnv = true
 		}
 	}
+	// perf is opt-in only (not part of `all`): it reruns each algorithm
+	// many times, which would dwarf the table/figure regeneration.
+	if wants["perf"] {
+		needEnv = true
+	}
 	if !needEnv {
 		return nil
 	}
@@ -88,6 +102,11 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64) error 
 	st := env.DS.Summarize()
 	fmt.Printf("dataset: %d users, %d items, %d ratings (generated in %.1fs)\n\n",
 		st.Users, st.Items, st.Ratings, time.Since(start).Seconds())
+	if wants["perf"] {
+		if err := runPerf(env, scaleName, benchOut, params); err != nil {
+			return fmt.Errorf("perf: %w", err)
+		}
+	}
 	if need("stats") {
 		fmt.Printf("star shares: %.0f%% %.0f%% %.0f%% %.0f%% %.0f%% (1..5)\n",
 			st.StarShare[0]*100, st.StarShare[1]*100, st.StarShare[2]*100, st.StarShare[3]*100, st.StarShare[4]*100)

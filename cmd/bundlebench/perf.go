@@ -1,0 +1,130 @@
+package main
+
+// The perf experiment measures the configuration algorithms' hot paths with
+// testing.Benchmark and emits machine-readable results, so successive PRs
+// accumulate a performance trajectory to regress against (see the `bench`
+// Makefile target, which writes BENCH_greedy.json at the repo root).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"bundling/internal/config"
+	"bundling/internal/experiments"
+	"bundling/internal/wtp"
+)
+
+// PerfResult is one benchmarked algorithm run.
+type PerfResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Revenue     float64 `json:"revenue"` // sanity anchor: perf work must not move revenue
+}
+
+// PerfReport is the file schema of BENCH_greedy.json. Notes and
+// SeedBaseline are hand-maintained context (e.g. the pre-optimization
+// numbers a PR is measured against); regeneration via `make bench` drops
+// them, but the committed history preserves the trajectory.
+type PerfReport struct {
+	GeneratedAt  string       `json:"generated_at"`
+	Scale        string       `json:"scale"`
+	Users        int          `json:"users"`
+	Items        int          `json:"items"`
+	Theta        float64      `json:"theta"`
+	K            int          `json:"k"`
+	Go           string       `json:"go"`
+	MaxProcs     int          `json:"maxprocs"`
+	Notes        string       `json:"notes,omitempty"`
+	Results      []PerfResult `json:"results"`
+	SeedBaseline []PerfResult `json:"seed_baseline,omitempty"`
+}
+
+// runPerf benchmarks greedy and matching under both strategies (derived
+// from the CLI-provided base params, so -theta and -k apply) and writes
+// the report to outPath ("-" for stdout only).
+func runPerf(env *experiments.Env, scaleName, outPath string, base config.Params) error {
+	type job struct {
+		name string
+		run  func(*wtp.Matrix, config.Params) (*config.Configuration, error)
+		p    config.Params
+	}
+	pure, mixed := base, base
+	pure.Strategy = config.Pure
+	mixed.Strategy = config.Mixed
+	jobs := []job{
+		{"GreedyMerge/pure", config.GreedyMerge, pure},
+		{"GreedyMerge/mixed", config.GreedyMerge, mixed},
+		{"SolveMatching/pure", config.MatchingBased, pure},
+		{"SolveMatching/mixed", config.MatchingBased, mixed},
+	}
+	report := PerfReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       scaleName,
+		Users:       env.DS.Users,
+		Items:       env.DS.Items,
+		Theta:       base.Theta,
+		K:           base.K,
+		Go:          runtime.Version(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
+	}
+	for _, j := range jobs {
+		var revenue float64
+		var runErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg, err := j.run(env.W, j.p)
+				if err != nil {
+					runErr = err
+					b.Fatal(err)
+				}
+				revenue = cfg.Revenue
+			}
+		})
+		if runErr != nil {
+			// b.Fatal inside testing.Benchmark yields a zero result rather
+			// than aborting; surface the error instead of writing a bogus
+			// all-zero row into the perf trajectory.
+			return fmt.Errorf("%s: %w", j.name, runErr)
+		}
+		r := PerfResult{
+			Name:        j.name,
+			Iterations:  res.N,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Revenue:     revenue,
+		}
+		report.Results = append(report.Results, r)
+		fmt.Printf("%-22s %12d ns/op %10d B/op %8d allocs/op  revenue=%.2f\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Revenue)
+	}
+	if outPath == "" || outPath == "-" {
+		return nil
+	}
+	// Carry the hand-maintained trajectory context of an existing report
+	// forward, so `make bench` regeneration doesn't silently erase it.
+	if prev, err := os.ReadFile(outPath); err == nil {
+		var old PerfReport
+		if json.Unmarshal(prev, &old) == nil {
+			report.Notes = old.Notes
+			report.SeedBaseline = old.SeedBaseline
+		}
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", outPath)
+	return nil
+}

@@ -1,0 +1,3 @@
+module bundling
+
+go 1.24

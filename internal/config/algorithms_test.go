@@ -318,14 +318,14 @@ func isSubset(sub, super []int) bool {
 }
 
 func TestMergeItemsAndIntersect(t *testing.T) {
-	got := mergeItems([]int{1, 3, 5}, []int{2, 3, 6})
+	got := mergeItemsInto(nil, []int{1, 3, 5}, []int{2, 3, 6})
 	want := []int{1, 2, 3, 5, 6}
 	if len(got) != len(want) {
-		t.Fatalf("mergeItems = %v, want %v", got, want)
+		t.Fatalf("mergeItemsInto = %v, want %v", got, want)
 	}
 	for i := range want {
 		if got[i] != want[i] {
-			t.Fatalf("mergeItems = %v, want %v", got, want)
+			t.Fatalf("mergeItemsInto = %v, want %v", got, want)
 		}
 	}
 	if !idsIntersect([]int{1, 5, 9}, []int{2, 5}) {

@@ -74,6 +74,10 @@ type Params struct {
 	// O(m+T²) bucketed approximation to the exact O(m·T) scan. Ablation
 	// knob for the discretization design choice of Sec. 4.2.
 	ExactSigmoid bool
+	// referenceEval disables the incremental cached-vector union so merge
+	// candidates rebuild their vectors from the raw postings. Unexported:
+	// only the equivalence tests set it, to diff the two paths.
+	referenceEval bool
 	// GreedyRunToEnd selects the alternative stopping condition of
 	// Sec. 5.3.2: instead of stopping at the first iteration with no
 	// positive gain, the greedy algorithm keeps merging the least-bad pair

@@ -34,6 +34,10 @@ func GreedyMerge(w *wtp.Matrix, params Params) (*Configuration, error) {
 		heap.Push(h, mergeCand{u: i, v: j, merged: merged, gain: gain})
 	}
 	alive := len(nodes)
+	// The run-to-end variant's alternative stopping condition (Sec. 5.3.2)
+	// needs every mergeable pair, not only the gaining ones: the algorithm
+	// keeps taking the least-bad merge all the way to a single bundle and
+	// returns the best configuration seen.
 	runToEnd := e.params.GreedyRunToEnd
 	var jobs []pairJob
 	for i := 0; i < len(nodes); i++ {
@@ -43,20 +47,12 @@ func GreedyMerge(w *wtp.Matrix, params Params) (*Configuration, error) {
 			}
 		}
 	}
-	if runToEnd {
-		// The alternative stopping condition (Sec. 5.3.2) needs every
-		// mergeable pair, not only the gaining ones: the algorithm keeps
-		// taking the least-bad merge all the way to a single bundle and
-		// returns the best configuration seen.
-		for _, j := range jobs {
-			if merged, gain := e.evalMerge(nodes[j.u], nodes[j.v]); merged != nil {
-				push(j.u, j.v, merged, gain)
-			}
-		}
-	} else {
-		for _, r := range e.evalPairs(nodes, jobs) {
-			push(r.u, r.v, r.merged, r.gain)
-		}
+	cands, err := e.evalPairs(nodes, jobs, runToEnd)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range cands {
+		push(r.u, r.v, r.merged, r.gain)
 	}
 	// Best-seen snapshot for the run-to-end variant.
 	bestTotal := total
@@ -99,17 +95,23 @@ func GreedyMerge(w *wtp.Matrix, params Params) (*Configuration, error) {
 			bestTotal = total
 			snapshot()
 		}
-		// Evaluate merges of the new bundle against all live bundles.
+		// Re-price merges of the new bundle against all live bundles, in
+		// parallel: this per-iteration re-evaluation dominates the greedy
+		// algorithm's running time (the initial seeding prices each pair
+		// once; every merge re-prices up to N pairs).
+		jobs = jobs[:0]
 		for i := 0; i < newIdx; i++ {
-			if nodes[i].dead {
+			if nodes[i].dead || !e.mergeable(nodes[i], top.merged) {
 				continue
 			}
-			if !e.mergeable(nodes[i], top.merged) {
-				continue
-			}
-			if merged, gain := e.evalMerge(nodes[i], top.merged); merged != nil && (runToEnd || gain > minGain) {
-				push(i, newIdx, merged, gain)
-			}
+			jobs = append(jobs, pairJob{u: i, v: newIdx})
+		}
+		cands, err := e.evalPairs(nodes, jobs, runToEnd)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range cands {
+			push(r.u, r.v, r.merged, r.gain)
 		}
 	}
 	cfg := e.finish(nodes, iteration, trace)

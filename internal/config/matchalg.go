@@ -48,7 +48,10 @@ func MatchingBased(w *wtp.Matrix, params Params) (*Configuration, error) {
 				jobs = append(jobs, pairJob{u: i, v: j})
 			}
 		}
-		cands := e.evalPairs(nodes, jobs)
+		cands, err := e.evalPairs(nodes, jobs, false)
+		if err != nil {
+			return nil, err
+		}
 		if len(cands) == 0 {
 			break
 		}

@@ -47,12 +47,45 @@ type node struct {
 	dead  bool // merged away (greedy bookkeeping)
 }
 
+// mergeScratch holds the reusable buffers one evaluation thread needs to
+// price a candidate merge without allocating: the merged item list, the
+// merged interested-consumer vector, and (mixed bundling) the combined
+// per-consumer market state of the two parents. A node is materialized from
+// the scratch only when the candidate survives the gain filter, so the
+// O(N²) losing candidates cost zero heap churn.
+type mergeScratch struct {
+	items []int
+	ids   []int
+	vals  []float64
+	pay   []float64
+	surp  []float64
+	cost  []float64
+	esur  []float64
+}
+
+// grow returns buf resized to n, reusing capacity.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // engine carries shared state for the configuration algorithms.
 type engine struct {
 	w      *wtp.Matrix
 	params Params
 	pr     *pricing.Pricer
+	sc     *mergeScratch
 	k      int
+	// incremental routes candidate-merge vector construction through the
+	// parents' cached vectors (wtp.UnionVectors) instead of a postings
+	// rescan; the equivalence tests clear Params.referenceEval to compare
+	// the two. Scoped per engine so a run's choice never leaks.
+	incremental bool
+	// workers caches per-worker pricer+scratch contexts across the many
+	// evalPairs rounds of an algorithm run (see parallel.go).
+	workers []*workerCtx
 }
 
 func newEngine(w *wtp.Matrix, params Params) (*engine, error) {
@@ -66,7 +99,7 @@ func newEngine(w *wtp.Matrix, params Params) (*engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &engine{w: w, params: params, pr: pr, k: params.maxSize()}, nil
+	return &engine{w: w, params: params, pr: pr, sc: &mergeScratch{}, k: params.maxSize(), incremental: !params.referenceEval}, nil
 }
 
 // objective assembles the pricing objective for a bundle: the configured
@@ -88,10 +121,11 @@ func (e *engine) singletons() []*node {
 		n := &node{items: []int{i}, fresh: true}
 		// θ never applies to a single item: Eq. 1 degenerates to the raw WTP.
 		n.ids, n.vals = e.w.BundleVector(n.items, 0, nil, nil)
-		uq := e.pr.PriceUtility(n.vals, e.objective(n.items))
+		obj := e.objective(n.items)
+		uq := e.pr.PriceUtility(n.vals, obj)
 		n.quote = uq.Quote
 		n.revenue, n.profit, n.surplus, n.util = uq.Revenue, uq.Profit, uq.Surplus, uq.Utility
-		n.unitC = e.objective(n.items).UnitCost
+		n.unitC = obj.UnitCost
 		if e.params.Strategy == Mixed {
 			e.initState(n)
 		}
@@ -144,78 +178,124 @@ func (e *engine) mergeable(a, b *node) bool {
 	return idsIntersect(a.ids, b.ids)
 }
 
+// vectorScale returns the factor that lifts a parent node's cached vals to
+// the merged bundle's Eq. 1 terms. A multi-item parent's vector already
+// carries the (1+θ) adjustment; a singleton's vector is raw (θ never
+// applies to one item), so it picks the adjustment up here.
+func (e *engine) vectorScale(n *node) float64 {
+	if len(n.items) == 1 {
+		return 1 + e.params.Theta
+	}
+	return 1
+}
+
 // evalMerge prices the merge of a and b and returns the candidate merged
 // node along with the utility gain over keeping a and b as they are. The
 // returned node is fully formed but not yet inserted anywhere. A nil node
-// means the merge is infeasible.
-func (e *engine) evalMerge(a, b *node) (*node, float64) {
-	return e.evalMergeWith(e.pr, a, b)
+// means the merge is infeasible or (unless keepAll) not gaining.
+func (e *engine) evalMerge(a, b *node, keepAll bool) (*node, float64) {
+	return e.evalMergeWith(e.pr, e.sc, a, b, keepAll)
 }
 
-// evalMergeWith is evalMerge with an explicit pricer, so concurrent
-// evaluations can each own a pricer (scratch buffers are not shareable).
-func (e *engine) evalMergeWith(pr *pricing.Pricer, a, b *node) (*node, float64) {
-	items := mergeItems(a.items, b.items)
-	n := &node{items: items, fresh: true}
-	n.ids, n.vals = e.w.BundleVector(items, e.params.Theta, nil, nil)
-	n.unitC = e.objective(items).UnitCost
+// evalMergeWith is evalMerge with an explicit pricer and scratch, so
+// concurrent evaluations can each own both (neither is goroutine-safe).
+// The candidate is priced entirely in scratch; a node is allocated only
+// when it survives the gain filter (or keepAll is set, for the greedy
+// run-to-end variant that needs non-gaining candidates too).
+func (e *engine) evalMergeWith(pr *pricing.Pricer, sc *mergeScratch, a, b *node, keepAll bool) (*node, float64) {
+	sc.items = mergeItemsInto(sc.items, a.items, b.items)
+	if e.incremental {
+		sc.ids, sc.vals = wtp.UnionVectors(a.ids, a.vals, e.vectorScale(a), b.ids, b.vals, e.vectorScale(b), sc.ids, sc.vals)
+	} else {
+		sc.ids, sc.vals = e.w.BundleVector(sc.items, e.params.Theta, sc.ids, sc.vals)
+	}
+	obj := e.objective(sc.items)
 	switch e.params.Strategy {
 	case Pure:
-		uq := pr.PriceUtility(n.vals, e.objective(items))
+		uq := pr.PriceUtility(sc.vals, obj)
+		gain := uq.Utility - a.util - b.util
+		if !keepAll && gain <= minGain {
+			return nil, gain
+		}
+		n := materialize(sc)
 		n.quote = uq.Quote
+		n.unitC = obj.UnitCost
 		n.revenue, n.profit, n.surplus, n.util = uq.Revenue, uq.Profit, uq.Surplus, uq.Utility
-		return n, n.util - a.util - b.util
+		return n, gain
 	default:
-		return e.evalMergeMixed(pr, n, a, b)
+		return e.evalMergeMixed(pr, sc, obj.UnitCost, a, b)
+	}
+}
+
+// materialize copies a surviving scratch candidate into a fresh node; the
+// strategy-specific pricing state is filled in by the caller.
+func materialize(sc *mergeScratch) *node {
+	return &node{
+		items: append([]int(nil), sc.items...),
+		ids:   append([]int(nil), sc.ids...),
+		vals:  append([]float64(nil), sc.vals...),
+		fresh: true,
 	}
 }
 
 // evalMergeMixed prices the new bundle against the combined current state
 // of both subtrees (their offers are item-disjoint, so states add), within
 // the paper's price window (max component price, sum of component prices).
-func (e *engine) evalMergeMixed(pr *pricing.Pricer, n *node, a, b *node) (*node, float64) {
-	curPay := alignVals(n.ids, a.ids, a.pay)
-	curSurp := alignVals(n.ids, a.ids, a.surp)
-	curCost := alignVals(n.ids, a.ids, a.cost)
-	curESur := alignVals(n.ids, a.ids, a.esur)
-	bPay := alignVals(n.ids, b.ids, b.pay)
-	bSurp := alignVals(n.ids, b.ids, b.surp)
-	bCost := alignVals(n.ids, b.ids, b.cost)
-	bESur := alignVals(n.ids, b.ids, b.esur)
-	for j := range curPay {
-		curPay[j] += bPay[j]
-		curSurp[j] += bSurp[j]
-		curCost[j] += bCost[j]
-		curESur[j] += bESur[j]
+// The combined state is built in one pass over the union ids directly from
+// both parents' aligned vectors into the scratch buffers.
+func (e *engine) evalMergeMixed(pr *pricing.Pricer, sc *mergeScratch, unitC float64, a, b *node) (*node, float64) {
+	m := len(sc.ids)
+	sc.pay = grow(sc.pay, m)
+	sc.surp = grow(sc.surp, m)
+	sc.cost = grow(sc.cost, m)
+	sc.esur = grow(sc.esur, m)
+	ja, jb := 0, 0
+	for j, id := range sc.ids {
+		var p0, s0, c0, e0 float64
+		if ja < len(a.ids) && a.ids[ja] == id {
+			p0, s0, c0, e0 = a.pay[ja], a.surp[ja], a.cost[ja], a.esur[ja]
+			ja++
+		}
+		if jb < len(b.ids) && b.ids[jb] == id {
+			p0 += b.pay[jb]
+			s0 += b.surp[jb]
+			c0 += b.cost[jb]
+			e0 += b.esur[jb]
+			jb++
+		}
+		sc.pay[j], sc.surp[j], sc.cost[j], sc.esur[j] = p0, s0, c0, e0
 	}
 	lo := a.quote.Price
 	if b.quote.Price > lo {
 		lo = b.quote.Price
 	}
 	mq := pr.PriceMixed(pricing.MixedOffer{
-		CurPay:      curPay,
-		CurSurplus:  curSurp,
-		CurCost:     curCost,
-		CurESurplus: curESur,
-		WB:          n.vals,
+		CurPay:      sc.pay,
+		CurSurplus:  sc.surp,
+		CurCost:     sc.cost,
+		CurESurplus: sc.esur,
+		WB:          sc.vals,
 		Lo:          lo,
 		Hi:          a.quote.Price + b.quote.Price,
-		BundleCost:  n.unitC,
-		Obj:         pricing.Objective{ProfitWeight: e.params.ProfitWeight, UnitCost: n.unitC},
+		BundleCost:  unitC,
+		Obj:         pricing.Objective{ProfitWeight: e.params.ProfitWeight, UnitCost: unitC},
 	})
 	delta := mq.Utility - mq.BaselineUtility
 	if !mq.Feasible || delta <= minGain {
 		return nil, 0
 	}
-	// Commit the new state: every consumer re-resolves at the chosen price.
-	n.pay = make([]float64, len(n.ids))
-	n.surp = make([]float64, len(n.ids))
-	n.cost = make([]float64, len(n.ids))
-	n.esur = make([]float64, len(n.ids))
+	// The candidate survives: materialize the node and commit the new
+	// state, every consumer re-resolving at the chosen price.
+	n := materialize(sc)
+	n.unitC = unitC
+	n.pay = make([]float64, m)
+	n.surp = make([]float64, m)
+	n.cost = make([]float64, m)
+	n.esur = make([]float64, m)
 	alpha := e.params.Model.Alpha()
 	var pay, cost, sur float64
 	for j := range n.ids {
-		pj, prob, switched := pr.ResolveSwitch(n.vals[j], curPay[j], curSurp[j], mq.Price)
+		pj, prob, switched := pr.ResolveSwitch(n.vals[j], sc.pay[j], sc.surp[j], mq.Price)
 		n.pay[j] = pj
 		if switched {
 			n.cost[j] = n.unitC * prob
@@ -224,9 +304,9 @@ func (e *engine) evalMergeMixed(pr *pricing.Pricer, n *node, a, b *node) (*node,
 				n.esur[j] = s * prob
 			}
 		} else {
-			n.surp[j] = curSurp[j]
-			n.cost[j] = curCost[j]
-			n.esur[j] = curESur[j]
+			n.surp[j] = sc.surp[j]
+			n.cost[j] = sc.cost[j]
+			n.esur[j] = sc.esur[j]
 		}
 		pay += n.pay[j]
 		cost += n.cost[j]
@@ -272,9 +352,10 @@ func errCostCount(got, want int) error {
 	return fmt.Errorf("config: %d unit costs for %d items", got, want)
 }
 
-// mergeItems unions two ascending item lists.
-func mergeItems(a, b []int) []int {
-	out := make([]int, 0, len(a)+len(b))
+// mergeItemsInto unions two ascending item lists into dst, reusing its
+// capacity.
+func mergeItemsInto(dst, a, b []int) []int {
+	out := dst[:0]
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {

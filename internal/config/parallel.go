@@ -3,6 +3,7 @@ package config
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"bundling/internal/pricing"
 )
@@ -14,6 +15,11 @@ func (p Params) parallelism() int {
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// minParallelJobs is the batch size below which spawning workers costs more
+// than it saves; smaller batches (e.g. the late iterations of GreedyMerge,
+// when few live bundles remain) are priced serially.
+const minParallelJobs = 8
 
 // pairJob is one candidate merge to evaluate.
 type pairJob struct {
@@ -27,52 +33,80 @@ type pairResult struct {
 	gain   float64
 }
 
-// evalPairs prices every candidate pair concurrently. Each worker owns a
-// private Pricer (the pricer's scratch buffers are not goroutine-safe).
-// Results preserve no particular order; infeasible or non-gaining merges
-// are dropped.
-func (e *engine) evalPairs(nodes []*node, jobs []pairJob) []pairResult {
+// workerCtx is one evaluation thread's private pricer and scratch buffers
+// (neither is goroutine-safe). Contexts are built once per engine and
+// reused across every evalPairs round of an algorithm run.
+type workerCtx struct {
+	pr *pricing.Pricer
+	sc *mergeScratch
+}
+
+// workerPool returns n worker contexts, constructing any missing ones up
+// front so a pricer error surfaces before any goroutine spawns.
+func (e *engine) workerPool(n int) ([]*workerCtx, error) {
+	for len(e.workers) < n {
+		pr, err := e.params.pricer()
+		if err != nil {
+			return nil, err
+		}
+		e.workers = append(e.workers, &workerCtx{pr: pr, sc: &mergeScratch{}})
+	}
+	return e.workers[:n], nil
+}
+
+// evalPairs prices every candidate pair concurrently. Work is distributed
+// in contiguous chunks claimed off an atomic cursor, so workers synchronize
+// a handful of times per batch instead of once per job. Results are keyed
+// by job index, making the output deterministic regardless of worker count.
+// Infeasible candidates are dropped; non-gaining ones too, unless keepAll
+// (the greedy run-to-end variant needs every mergeable pair).
+func (e *engine) evalPairs(nodes []*node, jobs []pairJob, keepAll bool) ([]pairResult, error) {
 	if len(jobs) == 0 {
-		return nil
+		return nil, nil
 	}
 	workers := e.params.parallelism()
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	if workers <= 1 {
+	if workers <= 1 || len(jobs) < minParallelJobs {
 		out := make([]pairResult, 0, len(jobs))
 		for _, j := range jobs {
-			if merged, gain := e.evalMergeWith(e.pr, nodes[j.u], nodes[j.v]); merged != nil && gain > minGain {
+			if merged, gain := e.evalMerge(nodes[j.u], nodes[j.v], keepAll); merged != nil {
 				out = append(out, pairResult{u: j.u, v: j.v, merged: merged, gain: gain})
 			}
 		}
-		return out
+		return out, nil
+	}
+	ws, err := e.workerPool(workers)
+	if err != nil {
+		return nil, err
 	}
 	results := make([]pairResult, len(jobs))
+	chunk := len(jobs)/(workers*8) + 1
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int) // job indices
 	for w := 0; w < workers; w++ {
-		pr, err := e.params.pricer()
-		if err != nil {
-			// Params were validated at engine construction; a failure here
-			// is a programming error.
-			panic(err)
-		}
 		wg.Add(1)
-		go func(pr *pricing.Pricer) {
+		go func(ctx *workerCtx) {
 			defer wg.Done()
-			for idx := range next {
-				j := jobs[idx]
-				if merged, gain := e.evalMergeWith(pr, nodes[j.u], nodes[j.v]); merged != nil && gain > minGain {
-					results[idx] = pairResult{u: j.u, v: j.v, merged: merged, gain: gain}
+			for {
+				end := int(cursor.Add(int64(chunk)))
+				start := end - chunk
+				if start >= len(jobs) {
+					return
+				}
+				if end > len(jobs) {
+					end = len(jobs)
+				}
+				for idx := start; idx < end; idx++ {
+					j := jobs[idx]
+					if merged, gain := e.evalMergeWith(ctx.pr, ctx.sc, nodes[j.u], nodes[j.v], keepAll); merged != nil {
+						results[idx] = pairResult{u: j.u, v: j.v, merged: merged, gain: gain}
+					}
 				}
 			}
-		}(pr)
+		}(ws[w])
 	}
-	for idx := range jobs {
-		next <- idx
-	}
-	close(next)
 	wg.Wait()
 	out := make([]pairResult, 0, len(jobs))
 	for _, r := range results {
@@ -80,5 +114,5 @@ func (e *engine) evalPairs(nodes []*node, jobs []pairJob) []pairResult {
 			out = append(out, r)
 		}
 	}
-	return out
+	return out, nil
 }

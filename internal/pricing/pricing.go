@@ -11,8 +11,10 @@
 package pricing
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"bundling/internal/adoption"
 )
@@ -36,6 +38,12 @@ type Pricer struct {
 	fcounts []float64
 	fsums   []float64
 	mids    []float64
+	// scratch reused by the deterministic PriceMixed sweep.
+	events []switchEvent
+	utilB  []float64
+	revB   []float64
+	surB   []float64
+	adB    []float64
 }
 
 // New returns a Pricer using T price levels. T must be positive.
@@ -50,6 +58,10 @@ func New(model adoption.Model, levels int) (*Pricer, error) {
 		fcounts: make([]float64, levels+1),
 		fsums:   make([]float64, levels+1),
 		mids:    make([]float64, levels+1),
+		utilB:   make([]float64, levels+1),
+		revB:    make([]float64, levels+1),
+		surB:    make([]float64, levels+1),
+		adB:     make([]float64, levels+1),
 	}, nil
 }
 
@@ -145,7 +157,7 @@ func (p *Pricer) priceSigmoidBucketed(wtps []float64, maxW float64) Quote {
 		}
 		counts[idx]++
 	}
-	mids := make([]float64, T+1)
+	mids := p.mids[:T+1]
 	for t := 0; t <= T; t++ {
 		mids[t] = (float64(t) + 0.5) * maxW / float64(T)
 		if mids[t] > maxW {
@@ -266,6 +278,9 @@ func (p *Pricer) PriceMixed(off MixedOffer) MixedQuote {
 	if off.Hi <= off.Lo {
 		return q // degenerate window (e.g. a free component)
 	}
+	if p.model.Deterministic() {
+		return p.priceMixedStep(off, q, basePay, baseCost, baseSur)
+	}
 	T := p.levels
 	for t := 1; t <= T; t++ {
 		// Strictly inside (Lo, Hi): the bounds themselves are disallowed.
@@ -275,6 +290,112 @@ func (p *Pricer) PriceMixed(off MixedOffer) MixedQuote {
 		if util > q.Utility {
 			q.Price, q.Revenue, q.Adopters = pb, rev, adopters
 			q.Utility, q.Surplus = util, sur
+			q.Feasible = true
+		}
+	}
+	return q
+}
+
+// switchEvent summarizes one consumer for the deterministic PriceMixed
+// sweep: tau is the bundle price below which the consumer switches
+// (effective bundle WTP minus current surplus), the rest is the state the
+// switch releases or retains.
+type switchEvent struct {
+	tau  float64 // α·wb − max(current surplus, 0): the switch threshold price
+	wb   float64 // raw bundle WTP (ResolveSwitch re-derives the rest)
+	ewb  float64 // α·wb
+	pay  float64 // current expected payment
+	surp float64 // current deterministic surplus
+	cost float64 // current expected serving cost
+	esur float64 // current expected consumer surplus
+}
+
+// priceMixedStep evaluates all T bundle-price levels in O(m·log m + m + T)
+// under the deterministic step model, replacing the O(m·T) per-level rescan
+// of offerOutcome. Under the step rule a consumer switches to the bundle
+// exactly when its price falls more than ε below their threshold
+// τ = α·wb − current surplus, so sweeping the levels top-down and advancing
+// a pointer over τ-sorted consumers maintains the switcher aggregates
+// incrementally. Consumers whose τ lies within the ε tie window of the
+// current level are resolved individually with ResolveSwitch, keeping the
+// result exactly faithful to the reference evaluation.
+func (p *Pricer) priceMixedStep(off MixedOffer, q MixedQuote, basePay, baseCost, baseSur float64) MixedQuote {
+	const eps = adoption.DefaultEpsilon
+	T := p.levels
+	alpha := p.model.Alpha()
+	ev := p.events[:0]
+	for j, wb := range off.WB {
+		ewb := alpha * wb
+		if ewb <= 0 {
+			continue // never switches; payment already in basePay
+		}
+		// The classification threshold clamps negative current surplus at
+		// zero: for surplus < 0 the binding ResolveSwitch constraint is
+		// bs ≥ -ε (price at most ε above the effective WTP), not the
+		// surplus comparison, so the switch boundary is ewb itself. The
+		// tie window below still sees the true surplus via ResolveSwitch.
+		surp := off.CurSurplus[j]
+		tauSurp := surp
+		if tauSurp < 0 {
+			tauSurp = 0
+		}
+		ev = append(ev, switchEvent{
+			tau:  ewb - tauSurp,
+			wb:   wb,
+			ewb:  ewb,
+			pay:  off.CurPay[j],
+			surp: surp,
+			cost: at0(off.CurCost, j),
+			esur: at0(off.CurESurplus, j),
+		})
+	}
+	p.events = ev
+	slices.SortFunc(ev, func(a, b switchEvent) int { return cmp.Compare(a.tau, b.tau) })
+	utilB, revB, surB, adB := p.utilB[:T+1], p.revB[:T+1], p.surB[:T+1], p.adB[:T+1]
+	// Aggregates over the definitely-switched suffix ev[ptr:] (τ well above
+	// the current price level). The 2ε-wide band around the level is kept
+	// out of the aggregates and delegated to ResolveSwitch per consumer, so
+	// the ε tie-break semantics match the reference path bit for bit.
+	ptr := len(ev)
+	var cnt, sumPay, sumCost, sumESur, sumEwb float64
+	for t := T; t >= 1; t-- {
+		pb := off.Lo + (off.Hi-off.Lo)*float64(t)/float64(T+1)
+		for ptr > 0 && ev[ptr-1].tau > pb+2*eps {
+			x := &ev[ptr-1]
+			cnt++
+			sumPay += x.pay
+			sumCost += x.cost
+			sumESur += x.esur
+			sumEwb += x.ewb
+			ptr--
+		}
+		rev := pb*cnt + (basePay - sumPay)
+		cost := off.BundleCost*cnt + (baseCost - sumCost)
+		sur := (sumEwb - pb*cnt) + (baseSur - sumESur)
+		adopters := cnt
+		for k := ptr - 1; k >= 0 && ev[k].tau >= pb-2*eps; k-- {
+			x := &ev[k]
+			pay, prob, switched := p.ResolveSwitch(x.wb, x.pay, x.surp, pb)
+			if switched {
+				rev += pay - x.pay
+				cost += off.BundleCost*prob - x.cost
+				sur -= x.esur
+				if s := x.ewb - pb; s > 0 {
+					sur += s * prob
+				}
+				adopters += prob
+			}
+		}
+		revB[t], surB[t], adB[t] = rev, sur, adopters
+		utilB[t] = off.Obj.ProfitWeight*(rev-cost) + (1-off.Obj.ProfitWeight)*sur
+	}
+	// Select ascending with a strict improvement test, mirroring the
+	// reference loop's first-maximum tie-break.
+	for t := 1; t <= T; t++ {
+		if utilB[t] > q.Utility {
+			q.Price = off.Lo + (off.Hi-off.Lo)*float64(t)/float64(T+1)
+			q.Revenue, q.Adopters = revB[t], adB[t]
+			q.Utility, q.Surplus = utilB[t], surB[t]
 			q.Feasible = true
 		}
 	}

@@ -1,0 +1,163 @@
+package wtp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomMatrix builds an m×n matrix with the given fill density; values are
+// price-like (0.5 .. ~50) so they exercise realistic float magnitudes.
+func randomMatrix(t testing.TB, rng *rand.Rand, m, n int, density float64) *Matrix {
+	t.Helper()
+	w := MustNew(m, n)
+	for u := 0; u < m; u++ {
+		for i := 0; i < n; i++ {
+			if rng.Float64() < density {
+				w.MustSet(u, i, 0.5+rng.Float64()*49.5)
+			}
+		}
+	}
+	return w
+}
+
+// checkUnionEquivalence asserts that deriving the bundle vector of
+// itemsA ∪ itemsB from the parents' cached vectors (UnionVectors, the
+// incremental fast path) matches rebuilding it from the raw postings
+// (BundleVector, the cold-start reference) for the given θ. Parents follow
+// the engine convention: a singleton's cached vector is raw (θ = 0), a
+// multi-item parent's vector already carries the θ adjustment, and the
+// scale passed to UnionVectors lifts each to the merged bundle's terms.
+func checkUnionEquivalence(t *testing.T, w *Matrix, itemsA, itemsB []int, theta float64) {
+	t.Helper()
+	thetaFor := func(items []int) float64 {
+		if len(items) == 1 {
+			return 0
+		}
+		return theta
+	}
+	scaleFor := func(items []int) float64 {
+		if len(items) == 1 {
+			return 1 + theta
+		}
+		return 1
+	}
+	aIDs, aVals := w.BundleVector(itemsA, thetaFor(itemsA), nil, nil)
+	bIDs, bVals := w.BundleVector(itemsB, thetaFor(itemsB), nil, nil)
+	gotIDs, gotVals := UnionVectors(aIDs, aVals, scaleFor(itemsA), bIDs, bVals, scaleFor(itemsB), nil, nil)
+
+	union := append(append([]int(nil), itemsA...), itemsB...)
+	wantIDs, wantVals := w.BundleVector(union, theta, nil, nil)
+
+	if len(gotIDs) != len(wantIDs) {
+		t.Fatalf("θ=%g A=%v B=%v: union has %d consumers, reference %d", theta, itemsA, itemsB, len(gotIDs), len(wantIDs))
+	}
+	for j := range wantIDs {
+		if gotIDs[j] != wantIDs[j] {
+			t.Fatalf("θ=%g A=%v B=%v: consumer[%d] = %d, reference %d", theta, itemsA, itemsB, j, gotIDs[j], wantIDs[j])
+		}
+		if diff := math.Abs(gotVals[j] - wantVals[j]); diff > 1e-9 {
+			t.Fatalf("θ=%g A=%v B=%v: val[%d] = %.15g, reference %.15g (diff %g)", theta, itemsA, itemsB, j, gotVals[j], wantVals[j], diff)
+		}
+	}
+}
+
+// TestUnionVectorsMatchesBundleVector is the property test of the
+// incremental merge fast path: across random matrices, θ values, and
+// overlapping-consumer patterns, a scaled union of two cached parent
+// vectors equals the postings-scan rebuild of the united bundle.
+func TestUnionVectorsMatchesBundleVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	thetas := []float64{-0.5, -0.05, 0, 0.1, 0.75}
+	for trial := 0; trial < 60; trial++ {
+		m := 3 + rng.Intn(40)
+		n := 4 + rng.Intn(12)
+		// Sweep density so some trials have heavily overlapping consumer
+		// sets and others nearly disjoint ones.
+		w := randomMatrix(t, rng, m, n, 0.05+0.9*rng.Float64())
+		// Random disjoint item sets A and B.
+		perm := rng.Perm(n)
+		ka := 1 + rng.Intn(n-1)
+		kb := 1 + rng.Intn(n-ka)
+		itemsA := append([]int(nil), perm[:ka]...)
+		itemsB := append([]int(nil), perm[ka:ka+kb]...)
+		sortInts(itemsA)
+		sortInts(itemsB)
+		theta := thetas[trial%len(thetas)]
+		checkUnionEquivalence(t, w, itemsA, itemsB, theta)
+	}
+}
+
+// TestUnionVectorsEmptySides covers unions where one or both parents have
+// no interested consumers.
+func TestUnionVectorsEmptySides(t *testing.T) {
+	w := MustNew(4, 3)
+	w.MustSet(1, 0, 10)
+	w.MustSet(3, 0, 4)
+	// Item 1 and 2 have no consumers.
+	checkUnionEquivalence(t, w, []int{0}, []int{1}, 0)
+	checkUnionEquivalence(t, w, []int{1}, []int{2}, 0.3)
+	ids, vals := UnionVectors(nil, nil, 1, nil, nil, 1, nil, nil)
+	if len(ids) != 0 || len(vals) != 0 {
+		t.Fatalf("empty union = %v %v, want empty", ids, vals)
+	}
+}
+
+// TestUnionVectorsReuse checks dst reuse does not corrupt results.
+func TestUnionVectorsReuse(t *testing.T) {
+	w := MustNew(3, 2)
+	w.MustSet(0, 0, 5)
+	w.MustSet(1, 0, 7)
+	w.MustSet(1, 1, 2)
+	w.MustSet(2, 1, 9)
+	aIDs, aVals := w.BundleVector([]int{0}, 0, nil, nil)
+	bIDs, bVals := w.BundleVector([]int{1}, 0, nil, nil)
+	dstIDs := make([]int, 0, 8)
+	dstVals := make([]float64, 0, 8)
+	ids, vals := UnionVectors(aIDs, aVals, 1, bIDs, bVals, 1, dstIDs, dstVals)
+	if &ids[0] != &dstIDs[:1][0] || &vals[0] != &dstVals[:1][0] {
+		t.Error("dst capacity not reused")
+	}
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 1 || ids[2] != 2 {
+		t.Fatalf("ids = %v, want [0 1 2]", ids)
+	}
+	if vals[1] != 9 {
+		t.Fatalf("overlap val = %g, want 9", vals[1])
+	}
+}
+
+// FuzzUnionVectors drives the same property from fuzzed shape parameters:
+// the corpus seeds pin down the regression cases, `go test -fuzz` explores
+// beyond them.
+func FuzzUnionVectors(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(6), uint8(2), float64(0))
+	f.Add(int64(2), uint8(30), uint8(9), uint8(4), float64(-0.05))
+	f.Add(int64(3), uint8(5), uint8(3), uint8(1), float64(0.25))
+	f.Add(int64(42), uint8(60), uint8(12), uint8(6), float64(0.75))
+	f.Add(int64(99), uint8(2), uint8(2), uint8(1), float64(-0.9))
+	f.Fuzz(func(t *testing.T, seed int64, users, items, ka uint8, theta float64) {
+		m := int(users)%64 + 1
+		n := int(items)%16 + 2
+		if theta <= -1 || theta > 10 || theta != theta {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		w := randomMatrix(t, rng, m, n, 0.4)
+		split := int(ka)%(n-1) + 1
+		perm := rng.Perm(n)
+		itemsA := append([]int(nil), perm[:split]...)
+		itemsB := append([]int(nil), perm[split:]...)
+		sortInts(itemsA)
+		sortInts(itemsB)
+		checkUnionEquivalence(t, w, itemsA, itemsB, theta)
+	})
+}
+
+// sortInts is a tiny insertion sort; test helper, avoids importing sort.
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

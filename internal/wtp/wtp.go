@@ -156,6 +156,11 @@ func (w *Matrix) BundleWTP(u int, items []int, theta float64) float64 {
 // parallel slices of consumer ids (ascending) and WTP values. The dst slices
 // are reused if they have capacity, so callers can amortize allocations
 // across the many candidate bundles the configuration algorithms price.
+//
+// This is the cold-start path: it rebuilds the vector from the raw item
+// postings in O(Σ|postings| · log k) via a heap merge. The configuration
+// algorithms' candidate-merge hot path instead derives merged vectors from
+// the parents' cached vectors with UnionVectors, which is O(|a|+|b|).
 func (w *Matrix) BundleVector(items []int, theta float64, dstIDs []int, dstVals []float64) ([]int, []float64) {
 	dstIDs = dstIDs[:0]
 	dstVals = dstVals[:0]
@@ -172,45 +177,150 @@ func (w *Matrix) BundleVector(items []int, theta float64, dstIDs []int, dstVals 
 			}
 		}
 		return dstIDs, dstVals
+	case 2:
+		// Two items: a plain two-pointer merge beats any heap.
+		a, b := w.postings[items[0]], w.postings[items[1]]
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			var u int
+			var sum float64
+			switch {
+			case a[i].Consumer < b[j].Consumer:
+				u, sum = a[i].Consumer, a[i].Value
+				i++
+			case a[i].Consumer > b[j].Consumer:
+				u, sum = b[j].Consumer, b[j].Value
+				j++
+			default:
+				u, sum = a[i].Consumer, a[i].Value+b[j].Value
+				i++
+				j++
+			}
+			if v := sum * (1 + theta); v > 0 {
+				dstIDs = append(dstIDs, u)
+				dstVals = append(dstVals, v)
+			}
+		}
+		for ; i < len(a); i++ {
+			if v := a[i].Value * (1 + theta); v > 0 {
+				dstIDs = append(dstIDs, a[i].Consumer)
+				dstVals = append(dstVals, v)
+			}
+		}
+		for ; j < len(b); j++ {
+			if v := b[j].Value * (1 + theta); v > 0 {
+				dstIDs = append(dstIDs, b[j].Consumer)
+				dstVals = append(dstVals, v)
+			}
+		}
+		return dstIDs, dstVals
 	}
-	// k-way merge over the items' postings lists.
-	type cursor struct {
-		list []Entry
-		pos  int
-	}
-	cursors := make([]cursor, 0, len(items))
+	// k ≥ 3: tournament merge over the items' postings lists via a binary
+	// min-heap keyed by each cursor's head consumer, O(total · log k)
+	// instead of the O(total · k) of a linear min-scan.
+	h := make([]vecCursor, 0, len(items))
 	for _, i := range items {
 		if len(w.postings[i]) > 0 {
-			cursors = append(cursors, cursor{list: w.postings[i]})
+			h = append(h, vecCursor{list: w.postings[i]})
 		}
 	}
-	for {
-		// Find the smallest consumer id among live cursors.
-		minU := -1
-		for _, c := range cursors {
-			if c.pos < len(c.list) {
-				u := c.list[c.pos].Consumer
-				if minU == -1 || u < minU {
-					minU = u
-				}
-			}
-		}
-		if minU == -1 {
-			break
-		}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDownCursor(h, i)
+	}
+	for len(h) > 0 {
+		u := h[0].list[h[0].pos].Consumer
 		var sum float64
-		for ci := range cursors {
-			c := &cursors[ci]
-			if c.pos < len(c.list) && c.list[c.pos].Consumer == minU {
-				sum += c.list[c.pos].Value
-				c.pos++
+		for len(h) > 0 && h[0].list[h[0].pos].Consumer == u {
+			sum += h[0].list[h[0].pos].Value
+			h[0].pos++
+			if h[0].pos == len(h[0].list) {
+				h[0] = h[len(h)-1]
+				h = h[:len(h)-1]
+			}
+			if len(h) > 1 {
+				siftDownCursor(h, 0)
 			}
 		}
-		v := sum * (1 + theta)
-		if v > 0 {
-			dstIDs = append(dstIDs, minU)
+		if v := sum * (1 + theta); v > 0 {
+			dstIDs = append(dstIDs, u)
 			dstVals = append(dstVals, v)
 		}
+	}
+	return dstIDs, dstVals
+}
+
+// vecCursor walks one posting list during the heap merge of BundleVector.
+type vecCursor struct {
+	list []Entry
+	pos  int
+}
+
+// siftDownCursor restores the min-heap property (by head consumer id) for
+// the subtree rooted at i.
+func siftDownCursor(h []vecCursor, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		min := l
+		if r := l + 1; r < len(h) && h[r].list[h[r].pos].Consumer < h[l].list[h[l].pos].Consumer {
+			min = r
+		}
+		if h[i].list[h[i].pos].Consumer <= h[min].list[h[min].pos].Consumer {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// UnionVectors merges two ascending, aligned (ids, vals) consumer vectors
+// into their union in O(|a|+|b|), scaling each side's values: a consumer on
+// both sides gets sa·aVal + sb·bVal, a one-sided consumer sa·aVal (or
+// sb·bVal). The dst slices are reused if they have capacity.
+//
+// This is the incremental merge-evaluation fast path: when two bundles with
+// cached interested-consumer vectors merge, the merged bundle's Eq. 1 vector
+// is a scaled union of the parents' vectors. A parent whose cached vector
+// already includes the θ adjustment passes scale 1; a singleton parent
+// (whose vector is raw, θ never applying to one item) passes 1+θ, so the
+// result equals BundleVector over the united item set.
+func UnionVectors(aIDs []int, aVals []float64, sa float64, bIDs []int, bVals []float64, sb float64, dstIDs []int, dstVals []float64) ([]int, []float64) {
+	dstIDs = dstIDs[:0]
+	dstVals = dstVals[:0]
+	i, j := 0, 0
+	for i < len(aIDs) && j < len(bIDs) {
+		switch {
+		case aIDs[i] < bIDs[j]:
+			dstIDs = append(dstIDs, aIDs[i])
+			dstVals = append(dstVals, sa*aVals[i])
+			i++
+		case aIDs[i] > bIDs[j]:
+			dstIDs = append(dstIDs, bIDs[j])
+			dstVals = append(dstVals, sb*bVals[j])
+			j++
+		default:
+			dstIDs = append(dstIDs, aIDs[i])
+			if sa == sb {
+				// Same scale on both sides (e.g. θ = 0, or two singleton
+				// parents): factor it out so the rounding matches the
+				// sum-then-scale of BundleVector as closely as possible.
+				dstVals = append(dstVals, sa*(aVals[i]+bVals[j]))
+			} else {
+				dstVals = append(dstVals, sa*aVals[i]+sb*bVals[j])
+			}
+			i++
+			j++
+		}
+	}
+	for ; i < len(aIDs); i++ {
+		dstIDs = append(dstIDs, aIDs[i])
+		dstVals = append(dstVals, sa*aVals[i])
+	}
+	for ; j < len(bIDs); j++ {
+		dstIDs = append(dstIDs, bIDs[j])
+		dstVals = append(dstVals, sb*bVals[j])
 	}
 	return dstIDs, dstVals
 }
