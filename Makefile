@@ -3,8 +3,9 @@
 # have a baseline to regress against.
 
 GO ?= go
+NPROC ?= $(shell nproc 2>/dev/null || echo 2)
 
-.PHONY: build test vet race check bench fuzz
+.PHONY: build test vet fmt race check bench bench-parallel fuzz
 
 build:
 	$(GO) build ./...
@@ -12,20 +13,32 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fail when any file is not gofmt-clean (CI gate).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
-# Race-check the packages with lock-free parallel paths (chunked evalPairs).
+# Race-check the packages with lock-free parallel paths (chunked evalPairs,
+# shared Solver sessions, per-stripe farming).
 race:
 	$(GO) test -race ./internal/config/ ./internal/pricing/ ./internal/wtp/
 
-check: vet build test race
+check: fmt vet build test race
 
-# Benchmark the greedy/matching hot paths at bench scale and write
-# machine-readable results. Compare against the committed BENCH_greedy.json
-# before and after performance work.
+# Benchmark the algorithm hot paths (one-shot and warm-session rows) at
+# bench scale and write machine-readable results. Compare against the
+# committed BENCH_greedy.json before and after performance work.
 bench:
 	$(GO) run ./cmd/bundlebench -exp perf -benchout BENCH_greedy.json
+
+# Same benchmark with the candidate-pricing worker pool pinned to the
+# machine's core count, written to a separate file so multi-core runs are
+# distinguishable from the single-core trajectory (the report records
+# numcpu/maxprocs/parallelism).
+bench-parallel:
+	$(GO) run ./cmd/bundlebench -exp perf -parallel $(NPROC) -benchout BENCH_parallel.json
 
 # Short fuzz pass over the incremental-union equivalence property.
 fuzz:

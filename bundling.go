@@ -13,32 +13,51 @@
 //	w := bundling.NewMatrix(3, 2) // 3 consumers, 2 items
 //	w.MustSet(0, 0, 12) // consumer 0 pays up to $12 for item 0
 //	// ... fill the matrix ...
-//	cfg, err := bundling.Configure(w, bundling.Options{})
+//	solver, err := bundling.NewSolver(w, bundling.Options{})
+//	cfg, err := solver.Solve(bundling.Matching())
 //	// cfg.Bundles now holds the priced bundle partition.
 //
-// The Solve* functions expose the individual algorithms: SolveComponents
-// (no bundling), SolveOptimal2 (exact for bundles up to two items),
-// SolveMatching and SolveGreedy (the paper's heuristics for any bundle
-// size), and SolveFreqItemset (the "frequently bought together" baseline).
+// NewSolver indexes the matrix once — striped columnar postings, priced
+// singletons, pricing scratch pools — and the returned Solver then serves
+// any number of solves and what-if evaluations, including concurrent ones
+// from multiple goroutines. Algorithms are values implementing the
+// Algorithm interface: Components (no bundling), Optimal2 (exact for
+// bundles up to two items), Matching and Greedy (the paper's heuristics for
+// any bundle size), and FreqItemset (the "frequently bought together"
+// baseline); Algorithms lists all five, AlgorithmByName resolves CLI
+// names, and Solver.Evaluate prices caller-proposed configurations. The
+// one-shot Solve* functions remain as thin wrappers that build a throwaway
+// session per call.
 //
 // Willingness to pay can be mined from star ratings with FromRatings, or
 // synthesized at any scale with the dataset generator in GenerateDataset.
 // See the examples directory for end-to-end programs.
 //
+// # Storage and stripe sizing
+//
+// A Solver stores the matrix as fixed-size consumer stripes with columnar
+// per-stripe postings: scans touch one stripe's contiguous arrays at a
+// time, and per-stripe work units are independent, ready to be farmed to
+// worker goroutines (or, eventually, other machines). Options.StripeSize
+// sets the consumers-per-stripe (default 1024). Results are identical for
+// any stripe size; tune it only for locality — smaller stripes when bundle
+// scans thrash the cache on very dense corpora, larger ones to shave
+// per-stripe overhead on small matrices.
+//
 // # Performance
 //
 // The configuration algorithms run on an incremental merge-evaluation
 // engine. Candidate merges derive the merged bundle's interested-consumer
-// vector from the two parents' cached vectors in O(|a|+|b|)
-// (wtp.UnionVectors) instead of rescanning the raw item postings; candidate
-// pricing runs entirely in per-worker scratch buffers, materializing a
-// bundle node only when a candidate survives the gain filter; mixed-bundling
-// price search sweeps all T price levels in O(m·log m + T) by sorting
-// consumers on their switch-threshold price rather than rescanning all m
-// consumers per level; and both the initial pair seeding and the
-// per-iteration re-pricing after each merge are evaluated by a chunked
-// parallel worker pool (Options via config.Params.Parallelism; results are
-// deterministic regardless of worker count).
+// vector from the two parents' cached vectors in O(|a|+|b|) (striped
+// unions) instead of rescanning the raw item postings; candidate pricing
+// runs entirely in per-worker scratch buffers, materializing a bundle node
+// only when a candidate survives the gain filter; mixed-bundling price
+// search sweeps all T price levels in O(m·log m + T) by sorting consumers
+// on their switch-threshold price rather than rescanning all m consumers
+// per level; and both the initial pair seeding and the per-iteration
+// re-pricing after each merge are evaluated by a chunked parallel worker
+// pool (Options via config.Params.Parallelism; results are deterministic
+// regardless of worker count).
 //
 // Measured on the 600×150 bench corpus (single core, see
 // BENCH_greedy.json): mixed greedy 3.41s → 0.64s per run (5.3×) with 7.8×
@@ -46,7 +65,10 @@
 // pure variants ~1.9× faster with ~80× fewer allocations — with revenues
 // matching the reference postings-scan path within 1e-9 (the fast path
 // reorders float arithmetic), as enforced by the equivalence property
-// tests in internal/config, internal/wtp and internal/pricing.
+// tests in internal/config, internal/wtp and internal/pricing. Session
+// reuse amortizes the remaining indexing: repeated solves on one Solver
+// skip shard construction and singleton pricing entirely (see the
+// Solver/* rows in BENCH_greedy.json).
 package bundling
 
 import (
@@ -126,6 +148,10 @@ type Options struct {
 	// information-goods setting where profit equals revenue). A bundle's
 	// unit cost is the sum of its items' costs.
 	UnitCosts []float64
+	// StripeSize is the number of consumers per storage stripe of the
+	// solver's sharded WTP index (0 = 1024). Results are identical for any
+	// value; see the package doc on stripe sizing.
+	StripeSize int
 }
 
 func (o Options) params() (config.Params, error) {
@@ -140,6 +166,7 @@ func (o Options) params() (config.Params, error) {
 		p.ProfitWeight = o.ProfitWeight
 	}
 	p.UnitCosts = o.UnitCosts
+	p.StripeSize = o.StripeSize
 	gamma := o.Gamma
 	if gamma == 0 {
 		gamma = adoption.DefaultGamma
@@ -159,6 +186,77 @@ func (o Options) params() (config.Params, error) {
 	return p, nil
 }
 
+// Algorithm is one bundle-configuration algorithm, runnable on a Solver
+// session via Solver.Solve or through the one-shot Solve* wrappers.
+type Algorithm = config.Algorithm
+
+// Components returns the individual-pricing baseline (no bundling).
+func Components() Algorithm { return config.ComponentsAlgorithm() }
+
+// Optimal2 returns the exact solver for bundles of up to two items
+// (Sec. 5.1); it ignores Options.MaxBundleSize.
+func Optimal2() Algorithm { return config.Optimal2Algorithm() }
+
+// Matching returns the matching-based heuristic (Algorithm 1), the method
+// the paper's evaluation recommends.
+func Matching() Algorithm { return config.MatchingAlgorithm() }
+
+// Greedy returns the greedy merge heuristic (Algorithm 2).
+func Greedy() Algorithm { return config.GreedyAlgorithm() }
+
+// FreqItemset returns the "frequently bought together" baseline. minSupport
+// is the relative minimum support; 0 selects the paper's tuned 0.001.
+func FreqItemset(minSupport float64) Algorithm {
+	if minSupport == 0 {
+		minSupport = config.DefaultFreqItemsetOptions().MinSupport
+	}
+	return config.FreqItemsetAlgorithm(config.FreqItemsetOptions{MinSupport: minSupport})
+}
+
+// Algorithms lists the five algorithms with default options, in the
+// paper's presentation order.
+func Algorithms() []Algorithm { return config.Algorithms() }
+
+// AlgorithmByName resolves a stable algorithm name ("components",
+// "optimal2", "matching", "greedy", "freqitemset") to its
+// default-configured implementation.
+func AlgorithmByName(name string) (Algorithm, error) { return config.AlgorithmByName(name) }
+
+// Solver is a long-lived bundling session over one matrix and one option
+// set. NewSolver indexes the matrix once; the Solver then serves any
+// number of Solve and Evaluate calls, including concurrent ones, without
+// re-indexing — the serving-path API for what-if workloads. The matrix
+// must not be mutated while the Solver is in use.
+type Solver struct {
+	inner *config.Solver
+}
+
+// NewSolver builds a session for the matrix under the given options.
+func NewSolver(w *Matrix, opts Options) (*Solver, error) {
+	p, err := opts.params()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := config.NewSolver(w, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{inner: inner}, nil
+}
+
+// Solve runs an algorithm on the session.
+func (s *Solver) Solve(a Algorithm) (*Configuration, error) { return s.inner.Solve(a) }
+
+// Evaluate prices a caller-proposed configuration on the session — the
+// "what-if" counterpart of Solve. offers lists the item sets to put on
+// sale; the engine picks each offer's optimal price. Offers must be
+// pairwise disjoint under pure bundling and laminar (disjoint or nested)
+// under mixed bundling; they need not cover every item.
+func (s *Solver) Evaluate(offers [][]int) (*Configuration, error) { return s.inner.Evaluate(offers) }
+
+// Algorithms lists the algorithms runnable on this session.
+func (s *Solver) Algorithms() []Algorithm { return config.Algorithms() }
+
 // Configure finds a revenue-maximizing bundle configuration using the
 // paper's matching-based heuristic (Algorithm 1), the method its evaluation
 // recommends: it attains the highest revenue coverage in the least time and
@@ -170,11 +268,17 @@ func Configure(w *Matrix, opts Options) (*Configuration, error) {
 // SolveComponents prices every item individually (no bundling) — the
 // baseline every bundling strategy is measured against.
 func SolveComponents(w *Matrix, opts Options) (*Configuration, error) {
-	p, err := opts.params()
+	return solveOneShot(w, opts, Components())
+}
+
+// solveOneShot runs an algorithm on a throwaway session, the compatibility
+// path behind the Solve* wrappers.
+func solveOneShot(w *Matrix, opts Options, a Algorithm) (*Configuration, error) {
+	s, err := NewSolver(w, opts)
 	if err != nil {
 		return nil, err
 	}
-	return config.Components(w, p)
+	return s.Solve(a)
 }
 
 // SolveComponentsAt prices every item at the given fixed prices (e.g. a
@@ -191,31 +295,19 @@ func SolveComponentsAt(w *Matrix, prices []float64, opts Options) (*Configuratio
 // maximum-weight graph matching (Sec. 5.1). Options.MaxBundleSize is
 // ignored (forced to 2).
 func SolveOptimal2(w *Matrix, opts Options) (*Configuration, error) {
-	p, err := opts.params()
-	if err != nil {
-		return nil, err
-	}
-	return config.Optimal2Sized(w, p)
+	return solveOneShot(w, opts, Optimal2())
 }
 
 // SolveMatching runs the matching-based heuristic (Algorithm 1) for
 // arbitrary bundle sizes.
 func SolveMatching(w *Matrix, opts Options) (*Configuration, error) {
-	p, err := opts.params()
-	if err != nil {
-		return nil, err
-	}
-	return config.MatchingBased(w, p)
+	return solveOneShot(w, opts, Matching())
 }
 
 // SolveGreedy runs the greedy merge heuristic (Algorithm 2) for arbitrary
 // bundle sizes.
 func SolveGreedy(w *Matrix, opts Options) (*Configuration, error) {
-	p, err := opts.params()
-	if err != nil {
-		return nil, err
-	}
-	return config.GreedyMerge(w, p)
+	return solveOneShot(w, opts, Greedy())
 }
 
 // SolveFreqItemset runs the "frequently bought together" baseline: bundle
@@ -223,14 +315,7 @@ func SolveGreedy(w *Matrix, opts Options) (*Configuration, error) {
 // transactions, greedily selected by revenue gain. minSupport is the
 // relative minimum support; the paper tunes it to 0.001.
 func SolveFreqItemset(w *Matrix, minSupport float64, opts Options) (*Configuration, error) {
-	p, err := opts.params()
-	if err != nil {
-		return nil, err
-	}
-	if minSupport == 0 {
-		minSupport = config.DefaultFreqItemsetOptions().MinSupport
-	}
-	return config.FreqItemset(w, p, config.FreqItemsetOptions{MinSupport: minSupport})
+	return solveOneShot(w, opts, FreqItemset(minSupport))
 }
 
 // Evaluate prices a caller-proposed configuration — the "what-if"
@@ -239,11 +324,11 @@ func SolveFreqItemset(w *Matrix, minSupport float64, opts Options) (*Configurati
 // must be pairwise disjoint under pure bundling and laminar (disjoint or
 // nested) under mixed bundling; they need not cover every item.
 func Evaluate(w *Matrix, offers [][]int, opts Options) (*Configuration, error) {
-	p, err := opts.params()
+	s, err := NewSolver(w, opts)
 	if err != nil {
 		return nil, err
 	}
-	return config.Evaluate(w, offers, p)
+	return s.Evaluate(offers)
 }
 
 // Coverage returns the revenue coverage (%) of a configuration: its revenue

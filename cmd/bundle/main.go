@@ -18,16 +18,27 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"bundling"
 )
+
+// algoNames renders the algorithm registry for flag help and errors, so the
+// CLI tracks new algorithms without a switch to update.
+func algoNames() string {
+	var names []string
+	for _, a := range bundling.Algorithms() {
+		names = append(names, a.Name())
+	}
+	return strings.Join(names, ", ")
+}
 
 func main() {
 	var (
 		in       = flag.String("in", "", "ratings CSV path (use -demo to synthesize instead)")
 		demo     = flag.Bool("demo", false, "run on a synthetic demo corpus")
 		strategy = flag.String("strategy", "pure", "bundling strategy: pure or mixed")
-		algo     = flag.String("algo", "matching", "algorithm: matching, greedy, components, freqitemset")
+		algo     = flag.String("algo", "matching", "algorithm: "+algoNames())
 		theta    = flag.Float64("theta", 0, "bundling coefficient θ (> -1)")
 		k        = flag.Int("k", 0, "max bundle size (0 = unlimited)")
 		lambda   = flag.Float64("lambda", 1.25, "ratings→WTP conversion factor λ (≥ 1)")
@@ -80,19 +91,15 @@ func run(in string, demo bool, strategy, algo string, theta float64, k int, lamb
 		return fmt.Errorf("unknown strategy %q (want pure or mixed)", strategy)
 	}
 
-	var cfg *bundling.Configuration
-	switch algo {
-	case "matching":
-		cfg, err = bundling.SolveMatching(w, opts)
-	case "greedy":
-		cfg, err = bundling.SolveGreedy(w, opts)
-	case "components":
-		cfg, err = bundling.SolveComponents(w, opts)
-	case "freqitemset":
-		cfg, err = bundling.SolveFreqItemset(w, 0, opts)
-	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+	a, err := bundling.AlgorithmByName(algo)
+	if err != nil {
+		return fmt.Errorf("unknown algorithm %q (want %s)", algo, algoNames())
 	}
+	solver, err := bundling.NewSolver(w, opts)
+	if err != nil {
+		return err
+	}
+	cfg, err := solver.Solve(a)
 	if err != nil {
 		return err
 	}

@@ -34,15 +34,16 @@ func main() {
 		k         = flag.Int("k", config.Unlimited, "max bundle size (0 = unlimited)")
 		seed      = flag.Int64("seed", 42, "dataset generator seed")
 		benchOut  = flag.String("benchout", "", "perf experiment: write JSON results to this file (e.g. BENCH_greedy.json)")
+		parallel  = flag.Int("parallel", 0, "candidate-pricing workers (0 = GOMAXPROCS); recorded in the perf report")
 	)
 	flag.Parse()
-	if err := run(*expFlag, *scaleFlag, *lambda, *theta, *k, *seed, *benchOut); err != nil {
+	if err := run(*expFlag, *scaleFlag, *lambda, *theta, *k, *seed, *benchOut, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "bundlebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchOut string) error {
+func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchOut string, parallel int) error {
 	var scale experiments.Scale
 	switch scaleName {
 	case "small":
@@ -59,6 +60,7 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchO
 	params := config.DefaultParams()
 	params.Theta = theta
 	params.K = k
+	params.Parallelism = parallel
 
 	wants := map[string]bool{}
 	for _, e := range strings.Split(exp, ",") {

@@ -15,7 +15,6 @@ import (
 
 	"bundling/internal/config"
 	"bundling/internal/experiments"
-	"bundling/internal/wtp"
 )
 
 // PerfResult is one benchmarked algorithm run.
@@ -40,29 +39,34 @@ type PerfReport struct {
 	Theta        float64      `json:"theta"`
 	K            int          `json:"k"`
 	Go           string       `json:"go"`
+	NumCPU       int          `json:"numcpu"`
 	MaxProcs     int          `json:"maxprocs"`
+	Parallelism  int          `json:"parallelism"` // Params.Parallelism (0 = GOMAXPROCS)
 	Notes        string       `json:"notes,omitempty"`
 	Results      []PerfResult `json:"results"`
 	SeedBaseline []PerfResult `json:"seed_baseline,omitempty"`
 }
 
-// runPerf benchmarks greedy and matching under both strategies (derived
-// from the CLI-provided base params, so -theta and -k apply) and writes
-// the report to outPath ("-" for stdout only).
+// runPerf benchmarks the algorithms (derived from the CLI-provided base
+// params, so -theta, -k and -parallel apply) and writes the report to
+// outPath ("-" for stdout only). Each algorithm is measured twice: the
+// one-shot path (index + solve per call, what every pre-session caller
+// pays) and the session path (one prebuilt Solver serving repeated solves),
+// so the report quantifies how much session reuse amortizes indexing.
 func runPerf(env *experiments.Env, scaleName, outPath string, base config.Params) error {
 	type job struct {
 		name string
-		run  func(*wtp.Matrix, config.Params) (*config.Configuration, error)
+		alg  config.Algorithm
 		p    config.Params
 	}
 	pure, mixed := base, base
 	pure.Strategy = config.Pure
 	mixed.Strategy = config.Mixed
 	jobs := []job{
-		{"GreedyMerge/pure", config.GreedyMerge, pure},
-		{"GreedyMerge/mixed", config.GreedyMerge, mixed},
-		{"SolveMatching/pure", config.MatchingBased, pure},
-		{"SolveMatching/mixed", config.MatchingBased, mixed},
+		{"GreedyMerge/pure", config.GreedyAlgorithm(), pure},
+		{"GreedyMerge/mixed", config.GreedyAlgorithm(), mixed},
+		{"SolveMatching/pure", config.MatchingAlgorithm(), pure},
+		{"SolveMatching/mixed", config.MatchingAlgorithm(), mixed},
 	}
 	report := PerfReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -72,15 +76,17 @@ func runPerf(env *experiments.Env, scaleName, outPath string, base config.Params
 		Theta:       base.Theta,
 		K:           base.K,
 		Go:          runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
 		MaxProcs:    runtime.GOMAXPROCS(0),
+		Parallelism: base.Parallelism,
 	}
-	for _, j := range jobs {
+	record := func(name string, run func() (*config.Configuration, error)) error {
 		var revenue float64
 		var runErr error
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				cfg, err := j.run(env.W, j.p)
+				cfg, err := run()
 				if err != nil {
 					runErr = err
 					b.Fatal(err)
@@ -92,10 +98,10 @@ func runPerf(env *experiments.Env, scaleName, outPath string, base config.Params
 			// b.Fatal inside testing.Benchmark yields a zero result rather
 			// than aborting; surface the error instead of writing a bogus
 			// all-zero row into the perf trajectory.
-			return fmt.Errorf("%s: %w", j.name, runErr)
+			return fmt.Errorf("%s: %w", name, runErr)
 		}
 		r := PerfResult{
-			Name:        j.name,
+			Name:        name,
 			Iterations:  res.N,
 			NsPerOp:     res.NsPerOp(),
 			AllocsPerOp: res.AllocsPerOp(),
@@ -103,8 +109,75 @@ func runPerf(env *experiments.Env, scaleName, outPath string, base config.Params
 			Revenue:     revenue,
 		}
 		report.Results = append(report.Results, r)
-		fmt.Printf("%-22s %12d ns/op %10d B/op %8d allocs/op  revenue=%.2f\n",
+		fmt.Printf("%-24s %12d ns/op %10d B/op %8d allocs/op  revenue=%.2f\n",
 			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Revenue)
+		return nil
+	}
+	for _, j := range jobs {
+		// One-shot: a fresh session per call, today's Solve* path.
+		j := j
+		if err := record(j.name, func() (*config.Configuration, error) {
+			s, err := config.NewSolver(env.W, j.p)
+			if err != nil {
+				return nil, err
+			}
+			return s.Solve(j.alg)
+		}); err != nil {
+			return err
+		}
+		// Session: the solver prebuilt once, measuring second-and-later
+		// solves on a warm index.
+		s, err := config.NewSolver(env.W, j.p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.name, err)
+		}
+		if err := record("Session/"+j.name, func() (*config.Configuration, error) {
+			return s.Solve(j.alg)
+		}); err != nil {
+			return err
+		}
+	}
+	// Index-build cost on its own, so one-shot ≈ NewSolver + Session is
+	// visible in the numbers.
+	for _, j := range []job{{"NewSolver/pure", nil, pure}, {"NewSolver/mixed", nil, mixed}} {
+		j := j
+		if err := record(j.name, func() (*config.Configuration, error) {
+			s, err := config.NewSolver(env.W, j.p)
+			if err != nil {
+				return nil, err
+			}
+			return s.Solve(config.ComponentsAlgorithm())
+		}); err != nil {
+			return err
+		}
+	}
+	// What-if serving: Evaluate prices one proposed lineup, the per-request
+	// unit of a scenario workload. One-shot re-indexes per request; the
+	// warm session only pays for the evaluation itself.
+	var offers [][]int
+	for i := 0; i+1 < env.DS.Items && len(offers) < 10; i += 2 {
+		offers = append(offers, []int{i, i + 1})
+	}
+	for _, j := range []job{{"Evaluate/pure", nil, pure}, {"Evaluate/mixed", nil, mixed}} {
+		j := j
+		if err := record(j.name, func() (*config.Configuration, error) {
+			s, err := config.NewSolver(env.W, j.p)
+			if err != nil {
+				return nil, err
+			}
+			return s.Evaluate(offers)
+		}); err != nil {
+			return err
+		}
+		s, err := config.NewSolver(env.W, j.p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.name, err)
+		}
+		if err := record("Session/"+j.name, func() (*config.Configuration, error) {
+			return s.Evaluate(offers)
+		}); err != nil {
+			return err
+		}
 	}
 	if outPath == "" || outPath == "-" {
 		return nil

@@ -98,6 +98,41 @@ func ExampleNewReport() {
 	// pure bundling: 2 offers, expected revenue 10.00 (100.0% coverage)
 }
 
+// ExampleNewSolver shows the session API: one Solver indexes the matrix
+// once and then serves every algorithm plus what-if evaluations — the way
+// to run what-if traffic, where hundreds of scenarios price against the
+// same corpus.
+func ExampleNewSolver() {
+	w := bundling.NewMatrix(3, 2)
+	w.MustSet(0, 0, 12)
+	w.MustSet(0, 1, 4)
+	w.MustSet(1, 0, 8)
+	w.MustSet(1, 1, 2)
+	w.MustSet(2, 0, 5)
+	w.MustSet(2, 1, 11)
+
+	solver, err := bundling.NewSolver(w, bundling.Options{PriceLevels: 2000})
+	if err != nil {
+		panic(err)
+	}
+	for _, alg := range solver.Algorithms() {
+		cfg, err := solver.Solve(alg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-11s $%.2f\n", alg.Name(), cfg.Revenue)
+	}
+	whatIf, _ := solver.Evaluate([][]int{{0, 1}})
+	fmt.Printf("%-11s $%.2f\n", "what-if", whatIf.Revenue)
+	// Output:
+	// components  $27.00
+	// optimal2    $32.00
+	// matching    $32.00
+	// greedy      $32.00
+	// freqitemset $32.00
+	// what-if     $32.00
+}
+
 // ExampleEvaluate prices hand-designed lineups — the what-if counterpart
 // of the search algorithms. The rotated-tastes market below is a case
 // where no pairwise merge gains revenue, so the heuristics keep the items

@@ -1,6 +1,7 @@
 // Quickstart reproduces the paper's introductory example (Table 1): three
 // consumers, two items, and the revenue of the three selling strategies —
-// individual components, pure bundling, and mixed bundling.
+// individual components, pure bundling, and mixed bundling — driven
+// through the session API: one Solver per strategy serves every algorithm.
 //
 // Run with:
 //
@@ -28,10 +29,17 @@ func main() {
 	w.MustSet(2, 0, 5)
 	w.MustSet(2, 1, 11)
 
-	// The two books are mild substitutes: θ = -0.05.
+	// The two books are mild substitutes: θ = -0.05. NewSolver indexes the
+	// matrix once; every Solve below reuses that index. (With three
+	// consumers everything fits one stripe — Options.StripeSize matters
+	// only at corpus scale.)
 	opts := bundling.Options{Theta: -0.05, PriceLevels: 2000}
+	solver, err := bundling.NewSolver(w, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	components, err := bundling.SolveComponents(w, opts)
+	components, err := solver.Solve(bundling.Components())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +48,7 @@ func main() {
 		fmt.Printf("  item %v at $%.2f → $%.2f\n", b.Items, b.Price, b.Revenue)
 	}
 
-	pure, err := bundling.Configure(w, opts) // pure bundling is the default
+	pure, err := solver.Solve(bundling.Matching()) // pure bundling is the default
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,8 +57,13 @@ func main() {
 		fmt.Printf("  bundle %v at $%.2f → $%.2f\n", b.Items, b.Price, b.Revenue)
 	}
 
+	// Mixed bundling is a different strategy, hence its own session.
 	opts.Strategy = bundling.Mixed
-	mixed, err := bundling.Configure(w, opts)
+	mixedSolver, err := bundling.NewSolver(w, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mixed, err := mixedSolver.Solve(bundling.Matching())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,6 +74,14 @@ func main() {
 	for _, c := range mixed.Components {
 		fmt.Printf("  component %v stays on sale at $%.2f\n", c.Items, c.Price)
 	}
+
+	// What-if traffic runs on the same warm session: price the seller's own
+	// proposal — both items bundled, item A also sold alone.
+	whatIf, err := mixedSolver.Evaluate([][]int{{0, 1}, {0}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("What-if {A,B}+{A}: revenue $%.2f\n", whatIf.Revenue)
 
 	gain, err := bundling.Gain(mixed, w, opts)
 	if err != nil {

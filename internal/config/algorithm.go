@@ -1,0 +1,121 @@
+package config
+
+import "fmt"
+
+// Algorithm is one bundle-configuration strategy runnable on a Solver
+// session. The five implementations — components, optimal2, matching,
+// greedy, freqitemset — cover the paper's proposed algorithms and baselines;
+// experiments, benchmarks and CLIs iterate over Algorithms() instead of
+// switch-casing entry points.
+type Algorithm interface {
+	// Name is the stable identifier used by CLIs and reports.
+	Name() string
+	// Solve runs the algorithm on the session. Implementations must not
+	// mutate session state: all per-run bookkeeping lives in a run engine.
+	Solve(*Solver) (*Configuration, error)
+}
+
+// componentsAlg prices every item individually — the no-bundling baseline.
+type componentsAlg struct{}
+
+func (componentsAlg) Name() string { return "components" }
+
+func (componentsAlg) Solve(s *Solver) (*Configuration, error) {
+	e := s.newEngine()
+	defer e.release()
+	return e.components()
+}
+
+// optimal2Alg solves the 2-sized problem exactly via maximum-weight
+// matching (Sec. 5.1): with k = 2 every merge uses two singletons, so
+// Algorithm 1 halts after one productive iteration at the matching optimum.
+// The size cap is a run-local override; it never touches the session's k.
+type optimal2Alg struct{}
+
+func (optimal2Alg) Name() string { return "optimal2" }
+
+func (optimal2Alg) Solve(s *Solver) (*Configuration, error) {
+	e := s.newEngine()
+	defer e.release()
+	e.k = 2
+	return e.matching()
+}
+
+// matchingAlg is the paper's Algorithm 1: iterated maximum-weight matching.
+type matchingAlg struct{}
+
+func (matchingAlg) Name() string { return "matching" }
+
+func (matchingAlg) Solve(s *Solver) (*Configuration, error) {
+	e := s.newEngine()
+	defer e.release()
+	return e.matching()
+}
+
+// greedyAlg is the paper's Algorithm 2: highest-gain pair merging.
+type greedyAlg struct{}
+
+func (greedyAlg) Name() string { return "greedy" }
+
+func (greedyAlg) Solve(s *Solver) (*Configuration, error) {
+	e := s.newEngine()
+	defer e.release()
+	return e.greedy()
+}
+
+// freqItemsetAlg is the "frequently bought together" baseline with its
+// mining options.
+type freqItemsetAlg struct {
+	opts FreqItemsetOptions
+}
+
+func (freqItemsetAlg) Name() string { return "freqitemset" }
+
+func (a freqItemsetAlg) Solve(s *Solver) (*Configuration, error) {
+	e := s.newEngine()
+	defer e.release()
+	return e.freqItemset(a.opts)
+}
+
+// ComponentsAlgorithm returns the individual-pricing baseline.
+func ComponentsAlgorithm() Algorithm { return componentsAlg{} }
+
+// Optimal2Algorithm returns the exact 2-sized solver.
+func Optimal2Algorithm() Algorithm { return optimal2Alg{} }
+
+// MatchingAlgorithm returns the matching-based heuristic (Algorithm 1).
+func MatchingAlgorithm() Algorithm { return matchingAlg{} }
+
+// GreedyAlgorithm returns the greedy merge heuristic (Algorithm 2).
+func GreedyAlgorithm() Algorithm { return greedyAlg{} }
+
+// FreqItemsetAlgorithm returns the frequent-itemset baseline with the given
+// mining options, passed through verbatim (MinSupport 0 keeps only the
+// absolute two-consumer floor; use DefaultFreqItemsetOptions for the
+// paper's tuned setting).
+func FreqItemsetAlgorithm(opts FreqItemsetOptions) Algorithm {
+	return freqItemsetAlg{opts: opts}
+}
+
+// Algorithms lists the five algorithms with default options, in the paper's
+// presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		ComponentsAlgorithm(),
+		Optimal2Algorithm(),
+		MatchingAlgorithm(),
+		GreedyAlgorithm(),
+		FreqItemsetAlgorithm(DefaultFreqItemsetOptions()),
+	}
+}
+
+// AlgorithmByName resolves a stable algorithm name (see Algorithms) to its
+// default-configured implementation.
+func AlgorithmByName(name string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("config: unknown algorithm %q", name)
+}

@@ -65,6 +65,12 @@ type Params struct {
 	// Parallelism caps the workers used for candidate-merge pricing
 	// (0 = GOMAXPROCS). The algorithms are deterministic regardless.
 	Parallelism int
+	// StripeSize is the number of consumers per storage stripe of the
+	// solver's sharded WTP index (0 = wtp.DefaultStripeSize). Smaller
+	// stripes shrink the cache working set of per-stripe scans and raise
+	// the number of independently farmable work units; larger stripes
+	// lower per-stripe overhead. Results are identical for any value.
+	StripeSize int
 	// DisablePruning turns off the paper's common-interest pruning of
 	// candidate pairs (Sec. 5.3.1). Ablation knob: the pruning is lossless
 	// for θ ≤ 0, so disabling it should change running time but not
@@ -130,6 +136,9 @@ func (p Params) Validate() error {
 	}
 	if p.Parallelism < 0 {
 		return fmt.Errorf("config: negative parallelism %d", p.Parallelism)
+	}
+	if p.StripeSize < 0 {
+		return fmt.Errorf("config: negative stripe size %d", p.StripeSize)
 	}
 	if p.GreedyRunToEnd && p.Strategy != Pure {
 		return fmt.Errorf("config: GreedyRunToEnd applies to pure bundling only")
@@ -236,23 +245,26 @@ func (c *Configuration) CoversAll(items int) bool {
 // Components prices every item individually at its utility-maximizing
 // price — the non-bundling baseline (Sec. 6.1.3). Under the default
 // objective (α = 1, zero costs) that is the revenue-maximizing price.
+// One-shot form; sessions use Solver.Solve(ComponentsAlgorithm()).
 func Components(w *wtp.Matrix, params Params) (*Configuration, error) {
-	e, err := newEngine(w, params)
+	s, err := NewSolver(w, params)
 	if err != nil {
 		return nil, err
 	}
+	return s.Solve(ComponentsAlgorithm())
+}
+
+// components assembles the baseline from the session's priced singletons —
+// pure index reads, no pricing work.
+func (e *engine) components() (*Configuration, error) {
 	start := time.Now()
-	cfg := &Configuration{Strategy: params.Strategy, Iterations: 1}
-	var ids []int
-	var vals []float64
-	for i := 0; i < w.Items(); i++ {
-		ids, vals = w.BundleVector([]int{i}, 0, ids, vals)
-		q := e.pr.PriceUtility(vals, e.objective([]int{i}))
-		cfg.Bundles = append(cfg.Bundles, Bundle{Items: []int{i}, Price: q.Price, Revenue: q.Revenue})
-		cfg.Revenue += q.Revenue
-		cfg.Profit += q.Profit
-		cfg.Surplus += q.Surplus
-		cfg.Utility += q.Utility
+	cfg := &Configuration{Strategy: e.params.Strategy, Iterations: 1}
+	for _, n := range e.s.protos {
+		cfg.Bundles = append(cfg.Bundles, Bundle{Items: append([]int(nil), n.items...), Price: n.uq.Price, Revenue: n.uq.Revenue})
+		cfg.Revenue += n.uq.Revenue
+		cfg.Profit += n.uq.Profit
+		cfg.Surplus += n.uq.Surplus
+		cfg.Utility += n.uq.Utility
 	}
 	cfg.Trace = []IterationStat{{Iteration: 1, Revenue: cfg.Revenue, Elapsed: time.Since(start), Bundles: len(cfg.Bundles)}}
 	return cfg, nil

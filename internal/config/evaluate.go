@@ -25,28 +25,39 @@ import (
 // conditioned on the offers it contains (the paper's incremental policy
 // and price window), with consumers re-resolving by the upgrade rule.
 func Evaluate(w *wtp.Matrix, offers [][]int, params Params) (*Configuration, error) {
-	e, err := newEngine(w, params)
+	s, err := NewSolver(w, params)
 	if err != nil {
 		return nil, err
 	}
+	return s.Evaluate(offers)
+}
+
+// Evaluate prices a caller-proposed configuration on the session — the
+// serving-path entry point for what-if traffic: many Evaluate calls (and
+// Solve calls) run concurrently against one indexed matrix.
+func (s *Solver) Evaluate(offers [][]int) (*Configuration, error) {
+	e := s.newEngine()
+	defer e.release()
 	start := time.Now()
-	sets, err := normalizeOffers(w.Items(), offers)
+	sets, err := normalizeOffers(s.w.Items(), offers)
 	if err != nil {
 		return nil, err
 	}
-	if err := checkStructure(sets, params.Strategy); err != nil {
+	if err := checkStructure(sets, s.params.Strategy); err != nil {
 		return nil, err
 	}
-	switch params.Strategy {
+	switch s.params.Strategy {
 	case Pure:
 		cfg := &Configuration{Strategy: Pure, Iterations: 1}
+		var ids []int
+		var vals []float64
 		for _, items := range sets {
 			theta := e.params.Theta
 			if len(items) == 1 {
 				theta = 0
 			}
-			_, vals := e.w.BundleVector(items, theta, nil, nil)
-			uq := e.pr.PriceUtility(vals, e.objective(items))
+			ids, vals = e.bundleVector(items, theta, ids, vals)
+			uq := e.pr.PriceUtilityIn(e.ctx.psc, vals, e.objective(items))
 			cfg.Bundles = append(cfg.Bundles, Bundle{Items: items, Price: uq.Price, Revenue: uq.Revenue})
 			cfg.Revenue += uq.Revenue
 			cfg.Profit += uq.Profit
@@ -85,11 +96,11 @@ func (e *engine) evaluateMixed(sets [][]int, start time.Time) (*Configuration, e
 			}
 		}
 		n := &node{items: items, fresh: true}
-		n.ids, n.vals = e.w.BundleVector(items, thetaFor(e.params.Theta, len(items)), nil, nil)
+		n.ids, n.vals = e.bundleVector(items, thetaFor(e.params.Theta, len(items)), nil, nil)
 		n.unitC = e.objective(items).UnitCost
 		if len(parts) == 0 {
 			// Leaf offer: standalone optimal price.
-			uq := e.pr.PriceUtility(n.vals, e.objective(items))
+			uq := e.pr.PriceUtilityIn(e.ctx.psc, n.vals, e.objective(items))
 			n.quote = uq.Quote
 			e.initState(n)
 		} else {
@@ -155,7 +166,7 @@ func (e *engine) priceOverParts(n *node, parts []*node) {
 		// the top so the bundle can still price above the part.
 		hi = lo * 2
 	}
-	mq := e.pr.PriceMixed(pricing.MixedOffer{
+	mq := e.pr.PriceMixedIn(e.ctx.psc, pricing.MixedOffer{
 		CurPay: curPay, CurSurplus: curSurp, CurCost: curCost, CurESurplus: curESur,
 		WB: n.vals, Lo: lo, Hi: hi, BundleCost: n.unitC,
 		Obj: pricing.Objective{ProfitWeight: e.params.ProfitWeight, UnitCost: n.unitC},

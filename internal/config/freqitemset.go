@@ -35,38 +35,40 @@ func DefaultFreqItemsetOptions() FreqItemsetOptions {
 // components, discarding overlapping itemsets, until all items are covered;
 // remaining items are sold individually. Individual items are admitted as
 // candidates regardless of support, favoring the baseline as the paper does.
-// Works for both pure and mixed bundling (params.Strategy).
+// Works for both pure and mixed bundling (params.Strategy). One-shot form;
+// sessions use Solver.Solve(FreqItemsetAlgorithm(opts)).
 func FreqItemset(w *wtp.Matrix, params Params, opts FreqItemsetOptions) (*Configuration, error) {
-	e, err := newEngine(w, params)
+	s, err := NewSolver(w, params)
 	if err != nil {
 		return nil, err
 	}
+	return s.Solve(FreqItemsetAlgorithm(opts))
+}
+
+// freqItemset is the baseline on a run engine. The consumers' transactions
+// come from the session cache, so repeated solves re-mine but never
+// re-extract.
+func (e *engine) freqItemset(opts FreqItemsetOptions) (*Configuration, error) {
 	if opts.MinSupport < 0 || opts.MinSupport > 1 {
 		return nil, fmt.Errorf("config: minimum support %g outside [0,1]", opts.MinSupport)
 	}
 	start := time.Now()
-	// Transactions: items each consumer is interested in.
-	txs := make([][]int, w.Consumers())
-	for i := 0; i < w.Items(); i++ {
-		for _, en := range w.Postings(i) {
-			txs[en.Consumer] = append(txs[en.Consumer], i)
-		}
-	}
-	minSup := int(opts.MinSupport * float64(w.Consumers()))
+	txs := e.s.transactions()
+	minSup := int(opts.MinSupport * float64(e.w.Consumers()))
 	if minSup < 2 {
 		// An itemset bought by a single consumer is not "frequently bought
 		// together"; the floor also keeps mining tractable on tiny corpora.
 		minSup = 2
 	}
 	maxSize := 0
-	if params.K != Unlimited {
-		maxSize = params.K
+	if e.params.K != Unlimited {
+		maxSize = e.params.K
 	}
 	maxResults := opts.MaxResults
 	if maxResults == 0 {
 		maxResults = defaultMaxItemsets
 	}
-	itemsets, err := fim.MineMaximal(w.Items(), txs, fim.Config{
+	itemsets, err := fim.MineMaximal(e.w.Items(), txs, fim.Config{
 		MinSupport: minSup,
 		MaxSize:    maxSize,
 		MaxResults: maxResults,
@@ -75,7 +77,7 @@ func FreqItemset(w *wtp.Matrix, params Params, opts FreqItemsetOptions) (*Config
 		return nil, err
 	}
 
-	// Price singletons once; they are both the fallback offers and the
+	// The session's priced singletons are both the fallback offers and the
 	// "components" that a candidate itemset must beat.
 	singles := e.singletons()
 
@@ -101,7 +103,7 @@ func FreqItemset(w *wtp.Matrix, params Params, opts FreqItemsetOptions) (*Config
 		}
 		return len(cands[a].items) < len(cands[b].items)
 	})
-	covered := make([]bool, w.Items())
+	covered := make([]bool, e.w.Items())
 	var chosen []*node
 	iterations := 0
 	for _, c := range cands {
@@ -139,63 +141,88 @@ func FreqItemset(w *wtp.Matrix, params Params, opts FreqItemsetOptions) (*Config
 // components: standalone pricing for pure bundling, the incremental offer
 // (bundle + all singletons at frozen prices) for mixed bundling. The
 // returned gain is in seller-utility units, like every merge gain.
+//
+// The candidate is evaluated entirely in the run's mergeScratch — the
+// combined component state accumulates via aligned pointer walks over each
+// singleton's cached vectors — and a node is materialized only when the
+// itemset survives the gain filter, so losing itemsets cost no heap churn.
 func (e *engine) evalItemset(items []int, singles []*node) (*node, float64) {
-	n := &node{items: append([]int(nil), items...), fresh: true}
-	sort.Ints(n.items)
-	n.ids, n.vals = e.w.BundleVector(n.items, e.params.Theta, nil, nil)
-	n.unitC = e.objective(n.items).UnitCost
+	sc := e.ctx.sc
+	sc.items = append(sc.items[:0], items...)
+	sort.Ints(sc.items)
+	sc.ids, sc.vals = e.bundleVector(sc.items, e.params.Theta, sc.ids, sc.vals)
+	obj := e.objective(sc.items)
 	compUtil := 0.0
 	for _, i := range items {
 		compUtil += singles[i].util
 	}
 	switch e.params.Strategy {
 	case Pure:
-		uq := e.pr.PriceUtility(n.vals, e.objective(n.items))
+		uq := e.pr.PriceUtilityIn(e.ctx.psc, sc.vals, obj)
+		gain := uq.Utility - compUtil
+		if gain <= minGain {
+			return nil, gain
+		}
+		n := materialize(sc)
 		n.quote = uq.Quote
+		n.unitC = obj.UnitCost
 		n.revenue, n.profit, n.surplus, n.util = uq.Revenue, uq.Profit, uq.Surplus, uq.Utility
-		return n, n.util - compUtil
+		return n, gain
 	default: // Mixed
 		// Combined current state of the singleton components (disjoint, so
 		// payments and surpluses add), plus the paper's price window.
-		curPay := make([]float64, len(n.ids))
-		curSurp := make([]float64, len(n.ids))
-		curCost := make([]float64, len(n.ids))
-		curESur := make([]float64, len(n.ids))
+		m := len(sc.ids)
+		sc.pay = grow(sc.pay, m)
+		sc.surp = grow(sc.surp, m)
+		sc.cost = grow(sc.cost, m)
+		sc.esur = grow(sc.esur, m)
+		for j := 0; j < m; j++ {
+			sc.pay[j], sc.surp[j], sc.cost[j], sc.esur[j] = 0, 0, 0, 0
+		}
 		var lo, hi float64
 		for _, i := range items {
 			s := singles[i]
-			p := alignVals(n.ids, s.ids, s.pay)
-			q := alignVals(n.ids, s.ids, s.surp)
-			c := alignVals(n.ids, s.ids, s.cost)
-			es := alignVals(n.ids, s.ids, s.esur)
-			for j := range curPay {
-				curPay[j] += p[j]
-				curSurp[j] += q[j]
-				curCost[j] += c[j]
-				curESur[j] += es[j]
+			// s.ids ⊆ sc.ids (every consumer interested in a component is
+			// interested in the bundle), so a single forward walk aligns.
+			j := 0
+			for k, id := range s.ids {
+				for j < m && sc.ids[j] < id {
+					j++
+				}
+				if j >= m || sc.ids[j] != id {
+					continue
+				}
+				sc.pay[j] += s.pay[k]
+				sc.surp[j] += s.surp[k]
+				sc.cost[j] += s.cost[k]
+				sc.esur[j] += s.esur[k]
 			}
 			if s.quote.Price > lo {
 				lo = s.quote.Price
 			}
 			hi += s.quote.Price
 		}
-		mq := e.pr.PriceMixed(pricing.MixedOffer{
-			CurPay: curPay, CurSurplus: curSurp, CurCost: curCost, CurESurplus: curESur,
-			WB: n.vals, Lo: lo, Hi: hi, BundleCost: n.unitC,
-			Obj: pricing.Objective{ProfitWeight: e.params.ProfitWeight, UnitCost: n.unitC},
+		mq := e.pr.PriceMixedIn(e.ctx.psc, pricing.MixedOffer{
+			CurPay: sc.pay[:m], CurSurplus: sc.surp[:m], CurCost: sc.cost[:m], CurESurplus: sc.esur[:m],
+			WB: sc.vals, Lo: lo, Hi: hi, BundleCost: obj.UnitCost,
+			Obj: pricing.Objective{ProfitWeight: e.params.ProfitWeight, UnitCost: obj.UnitCost},
 		})
 		delta := mq.Utility - mq.BaselineUtility
 		if !mq.Feasible || delta <= minGain {
 			return nil, 0
 		}
-		n.pay = make([]float64, len(n.ids))
-		n.surp = make([]float64, len(n.ids))
-		n.cost = make([]float64, len(n.ids))
-		n.esur = make([]float64, len(n.ids))
+		// The itemset survives: materialize and commit the new state, every
+		// consumer re-resolving at the chosen price.
+		n := materialize(sc)
+		n.unitC = obj.UnitCost
+		n.pay = make([]float64, m)
+		n.surp = make([]float64, m)
+		n.cost = make([]float64, m)
+		n.esur = make([]float64, m)
 		alpha := e.params.Model.Alpha()
 		var pay, cost, sur float64
 		for j := range n.ids {
-			pj, prob, switched := e.pr.ResolveSwitch(n.vals[j], curPay[j], curSurp[j], mq.Price)
+			pj, prob, switched := e.pr.ResolveSwitch(n.vals[j], sc.pay[j], sc.surp[j], mq.Price)
 			n.pay[j] = pj
 			if switched {
 				n.cost[j] = n.unitC * prob
@@ -204,9 +231,9 @@ func (e *engine) evalItemset(items []int, singles []*node) (*node, float64) {
 					n.esur[j] = s * prob
 				}
 			} else {
-				n.surp[j] = curSurp[j]
-				n.cost[j] = curCost[j]
-				n.esur[j] = curESur[j]
+				n.surp[j] = sc.surp[j]
+				n.cost[j] = sc.cost[j]
+				n.esur[j] = sc.esur[j]
 			}
 			pay += pj
 			cost += n.cost[j]

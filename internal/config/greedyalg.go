@@ -10,16 +10,22 @@ import (
 // GreedyMerge runs the paper's Algorithm 2: repeatedly merge the pair of
 // current bundles with the highest absolute revenue gain, until no merge
 // gains revenue. Works for both pure and mixed bundling (params.Strategy).
+// One-shot form; sessions use Solver.Solve(GreedyAlgorithm()).
 //
 // A lazy max-heap holds candidate merges; entries referring to bundles that
 // have since been merged away are discarded on pop. After each merge only
 // pairs involving the new bundle are (re-)evaluated, giving the O(M·N²)
 // revenue-computation bound of Sec. 5.3.2.
 func GreedyMerge(w *wtp.Matrix, params Params) (*Configuration, error) {
-	e, err := newEngine(w, params)
+	s, err := NewSolver(w, params)
 	if err != nil {
 		return nil, err
 	}
+	return s.Solve(GreedyAlgorithm())
+}
+
+// greedy is Algorithm 2 on a run engine.
+func (e *engine) greedy() (*Configuration, error) {
 	start := time.Now()
 	nodes := e.singletons()
 	total := 0.0
@@ -47,11 +53,7 @@ func GreedyMerge(w *wtp.Matrix, params Params) (*Configuration, error) {
 			}
 		}
 	}
-	cands, err := e.evalPairs(nodes, jobs, runToEnd)
-	if err != nil {
-		return nil, err
-	}
-	for _, r := range cands {
+	for _, r := range e.evalPairs(nodes, jobs, runToEnd) {
 		push(r.u, r.v, r.merged, r.gain)
 	}
 	// Best-seen snapshot for the run-to-end variant.
@@ -106,11 +108,7 @@ func GreedyMerge(w *wtp.Matrix, params Params) (*Configuration, error) {
 			}
 			jobs = append(jobs, pairJob{u: i, v: newIdx})
 		}
-		cands, err := e.evalPairs(nodes, jobs, runToEnd)
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range cands {
+		for _, r := range e.evalPairs(nodes, jobs, runToEnd) {
 			push(r.u, r.v, r.merged, r.gain)
 		}
 	}

@@ -19,10 +19,15 @@ import (
 // interested consumer (valid for θ ≤ 0, see engine.mergeable), and later
 // iterations only pairs touching a newly formed bundle.
 func MatchingBased(w *wtp.Matrix, params Params) (*Configuration, error) {
-	e, err := newEngine(w, params)
+	s, err := NewSolver(w, params)
 	if err != nil {
 		return nil, err
 	}
+	return s.Solve(MatchingAlgorithm())
+}
+
+// matching is Algorithm 1 on a run engine.
+func (e *engine) matching() (*Configuration, error) {
 	start := time.Now()
 	nodes := e.singletons()
 	var trace []IterationStat
@@ -48,10 +53,7 @@ func MatchingBased(w *wtp.Matrix, params Params) (*Configuration, error) {
 				jobs = append(jobs, pairJob{u: i, v: j})
 			}
 		}
-		cands, err := e.evalPairs(nodes, jobs, false)
-		if err != nil {
-			return nil, err
-		}
+		cands := e.evalPairs(nodes, jobs, false)
 		if len(cands) == 0 {
 			break
 		}
@@ -106,14 +108,11 @@ func MatchingBased(w *wtp.Matrix, params Params) (*Configuration, error) {
 // optimal partition into size-1 and size-2 bundles. For mixed bundling the
 // same reduction holds with edge weights equal to the best mixed-offer
 // revenue (optimal under the paper's incremental pricing policy).
+// One-shot form; sessions use Solver.Solve(Optimal2Algorithm()).
 func Optimal2Sized(w *wtp.Matrix, params Params) (*Configuration, error) {
-	params.K = 2
-	cfg, err := MatchingBased(w, params)
+	s, err := NewSolver(w, params)
 	if err != nil {
 		return nil, err
 	}
-	// With k = 2 every merge uses two singletons, so Algorithm 1 halts
-	// after one productive iteration and its result is the exact matching
-	// optimum.
-	return cfg, nil
+	return s.Solve(Optimal2Algorithm())
 }

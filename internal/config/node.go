@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"bundling/internal/pricing"
-	"bundling/internal/wtp"
 )
 
 // node is a bundle under construction inside the iterative algorithms. It
@@ -26,6 +25,10 @@ type node struct {
 	ids   []int     // interested consumers, ascending
 	vals  []float64 // bundle WTP per interested consumer (Eq. 1)
 	quote pricing.Quote
+	// uq is the standalone utility quote of a singleton prototype
+	// (PriceUtility over the raw vector); the Components baseline reads it
+	// directly, independent of the mixed-bundling state below.
+	uq pricing.UtilityQuote
 	// revenue, profit, surplus and util are the node subtree's expected
 	// totals; util (= α·profit + (1-α)·surplus) is the currency every
 	// merge gain is measured in. Under the paper's default objective
@@ -71,37 +74,6 @@ func grow(buf []float64, n int) []float64 {
 	return buf[:n]
 }
 
-// engine carries shared state for the configuration algorithms.
-type engine struct {
-	w      *wtp.Matrix
-	params Params
-	pr     *pricing.Pricer
-	sc     *mergeScratch
-	k      int
-	// incremental routes candidate-merge vector construction through the
-	// parents' cached vectors (wtp.UnionVectors) instead of a postings
-	// rescan; the equivalence tests clear Params.referenceEval to compare
-	// the two. Scoped per engine so a run's choice never leaks.
-	incremental bool
-	// workers caches per-worker pricer+scratch contexts across the many
-	// evalPairs rounds of an algorithm run (see parallel.go).
-	workers []*workerCtx
-}
-
-func newEngine(w *wtp.Matrix, params Params) (*engine, error) {
-	if err := params.Validate(); err != nil {
-		return nil, err
-	}
-	if params.UnitCosts != nil && len(params.UnitCosts) != w.Items() {
-		return nil, errCostCount(len(params.UnitCosts), w.Items())
-	}
-	pr, err := params.pricer()
-	if err != nil {
-		return nil, err
-	}
-	return &engine{w: w, params: params, pr: pr, sc: &mergeScratch{}, k: params.maxSize(), incremental: !params.referenceEval}, nil
-}
-
 // objective assembles the pricing objective for a bundle: the configured
 // profit weight α and the bundle's summed unit cost.
 func (e *engine) objective(items []int) pricing.Objective {
@@ -112,26 +84,6 @@ func (e *engine) objective(items []int) pricing.Objective {
 		}
 	}
 	return obj
-}
-
-// singletons builds the initial one-item nodes (XI in Algorithms 1 and 2).
-func (e *engine) singletons() []*node {
-	nodes := make([]*node, e.w.Items())
-	for i := range nodes {
-		n := &node{items: []int{i}, fresh: true}
-		// θ never applies to a single item: Eq. 1 degenerates to the raw WTP.
-		n.ids, n.vals = e.w.BundleVector(n.items, 0, nil, nil)
-		obj := e.objective(n.items)
-		uq := e.pr.PriceUtility(n.vals, obj)
-		n.quote = uq.Quote
-		n.revenue, n.profit, n.surplus, n.util = uq.Revenue, uq.Profit, uq.Surplus, uq.Utility
-		n.unitC = obj.UnitCost
-		if e.params.Strategy == Mixed {
-			e.initState(n)
-		}
-		nodes[i] = n
-	}
-	return nodes
 }
 
 // initState populates a node's per-consumer market state from its
@@ -194,25 +146,26 @@ func (e *engine) vectorScale(n *node) float64 {
 // returned node is fully formed but not yet inserted anywhere. A nil node
 // means the merge is infeasible or (unless keepAll) not gaining.
 func (e *engine) evalMerge(a, b *node, keepAll bool) (*node, float64) {
-	return e.evalMergeWith(e.pr, e.sc, a, b, keepAll)
+	return e.evalMergeWith(e.ctx, a, b, keepAll)
 }
 
-// evalMergeWith is evalMerge with an explicit pricer and scratch, so
-// concurrent evaluations can each own both (neither is goroutine-safe).
-// The candidate is priced entirely in scratch; a node is allocated only
-// when it survives the gain filter (or keepAll is set, for the greedy
-// run-to-end variant that needs non-gaining candidates too).
-func (e *engine) evalMergeWith(pr *pricing.Pricer, sc *mergeScratch, a, b *node, keepAll bool) (*node, float64) {
+// evalMergeWith is evalMerge with an explicit worker context, so concurrent
+// evaluations each own their scratch (the shared Pricer is stateless). The
+// candidate is priced entirely in scratch; a node is allocated only when it
+// survives the gain filter (or keepAll is set, for the greedy run-to-end
+// variant that needs non-gaining candidates too).
+func (e *engine) evalMergeWith(ctx *workerCtx, a, b *node, keepAll bool) (*node, float64) {
+	sc := ctx.sc
 	sc.items = mergeItemsInto(sc.items, a.items, b.items)
 	if e.incremental {
-		sc.ids, sc.vals = wtp.UnionVectors(a.ids, a.vals, e.vectorScale(a), b.ids, b.vals, e.vectorScale(b), sc.ids, sc.vals)
+		sc.ids, sc.vals = e.sh.UnionVectors(a.ids, a.vals, e.vectorScale(a), b.ids, b.vals, e.vectorScale(b), sc.ids, sc.vals)
 	} else {
 		sc.ids, sc.vals = e.w.BundleVector(sc.items, e.params.Theta, sc.ids, sc.vals)
 	}
 	obj := e.objective(sc.items)
 	switch e.params.Strategy {
 	case Pure:
-		uq := pr.PriceUtility(sc.vals, obj)
+		uq := e.pr.PriceUtilityIn(ctx.psc, sc.vals, obj)
 		gain := uq.Utility - a.util - b.util
 		if !keepAll && gain <= minGain {
 			return nil, gain
@@ -223,7 +176,7 @@ func (e *engine) evalMergeWith(pr *pricing.Pricer, sc *mergeScratch, a, b *node,
 		n.revenue, n.profit, n.surplus, n.util = uq.Revenue, uq.Profit, uq.Surplus, uq.Utility
 		return n, gain
 	default:
-		return e.evalMergeMixed(pr, sc, obj.UnitCost, a, b)
+		return e.evalMergeMixed(ctx, obj.UnitCost, a, b)
 	}
 }
 
@@ -243,7 +196,8 @@ func materialize(sc *mergeScratch) *node {
 // the paper's price window (max component price, sum of component prices).
 // The combined state is built in one pass over the union ids directly from
 // both parents' aligned vectors into the scratch buffers.
-func (e *engine) evalMergeMixed(pr *pricing.Pricer, sc *mergeScratch, unitC float64, a, b *node) (*node, float64) {
+func (e *engine) evalMergeMixed(ctx *workerCtx, unitC float64, a, b *node) (*node, float64) {
+	sc := ctx.sc
 	m := len(sc.ids)
 	sc.pay = grow(sc.pay, m)
 	sc.surp = grow(sc.surp, m)
@@ -269,7 +223,7 @@ func (e *engine) evalMergeMixed(pr *pricing.Pricer, sc *mergeScratch, unitC floa
 	if b.quote.Price > lo {
 		lo = b.quote.Price
 	}
-	mq := pr.PriceMixed(pricing.MixedOffer{
+	mq := e.pr.PriceMixedIn(ctx.psc, pricing.MixedOffer{
 		CurPay:      sc.pay,
 		CurSurplus:  sc.surp,
 		CurCost:     sc.cost,
@@ -295,7 +249,7 @@ func (e *engine) evalMergeMixed(pr *pricing.Pricer, sc *mergeScratch, unitC floa
 	alpha := e.params.Model.Alpha()
 	var pay, cost, sur float64
 	for j := range n.ids {
-		pj, prob, switched := pr.ResolveSwitch(n.vals[j], sc.pay[j], sc.surp[j], mq.Price)
+		pj, prob, switched := e.pr.ResolveSwitch(n.vals[j], sc.pay[j], sc.surp[j], mq.Price)
 		n.pay[j] = pj
 		if switched {
 			n.cost[j] = n.unitC * prob

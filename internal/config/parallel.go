@@ -33,25 +33,12 @@ type pairResult struct {
 	gain   float64
 }
 
-// workerCtx is one evaluation thread's private pricer and scratch buffers
-// (neither is goroutine-safe). Contexts are built once per engine and
-// reused across every evalPairs round of an algorithm run.
+// workerCtx is one evaluation thread's private scratch: the merge buffers
+// and the pricing scratch (the Pricer itself is stateless and shared).
+// Contexts live in the session's pool and are borrowed per run.
 type workerCtx struct {
-	pr *pricing.Pricer
-	sc *mergeScratch
-}
-
-// workerPool returns n worker contexts, constructing any missing ones up
-// front so a pricer error surfaces before any goroutine spawns.
-func (e *engine) workerPool(n int) ([]*workerCtx, error) {
-	for len(e.workers) < n {
-		pr, err := e.params.pricer()
-		if err != nil {
-			return nil, err
-		}
-		e.workers = append(e.workers, &workerCtx{pr: pr, sc: &mergeScratch{}})
-	}
-	return e.workers[:n], nil
+	sc  *mergeScratch
+	psc *pricing.Scratch
 }
 
 // evalPairs prices every candidate pair concurrently. Work is distributed
@@ -60,9 +47,9 @@ func (e *engine) workerPool(n int) ([]*workerCtx, error) {
 // by job index, making the output deterministic regardless of worker count.
 // Infeasible candidates are dropped; non-gaining ones too, unless keepAll
 // (the greedy run-to-end variant needs every mergeable pair).
-func (e *engine) evalPairs(nodes []*node, jobs []pairJob, keepAll bool) ([]pairResult, error) {
+func (e *engine) evalPairs(nodes []*node, jobs []pairJob, keepAll bool) []pairResult {
 	if len(jobs) == 0 {
-		return nil, nil
+		return nil
 	}
 	workers := e.params.parallelism()
 	if workers > len(jobs) {
@@ -75,12 +62,9 @@ func (e *engine) evalPairs(nodes []*node, jobs []pairJob, keepAll bool) ([]pairR
 				out = append(out, pairResult{u: j.u, v: j.v, merged: merged, gain: gain})
 			}
 		}
-		return out, nil
+		return out
 	}
-	ws, err := e.workerPool(workers)
-	if err != nil {
-		return nil, err
-	}
+	ws := e.workerPool(workers)
 	results := make([]pairResult, len(jobs))
 	chunk := len(jobs)/(workers*8) + 1
 	var cursor atomic.Int64
@@ -100,7 +84,7 @@ func (e *engine) evalPairs(nodes []*node, jobs []pairJob, keepAll bool) ([]pairR
 				}
 				for idx := start; idx < end; idx++ {
 					j := jobs[idx]
-					if merged, gain := e.evalMergeWith(ctx.pr, ctx.sc, nodes[j.u], nodes[j.v], keepAll); merged != nil {
+					if merged, gain := e.evalMergeWith(ctx, nodes[j.u], nodes[j.v], keepAll); merged != nil {
 						results[idx] = pairResult{u: j.u, v: j.v, merged: merged, gain: gain}
 					}
 				}
@@ -114,5 +98,5 @@ func (e *engine) evalPairs(nodes []*node, jobs []pairJob, keepAll bool) ([]pairR
 			out = append(out, r)
 		}
 	}
-	return out, nil
+	return out
 }

@@ -1,0 +1,211 @@
+package config
+
+import (
+	"sync"
+
+	"bundling/internal/pricing"
+	"bundling/internal/wtp"
+)
+
+// Solver is a long-lived bundling session over one WTP matrix and one
+// parameter set. It is built once (NewSolver) and then serves any number of
+// solves — including concurrent ones — without re-indexing: the striped
+// shard of the matrix, the priced singleton nodes every algorithm starts
+// from, the frequent-itemset transaction lists, and the pricing scratch
+// pools all persist across calls. This is what turns the one-shot Solve*
+// functions into a serving engine: a what-if workload prices hundreds of
+// scenarios against the same matrix, and only the first solve pays for
+// indexing.
+//
+// All mutable per-run state lives in a per-solve engine; the Solver itself
+// holds only immutable snapshots and sync.Pool-recycled scratch, so one
+// Solver may be shared freely between goroutines.
+type Solver struct {
+	w      *wtp.Matrix
+	sh     *wtp.Shard
+	params Params
+	pr     *pricing.Pricer
+	k      int
+	// protos are the priced singleton nodes (X_I of Algorithms 1 and 2),
+	// including the mixed-bundling per-consumer state. Runs copy the node
+	// headers and share the vectors read-only.
+	protos []*node
+	// ctxPool recycles per-worker evaluation contexts (merge scratch +
+	// pricing scratch) across runs and across the workers within a run.
+	ctxPool sync.Pool
+	// txs are the consumers' interest transactions, mined lazily on the
+	// first FreqItemset solve and shared by later ones.
+	txsOnce sync.Once
+	txs     [][]int
+}
+
+// NewSolver validates params, indexes the matrix (striped shard + priced
+// singletons) and returns a session ready for concurrent solves. The matrix
+// must not be mutated while the Solver is in use; the shard layer turns
+// violations into a panic rather than stale results.
+func NewSolver(w *wtp.Matrix, params Params) (*Solver, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if params.UnitCosts != nil && len(params.UnitCosts) != w.Items() {
+		return nil, errCostCount(len(params.UnitCosts), w.Items())
+	}
+	pr, err := params.pricer()
+	if err != nil {
+		return nil, err
+	}
+	s := &Solver{
+		w:      w,
+		sh:     w.Shard(params.StripeSize),
+		params: params,
+		pr:     pr,
+		k:      params.maxSize(),
+	}
+	e := s.newEngine()
+	defer e.release()
+	s.protos = e.buildSingletons()
+	return s, nil
+}
+
+// Solve runs the algorithm on this session.
+func (s *Solver) Solve(a Algorithm) (*Configuration, error) {
+	return a.Solve(s)
+}
+
+// Params returns the session's parameters.
+func (s *Solver) Params() Params { return s.params }
+
+// Matrix returns the session's WTP matrix.
+func (s *Solver) Matrix() *wtp.Matrix { return s.w }
+
+// getCtx borrows a worker context from the pool.
+func (s *Solver) getCtx() *workerCtx {
+	if ctx, ok := s.ctxPool.Get().(*workerCtx); ok {
+		return ctx
+	}
+	return &workerCtx{sc: &mergeScratch{}, psc: pricing.NewScratch(s.pr.Levels())}
+}
+
+func (s *Solver) putCtx(ctx *workerCtx) { s.ctxPool.Put(ctx) }
+
+// transactions returns the consumers' interest transactions (each consumer's
+// ascending item list), built once per session. The stripes partition the
+// consumer axis, so the per-stripe fill writes disjoint rows and can be
+// farmed to workers without locks.
+func (s *Solver) transactions() [][]int {
+	s.txsOnce.Do(func() {
+		txs := make([][]int, s.w.Consumers())
+		items := s.w.Items()
+		s.sh.ForEachStripe(s.params.parallelism(), func(_ int, st *wtp.Stripe) {
+			for i := 0; i < items; i++ {
+				ids, _ := st.Item(i)
+				for _, id := range ids {
+					txs[id] = append(txs[id], i)
+				}
+			}
+		})
+		s.txs = txs
+	})
+	return s.txs
+}
+
+// engine carries one solve's mutable state: its scratch contexts and the
+// run-local bundle-size cap. Engines are cheap — everything heavy lives on
+// the Solver — and must be released when the run ends so the contexts
+// return to the pool.
+type engine struct {
+	s      *Solver
+	w      *wtp.Matrix
+	sh     *wtp.Shard
+	params Params
+	pr     *pricing.Pricer
+	ctx    *workerCtx // the run's serial-path context
+	k      int        // effective bundle-size cap (Optimal2 overrides per run)
+	// incremental routes candidate-merge vector construction through the
+	// parents' cached vectors (striped union) instead of a postings rescan;
+	// the equivalence tests set Params.referenceEval to diff the two paths.
+	incremental bool
+	// borrowed are the extra worker contexts this run's evalPairs rounds
+	// took from the pool; released with the engine.
+	borrowed []*workerCtx
+}
+
+// newEngine opens a run on the session.
+func (s *Solver) newEngine() *engine {
+	return &engine{
+		s:           s,
+		w:           s.w,
+		sh:          s.sh,
+		params:      s.params,
+		pr:          s.pr,
+		ctx:         s.getCtx(),
+		k:           s.k,
+		incremental: !s.params.referenceEval,
+	}
+}
+
+// release returns the run's contexts to the session pool.
+func (e *engine) release() {
+	e.s.putCtx(e.ctx)
+	for _, ctx := range e.borrowed {
+		e.s.putCtx(ctx)
+	}
+	e.borrowed = nil
+}
+
+// workerPool returns n worker contexts for a parallel evaluation round,
+// borrowing any missing ones from the session pool and keeping them for the
+// rest of the run.
+func (e *engine) workerPool(n int) []*workerCtx {
+	for len(e.borrowed) < n {
+		e.borrowed = append(e.borrowed, e.s.getCtx())
+	}
+	return e.borrowed[:n]
+}
+
+// bundleVector builds a bundle's interested-consumer vector. The fast path
+// reduces over the shard's columnar stripes; the reference path rescans the
+// flat postings (the seed implementation the equivalence tests diff
+// against).
+func (e *engine) bundleVector(items []int, theta float64, dstIDs []int, dstVals []float64) ([]int, []float64) {
+	if e.incremental {
+		return e.sh.BundleVector(items, theta, dstIDs, dstVals)
+	}
+	return e.w.BundleVector(items, theta, dstIDs, dstVals)
+}
+
+// buildSingletons prices every item as a one-item node — the session index
+// NewSolver amortizes across solves.
+func (e *engine) buildSingletons() []*node {
+	nodes := make([]*node, e.w.Items())
+	for i := range nodes {
+		n := &node{items: []int{i}, fresh: true}
+		// θ never applies to a single item: Eq. 1 degenerates to the raw WTP.
+		n.ids, n.vals = e.bundleVector(n.items, 0, nil, nil)
+		obj := e.objective(n.items)
+		n.uq = e.pr.PriceUtilityIn(e.ctx.psc, n.vals, obj)
+		n.quote = n.uq.Quote
+		n.revenue, n.profit, n.surplus, n.util = n.uq.Revenue, n.uq.Profit, n.uq.Surplus, n.uq.Utility
+		n.unitC = obj.UnitCost
+		if e.params.Strategy == Mixed {
+			e.initState(n)
+		}
+		nodes[i] = n
+	}
+	return nodes
+}
+
+// singletons returns this run's working copies of the session's singleton
+// prototypes: fresh node headers sharing the cached vectors and state
+// read-only, so concurrent runs never observe each other's fresh/dead
+// bookkeeping.
+func (e *engine) singletons() []*node {
+	nodes := make([]*node, len(e.s.protos))
+	for i, p := range e.s.protos {
+		n := *p
+		n.fresh = true
+		n.dead = false
+		nodes[i] = &n
+	}
+	return nodes
+}

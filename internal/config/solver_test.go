@@ -1,0 +1,252 @@
+package config
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"bundling/internal/wtp"
+)
+
+// testFreqOpts keeps the mined itemset count meaningful on the small
+// equivalence corpora.
+var testFreqOpts = FreqItemsetOptions{MinSupport: 0.05}
+
+// solverAlgorithms lists the five algorithms as run by the session tests.
+func solverAlgorithms() []Algorithm {
+	return []Algorithm{
+		ComponentsAlgorithm(),
+		Optimal2Algorithm(),
+		MatchingAlgorithm(),
+		GreedyAlgorithm(),
+		FreqItemsetAlgorithm(testFreqOpts),
+	}
+}
+
+// oneShot runs an algorithm through the compatibility one-shot entry
+// points (fresh Solver per call), the path every pre-session caller used.
+func oneShot(t testing.TB, a Algorithm, w *wtp.Matrix, params Params) *Configuration {
+	t.Helper()
+	var cfg *Configuration
+	var err error
+	switch a.Name() {
+	case "components":
+		cfg, err = Components(w, params)
+	case "optimal2":
+		cfg, err = Optimal2Sized(w, params)
+	case "matching":
+		cfg, err = MatchingBased(w, params)
+	case "greedy":
+		cfg, err = GreedyMerge(w, params)
+	case "freqitemset":
+		cfg, err = FreqItemset(w, params, testFreqOpts)
+	default:
+		t.Fatalf("unknown algorithm %q", a.Name())
+	}
+	if err != nil {
+		t.Fatalf("%s one-shot: %v", a.Name(), err)
+	}
+	return cfg
+}
+
+// TestSolverMatchesOneShot is the session equivalence property of the
+// acceptance criteria: for all five algorithms, pure and mixed, a shared
+// long-lived Solver produces the same configuration (revenues within 1e-9)
+// as the one-shot entry points.
+func TestSolverMatchesOneShot(t *testing.T) {
+	w := equivMatrix(t, 31, 90, 26, 0.25)
+	for _, strategy := range []Strategy{Pure, Mixed} {
+		params := DefaultParams()
+		params.Strategy = strategy
+		params.Theta = -0.05
+		s, err := NewSolver(w, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range solverAlgorithms() {
+			label := fmt.Sprintf("%s/%v", a.Name(), strategy)
+			got, err := s.Solve(a)
+			if err != nil {
+				t.Fatalf("%s (session): %v", label, err)
+			}
+			want := oneShot(t, a, w, params)
+			sameConfiguration(t, label, got, want, 1e-9)
+		}
+	}
+}
+
+// TestSolverStripeSizesAgree sweeps stripe sizes, including degenerate
+// ones, and requires identical results: stripe layout is a storage choice,
+// never a semantic one.
+func TestSolverStripeSizesAgree(t *testing.T) {
+	w := equivMatrix(t, 7, 70, 20, 0.3)
+	for _, strategy := range []Strategy{Pure, Mixed} {
+		var base *Configuration
+		for _, size := range []int{0, 1, 16, 70, 1000} {
+			params := DefaultParams()
+			params.Strategy = strategy
+			params.StripeSize = size
+			s, err := NewSolver(w, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := s.Solve(MatchingAlgorithm())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base == nil {
+				base = cfg
+				continue
+			}
+			sameConfiguration(t, fmt.Sprintf("%v/stripe=%d", strategy, size), cfg, base, 1e-9)
+		}
+	}
+}
+
+// TestSolverConcurrent is the shared-session race test of the acceptance
+// criteria: many goroutines run all algorithms (and Evaluate traffic)
+// concurrently against one Solver, and every result must equal the
+// one-shot path within 1e-9. Run with -race.
+func TestSolverConcurrent(t *testing.T) {
+	w := equivMatrix(t, 47, 80, 22, 0.25)
+	for _, strategy := range []Strategy{Pure, Mixed} {
+		params := DefaultParams()
+		params.Strategy = strategy
+		params.Parallelism = 2 // exercise the worker pool under contention
+		s, err := NewSolver(w, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		algs := solverAlgorithms()
+		want := make([]*Configuration, len(algs))
+		for i, a := range algs {
+			want[i] = oneShot(t, a, w, params)
+		}
+		const rounds = 3
+		var wg sync.WaitGroup
+		errs := make(chan error, len(algs)*rounds+rounds)
+		for r := 0; r < rounds; r++ {
+			for i, a := range algs {
+				wg.Add(1)
+				go func(i int, a Algorithm) {
+					defer wg.Done()
+					got, err := s.Solve(a)
+					if err != nil {
+						errs <- fmt.Errorf("%s: %w", a.Name(), err)
+						return
+					}
+					if diff := math.Abs(got.Revenue - want[i].Revenue); diff > 1e-9 {
+						errs <- fmt.Errorf("%s/%v: concurrent revenue %.12f, one-shot %.12f (diff %g)",
+							a.Name(), strategy, got.Revenue, want[i].Revenue, diff)
+					}
+				}(i, a)
+			}
+			// What-if Evaluate traffic interleaved with the solves.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := s.Evaluate([][]int{{0, 1}, {2}, {3, 4, 5}}); err != nil {
+					errs <- fmt.Errorf("evaluate: %w", err)
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+	}
+}
+
+// TestSolverRepeatedSolvesPure verifies a run never corrupts the session:
+// the same algorithm solved twice on one Solver returns identical results,
+// and an Optimal2 run's k=2 override does not leak into a later unbounded
+// matching run.
+func TestSolverRepeatedSolvesPure(t *testing.T) {
+	w := equivMatrix(t, 13, 60, 18, 0.3)
+	params := DefaultParams()
+	s, err := NewSolver(w, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Solve(GreedyAlgorithm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Solve(GreedyAlgorithm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameConfiguration(t, "greedy repeat", second, first, 0)
+
+	unbounded, err := s.Solve(MatchingAlgorithm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(Optimal2Algorithm()); err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Solve(MatchingAlgorithm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameConfiguration(t, "matching after optimal2", again, unbounded, 0)
+	maxSize := 0
+	for _, b := range unbounded.Bundles {
+		if b.Size() > maxSize {
+			maxSize = b.Size()
+		}
+	}
+	if maxSize <= 2 {
+		t.Skipf("corpus too small to distinguish k=2 from unbounded (max bundle %d)", maxSize)
+	}
+}
+
+// TestAlgorithmRegistry pins the registry: five algorithms, stable names,
+// and name-based lookup for CLIs.
+func TestAlgorithmRegistry(t *testing.T) {
+	want := []string{"components", "optimal2", "matching", "greedy", "freqitemset"}
+	algs := Algorithms()
+	if len(algs) != len(want) {
+		t.Fatalf("Algorithms() returned %d entries, want %d", len(algs), len(want))
+	}
+	for i, a := range algs {
+		if a.Name() != want[i] {
+			t.Errorf("Algorithms()[%d].Name() = %q, want %q", i, a.Name(), want[i])
+		}
+		byName, err := AlgorithmByName(want[i])
+		if err != nil {
+			t.Errorf("AlgorithmByName(%q): %v", want[i], err)
+		} else if byName.Name() != want[i] {
+			t.Errorf("AlgorithmByName(%q).Name() = %q", want[i], byName.Name())
+		}
+	}
+	if _, err := AlgorithmByName("simulated-annealing"); err == nil {
+		t.Error("AlgorithmByName accepted an unknown name")
+	}
+}
+
+// TestSolverEvaluateMatchesOneShot checks the session Evaluate path against
+// the one-shot Evaluate for both strategies.
+func TestSolverEvaluateMatchesOneShot(t *testing.T) {
+	w := equivMatrix(t, 19, 50, 14, 0.35)
+	offers := [][]int{{0, 1, 2}, {3}, {5, 6}}
+	for _, strategy := range []Strategy{Pure, Mixed} {
+		params := DefaultParams()
+		params.Strategy = strategy
+		s, err := NewSolver(w, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Evaluate(offers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Evaluate(w, offers, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameConfiguration(t, fmt.Sprintf("evaluate/%v", strategy), got, want, 1e-9)
+	}
+}

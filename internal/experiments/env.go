@@ -96,31 +96,48 @@ func OurMethods() []Method {
 	return []Method{PureMatching, PureGreedy, MixedMatching, MixedGreedy}
 }
 
-// Run executes a method on w with the base parameters; the method's own
-// strategy overrides params.Strategy.
-func Run(m Method, w *wtp.Matrix, params config.Params) (*config.Configuration, error) {
+// Plan resolves a comparative method to the Algorithm that implements it
+// and the parameters it runs under (the method's own strategy overrides
+// params.Strategy). Experiments drive the generic Algorithm interface, so
+// a new algorithm only needs a Method row here to join every sweep.
+func Plan(m Method, params config.Params) (config.Algorithm, config.Params, error) {
 	switch m {
 	case Components:
-		return config.Components(w, params)
+		return config.ComponentsAlgorithm(), params, nil
 	case PureMatching:
 		params.Strategy = config.Pure
-		return config.MatchingBased(w, params)
+		return config.MatchingAlgorithm(), params, nil
 	case PureGreedy:
 		params.Strategy = config.Pure
-		return config.GreedyMerge(w, params)
+		return config.GreedyAlgorithm(), params, nil
 	case MixedMatching:
 		params.Strategy = config.Mixed
-		return config.MatchingBased(w, params)
+		return config.MatchingAlgorithm(), params, nil
 	case MixedGreedy:
 		params.Strategy = config.Mixed
-		return config.GreedyMerge(w, params)
+		return config.GreedyAlgorithm(), params, nil
 	case PureFreqItemset:
 		params.Strategy = config.Pure
-		return config.FreqItemset(w, params, config.DefaultFreqItemsetOptions())
+		return config.FreqItemsetAlgorithm(config.DefaultFreqItemsetOptions()), params, nil
 	case MixedFreqItemset:
 		params.Strategy = config.Mixed
-		return config.FreqItemset(w, params, config.DefaultFreqItemsetOptions())
+		return config.FreqItemsetAlgorithm(config.DefaultFreqItemsetOptions()), params, nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown method %q", m)
+		return nil, params, fmt.Errorf("experiments: unknown method %q", m)
 	}
+}
+
+// Run executes a method on w with the base parameters via a throwaway
+// session; sweeps that rerun methods on one matrix should build a Solver
+// with Plan and reuse it.
+func Run(m Method, w *wtp.Matrix, params config.Params) (*config.Configuration, error) {
+	alg, p, err := Plan(m, params)
+	if err != nil {
+		return nil, err
+	}
+	s, err := config.NewSolver(w, p)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(alg)
 }

@@ -34,13 +34,32 @@ type SweepResult struct {
 // When the adoption model is stochastic, revenue is realized by simulation
 // averaged over StochasticRuns seeded runs (the paper's protocol);
 // otherwise the expected revenue is exact.
+//
+// All methods of one sweep point run on shared Solver sessions (one per
+// strategy), so the matrix is indexed twice per point instead of once per
+// method.
 func sweep(env *Env, name, label string, methods []Method, values []float64,
 	mkParams func(v float64) config.Params) (*SweepResult, error) {
 	res := &SweepResult{Name: name, ParamLabel: label, Methods: methods}
 	for _, v := range values {
 		params := mkParams(v)
+		sessions := map[config.Strategy]*config.Solver{}
+		runMethod := func(m Method) (*config.Configuration, error) {
+			alg, p, err := Plan(m, params)
+			if err != nil {
+				return nil, err
+			}
+			s := sessions[p.Strategy]
+			if s == nil {
+				if s, err = config.NewSolver(env.W, p); err != nil {
+					return nil, err
+				}
+				sessions[p.Strategy] = s
+			}
+			return s.Solve(alg)
+		}
 		point := SweepPoint{Param: v, Coverage: map[Method]float64{}, Gain: map[Method]float64{}}
-		comp, err := config.Components(env.W, params)
+		comp, err := runMethod(Components)
 		if err != nil {
 			return nil, err
 		}
@@ -50,7 +69,7 @@ func sweep(env *Env, name, label string, methods []Method, values []float64,
 			if m == Components {
 				rev = compRev
 			} else {
-				cfg, err := Run(m, env.W, params)
+				cfg, err := runMethod(m)
 				if err != nil {
 					return nil, fmt.Errorf("%s at %s=%g: %w", m, label, v, err)
 				}

@@ -38,6 +38,15 @@ type UtilityQuote struct {
 // available from the same O(m + T) pass (deterministic model) or the
 // bucketed sigmoid evaluation (stochastic model).
 func (p *Pricer) PriceUtility(wtps []float64, obj Objective) UtilityQuote {
+	sc := p.getScratch()
+	defer p.putScratch(sc)
+	return p.PriceUtilityIn(sc, wtps, obj)
+}
+
+// PriceUtilityIn is PriceUtility with caller-owned scratch, for hot paths
+// that price many bundles and want to avoid the pool round-trip.
+func (p *Pricer) PriceUtilityIn(sc *Scratch, wtps []float64, obj Objective) UtilityQuote {
+	sc.ensure(p.levels)
 	maxW := 0.0
 	for _, w := range wtps {
 		if w > maxW {
@@ -49,8 +58,8 @@ func (p *Pricer) PriceUtility(wtps []float64, obj Objective) UtilityQuote {
 	}
 	T := p.levels
 	alpha := p.model.Alpha()
-	counts := p.fcounts[:T+1]
-	sums := p.fsums[:T+1]
+	counts := sc.fcounts[:T+1]
+	sums := sc.fsums[:T+1]
 	for i := range counts {
 		counts[i] = 0
 		sums[i] = 0
@@ -100,7 +109,7 @@ func (p *Pricer) PriceUtility(wtps []float64, obj Objective) UtilityQuote {
 	}
 	// Stochastic model: expected adopters and expected adopter WTP mass at
 	// each price level, via bucket midpoints.
-	mids := p.mids[:T+1]
+	mids := sc.mids[:T+1]
 	for t := 0; t <= T; t++ {
 		mids[t] = (float64(t) + 0.5) * maxW / float64(T)
 		if mids[t] > maxW {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"slices"
+	"sync"
 
 	"bundling/internal/adoption"
 )
@@ -28,17 +29,32 @@ const bucketSlack = 1e-9
 
 // Pricer prices bundles under an adoption model. The zero value is invalid;
 // use New.
+//
+// A Pricer is stateless per call: every pricing method either borrows its
+// working buffers from an internal pool or, in the *In variants, uses a
+// caller-owned Scratch. One Pricer instance is therefore safe for
+// concurrent use by any number of goroutines (configure SetExact before
+// sharing; it is the only mutator).
 type Pricer struct {
 	model  adoption.Model
 	levels int
 	exact  bool // exact sigmoid evaluation instead of bucketed
-	counts []int
-	// scratch buffers reused by PriceUtility so the per-bundle pricing in
-	// the configuration algorithms stays allocation-free.
+	// pool recycles Scratch buffers for the pool-backed convenience
+	// methods; hot paths pass an explicit Scratch instead.
+	pool sync.Pool
+}
+
+// Scratch holds the working buffers one pricing call needs: the WTP
+// histogram of the Sec. 4.2 price search and the event arrays of the
+// deterministic mixed-bundling sweep. A Scratch may be reused across any
+// number of calls but must not be shared between concurrent ones; solvers
+// typically pool one per worker.
+type Scratch struct {
+	counts  []int
 	fcounts []float64
 	fsums   []float64
 	mids    []float64
-	// scratch reused by the deterministic PriceMixed sweep.
+	// buffers of the deterministic PriceMixed sweep.
 	events []switchEvent
 	utilB  []float64
 	revB   []float64
@@ -46,23 +62,35 @@ type Pricer struct {
 	adB    []float64
 }
 
+// NewScratch returns a Scratch pre-sized for T price levels. Buffers grow on
+// demand, so sizing is a hint, not a limit.
+func NewScratch(levels int) *Scratch {
+	sc := &Scratch{}
+	sc.ensure(levels)
+	return sc
+}
+
+// ensure grows the level-indexed buffers to hold levels+1 entries.
+func (sc *Scratch) ensure(levels int) {
+	if len(sc.counts) >= levels+1 {
+		return
+	}
+	sc.counts = make([]int, levels+1)
+	sc.fcounts = make([]float64, levels+1)
+	sc.fsums = make([]float64, levels+1)
+	sc.mids = make([]float64, levels+1)
+	sc.utilB = make([]float64, levels+1)
+	sc.revB = make([]float64, levels+1)
+	sc.surB = make([]float64, levels+1)
+	sc.adB = make([]float64, levels+1)
+}
+
 // New returns a Pricer using T price levels. T must be positive.
 func New(model adoption.Model, levels int) (*Pricer, error) {
 	if levels <= 0 {
 		return nil, fmt.Errorf("pricing: T=%d price levels must be > 0", levels)
 	}
-	return &Pricer{
-		model:   model,
-		levels:  levels,
-		counts:  make([]int, levels+1),
-		fcounts: make([]float64, levels+1),
-		fsums:   make([]float64, levels+1),
-		mids:    make([]float64, levels+1),
-		utilB:   make([]float64, levels+1),
-		revB:    make([]float64, levels+1),
-		surB:    make([]float64, levels+1),
-		adB:     make([]float64, levels+1),
-	}, nil
+	return &Pricer{model: model, levels: levels}, nil
 }
 
 // Default returns a Pricer with the paper's defaults: step model, T = 100.
@@ -72,8 +100,20 @@ func Default() *Pricer {
 }
 
 // SetExact toggles exact per-consumer sigmoid evaluation (O(m·T)). It has no
-// effect under the deterministic step model, which is always exact.
+// effect under the deterministic step model, which is always exact. Call
+// before sharing the Pricer between goroutines.
 func (p *Pricer) SetExact(exact bool) { p.exact = exact }
+
+// getScratch borrows a Scratch from the internal pool.
+func (p *Pricer) getScratch() *Scratch {
+	if sc, ok := p.pool.Get().(*Scratch); ok {
+		sc.ensure(p.levels)
+		return sc
+	}
+	return NewScratch(p.levels)
+}
+
+func (p *Pricer) putScratch(sc *Scratch) { p.pool.Put(sc) }
 
 // Model returns the adoption model in use.
 func (p *Pricer) Model() adoption.Model { return p.model }
@@ -92,6 +132,15 @@ type Quote struct {
 // interested consumers have the given willingness-to-pay values (Eq. 2).
 // Consumers with zero WTP may be omitted; they never contribute revenue.
 func (p *Pricer) PriceOptimal(wtps []float64) Quote {
+	sc := p.getScratch()
+	defer p.putScratch(sc)
+	return p.PriceOptimalIn(sc, wtps)
+}
+
+// PriceOptimalIn is PriceOptimal with caller-owned scratch, for hot paths
+// that price many bundles and want to avoid the pool round-trip.
+func (p *Pricer) PriceOptimalIn(sc *Scratch, wtps []float64) Quote {
+	sc.ensure(p.levels)
 	maxW := 0.0
 	for _, w := range wtps {
 		if w > maxW {
@@ -102,18 +151,18 @@ func (p *Pricer) PriceOptimal(wtps []float64) Quote {
 		return Quote{}
 	}
 	if p.model.Deterministic() {
-		return p.priceStep(wtps, maxW)
+		return p.priceStep(sc, wtps, maxW)
 	}
 	if p.exact {
 		return p.priceSigmoidExact(wtps, maxW)
 	}
-	return p.priceSigmoidBucketed(wtps, maxW)
+	return p.priceSigmoidBucketed(sc, wtps, maxW)
 }
 
 // priceStep prices under the step model with a histogram + suffix counts.
-func (p *Pricer) priceStep(wtps []float64, maxW float64) Quote {
+func (p *Pricer) priceStep(sc *Scratch, wtps []float64, maxW float64) Quote {
 	T := p.levels
-	counts := p.counts[:T+1]
+	counts := sc.counts[:T+1]
 	for i := range counts {
 		counts[i] = 0
 	}
@@ -144,9 +193,9 @@ func (p *Pricer) priceStep(wtps []float64, maxW float64) Quote {
 
 // priceSigmoidBucketed approximates expected adopters by collapsing
 // consumers into T buckets and evaluating the sigmoid at bucket midpoints.
-func (p *Pricer) priceSigmoidBucketed(wtps []float64, maxW float64) Quote {
+func (p *Pricer) priceSigmoidBucketed(sc *Scratch, wtps []float64, maxW float64) Quote {
 	T := p.levels
-	counts := p.counts[:T+1]
+	counts := sc.counts[:T+1]
 	for i := range counts {
 		counts[i] = 0
 	}
@@ -157,7 +206,7 @@ func (p *Pricer) priceSigmoidBucketed(wtps []float64, maxW float64) Quote {
 		}
 		counts[idx]++
 	}
-	mids := p.mids[:T+1]
+	mids := sc.mids[:T+1]
 	for t := 0; t <= T; t++ {
 		mids[t] = (float64(t) + 0.5) * maxW / float64(T)
 		if mids[t] > maxW {
@@ -257,6 +306,15 @@ type MixedQuote struct {
 // PriceMixed searches the bundle price within (Lo, Hi) maximizing the
 // seller's utility under the switch rule described on MixedOffer.
 func (p *Pricer) PriceMixed(off MixedOffer) MixedQuote {
+	sc := p.getScratch()
+	defer p.putScratch(sc)
+	return p.PriceMixedIn(sc, off)
+}
+
+// PriceMixedIn is PriceMixed with caller-owned scratch, for hot paths that
+// evaluate many candidate offers and want to avoid the pool round-trip.
+func (p *Pricer) PriceMixedIn(sc *Scratch, off MixedOffer) MixedQuote {
+	sc.ensure(p.levels)
 	if len(off.CurPay) != len(off.WB) || len(off.CurSurplus) != len(off.WB) {
 		panic("pricing: misaligned mixed offer vectors")
 	}
@@ -279,7 +337,7 @@ func (p *Pricer) PriceMixed(off MixedOffer) MixedQuote {
 		return q // degenerate window (e.g. a free component)
 	}
 	if p.model.Deterministic() {
-		return p.priceMixedStep(off, q, basePay, baseCost, baseSur)
+		return p.priceMixedStep(sc, off, q, basePay, baseCost, baseSur)
 	}
 	T := p.levels
 	for t := 1; t <= T; t++ {
@@ -319,11 +377,11 @@ type switchEvent struct {
 // incrementally. Consumers whose τ lies within the ε tie window of the
 // current level are resolved individually with ResolveSwitch, keeping the
 // result exactly faithful to the reference evaluation.
-func (p *Pricer) priceMixedStep(off MixedOffer, q MixedQuote, basePay, baseCost, baseSur float64) MixedQuote {
+func (p *Pricer) priceMixedStep(sc *Scratch, off MixedOffer, q MixedQuote, basePay, baseCost, baseSur float64) MixedQuote {
 	const eps = adoption.DefaultEpsilon
 	T := p.levels
 	alpha := p.model.Alpha()
-	ev := p.events[:0]
+	ev := sc.events[:0]
 	for j, wb := range off.WB {
 		ewb := alpha * wb
 		if ewb <= 0 {
@@ -349,9 +407,9 @@ func (p *Pricer) priceMixedStep(off MixedOffer, q MixedQuote, basePay, baseCost,
 			esur: at0(off.CurESurplus, j),
 		})
 	}
-	p.events = ev
+	sc.events = ev
 	slices.SortFunc(ev, func(a, b switchEvent) int { return cmp.Compare(a.tau, b.tau) })
-	utilB, revB, surB, adB := p.utilB[:T+1], p.revB[:T+1], p.surB[:T+1], p.adB[:T+1]
+	utilB, revB, surB, adB := sc.utilB[:T+1], sc.revB[:T+1], sc.surB[:T+1], sc.adB[:T+1]
 	// Aggregates over the definitely-switched suffix ev[ptr:] (τ well above
 	// the current price level). The 2ε-wide band around the level is kept
 	// out of the aggregates and delegated to ResolveSwitch per consumer, so

@@ -37,6 +37,7 @@ type Matrix struct {
 	postings [][]Entry // per item: consumers with non-zero WTP, ascending
 	colSum   []float64 // per item: total WTP (upper bound of item revenue)
 	total    float64   // grand total WTP (upper bound of any revenue)
+	version  uint64    // bumped by every mutation; Shard staleness checks
 }
 
 // New returns an all-zero M×N matrix.
@@ -83,6 +84,7 @@ func (w *Matrix) Set(u, i int, value float64) error {
 	if old == value {
 		return nil
 	}
+	w.version++
 	w.dense[u*w.n+i] = value
 	w.colSum[i] += value - old
 	w.total += value - old
