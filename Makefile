@@ -5,7 +5,7 @@
 GO ?= go
 NPROC ?= $(shell nproc 2>/dev/null || echo 2)
 
-.PHONY: build test vet fmt race check bench bench-parallel fuzz
+.PHONY: build test vet fmt race check smoke bench bench-parallel bench-serve fuzz
 
 build:
 	$(GO) build ./...
@@ -21,11 +21,16 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with lock-free parallel paths (chunked evalPairs,
-# shared Solver sessions, per-stripe farming).
+# shared Solver sessions, per-stripe farming, the serving registry/batcher).
 race:
-	$(GO) test -race ./internal/config/ ./internal/pricing/ ./internal/wtp/
+	$(GO) test -race ./internal/config/ ./internal/pricing/ ./internal/wtp/ ./internal/server/ ./client/
 
 check: fmt vet build test race
+
+# Boot the bundled daemon on a sample corpus and drive the client smoke
+# test against it (fails on any non-200). CI runs this after `check`.
+smoke:
+	./scripts/smoke.sh
 
 # Benchmark the algorithm hot paths (one-shot and warm-session rows) at
 # bench scale and write machine-readable results. Compare against the
@@ -39,6 +44,12 @@ bench:
 # numcpu/maxprocs/parallelism).
 bench-parallel:
 	$(GO) run ./cmd/bundlebench -exp perf -parallel $(NPROC) -benchout BENCH_parallel.json
+
+# Load-test the serving subsystem (in-process server + HTTP client) and
+# write requests/sec, tail latency and cache/batching counters to
+# BENCH_serve.json, the serving companion of BENCH_greedy.json.
+bench-serve:
+	$(GO) run ./cmd/bundlebench -exp serve -servereqs 2000 -serveconc 16 -benchout BENCH_serve.json
 
 # Short fuzz pass over the incremental-union equivalence property.
 fuzz:

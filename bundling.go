@@ -69,6 +69,19 @@
 // reuse amortizes the remaining indexing: repeated solves on one Solver
 // skip shard construction and singleton pricing entirely (see the
 // Solver/* rows in BENCH_greedy.json).
+//
+// # Serving
+//
+// For multi-user traffic, the cmd/bundled daemon serves Solver sessions
+// over HTTP: upload a WTP corpus (the MatrixDoc JSON form or a ratings
+// CSV) to create a named session, then hit it concurrently with solve and
+// what-if evaluate requests. The serving layer adds an LRU-bounded result
+// cache keyed by exact corpus version (a re-upload can never be served
+// stale results), a micro-batcher that coalesces concurrent identical
+// evaluate requests into one execution, Prometheus metrics, and graceful
+// session eviction. The bundling/client package is the Go client; see the
+// README's Serving section for a curl quickstart and cmd/bundlebench
+// -exp serve for the load harness behind BENCH_serve.json.
 package bundling
 
 import (
@@ -109,6 +122,12 @@ const Unlimited = config.Unlimited
 // NewMatrix returns an all-zero willingness-to-pay matrix.
 func NewMatrix(consumers, items int) *Matrix {
 	return wtp.MustNew(consumers, items)
+}
+
+// NewMatrixChecked is NewMatrix with dimension validation surfaced as an
+// error instead of a panic — the form servers use on untrusted input.
+func NewMatrixChecked(consumers, items int) (*Matrix, error) {
+	return wtp.New(consumers, items)
 }
 
 // FromRatings mines willingness to pay from star ratings (1..5) and item
@@ -152,6 +171,9 @@ type Options struct {
 	// solver's sharded WTP index (0 = 1024). Results are identical for any
 	// value; see the package doc on stripe sizing.
 	StripeSize int
+	// Parallelism caps the worker goroutines used for candidate pricing and
+	// index building (0 = GOMAXPROCS). Results are deterministic regardless.
+	Parallelism int
 }
 
 func (o Options) params() (config.Params, error) {
@@ -167,6 +189,7 @@ func (o Options) params() (config.Params, error) {
 	}
 	p.UnitCosts = o.UnitCosts
 	p.StripeSize = o.StripeSize
+	p.Parallelism = o.Parallelism
 	gamma := o.Gamma
 	if gamma == 0 {
 		gamma = adoption.DefaultGamma
@@ -256,6 +279,15 @@ func (s *Solver) Evaluate(offers [][]int) (*Configuration, error) { return s.inn
 
 // Algorithms lists the algorithms runnable on this session.
 func (s *Solver) Algorithms() []Algorithm { return config.Algorithms() }
+
+// SolverStats describes a session's indexed corpus: matrix dimensions,
+// non-zero entry count, stripe layout, the snapshot version and the
+// aggregate WTP. Serving layers report these per session and key result
+// caches on Version.
+type SolverStats = config.SolverStats
+
+// Stats returns the session's corpus and index statistics.
+func (s *Solver) Stats() SolverStats { return s.inner.Stats() }
 
 // Configure finds a revenue-maximizing bundle configuration using the
 // paper's matching-based heuristic (Algorithm 1), the method its evaluation

@@ -1,0 +1,207 @@
+// Package client is the thin Go client of the bundled bundle-pricing
+// server (cmd/bundled). It speaks the server's JSON API and re-exports the
+// wire types, so a consumer needs only this package:
+//
+//	c := client.New("http://localhost:8080", nil)
+//	info, err := c.UploadMatrix(ctx, "store", w, bundling.Options{})
+//	res, err := c.Solve(ctx, "store", "matching")
+//	what, err := c.Evaluate(ctx, "store", [][]int{{0, 1}, {2}})
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"bundling"
+	"bundling/internal/server"
+)
+
+// Wire types of the bundled API, shared verbatim with the server.
+type (
+	OptionsDoc          = server.OptionsDoc
+	CreateCorpusRequest = server.CreateCorpusRequest
+	CorpusInfo          = server.CorpusInfo
+	SolveRequest        = server.SolveRequest
+	SolveResponse       = server.SolveResponse
+	EvaluateRequest     = server.EvaluateRequest
+	EvaluateResponse    = server.EvaluateResponse
+	ConfigDoc           = server.ConfigDoc
+	OfferDoc            = server.OfferDoc
+	HealthResponse      = server.HealthResponse
+	ErrorResponse       = server.ErrorResponse
+)
+
+// Client talks to one bundled server. The zero value is unusable; construct
+// with New. Clients are safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8080"). httpClient nil selects http.DefaultClient.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// APIError is a non-2xx server response.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("bundled: %d: %s", e.StatusCode, e.Message)
+}
+
+// do issues one request; a non-2xx status becomes an *APIError, a 2xx body
+// is decoded into out (unless nil).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr ErrorResponse
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// CreateCorpus uploads a corpus from an explicit request document.
+func (c *Client) CreateCorpus(ctx context.Context, req CreateCorpusRequest) (*CorpusInfo, error) {
+	var info CorpusInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/corpora", req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// UploadMatrix uploads a WTP matrix under the given corpus ID (empty =
+// server-assigned) and session options.
+func (c *Client) UploadMatrix(ctx context.Context, id string, w *bundling.Matrix, opts bundling.Options) (*CorpusInfo, error) {
+	return c.CreateCorpus(ctx, CreateCorpusRequest{
+		ID:      id,
+		Options: OptionsFromLibrary(opts),
+		Matrix:  bundling.NewMatrixDoc(w),
+	})
+}
+
+// UploadCSV uploads a ratings CSV corpus converted with factor lambda
+// (0 = bundling.DefaultLambda).
+func (c *Client) UploadCSV(ctx context.Context, id, csv string, lambda float64, opts bundling.Options) (*CorpusInfo, error) {
+	return c.CreateCorpus(ctx, CreateCorpusRequest{
+		ID:      id,
+		Format:  "csv",
+		Lambda:  lambda,
+		CSV:     csv,
+		Options: OptionsFromLibrary(opts),
+	})
+}
+
+// Corpora lists the server's live sessions.
+func (c *Client) Corpora(ctx context.Context) ([]CorpusInfo, error) {
+	var resp server.ListCorporaResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/corpora", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Corpora, nil
+}
+
+// Corpus fetches one session's info.
+func (c *Client) Corpus(ctx context.Context, id string) (*CorpusInfo, error) {
+	var info CorpusInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/corpora/"+id, nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// DeleteCorpus evicts a session.
+func (c *Client) DeleteCorpus(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/corpora/"+id, nil, nil)
+}
+
+// Solve runs a configuration algorithm ("" = matching) on a session.
+func (c *Client) Solve(ctx context.Context, id, algorithm string) (*SolveResponse, error) {
+	var resp SolveResponse
+	err := c.do(ctx, http.MethodPost, "/v1/corpora/"+id+"/solve", SolveRequest{Algorithm: algorithm}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Evaluate prices a caller-proposed lineup on a session.
+func (c *Client) Evaluate(ctx context.Context, id string, offers [][]int) (*EvaluateResponse, error) {
+	var resp EvaluateResponse
+	err := c.do(ctx, http.MethodPost, "/v1/corpora/"+id+"/evaluate", EvaluateRequest{Offers: offers}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health checks liveness.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	var resp HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics fetches the raw Prometheus text metrics.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(buf))}
+	}
+	return string(buf), nil
+}
+
+// OptionsFromLibrary lifts bundling.Options to their wire form.
+func OptionsFromLibrary(o bundling.Options) OptionsDoc { return server.NewOptionsDoc(o) }

@@ -1,0 +1,128 @@
+package client
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bundling"
+	"bundling/internal/server"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+	return ts
+}
+
+func testMatrix(t testing.TB, consumers, items int, seed int64) *bundling.Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	w := bundling.NewMatrix(consumers, items)
+	for u := 0; u < consumers; u++ {
+		for i := 0; i < items; i++ {
+			if rng.Float64() < 0.4 {
+				w.MustSet(u, i, 1+rng.Float64()*19)
+			}
+		}
+	}
+	return w
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	ts := testServer(t)
+	c := New(ts.URL, nil)
+	ctx := context.Background()
+	w := testMatrix(t, 90, 18, 4)
+
+	info, err := c.UploadMatrix(ctx, "shop", w, bundling.Options{Strategy: bundling.Mixed, Theta: -0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "shop" || info.Version != 1 || info.Consumers != 90 || info.Items != 18 {
+		t.Fatalf("info: %+v", info)
+	}
+
+	list, err := c.Corpora(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != "shop" {
+		t.Fatalf("corpora: %+v", list)
+	}
+
+	res, err := c.Solve(ctx, "shop", "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := bundling.NewSolver(w, bundling.Options{Strategy: bundling.Mixed, Theta: -0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Solve(bundling.Greedy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Config.Revenue-want.Revenue) > 1e-9 {
+		t.Errorf("client revenue %.12f != library %.12f", res.Config.Revenue, want.Revenue)
+	}
+
+	eval, err := c.Evaluate(ctx, "shop", [][]int{{0, 1}, {2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEval, err := direct.Evaluate([][]int{{0, 1}, {2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eval.Config.Revenue-wantEval.Revenue) > 1e-9 {
+		t.Errorf("client evaluate %.12f != library %.12f", eval.Config.Revenue, wantEval.Revenue)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Sessions != 1 {
+		t.Errorf("health: %+v", h)
+	}
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, "bundled_requests_total") {
+		t.Errorf("metrics missing counters:\n%s", metrics)
+	}
+
+	if err := c.DeleteCorpus(ctx, "shop"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve(ctx, "shop", "greedy"); err == nil {
+		t.Error("solve after delete should fail")
+	} else if apiErr, ok := err.(*APIError); !ok || apiErr.StatusCode != 404 {
+		t.Errorf("err = %v, want 404 APIError", err)
+	}
+}
+
+func TestClientCSVUpload(t *testing.T) {
+	ts := testServer(t)
+	c := New(ts.URL, nil)
+	ctx := context.Background()
+	csv := "price,0,10\nprice,1,8\nrating,0,0,5\nrating,0,1,4\nrating,1,0,3\n"
+	info, err := c.UploadCSV(ctx, "csvcorp", csv, 0, bundling.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Consumers != 2 || info.Items != 2 || info.Entries != 3 {
+		t.Fatalf("info: %+v", info)
+	}
+	if _, err := c.UploadCSV(ctx, "bad", "price,0\n", 0, bundling.Options{}); err == nil {
+		t.Error("malformed CSV upload should fail")
+	}
+}

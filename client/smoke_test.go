@@ -1,0 +1,98 @@
+package client
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"bundling"
+)
+
+// TestServerSmoke drives a running bundled daemon end to end. It is the
+// CI smoke gate (scripts/smoke.sh boots `bundled -demo` and points
+// BUNDLED_ADDR at it); without the variable it is skipped, so regular
+// `go test ./...` runs need no daemon.
+func TestServerSmoke(t *testing.T) {
+	addr := os.Getenv("BUNDLED_ADDR")
+	if addr == "" {
+		t.Skip("BUNDLED_ADDR not set; run scripts/smoke.sh")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c := New(addr, nil)
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("healthz status %q", h.Status)
+	}
+
+	// The daemon is booted with -demo, so the "demo" session exists.
+	info, err := c.Corpus(ctx, "demo")
+	if err != nil {
+		t.Fatalf("demo corpus: %v", err)
+	}
+	if info.Consumers == 0 || info.Items == 0 {
+		t.Fatalf("demo corpus empty: %+v", info)
+	}
+
+	for _, alg := range []string{"components", "matching", "greedy"} {
+		res, err := c.Solve(ctx, "demo", alg)
+		if err != nil {
+			t.Fatalf("solve %s: %v", alg, err)
+		}
+		if res.Config.Revenue <= 0 {
+			t.Errorf("solve %s: revenue %g", alg, res.Config.Revenue)
+		}
+	}
+	// Repeat solve must be served from the cache.
+	res, err := c.Solve(ctx, "demo", "matching")
+	if err != nil {
+		t.Fatalf("repeat solve: %v", err)
+	}
+	if !res.Cached {
+		t.Error("repeat solve was not served from the cache")
+	}
+
+	eval, err := c.Evaluate(ctx, "demo", [][]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	if eval.Config.Revenue <= 0 {
+		t.Errorf("evaluate revenue %g", eval.Config.Revenue)
+	}
+
+	// Upload a fresh corpus over HTTP and solve it.
+	w := bundling.NewMatrix(3, 2)
+	w.MustSet(0, 0, 12)
+	w.MustSet(1, 0, 8)
+	w.MustSet(1, 1, 8)
+	w.MustSet(2, 1, 10)
+	if _, err := c.UploadMatrix(ctx, "smoke", w, bundling.Options{}); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	sres, err := c.Solve(ctx, "smoke", "matching")
+	if err != nil {
+		t.Fatalf("solve smoke: %v", err)
+	}
+	if sres.Config.Revenue <= 0 {
+		t.Errorf("smoke solve revenue %g", sres.Config.Revenue)
+	}
+	if err := c.DeleteCorpus(ctx, "smoke"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, want := range []string{"bundled_requests_total", "bundled_cache_hits_total"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

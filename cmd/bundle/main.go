@@ -1,12 +1,16 @@
 // Command bundle computes a revenue-maximizing bundle configuration from a
-// ratings CSV and prints it as JSON or text.
+// ratings CSV or a WTP-matrix JSON document and prints it as JSON or text.
 //
-// Input format (see bundling.ReadDatasetCSV): one "price,<item>,<value>"
-// row per item and one "rating,<consumer>,<item>,<stars>" row per rating.
+// A .csv input holds ratings (see bundling.ReadDatasetCSV): one
+// "price,<item>,<value>" row per item and one
+// "rating,<consumer>,<item>,<stars>" row per rating. A .json input holds a
+// bundling.MatrixDoc: explicit dimensions plus sparse [consumer, item, wtp]
+// triples — the same corpus format the bundled server accepts.
 //
 // Usage:
 //
 //	bundle -in ratings.csv -strategy mixed -theta -0.05 -format json
+//	bundle -in corpus.json -algo greedy
 //	bundle -demo            # run on a small synthetic corpus
 //
 // Exit status is non-zero on malformed input or invalid parameters.
@@ -53,13 +57,16 @@ func main() {
 }
 
 func run(in string, demo bool, strategy, algo string, theta float64, k int, lambda, gamma float64, format string, out io.Writer) error {
-	var ds *bundling.Dataset
+	var w *bundling.Matrix
 	switch {
 	case demo:
-		var err error
-		ds, err = bundling.GenerateDataset(bundling.DatasetConfig{
+		ds, err := bundling.GenerateDataset(bundling.DatasetConfig{
 			Users: 300, Items: 60, RatingsPerUser: 15, MinDegree: 4, Seed: 1,
 		})
+		if err != nil {
+			return err
+		}
+		w, err = ds.WTP(lambda)
 		if err != nil {
 			return err
 		}
@@ -69,17 +76,16 @@ func run(in string, demo bool, strategy, algo string, theta float64, k int, lamb
 			return err
 		}
 		defer f.Close()
-		ds, err = bundling.ReadDatasetCSV(f)
+		corpus := "csv"
+		if strings.HasSuffix(in, ".json") {
+			corpus = "json"
+		}
+		w, err = bundling.DecodeMatrix(f, corpus, lambda)
 		if err != nil {
-			return err
+			return fmt.Errorf("%s: %w", in, err)
 		}
 	default:
-		return fmt.Errorf("either -in <csv> or -demo is required")
-	}
-
-	w, err := ds.WTP(lambda)
-	if err != nil {
-		return err
+		return fmt.Errorf("either -in <csv|json> or -demo is required")
 	}
 	opts := bundling.Options{Theta: theta, MaxBundleSize: k, Gamma: gamma}
 	switch strategy {

@@ -66,6 +66,68 @@ func TestRunFromCSVFile(t *testing.T) {
 	}
 }
 
+func TestRunFromJSONFile(t *testing.T) {
+	w := bundling.NewMatrix(3, 2)
+	w.MustSet(0, 0, 12)
+	w.MustSet(1, 0, 8)
+	w.MustSet(1, 1, 8)
+	w.MustSet(2, 1, 10)
+	doc, err := json.Marshal(bundling.NewMatrixDoc(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.json")
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(path, false, "pure", "matching", 0, 0, 1.25, 0, "json", &buf); err != nil {
+		t.Fatal(err)
+	}
+	var r bundling.Report
+	if err := json.Unmarshal(buf.Bytes(), &r); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if r.Revenue <= 0 {
+		t.Errorf("report: %+v", r)
+	}
+}
+
+// TestRunMalformedInput locks in error-not-panic behavior on corrupt files.
+// The huge-id rows used to crash with a makeslice panic when the decoder
+// tried to allocate a dense matrix sized by the bogus id.
+func TestRunMalformedInput(t *testing.T) {
+	cases := []struct {
+		name, content string
+	}{
+		{"huge user id.csv", "price,0,5\nrating,9000000000000000000,0,5\n"},
+		{"huge item id.csv", "price,5000000000,1\n"},
+		{"missing price.csv", "rating,0,0,5\n"},
+		{"bad stars.csv", "price,0,5\nrating,0,0,9\n"},
+		{"unknown kind.csv", "cost,0,5\n"},
+		{"bad csv quote.csv", "\"unterminated\nprice,0,5\n"},
+		{"negative price.csv", "price,0,-3\n"},
+		{"bad json.json", "{\"consumers\": 2"},
+		{"json huge dims.json", `{"consumers": 4000000000, "items": 4000000000, "entries": []}`},
+		{"json entry out of range.json", `{"consumers": 2, "items": 2, "entries": [[5, 0, 1]]}`},
+		{"json fractional id.json", `{"consumers": 2, "items": 2, "entries": [[0.5, 0, 1]]}`},
+		{"json negative wtp.json", `{"consumers": 2, "items": 2, "entries": [[0, 0, -1]]}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), strings.ReplaceAll(c.name, " ", "_"))
+			if err := os.WriteFile(path, []byte(c.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			err := run(path, false, "pure", "matching", 0, 0, 1.25, 0, "text", &buf)
+			if err == nil {
+				t.Fatalf("expected error for %s", c.name)
+			}
+		})
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
 	cases := []struct {

@@ -11,7 +11,11 @@
 // pricing study), welfare, stats (dataset summary), all. The extra `perf`
 // experiment (not part of `all`) benchmarks the greedy and matching hot
 // paths and, with -benchout, emits machine-readable JSON for the perf
-// trajectory tracked in BENCH_greedy.json.
+// trajectory tracked in BENCH_greedy.json. The extra `serve` experiment
+// (also not part of `all`) boots the bundled serving subsystem in-process
+// and drives a concurrent mixed solve/evaluate load through the HTTP
+// client, reporting requests/sec, tail latency, and cache/batching
+// counters (BENCH_serve.json via -benchout).
 package main
 
 import (
@@ -27,23 +31,25 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiment: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,wsp,case,ablations,joint,welfare,stats,perf,all")
+		expFlag   = flag.String("exp", "all", "experiment: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,wsp,case,ablations,joint,welfare,stats,perf,serve,all")
 		scaleFlag = flag.String("scale", "bench", "dataset scale: small, bench, full")
 		lambda    = flag.Float64("lambda", experiments.DefaultLambda, "ratings→WTP conversion factor λ")
 		theta     = flag.Float64("theta", 0, "bundling coefficient θ")
 		k         = flag.Int("k", config.Unlimited, "max bundle size (0 = unlimited)")
 		seed      = flag.Int64("seed", 42, "dataset generator seed")
-		benchOut  = flag.String("benchout", "", "perf experiment: write JSON results to this file (e.g. BENCH_greedy.json)")
+		benchOut  = flag.String("benchout", "", "perf/serve experiments: write JSON results to this file (e.g. BENCH_greedy.json)")
 		parallel  = flag.Int("parallel", 0, "candidate-pricing workers (0 = GOMAXPROCS); recorded in the perf report")
+		serveConc = flag.Int("serveconc", 8, "serve experiment: concurrent client workers")
+		serveReqs = flag.Int("servereqs", 600, "serve experiment: total load-phase requests")
 	)
 	flag.Parse()
-	if err := run(*expFlag, *scaleFlag, *lambda, *theta, *k, *seed, *benchOut, *parallel); err != nil {
+	if err := run(*expFlag, *scaleFlag, *lambda, *theta, *k, *seed, *benchOut, *parallel, *serveConc, *serveReqs); err != nil {
 		fmt.Fprintln(os.Stderr, "bundlebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchOut string, parallel int) error {
+func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchOut string, parallel, serveConc, serveReqs int) error {
 	var scale experiments.Scale
 	switch scaleName {
 	case "small":
@@ -68,10 +74,10 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchO
 	}
 	all := wants["all"]
 	need := func(name string) bool { return all || wants[name] }
-	if benchOut != "" && !wants["perf"] {
-		// perf is deliberately excluded from `all`; reject rather than
-		// silently dropping the flag (and never writing the file).
-		return fmt.Errorf("-benchout requires -exp perf")
+	if benchOut != "" && !wants["perf"] && !wants["serve"] {
+		// perf and serve are deliberately excluded from `all`; reject rather
+		// than silently dropping the flag (and never writing the file).
+		return fmt.Errorf("-benchout requires -exp perf or -exp serve")
 	}
 
 	// Table 1 needs no dataset.
@@ -88,9 +94,10 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchO
 			needEnv = true
 		}
 	}
-	// perf is opt-in only (not part of `all`): it reruns each algorithm
-	// many times, which would dwarf the table/figure regeneration.
-	if wants["perf"] {
+	// perf and serve are opt-in only (not part of `all`): perf reruns each
+	// algorithm many times and serve boots a server under sustained load,
+	// either of which would dwarf the table/figure regeneration.
+	if wants["perf"] || wants["serve"] {
 		needEnv = true
 	}
 	if !needEnv {
@@ -107,6 +114,11 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchO
 	if wants["perf"] {
 		if err := runPerf(env, scaleName, benchOut, params); err != nil {
 			return fmt.Errorf("perf: %w", err)
+		}
+	}
+	if wants["serve"] {
+		if err := runServe(env, scaleName, benchOut, params, serveConc, serveReqs); err != nil {
+			return fmt.Errorf("serve: %w", err)
 		}
 	}
 	if need("stats") {

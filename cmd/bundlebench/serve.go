@@ -1,0 +1,321 @@
+package main
+
+// The serve experiment load-tests the bundled serving subsystem end to end:
+// it boots internal/server in-process on a loopback listener, uploads the
+// bench corpus through the HTTP API, and drives a concurrent mixed
+// solve/evaluate workload through the bundling/client package, reporting
+// sustained requests/sec, tail latency, and the cache/batching counters
+// scraped from /metrics. With -benchout it writes BENCH_serve.json, the
+// serving-path companion of BENCH_greedy.json.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bundling"
+	"bundling/client"
+	"bundling/internal/config"
+	"bundling/internal/experiments"
+	"bundling/internal/server"
+)
+
+// ServeLatency summarizes a latency distribution in milliseconds.
+type ServeLatency struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// ServeOpResult is the per-operation breakdown of the load phase.
+type ServeOpResult struct {
+	Op       string       `json:"op"`
+	Requests int          `json:"requests"`
+	Errors   int          `json:"errors"`
+	Latency  ServeLatency `json:"latency"`
+}
+
+// ServeReport is the file schema of BENCH_serve.json.
+type ServeReport struct {
+	GeneratedAt string  `json:"generated_at"`
+	Scale       string  `json:"scale"`
+	Users       int     `json:"users"`
+	Items       int     `json:"items"`
+	Go          string  `json:"go"`
+	NumCPU      int     `json:"numcpu"`
+	MaxProcs    int     `json:"maxprocs"`
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	DurationSec float64 `json:"duration_seconds"`
+	RPS         float64 `json:"requests_per_second"`
+
+	Latency ServeLatency    `json:"latency"`
+	PerOp   []ServeOpResult `json:"per_op"`
+
+	CacheHits         int64 `json:"cache_hits"`
+	CacheMisses       int64 `json:"cache_misses"`
+	Batches           int64 `json:"batches"`
+	BatchedRequests   int64 `json:"batched_requests"`
+	CoalescedRequests int64 `json:"coalesced_requests"`
+}
+
+// serveOp is one issued request's record.
+type serveOp struct {
+	op      string
+	latency time.Duration
+	err     error
+}
+
+// runServe boots the server in-process and drives the load.
+func runServe(env *experiments.Env, scaleName, outPath string, base config.Params, conc, totalReqs int) error {
+	srv := server.New(server.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+	ctx := context.Background()
+
+	opts := bundling.Options{Theta: base.Theta, MaxBundleSize: base.K, Parallelism: base.Parallelism}
+	if _, err := c.UploadMatrix(ctx, "bench-pure", env.W, opts); err != nil {
+		return err
+	}
+	mixed := opts
+	mixed.Strategy = bundling.Mixed
+	if _, err := c.UploadMatrix(ctx, "bench-mixed", env.W, mixed); err != nil {
+		return err
+	}
+
+	// Warm phase: one solve per (session, algorithm) pays the algorithmic
+	// cost once; the load phase then measures the serving plane — cache
+	// hits, batched evaluates, and the residual misses.
+	algos := []string{"components", "optimal2", "matching", "greedy"}
+	corpora := []string{"bench-pure", "bench-mixed"}
+	for _, id := range corpora {
+		for _, a := range algos {
+			if _, err := c.Solve(ctx, id, a); err != nil {
+				return fmt.Errorf("warm %s/%s: %w", id, a, err)
+			}
+		}
+	}
+	hits0, err := scrapeCounters(ctx, c)
+	if err != nil {
+		return err
+	}
+
+	// Offer pool: a fixed set of what-if lineups that repeat across the load
+	// (cacheable) plus per-request fresh lineups (always computed, feeding
+	// the micro-batcher under concurrency).
+	items := env.W.Items()
+	pool := make([][][]int, 24)
+	rng := rand.New(rand.NewSource(7))
+	for p := range pool {
+		var offers [][]int
+		for o := 0; o < 10; o++ {
+			start := rng.Intn(items - 3)
+			offers = append(offers, []int{start, start + 1, start + 2})
+		}
+		pool[p] = disjointOffers(offers, items)
+	}
+
+	results := make([]serveOp, totalReqs)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	startLoad := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= totalReqs {
+					return
+				}
+				results[i] = issue(ctx, c, corpora, algos, pool, items, i)
+			}
+		}()
+	}
+	wg.Wait()
+	loadDur := time.Since(startLoad)
+	hits1, err := scrapeCounters(ctx, c)
+	if err != nil {
+		return err
+	}
+
+	report := ServeReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       scaleName,
+		Users:       env.DS.Users,
+		Items:       env.DS.Items,
+		Go:          runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		Concurrency: conc,
+		Requests:    totalReqs,
+		DurationSec: loadDur.Seconds(),
+		RPS:         float64(totalReqs) / loadDur.Seconds(),
+
+		CacheHits:         hits1["bundled_cache_hits_total"] - hits0["bundled_cache_hits_total"],
+		CacheMisses:       hits1["bundled_cache_misses_total"] - hits0["bundled_cache_misses_total"],
+		Batches:           hits1["bundled_batches_total"] - hits0["bundled_batches_total"],
+		BatchedRequests:   hits1["bundled_batched_requests_total"] - hits0["bundled_batched_requests_total"],
+		CoalescedRequests: hits1["bundled_coalesced_requests_total"] - hits0["bundled_coalesced_requests_total"],
+	}
+	var all []time.Duration
+	byOp := map[string][]time.Duration{}
+	errsByOp := map[string]int{}
+	for _, r := range results {
+		if r.err != nil {
+			report.Errors++
+			errsByOp[r.op]++
+			continue
+		}
+		all = append(all, r.latency)
+		byOp[r.op] = append(byOp[r.op], r.latency)
+	}
+	report.Latency = latencySummary(all)
+	var ops []string
+	for op := range byOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		report.PerOp = append(report.PerOp, ServeOpResult{
+			Op:       op,
+			Requests: len(byOp[op]) + errsByOp[op],
+			Errors:   errsByOp[op],
+			Latency:  latencySummary(byOp[op]),
+		})
+	}
+
+	fmt.Printf("serve: %d requests, %d workers: %.1f req/s over %.2fs, p50 %.2fms p99 %.2fms max %.2fms\n",
+		totalReqs, conc, report.RPS, report.DurationSec,
+		report.Latency.P50, report.Latency.P99, report.Latency.Max)
+	fmt.Printf("serve: cache %d hits / %d misses; batching: %d passes, %d batched, %d coalesced; %d errors\n",
+		report.CacheHits, report.CacheMisses, report.Batches, report.BatchedRequests, report.CoalescedRequests, report.Errors)
+	if report.Errors > 0 {
+		for _, r := range results {
+			if r.err != nil {
+				return fmt.Errorf("serve: %d/%d requests failed, first: %w", report.Errors, totalReqs, r.err)
+			}
+		}
+	}
+
+	if outPath == "" || outPath == "-" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// issue sends request i of the mixed workload: ~60% pooled evaluates (the
+// repeating what-if queries a scenario dashboard fires, mostly cache hits),
+// ~20% fresh evaluates (unique lineups that must be priced, exercising the
+// batcher under concurrency), ~20% solves over the warmed algorithms.
+func issue(ctx context.Context, c *client.Client, corpora, algos []string, pool [][][]int, items, i int) serveOp {
+	// Corpus per block of requests, so a burst of concurrent neighbors
+	// lands on one session (and one batcher).
+	id := corpora[(i/40)%len(corpora)]
+	start := time.Now()
+	switch {
+	case i%5 < 3:
+		// Windowed pool index: a run of consecutive requests shares one
+		// lineup, modelling the bursts a dashboard fires. The first burst
+		// for a key misses the cache together, which is exactly the window
+		// the micro-batcher coalesces; later bursts hit the cache.
+		offers := pool[(i/8)%len(pool)]
+		_, err := c.Evaluate(ctx, id, offers)
+		return serveOp{op: "evaluate-pooled", latency: time.Since(start), err: err}
+	case i%5 == 3:
+		base := (i * 13) % (items - 4)
+		offers := [][]int{{base, base + 1}, {base + 2, base + 3}}
+		_, err := c.Evaluate(ctx, id, offers)
+		return serveOp{op: "evaluate-fresh", latency: time.Since(start), err: err}
+	default:
+		_, err := c.Solve(ctx, id, algos[(i/5)%len(algos)])
+		return serveOp{op: "solve", latency: time.Since(start), err: err}
+	}
+}
+
+// disjointOffers drops offers overlapping an earlier one, keeping the
+// family valid under pure bundling (and trivially laminar under mixed).
+func disjointOffers(offers [][]int, items int) [][]int {
+	used := make([]bool, items)
+	var out [][]int
+	for _, off := range offers {
+		ok := true
+		for _, it := range off {
+			if it >= items || used[it] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, it := range off {
+			used[it] = true
+		}
+		out = append(out, off)
+	}
+	if len(out) == 0 {
+		out = [][]int{{0, 1}}
+	}
+	return out
+}
+
+// latencySummary computes percentile stats in milliseconds.
+func latencySummary(ds []time.Duration) ServeLatency {
+	if len(ds) == 0 {
+		return ServeLatency{}
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pick := func(q float64) float64 {
+		idx := int(q * float64(len(sorted)-1))
+		return float64(sorted[idx].Microseconds()) / 1000
+	}
+	return ServeLatency{
+		P50: pick(0.50),
+		P90: pick(0.90),
+		P99: pick(0.99),
+		Max: float64(sorted[len(sorted)-1].Microseconds()) / 1000,
+	}
+}
+
+// counterRe matches "name value" lines of the Prometheus text exposition.
+var counterRe = regexp.MustCompile(`(?m)^(bundled_[a-z_]+) (\d+)$`)
+
+// scrapeCounters pulls the unlabelled bundled_* counters from /metrics.
+func scrapeCounters(ctx context.Context, c *client.Client) (map[string]int64, error) {
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]int64{}
+	for _, m := range counterRe.FindAllStringSubmatch(text, -1) {
+		v, err := strconv.ParseInt(m[2], 10, 64)
+		if err == nil {
+			out[m[1]] = v
+		}
+	}
+	return out, nil
+}

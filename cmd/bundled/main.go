@@ -1,0 +1,117 @@
+// Command bundled is the bundle-pricing daemon: it serves long-lived
+// Solver sessions over HTTP so many users can upload willingness-to-pay
+// corpora and hit them concurrently with solve and what-if evaluate
+// requests, with result caching and evaluate micro-batching in front of the
+// engine (see internal/server for the API).
+//
+// Usage:
+//
+//	bundled -addr :8080
+//	bundled -addr :8080 -demo        # preload a synthetic corpus as "demo"
+//
+// Then:
+//
+//	curl localhost:8080/healthz
+//	curl -X POST localhost:8080/v1/corpora/demo/solve -d '{"algorithm":"matching"}'
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bundling"
+	"bundling/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxSessions  = flag.Int("max-sessions", 64, "max live corpus sessions (LRU eviction beyond)")
+		cacheEntries = flag.Int("cache", 1024, "result cache entries (negative disables)")
+		maxUploadMB  = flag.Int64("max-upload-mb", 64, "max corpus upload size in MiB")
+		batchWorkers = flag.Int("batch-workers", 4, "concurrent evaluations per micro-batch pass")
+		demo         = flag.Bool("demo", false, `preload a synthetic corpus as session "demo"`)
+		demoUsers    = flag.Int("demo-users", 300, "demo corpus users")
+		demoItems    = flag.Int("demo-items", 60, "demo corpus items")
+		drainSecs    = flag.Int("drain-seconds", 15, "graceful shutdown drain window")
+	)
+	flag.Parse()
+	if err := run(*addr, *maxSessions, *cacheEntries, *maxUploadMB, *batchWorkers, *demo, *demoUsers, *demoItems, *drainSecs); err != nil {
+		fmt.Fprintln(os.Stderr, "bundled:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, maxSessions, cacheEntries int, maxUploadMB int64, batchWorkers int, demo bool, demoUsers, demoItems, drainSecs int) error {
+	srv := server.New(server.Config{
+		MaxSessions:    maxSessions,
+		CacheEntries:   cacheEntries,
+		MaxUploadBytes: maxUploadMB << 20,
+		BatchWorkers:   batchWorkers,
+	})
+	defer srv.Close()
+	if demo {
+		if err := preloadDemo(srv, demoUsers, demoItems); err != nil {
+			return fmt.Errorf("demo corpus: %w", err)
+		}
+		log.Printf("preloaded synthetic corpus as session %q (%d users × %d items)", "demo", demoUsers, demoItems)
+	}
+
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("bundled listening on %s", addr)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down, draining for up to %ds", drainSecs)
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Duration(drainSecs)*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("bundled stopped")
+	return nil
+}
+
+// preloadDemo generates a deterministic synthetic corpus and registers it
+// as session "demo" through the server's own HTTP handler, so a fresh
+// daemon is immediately usable (and smoke-testable) without an upload step.
+func preloadDemo(srv *server.Server, users, items int) error {
+	ds, err := bundling.GenerateDataset(bundling.DatasetConfig{
+		Users: users, Items: items, RatingsPerUser: 15, MinDegree: 4, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	w, err := ds.WTP(bundling.DefaultLambda)
+	if err != nil {
+		return err
+	}
+	return server.Preload(srv, "demo", w, bundling.Options{})
+}

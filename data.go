@@ -1,6 +1,8 @@
 package bundling
 
 import (
+	"encoding/json"
+	"fmt"
 	"io"
 
 	"bundling/internal/dataset"
@@ -34,4 +36,86 @@ func PaperDatasetConfig() DatasetConfig {
 // Use it to substitute real rating data for the synthetic corpus.
 func ReadDatasetCSV(r io.Reader) (*Dataset, error) {
 	return dataset.ReadCSV(r)
+}
+
+// DefaultLambda is the ratings→WTP conversion factor the paper fixes after
+// its Table 2 calibration; DecodeMatrix applies it when none is given.
+const DefaultLambda = 1.25
+
+// MatrixDoc is the JSON wire form of a willingness-to-pay matrix: explicit
+// dimensions plus sparse [consumer, item, wtp] triples. It is the corpus
+// upload format of the bundled server and the json input of cmd/bundle.
+type MatrixDoc struct {
+	Consumers int          `json:"consumers"`
+	Items     int          `json:"items"`
+	Entries   [][3]float64 `json:"entries"`
+}
+
+// Matrix materializes the document. Ids must be integral and in range;
+// values must be finite and non-negative.
+func (d *MatrixDoc) Matrix() (*Matrix, error) {
+	w, err := NewMatrixChecked(d.Consumers, d.Items)
+	if err != nil {
+		return nil, err
+	}
+	for k, e := range d.Entries {
+		u, i := int(e[0]), int(e[1])
+		if float64(u) != e[0] || float64(i) != e[1] {
+			return nil, fmt.Errorf("bundling: entry %d has non-integral ids (%g, %g)", k, e[0], e[1])
+		}
+		if err := w.Set(u, i, e[2]); err != nil {
+			return nil, fmt.Errorf("bundling: entry %d: %w", k, err)
+		}
+	}
+	return w, nil
+}
+
+// NewMatrixDoc captures a matrix in its JSON wire form.
+func NewMatrixDoc(w *Matrix) *MatrixDoc {
+	d := &MatrixDoc{
+		Consumers: w.Consumers(),
+		Items:     w.Items(),
+		Entries:   make([][3]float64, 0, w.Entries()),
+	}
+	for i := 0; i < w.Items(); i++ {
+		for _, e := range w.Postings(i) {
+			d.Entries = append(d.Entries, [3]float64{float64(e.Consumer), float64(i), e.Value})
+		}
+	}
+	return d
+}
+
+// DecodeMatrix parses a willingness-to-pay matrix from one of the two
+// corpus wire formats — the decoding path shared by cmd/bundle and the
+// bundled server:
+//
+//   - "csv": a ratings dataset (see ReadDatasetCSV), converted to WTP with
+//     factor lambda (0 selects DefaultLambda);
+//   - "json": a MatrixDoc with explicit dimensions and sparse WTP triples
+//     (lambda is ignored).
+//
+// Malformed input yields an error, never a panic, so servers and CLIs can
+// surface it to the caller.
+func DecodeMatrix(r io.Reader, format string, lambda float64) (*Matrix, error) {
+	switch format {
+	case "csv":
+		ds, err := ReadDatasetCSV(r)
+		if err != nil {
+			return nil, err
+		}
+		if lambda == 0 {
+			lambda = DefaultLambda
+		}
+		return ds.WTP(lambda)
+	case "json":
+		var doc MatrixDoc
+		dec := json.NewDecoder(r)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&doc); err != nil {
+			return nil, fmt.Errorf("bundling: matrix json: %w", err)
+		}
+		return doc.Matrix()
+	default:
+		return nil, fmt.Errorf("bundling: unknown corpus format %q (want csv or json)", format)
+	}
 }

@@ -1,0 +1,79 @@
+package config
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestParallelSingletonBuild pins the parallel NewSolver index build:
+// whatever the worker count, the priced singleton index — and therefore
+// every solve on top of it — is identical to the serial build.
+func TestParallelSingletonBuild(t *testing.T) {
+	w := equivMatrix(t, 53, 96, 24, 0.3)
+	for _, strategy := range []Strategy{Pure, Mixed} {
+		serial := DefaultParams()
+		serial.Strategy = strategy
+		serial.Theta = -0.03
+		serial.Parallelism = 1
+		base, err := NewSolver(w, serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8, 64} {
+			params := serial
+			params.Parallelism = workers
+			s, err := NewSolver(w, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s.protos) != len(base.protos) {
+				t.Fatalf("%v/workers=%d: %d singletons != %d", strategy, workers, len(s.protos), len(base.protos))
+			}
+			for i, p := range s.protos {
+				b := base.protos[i]
+				if p.items[0] != b.items[0] || p.uq.Price != b.uq.Price || p.uq.Revenue != b.uq.Revenue ||
+					len(p.ids) != len(b.ids) {
+					t.Fatalf("%v/workers=%d: singleton %d diverged: %+v vs %+v",
+						strategy, workers, i, p.uq, b.uq)
+				}
+			}
+			for _, a := range solverAlgorithms() {
+				got, err := s.Solve(a)
+				if err != nil {
+					t.Fatalf("%s: %v", a.Name(), err)
+				}
+				want, err := base.Solve(a)
+				if err != nil {
+					t.Fatalf("%s: %v", a.Name(), err)
+				}
+				sameConfiguration(t, fmt.Sprintf("%v/workers=%d/%s", strategy, workers, a.Name()), got, want, 1e-9)
+			}
+		}
+	}
+}
+
+func TestSolverStats(t *testing.T) {
+	w := equivMatrix(t, 11, 100, 20, 0.3)
+	params := DefaultParams()
+	params.StripeSize = 32
+	s, err := NewSolver(w, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Consumers != 100 || st.Items != 20 {
+		t.Errorf("dims: %+v", st)
+	}
+	if st.StripeSize != 32 || st.Stripes != (100+31)/32 {
+		t.Errorf("stripes: %+v", st)
+	}
+	if st.Entries != w.Entries() {
+		t.Errorf("entries %d != matrix %d", st.Entries, w.Entries())
+	}
+	if st.Version != w.Version() {
+		t.Errorf("version %d != matrix %d", st.Version, w.Version())
+	}
+	if st.TotalWTP != w.Total() {
+		t.Errorf("total %g != matrix %g", st.TotalWTP, w.Total())
+	}
+}

@@ -2,6 +2,7 @@ package config
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"bundling/internal/pricing"
 	"bundling/internal/wtp"
@@ -77,6 +78,34 @@ func (s *Solver) Params() Params { return s.params }
 
 // Matrix returns the session's WTP matrix.
 func (s *Solver) Matrix() *wtp.Matrix { return s.w }
+
+// SolverStats describes a session's indexed corpus — the introspection a
+// serving layer needs to report sessions and to build cache keys.
+type SolverStats struct {
+	Consumers  int     // matrix rows
+	Items      int     // matrix columns
+	Entries    int     // non-zero WTP entries
+	Stripes    int     // stripes of the sharded index
+	StripeSize int     // consumers per stripe
+	Version    uint64  // matrix version the index snapshotted
+	TotalWTP   float64 // aggregate WTP (upper bound of any revenue)
+}
+
+// Stats returns the session's corpus and index statistics. The Version field
+// identifies the snapshot the session serves: results computed by this
+// Solver are valid exactly for that matrix version, which is what a result
+// cache in front of the session should key on.
+func (s *Solver) Stats() SolverStats {
+	return SolverStats{
+		Consumers:  s.w.Consumers(),
+		Items:      s.w.Items(),
+		Entries:    s.w.Entries(),
+		Stripes:    s.sh.Stripes(),
+		StripeSize: s.sh.StripeSize(),
+		Version:    s.sh.Version(),
+		TotalWTP:   s.w.Total(),
+	}
+}
 
 // getCtx borrows a worker context from the pool.
 func (s *Solver) getCtx() *workerCtx {
@@ -175,24 +204,64 @@ func (e *engine) bundleVector(items []int, theta float64, dstIDs []int, dstVals 
 }
 
 // buildSingletons prices every item as a one-item node — the session index
-// NewSolver amortizes across solves.
+// NewSolver amortizes across solves. Items are independent, so the build is
+// farmed to the configured worker count in contiguous chunks; each worker
+// prices its items in a private context and writes disjoint slots, keeping
+// the result identical to the serial order for any parallelism.
 func (e *engine) buildSingletons() []*node {
-	nodes := make([]*node, e.w.Items())
-	for i := range nodes {
-		n := &node{items: []int{i}, fresh: true}
-		// θ never applies to a single item: Eq. 1 degenerates to the raw WTP.
-		n.ids, n.vals = e.bundleVector(n.items, 0, nil, nil)
-		obj := e.objective(n.items)
-		n.uq = e.pr.PriceUtilityIn(e.ctx.psc, n.vals, obj)
-		n.quote = n.uq.Quote
-		n.revenue, n.profit, n.surplus, n.util = n.uq.Revenue, n.uq.Profit, n.uq.Surplus, n.uq.Utility
-		n.unitC = obj.UnitCost
-		if e.params.Strategy == Mixed {
-			e.initState(n)
-		}
-		nodes[i] = n
+	items := e.w.Items()
+	nodes := make([]*node, items)
+	workers := e.params.parallelism()
+	if workers > items {
+		workers = items
 	}
+	if workers <= 1 || items < minParallelJobs {
+		for i := range nodes {
+			nodes[i] = e.buildSingleton(e.ctx, i)
+		}
+		return nodes
+	}
+	ws := e.workerPool(workers)
+	chunk := items/(workers*8) + 1
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(ctx *workerCtx) {
+			defer wg.Done()
+			for {
+				end := int(cursor.Add(int64(chunk)))
+				start := end - chunk
+				if start >= items {
+					return
+				}
+				if end > items {
+					end = items
+				}
+				for i := start; i < end; i++ {
+					nodes[i] = e.buildSingleton(ctx, i)
+				}
+			}
+		}(ws[w])
+	}
+	wg.Wait()
 	return nodes
+}
+
+// buildSingleton prices item i as a one-item node in the given context.
+func (e *engine) buildSingleton(ctx *workerCtx, i int) *node {
+	n := &node{items: []int{i}, fresh: true}
+	// θ never applies to a single item: Eq. 1 degenerates to the raw WTP.
+	n.ids, n.vals = e.bundleVector(n.items, 0, nil, nil)
+	obj := e.objective(n.items)
+	n.uq = e.pr.PriceUtilityIn(ctx.psc, n.vals, obj)
+	n.quote = n.uq.Quote
+	n.revenue, n.profit, n.surplus, n.util = n.uq.Revenue, n.uq.Profit, n.uq.Surplus, n.uq.Utility
+	n.unitC = obj.UnitCost
+	if e.params.Strategy == Mixed {
+		e.initState(n)
+	}
+	return n
 }
 
 // singletons returns this run's working copies of the session's singleton

@@ -429,6 +429,14 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 			return nil, fmt.Errorf("dataset: unknown row kind %q", rec[0])
 		}
 	}
+	// Every item in 0..maxItem needs a price row, so an item id at or above
+	// the price-row count is guaranteed-missing — report it before sizing
+	// the prices slice, which a corrupt sky-high id would otherwise blow up
+	// to an absurd allocation. (Sky-high user ids are caught downstream by
+	// the WTP matrix's dense-size guard.)
+	if maxItem >= len(prices) {
+		return nil, fmt.Errorf("dataset: item id %d but only %d price rows; missing price", maxItem, len(prices))
+	}
 	d.Users = maxUser + 1
 	d.Items = maxItem + 1
 	d.Prices = make([]float64, d.Items)

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"bundling"
+)
+
+// This file defines the JSON wire types of the bundled HTTP API. The thin
+// client package (bundling/client) aliases them, so server and client can
+// never drift apart.
+
+// OptionsDoc is the JSON form of bundling.Options. Zero values select the
+// paper's defaults, exactly as the library's zero Options does.
+type OptionsDoc struct {
+	Strategy      string    `json:"strategy,omitempty"` // "pure" (default) or "mixed"
+	Theta         float64   `json:"theta,omitempty"`
+	MaxBundleSize int       `json:"max_bundle_size,omitempty"`
+	Gamma         float64   `json:"gamma,omitempty"`
+	Alpha         float64   `json:"alpha,omitempty"`
+	PriceLevels   int       `json:"price_levels,omitempty"`
+	ProfitWeight  float64   `json:"profit_weight,omitempty"`
+	UnitCosts     []float64 `json:"unit_costs,omitempty"`
+	StripeSize    int       `json:"stripe_size,omitempty"`
+	Parallelism   int       `json:"parallelism,omitempty"`
+}
+
+// options lowers the document to library options.
+func (d OptionsDoc) options() (bundling.Options, error) {
+	o := bundling.Options{
+		Theta:         d.Theta,
+		MaxBundleSize: d.MaxBundleSize,
+		Gamma:         d.Gamma,
+		Alpha:         d.Alpha,
+		PriceLevels:   d.PriceLevels,
+		ProfitWeight:  d.ProfitWeight,
+		UnitCosts:     d.UnitCosts,
+		StripeSize:    d.StripeSize,
+		Parallelism:   d.Parallelism,
+	}
+	switch d.Strategy {
+	case "", "pure":
+		o.Strategy = bundling.Pure
+	case "mixed":
+		o.Strategy = bundling.Mixed
+	default:
+		return o, fmt.Errorf("unknown strategy %q (want pure or mixed)", d.Strategy)
+	}
+	return o, nil
+}
+
+// NewOptionsDoc lifts library options to their wire form; listings and the
+// client's upload helpers share it.
+func NewOptionsDoc(o bundling.Options) OptionsDoc {
+	d := OptionsDoc{
+		Theta:         o.Theta,
+		MaxBundleSize: o.MaxBundleSize,
+		Gamma:         o.Gamma,
+		Alpha:         o.Alpha,
+		PriceLevels:   o.PriceLevels,
+		ProfitWeight:  o.ProfitWeight,
+		UnitCosts:     o.UnitCosts,
+		StripeSize:    o.StripeSize,
+		Parallelism:   o.Parallelism,
+	}
+	if o.Strategy == bundling.Mixed {
+		d.Strategy = "mixed"
+	} else {
+		d.Strategy = "pure"
+	}
+	return d
+}
+
+// CreateCorpusRequest uploads a corpus and creates (or replaces) its
+// session. Exactly one of Matrix (format "json", the default) or CSV
+// (format "csv", a ratings dataset converted with Lambda) must be set.
+// Re-uploading an existing ID replaces the session and bumps its version,
+// which invalidates every cached result of the previous corpus.
+type CreateCorpusRequest struct {
+	ID      string              `json:"id,omitempty"`     // server assigns one if empty
+	Format  string              `json:"format,omitempty"` // "json" (default) or "csv"
+	Lambda  float64             `json:"lambda,omitempty"` // csv ratings→WTP factor (0 = bundling.DefaultLambda)
+	Options OptionsDoc          `json:"options"`
+	Matrix  *bundling.MatrixDoc `json:"matrix,omitempty"`
+	CSV     string              `json:"csv,omitempty"`
+}
+
+// CorpusInfo describes one live session.
+type CorpusInfo struct {
+	ID        string     `json:"id"`
+	Version   int        `json:"version"` // bumps on re-upload of the same ID
+	Consumers int        `json:"consumers"`
+	Items     int        `json:"items"`
+	Entries   int        `json:"entries"`
+	Stripes   int        `json:"stripes"`
+	TotalWTP  float64    `json:"total_wtp"`
+	Options   OptionsDoc `json:"options"`
+	CreatedAt time.Time  `json:"created_at"`
+}
+
+// ListCorporaResponse is the GET /v1/corpora payload.
+type ListCorporaResponse struct {
+	Corpora []CorpusInfo `json:"corpora"`
+}
+
+// SolveRequest runs a configuration algorithm on a session.
+type SolveRequest struct {
+	Algorithm string `json:"algorithm"` // "" selects "matching", the paper's recommendation
+}
+
+// OfferDoc is one priced offer of a configuration.
+type OfferDoc struct {
+	Items   []int   `json:"items"`
+	Price   float64 `json:"price"`
+	Revenue float64 `json:"revenue"`
+}
+
+// ConfigDoc is the JSON form of a bundling.Configuration.
+type ConfigDoc struct {
+	Strategy   string     `json:"strategy"`
+	Revenue    float64    `json:"revenue"`
+	Profit     float64    `json:"profit"`
+	Surplus    float64    `json:"surplus"`
+	Utility    float64    `json:"utility"`
+	Iterations int        `json:"iterations"`
+	Bundles    []OfferDoc `json:"bundles"`
+	Components []OfferDoc `json:"components,omitempty"`
+}
+
+// configDoc converts a configuration to its wire form.
+func configDoc(cfg *bundling.Configuration) ConfigDoc {
+	d := ConfigDoc{
+		Revenue:    cfg.Revenue,
+		Profit:     cfg.Profit,
+		Surplus:    cfg.Surplus,
+		Utility:    cfg.Utility,
+		Iterations: cfg.Iterations,
+	}
+	if cfg.Strategy == bundling.Mixed {
+		d.Strategy = "mixed"
+	} else {
+		d.Strategy = "pure"
+	}
+	offers := func(bs []bundling.Bundle) []OfferDoc {
+		out := make([]OfferDoc, len(bs))
+		for i, b := range bs {
+			out[i] = OfferDoc{Items: b.Items, Price: b.Price, Revenue: b.Revenue}
+		}
+		return out
+	}
+	d.Bundles = offers(cfg.Bundles)
+	if len(cfg.Components) > 0 {
+		d.Components = offers(cfg.Components)
+	}
+	return d
+}
+
+// SolveResponse is the result of a solve request.
+type SolveResponse struct {
+	Corpus    string    `json:"corpus"`
+	Version   int       `json:"version"`
+	Algorithm string    `json:"algorithm"`
+	Cached    bool      `json:"cached"` // served from the result cache
+	ElapsedMS float64   `json:"elapsed_ms"`
+	Config    ConfigDoc `json:"config"`
+}
+
+// EvaluateRequest prices a caller-proposed lineup on a session.
+type EvaluateRequest struct {
+	Offers [][]int `json:"offers"`
+}
+
+// EvaluateResponse is the result of an evaluate request. Cached marks a
+// result-cache hit; Batched marks a request that was coalesced into a
+// concurrent identical request's execution by the micro-batcher.
+type EvaluateResponse struct {
+	Corpus    string    `json:"corpus"`
+	Version   int       `json:"version"`
+	Cached    bool      `json:"cached"`
+	Batched   bool      `json:"batched"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	Config    ConfigDoc `json:"config"`
+}
+
+// HealthResponse is the GET /healthz payload.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	Sessions      int     `json:"sessions"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ErrorResponse carries any non-2xx outcome.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bundling"
+)
+
+// batcher coalesces concurrent evaluate requests against one session into
+// batched passes. Requests queue while a pass is running; when it finishes,
+// the drainer takes everything that accumulated as the next batch — classic
+// group commit, so batch size adapts to load with no artificial gather
+// delay. Within a batch, requests with identical canonical keys execute
+// once and share the result, and distinct requests are priced concurrently
+// by a bounded worker pool (one pooled worker context per goroutine inside
+// the session's Solver).
+type batcher struct {
+	eval    func(offers [][]int) (*bundling.Configuration, error)
+	workers int // concurrent evaluations per pass
+	// onBatch, if set, observes each processed pass: how many requests it
+	// drained and how many distinct evaluations they collapsed into.
+	onBatch func(size, unique int)
+
+	mu       sync.Mutex
+	pending  []*evalCall
+	draining bool
+}
+
+// evalCall is one queued evaluate request.
+type evalCall struct {
+	key    string
+	offers [][]int
+	done   chan evalResult
+}
+
+// evalResult is what a waiter receives.
+type evalResult struct {
+	cfg     *bundling.Configuration
+	err     error
+	batched bool // rode along on another request's execution
+}
+
+// newBatcher wires a batcher over an evaluation function.
+func newBatcher(workers int, eval func([][]int) (*bundling.Configuration, error)) *batcher {
+	if workers < 1 {
+		workers = 1
+	}
+	return &batcher{eval: eval, workers: workers}
+}
+
+// do submits an evaluate request and blocks for its result. key must be a
+// canonical encoding of offers (identical offer sets ⇒ identical keys).
+func (b *batcher) do(key string, offers [][]int) (*bundling.Configuration, bool, error) {
+	call := &evalCall{key: key, offers: offers, done: make(chan evalResult, 1)}
+	b.mu.Lock()
+	b.pending = append(b.pending, call)
+	if !b.draining {
+		b.draining = true
+		go b.drain()
+	}
+	b.mu.Unlock()
+	res := <-call.done
+	return res.cfg, res.batched, res.err
+}
+
+// drain processes batches until the queue is empty, then exits; the next
+// submission starts a fresh drainer. At most one drainer runs per batcher.
+func (b *batcher) drain() {
+	for {
+		b.mu.Lock()
+		if len(b.pending) == 0 {
+			b.draining = false
+			b.mu.Unlock()
+			return
+		}
+		batch := b.pending
+		b.pending = nil
+		b.mu.Unlock()
+		b.process(batch)
+	}
+}
+
+// safeEval runs the evaluation, converting a panic into an error: the
+// batch executes on the drainer's goroutine, outside net/http's per-request
+// recovery, and an engine panic (e.g. the shard staleness check) must fail
+// that one request, not take down every session in the daemon.
+func (b *batcher) safeEval(offers [][]int) (cfg *bundling.Configuration, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cfg, err = nil, fmt.Errorf("evaluation panicked: %v", r)
+		}
+	}()
+	return b.eval(offers)
+}
+
+// process executes one batch: group by key, evaluate each distinct group
+// once across the worker pool, fan results out to every group member.
+func (b *batcher) process(batch []*evalCall) {
+	groups := make(map[string][]*evalCall, len(batch))
+	var order []string // deterministic execution order: first arrival
+	for _, c := range batch {
+		if _, ok := groups[c.key]; !ok {
+			order = append(order, c.key)
+		}
+		groups[c.key] = append(groups[c.key], c)
+	}
+	if b.onBatch != nil {
+		b.onBatch(len(batch), len(order))
+	}
+	workers := b.workers
+	if workers > len(order) {
+		workers = len(order)
+	}
+	run := func(key string) {
+		calls := groups[key]
+		cfg, err := b.safeEval(calls[0].offers)
+		for i, c := range calls {
+			c.done <- evalResult{cfg: cfg, err: err, batched: i > 0}
+		}
+	}
+	if workers <= 1 {
+		for _, key := range order {
+			run(key)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(order) {
+					return
+				}
+				run(order[i])
+			}
+		}()
+	}
+	wg.Wait()
+}

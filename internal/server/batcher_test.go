@@ -1,0 +1,159 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bundling"
+)
+
+// TestBatcherCoalesces pins the micro-batcher's contract deterministically:
+// while one evaluation is in flight, identical concurrent requests queue
+// up, drain as a single batch, and share one execution.
+func TestBatcherCoalesces(t *testing.T) {
+	const dupes = 8
+	var executions atomic.Int64
+	firstRunning := make(chan struct{})
+	release := make(chan struct{})
+	b := newBatcher(2, func(offers [][]int) (*bundling.Configuration, error) {
+		n := executions.Add(1)
+		if n == 1 {
+			close(firstRunning)
+			<-release // hold the drainer so later submissions pile up
+		}
+		return &bundling.Configuration{Revenue: float64(len(offers))}, nil
+	})
+	var sizes [][2]int
+	var mu sync.Mutex
+	b.onBatch = func(size, unique int) {
+		mu.Lock()
+		sizes = append(sizes, [2]int{size, unique})
+		mu.Unlock()
+	}
+
+	// Block the drainer on a first, distinct request.
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		if _, _, err := b.do("blocker", [][]int{{0}}); err != nil {
+			t.Errorf("blocker: %v", err)
+		}
+	}()
+	<-firstRunning
+
+	// Pile identical requests onto the queue while the drainer is held.
+	var wg sync.WaitGroup
+	var batched atomic.Int64
+	results := make([]*bundling.Configuration, dupes)
+	for i := 0; i < dupes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg, wasBatched, err := b.do("dup", [][]int{{1, 2}})
+			if err != nil {
+				t.Errorf("dup %d: %v", i, err)
+				return
+			}
+			results[i] = cfg
+			if wasBatched {
+				batched.Add(1)
+			}
+		}(i)
+	}
+	// Wait until all dupes are queued, then let the drainer go.
+	for {
+		b.mu.Lock()
+		n := len(b.pending)
+		b.mu.Unlock()
+		if n == dupes {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	<-blockerDone
+
+	// The blocker executed once; the dupes collapsed into one execution.
+	if got := executions.Load(); got != 2 {
+		t.Errorf("executions = %d, want 2 (blocker + one shared dup pass)", got)
+	}
+	if got := batched.Load(); got != dupes-1 {
+		t.Errorf("batched results = %d, want %d", got, dupes-1)
+	}
+	for i, cfg := range results {
+		if cfg == nil || cfg.Revenue != results[0].Revenue {
+			t.Errorf("result %d diverged: %+v", i, cfg)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var sawCoalesced bool
+	for _, s := range sizes {
+		if s[0] == dupes && s[1] == 1 {
+			sawCoalesced = true
+		}
+	}
+	if !sawCoalesced {
+		t.Errorf("no batch of %d requests / 1 unique observed; batches: %v", dupes, sizes)
+	}
+}
+
+// TestBatcherDistinctKeys checks distinct concurrent requests all execute
+// and return their own results.
+func TestBatcherDistinctKeys(t *testing.T) {
+	b := newBatcher(4, func(offers [][]int) (*bundling.Configuration, error) {
+		return &bundling.Configuration{Revenue: float64(offers[0][0])}, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg, _, err := b.do(fmt.Sprintf("k%d", i), [][]int{{i}})
+			if err != nil {
+				t.Errorf("k%d: %v", i, err)
+				return
+			}
+			if cfg.Revenue != float64(i) {
+				t.Errorf("k%d: got revenue %g", i, cfg.Revenue)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestBatcherRecoversPanic pins the crash containment: the batch runs on
+// the drainer goroutine outside net/http's per-request recovery, so an
+// engine panic must surface as that request's error, not kill the process.
+func TestBatcherRecoversPanic(t *testing.T) {
+	b := newBatcher(1, func(offers [][]int) (*bundling.Configuration, error) {
+		panic("shard is stale")
+	})
+	_, _, err := b.do("k", [][]int{{0}})
+	if err == nil || !strings.Contains(err.Error(), "shard is stale") {
+		t.Fatalf("err = %v, want recovered panic", err)
+	}
+	// The batcher must stay usable after a recovered panic.
+	b.eval = func(offers [][]int) (*bundling.Configuration, error) {
+		return &bundling.Configuration{Revenue: 7}, nil
+	}
+	cfg, _, err := b.do("k2", [][]int{{1}})
+	if err != nil || cfg.Revenue != 7 {
+		t.Fatalf("post-panic call: cfg=%+v err=%v", cfg, err)
+	}
+}
+
+// TestBatcherError propagates evaluation errors to every coalesced waiter.
+func TestBatcherError(t *testing.T) {
+	b := newBatcher(1, func(offers [][]int) (*bundling.Configuration, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	if _, _, err := b.do("k", [][]int{{0}}); err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"bundling"
+)
+
+// resultCache is an LRU-bounded cache of solved/evaluated configurations.
+// Keys embed the corpus ID, its registry version and the matrix snapshot
+// version (see session.cacheKey), so a re-uploaded corpus can never be
+// served a predecessor's results: the new version simply misses, and the
+// stale entries age out of the LRU tail.
+//
+// Values are *bundling.Configuration shared by every hit; they are treated
+// as immutable by all readers.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key string
+	cfg *bundling.Configuration
+}
+
+// newResultCache returns a cache holding at most max entries; max <= 0
+// disables caching (every get misses, every put is dropped).
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached configuration for key, refreshing its recency.
+func (c *resultCache) get(key string) (*bundling.Configuration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).cfg, true
+}
+
+// put inserts or refreshes key, evicting the least-recently-used entry when
+// the cache is full.
+func (c *resultCache) put(key string, cfg *bundling.Configuration) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).cfg = cfg
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, cfg: cfg})
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

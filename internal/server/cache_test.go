@@ -1,0 +1,59 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"bundling"
+)
+
+func cfgWithRevenue(rev float64) *bundling.Configuration {
+	return &bundling.Configuration{Revenue: rev}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(3)
+	for i := 0; i < 4; i++ {
+		c.put(fmt.Sprintf("k%d", i), cfgWithRevenue(float64(i)))
+	}
+	if c.len() != 3 {
+		t.Fatalf("len = %d, want 3", c.len())
+	}
+	if _, ok := c.get("k0"); ok {
+		t.Error("k0 should have been evicted as least recently used")
+	}
+	for i := 1; i < 4; i++ {
+		cfg, ok := c.get(fmt.Sprintf("k%d", i))
+		if !ok || cfg.Revenue != float64(i) {
+			t.Errorf("k%d: ok=%v cfg=%+v", i, ok, cfg)
+		}
+	}
+	// Touch k1, insert k4: k2 is now the LRU victim.
+	c.get("k1")
+	c.put("k4", cfgWithRevenue(4))
+	if _, ok := c.get("k2"); ok {
+		t.Error("k2 should have been evicted after k1 was refreshed")
+	}
+	if _, ok := c.get("k1"); !ok {
+		t.Error("k1 should have survived")
+	}
+	// Re-putting an existing key refreshes in place without growing.
+	c.put("k3", cfgWithRevenue(33))
+	if c.len() != 3 {
+		t.Errorf("len = %d after refresh, want 3", c.len())
+	}
+	if cfg, _ := c.get("k3"); cfg == nil || cfg.Revenue != 33 {
+		t.Errorf("k3 not refreshed: %+v", cfg)
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.put("k", cfgWithRevenue(1))
+	if _, ok := c.get("k"); ok {
+		t.Error("disabled cache should never hit")
+	}
+	if c.len() != 0 {
+		t.Errorf("len = %d, want 0", c.len())
+	}
+}

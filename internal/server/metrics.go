@@ -1,0 +1,140 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the cumulative histogram upper bounds (seconds) of the
+// request-duration metrics, exponential from 1ms to 10s.
+var latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// histogram is a fixed-bucket cumulative latency histogram, safe for
+// concurrent observation.
+type histogram struct {
+	counts  []atomic.Int64 // one per bucket, plus a final +Inf slot
+	sumNano atomic.Int64
+	total   atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBuckets)+1)}
+}
+
+// observe records one request duration.
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, s)
+	h.counts[i].Add(1)
+	h.sumNano.Add(int64(d))
+	h.total.Add(1)
+}
+
+// metrics aggregates the server's operational counters. All fields are
+// atomics; rendering takes a consistent-enough snapshot for monitoring.
+type metrics struct {
+	start time.Time
+
+	requests sync.Map // op string → *atomic.Int64
+	errors   atomic.Int64
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	batches          atomic.Int64 // batched passes processed
+	batchedRequests  atomic.Int64 // evaluate requests that went through a batch
+	coalescedInBatch atomic.Int64 // requests that shared another request's execution
+
+	uploads   atomic.Int64
+	evictions atomic.Int64
+
+	latency sync.Map // op string → *histogram
+}
+
+func newMetrics() *metrics { return &metrics{start: time.Now()} }
+
+// opCounter returns the request counter for op, creating it on first use.
+func (m *metrics) opCounter(op string) *atomic.Int64 {
+	if c, ok := m.requests.Load(op); ok {
+		return c.(*atomic.Int64)
+	}
+	c, _ := m.requests.LoadOrStore(op, new(atomic.Int64))
+	return c.(*atomic.Int64)
+}
+
+// observe records one completed request of the given op.
+func (m *metrics) observe(op string, d time.Duration) {
+	m.opCounter(op).Add(1)
+	h, ok := m.latency.Load(op)
+	if !ok {
+		h, _ = m.latency.LoadOrStore(op, newHistogram())
+	}
+	h.(*histogram).observe(d)
+}
+
+// render writes the Prometheus text exposition of every metric.
+func (m *metrics) render(w io.Writer, sessions, cacheEntries int) {
+	fmt.Fprintf(w, "# HELP bundled_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE bundled_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "bundled_uptime_seconds %g\n", time.Since(m.start).Seconds())
+	fmt.Fprintf(w, "# HELP bundled_sessions Live corpus sessions in the registry.\n")
+	fmt.Fprintf(w, "# TYPE bundled_sessions gauge\n")
+	fmt.Fprintf(w, "bundled_sessions %d\n", sessions)
+	fmt.Fprintf(w, "# HELP bundled_result_cache_entries Entries in the result cache.\n")
+	fmt.Fprintf(w, "# TYPE bundled_result_cache_entries gauge\n")
+	fmt.Fprintf(w, "bundled_result_cache_entries %d\n", cacheEntries)
+
+	fmt.Fprintf(w, "# HELP bundled_requests_total Completed requests by operation.\n")
+	fmt.Fprintf(w, "# TYPE bundled_requests_total counter\n")
+	for _, op := range m.ops(&m.requests) {
+		c, _ := m.requests.Load(op)
+		fmt.Fprintf(w, "bundled_requests_total{op=%q} %d\n", op, c.(*atomic.Int64).Load())
+	}
+	simple := []struct {
+		name, help string
+		v          *atomic.Int64
+	}{
+		{"bundled_errors_total", "Requests that ended in an error response.", &m.errors},
+		{"bundled_cache_hits_total", "Result-cache hits.", &m.cacheHits},
+		{"bundled_cache_misses_total", "Result-cache misses.", &m.cacheMisses},
+		{"bundled_batches_total", "Micro-batch passes processed.", &m.batches},
+		{"bundled_batched_requests_total", "Evaluate requests drained through micro-batches.", &m.batchedRequests},
+		{"bundled_coalesced_requests_total", "Evaluate requests that shared an identical concurrent request's execution.", &m.coalescedInBatch},
+		{"bundled_uploads_total", "Corpus uploads (session creations and replacements).", &m.uploads},
+		{"bundled_session_evictions_total", "Sessions evicted by the registry's LRU bound.", &m.evictions},
+	}
+	for _, s := range simple {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", s.name, s.help, s.name, s.name, s.v.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP bundled_request_duration_seconds Request latency by operation.\n")
+	fmt.Fprintf(w, "# TYPE bundled_request_duration_seconds histogram\n")
+	for _, op := range m.ops(&m.latency) {
+		hv, _ := m.latency.Load(op)
+		h := hv.(*histogram)
+		var cum int64
+		for i, le := range latencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "bundled_request_duration_seconds_bucket{op=%q,le=%q} %d\n", op, trimFloat(le), cum)
+		}
+		cum += h.counts[len(latencyBuckets)].Load()
+		fmt.Fprintf(w, "bundled_request_duration_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", op, cum)
+		fmt.Fprintf(w, "bundled_request_duration_seconds_sum{op=%q} %g\n", op, time.Duration(h.sumNano.Load()).Seconds())
+		fmt.Fprintf(w, "bundled_request_duration_seconds_count{op=%q} %d\n", op, h.total.Load())
+	}
+}
+
+// ops returns a sync.Map's string keys sorted, for stable rendering.
+func (m *metrics) ops(sm *sync.Map) []string {
+	var out []string
+	sm.Range(func(k, _ any) bool { out = append(out, k.(string)); return true })
+	sort.Strings(out)
+	return out
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients do.
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"bundling"
+)
+
+// session is one named, long-lived corpus session: an indexed
+// bundling.Solver plus the serving plumbing layered on it (per-session
+// evaluate batcher, cache-key identity). Sessions are immutable after
+// creation — a re-upload builds a new session under the same ID — so any
+// number of handler goroutines may share one.
+type session struct {
+	id        string
+	version   int // registry upload generation for this ID
+	solver    *bundling.Solver
+	opts      bundling.Options
+	stats     bundling.SolverStats
+	createdAt time.Time
+	batcher   *batcher
+
+	elem *list.Element // registry LRU slot, guarded by the registry mutex
+}
+
+// cacheKey builds a result-cache key scoped to this exact corpus snapshot:
+// the session's ID, its upload generation and the matrix version the solver
+// indexed. A re-uploaded corpus changes the generation (and in practice the
+// matrix version), so stale results can never be served across versions.
+func (s *session) cacheKey(op, detail string) string {
+	return fmt.Sprintf("%s@%d.%d|%s|%s", s.id, s.version, s.stats.Version, op, detail)
+}
+
+// info snapshots the session for listings.
+func (s *session) info() CorpusInfo {
+	return CorpusInfo{
+		ID:        s.id,
+		Version:   s.version,
+		Consumers: s.stats.Consumers,
+		Items:     s.stats.Items,
+		Entries:   s.stats.Entries,
+		Stripes:   s.stats.Stripes,
+		TotalWTP:  s.stats.TotalWTP,
+		Options:   NewOptionsDoc(s.opts),
+		CreatedAt: s.createdAt,
+	}
+}
+
+// registry holds the live sessions keyed by corpus ID, bounded by an LRU
+// eviction policy: creating a session beyond the cap evicts the
+// least-recently-used one. Upload generations survive eviction (versions
+// map), so an ID that is evicted and later re-created continues its version
+// sequence and can never collide with cached results of an earlier life.
+type registry struct {
+	mu       sync.Mutex
+	max      int
+	sessions map[string]*session
+	lru      *list.List     // front = most recently used; values are *session
+	versions map[string]int // last assigned version per ID, survives eviction
+	seq      int            // server-assigned ID counter
+}
+
+func newRegistry(max int) *registry {
+	if max < 1 {
+		max = 1
+	}
+	return &registry{
+		max:      max,
+		sessions: make(map[string]*session),
+		lru:      list.New(),
+		versions: make(map[string]int),
+	}
+}
+
+// nextID returns a fresh server-assigned corpus ID.
+func (r *registry) nextID() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		r.seq++
+		id := fmt.Sprintf("corpus-%d", r.seq)
+		if _, taken := r.sessions[id]; !taken {
+			return id
+		}
+	}
+}
+
+// put registers (or replaces) a session under sess.id, assigns its upload
+// generation, and returns the sessions evicted to stay within the bound.
+func (r *registry) put(sess *session) (evicted []*session) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.versions[sess.id]++
+	sess.version = r.versions[sess.id]
+	if old, ok := r.sessions[sess.id]; ok {
+		r.lru.Remove(old.elem)
+	}
+	sess.elem = r.lru.PushFront(sess)
+	r.sessions[sess.id] = sess
+	for len(r.sessions) > r.max {
+		tail := r.lru.Back()
+		victim := tail.Value.(*session)
+		r.lru.Remove(tail)
+		delete(r.sessions, victim.id)
+		evicted = append(evicted, victim)
+	}
+	return evicted
+}
+
+// get returns the session for id, refreshing its LRU recency.
+func (r *registry) get(id string) (*session, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sess, ok := r.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	r.lru.MoveToFront(sess.elem)
+	return sess, true
+}
+
+// delete removes the session for id, reporting whether it existed.
+func (r *registry) delete(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sess, ok := r.sessions[id]
+	if !ok {
+		return false
+	}
+	r.lru.Remove(sess.elem)
+	delete(r.sessions, id)
+	return true
+}
+
+// list snapshots every live session's info, sorted by ID.
+func (r *registry) list() []CorpusInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]CorpusInfo, 0, len(r.sessions))
+	for _, sess := range r.sessions {
+		out = append(out, sess.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// len returns the live session count.
+func (r *registry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// clear drops every session (graceful shutdown).
+func (r *registry) clear() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sessions = make(map[string]*session)
+	r.lru.Init()
+}

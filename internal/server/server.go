@@ -1,0 +1,387 @@
+// Package server implements bundled, the bundle-pricing serving subsystem:
+// a registry of named, long-lived Solver sessions keyed by corpus ID, an
+// LRU-bounded result cache keyed by exact corpus snapshot, a per-session
+// micro-batcher that coalesces concurrent evaluate requests, and the JSON
+// HTTP API the cmd/bundled daemon and the bundling/client package speak.
+//
+//	POST   /v1/corpora               upload a corpus, create/replace its session
+//	GET    /v1/corpora               list live sessions
+//	GET    /v1/corpora/{id}          one session's info
+//	DELETE /v1/corpora/{id}          evict a session
+//	POST   /v1/corpora/{id}/solve    run a configuration algorithm
+//	POST   /v1/corpora/{id}/evaluate price a caller-proposed lineup
+//	GET    /healthz                  liveness + session count
+//	GET    /metrics                  Prometheus text metrics
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"bundling"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// MaxSessions bounds the registry; creating a session beyond it evicts
+	// the least-recently-used one (0 = 64).
+	MaxSessions int
+	// CacheEntries bounds the result cache (0 = 1024, negative disables).
+	CacheEntries int
+	// MaxUploadBytes bounds a corpus upload body (0 = 64 MiB).
+	MaxUploadBytes int64
+	// BatchWorkers caps concurrent evaluations per micro-batch pass (0 = 4).
+	BatchWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxUploadBytes == 0 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	if c.BatchWorkers == 0 {
+		c.BatchWorkers = 4
+	}
+	return c
+}
+
+// Server is the bundle-pricing service. One Server handles any number of
+// concurrent requests; all state is internally synchronized.
+type Server struct {
+	cfg   Config
+	reg   *registry
+	cache *resultCache
+	met   *metrics
+	mux   *http.ServeMux
+}
+
+// New assembles a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   newRegistry(cfg.MaxSessions),
+		cache: newResultCache(cfg.CacheEntries),
+		met:   newMetrics(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/corpora", s.handleCreate)
+	mux.HandleFunc("GET /v1/corpora", s.handleList)
+	mux.HandleFunc("GET /v1/corpora/{id}", s.handleInfo)
+	mux.HandleFunc("DELETE /v1/corpora/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/corpora/{id}/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/corpora/{id}/evaluate", s.handleEvaluate)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close releases every session. In-flight requests holding a session keep
+// working (sessions are immutable); new requests see an empty registry.
+// The HTTP listener's drain is the caller's job (http.Server.Shutdown).
+func (s *Server) Close() { s.reg.clear() }
+
+// Sessions returns the live session count (used by health and tests).
+func (s *Server) Sessions() int { return s.reg.len() }
+
+// writeJSON emits a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// fail emits an error response and counts it.
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.met.errors.Add(1)
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxRequestBytes bounds non-upload request bodies (solve/evaluate); only
+// corpus uploads get the much larger configurable cap.
+const maxRequestBytes = 1 << 20
+
+// decodeBody strictly decodes a JSON request body into v, bounded so an
+// oversized body cannot balloon the daemon's memory.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	return decodeBodyLimit(w, r, v, maxRequestBytes)
+}
+
+// decodeBodyLimit is decodeBody with an explicit size cap (corpus uploads
+// pass the configured upload bound).
+func decodeBodyLimit(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// handleCreate ingests a corpus and registers its session. Re-uploading an
+// existing ID atomically replaces the session and bumps its version.
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req CreateCorpusRequest
+	if err := decodeBodyLimit(w, r, &req, s.cfg.MaxUploadBytes); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", s.cfg.MaxUploadBytes)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	opts, err := req.Options.options()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "options: %v", err)
+		return
+	}
+	var matrix *bundling.Matrix
+	switch req.Format {
+	case "", "json":
+		if req.Matrix == nil {
+			s.fail(w, http.StatusBadRequest, "json corpus needs a matrix document")
+			return
+		}
+		matrix, err = req.Matrix.Matrix()
+	case "csv":
+		if req.CSV == "" {
+			s.fail(w, http.StatusBadRequest, "csv corpus needs a csv payload")
+			return
+		}
+		matrix, err = bundling.DecodeMatrix(strings.NewReader(req.CSV), "csv", req.Lambda)
+	default:
+		s.fail(w, http.StatusBadRequest, "unknown corpus format %q (want json or csv)", req.Format)
+		return
+	}
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "corpus: %v", err)
+		return
+	}
+	sess, err := s.register(req.ID, matrix, opts)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "index corpus: %v", err)
+		return
+	}
+	s.met.observe("upload", time.Since(start))
+	writeJSON(w, http.StatusCreated, sess.info())
+}
+
+// register indexes a corpus and installs its session (replacing any session
+// under the same ID; empty ID gets a server-assigned one).
+func (s *Server) register(id string, matrix *bundling.Matrix, opts bundling.Options) (*session, error) {
+	solver, err := bundling.NewSolver(matrix, opts)
+	if err != nil {
+		return nil, err
+	}
+	if id == "" {
+		id = s.reg.nextID()
+	}
+	sess := &session{
+		id:        id,
+		solver:    solver,
+		opts:      opts,
+		stats:     solver.Stats(),
+		createdAt: time.Now().UTC(),
+	}
+	sess.batcher = newBatcher(s.cfg.BatchWorkers, solver.Evaluate)
+	sess.batcher.onBatch = func(size, unique int) {
+		s.met.batches.Add(1)
+		s.met.batchedRequests.Add(int64(size))
+		s.met.coalescedInBatch.Add(int64(size - unique))
+	}
+	for range s.reg.put(sess) {
+		s.met.evictions.Add(1)
+	}
+	s.met.uploads.Add(1)
+	return sess, nil
+}
+
+// Preload registers a session programmatically — the daemon's -demo corpus
+// and in-process harnesses use it to seed sessions without an HTTP upload.
+func Preload(s *Server, id string, w *bundling.Matrix, opts bundling.Options) error {
+	_, err := s.register(id, w, opts)
+	return err
+}
+
+// handleList reports every live session.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ListCorporaResponse{Corpora: s.reg.list()})
+}
+
+// handleInfo reports one session.
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no corpus %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+// handleDelete evicts a session.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.reg.delete(r.PathValue("id")) {
+		s.fail(w, http.StatusNotFound, "no corpus %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleSolve runs a configuration algorithm on a session, serving repeats
+// from the result cache.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sess, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no corpus %q", r.PathValue("id"))
+		return
+	}
+	var req SolveRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "matching"
+	}
+	alg, err := bundling.AlgorithmByName(req.Algorithm)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := sess.cacheKey("solve", req.Algorithm)
+	cfg, hit := s.cache.get(key)
+	if hit {
+		s.met.cacheHits.Add(1)
+	} else {
+		s.met.cacheMisses.Add(1)
+		cfg, err = sess.solver.Solve(alg)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "solve: %v", err)
+			return
+		}
+		s.cache.put(key, cfg)
+	}
+	s.met.observe("solve", time.Since(start))
+	writeJSON(w, http.StatusOK, SolveResponse{
+		Corpus:    sess.id,
+		Version:   sess.version,
+		Algorithm: req.Algorithm,
+		Cached:    hit,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Config:    configDoc(cfg),
+	})
+}
+
+// handleEvaluate prices a proposed lineup on a session. Misses go through
+// the session's micro-batcher, which coalesces concurrent identical
+// requests into one execution and prices distinct concurrent requests in
+// one bounded worker pass.
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sess, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no corpus %q", r.PathValue("id"))
+		return
+	}
+	var req EvaluateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(req.Offers) == 0 {
+		s.fail(w, http.StatusBadRequest, "no offers to evaluate")
+		return
+	}
+	key := sess.cacheKey("evaluate", canonicalOffers(req.Offers))
+	cfg, hit := s.cache.get(key)
+	var batched bool
+	if hit {
+		s.met.cacheHits.Add(1)
+	} else {
+		s.met.cacheMisses.Add(1)
+		var err error
+		cfg, batched, err = sess.batcher.do(key, req.Offers)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "evaluate: %v", err)
+			return
+		}
+		s.cache.put(key, cfg)
+	}
+	s.met.observe("evaluate", time.Since(start))
+	writeJSON(w, http.StatusOK, EvaluateResponse{
+		Corpus:    sess.id,
+		Version:   sess.version,
+		Cached:    hit,
+		Batched:   batched,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Config:    configDoc(cfg),
+	})
+}
+
+// handleHealth reports liveness.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Sessions:      s.reg.len(),
+		UptimeSeconds: time.Since(s.met.start).Seconds(),
+	})
+}
+
+// handleMetrics exposes the Prometheus text metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.render(w, s.reg.len(), s.cache.len())
+}
+
+// canonicalOffers encodes an offer family independent of offer and item
+// order, the identity the result cache and the micro-batcher key on.
+// Offers that only differ in ordering evaluate identically (the engine
+// normalizes them), so they should share one cache slot.
+func canonicalOffers(offers [][]int) string {
+	sets := make([][]int, len(offers))
+	for i, off := range offers {
+		c := append([]int(nil), off...)
+		sort.Ints(c)
+		sets[i] = c
+	}
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	var b strings.Builder
+	for i, set := range sets {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		for k, it := range set {
+			if k > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(it))
+		}
+	}
+	return b.String()
+}

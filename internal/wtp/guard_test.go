@@ -1,0 +1,50 @@
+package wtp
+
+import "testing"
+
+// TestNewRejectsHugeDimensions pins the overflow guard: dimensions whose
+// dense product cannot be allocated must error, not panic (they used to
+// reach makeslice and crash when corrupt input carried sky-high ids).
+func TestNewRejectsHugeDimensions(t *testing.T) {
+	cases := []struct{ m, n int }{
+		{9_000_000_000_000_000_000, 1},
+		{4_000_000_000, 4_000_000_000},
+		{maxDenseCells/2 + 1, 2},
+	}
+	for _, c := range cases {
+		if _, err := New(c.m, c.n); err == nil {
+			t.Errorf("New(%d, %d): expected error", c.m, c.n)
+		}
+	}
+	if _, err := New(1024, 512); err != nil {
+		t.Errorf("New(1024, 512): %v", err)
+	}
+}
+
+func TestEntriesAndVersion(t *testing.T) {
+	w := MustNew(4, 3)
+	if w.Entries() != 0 || w.Version() != 0 {
+		t.Fatalf("fresh matrix: entries=%d version=%d", w.Entries(), w.Version())
+	}
+	w.MustSet(0, 0, 5)
+	w.MustSet(2, 1, 3)
+	if w.Entries() != 2 {
+		t.Errorf("entries = %d, want 2", w.Entries())
+	}
+	v := w.Version()
+	if v == 0 {
+		t.Error("version should have advanced")
+	}
+	w.MustSet(0, 0, 5) // no-op write must not bump the version
+	if w.Version() != v {
+		t.Errorf("no-op set bumped version %d → %d", v, w.Version())
+	}
+	w.MustSet(0, 0, 0) // deletion bumps and drops the entry
+	if w.Entries() != 1 || w.Version() == v {
+		t.Errorf("after delete: entries=%d version=%d", w.Entries(), w.Version())
+	}
+	sh := w.Shard(2)
+	if sh.Version() != w.Version() {
+		t.Errorf("shard version %d != matrix %d", sh.Version(), w.Version())
+	}
+}

@@ -111,6 +111,11 @@ func (w *Matrix) Shard(stripeSize int) *Shard {
 // Matrix returns the matrix the shard was built from.
 func (sh *Shard) Matrix() *Matrix { return sh.w }
 
+// Version returns the matrix version the shard snapshotted. Caches layered
+// above a shard (e.g. a serving result cache) include it in their keys so
+// entries from a replaced corpus can never be served for its successor.
+func (sh *Shard) Version() uint64 { return sh.version }
+
 // StripeSize returns the configured consumers-per-stripe.
 func (sh *Shard) StripeSize() int { return sh.size }
 

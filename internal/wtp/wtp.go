@@ -40,10 +40,19 @@ type Matrix struct {
 	version  uint64    // bumped by every mutation; Shard staleness checks
 }
 
+// maxDenseCells caps the dense backing array of a Matrix. The limit exists
+// to turn absurd dimensions — typically corrupt input with sky-high ids —
+// into an error instead of a makeslice panic or an out-of-memory kill.
+// (1<<31 - 1 also keeps the constant an untyped int on 32-bit platforms.)
+const maxDenseCells = 1<<31 - 1
+
 // New returns an all-zero M×N matrix.
 func New(consumers, items int) (*Matrix, error) {
 	if consumers < 0 || items < 0 {
 		return nil, fmt.Errorf("wtp: negative dimensions %d×%d", consumers, items)
+	}
+	if items > 0 && consumers > maxDenseCells/items {
+		return nil, fmt.Errorf("wtp: matrix %d×%d exceeds %d dense cells", consumers, items, maxDenseCells)
 	}
 	return &Matrix{
 		m:        consumers,
@@ -137,6 +146,20 @@ func (w *Matrix) ItemTotal(i int) float64 { return w.colSum[i] }
 // Total returns the aggregate WTP over all consumers and items. This is the
 // revenue upper bound used by the revenue-coverage metric (Sec. 6.1.2).
 func (w *Matrix) Total() float64 { return w.total }
+
+// Entries returns the number of non-zero WTP entries in the matrix.
+func (w *Matrix) Entries() int {
+	var n int
+	for _, p := range w.postings {
+		n += len(p)
+	}
+	return n
+}
+
+// Version returns the matrix's mutation counter. Every successful Set that
+// changes a value bumps it; snapshots (Shard) and downstream caches key on
+// the version to detect staleness.
+func (w *Matrix) Version() uint64 { return w.version }
 
 // BundleWTP returns consumer u's willingness to pay for the bundle given by
 // items, following Eq. 1: (1+θ) Σ w[u][i]. θ < -1 would produce negative

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Smoke-test the bundled daemon end to end: build it, boot it on a sample
+# (synthetic) corpus, run the client smoke test against it, and fail on any
+# non-200 the test observes. CI runs this after the unit-test gate; locally
+# it's `make smoke`.
+set -eu
+
+ADDR="${BUNDLED_SMOKE_ADDR:-127.0.0.1:8077}"
+BIN="$(mktemp -d)/bundled"
+LOG="$(mktemp)"
+
+go build -o "$BIN" ./cmd/bundled
+
+"$BIN" -addr "$ADDR" -demo >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT INT TERM
+
+# Wait for /healthz to come up (the demo corpus indexes first).
+i=0
+until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 60 ]; then
+    echo "bundled did not become healthy; log:" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "bundled exited early; log:" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+
+BUNDLED_ADDR="http://$ADDR" go test ./client -run TestServerSmoke -count=1 -v
+
+# Graceful shutdown must complete cleanly.
+kill -TERM "$PID"
+wait "$PID"
+trap - EXIT INT TERM
+echo "smoke OK"
