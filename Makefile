@@ -5,7 +5,7 @@
 GO ?= go
 NPROC ?= $(shell nproc 2>/dev/null || echo 2)
 
-.PHONY: build test vet fmt race check smoke bench bench-parallel bench-serve fuzz
+.PHONY: build test vet fmt race check smoke bench bench-parallel bench-serve bench-cluster fuzz
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,10 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with lock-free parallel paths (chunked evalPairs,
-# shared Solver sessions, per-stripe farming, the serving registry/batcher).
+# shared Solver sessions, per-stripe farming, the serving registry/batcher,
+# the cluster coordinator's scatter/gather fan-out).
 race:
-	$(GO) test -race ./internal/config/ ./internal/pricing/ ./internal/wtp/ ./internal/server/ ./client/
+	$(GO) test -race ./internal/config/ ./internal/pricing/ ./internal/wtp/ ./internal/server/ ./internal/cluster/ ./client/
 
 check: fmt vet build test race
 
@@ -50,6 +51,12 @@ bench-parallel:
 # BENCH_serve.json, the serving companion of BENCH_greedy.json.
 bench-serve:
 	$(GO) run ./cmd/bundlebench -exp serve -servereqs 2000 -serveconc 16 -benchout BENCH_serve.json
+
+# Benchmark distributed stripe-sharded solving: the scatter/gather evaluate
+# path over 1/2/4 in-process workers vs the single-machine Solver, with
+# every result equivalence-checked within 1e-9 (BENCH_cluster.json).
+bench-cluster:
+	$(GO) run ./cmd/bundlebench -exp cluster -servereqs 400 -serveconc 4 -benchout BENCH_cluster.json
 
 # Short fuzz pass over the incremental-union equivalence property.
 fuzz:

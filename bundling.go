@@ -82,6 +82,14 @@
 // session eviction. The bundling/client package is the Go client; see the
 // README's Serving section for a curl quickstart and cmd/bundlebench
 // -exp serve for the load harness behind BENCH_serve.json.
+//
+// To scale past one machine, the same daemon runs as a cluster
+// coordinator (bundled -workers host:port,...): each corpus's stripes are
+// partitioned into spans shipped to cmd/bundleworker daemons, and solves
+// and evaluates scatter per span and gather in stripe order, with corpus
+// version checks on every RPC and a local fallback so a degraded fleet
+// affects throughput, never results. See the README's Scaling out section
+// and cmd/bundlebench -exp cluster (BENCH_cluster.json).
 package bundling
 
 import (
@@ -256,15 +264,40 @@ type Solver struct {
 
 // NewSolver builds a session for the matrix under the given options.
 func NewSolver(w *Matrix, opts Options) (*Solver, error) {
+	return NewSolverOn(w, opts, nil)
+}
+
+// StripeExecutor computes the striped consumer-axis reductions a Solver's
+// vector construction runs on. The default executor is the session's local
+// sharded index; a distributed deployment (see internal/cluster and the
+// cmd/bundled -workers flag) plugs in a scatter/gather executor that farms
+// each stripe span to the remote worker owning it.
+type StripeExecutor = config.StripeExecutor
+
+// NewSolverOn is NewSolver with a pluggable stripe executor; nil selects
+// the local shard, making it identical to NewSolver.
+func NewSolverOn(w *Matrix, opts Options, exec StripeExecutor) (*Solver, error) {
 	p, err := opts.params()
 	if err != nil {
 		return nil, err
 	}
-	inner, err := config.NewSolver(w, p)
+	inner, err := config.NewSolverOn(w, p, exec)
 	if err != nil {
 		return nil, err
 	}
 	return &Solver{inner: inner}, nil
+}
+
+// Aggregator computes the distributed pricing aggregates of the
+// scatter/gather evaluate path; see the config package for the reduction
+// contract.
+type Aggregator = config.Aggregator
+
+// EvaluateAggregated prices a pure-bundling offer family from reduced
+// pricing histograms supplied by agg instead of gathered consumer vectors —
+// the distributed evaluate fast path. See config.Solver.EvaluateAggregated.
+func (s *Solver) EvaluateAggregated(offers [][]int, agg Aggregator) (*Configuration, error) {
+	return s.inner.EvaluateAggregated(offers, agg)
 }
 
 // Solve runs an algorithm on the session.
@@ -288,6 +321,26 @@ type SolverStats = config.SolverStats
 
 // Stats returns the session's corpus and index statistics.
 func (s *Solver) Stats() SolverStats { return s.inner.Stats() }
+
+// SpanDoc is the wire form of one contiguous stripe span of a session's
+// striped index — the unit of work a distributed coordinator ships to a
+// remote worker (see internal/cluster and the cmd/bundled -workers mode).
+type SpanDoc = wtp.SpanDoc
+
+// Spans cuts the session's striped index into at most n contiguous,
+// balanced stripe-span documents, reusing the shard the session already
+// built.
+func (s *Solver) Spans(n int) []*SpanDoc { return s.inner.Spans(n) }
+
+// PricingGrid reports the session's effective pricing discretization: the
+// number of price levels T and the adoption bias α. A distributed
+// aggregator must bucket its histograms on exactly this grid, so it reads
+// the values from the built session rather than re-deriving option
+// defaults.
+func (s *Solver) PricingGrid() (levels int, alpha float64) {
+	p := s.inner.Params()
+	return p.PriceLevels, p.Model.Alpha()
+}
 
 // Configure finds a revenue-maximizing bundle configuration using the
 // paper's matching-based heuristic (Algorithm 1), the method its evaluation

@@ -1,0 +1,238 @@
+package main
+
+// The cluster experiment benchmarks distributed stripe-sharded solving: it
+// builds in-process bundleworker fleets of 1, 2 and 4 workers, partitions
+// the bench corpus's stripes across them, and drives the scatter/gather
+// evaluate path through cluster.Solver, comparing throughput and latency
+// against the single-machine bundling.Solver on the same offer workload.
+// Every cluster result is checked against the local result within 1e-9 —
+// the harness fails on any mismatch, so the committed BENCH_cluster.json is
+// also an equivalence certificate. With -benchout it writes
+// BENCH_cluster.json, the scale-out companion of BENCH_serve.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bundling"
+	"bundling/internal/cluster"
+	"bundling/internal/config"
+	"bundling/internal/experiments"
+)
+
+// ClusterRun is one configuration's measured evaluate throughput.
+type ClusterRun struct {
+	Workers     int          `json:"workers"` // 0 = single-machine baseline
+	Spans       int          `json:"spans,omitempty"`
+	RPS         float64      `json:"requests_per_second"`
+	DurationSec float64      `json:"duration_seconds"`
+	Latency     ServeLatency `json:"latency"`
+	RemoteCalls int64        `json:"remote_calls,omitempty"`
+	Refeeds     int64        `json:"refeeds,omitempty"`
+	Fallbacks   int64        `json:"local_fallbacks,omitempty"`
+}
+
+// ClusterReport is the file schema of BENCH_cluster.json.
+type ClusterReport struct {
+	GeneratedAt string `json:"generated_at"`
+	Scale       string `json:"scale"`
+	Users       int    `json:"users"`
+	Items       int    `json:"items"`
+	Go          string `json:"go"`
+	NumCPU      int    `json:"numcpu"`
+	MaxProcs    int    `json:"maxprocs"`
+	StripeSize  int    `json:"stripe_size"`
+	Stripes     int    `json:"stripes"`
+	Concurrency int    `json:"concurrency"`
+	Requests    int    `json:"requests"`
+	OfferPool   int    `json:"offer_pool"`
+
+	// MaxRelDiff is the largest relative revenue difference observed between
+	// any cluster evaluate and its single-machine counterpart (must be
+	// ≤ 1e-9 for the harness to succeed).
+	MaxRelDiff float64 `json:"max_rel_diff"`
+
+	Local   ClusterRun   `json:"local"`
+	Cluster []ClusterRun `json:"cluster"`
+}
+
+// runCluster measures the scatter/gather evaluate path against the local
+// solver at 1, 2 and 4 in-process workers.
+func runCluster(env *experiments.Env, scaleName, outPath string, base config.Params, conc, totalReqs int) error {
+	users := env.W.Consumers()
+	// Size stripes so the bench corpus splits into enough independent spans
+	// for a 4-worker fleet to matter (the library default of 1024 consumers
+	// per stripe leaves a 600-user corpus as a single work unit).
+	stripeSize := (users + 7) / 8
+	opts := bundling.Options{
+		Theta:         base.Theta,
+		MaxBundleSize: base.K,
+		Parallelism:   base.Parallelism,
+		StripeSize:    stripeSize,
+	}
+	local, err := bundling.NewSolver(env.W, opts)
+	if err != nil {
+		return err
+	}
+	st := local.Stats()
+
+	// A pool of distinct valid offer families; requests cycle through it so
+	// every evaluate does real pricing work (cluster.Solver has no result
+	// cache — that lives a layer up, in the serving daemon).
+	pool := offerPool(env.W.Items(), 32)
+	want := make([]*bundling.Configuration, len(pool))
+	for i, offers := range pool {
+		if want[i], err = local.Evaluate(offers); err != nil {
+			return fmt.Errorf("local evaluate %d: %w", i, err)
+		}
+	}
+
+	report := ClusterReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       scaleName,
+		Users:       users,
+		Items:       env.W.Items(),
+		Go:          runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		StripeSize:  stripeSize,
+		Stripes:     st.Stripes,
+		Concurrency: conc,
+		Requests:    totalReqs,
+		OfferPool:   len(pool),
+	}
+
+	evalThrough := func(eval func(offers [][]int) (*bundling.Configuration, error)) (ClusterRun, error) {
+		lat := make([]time.Duration, totalReqs)
+		var cursor atomic.Int64
+		var errMu sync.Mutex
+		var firstErr error
+		var maxDiff atomicFloat
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= totalReqs {
+						return
+					}
+					p := i % len(pool)
+					t0 := time.Now()
+					cfg, err := eval(pool[p])
+					lat[i] = time.Since(t0)
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+					denom := 1 + math.Abs(want[p].Revenue)
+					maxDiff.max(math.Abs(cfg.Revenue-want[p].Revenue) / denom)
+				}
+			}()
+		}
+		wg.Wait()
+		dur := time.Since(start)
+		if firstErr != nil {
+			return ClusterRun{}, firstErr
+		}
+		if d := maxDiff.load(); d > 1e-9 {
+			return ClusterRun{}, fmt.Errorf("cluster/local revenue diverged: max relative diff %g > 1e-9", d)
+		}
+		if d := maxDiff.load(); d > report.MaxRelDiff {
+			report.MaxRelDiff = d
+		}
+		return ClusterRun{
+			RPS:         float64(totalReqs) / dur.Seconds(),
+			DurationSec: dur.Seconds(),
+			Latency:     latencySummary(lat),
+		}, nil
+	}
+
+	if report.Local, err = evalThrough(local.Evaluate); err != nil {
+		return fmt.Errorf("local baseline: %w", err)
+	}
+	fmt.Printf("cluster: local baseline %.1f eval/s (p50 %.2fms p99 %.2fms) over %d stripes\n",
+		report.Local.RPS, report.Local.Latency.P50, report.Local.Latency.P99, st.Stripes)
+
+	for _, workers := range []int{1, 2, 4} {
+		transports := make([]cluster.Transport, workers)
+		for i := range transports {
+			transports[i] = cluster.NewLocal(cluster.NewWorker(cluster.WorkerConfig{}), fmt.Sprintf("inproc-%d", i))
+		}
+		cs, err := cluster.NewSolver(env.W, opts, cluster.Config{Workers: transports})
+		if err != nil {
+			return err
+		}
+		run, err := evalThrough(cs.Evaluate)
+		if err != nil {
+			return fmt.Errorf("%d workers: %w", workers, err)
+		}
+		cst := cs.ClusterStats()
+		run.Workers = workers
+		run.Spans = cst.Spans
+		run.RemoteCalls = cst.RemoteCalls
+		run.Refeeds = cst.Refeeds
+		run.Fallbacks = cst.LocalFallbacks
+		report.Cluster = append(report.Cluster, run)
+		fmt.Printf("cluster: %d workers (%d spans): %.1f eval/s (p50 %.2fms p99 %.2fms), %d RPCs, %d fallbacks\n",
+			workers, cst.Spans, run.RPS, run.Latency.P50, run.Latency.P99, cst.RemoteCalls, cst.LocalFallbacks)
+	}
+	fmt.Printf("cluster: max relative revenue diff vs local: %g (bound 1e-9)\n", report.MaxRelDiff)
+
+	if outPath == "" || outPath == "-" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// offerPool builds n distinct disjoint offer families over the item
+// universe, deterministically.
+func offerPool(items, n int) [][][]int {
+	pool := make([][][]int, n)
+	for p := range pool {
+		var offers [][]int
+		for o := 0; o < 10; o++ {
+			start := (p*17 + o*13) % (items - 3)
+			offers = append(offers, []int{start, start + 1, start + 2})
+		}
+		pool[p] = disjointOffers(offers, items)
+	}
+	return pool
+}
+
+// atomicFloat tracks a running maximum across goroutines.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) max(v float64) {
+	for {
+		old := a.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if a.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) load() float64 { return math.Float64frombits(a.bits.Load()) }

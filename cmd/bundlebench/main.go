@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiment: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,wsp,case,ablations,joint,welfare,stats,perf,serve,all")
+		expFlag   = flag.String("exp", "all", "experiment: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,wsp,case,ablations,joint,welfare,stats,perf,serve,cluster,all")
 		scaleFlag = flag.String("scale", "bench", "dataset scale: small, bench, full")
 		lambda    = flag.Float64("lambda", experiments.DefaultLambda, "ratings→WTP conversion factor λ")
 		theta     = flag.Float64("theta", 0, "bundling coefficient θ")
@@ -74,10 +74,11 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchO
 	}
 	all := wants["all"]
 	need := func(name string) bool { return all || wants[name] }
-	if benchOut != "" && !wants["perf"] && !wants["serve"] {
-		// perf and serve are deliberately excluded from `all`; reject rather
-		// than silently dropping the flag (and never writing the file).
-		return fmt.Errorf("-benchout requires -exp perf or -exp serve")
+	if benchOut != "" && !wants["perf"] && !wants["serve"] && !wants["cluster"] {
+		// perf, serve and cluster are deliberately excluded from `all`;
+		// reject rather than silently dropping the flag (and never writing
+		// the file).
+		return fmt.Errorf("-benchout requires -exp perf, -exp serve or -exp cluster")
 	}
 
 	// Table 1 needs no dataset.
@@ -94,10 +95,10 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchO
 			needEnv = true
 		}
 	}
-	// perf and serve are opt-in only (not part of `all`): perf reruns each
-	// algorithm many times and serve boots a server under sustained load,
-	// either of which would dwarf the table/figure regeneration.
-	if wants["perf"] || wants["serve"] {
+	// perf, serve and cluster are opt-in only (not part of `all`): perf
+	// reruns each algorithm many times, and serve/cluster drive sustained
+	// load, any of which would dwarf the table/figure regeneration.
+	if wants["perf"] || wants["serve"] || wants["cluster"] {
 		needEnv = true
 	}
 	if !needEnv {
@@ -119,6 +120,11 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchO
 	if wants["serve"] {
 		if err := runServe(env, scaleName, benchOut, params, serveConc, serveReqs); err != nil {
 			return fmt.Errorf("serve: %w", err)
+		}
+	}
+	if wants["cluster"] {
+		if err := runCluster(env, scaleName, benchOut, params, serveConc, serveReqs); err != nil {
+			return fmt.Errorf("cluster: %w", err)
 		}
 	}
 	if need("stats") {

@@ -8,6 +8,8 @@
 //
 //	bundled -addr :8080
 //	bundled -addr :8080 -demo        # preload a synthetic corpus as "demo"
+//	bundled -addr :8080 -workers 127.0.0.1:9101,127.0.0.1:9102
+//	                                 # scale out: solve over bundleworker daemons
 //
 // Then:
 //
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"bundling"
+	"bundling/internal/cluster"
 	"bundling/internal/server"
 )
 
@@ -41,25 +44,44 @@ func main() {
 		cacheEntries = flag.Int("cache", 1024, "result cache entries (negative disables)")
 		maxUploadMB  = flag.Int64("max-upload-mb", 64, "max corpus upload size in MiB")
 		batchWorkers = flag.Int("batch-workers", 4, "concurrent evaluations per micro-batch pass")
+		batchWindow  = flag.Duration("batch-window", 0, "evaluate micro-batch gather window (0 = drain immediately)")
+		workers      = flag.String("workers", "", "comma-separated bundleworker addresses; enables distributed stripe-sharded solving")
 		demo         = flag.Bool("demo", false, `preload a synthetic corpus as session "demo"`)
 		demoUsers    = flag.Int("demo-users", 300, "demo corpus users")
 		demoItems    = flag.Int("demo-items", 60, "demo corpus items")
 		drainSecs    = flag.Int("drain-seconds", 15, "graceful shutdown drain window")
 	)
 	flag.Parse()
-	if err := run(*addr, *maxSessions, *cacheEntries, *maxUploadMB, *batchWorkers, *demo, *demoUsers, *demoItems, *drainSecs); err != nil {
+	if err := run(*addr, *maxSessions, *cacheEntries, *maxUploadMB, *batchWorkers, *batchWindow, *workers, *demo, *demoUsers, *demoItems, *drainSecs); err != nil {
 		fmt.Fprintln(os.Stderr, "bundled:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxSessions, cacheEntries int, maxUploadMB int64, batchWorkers int, demo bool, demoUsers, demoItems, drainSecs int) error {
-	srv := server.New(server.Config{
+func run(addr string, maxSessions, cacheEntries int, maxUploadMB int64, batchWorkers int, batchWindow time.Duration, workers string, demo bool, demoUsers, demoItems, drainSecs int) error {
+	cfg := server.Config{
 		MaxSessions:    maxSessions,
 		CacheEntries:   cacheEntries,
 		MaxUploadBytes: maxUploadMB << 20,
 		BatchWorkers:   batchWorkers,
-	})
+		BatchWindow:    batchWindow,
+	}
+	if workers != "" {
+		transports, err := cluster.Transports(workers, nil)
+		if err != nil {
+			return err
+		}
+		// Every uploaded corpus becomes a coordinator session: its stripe
+		// spans are partitioned across the worker fleet and solves/evaluates
+		// scatter/gather over it. /healthz degrades to 503 while any worker
+		// is unreachable (solves still succeed via the local fallback).
+		cfg.NewSolver = func(w *bundling.Matrix, opts bundling.Options) (server.Solver, error) {
+			return cluster.NewSolver(w, opts, cluster.Config{Workers: transports})
+		}
+		cfg.Ready = cluster.Ready(transports, 0)
+		log.Printf("cluster mode: %d workers (%s)", len(transports), workers)
+	}
+	srv := server.New(cfg)
 	defer srv.Close()
 	if demo {
 		if err := preloadDemo(srv, demoUsers, demoItems); err != nil {

@@ -1,0 +1,81 @@
+// Command bundleworker is the stripe-span worker daemon of the distributed
+// bundle-pricing cluster. A bundled coordinator (started with -workers)
+// feeds it contiguous stripe spans of uploaded corpora and then drives the
+// scatter/gather evaluate traffic: per-span bundle vectors, cached-vector
+// unions, and pricing aggregates (see internal/cluster for the protocol).
+//
+// Usage:
+//
+//	bundleworker -addr :9101
+//
+// Then:
+//
+//	curl localhost:9101/healthz     # assigned spans + corpus versions
+//	curl localhost:9101/metrics     # Prometheus text metrics
+//
+// Workers are stateless beyond their assigned spans: every request carries
+// the corpus snapshot version, and a worker that restarts (or lags a corpus
+// re-upload) is simply re-fed by the coordinator on its next request. The
+// daemon shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bundling/internal/cluster"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":9101", "listen address")
+		maxSpans  = flag.Int("max-spans", 64, "max assigned spans (LRU eviction beyond)")
+		drainSecs = flag.Int("drain-seconds", 15, "graceful shutdown drain window")
+	)
+	flag.Parse()
+	if err := run(*addr, *maxSpans, *drainSecs); err != nil {
+		fmt.Fprintln(os.Stderr, "bundleworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, maxSpans, drainSecs int) error {
+	wk := cluster.NewWorker(cluster.WorkerConfig{MaxSpans: maxSpans})
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           wk.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("bundleworker listening on %s", addr)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down, draining for up to %ds", drainSecs)
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Duration(drainSecs)*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("bundleworker stopped")
+	return nil
+}

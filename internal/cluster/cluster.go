@@ -1,0 +1,538 @@
+package cluster
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bundling"
+	"bundling/internal/wtp"
+)
+
+// Config tunes a coordinator Solver.
+type Config struct {
+	// Workers is the fleet, one Transport per worker (required). Stripe
+	// spans are partitioned evenly across it: span i's primary is worker i,
+	// its retry replica worker i+1 (mod fleet size).
+	Workers []Transport
+	// Corpus is the key the solver's spans register under on the workers.
+	// Empty selects a process-unique key, so concurrent coordinators (and
+	// successive re-uploads of one serving session) never collide on a
+	// shared fleet.
+	Corpus string
+	// RequestTimeout bounds each worker RPC (0 = 10s).
+	RequestTimeout time.Duration
+	// FeedTimeout bounds a span (re-)feed, which ships the span's full
+	// postings and needs a larger budget than a query RPC
+	// (0 = max(60s, RequestTimeout)).
+	FeedTimeout time.Duration
+}
+
+// Stats counts the coordinator's worker traffic; tests and the bench
+// harness read it to prove which path served a workload.
+type Stats struct {
+	Workers        int   // fleet size
+	Spans          int   // stripe spans the corpus was partitioned into
+	RemoteCalls    int64 // RPCs issued (including retries)
+	Refeeds        int64 // spans re-fed after a stale/missing rejection
+	FeedFailures   int64 // span feeds that failed (worker backs off feedBackoff)
+	ReplicaRetries int64 // span requests retried on the replica worker
+	LocalFallbacks int64 // span requests computed from the local replica
+}
+
+// Solver is the coordinator: a bundling session whose striped reductions
+// scatter across the worker fleet and gather in stripe order. It implements
+// the same Solve/Evaluate/Stats surface as bundling.Solver (and the server
+// package's Solver interface), so the bundled daemon serves it
+// transparently. Like the local solver it is safe for concurrent use.
+//
+// Correctness never depends on the fleet: every RPC carries the corpus
+// snapshot version (a stale or empty worker is re-fed and retried, never
+// trusted), and a span whose workers stay unreachable is computed from the
+// coordinator's local span store. A dead fleet degrades throughput to
+// single-machine speed, not results.
+type Solver struct {
+	inner *bundling.Solver
+	exec  *executor
+	opts  bundling.Options
+}
+
+// NewSolver partitions the corpus's stripes into spans, feeds them to the
+// workers, and builds the coordinator session on top.
+func NewSolver(w *bundling.Matrix, opts bundling.Options, cfg Config) (*Solver, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("cluster: no workers configured")
+	}
+	corpus := cfg.Corpus
+	if corpus == "" {
+		corpus = uniqueCorpus()
+	}
+	timeout := cfg.RequestTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	feedTimeout := cfg.FeedTimeout
+	if feedTimeout <= 0 {
+		feedTimeout = 60 * time.Second
+		if timeout > feedTimeout {
+			feedTimeout = timeout
+		}
+	}
+	x := &executor{
+		corpus: corpus,
+		// The wire version is a session-unique nonce, not the matrix
+		// mutation counter: mutation counts of two different corpora can
+		// coincide (a counter only counts Sets), and under a caller-chosen
+		// Corpus key that coincidence would let a worker holding the old
+		// corpus's span pass the staleness check. A fresh nonce per
+		// coordinator session makes any cross-session aliasing impossible —
+		// at worst an identical re-feed.
+		version: snapshotNonce(),
+		workers: cfg.Workers,
+		timeout: timeout,
+		feedTO:  feedTimeout,
+	}
+	// Build the session first: singletons index from its local shard, so
+	// the executor is not consulted until it is wired below, and span
+	// extraction reads the session's own shard instead of building a
+	// second columnar index of the same matrix.
+	inner, err := bundling.NewSolverOn(w, opts, x)
+	if err != nil {
+		return nil, err
+	}
+	// The aggregate pricing protocol must bucket worker histograms on
+	// exactly the grid the session prices with; read it from the built
+	// session instead of re-deriving option defaults.
+	x.levels, x.alpha = inner.PricingGrid()
+	stripeSize := inner.Stats().StripeSize
+	for i, doc := range inner.Spans(len(cfg.Workers)) {
+		doc.Version = x.version // ship the session nonce as the span identity
+		sl := &spanSlot{
+			key:           fmt.Sprintf("%s/%d", corpus, doc.Start),
+			doc:           doc,
+			primary:       i % len(cfg.Workers),
+			feedFailUntil: make([]atomic.Int64, len(cfg.Workers)),
+		}
+		sl.hi = doc.End * stripeSize
+		if sl.hi > w.Consumers() {
+			sl.hi = w.Consumers()
+		}
+		x.spans = append(x.spans, sl)
+	}
+	// Feed every span to its primary up front, asynchronously under the
+	// feed budget (a span upload can dwarf a query RPC, but an unresponsive
+	// worker must not stall session creation for it — the eager feed is
+	// purely best effort: an unfed worker is fed lazily by the first
+	// request's re-feed path or covered by the replica and local fallback,
+	// and surfaces through the Ready probe). Close waits for these, so a
+	// released session cannot be resurrected by a straggling feed.
+	for _, sl := range x.spans {
+		x.feeding.Add(1)
+		go func(sl *spanSlot) {
+			defer x.feeding.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), x.feedTO)
+			defer cancel()
+			_ = x.workers[sl.primary].Assign(ctx, sl.key, &AssignRequest{Corpus: sl.key, Span: sl.doc})
+		}(sl)
+	}
+	return &Solver{inner: inner, exec: x, opts: opts}, nil
+}
+
+// Close releases the solver's spans on every worker that may hold one
+// (primary and retry replica), best effort: an unreachable worker simply
+// keeps its copy until the fleet-side LRU bound recycles it. The serving
+// layer calls this when a session is replaced, evicted or deleted, so
+// long-gone corpora do not pin worker memory.
+func (s *Solver) Close() error {
+	x := s.exec
+	x.feeding.Wait() // don't let a straggling eager feed resurrect a span
+	x.forEachSpan(func(i int) {
+		sl := x.spans[i]
+		holders := []int{sl.primary}
+		if len(x.workers) > 1 {
+			holders = append(holders, (sl.primary+1)%len(x.workers))
+		}
+		for _, wi := range holders {
+			ctx, cancel := context.WithTimeout(context.Background(), x.timeout)
+			_ = x.workers[wi].Drop(ctx, sl.key)
+			cancel()
+		}
+	})
+	return nil
+}
+
+// Solve runs a configuration algorithm; its vector construction scatters
+// across the fleet.
+func (s *Solver) Solve(a bundling.Algorithm) (*bundling.Configuration, error) {
+	return s.inner.Solve(a)
+}
+
+// Evaluate prices a caller-proposed lineup. Pure-bundling evaluates take
+// the aggregate fast path — per offer, two scatter/gather rounds of O(T)
+// response data per span (max, then histogram) instead of shipping every
+// interested consumer; mixed evaluates, which thread per-consumer state
+// between offers, gather full vectors through the executor.
+func (s *Solver) Evaluate(offers [][]int) (*bundling.Configuration, error) {
+	if s.opts.Strategy == bundling.Mixed {
+		return s.inner.Evaluate(offers)
+	}
+	return s.inner.EvaluateAggregated(offers, s.exec)
+}
+
+// Algorithms lists the algorithms runnable on this session.
+func (s *Solver) Algorithms() []bundling.Algorithm { return s.inner.Algorithms() }
+
+// Stats returns the session's corpus and index statistics (the serving
+// layer's cache-key source), identical to the local solver's.
+func (s *Solver) Stats() bundling.SolverStats { return s.inner.Stats() }
+
+// Corpus returns the key the solver's spans register under on the workers.
+func (s *Solver) Corpus() string { return s.exec.corpus }
+
+// ClusterStats snapshots the coordinator's worker-traffic counters.
+func (s *Solver) ClusterStats() Stats {
+	return Stats{
+		Workers:        len(s.exec.workers),
+		Spans:          len(s.exec.spans),
+		RemoteCalls:    s.exec.remoteCalls.Load(),
+		Refeeds:        s.exec.refeeds.Load(),
+		FeedFailures:   s.exec.feedFailures.Load(),
+		ReplicaRetries: s.exec.replicaRetries.Load(),
+		LocalFallbacks: s.exec.localFallbacks.Load(),
+	}
+}
+
+// Ready returns a readiness probe over the fleet for the serving daemon's
+// /healthz gate: it errors while any worker is unreachable. The whole
+// configured fleet counts as required — span partitions are rebuilt per
+// corpus upload and any worker can become a primary or retry replica for
+// the next session, so a fleet the operator declared via -workers is a
+// fleet the operator expects up. Solves keep succeeding through the local
+// fallback meanwhile — the probe is the operator's signal that the fleet
+// no longer carries its share.
+func Ready(workers []Transport, timeout time.Duration) func() error {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return func() error {
+		// Probe concurrently: the gate must answer within one probe
+		// timeout even when several workers are down, or orchestrator
+		// health checks time out and kill a coordinator that is still
+		// serving correctly via the local fallback.
+		downs := make([]bool, len(workers))
+		var wg sync.WaitGroup
+		for i, t := range workers {
+			wg.Add(1)
+			go func(i int, t Transport) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				defer cancel()
+				_, err := t.Health(ctx)
+				downs[i] = err != nil
+			}(i, t)
+		}
+		wg.Wait()
+		var down []string
+		for i, d := range downs {
+			if d {
+				down = append(down, workers[i].Addr())
+			}
+		}
+		if len(down) > 0 {
+			return fmt.Errorf("cluster: %d/%d workers unreachable: %s", len(down), len(workers), strings.Join(down, ", "))
+		}
+		return nil
+	}
+}
+
+// --- executor ---------------------------------------------------------------
+
+// spanSlot is one stripe span of the partition: its wire doc (kept for
+// re-feeding workers), its primary worker, and a lazily materialized local
+// store that serves as the last-resort replica.
+type spanSlot struct {
+	// key is the worker-side registration key: the corpus key plus the
+	// span's first stripe. Keying per span (not per corpus) lets one worker
+	// hold several spans of the same corpus — which is exactly what happens
+	// when a replica covers a dead primary's span alongside its own.
+	key     string
+	doc     *wtp.SpanDoc
+	hi      int // consumer upper bound (exclusive); the union cut boundary
+	primary int
+	// feedFailUntil[worker] is the unix-nano deadline before which re-feeds
+	// to that worker are skipped after a failed span upload, so a worker
+	// that cannot ingest the span is not hammered with the full transfer on
+	// every request.
+	feedFailUntil []atomic.Int64
+
+	localOnce sync.Once
+	local     *wtp.SpanStore
+}
+
+// feedBackoff is how long a failed span feed suppresses further feed
+// attempts to the same worker.
+const feedBackoff = 5 * time.Second
+
+// localStore materializes the span's local replica from the same wire doc
+// the workers ingest, so fallback arithmetic is identical to a worker's.
+func (sl *spanSlot) localStore() *wtp.SpanStore {
+	sl.localOnce.Do(func() {
+		sp, err := sl.doc.Store()
+		if err != nil {
+			// The doc came from our own shard; failing to rebuild it is a
+			// bug, not an operational condition.
+			panic(fmt.Sprintf("cluster: local span store: %v", err))
+		}
+		sl.local = sp
+	})
+	return sl.local
+}
+
+// executor is the scatter/gather StripeExecutor (and Aggregator) behind the
+// coordinator: every reduction fans out per span, retries stale workers
+// after a re-feed, falls back to the replica worker and then to the local
+// span store, and gathers results in stripe order.
+type executor struct {
+	corpus  string
+	version uint64 // session snapshot nonce, presented on every RPC
+	workers []Transport
+	spans   []*spanSlot
+	timeout time.Duration
+	feedTO  time.Duration
+	alpha   float64
+	levels  int
+	feeding sync.WaitGroup // in-flight eager span feeds
+
+	remoteCalls    atomic.Int64
+	refeeds        atomic.Int64
+	feedFailures   atomic.Int64
+	replicaRetries atomic.Int64
+	localFallbacks atomic.Int64
+}
+
+// forEachSpan runs fn for every span index, concurrently when there is more
+// than one span.
+func (x *executor) forEachSpan(fn func(i int)) {
+	if len(x.spans) == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := range x.spans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// callSpan runs one span request through the retry ladder: primary (with a
+// re-feed retry on a stale/missing span), then the replica worker (fed on
+// demand), then the local span store. It cannot fail — the ladder ends on
+// local compute — which is what lets the engine's vector paths stay
+// error-free.
+func callSpan[T any](x *executor, sl *spanSlot, op func(ctx context.Context, t Transport) (T, error), local func(sp *wtp.SpanStore) T) T {
+	if v, err := tryWorker(x, sl, sl.primary, op); err == nil {
+		return v
+	}
+	if len(x.workers) > 1 {
+		x.replicaRetries.Add(1)
+		if v, err := tryWorker(x, sl, (sl.primary+1)%len(x.workers), op); err == nil {
+			return v
+		}
+	}
+	x.localFallbacks.Add(1)
+	return local(sl.localStore())
+}
+
+// tryWorker issues op against one worker, re-feeding the span and retrying
+// once when the worker reports it missing or stale. The re-feed runs under
+// its own (larger) deadline — a span upload can dwarf a query RPC — and a
+// failed feed backs the worker off for feedBackoff, so a worker that
+// cannot ingest the span is not sent the full transfer on every request.
+func tryWorker[T any](x *executor, sl *spanSlot, wi int, op func(ctx context.Context, t Transport) (T, error)) (T, error) {
+	t := x.workers[wi]
+	ctx, cancel := context.WithTimeout(context.Background(), x.timeout)
+	x.remoteCalls.Add(1)
+	v, err := op(ctx, t)
+	cancel()
+	if err == nil || !errors.Is(err, ErrSpan) {
+		return v, err
+	}
+	if time.Now().UnixNano() < sl.feedFailUntil[wi].Load() {
+		return v, err
+	}
+	x.refeeds.Add(1)
+	fctx, fcancel := context.WithTimeout(context.Background(), x.feedTO)
+	aerr := t.Assign(fctx, sl.key, &AssignRequest{Corpus: sl.key, Span: sl.doc})
+	fcancel()
+	if aerr != nil {
+		x.feedFailures.Add(1)
+		sl.feedFailUntil[wi].Store(time.Now().Add(feedBackoff).UnixNano())
+		return v, err
+	}
+	sl.feedFailUntil[wi].Store(0)
+	rctx, rcancel := context.WithTimeout(context.Background(), x.timeout)
+	defer rcancel()
+	x.remoteCalls.Add(1)
+	return op(rctx, t)
+}
+
+// BundleVector implements config.StripeExecutor: per-span vectors gathered
+// and concatenated in stripe order — identical to the local shard
+// reduction.
+func (x *executor) BundleVector(items []int, theta float64, dstIDs []int, dstVals []float64) ([]int, []float64) {
+	parts := make([]VectorResponse, len(x.spans))
+	x.forEachSpan(func(i int) {
+		sl := x.spans[i]
+		req := VectorRequest{Version: x.version, Items: items, Theta: theta}
+		parts[i] = callSpan(x, sl,
+			func(ctx context.Context, t Transport) (VectorResponse, error) {
+				return t.Vector(ctx, sl.key, req)
+			},
+			func(sp *wtp.SpanStore) VectorResponse {
+				ids, vals := sp.BundleVector(items, theta, nil, nil)
+				return VectorResponse{IDs: ids, Vals: vals}
+			})
+	})
+	dstIDs = dstIDs[:0]
+	dstVals = dstVals[:0]
+	for i := range parts {
+		dstIDs = append(dstIDs, parts[i].IDs...)
+		dstVals = append(dstVals, parts[i].Vals...)
+	}
+	return dstIDs, dstVals
+}
+
+// UnionVectors implements config.StripeExecutor: the two cached vectors are
+// cut at span boundaries, each span's slices merged by the worker owning
+// it, and the results concatenated in stripe order.
+func (x *executor) UnionVectors(aIDs []int, aVals []float64, sa float64, bIDs []int, bVals []float64, sb float64, dstIDs []int, dstVals []float64) ([]int, []float64) {
+	type cut struct{ a0, a1, b0, b1 int }
+	cuts := make([]cut, len(x.spans))
+	ai, bi := 0, 0
+	for i, sl := range x.spans {
+		c := cut{a0: ai, b0: bi}
+		for ai < len(aIDs) && aIDs[ai] < sl.hi {
+			ai++
+		}
+		for bi < len(bIDs) && bIDs[bi] < sl.hi {
+			bi++
+		}
+		c.a1, c.b1 = ai, bi
+		cuts[i] = c
+	}
+	parts := make([]VectorResponse, len(x.spans))
+	x.forEachSpan(func(i int) {
+		c := cuts[i]
+		if c.a0 == c.a1 && c.b0 == c.b1 {
+			return // nothing in this span
+		}
+		sl := x.spans[i]
+		req := UnionRequest{
+			Version: x.version,
+			AIDs:    aIDs[c.a0:c.a1], AVals: aVals[c.a0:c.a1], SA: sa,
+			BIDs: bIDs[c.b0:c.b1], BVals: bVals[c.b0:c.b1], SB: sb,
+		}
+		parts[i] = callSpan(x, sl,
+			func(ctx context.Context, t Transport) (VectorResponse, error) {
+				return t.Union(ctx, sl.key, req)
+			},
+			func(sp *wtp.SpanStore) VectorResponse {
+				ids, vals := sp.UnionVectors(req.AIDs, req.AVals, sa, req.BIDs, req.BVals, sb, nil, nil)
+				return VectorResponse{IDs: ids, Vals: vals}
+			})
+	})
+	dstIDs = dstIDs[:0]
+	dstVals = dstVals[:0]
+	for i := range parts {
+		dstIDs = append(dstIDs, parts[i].IDs...)
+		dstVals = append(dstVals, parts[i].Vals...)
+	}
+	return dstIDs, dstVals
+}
+
+// BundleMax implements config.Aggregator: span maxima reduced by max.
+func (x *executor) BundleMax(items []int, theta float64) float64 {
+	parts := make([]StatsResponse, len(x.spans))
+	x.forEachSpan(func(i int) {
+		sl := x.spans[i]
+		req := StatsRequest{Version: x.version, Items: items, Theta: theta}
+		parts[i] = callSpan(x, sl,
+			func(ctx context.Context, t Transport) (StatsResponse, error) {
+				return t.Stats(ctx, sl.key, req)
+			},
+			func(sp *wtp.SpanStore) StatsResponse {
+				return spanStats(sp, items, theta)
+			})
+	})
+	var maxW float64
+	for i := range parts {
+		if parts[i].Max > maxW {
+			maxW = parts[i].Max
+		}
+	}
+	return maxW
+}
+
+// BundleHistogram implements config.Aggregator: span histogram partials
+// reduced by element-wise addition, in stripe order for determinism.
+func (x *executor) BundleHistogram(items []int, theta float64, maxW float64, counts, sums []float64) {
+	parts := make([]HistResponse, len(x.spans))
+	x.forEachSpan(func(i int) {
+		sl := x.spans[i]
+		req := HistRequest{
+			Version: x.version, Items: items, Theta: theta,
+			MaxW: maxW, Alpha: x.alpha, Levels: x.levels,
+		}
+		parts[i] = callSpan(x, sl,
+			func(ctx context.Context, t Transport) (HistResponse, error) {
+				return t.Hist(ctx, sl.key, req)
+			},
+			func(sp *wtp.SpanStore) HistResponse {
+				return spanHist(sp, items, theta, maxW, x.alpha, x.levels)
+			})
+	})
+	for i := range parts {
+		if len(parts[i].Counts) != len(counts) || len(parts[i].Sums) != len(sums) {
+			// A worker answering with the wrong grid is a protocol bug;
+			// recompute the span locally rather than corrupt the reduction.
+			parts[i] = spanHist(x.spans[i].localStore(), items, theta, maxW, x.alpha, x.levels)
+			x.localFallbacks.Add(1)
+		}
+		for t := range counts {
+			counts[t] += parts[i].Counts[t]
+			sums[t] += parts[i].Sums[t]
+		}
+	}
+}
+
+// corpusSeq disambiguates auto-generated corpus keys within one process.
+var corpusSeq atomic.Int64
+
+// uniqueCorpus generates a worker-side span key that cannot collide across
+// coordinators sharing a fleet: random bytes plus a process-local sequence.
+func uniqueCorpus() string {
+	b := make([]byte, 6)
+	_, _ = crand.Read(b)
+	return fmt.Sprintf("c%x-%d", b, corpusSeq.Add(1))
+}
+
+// snapshotNonce draws the session's random span identity. The high bit is
+// forced so a nonce can never equal a small matrix mutation counter, even
+// under a failed entropy read.
+func snapshotNonce() uint64 {
+	b := make([]byte, 8)
+	if _, err := crand.Read(b); err != nil {
+		return uint64(time.Now().UnixNano()) | 1<<63
+	}
+	return binary.LittleEndian.Uint64(b) | 1<<63
+}

@@ -1,0 +1,123 @@
+// Package cluster implements distributed stripe-sharded solving: a
+// coordinator/worker subsystem that partitions a corpus's consumer stripes
+// across remote workers and evaluates bundles by scatter/gather.
+//
+// The unit of distribution is the stripe span (wtp.SpanDoc): a contiguous
+// range of the corpus shard's stripes, shipped to the bundleworker daemon
+// that owns it. Workers serve three per-span reductions — bundle vectors,
+// cached-vector unions, and pricing aggregates (max + histogram) — with the
+// exact per-stripe kernels the single-machine shard uses, so per-span
+// results concatenated (or summed) in stripe order reproduce the local
+// Solver's arithmetic.
+//
+// The coordinator side is cluster.Solver, which implements the same
+// Solve/Evaluate/Stats surface as bundling.Solver so the bundled daemon can
+// serve a worker fleet transparently (the -workers flag). Every RPC carries
+// the corpus snapshot version: a worker holding no span or a stale span
+// answers ErrSpan, and the coordinator re-feeds it and retries — a stale
+// worker is re-fed, never silently wrong. A span whose primary stays
+// unreachable is retried on a replica worker and, failing that, computed
+// from the coordinator's local span store, so results degrade in locality,
+// never in correctness.
+package cluster
+
+import (
+	"errors"
+
+	"bundling/internal/wtp"
+)
+
+// ErrSpan marks a span-level rejection that a re-feed repairs: the worker
+// holds no span for the corpus, or a span of a different snapshot version.
+var ErrSpan = errors.New("cluster: span missing or stale")
+
+// AssignRequest ships a stripe span to a worker, registering (or replacing)
+// it under the corpus key.
+type AssignRequest struct {
+	Corpus string       `json:"corpus"`
+	Span   *wtp.SpanDoc `json:"span"`
+}
+
+// VectorRequest asks a worker for its span's share of a bundle's
+// interested-consumer vector (Eq. 1).
+type VectorRequest struct {
+	Version uint64  `json:"version"` // corpus snapshot version the caller serves
+	Items   []int   `json:"items"`
+	Theta   float64 `json:"theta"`
+}
+
+// VectorResponse carries a per-span consumer vector: ascending consumer ids
+// within the span and the aligned WTP values.
+type VectorResponse struct {
+	IDs  []int     `json:"ids"`
+	Vals []float64 `json:"vals"`
+}
+
+// UnionRequest asks a worker to merge the span-restricted slices of two
+// cached consumer vectors (the incremental candidate-merge fast path).
+type UnionRequest struct {
+	Version uint64    `json:"version"`
+	AIDs    []int     `json:"a_ids"`
+	AVals   []float64 `json:"a_vals"`
+	SA      float64   `json:"sa"`
+	BIDs    []int     `json:"b_ids"`
+	BVals   []float64 `json:"b_vals"`
+	SB      float64   `json:"sb"`
+}
+
+// StatsRequest asks for a span's pricing pre-aggregate: the maximum bundle
+// WTP (phase one of the two-round aggregate pricing).
+type StatsRequest struct {
+	Version uint64  `json:"version"`
+	Items   []int   `json:"items"`
+	Theta   float64 `json:"theta"`
+}
+
+// StatsResponse is a span's pricing pre-aggregate; Max reduces by max.
+type StatsResponse struct {
+	Max float64 `json:"max"` // maximum Eq. 1 bundle WTP in the span
+}
+
+// HistRequest asks for a span's pricing histogram against the global
+// maximum WTP (phase two; see pricing.Histogram).
+type HistRequest struct {
+	Version uint64  `json:"version"`
+	Items   []int   `json:"items"`
+	Theta   float64 `json:"theta"`
+	MaxW    float64 `json:"max_w"`  // global maximum bundle WTP
+	Alpha   float64 `json:"alpha"`  // adoption bias α of the pricing model
+	Levels  int     `json:"levels"` // price levels T
+}
+
+// HistResponse carries a span's pricing histogram partial; both arrays have
+// Levels+1 entries and reduce by element-wise addition.
+type HistResponse struct {
+	Counts []float64 `json:"counts"`
+	Sums   []float64 `json:"sums"`
+}
+
+// SpanInfo describes one span a worker holds, for health reporting.
+type SpanInfo struct {
+	Corpus      string `json:"corpus"`
+	Version     uint64 `json:"version"`
+	StartStripe int    `json:"start_stripe"`
+	EndStripe   int    `json:"end_stripe"`
+	LoConsumer  int    `json:"lo_consumer"`
+	HiConsumer  int    `json:"hi_consumer"`
+	Items       int    `json:"items"`
+	Entries     int    `json:"entries"`
+}
+
+// WorkerHealth is the bundleworker /healthz payload: liveness plus every
+// assigned span with its corpus version, so operators (and the coordinator's
+// readiness gate) can see exactly which shard of the corpus a worker serves.
+type WorkerHealth struct {
+	Status        string     `json:"status"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Spans         []SpanInfo `json:"spans"`
+}
+
+// ErrorResponse carries any non-2xx worker outcome.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,375 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bundling/internal/pricing"
+	"bundling/internal/server"
+	"bundling/internal/wtp"
+)
+
+// WorkerConfig tunes a Worker. The zero value serves with defaults.
+type WorkerConfig struct {
+	// MaxSpans bounds the spans held concurrently (one per corpus key);
+	// assigning beyond it evicts the least-recently-used span (0 = 64).
+	MaxSpans int
+	// MaxAssignBytes bounds a span upload body (0 = 256 MiB).
+	MaxAssignBytes int64
+	// MaxRequestBytes bounds the other request bodies (0 = 32 MiB; unions
+	// ship cached consumer vectors).
+	MaxRequestBytes int64
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.MaxSpans <= 0 {
+		c.MaxSpans = 64
+	}
+	if c.MaxAssignBytes == 0 {
+		c.MaxAssignBytes = 256 << 20
+	}
+	if c.MaxRequestBytes == 0 {
+		c.MaxRequestBytes = 32 << 20
+	}
+	return c
+}
+
+// Worker holds the stripe spans assigned to this node — one per corpus key,
+// LRU-bounded — and serves the per-span reductions of the distributed
+// solving protocol. All operations are safe for concurrent use: spans are
+// immutable once built, and the registry is mutex-guarded. The same Worker
+// value backs both the in-process transport (direct method calls) and the
+// bundleworker daemon's HTTP handler.
+type Worker struct {
+	cfg WorkerConfig
+	met *server.Metrics
+
+	mu    sync.RWMutex
+	spans map[string]*workerSpan
+	seq   atomic.Int64 // LRU clock
+	stale atomic.Int64 // version-mismatch rejections (each one triggers a re-feed)
+
+	mux *http.ServeMux
+}
+
+// workerSpan is one assigned span plus its LRU recency.
+type workerSpan struct {
+	corpus  string
+	store   *wtp.SpanStore
+	lastUse atomic.Int64
+}
+
+// NewWorker returns an empty worker.
+func NewWorker(cfg WorkerConfig) *Worker {
+	wk := &Worker{
+		cfg:   cfg.withDefaults(),
+		met:   server.NewMetrics("bundleworker"),
+		spans: make(map[string]*workerSpan),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/spans/{corpus}", wk.handleAssign)
+	mux.HandleFunc("DELETE /v1/spans/{corpus}", wk.handleDrop)
+	mux.HandleFunc("POST /v1/spans/{corpus}/vector", wk.handleVector)
+	mux.HandleFunc("POST /v1/spans/{corpus}/union", wk.handleUnion)
+	mux.HandleFunc("POST /v1/spans/{corpus}/stats", wk.handleStats)
+	mux.HandleFunc("POST /v1/spans/{corpus}/hist", wk.handleHist)
+	mux.HandleFunc("GET /healthz", wk.handleHealth)
+	mux.HandleFunc("GET /metrics", wk.handleMetrics)
+	wk.mux = mux
+	return wk
+}
+
+// Handler returns the worker's HTTP handler (the bundleworker daemon's
+// serving surface).
+func (wk *Worker) Handler() http.Handler { return wk.mux }
+
+// Assign registers (or replaces) the span for a corpus key, evicting the
+// least-recently-used span when the bound is exceeded.
+func (wk *Worker) Assign(corpus string, doc *wtp.SpanDoc) error {
+	if corpus == "" {
+		return fmt.Errorf("cluster: empty corpus key")
+	}
+	store, err := doc.Store()
+	if err != nil {
+		return err
+	}
+	sp := &workerSpan{corpus: corpus, store: store}
+	sp.lastUse.Store(wk.seq.Add(1))
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	wk.spans[corpus] = sp
+	for len(wk.spans) > wk.cfg.MaxSpans {
+		var victim string
+		oldest := int64(1<<63 - 1)
+		for key, s := range wk.spans {
+			if u := s.lastUse.Load(); u < oldest {
+				oldest, victim = u, key
+			}
+		}
+		delete(wk.spans, victim)
+	}
+	return nil
+}
+
+// Drop removes a corpus's span, reporting whether it existed.
+func (wk *Worker) Drop(corpus string) bool {
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	_, ok := wk.spans[corpus]
+	delete(wk.spans, corpus)
+	return ok
+}
+
+// span resolves a corpus's store, checking the caller's snapshot version.
+// Both a missing span and a version mismatch answer ErrSpan: the coordinator
+// repairs either by re-feeding the current span and retrying, so a stale
+// worker can never contribute stale data.
+func (wk *Worker) span(corpus string, version uint64) (*wtp.SpanStore, error) {
+	wk.mu.RLock()
+	sp, ok := wk.spans[corpus]
+	wk.mu.RUnlock()
+	if !ok {
+		wk.stale.Add(1)
+		return nil, fmt.Errorf("%w: no span for corpus %q", ErrSpan, corpus)
+	}
+	if v := sp.store.Version(); v != version {
+		wk.stale.Add(1)
+		return nil, fmt.Errorf("%w: corpus %q at version %d, caller wants %d", ErrSpan, corpus, v, version)
+	}
+	sp.lastUse.Store(wk.seq.Add(1))
+	return sp.store, nil
+}
+
+// Vector computes the span's share of a bundle's interested-consumer vector.
+func (wk *Worker) Vector(corpus string, req VectorRequest) (VectorResponse, error) {
+	start := time.Now()
+	sp, err := wk.span(corpus, req.Version)
+	if err != nil {
+		return VectorResponse{}, err
+	}
+	ids, vals := sp.BundleVector(req.Items, req.Theta, nil, nil)
+	wk.met.Observe("vector", time.Since(start))
+	return VectorResponse{IDs: ids, Vals: vals}, nil
+}
+
+// Union merges the span-restricted slices of two cached consumer vectors.
+func (wk *Worker) Union(corpus string, req UnionRequest) (VectorResponse, error) {
+	start := time.Now()
+	sp, err := wk.span(corpus, req.Version)
+	if err != nil {
+		return VectorResponse{}, err
+	}
+	ids, vals := sp.UnionVectors(req.AIDs, req.AVals, req.SA, req.BIDs, req.BVals, req.SB, nil, nil)
+	wk.met.Observe("union", time.Since(start))
+	return VectorResponse{IDs: ids, Vals: vals}, nil
+}
+
+// Stats computes the span's pricing pre-aggregate for a bundle.
+func (wk *Worker) Stats(corpus string, req StatsRequest) (StatsResponse, error) {
+	start := time.Now()
+	sp, err := wk.span(corpus, req.Version)
+	if err != nil {
+		return StatsResponse{}, err
+	}
+	resp := spanStats(sp, req.Items, req.Theta)
+	wk.met.Observe("stats", time.Since(start))
+	return resp, nil
+}
+
+// Hist computes the span's pricing-histogram partial for a bundle.
+func (wk *Worker) Hist(corpus string, req HistRequest) (HistResponse, error) {
+	start := time.Now()
+	if req.Levels <= 0 || req.Levels > 1<<20 {
+		return HistResponse{}, fmt.Errorf("cluster: %d price levels out of range", req.Levels)
+	}
+	sp, err := wk.span(corpus, req.Version)
+	if err != nil {
+		return HistResponse{}, err
+	}
+	resp := spanHist(sp, req.Items, req.Theta, req.MaxW, req.Alpha, req.Levels)
+	wk.met.Observe("hist", time.Since(start))
+	return resp, nil
+}
+
+// Health reports the worker's assigned spans, sorted by corpus key.
+func (wk *Worker) Health() WorkerHealth {
+	wk.mu.RLock()
+	defer wk.mu.RUnlock()
+	h := WorkerHealth{Status: "ok", UptimeSeconds: wk.met.Uptime().Seconds()}
+	for _, sp := range wk.spans {
+		s0, s1 := sp.store.StripeRange()
+		lo, hi := sp.store.Bounds()
+		h.Spans = append(h.Spans, SpanInfo{
+			Corpus:      sp.corpus,
+			Version:     sp.store.Version(),
+			StartStripe: s0,
+			EndStripe:   s1,
+			LoConsumer:  lo,
+			HiConsumer:  hi,
+			Items:       sp.store.Items(),
+			Entries:     sp.store.Entries(),
+		})
+	}
+	sort.Slice(h.Spans, func(i, j int) bool { return h.Spans[i].Corpus < h.Spans[j].Corpus })
+	return h
+}
+
+// spanStats is the stats kernel, shared by the worker and the coordinator's
+// local fallback so both sides compute identical aggregates.
+func spanStats(sp *wtp.SpanStore, items []int, theta float64) StatsResponse {
+	_, vals := sp.BundleVector(items, theta, nil, nil)
+	var resp StatsResponse
+	for _, v := range vals {
+		if v > resp.Max {
+			resp.Max = v
+		}
+	}
+	return resp
+}
+
+// spanHist is the histogram kernel, shared like spanStats.
+func spanHist(sp *wtp.SpanStore, items []int, theta, maxW, alpha float64, levels int) HistResponse {
+	_, vals := sp.BundleVector(items, theta, nil, nil)
+	resp := HistResponse{
+		Counts: make([]float64, levels+1),
+		Sums:   make([]float64, levels+1),
+	}
+	pricing.Histogram(vals, alpha, maxW, levels, resp.Counts, resp.Sums)
+	return resp
+}
+
+// --- HTTP surface -----------------------------------------------------------
+
+// writeJSON emits a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// failErr maps an operation error to its HTTP form: ErrSpan → 409 (the
+// coordinator's cue to re-feed), anything else → 400.
+func (wk *Worker) failErr(w http.ResponseWriter, err error) {
+	wk.met.CountError()
+	status := http.StatusBadRequest
+	if errors.Is(err, ErrSpan) {
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// decodeBody strictly decodes a bounded JSON request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (wk *Worker) handleAssign(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req AssignRequest
+	if err := decodeBody(w, r, &req, wk.cfg.MaxAssignBytes); err != nil {
+		wk.failErr(w, fmt.Errorf("decode span: %w", err))
+		return
+	}
+	if req.Span == nil {
+		wk.failErr(w, fmt.Errorf("cluster: assign request carries no span"))
+		return
+	}
+	if err := wk.Assign(r.PathValue("corpus"), req.Span); err != nil {
+		wk.failErr(w, err)
+		return
+	}
+	wk.met.Observe("assign", time.Since(start))
+	// No payload: the coordinator ignores it, and a full health report per
+	// feed would just be discarded bytes (spans are visible on /healthz).
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (wk *Worker) handleDrop(w http.ResponseWriter, r *http.Request) {
+	// Idempotent: dropping an absent span (double release, LRU already
+	// evicted it) is success, not an error.
+	wk.Drop(r.PathValue("corpus"))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (wk *Worker) handleVector(w http.ResponseWriter, r *http.Request) {
+	var req VectorRequest
+	if err := decodeBody(w, r, &req, wk.cfg.MaxRequestBytes); err != nil {
+		wk.failErr(w, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	resp, err := wk.Vector(r.PathValue("corpus"), req)
+	if err != nil {
+		wk.failErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (wk *Worker) handleUnion(w http.ResponseWriter, r *http.Request) {
+	var req UnionRequest
+	if err := decodeBody(w, r, &req, wk.cfg.MaxRequestBytes); err != nil {
+		wk.failErr(w, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	resp, err := wk.Union(r.PathValue("corpus"), req)
+	if err != nil {
+		wk.failErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (wk *Worker) handleStats(w http.ResponseWriter, r *http.Request) {
+	var req StatsRequest
+	if err := decodeBody(w, r, &req, wk.cfg.MaxRequestBytes); err != nil {
+		wk.failErr(w, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	resp, err := wk.Stats(r.PathValue("corpus"), req)
+	if err != nil {
+		wk.failErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (wk *Worker) handleHist(w http.ResponseWriter, r *http.Request) {
+	var req HistRequest
+	if err := decodeBody(w, r, &req, wk.cfg.MaxRequestBytes); err != nil {
+		wk.failErr(w, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	resp, err := wk.Hist(r.PathValue("corpus"), req)
+	if err != nil {
+		wk.failErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (wk *Worker) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, wk.Health())
+}
+
+func (wk *Worker) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	wk.mu.RLock()
+	spans := len(wk.spans)
+	wk.mu.RUnlock()
+	wk.met.Render(w,
+		[]server.GaugeRow{
+			{Name: "bundleworker_spans", Help: "Stripe spans currently assigned.", Value: float64(spans)},
+		},
+		[]server.CounterRow{
+			{Name: "bundleworker_stale_rejections_total", Help: "Requests rejected for a missing or stale span (each triggers a coordinator re-feed).", Value: wk.stale.Load()},
+		})
+}

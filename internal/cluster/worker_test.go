@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bundling"
+	"bundling/internal/wtp"
+)
+
+// spanDocFor shards a matrix and serializes the full stripe range.
+func spanDocFor(w *bundling.Matrix, stripeSize int) *wtp.SpanDoc {
+	sh := w.Shard(stripeSize)
+	return sh.Span(0, sh.Stripes())
+}
+
+// TestWorkerVersionCheck: a missing span and a stale version both answer
+// ErrSpan — the coordinator's re-feed cue — and count as stale rejections.
+func TestWorkerVersionCheck(t *testing.T) {
+	wk := NewWorker(WorkerConfig{})
+	w := testMatrix(t, 64, 6, 7)
+	doc := spanDocFor(w, 16)
+
+	if _, err := wk.Vector("missing", VectorRequest{Version: doc.Version, Items: []int{0}}); err == nil {
+		t.Fatal("missing span accepted")
+	}
+	if err := wk.Assign("c", doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wk.Vector("c", VectorRequest{Version: doc.Version + 1, Items: []int{0}}); err == nil {
+		t.Fatal("stale version accepted")
+	}
+	if _, err := wk.Vector("c", VectorRequest{Version: doc.Version, Items: []int{0}}); err != nil {
+		t.Fatalf("current version rejected: %v", err)
+	}
+	if wk.stale.Load() != 2 {
+		t.Fatalf("stale rejections = %d, want 2", wk.stale.Load())
+	}
+}
+
+// TestWorkerSpanLRU: spans beyond the bound evict the least recently used.
+func TestWorkerSpanLRU(t *testing.T) {
+	wk := NewWorker(WorkerConfig{MaxSpans: 2})
+	w := testMatrix(t, 48, 5, 8)
+	doc := spanDocFor(w, 16)
+	for _, c := range []string{"a", "b"} {
+		if err := wk.Assign(c, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" is the eviction victim.
+	if _, err := wk.Vector("a", VectorRequest{Version: doc.Version, Items: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wk.Assign("c", doc); err != nil {
+		t.Fatal(err)
+	}
+	h := wk.Health()
+	if len(h.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(h.Spans))
+	}
+	for _, sp := range h.Spans {
+		if sp.Corpus == "b" {
+			t.Fatal("LRU victim 'b' still assigned")
+		}
+	}
+}
+
+// TestWorkerHTTPSurface drives the daemon's handler end to end: assign a
+// span over HTTP, read it back from /healthz with its corpus version, get a
+// vector, see a stale request answered 409, and scrape /metrics.
+func TestWorkerHTTPSurface(t *testing.T) {
+	wk := NewWorker(WorkerConfig{})
+	ts := httptest.NewServer(wk.Handler())
+	defer ts.Close()
+	tr := NewHTTP(ts.URL, nil)
+
+	w := testMatrix(t, 80, 6, 9)
+	doc := spanDocFor(w, 16)
+	ctx := t.Context()
+	if err := tr.Assign(ctx, "demo", &AssignRequest{Corpus: "demo", Span: doc}); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := tr.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Spans) != 1 {
+		t.Fatalf("healthz spans = %d, want 1", len(h.Spans))
+	}
+	sp := h.Spans[0]
+	if sp.Corpus != "demo" || sp.Version != doc.Version || sp.StartStripe != 0 || sp.EndStripe != doc.End {
+		t.Fatalf("healthz span = %+v, want demo@%d stripes [0,%d)", sp, doc.Version, doc.End)
+	}
+	if sp.LoConsumer != 0 || sp.HiConsumer != w.Consumers() {
+		t.Fatalf("healthz consumer bounds [%d,%d), want [0,%d)", sp.LoConsumer, sp.HiConsumer, w.Consumers())
+	}
+
+	resp, err := tr.Vector(ctx, "demo", VectorRequest{Version: doc.Version, Items: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := w.Shard(16)
+	wantIDs, wantVals := sh.BundleVector([]int{0, 1}, 0, nil, nil)
+	if len(resp.IDs) != len(wantIDs) {
+		t.Fatalf("vector length %d != %d", len(resp.IDs), len(wantIDs))
+	}
+	for i := range resp.IDs {
+		if resp.IDs[i] != wantIDs[i] || resp.Vals[i] != wantVals[i] {
+			t.Fatalf("vector[%d] = (%d,%g), want (%d,%g)", i, resp.IDs[i], resp.Vals[i], wantIDs[i], wantVals[i])
+		}
+	}
+
+	// Stale version over HTTP must surface as ErrSpan (status 409).
+	_, err = tr.Vector(ctx, "demo", VectorRequest{Version: doc.Version + 9, Items: []int{0}})
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("stale request error = %v", err)
+	}
+	hr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := hr.Body.Read(buf)
+	body := string(buf[:n])
+	for _, want := range []string{"bundleworker_spans 1", "bundleworker_requests_total{op=\"vector\"}", "bundleworker_stale_rejections_total 1"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestClusterOverHTTP: the coordinator over real HTTP transports matches
+// the local solver, and keeps matching (via replica + local fallback) after
+// a worker daemon dies mid-session.
+func TestClusterOverHTTP(t *testing.T) {
+	w := testMatrix(t, 140, 10, 10)
+	wk0, wk1 := NewWorker(WorkerConfig{}), NewWorker(WorkerConfig{})
+	ts0 := httptest.NewServer(wk0.Handler())
+	defer ts0.Close()
+	ts1 := httptest.NewServer(wk1.Handler())
+	defer ts1.Close()
+	transports, err := Transports(ts0.URL+","+ts1.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := bundling.Options{StripeSize: 16}
+	cs, err := NewSolver(w, opts, Config{Workers: transports})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := bundling.NewSolver(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := local.Solve(bundling.Matching())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cs.Solve(bundling.Matching())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameConfig(t, "http", got, want)
+	if st := cs.ClusterStats(); st.LocalFallbacks != 0 || st.RemoteCalls == 0 {
+		t.Fatalf("unexpected traffic stats %+v", st)
+	}
+
+	// Kill worker 0: its span moves to the replica (worker 1); results hold.
+	ts0.Close()
+	wantEval, err := local.Evaluate(evalOffers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEval, err := cs.Evaluate(evalOffers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameConfig(t, "http-degraded", gotEval, wantEval)
+	if st := cs.ClusterStats(); st.ReplicaRetries == 0 && st.LocalFallbacks == 0 {
+		t.Fatalf("dead worker served nothing yet stats show no retries: %+v", st)
+	}
+	if err := Ready(transports, 0)(); err == nil {
+		t.Fatal("ready probe ignored the dead worker")
+	}
+}

@@ -71,6 +71,77 @@ func (s *Solver) Evaluate(offers [][]int) (*Configuration, error) {
 	}
 }
 
+// Aggregator computes distributed pricing aggregates for a bundle: the
+// global maximum bundle WTP and the reduced pricing histogram against it
+// (see pricing.Histogram). A scatter/gather implementation fans each call
+// out to the workers owning the corpus's stripe spans and reduces — max by
+// max, histograms by element-wise addition — so the coordinator prices a
+// bundle from O(T) aggregate state instead of gathering the O(M) consumer
+// vector. Implementations must be infallible: a span whose worker is
+// unreachable is computed from a local replica, never dropped.
+type Aggregator interface {
+	// BundleMax returns the maximum Eq. 1 bundle WTP over all consumers
+	// (0 when no consumer is interested).
+	BundleMax(items []int, theta float64) float64
+	// BundleHistogram accumulates the bundle's pricing histogram against the
+	// global maximum maxW into counts and sums (each of length levels+1,
+	// zeroed by the caller), exactly as pricing.Histogram does per span.
+	BundleHistogram(items []int, theta float64, maxW float64, counts, sums []float64)
+}
+
+// EvaluateAggregated prices a pure-bundling offer family from reduced
+// pricing histograms instead of gathered consumer vectors — the
+// scatter/gather evaluate path of a distributed solver, where each offer
+// costs two aggregate rounds (max, histogram) of O(T) response data per
+// span rather than shipping every interested consumer. Results match
+// Evaluate within float re-association (the histogram sums reduce in a
+// different order); bundle prices and revenues under the paper's default
+// deterministic model and objective are identical.
+//
+// The mixed strategy carries per-consumer market state between offers and
+// cannot be priced from histograms; mixed evaluates (and the exact-sigmoid
+// ablation, which needs raw per-consumer values) must go through Evaluate.
+func (s *Solver) EvaluateAggregated(offers [][]int, agg Aggregator) (*Configuration, error) {
+	if s.params.Strategy != Pure {
+		return nil, fmt.Errorf("config: aggregated evaluation supports pure bundling only")
+	}
+	if s.params.ExactSigmoid && !s.params.Model.Deterministic() {
+		return nil, fmt.Errorf("config: aggregated evaluation cannot price under the exact-sigmoid ablation")
+	}
+	e := s.newEngine()
+	defer e.release()
+	start := time.Now()
+	sets, err := normalizeOffers(s.w.Items(), offers)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkStructure(sets, Pure); err != nil {
+		return nil, err
+	}
+	cfg := &Configuration{Strategy: Pure, Iterations: 1}
+	T := s.pr.Levels()
+	counts := make([]float64, T+1)
+	sums := make([]float64, T+1)
+	for _, items := range sets {
+		theta := thetaFor(e.params.Theta, len(items))
+		var uq pricing.UtilityQuote
+		if maxW := agg.BundleMax(items, theta); maxW > 0 {
+			for i := range counts {
+				counts[i], sums[i] = 0, 0
+			}
+			agg.BundleHistogram(items, theta, maxW, counts, sums)
+			uq = s.pr.PriceUtilityFromHistogram(counts, sums, maxW, e.objective(items))
+		}
+		cfg.Bundles = append(cfg.Bundles, Bundle{Items: items, Price: uq.Price, Revenue: uq.Revenue})
+		cfg.Revenue += uq.Revenue
+		cfg.Profit += uq.Profit
+		cfg.Surplus += uq.Surplus
+		cfg.Utility += uq.Utility
+	}
+	cfg.Trace = []IterationStat{{Iteration: 1, Revenue: cfg.Revenue, Elapsed: time.Since(start), Bundles: len(cfg.Bundles)}}
+	return cfg, nil
+}
+
 // evaluateMixed prices a laminar offer family bottom-up.
 func (e *engine) evaluateMixed(sets [][]int, start time.Time) (*Configuration, error) {
 	// Ascending size; ties by first item keep the order deterministic.

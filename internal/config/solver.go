@@ -24,6 +24,7 @@ import (
 type Solver struct {
 	w      *wtp.Matrix
 	sh     *wtp.Shard
+	exec   StripeExecutor
 	params Params
 	pr     *pricing.Pricer
 	k      int
@@ -40,11 +41,38 @@ type Solver struct {
 	txs     [][]int
 }
 
+// StripeExecutor computes the striped consumer-axis reductions every
+// algorithm's vector construction runs on. The local *wtp.Shard is the
+// default executor (Shard.ForEachStripe being its single-machine farming
+// form); a distributed solver plugs in a scatter/gather executor that ships
+// each stripe span's share of the work to the remote worker owning it and
+// concatenates the per-span results in stripe order. Implementations must be
+// equivalent to the shard reductions (within float re-association) and safe
+// for concurrent use — parallel candidate evaluation calls them from many
+// goroutines.
+type StripeExecutor interface {
+	// BundleVector builds a bundle's interested-consumer vector (Eq. 1),
+	// appending into the dst slices; see wtp.Shard.BundleVector.
+	BundleVector(items []int, theta float64, dstIDs []int, dstVals []float64) ([]int, []float64)
+	// UnionVectors derives a merged bundle's vector from two cached parent
+	// vectors; see wtp.Shard.UnionVectors.
+	UnionVectors(aIDs []int, aVals []float64, sa float64, bIDs []int, bVals []float64, sb float64, dstIDs []int, dstVals []float64) ([]int, []float64)
+}
+
 // NewSolver validates params, indexes the matrix (striped shard + priced
 // singletons) and returns a session ready for concurrent solves. The matrix
 // must not be mutated while the Solver is in use; the shard layer turns
 // violations into a panic rather than stale results.
 func NewSolver(w *wtp.Matrix, params Params) (*Solver, error) {
+	return NewSolverOn(w, params, nil)
+}
+
+// NewSolverOn is NewSolver with a pluggable stripe executor: the session's
+// vector construction — singleton indexing, candidate-merge unions,
+// evaluate-path bundle vectors — runs on exec instead of the local shard.
+// A nil exec selects the shard, making NewSolverOn(w, p, nil) identical to
+// NewSolver(w, p).
+func NewSolverOn(w *wtp.Matrix, params Params, exec StripeExecutor) (*Solver, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -58,9 +86,13 @@ func NewSolver(w *wtp.Matrix, params Params) (*Solver, error) {
 	s := &Solver{
 		w:      w,
 		sh:     w.Shard(params.StripeSize),
+		exec:   exec,
 		params: params,
 		pr:     pr,
 		k:      params.maxSize(),
+	}
+	if s.exec == nil {
+		s.exec = s.sh
 	}
 	e := s.newEngine()
 	defer e.release()
@@ -89,6 +121,30 @@ type SolverStats struct {
 	StripeSize int     // consumers per stripe
 	Version    uint64  // matrix version the index snapshotted
 	TotalWTP   float64 // aggregate WTP (upper bound of any revenue)
+}
+
+// Spans cuts the session's striped index into at most n contiguous,
+// balanced stripe-span documents — the work units a distributed coordinator
+// ships to its workers. Reading the session's own shard (rather than
+// re-sharding the matrix) keeps span extraction free of a second O(entries)
+// index build.
+func (s *Solver) Spans(n int) []*wtp.SpanDoc {
+	stripes := s.sh.Stripes()
+	if n > stripes {
+		n = stripes
+	}
+	if n < 1 {
+		n = 1
+	}
+	out := make([]*wtp.SpanDoc, 0, n)
+	for i := 0; i < n; i++ {
+		s0 := i * stripes / n
+		s1 := (i + 1) * stripes / n
+		if s1 > s0 {
+			out = append(out, s.sh.Span(s0, s1))
+		}
+	}
+	return out
 }
 
 // Stats returns the session's corpus and index statistics. The Version field
@@ -146,6 +202,7 @@ type engine struct {
 	s      *Solver
 	w      *wtp.Matrix
 	sh     *wtp.Shard
+	exec   StripeExecutor
 	params Params
 	pr     *pricing.Pricer
 	ctx    *workerCtx // the run's serial-path context
@@ -165,6 +222,7 @@ func (s *Solver) newEngine() *engine {
 		s:           s,
 		w:           s.w,
 		sh:          s.sh,
+		exec:        s.exec,
 		params:      s.params,
 		pr:          s.pr,
 		ctx:         s.getCtx(),
@@ -193,12 +251,13 @@ func (e *engine) workerPool(n int) []*workerCtx {
 }
 
 // bundleVector builds a bundle's interested-consumer vector. The fast path
-// reduces over the shard's columnar stripes; the reference path rescans the
-// flat postings (the seed implementation the equivalence tests diff
-// against).
+// reduces over the session's stripe executor — the local shard's columnar
+// stripes by default, a remote worker fleet under a distributed solver; the
+// reference path rescans the flat postings (the seed implementation the
+// equivalence tests diff against).
 func (e *engine) bundleVector(items []int, theta float64, dstIDs []int, dstVals []float64) ([]int, []float64) {
 	if e.incremental {
-		return e.sh.BundleVector(items, theta, dstIDs, dstVals)
+		return e.exec.BundleVector(items, theta, dstIDs, dstVals)
 	}
 	return e.w.BundleVector(items, theta, dstIDs, dstVals)
 }
@@ -249,10 +308,20 @@ func (e *engine) buildSingletons() []*node {
 }
 
 // buildSingleton prices item i as a one-item node in the given context.
+// Singletons always build from the local shard, never the stripe executor:
+// the session build runs on the node that holds the matrix anyway, a remote
+// fan-out would only add one round-trip per item for identical values, and
+// a distributed executor may not be fully wired until the session exists
+// (the cluster coordinator cuts its worker spans from this session's
+// shard).
 func (e *engine) buildSingleton(ctx *workerCtx, i int) *node {
 	n := &node{items: []int{i}, fresh: true}
 	// θ never applies to a single item: Eq. 1 degenerates to the raw WTP.
-	n.ids, n.vals = e.bundleVector(n.items, 0, nil, nil)
+	if e.incremental {
+		n.ids, n.vals = e.sh.BundleVector(n.items, 0, nil, nil)
+	} else {
+		n.ids, n.vals = e.w.BundleVector(n.items, 0, nil, nil)
+	}
 	obj := e.objective(n.items)
 	n.uq = e.pr.PriceUtilityIn(ctx.psc, n.vals, obj)
 	n.quote = n.uq.Quote

@@ -1,0 +1,95 @@
+package pricing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bundling/internal/adoption"
+)
+
+// TestHistogramReduceEquivalence: pricing from histograms reduced over an
+// arbitrary partition of the consumer vector must match PriceUtility on the
+// whole vector — exactly under the deterministic model, within 1e-9 under
+// the bucketed sigmoid (the sums re-associate).
+func TestHistogramReduceEquivalence(t *testing.T) {
+	models := map[string]adoption.Model{
+		"step": adoption.Default(),
+	}
+	if m, err := adoption.New(2, 1.2, adoption.DefaultEpsilon); err == nil {
+		models["sigmoid"] = m
+	}
+	objs := map[string]Objective{
+		"revenue": RevenueObjective(),
+		"welfare": {ProfitWeight: 0.6, UnitCost: 0.4},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for mname, model := range models {
+		p, err := New(model, DefaultLevels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for oname, obj := range objs {
+			for trial := 0; trial < 40; trial++ {
+				m := 1 + rng.Intn(400)
+				wtps := make([]float64, m)
+				for i := range wtps {
+					wtps[i] = rng.Float64() * 40
+				}
+				want := p.PriceUtility(wtps, obj)
+
+				// Global max, then per-part histograms reduced by addition.
+				var maxW float64
+				for _, w := range wtps {
+					if w > maxW {
+						maxW = w
+					}
+				}
+				parts := 1 + rng.Intn(5)
+				counts := make([]float64, p.Levels()+1)
+				sums := make([]float64, p.Levels()+1)
+				pc := make([]float64, p.Levels()+1)
+				ps := make([]float64, p.Levels()+1)
+				for k := 0; k < parts; k++ {
+					lo := k * m / parts
+					hi := (k + 1) * m / parts
+					for i := range pc {
+						pc[i], ps[i] = 0, 0
+					}
+					Histogram(wtps[lo:hi], model.Alpha(), maxW, p.Levels(), pc, ps)
+					for i := range counts {
+						counts[i] += pc[i]
+						sums[i] += ps[i]
+					}
+				}
+				got := p.PriceUtilityFromHistogram(counts, sums, maxW, obj)
+				if got.Price != want.Price {
+					t.Fatalf("%s/%s trial %d: price %g != %g", mname, oname, trial, got.Price, want.Price)
+				}
+				for _, d := range []struct {
+					name string
+					g, w float64
+				}{
+					{"revenue", got.Revenue, want.Revenue},
+					{"profit", got.Profit, want.Profit},
+					{"surplus", got.Surplus, want.Surplus},
+					{"utility", got.Utility, want.Utility},
+					{"adopters", got.Adopters, want.Adopters},
+				} {
+					if math.Abs(d.g-d.w) > 1e-9*(1+math.Abs(d.w)) {
+						t.Fatalf("%s/%s trial %d: %s %g != %g", mname, oname, trial, d.name, d.g, d.w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHistogramZeroMax: a bundle nobody wants prices to the zero quote on
+// both paths.
+func TestHistogramZeroMax(t *testing.T) {
+	p := Default()
+	if q := p.PriceUtilityFromHistogram(make([]float64, p.Levels()+1), make([]float64, p.Levels()+1), 0, RevenueObjective()); q != (UtilityQuote{}) {
+		t.Fatalf("zero-max quote = %+v, want zero", q)
+	}
+}

@@ -58,39 +58,11 @@ func (p *Pricer) PriceUtilityIn(sc *Scratch, wtps []float64, obj Objective) Util
 	}
 	T := p.levels
 	alpha := p.model.Alpha()
-	counts := sc.fcounts[:T+1]
-	sums := sc.fsums[:T+1]
-	for i := range counts {
-		counts[i] = 0
-		sums[i] = 0
-	}
-	for _, w := range wtps {
-		idx := int(alpha*w/(alpha*maxW)*float64(T) + bucketSlack)
-		if idx > T {
-			idx = T
-		}
-		counts[idx]++
-		sums[idx] += alpha * w
-	}
-	best := UtilityQuote{}
-	found := false
-	if p.model.Deterministic() {
-		var n, sw float64
-		for t := T; t >= 1; t-- {
-			n += counts[t]
-			sw += sums[t]
-			price := alpha * maxW * float64(t) / float64(T)
-			q := evalUtility(price, n, sw, obj)
-			if !found || q.Utility > best.Utility {
-				best = q
-				found = true
-			}
-		}
-		return best
-	}
-	if p.exact {
+	if p.exact && !p.model.Deterministic() {
 		// Exact O(m·T) evaluation of expected adopters and adopter WTP
 		// mass at each level.
+		best := UtilityQuote{}
+		found := false
 		for t := 1; t <= T; t++ {
 			price := alpha * maxW * float64(t) / float64(T)
 			var n, sw float64
@@ -107,33 +79,14 @@ func (p *Pricer) PriceUtilityIn(sc *Scratch, wtps []float64, obj Objective) Util
 		}
 		return best
 	}
-	// Stochastic model: expected adopters and expected adopter WTP mass at
-	// each price level, via bucket midpoints.
-	mids := sc.mids[:T+1]
-	for t := 0; t <= T; t++ {
-		mids[t] = (float64(t) + 0.5) * maxW / float64(T)
-		if mids[t] > maxW {
-			mids[t] = maxW
-		}
+	counts := sc.fcounts[:T+1]
+	sums := sc.fsums[:T+1]
+	for i := range counts {
+		counts[i] = 0
+		sums[i] = 0
 	}
-	for t := 1; t <= T; t++ {
-		price := alpha * maxW * float64(t) / float64(T)
-		var n, sw float64
-		for s := 0; s <= T; s++ {
-			if counts[s] == 0 {
-				continue
-			}
-			prob := p.model.Probability(price, mids[s])
-			n += counts[s] * prob
-			sw += sums[s] * prob
-		}
-		q := evalUtility(price, n, sw, obj)
-		if !found || q.Utility > best.Utility {
-			best = q
-			found = true
-		}
-	}
-	return best
+	Histogram(wtps, alpha, maxW, T, counts, sums)
+	return p.priceHistogram(sc, counts, sums, maxW, obj)
 }
 
 // evalUtility assembles a UtilityQuote at one price level given the number

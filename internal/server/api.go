@@ -183,11 +183,13 @@ type EvaluateResponse struct {
 	Config    ConfigDoc `json:"config"`
 }
 
-// HealthResponse is the GET /healthz payload.
+// HealthResponse is the GET /healthz payload. Status is "ok" (200) or
+// "degraded" (503, Detail naming the unreachable dependency).
 type HealthResponse struct {
 	Status        string  `json:"status"`
 	Sessions      int     `json:"sessions"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	Detail        string  `json:"detail,omitempty"`
 }
 
 // ErrorResponse carries any non-2xx outcome.

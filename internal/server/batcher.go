@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bundling"
 )
@@ -19,6 +20,11 @@ import (
 type batcher struct {
 	eval    func(offers [][]int) (*bundling.Configuration, error)
 	workers int // concurrent evaluations per pass
+	// window is the gather delay before a drain takes its batch: 0 drains
+	// immediately (pure group commit), a positive window holds the drain
+	// back so more concurrent requests join the pass — larger batches and
+	// more coalescing at the cost of that much added latency.
+	window time.Duration
 	// onBatch, if set, observes each processed pass: how many requests it
 	// drained and how many distinct evaluations they collapsed into.
 	onBatch func(size, unique int)
@@ -42,12 +48,16 @@ type evalResult struct {
 	batched bool // rode along on another request's execution
 }
 
-// newBatcher wires a batcher over an evaluation function.
-func newBatcher(workers int, eval func([][]int) (*bundling.Configuration, error)) *batcher {
+// newBatcher wires a batcher over an evaluation function. window ≤ 0 drains
+// immediately.
+func newBatcher(workers int, window time.Duration, eval func([][]int) (*bundling.Configuration, error)) *batcher {
 	if workers < 1 {
 		workers = 1
 	}
-	return &batcher{eval: eval, workers: workers}
+	if window < 0 {
+		window = 0
+	}
+	return &batcher{eval: eval, workers: workers, window: window}
 }
 
 // do submits an evaluate request and blocks for its result. key must be a
@@ -67,6 +77,8 @@ func (b *batcher) do(key string, offers [][]int) (*bundling.Configuration, bool,
 
 // drain processes batches until the queue is empty, then exits; the next
 // submission starts a fresh drainer. At most one drainer runs per batcher.
+// With a positive gather window the drainer sleeps it off before taking
+// each batch, so requests arriving within the window ride the same pass.
 func (b *batcher) drain() {
 	for {
 		b.mu.Lock()
@@ -75,6 +87,11 @@ func (b *batcher) drain() {
 			b.mu.Unlock()
 			return
 		}
+		b.mu.Unlock()
+		if b.window > 0 {
+			time.Sleep(b.window)
+		}
+		b.mu.Lock()
 		batch := b.pending
 		b.pending = nil
 		b.mu.Unlock()

@@ -19,7 +19,7 @@ func TestBatcherCoalesces(t *testing.T) {
 	var executions atomic.Int64
 	firstRunning := make(chan struct{})
 	release := make(chan struct{})
-	b := newBatcher(2, func(offers [][]int) (*bundling.Configuration, error) {
+	b := newBatcher(2, 0, func(offers [][]int) (*bundling.Configuration, error) {
 		n := executions.Add(1)
 		if n == 1 {
 			close(firstRunning)
@@ -106,7 +106,7 @@ func TestBatcherCoalesces(t *testing.T) {
 // TestBatcherDistinctKeys checks distinct concurrent requests all execute
 // and return their own results.
 func TestBatcherDistinctKeys(t *testing.T) {
-	b := newBatcher(4, func(offers [][]int) (*bundling.Configuration, error) {
+	b := newBatcher(4, 0, func(offers [][]int) (*bundling.Configuration, error) {
 		return &bundling.Configuration{Revenue: float64(offers[0][0])}, nil
 	})
 	var wg sync.WaitGroup
@@ -131,7 +131,7 @@ func TestBatcherDistinctKeys(t *testing.T) {
 // the drainer goroutine outside net/http's per-request recovery, so an
 // engine panic must surface as that request's error, not kill the process.
 func TestBatcherRecoversPanic(t *testing.T) {
-	b := newBatcher(1, func(offers [][]int) (*bundling.Configuration, error) {
+	b := newBatcher(1, 0, func(offers [][]int) (*bundling.Configuration, error) {
 		panic("shard is stale")
 	})
 	_, _, err := b.do("k", [][]int{{0}})
@@ -150,7 +150,7 @@ func TestBatcherRecoversPanic(t *testing.T) {
 
 // TestBatcherError propagates evaluation errors to every coalesced waiter.
 func TestBatcherError(t *testing.T) {
-	b := newBatcher(1, func(offers [][]int) (*bundling.Configuration, error) {
+	b := newBatcher(1, 0, func(offers [][]int) (*bundling.Configuration, error) {
 		return nil, fmt.Errorf("boom")
 	})
 	if _, _, err := b.do("k", [][]int{{0}}); err == nil || err.Error() != "boom" {

@@ -34,13 +34,118 @@ func (h *histogram) observe(d time.Duration) {
 	h.total.Add(1)
 }
 
-// metrics aggregates the server's operational counters. All fields are
-// atomics; rendering takes a consistent-enough snapshot for monitoring.
-type metrics struct {
-	start time.Time
+// Metrics is the reusable operational-metrics core shared by the bundled
+// server and the bundleworker daemon: uptime, per-operation request
+// counters and latency histograms, and an error counter, rendered in the
+// Prometheus text exposition under the given name prefix. All state is
+// atomic; one Metrics serves any number of goroutines.
+type Metrics struct {
+	prefix string
+	start  time.Time
 
 	requests sync.Map // op string → *atomic.Int64
 	errors   atomic.Int64
+
+	latency sync.Map // op string → *histogram
+}
+
+// NewMetrics returns a metrics core whose exposition names start with
+// prefix (e.g. "bundled" → bundled_requests_total).
+func NewMetrics(prefix string) *Metrics {
+	return &Metrics{prefix: prefix, start: time.Now()}
+}
+
+// Uptime returns the time since the core was created.
+func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
+
+// opCounter returns the request counter for op, creating it on first use.
+func (m *Metrics) opCounter(op string) *atomic.Int64 {
+	if c, ok := m.requests.Load(op); ok {
+		return c.(*atomic.Int64)
+	}
+	c, _ := m.requests.LoadOrStore(op, new(atomic.Int64))
+	return c.(*atomic.Int64)
+}
+
+// Observe records one completed request of the given op.
+func (m *Metrics) Observe(op string, d time.Duration) {
+	m.opCounter(op).Add(1)
+	h, ok := m.latency.Load(op)
+	if !ok {
+		h, _ = m.latency.LoadOrStore(op, newHistogram())
+	}
+	h.(*histogram).observe(d)
+}
+
+// CountError records one request that ended in an error response.
+func (m *Metrics) CountError() { m.errors.Add(1) }
+
+// GaugeRow and CounterRow are the extra exposition rows an embedding server
+// contributes to Render (session gauges, cache counters, …). Names must
+// carry the server's own prefix.
+type (
+	GaugeRow struct {
+		Name, Help string
+		Value      float64
+	}
+	CounterRow struct {
+		Name, Help string
+		Value      int64
+	}
+)
+
+// Render writes the Prometheus text exposition: uptime, the extra gauges,
+// per-op request counters, the error counter, the extra counters, and the
+// per-op latency histograms.
+func (m *Metrics) Render(w io.Writer, gauges []GaugeRow, counters []CounterRow) {
+	fmt.Fprintf(w, "# HELP %s_uptime_seconds Seconds since the server started.\n", m.prefix)
+	fmt.Fprintf(w, "# TYPE %s_uptime_seconds gauge\n", m.prefix)
+	fmt.Fprintf(w, "%s_uptime_seconds %g\n", m.prefix, m.Uptime().Seconds())
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.Name, g.Help, g.Name, g.Name, g.Value)
+	}
+
+	fmt.Fprintf(w, "# HELP %s_requests_total Completed requests by operation.\n", m.prefix)
+	fmt.Fprintf(w, "# TYPE %s_requests_total counter\n", m.prefix)
+	for _, op := range m.ops(&m.requests) {
+		c, _ := m.requests.Load(op)
+		fmt.Fprintf(w, "%s_requests_total{op=%q} %d\n", m.prefix, op, c.(*atomic.Int64).Load())
+	}
+	all := append([]CounterRow{
+		{m.prefix + "_errors_total", "Requests that ended in an error response.", m.errors.Load()},
+	}, counters...)
+	for _, c := range all {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.Name, c.Help, c.Name, c.Name, c.Value)
+	}
+
+	fmt.Fprintf(w, "# HELP %s_request_duration_seconds Request latency by operation.\n", m.prefix)
+	fmt.Fprintf(w, "# TYPE %s_request_duration_seconds histogram\n", m.prefix)
+	for _, op := range m.ops(&m.latency) {
+		hv, _ := m.latency.Load(op)
+		h := hv.(*histogram)
+		var cum int64
+		for i, le := range latencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_request_duration_seconds_bucket{op=%q,le=%q} %d\n", m.prefix, op, trimFloat(le), cum)
+		}
+		cum += h.counts[len(latencyBuckets)].Load()
+		fmt.Fprintf(w, "%s_request_duration_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", m.prefix, op, cum)
+		fmt.Fprintf(w, "%s_request_duration_seconds_sum{op=%q} %g\n", m.prefix, op, time.Duration(h.sumNano.Load()).Seconds())
+		fmt.Fprintf(w, "%s_request_duration_seconds_count{op=%q} %d\n", m.prefix, op, h.total.Load())
+	}
+}
+
+// ops returns a sync.Map's string keys sorted, for stable rendering.
+func (m *Metrics) ops(sm *sync.Map) []string {
+	var out []string
+	sm.Range(func(k, _ any) bool { out = append(out, k.(string)); return true })
+	sort.Strings(out)
+	return out
+}
+
+// metrics wraps the shared core with the bundled server's own counters.
+type metrics struct {
+	*Metrics
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
@@ -51,89 +156,26 @@ type metrics struct {
 
 	uploads   atomic.Int64
 	evictions atomic.Int64
-
-	latency sync.Map // op string → *histogram
 }
 
-func newMetrics() *metrics { return &metrics{start: time.Now()} }
+func newMetrics() *metrics { return &metrics{Metrics: NewMetrics("bundled")} }
 
-// opCounter returns the request counter for op, creating it on first use.
-func (m *metrics) opCounter(op string) *atomic.Int64 {
-	if c, ok := m.requests.Load(op); ok {
-		return c.(*atomic.Int64)
-	}
-	c, _ := m.requests.LoadOrStore(op, new(atomic.Int64))
-	return c.(*atomic.Int64)
-}
-
-// observe records one completed request of the given op.
-func (m *metrics) observe(op string, d time.Duration) {
-	m.opCounter(op).Add(1)
-	h, ok := m.latency.Load(op)
-	if !ok {
-		h, _ = m.latency.LoadOrStore(op, newHistogram())
-	}
-	h.(*histogram).observe(d)
-}
-
-// render writes the Prometheus text exposition of every metric.
+// render writes the server's full exposition through the shared core.
 func (m *metrics) render(w io.Writer, sessions, cacheEntries int) {
-	fmt.Fprintf(w, "# HELP bundled_uptime_seconds Seconds since the server started.\n")
-	fmt.Fprintf(w, "# TYPE bundled_uptime_seconds gauge\n")
-	fmt.Fprintf(w, "bundled_uptime_seconds %g\n", time.Since(m.start).Seconds())
-	fmt.Fprintf(w, "# HELP bundled_sessions Live corpus sessions in the registry.\n")
-	fmt.Fprintf(w, "# TYPE bundled_sessions gauge\n")
-	fmt.Fprintf(w, "bundled_sessions %d\n", sessions)
-	fmt.Fprintf(w, "# HELP bundled_result_cache_entries Entries in the result cache.\n")
-	fmt.Fprintf(w, "# TYPE bundled_result_cache_entries gauge\n")
-	fmt.Fprintf(w, "bundled_result_cache_entries %d\n", cacheEntries)
-
-	fmt.Fprintf(w, "# HELP bundled_requests_total Completed requests by operation.\n")
-	fmt.Fprintf(w, "# TYPE bundled_requests_total counter\n")
-	for _, op := range m.ops(&m.requests) {
-		c, _ := m.requests.Load(op)
-		fmt.Fprintf(w, "bundled_requests_total{op=%q} %d\n", op, c.(*atomic.Int64).Load())
-	}
-	simple := []struct {
-		name, help string
-		v          *atomic.Int64
-	}{
-		{"bundled_errors_total", "Requests that ended in an error response.", &m.errors},
-		{"bundled_cache_hits_total", "Result-cache hits.", &m.cacheHits},
-		{"bundled_cache_misses_total", "Result-cache misses.", &m.cacheMisses},
-		{"bundled_batches_total", "Micro-batch passes processed.", &m.batches},
-		{"bundled_batched_requests_total", "Evaluate requests drained through micro-batches.", &m.batchedRequests},
-		{"bundled_coalesced_requests_total", "Evaluate requests that shared an identical concurrent request's execution.", &m.coalescedInBatch},
-		{"bundled_uploads_total", "Corpus uploads (session creations and replacements).", &m.uploads},
-		{"bundled_session_evictions_total", "Sessions evicted by the registry's LRU bound.", &m.evictions},
-	}
-	for _, s := range simple {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", s.name, s.help, s.name, s.name, s.v.Load())
-	}
-
-	fmt.Fprintf(w, "# HELP bundled_request_duration_seconds Request latency by operation.\n")
-	fmt.Fprintf(w, "# TYPE bundled_request_duration_seconds histogram\n")
-	for _, op := range m.ops(&m.latency) {
-		hv, _ := m.latency.Load(op)
-		h := hv.(*histogram)
-		var cum int64
-		for i, le := range latencyBuckets {
-			cum += h.counts[i].Load()
-			fmt.Fprintf(w, "bundled_request_duration_seconds_bucket{op=%q,le=%q} %d\n", op, trimFloat(le), cum)
-		}
-		cum += h.counts[len(latencyBuckets)].Load()
-		fmt.Fprintf(w, "bundled_request_duration_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", op, cum)
-		fmt.Fprintf(w, "bundled_request_duration_seconds_sum{op=%q} %g\n", op, time.Duration(h.sumNano.Load()).Seconds())
-		fmt.Fprintf(w, "bundled_request_duration_seconds_count{op=%q} %d\n", op, h.total.Load())
-	}
-}
-
-// ops returns a sync.Map's string keys sorted, for stable rendering.
-func (m *metrics) ops(sm *sync.Map) []string {
-	var out []string
-	sm.Range(func(k, _ any) bool { out = append(out, k.(string)); return true })
-	sort.Strings(out)
-	return out
+	m.Render(w,
+		[]GaugeRow{
+			{"bundled_sessions", "Live corpus sessions in the registry.", float64(sessions)},
+			{"bundled_result_cache_entries", "Entries in the result cache.", float64(cacheEntries)},
+		},
+		[]CounterRow{
+			{"bundled_cache_hits_total", "Result-cache hits.", m.cacheHits.Load()},
+			{"bundled_cache_misses_total", "Result-cache misses.", m.cacheMisses.Load()},
+			{"bundled_batches_total", "Micro-batch passes processed.", m.batches.Load()},
+			{"bundled_batched_requests_total", "Evaluate requests drained through micro-batches.", m.batchedRequests.Load()},
+			{"bundled_coalesced_requests_total", "Evaluate requests that shared an identical concurrent request's execution.", m.coalescedInBatch.Load()},
+			{"bundled_uploads_total", "Corpus uploads (session creations and replacements).", m.uploads.Load()},
+			{"bundled_session_evictions_total", "Sessions evicted by the registry's LRU bound.", m.evictions.Load()},
+		})
 }
 
 // trimFloat renders a bucket bound the way Prometheus clients do.

@@ -17,8 +17,8 @@ import (
 // number of handler goroutines may share one.
 type session struct {
 	id        string
-	version   int // registry upload generation for this ID
-	solver    *bundling.Solver
+	version   int    // registry upload generation for this ID
+	solver    Solver // local bundling.Solver or the cluster coordinator
 	opts      bundling.Options
 	stats     bundling.SolverStats
 	createdAt time.Time
@@ -90,14 +90,17 @@ func (r *registry) nextID() string {
 }
 
 // put registers (or replaces) a session under sess.id, assigns its upload
-// generation, and returns the sessions evicted to stay within the bound.
-func (r *registry) put(sess *session) (evicted []*session) {
+// generation, and returns the session it replaced (nil if the ID was new)
+// plus the sessions evicted to stay within the bound. The caller releases
+// replaced and evicted sessions' engines.
+func (r *registry) put(sess *session) (replaced *session, evicted []*session) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.versions[sess.id]++
 	sess.version = r.versions[sess.id]
 	if old, ok := r.sessions[sess.id]; ok {
 		r.lru.Remove(old.elem)
+		replaced = old
 	}
 	sess.elem = r.lru.PushFront(sess)
 	r.sessions[sess.id] = sess
@@ -108,7 +111,7 @@ func (r *registry) put(sess *session) (evicted []*session) {
 		delete(r.sessions, victim.id)
 		evicted = append(evicted, victim)
 	}
-	return evicted
+	return replaced, evicted
 }
 
 // get returns the session for id, refreshing its LRU recency.
@@ -123,17 +126,18 @@ func (r *registry) get(id string) (*session, bool) {
 	return sess, true
 }
 
-// delete removes the session for id, reporting whether it existed.
-func (r *registry) delete(id string) bool {
+// delete removes and returns the session for id (nil if absent); the
+// caller releases its engine.
+func (r *registry) delete(id string) *session {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	sess, ok := r.sessions[id]
 	if !ok {
-		return false
+		return nil
 	}
 	r.lru.Remove(sess.elem)
 	delete(r.sessions, id)
-	return true
+	return sess
 }
 
 // list snapshots every live session's info, sorted by ID.
@@ -155,10 +159,16 @@ func (r *registry) len() int {
 	return len(r.sessions)
 }
 
-// clear drops every session (graceful shutdown).
-func (r *registry) clear() {
+// clear drops and returns every session (graceful shutdown); the caller
+// releases their engines.
+func (r *registry) clear() []*session {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	out := make([]*session, 0, len(r.sessions))
+	for _, sess := range r.sessions {
+		out = append(out, sess)
+	}
 	r.sessions = make(map[string]*session)
 	r.lru.Init()
+	return out
 }

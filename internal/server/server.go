@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -26,6 +27,18 @@ import (
 
 	"bundling"
 )
+
+// Solver is the session-engine surface the server serves: Solve runs a
+// configuration algorithm, Evaluate prices a what-if lineup, Stats
+// describes the indexed corpus (its Version keys the result cache). The
+// local *bundling.Solver implements it, and so does the cluster
+// coordinator, which is how one daemon serves either a single machine or a
+// worker fleet transparently.
+type Solver interface {
+	Solve(a bundling.Algorithm) (*bundling.Configuration, error)
+	Evaluate(offers [][]int) (*bundling.Configuration, error)
+	Stats() bundling.SolverStats
+}
 
 // Config tunes a Server. The zero value serves with sensible defaults.
 type Config struct {
@@ -38,11 +51,30 @@ type Config struct {
 	MaxUploadBytes int64
 	// BatchWorkers caps concurrent evaluations per micro-batch pass (0 = 4).
 	BatchWorkers int
+	// BatchWindow is the gather window of the evaluate micro-batcher: how
+	// long a drained batch waits for stragglers before executing. 0 drains
+	// immediately (group commit adapts batch size to load); a positive
+	// window trades that much latency for larger batches — more coalescing
+	// and fewer engine passes under bursty identical traffic.
+	BatchWindow time.Duration
+	// NewSolver builds the session engine for an uploaded corpus. Nil
+	// selects the local in-process solver (bundling.NewSolver); the
+	// cmd/bundled -workers flag installs the cluster coordinator here.
+	NewSolver func(w *bundling.Matrix, opts bundling.Options) (Solver, error)
+	// Ready, if set, gates /healthz on external dependencies: a non-nil
+	// error degrades the health response to 503 with the error as detail
+	// (e.g. a required cluster worker being unreachable).
+	Ready func() error
 }
 
 func (c Config) withDefaults() Config {
 	if c.MaxSessions == 0 {
 		c.MaxSessions = 64
+	}
+	if c.NewSolver == nil {
+		c.NewSolver = func(w *bundling.Matrix, opts bundling.Options) (Solver, error) {
+			return bundling.NewSolver(w, opts)
+		}
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 1024
@@ -91,10 +123,15 @@ func New(cfg Config) *Server {
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close releases every session. In-flight requests holding a session keep
+// Close releases every session (including any remote state a cluster
+// engine holds on its workers). In-flight requests holding a session keep
 // working (sessions are immutable); new requests see an empty registry.
 // The HTTP listener's drain is the caller's job (http.Server.Shutdown).
-func (s *Server) Close() { s.reg.clear() }
+func (s *Server) Close() {
+	for _, sess := range s.reg.clear() {
+		releaseSession(sess)
+	}
+}
 
 // Sessions returns the live session count (used by health and tests).
 func (s *Server) Sessions() int { return s.reg.len() }
@@ -110,7 +147,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // fail emits an error response and counts it.
 func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
-	s.met.errors.Add(1)
+	s.met.CountError()
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
@@ -179,14 +216,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "index corpus: %v", err)
 		return
 	}
-	s.met.observe("upload", time.Since(start))
+	s.met.Observe("upload", time.Since(start))
 	writeJSON(w, http.StatusCreated, sess.info())
 }
 
 // register indexes a corpus and installs its session (replacing any session
 // under the same ID; empty ID gets a server-assigned one).
 func (s *Server) register(id string, matrix *bundling.Matrix, opts bundling.Options) (*session, error) {
-	solver, err := bundling.NewSolver(matrix, opts)
+	solver, err := s.cfg.NewSolver(matrix, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -200,17 +237,35 @@ func (s *Server) register(id string, matrix *bundling.Matrix, opts bundling.Opti
 		stats:     solver.Stats(),
 		createdAt: time.Now().UTC(),
 	}
-	sess.batcher = newBatcher(s.cfg.BatchWorkers, solver.Evaluate)
+	sess.batcher = newBatcher(s.cfg.BatchWorkers, s.cfg.BatchWindow, solver.Evaluate)
 	sess.batcher.onBatch = func(size, unique int) {
 		s.met.batches.Add(1)
 		s.met.batchedRequests.Add(int64(size))
 		s.met.coalescedInBatch.Add(int64(size - unique))
 	}
-	for range s.reg.put(sess) {
+	replaced, evicted := s.reg.put(sess)
+	releaseSession(replaced)
+	for _, victim := range evicted {
 		s.met.evictions.Add(1)
+		releaseSession(victim)
 	}
 	s.met.uploads.Add(1)
 	return sess, nil
+}
+
+// releaseSession frees a session's external resources once it has left the
+// registry. Engines that hold remote state — the cluster coordinator keeps
+// stripe spans resident on the worker fleet — implement io.Closer; the
+// local solver holds only memory and does not. Safe with requests still in
+// flight on the old session: a cluster engine whose spans were dropped
+// simply re-feeds or falls back locally, it never returns stale data.
+func releaseSession(sess *session) {
+	if sess == nil {
+		return
+	}
+	if c, ok := sess.solver.(io.Closer); ok {
+		_ = c.Close()
+	}
 }
 
 // Preload registers a session programmatically — the daemon's -demo corpus
@@ -237,10 +292,12 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 
 // handleDelete evicts a session.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.reg.delete(r.PathValue("id")) {
+	sess := s.reg.delete(r.PathValue("id"))
+	if sess == nil {
 		s.fail(w, http.StatusNotFound, "no corpus %q", r.PathValue("id"))
 		return
 	}
+	releaseSession(sess)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -279,7 +336,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		s.cache.put(key, cfg)
 	}
-	s.met.observe("solve", time.Since(start))
+	s.met.Observe("solve", time.Since(start))
 	writeJSON(w, http.StatusOK, SolveResponse{
 		Corpus:    sess.id,
 		Version:   sess.version,
@@ -325,7 +382,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		}
 		s.cache.put(key, cfg)
 	}
-	s.met.observe("evaluate", time.Since(start))
+	s.met.Observe("evaluate", time.Since(start))
 	writeJSON(w, http.StatusOK, EvaluateResponse{
 		Corpus:    sess.id,
 		Version:   sess.version,
@@ -336,13 +393,24 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleHealth reports liveness.
+// handleHealth reports liveness and, when a readiness gate is configured,
+// degrades to 503 while a required dependency (e.g. a cluster worker span)
+// is unreachable.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:        "ok",
 		Sessions:      s.reg.len(),
-		UptimeSeconds: time.Since(s.met.start).Seconds(),
-	})
+		UptimeSeconds: s.met.Uptime().Seconds(),
+	}
+	if s.cfg.Ready != nil {
+		if err := s.cfg.Ready(); err != nil {
+			resp.Status = "degraded"
+			resp.Detail = err.Error()
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics exposes the Prometheus text metrics.

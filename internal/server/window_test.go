@@ -1,0 +1,210 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bundling"
+)
+
+// TestBatcherWindowZeroDrainsImmediately: with no gather window, a lone
+// request executes in its own pass without waiting for company.
+func TestBatcherWindowZeroDrainsImmediately(t *testing.T) {
+	var executions atomic.Int64
+	b := newBatcher(2, 0, func(offers [][]int) (*bundling.Configuration, error) {
+		executions.Add(1)
+		return &bundling.Configuration{}, nil
+	})
+	var sizes []int
+	var mu sync.Mutex
+	b.onBatch = func(size, _ int) { mu.Lock(); sizes = append(sizes, size); mu.Unlock() }
+
+	start := time.Now()
+	if _, _, err := b.do("a", [][]int{{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("window=0 drain took %v", d)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sizes) != 1 || sizes[0] != 1 {
+		t.Fatalf("batch sizes = %v, want [1]", sizes)
+	}
+	if executions.Load() != 1 {
+		t.Fatalf("executions = %d, want 1", executions.Load())
+	}
+}
+
+// TestBatcherWindowGathers: with a positive window, distinct requests
+// submitted within it ride one pass instead of two.
+func TestBatcherWindowGathers(t *testing.T) {
+	var executions atomic.Int64
+	b := newBatcher(4, 300*time.Millisecond, func(offers [][]int) (*bundling.Configuration, error) {
+		executions.Add(1)
+		return &bundling.Configuration{Revenue: float64(offers[0][0])}, nil
+	})
+	var sizes [][2]int
+	var mu sync.Mutex
+	b.onBatch = func(size, unique int) { mu.Lock(); sizes = append(sizes, [2]int{size, unique}); mu.Unlock() }
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg, _, err := b.do(string(rune('a'+i)), [][]int{{i}})
+			if err != nil {
+				t.Errorf("req %d: %v", i, err)
+				return
+			}
+			if cfg.Revenue != float64(i) {
+				t.Errorf("req %d: got revenue %g", i, cfg.Revenue)
+			}
+		}(i)
+		// The second submission lands well inside the first one's window.
+		time.Sleep(30 * time.Millisecond)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sizes) != 1 {
+		t.Fatalf("batch passes = %v, want one gathered pass", sizes)
+	}
+	if sizes[0][0] != 2 || sizes[0][1] != 2 {
+		t.Fatalf("gathered pass = %v, want size 2 with 2 distinct evaluations", sizes[0])
+	}
+	if executions.Load() != 2 {
+		t.Fatalf("executions = %d, want 2 (distinct keys)", executions.Load())
+	}
+}
+
+// TestServerBatchWindowPlumbed: the Config knob reaches the session
+// batcher.
+func TestServerBatchWindowPlumbed(t *testing.T) {
+	s := New(Config{BatchWindow: 42 * time.Millisecond})
+	defer s.Close()
+	w := bundling.NewMatrix(3, 2)
+	w.MustSet(0, 0, 5)
+	w.MustSet(1, 1, 7)
+	if err := Preload(s, "c", w, bundling.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	sess, ok := s.reg.get("c")
+	if !ok {
+		t.Fatal("session missing")
+	}
+	if sess.batcher.window != 42*time.Millisecond {
+		t.Fatalf("batcher window = %v, want 42ms", sess.batcher.window)
+	}
+}
+
+// TestHealthDegradesWhenNotReady: a failing readiness gate turns /healthz
+// into a 503 with the failure as detail; a passing gate restores 200.
+func TestHealthDegradesWhenNotReady(t *testing.T) {
+	var down atomic.Bool
+	s := New(Config{Ready: func() error {
+		if down.Load() {
+			return errors.New("worker span 1 unreachable")
+		}
+		return nil
+	}})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	check := func(wantStatus int, wantBody string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("healthz status = %d, want %d", resp.StatusCode, wantStatus)
+		}
+		var h HealthResponse
+		if err := decodeInto(resp, &h); err != nil {
+			t.Fatal(err)
+		}
+		if h.Status != wantBody {
+			t.Fatalf("healthz status field = %q, want %q", h.Status, wantBody)
+		}
+		if wantStatus == http.StatusServiceUnavailable && h.Detail == "" {
+			t.Fatal("degraded health should carry a detail")
+		}
+	}
+	check(http.StatusOK, "ok")
+	down.Store(true)
+	check(http.StatusServiceUnavailable, "degraded")
+	down.Store(false)
+	check(http.StatusOK, "ok")
+}
+
+// decodeInto decodes a response body as JSON.
+func decodeInto(resp *http.Response, v any) error {
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// closableSolver wraps a Solver and records Close calls — the shape of the
+// cluster coordinator, whose Close releases worker-side spans.
+type closableSolver struct {
+	Solver
+	closed *atomic.Int64
+}
+
+func (c *closableSolver) Close() error {
+	c.closed.Add(1)
+	return nil
+}
+
+// TestCustomSolverFactory: an installed NewSolver factory builds every
+// session engine, and engines implementing io.Closer are released when
+// their session is replaced, deleted or dropped at shutdown.
+func TestCustomSolverFactory(t *testing.T) {
+	var built, closed atomic.Int64
+	s := New(Config{NewSolver: func(w *bundling.Matrix, opts bundling.Options) (Solver, error) {
+		built.Add(1)
+		inner, err := bundling.NewSolver(w, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &closableSolver{Solver: inner, closed: &closed}, nil
+	}})
+	defer s.Close()
+	w := bundling.NewMatrix(2, 2)
+	w.MustSet(0, 0, 3)
+	if err := Preload(s, "f", w, bundling.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if built.Load() != 1 {
+		t.Fatalf("factory built %d solvers, want 1", built.Load())
+	}
+	// Replacing the session must close the old engine.
+	if err := Preload(s, "f", w, bundling.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if closed.Load() != 1 {
+		t.Fatalf("replace closed %d engines, want 1", closed.Load())
+	}
+	// Deleting it must close the new one.
+	if !t.Run("delete", func(t *testing.T) {
+		req := httptest.NewRequest(http.MethodDelete, "/v1/corpora/f", nil)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusNoContent {
+			t.Fatalf("delete status %d", rec.Code)
+		}
+	}) {
+		return
+	}
+	if closed.Load() != 2 {
+		t.Fatalf("delete closed %d engines total, want 2", closed.Load())
+	}
+}

@@ -1,41 +1,122 @@
 #!/bin/sh
 # Smoke-test the bundled daemon end to end: build it, boot it on a sample
 # (synthetic) corpus, run the client smoke test against it, and fail on any
-# non-200 the test observes. CI runs this after the unit-test gate; locally
+# non-200 the test observes. Then smoke the distributed mode: boot two
+# bundleworker daemons plus a coordinator bundled -workers, upload the demo
+# corpus to it, and fail on any non-200 or on a solve mismatch between the
+# cluster and local modes. CI runs this after the unit-test gate; locally
 # it's `make smoke`.
 set -eu
 
 ADDR="${BUNDLED_SMOKE_ADDR:-127.0.0.1:8077}"
-BIN="$(mktemp -d)/bundled"
+CADDR="${BUNDLED_SMOKE_CLUSTER_ADDR:-127.0.0.1:8078}"
+W1="${BUNDLEWORKER_SMOKE_ADDR1:-127.0.0.1:9181}"
+W2="${BUNDLEWORKER_SMOKE_ADDR2:-127.0.0.1:9182}"
+BINDIR="$(mktemp -d)"
+BIN="$BINDIR/bundled"
+WBIN="$BINDIR/bundleworker"
 LOG="$(mktemp)"
+CLOG="$(mktemp)"
+WLOG1="$(mktemp)"
+WLOG2="$(mktemp)"
 
 go build -o "$BIN" ./cmd/bundled
+go build -o "$WBIN" ./cmd/bundleworker
 
 "$BIN" -addr "$ADDR" -demo >"$LOG" 2>&1 &
 PID=$!
-trap 'kill "$PID" 2>/dev/null || true' EXIT INT TERM
+PIDS="$PID"
+trap 'kill $PIDS 2>/dev/null || true' EXIT INT TERM
 
-# Wait for /healthz to come up (the demo corpus indexes first).
-i=0
-until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
-  i=$((i + 1))
-  if [ "$i" -ge 60 ]; then
-    echo "bundled did not become healthy; log:" >&2
-    cat "$LOG" >&2
-    exit 1
-  fi
-  if ! kill -0 "$PID" 2>/dev/null; then
-    echo "bundled exited early; log:" >&2
-    cat "$LOG" >&2
-    exit 1
-  fi
-  sleep 0.5
-done
+# wait_healthy url pid log [want_status]
+wait_healthy() {
+  _i=0
+  _want="${4:-200}"
+  until [ "$(curl -s -o /dev/null -w '%{http_code}' "$1/healthz" 2>/dev/null)" = "$_want" ]; do
+    _i=$((_i + 1))
+    if [ "$_i" -ge 60 ]; then
+      echo "$1 did not reach health status $_want; log:" >&2
+      cat "$3" >&2
+      exit 1
+    fi
+    if ! kill -0 "$2" 2>/dev/null; then
+      echo "daemon for $1 exited early; log:" >&2
+      cat "$3" >&2
+      exit 1
+    fi
+    sleep 0.5
+  done
+}
+
+wait_healthy "http://$ADDR" "$PID" "$LOG"
 
 BUNDLED_ADDR="http://$ADDR" go test ./client -run TestServerSmoke -count=1 -v
 
-# Graceful shutdown must complete cleanly.
-kill -TERM "$PID"
-wait "$PID"
+# --- distributed mode -------------------------------------------------------
+
+"$WBIN" -addr "$W1" >"$WLOG1" 2>&1 &
+WPID1=$!
+PIDS="$PIDS $WPID1"
+"$WBIN" -addr "$W2" >"$WLOG2" 2>&1 &
+WPID2=$!
+PIDS="$PIDS $WPID2"
+wait_healthy "http://$W1" "$WPID1" "$WLOG1"
+wait_healthy "http://$W2" "$WPID2" "$WLOG2"
+
+"$BIN" -addr "$CADDR" -workers "$W1,$W2" -demo >"$CLOG" 2>&1 &
+CPID=$!
+PIDS="$PIDS $CPID"
+wait_healthy "http://$CADDR" "$CPID" "$CLOG"
+
+# Upload the same corpus to both daemons through the HTTP API (tiny explicit
+# matrix doc), then solve it in both modes and demand identical revenue.
+CORPUS='{"id":"smoke","matrix":{"consumers":4,"items":3,"entries":[[0,0,8],[0,1,5],[1,0,6],[1,2,9],[2,1,7],[2,2,4],[3,0,3],[3,2,5]]},"options":{}}'
+for a in "$ADDR" "$CADDR"; do
+  code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$a/v1/corpora" -d "$CORPUS")
+  if [ "$code" != "201" ]; then
+    echo "corpus upload to $a returned $code" >&2
+    exit 1
+  fi
+done
+
+solve_revenue() {
+  curl -sf -X POST "http://$1/v1/corpora/$2/solve" -d "{\"algorithm\":\"$3\"}" |
+    grep -o '"revenue": [0-9.eE+-]*' | head -1 | awk '{print $2}'
+}
+
+for alg in matching greedy; do
+  for corpus in demo smoke; do
+    RL=$(solve_revenue "$ADDR" "$corpus" "$alg")
+    RC=$(solve_revenue "$CADDR" "$corpus" "$alg")
+    if [ -z "$RL" ] || [ -z "$RC" ]; then
+      echo "missing revenue for $corpus/$alg (local='$RL' cluster='$RC')" >&2
+      exit 1
+    fi
+    if ! awk -v a="$RL" -v b="$RC" 'BEGIN{d=a-b; if (d<0) d=-d; exit !(d <= 1e-6*(1+(a<0?-a:a)))}'; then
+      echo "solve mismatch for $corpus/$alg: local $RL vs cluster $RC" >&2
+      exit 1
+    fi
+    echo "cluster smoke: $corpus/$alg revenue $RC matches local"
+  done
+done
+
+# Workers must report their assigned spans.
+if ! curl -sf "http://$W1/healthz" | grep -q '"corpus"'; then
+  echo "worker 1 reports no assigned span" >&2
+  exit 1
+fi
+
+# Killing a worker must degrade the coordinator's /healthz to 503 (solves
+# keep working via the local fallback — readiness is the operator signal).
+kill "$WPID1"
+wait "$WPID1" 2>/dev/null || true
+wait_healthy "http://$CADDR" "$CPID" "$CLOG" 503
+echo "cluster smoke: coordinator degraded to 503 with a worker down"
+
+# Graceful shutdowns must complete cleanly.
+for p in "$CPID" "$WPID2" "$PID"; do
+  kill -TERM "$p"
+  wait "$p"
+done
 trap - EXIT INT TERM
 echo "smoke OK"
