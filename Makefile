@@ -5,7 +5,7 @@
 GO ?= go
 NPROC ?= $(shell nproc 2>/dev/null || echo 2)
 
-.PHONY: build test vet fmt race check smoke bench bench-parallel bench-serve bench-cluster fuzz
+.PHONY: build test vet fmt race check smoke linkcheck bench bench-parallel bench-serve bench-cluster fuzz
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,12 @@ test:
 race:
 	$(GO) test -race ./internal/config/ ./internal/pricing/ ./internal/wtp/ ./internal/server/ ./internal/cluster/ ./client/
 
-check: fmt vet build test race
+check: fmt vet build test race linkcheck
+
+# Fail on broken intra-repo markdown links in README.md and docs/ (the
+# docs CI job's gate; external URLs are not fetched).
+linkcheck:
+	./scripts/checklinks.sh
 
 # Boot the bundled daemon on a sample corpus and drive the client smoke
 # test against it (fails on any non-200). CI runs this after `check`.

@@ -79,9 +79,14 @@
 // cache keyed by exact corpus version (a re-upload can never be served
 // stale results), a micro-batcher that coalesces concurrent identical
 // evaluate requests into one execution, Prometheus metrics, and graceful
-// session eviction. The bundling/client package is the Go client; see the
-// README's Serving section for a curl quickstart and cmd/bundlebench
-// -exp serve for the load harness behind BENCH_serve.json.
+// session eviction. Run with -data-dir, the daemon persists every uploaded
+// corpus and restores its sessions — with identical results — after a
+// restart; run with -auth-keys (or -auth-file) it serves multiple tenants
+// with API-key authentication, per-tenant corpus ownership and quotas.
+// The bundling/client package is the Go client; see the README's Serving
+// section for a curl quickstart, docs/API.md and docs/OPERATIONS.md for
+// the full wire and operations references, and cmd/bundlebench -exp serve
+// for the load harness behind BENCH_serve.json.
 //
 // To scale past one machine, the same daemon runs as a cluster
 // coordinator (bundled -workers host:port,...): each corpus's stripes are

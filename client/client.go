@@ -6,6 +6,14 @@
 //	info, err := c.UploadMatrix(ctx, "store", w, bundling.Options{})
 //	res, err := c.Solve(ctx, "store", "matching")
 //	what, err := c.Evaluate(ctx, "store", [][]int{{0, 1}, {2}})
+//
+// Each upload creates (or replaces) a named long-lived Solver session on
+// the server; solves and evaluates then hit that session concurrently. The
+// same client drives every deployment shape unchanged — a single daemon, a
+// durable one (-data-dir), or a cluster coordinator (-workers) — and
+// against a multi-tenant daemon it authenticates via WithAPIKey:
+//
+//	c := client.New("http://localhost:8080", nil).WithAPIKey("sk-alice")
 package client
 
 import (
@@ -39,8 +47,9 @@ type (
 // Client talks to one bundled server. The zero value is unusable; construct
 // with New. Clients are safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base   string
+	hc     *http.Client
+	apiKey string
 }
 
 // New returns a client for the server at baseURL (e.g.
@@ -52,12 +61,23 @@ func New(baseURL string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
 }
 
+// WithAPIKey returns a copy of the client that authenticates every request
+// with the given tenant API key ("Authorization: Bearer <key>") — required
+// against a bundled daemon running with -auth-keys or -auth-file. An empty
+// key returns an unauthenticated copy.
+func (c *Client) WithAPIKey(key string) *Client {
+	dup := *c
+	dup.apiKey = key
+	return &dup
+}
+
 // APIError is a non-2xx server response.
 type APIError struct {
 	StatusCode int
 	Message    string
 }
 
+// Error renders the status code and server-reported cause.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("bundled: %d: %s", e.StatusCode, e.Message)
 }
@@ -79,6 +99,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -187,6 +210,9 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
 	if err != nil {
 		return "", err
+	}
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

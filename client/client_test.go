@@ -126,3 +126,53 @@ func TestClientCSVUpload(t *testing.T) {
 		t.Error("malformed CSV upload should fail")
 	}
 }
+
+// TestClientAPIKey drives an authenticated server: an unauthenticated
+// client must see 401, a keyed client must work end to end, and a
+// cross-tenant access must surface as a 403 APIError.
+func TestClientAPIKey(t *testing.T) {
+	auth, err := server.ParseAuthKeys("alice=sk-a,bob=sk-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Auth: auth})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+	ctx := context.Background()
+	w := testMatrix(t, 30, 8, 11)
+
+	anon := New(ts.URL, nil)
+	if _, err := anon.Corpora(ctx); !isStatus(err, 401) {
+		t.Fatalf("anonymous list: %v", err)
+	}
+
+	alice := anon.WithAPIKey("sk-a")
+	if _, err := alice.UploadMatrix(ctx, "al", w, bundling.Options{}); err != nil {
+		t.Fatalf("alice upload: %v", err)
+	}
+	if _, err := alice.Solve(ctx, "al", "matching"); err != nil {
+		t.Fatalf("alice solve: %v", err)
+	}
+
+	bob := anon.WithAPIKey("sk-b")
+	if _, err := bob.Solve(ctx, "al", "matching"); !isStatus(err, 403) {
+		t.Fatalf("bob cross-tenant solve: %v", err)
+	}
+	if list, err := bob.Corpora(ctx); err != nil || len(list) != 0 {
+		t.Fatalf("bob list: %v, %v", list, err)
+	}
+	// Health and metrics stay open to unauthenticated probes.
+	if _, err := anon.Health(ctx); err != nil {
+		t.Fatalf("anonymous health: %v", err)
+	}
+	if _, err := anon.Metrics(ctx); err != nil {
+		t.Fatalf("anonymous metrics: %v", err)
+	}
+}
+
+// isStatus reports whether err is an APIError with the given status.
+func isStatus(err error, status int) bool {
+	apiErr, ok := err.(*APIError)
+	return ok && apiErr.StatusCode == status
+}

@@ -22,6 +22,11 @@ func TestServerSmoke(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	c := New(addr, nil)
+	// Against a daemon running with -auth-keys, point BUNDLED_API_KEY at a
+	// tenant key; without it the client runs unauthenticated.
+	if key := os.Getenv("BUNDLED_API_KEY"); key != "" {
+		c = c.WithAPIKey(key)
+	}
 
 	h, err := c.Health(ctx)
 	if err != nil {

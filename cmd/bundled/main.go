@@ -2,12 +2,19 @@
 // Solver sessions over HTTP so many users can upload willingness-to-pay
 // corpora and hit them concurrently with solve and what-if evaluate
 // requests, with result caching and evaluate micro-batching in front of the
-// engine (see internal/server for the API).
+// engine (see internal/server for the API). With -data-dir every uploaded
+// corpus is persisted and restored on restart, and with -auth-keys (or
+// -auth-file) the daemon serves multiple tenants with API-key auth,
+// per-tenant corpus ownership and quotas.
 //
 // Usage:
 //
 //	bundled -addr :8080
 //	bundled -addr :8080 -demo        # preload a synthetic corpus as "demo"
+//	bundled -addr :8080 -data-dir /var/lib/bundled
+//	                                 # durable: corpora survive restarts
+//	bundled -addr :8080 -auth-keys alice=sk-a1,bob=sk-b1 -quota-rps 50
+//	                                 # multi-tenant: keys, ownership, quotas
 //	bundled -addr :8080 -workers 127.0.0.1:9101,127.0.0.1:9102
 //	                                 # scale out: solve over bundleworker daemons
 //
@@ -16,8 +23,9 @@
 //	curl localhost:8080/healthz
 //	curl -X POST localhost:8080/v1/corpora/demo/solve -d '{"algorithm":"matching"}'
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests before exiting.
+// See docs/OPERATIONS.md for every flag, the persistence layout and the
+// metrics catalogue. The daemon shuts down gracefully on SIGINT/SIGTERM,
+// draining in-flight requests and flushing the corpus store before exiting.
 package main
 
 import (
@@ -37,37 +45,90 @@ import (
 	"bundling/internal/server"
 )
 
+// options collects the daemon's flag values.
+type options struct {
+	addr         string
+	maxSessions  int
+	cacheEntries int
+	maxUploadMB  int64
+	batchWorkers int
+	batchWindow  time.Duration
+	workers      string
+	dataDir      string
+	authKeys     string
+	authFile     string
+	quotaCorpora int
+	quotaEntries int
+	quotaRPS     float64
+	quotaBurst   int
+	demo         bool
+	demoUsers    int
+	demoItems    int
+	drainSecs    int
+}
+
 func main() {
-	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		maxSessions  = flag.Int("max-sessions", 64, "max live corpus sessions (LRU eviction beyond)")
-		cacheEntries = flag.Int("cache", 1024, "result cache entries (negative disables)")
-		maxUploadMB  = flag.Int64("max-upload-mb", 64, "max corpus upload size in MiB")
-		batchWorkers = flag.Int("batch-workers", 4, "concurrent evaluations per micro-batch pass")
-		batchWindow  = flag.Duration("batch-window", 0, "evaluate micro-batch gather window (0 = drain immediately)")
-		workers      = flag.String("workers", "", "comma-separated bundleworker addresses; enables distributed stripe-sharded solving")
-		demo         = flag.Bool("demo", false, `preload a synthetic corpus as session "demo"`)
-		demoUsers    = flag.Int("demo-users", 300, "demo corpus users")
-		demoItems    = flag.Int("demo-items", 60, "demo corpus items")
-		drainSecs    = flag.Int("drain-seconds", 15, "graceful shutdown drain window")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&o.maxSessions, "max-sessions", 64, "max live corpus sessions (LRU eviction beyond)")
+	flag.IntVar(&o.cacheEntries, "cache", 1024, "result cache entries (negative disables)")
+	flag.Int64Var(&o.maxUploadMB, "max-upload-mb", 64, "max corpus upload size in MiB")
+	flag.IntVar(&o.batchWorkers, "batch-workers", 4, "concurrent evaluations per micro-batch pass")
+	flag.DurationVar(&o.batchWindow, "batch-window", 0, "evaluate micro-batch gather window (0 = drain immediately)")
+	flag.StringVar(&o.workers, "workers", "", "comma-separated bundleworker addresses; enables distributed stripe-sharded solving")
+	flag.StringVar(&o.dataDir, "data-dir", "", "corpus persistence directory; uploads survive restarts (empty = in-memory only)")
+	flag.StringVar(&o.authKeys, "auth-keys", "", "inline tenant=key[,tenant=key...] API keys; enables multi-tenant auth")
+	flag.StringVar(&o.authFile, "auth-file", "", "API key file, one tenant=key per line (# comments); enables multi-tenant auth")
+	flag.IntVar(&o.quotaCorpora, "quota-corpora", 0, "max live corpora per tenant (0 = unlimited)")
+	flag.IntVar(&o.quotaEntries, "quota-entries", 0, "max summed WTP entries per tenant (0 = unlimited)")
+	flag.Float64Var(&o.quotaRPS, "quota-rps", 0, "max sustained /v1 requests per second per tenant (0 = unlimited)")
+	flag.IntVar(&o.quotaBurst, "quota-burst", 0, "request-rate burst depth (0 = ceil of -quota-rps)")
+	flag.BoolVar(&o.demo, "demo", false, `preload a synthetic corpus as session "demo"`)
+	flag.IntVar(&o.demoUsers, "demo-users", 300, "demo corpus users")
+	flag.IntVar(&o.demoItems, "demo-items", 60, "demo corpus items")
+	flag.IntVar(&o.drainSecs, "drain-seconds", 15, "graceful shutdown drain window")
 	flag.Parse()
-	if err := run(*addr, *maxSessions, *cacheEntries, *maxUploadMB, *batchWorkers, *batchWindow, *workers, *demo, *demoUsers, *demoItems, *drainSecs); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bundled:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxSessions, cacheEntries int, maxUploadMB int64, batchWorkers int, batchWindow time.Duration, workers string, demo bool, demoUsers, demoItems, drainSecs int) error {
+func run(o options) error {
 	cfg := server.Config{
-		MaxSessions:    maxSessions,
-		CacheEntries:   cacheEntries,
-		MaxUploadBytes: maxUploadMB << 20,
-		BatchWorkers:   batchWorkers,
-		BatchWindow:    batchWindow,
+		MaxSessions:    o.maxSessions,
+		CacheEntries:   o.cacheEntries,
+		MaxUploadBytes: o.maxUploadMB << 20,
+		BatchWorkers:   o.batchWorkers,
+		BatchWindow:    o.batchWindow,
+		Quotas: server.Quotas{
+			MaxCorpora:        o.quotaCorpora,
+			MaxEntries:        o.quotaEntries,
+			RequestsPerSecond: o.quotaRPS,
+			Burst:             o.quotaBurst,
+		},
 	}
-	if workers != "" {
-		transports, err := cluster.Transports(workers, nil)
+	switch {
+	case o.authKeys != "" && o.authFile != "":
+		return fmt.Errorf("-auth-keys and -auth-file are mutually exclusive")
+	case o.authKeys != "":
+		auth, err := server.ParseAuthKeys(o.authKeys)
+		if err != nil {
+			return err
+		}
+		cfg.Auth = auth
+	case o.authFile != "":
+		auth, err := server.LoadAuthKeysFile(o.authFile)
+		if err != nil {
+			return err
+		}
+		cfg.Auth = auth
+	}
+	if cfg.Auth.Enabled() {
+		log.Printf("auth enabled: %d tenants", cfg.Auth.Tenants())
+	}
+	if o.workers != "" {
+		transports, err := cluster.Transports(o.workers, nil)
 		if err != nil {
 			return err
 		}
@@ -79,25 +140,50 @@ func run(addr string, maxSessions, cacheEntries int, maxUploadMB int64, batchWor
 			return cluster.NewSolver(w, opts, cluster.Config{Workers: transports})
 		}
 		cfg.Ready = cluster.Ready(transports, 0)
-		log.Printf("cluster mode: %d workers (%s)", len(transports), workers)
+		log.Printf("cluster mode: %d workers (%s)", len(transports), o.workers)
+	}
+	var store *server.Store
+	if o.dataDir != "" {
+		var err error
+		store, err = server.OpenStore(o.dataDir)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			// Graceful flush: the final compaction pass runs after the
+			// listener has drained and the sessions are released.
+			if err := store.Close(); err != nil {
+				log.Printf("store close: %v", err)
+			}
+		}()
+		cfg.Store = store
 	}
 	srv := server.New(cfg)
 	defer srv.Close()
-	if demo {
-		if err := preloadDemo(srv, demoUsers, demoItems); err != nil {
+	if store != nil {
+		restored, err := srv.Restore()
+		if err != nil {
+			// Boot with what loaded; a skipped record reads as a missing
+			// corpus, which operators can see and re-upload.
+			log.Printf("restore: %v", err)
+		}
+		log.Printf("restored %d persisted corpora from %s", restored, store.Dir())
+	}
+	if o.demo {
+		if err := preloadDemo(srv, o.demoUsers, o.demoItems); err != nil {
 			return fmt.Errorf("demo corpus: %w", err)
 		}
-		log.Printf("preloaded synthetic corpus as session %q (%d users × %d items)", "demo", demoUsers, demoItems)
+		log.Printf("preloaded synthetic corpus as session %q (%d users × %d items)", "demo", o.demoUsers, o.demoItems)
 	}
 
 	hs := &http.Server{
-		Addr:              addr,
+		Addr:              o.addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("bundled listening on %s", addr)
+		log.Printf("bundled listening on %s", o.addr)
 		errCh <- hs.ListenAndServe()
 	}()
 
@@ -108,8 +194,8 @@ func run(addr string, maxSessions, cacheEntries int, maxUploadMB int64, batchWor
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down, draining for up to %ds", drainSecs)
-	drainCtx, cancel := context.WithTimeout(context.Background(), time.Duration(drainSecs)*time.Second)
+	log.Printf("shutting down, draining for up to %ds", o.drainSecs)
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Duration(o.drainSecs)*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

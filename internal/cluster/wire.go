@@ -19,6 +19,12 @@
 // unreachable is retried on a replica worker and, failing that, computed
 // from the coordinator's local span store, so results degrade in locality,
 // never in correctness.
+//
+// Coordinator restarts need no protocol support: a session restored from
+// the bundled daemon's corpus store behaves exactly like a fresh upload —
+// it draws a new session nonce and feeds its spans eagerly (or lazily via
+// the re-feed path), so spans a worker kept from before the restart can
+// never satisfy the restored session's version checks.
 package cluster
 
 import (

@@ -89,7 +89,8 @@ type CreateCorpusRequest struct {
 // CorpusInfo describes one live session.
 type CorpusInfo struct {
 	ID        string     `json:"id"`
-	Version   int        `json:"version"` // bumps on re-upload of the same ID
+	Version   int        `json:"version"`          // bumps on re-upload of the same ID
+	Tenant    string     `json:"tenant,omitempty"` // owning tenant ("" = public)
 	Consumers int        `json:"consumers"`
 	Items     int        `json:"items"`
 	Entries   int        `json:"entries"`

@@ -156,17 +156,29 @@ type metrics struct {
 
 	uploads   atomic.Int64
 	evictions atomic.Int64
+
+	authFailures atomic.Int64 // 401s: missing or unknown API keys
+	quotaRPS     atomic.Int64 // 429s from the request-rate quota
+	quotaCorpora atomic.Int64 // 429s from the per-tenant corpus-count quota
+	quotaEntries atomic.Int64 // 429s from the per-tenant entry quota
+	restores     atomic.Int64 // sessions restored from the corpus store
+	storeErrors  atomic.Int64 // persistence operations that failed
 }
 
 func newMetrics() *metrics { return &metrics{Metrics: NewMetrics("bundled")} }
 
 // render writes the server's full exposition through the shared core.
-func (m *metrics) render(w io.Writer, sessions, cacheEntries int) {
-	m.Render(w,
-		[]GaugeRow{
-			{"bundled_sessions", "Live corpus sessions in the registry.", float64(sessions)},
-			{"bundled_result_cache_entries", "Entries in the result cache.", float64(cacheEntries)},
-		},
+// persisted is the corpus store's live record count (negative when the
+// daemon runs without persistence, which omits the gauge).
+func (m *metrics) render(w io.Writer, sessions, cacheEntries, persisted int) {
+	gauges := []GaugeRow{
+		{"bundled_sessions", "Live corpus sessions in the registry.", float64(sessions)},
+		{"bundled_result_cache_entries", "Entries in the result cache.", float64(cacheEntries)},
+	}
+	if persisted >= 0 {
+		gauges = append(gauges, GaugeRow{"bundled_persisted_corpora", "Live corpora in the persistence store.", float64(persisted)})
+	}
+	m.Render(w, gauges,
 		[]CounterRow{
 			{"bundled_cache_hits_total", "Result-cache hits.", m.cacheHits.Load()},
 			{"bundled_cache_misses_total", "Result-cache misses.", m.cacheMisses.Load()},
@@ -175,6 +187,12 @@ func (m *metrics) render(w io.Writer, sessions, cacheEntries int) {
 			{"bundled_coalesced_requests_total", "Evaluate requests that shared an identical concurrent request's execution.", m.coalescedInBatch.Load()},
 			{"bundled_uploads_total", "Corpus uploads (session creations and replacements).", m.uploads.Load()},
 			{"bundled_session_evictions_total", "Sessions evicted by the registry's LRU bound.", m.evictions.Load()},
+			{"bundled_auth_failures_total", "Requests rejected with 401 for a missing or unknown API key.", m.authFailures.Load()},
+			{"bundled_quota_rps_rejections_total", "Requests rejected with 429 by the per-tenant request-rate quota.", m.quotaRPS.Load()},
+			{"bundled_quota_corpora_rejections_total", "Uploads rejected with 429 by the per-tenant corpus-count quota.", m.quotaCorpora.Load()},
+			{"bundled_quota_entries_rejections_total", "Uploads rejected with 429 by the per-tenant entry quota.", m.quotaEntries.Load()},
+			{"bundled_restored_sessions_total", "Sessions restored from the corpus store at startup.", m.restores.Load()},
+			{"bundled_store_errors_total", "Corpus persistence operations that failed.", m.storeErrors.Load()},
 		})
 }
 

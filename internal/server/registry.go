@@ -18,6 +18,7 @@ import (
 type session struct {
 	id        string
 	version   int    // registry upload generation for this ID
+	tenant    string // owning tenant ("" = public / uploaded with auth off)
 	solver    Solver // local bundling.Solver or the cluster coordinator
 	opts      bundling.Options
 	stats     bundling.SolverStats
@@ -40,6 +41,7 @@ func (s *session) info() CorpusInfo {
 	return CorpusInfo{
 		ID:        s.id,
 		Version:   s.version,
+		Tenant:    s.tenant,
 		Consumers: s.stats.Consumers,
 		Items:     s.stats.Items,
 		Entries:   s.stats.Entries,
@@ -93,11 +95,82 @@ func (r *registry) nextID() string {
 // generation, and returns the session it replaced (nil if the ID was new)
 // plus the sessions evicted to stay within the bound. The caller releases
 // replaced and evicted sessions' engines.
-func (r *registry) put(sess *session) (replaced *session, evicted []*session) {
+// quotaError reports which tenant quota an admission would exceed; the
+// handler maps it to 429 and the matching rejection counter.
+type quotaError struct {
+	kind string // "corpora" or "entries"
+	msg  string
+}
+
+func (e *quotaError) Error() string { return e.msg }
+
+// quotaCheckLocked verifies that tenant may install a corpus of the given
+// size under id. Replacing a corpus the tenant already owns is always
+// within the corpus-count quota (and frees the predecessor's entries);
+// taking over a public corpus is not — it grows the tenant's holdings.
+// Callers hold r.mu.
+func (r *registry) quotaCheckLocked(tenant, id string, entries int, q Quotas) error {
+	existing := r.sessions[id]
+	ownReplace := existing != nil && existing.tenant == tenant
+	if q.MaxCorpora > 0 && !ownReplace {
+		owned := 0
+		for _, sess := range r.sessions {
+			if sess.tenant == tenant {
+				owned++
+			}
+		}
+		if owned >= q.MaxCorpora {
+			return &quotaError{"corpora", fmt.Sprintf("corpus quota exceeded (%d corpora)", q.MaxCorpora)}
+		}
+	}
+	if q.MaxEntries > 0 {
+		used := 0
+		for _, sess := range r.sessions {
+			if sess.tenant == tenant {
+				used += sess.stats.Entries
+			}
+		}
+		if ownReplace {
+			used -= existing.stats.Entries
+		}
+		if used+entries > q.MaxEntries {
+			return &quotaError{"entries", fmt.Sprintf("entry quota exceeded (%d of %d entries in use, corpus adds %d)",
+				used, q.MaxEntries, entries)}
+		}
+	}
+	return nil
+}
+
+// admitCheck is the advisory pre-index quota gate: the same check putAt
+// enforces atomically, run before the expensive engine build so an
+// over-quota upload is rejected cheaply.
+func (r *registry) admitCheck(tenant, id string, entries int, q Quotas) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.versions[sess.id]++
-	sess.version = r.versions[sess.id]
+	return r.quotaCheckLocked(tenant, id, entries, q)
+}
+
+// putAt installs a session. Version 0 assigns the next generation of the
+// ID's sequence (the upload path); a positive version installs at exactly
+// that generation (the restart-restore path, replaying a generation the
+// store already assigned) while keeping the ID's counter monotonic. With
+// enforce set the tenant quota check runs atomically with the install, so
+// concurrent uploads cannot slip past the gate together.
+func (r *registry) putAt(sess *session, version int, q Quotas, enforce bool) (replaced *session, evicted []*session, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if enforce {
+		if err := r.quotaCheckLocked(sess.tenant, sess.id, sess.stats.Entries, q); err != nil {
+			return nil, nil, err
+		}
+	}
+	if version <= 0 {
+		r.versions[sess.id]++
+		version = r.versions[sess.id]
+	} else if version > r.versions[sess.id] {
+		r.versions[sess.id] = version
+	}
+	sess.version = version
 	if old, ok := r.sessions[sess.id]; ok {
 		r.lru.Remove(old.elem)
 		replaced = old
@@ -111,7 +184,32 @@ func (r *registry) put(sess *session) (replaced *session, evicted []*session) {
 		delete(r.sessions, victim.id)
 		evicted = append(evicted, victim)
 	}
-	return replaced, evicted
+	return replaced, evicted, nil
+}
+
+// seedVersions raises the per-ID generation counters to at least the given
+// values. The restart path seeds them from the store's manifest — including
+// deleted IDs — so the first post-restart upload of any known ID continues
+// its generation sequence instead of reusing one, which is what keeps
+// result-cache keys and cluster span identities unambiguous across restarts.
+func (r *registry) seedVersions(gens map[string]int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, gen := range gens {
+		if gen > r.versions[id] {
+			r.versions[id] = gen
+		}
+	}
+}
+
+// peek returns the session for id without refreshing its LRU recency —
+// for pre-flight checks (ownership, quotas) that must not promote a corpus
+// the caller may not even be allowed to touch.
+func (r *registry) peek(id string) (*session, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sess, ok := r.sessions[id]
+	return sess, ok
 }
 
 // get returns the session for id, refreshing its LRU recency.
@@ -137,6 +235,21 @@ func (r *registry) delete(id string) *session {
 	}
 	r.lru.Remove(sess.elem)
 	delete(r.sessions, id)
+	return sess
+}
+
+// deleteIf removes sess only if it is still the installed session for its
+// ID — the rollback path after a failed persist, which must not stomp a
+// newer session a concurrent upload installed meanwhile. Returns sess if
+// removed, nil otherwise; the caller releases its engine either way.
+func (r *registry) deleteIf(sess *session) *session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sessions[sess.id] != sess {
+		return nil
+	}
+	r.lru.Remove(sess.elem)
+	delete(r.sessions, sess.id)
 	return sess
 }
 

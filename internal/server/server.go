@@ -1,17 +1,30 @@
 // Package server implements bundled, the bundle-pricing serving subsystem:
 // a registry of named, long-lived Solver sessions keyed by corpus ID, an
 // LRU-bounded result cache keyed by exact corpus snapshot, a per-session
-// micro-batcher that coalesces concurrent evaluate requests, and the JSON
-// HTTP API the cmd/bundled daemon and the bundling/client package speak.
+// micro-batcher that coalesces concurrent evaluate requests, a durable
+// corpus Store that restores the registry across daemon restarts, a
+// tenancy layer (API-key auth, per-tenant ownership and quotas), and the
+// JSON HTTP API the cmd/bundled daemon and the bundling/client package
+// speak. Sessions run on any engine implementing Solver — the in-process
+// bundling.Solver or the internal/cluster coordinator that shards stripes
+// across a worker fleet — so persistence and tenancy apply unchanged to
+// single-machine and clustered serving.
 //
 //	POST   /v1/corpora               upload a corpus, create/replace its session
-//	GET    /v1/corpora               list live sessions
+//	GET    /v1/corpora               list live sessions (the caller's own)
 //	GET    /v1/corpora/{id}          one session's info
 //	DELETE /v1/corpora/{id}          evict a session
 //	POST   /v1/corpora/{id}/solve    run a configuration algorithm
 //	POST   /v1/corpora/{id}/evaluate price a caller-proposed lineup
 //	GET    /healthz                  liveness + session count
 //	GET    /metrics                  Prometheus text metrics
+//
+// With an Auth configured, /v1 requests must carry a tenant's API key
+// (401 otherwise), a tenant can only see and operate on its own corpora
+// (403 otherwise), and Quotas bound its corpus count, total indexed
+// entries and request rate (429 beyond). /healthz and /metrics stay open.
+// See docs/API.md for the wire reference and docs/OPERATIONS.md for the
+// persistence layout and metrics catalogue.
 package server
 
 import (
@@ -65,6 +78,16 @@ type Config struct {
 	// error degrades the health response to 503 with the error as detail
 	// (e.g. a required cluster worker being unreachable).
 	Ready func() error
+	// Store, if set, persists every uploaded corpus and lets Restore
+	// rebuild the session registry after a restart. Nil keeps sessions
+	// in-memory only.
+	Store *Store
+	// Auth, if enabled, requires a tenant API key on every /v1 request and
+	// scopes corpus ownership to the authenticated tenant. Nil serves open.
+	Auth *Auth
+	// Quotas bounds each tenant's corpora, total entries and request rate.
+	// The zero value is unlimited.
+	Quotas Quotas
 }
 
 func (c Config) withDefaults() Config {
@@ -95,17 +118,20 @@ type Server struct {
 	reg   *registry
 	cache *resultCache
 	met   *metrics
+	rates *rateGate
 	mux   *http.ServeMux
 }
 
 // New assembles a Server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	cfg.Quotas = cfg.Quotas.withDefaults()
 	s := &Server{
 		cfg:   cfg,
 		reg:   newRegistry(cfg.MaxSessions),
 		cache: newResultCache(cfg.CacheEntries),
 		met:   newMetrics(),
+		rates: newRateGate(cfg.Quotas),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/corpora", s.handleCreate)
@@ -120,8 +146,47 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the API mux behind the
+// tenancy guard (authentication and the request-rate quota).
+func (s *Server) Handler() http.Handler { return s.guard(s.mux) }
+
+// Restore rebuilds the session registry from the configured Store: it seeds
+// every known ID's generation counter from the manifest (deleted IDs
+// included, so post-restart uploads continue their sequences), then
+// re-indexes each live corpus at its persisted generation through the
+// configured engine factory. A cluster-backed daemon therefore re-feeds
+// worker spans exactly as a fresh upload would — each restored session draws
+// a new span nonce, so stale pre-restart spans on the fleet can never
+// satisfy its version checks. Records that fail to load are skipped and
+// reported in the joined error alongside the count that did restore.
+func (s *Server) Restore() (int, error) {
+	if s.cfg.Store == nil {
+		return 0, nil
+	}
+	recs, err := s.cfg.Store.Restore()
+	errs := []error{err}
+	s.reg.seedVersions(s.cfg.Store.Generations())
+	restored := 0
+	for _, rec := range recs {
+		opts, oerr := rec.Options.options()
+		if oerr != nil {
+			errs = append(errs, fmt.Errorf("restore %q: options: %w", rec.ID, oerr))
+			continue
+		}
+		matrix, merr := rec.Matrix.Matrix()
+		if merr != nil {
+			errs = append(errs, fmt.Errorf("restore %q: %w", rec.ID, merr))
+			continue
+		}
+		if _, rerr := s.registerAt(rec.ID, rec.Tenant, matrix, opts, rec.Generation, rec.CreatedAt); rerr != nil {
+			errs = append(errs, fmt.Errorf("restore %q: index: %w", rec.ID, rerr))
+			continue
+		}
+		restored++
+		s.met.restores.Add(1)
+	}
+	return restored, errors.Join(errs...)
+}
 
 // Close releases every session (including any remote state a cluster
 // engine holds on its workers). In-flight requests holding a session keep
@@ -211,18 +276,110 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "corpus: %v", err)
 		return
 	}
-	sess, err := s.register(req.ID, matrix, opts)
+	tenant := tenantOf(r)
+	// Ownership and an advisory quota check run before the expensive
+	// engine build; the authoritative quota check runs atomically with the
+	// install inside the registry.
+	if existing, ok := s.reg.peek(req.ID); req.ID != "" && ok &&
+		s.cfg.Auth.Enabled() && existing.tenant != "" && existing.tenant != tenant {
+		s.fail(w, http.StatusForbidden, "corpus %q belongs to another tenant", req.ID)
+		return
+	}
+	if err := s.reg.admitCheck(tenant, req.ID, matrix.Entries(), s.cfg.Quotas); err != nil {
+		s.failQuota(w, err)
+		return
+	}
+	sess, err := s.register(req.ID, tenant, matrix, opts, true)
 	if err != nil {
+		var qe *quotaError
+		if errors.As(err, &qe) {
+			s.failQuota(w, err)
+			return
+		}
 		s.fail(w, http.StatusBadRequest, "index corpus: %v", err)
 		return
+	}
+	if s.cfg.Store != nil {
+		rec := CorpusRecord{
+			ID:         sess.id,
+			Tenant:     sess.tenant,
+			Generation: sess.version,
+			CreatedAt:  sess.createdAt,
+			Options:    NewOptionsDoc(opts),
+			Matrix:     req.Matrix,
+		}
+		if rec.Matrix == nil {
+			rec.Matrix = bundling.NewMatrixDoc(matrix) // csv uploads persist in canonical form
+		}
+		if perr := s.cfg.Store.Put(rec); perr != nil {
+			// An upload the caller cannot trust to survive a restart must
+			// not be accepted: roll the session back (only if it is still
+			// ours — a concurrent upload may have replaced it) and fall
+			// back to the generation the disk still guarantees, so a
+			// transient store fault never turns a serving corpus into 404.
+			s.met.storeErrors.Add(1)
+			if removed := s.reg.deleteIf(sess); removed != nil {
+				releaseSession(removed)
+				s.recoverFromStore(sess.id)
+			}
+			s.fail(w, http.StatusInternalServerError, "persist corpus: %v", perr)
+			return
+		}
 	}
 	s.met.Observe("upload", time.Since(start))
 	writeJSON(w, http.StatusCreated, sess.info())
 }
 
+// failQuota emits a 429 and bumps the rejection counter matching the
+// exceeded quota.
+func (s *Server) failQuota(w http.ResponseWriter, err error) {
+	var qe *quotaError
+	if errors.As(err, &qe) && qe.kind == "entries" {
+		s.met.quotaEntries.Add(1)
+	} else {
+		s.met.quotaCorpora.Add(1)
+	}
+	s.fail(w, http.StatusTooManyRequests, "%v", err)
+}
+
+// recoverFromStore re-indexes the store's live generation of id after a
+// failed persist wiped the in-memory session, restoring the corpus to the
+// state a restart would produce. Best effort: if the record cannot be
+// loaded the ID stays absent, exactly as after a crash.
+func (s *Server) recoverFromStore(id string) {
+	rec, ok := s.cfg.Store.LiveRecord(id)
+	if !ok {
+		return
+	}
+	opts, err := rec.Options.options()
+	if err != nil {
+		return
+	}
+	matrix, err := rec.Matrix.Matrix()
+	if err != nil {
+		return
+	}
+	_, _ = s.registerAt(rec.ID, rec.Tenant, matrix, opts, rec.Generation, rec.CreatedAt)
+}
+
 // register indexes a corpus and installs its session (replacing any session
-// under the same ID; empty ID gets a server-assigned one).
-func (s *Server) register(id string, matrix *bundling.Matrix, opts bundling.Options) (*session, error) {
+// under the same ID; empty ID gets a server-assigned one). With enforce set
+// the tenant quota check runs atomically with the install; trusted paths
+// (preload, restore, recovery) pass false.
+func (s *Server) register(id, tenant string, matrix *bundling.Matrix, opts bundling.Options, enforce bool) (*session, error) {
+	return s.registerWith(id, tenant, matrix, opts, 0, time.Time{}, enforce)
+}
+
+// registerAt installs a session at an explicit upload generation and
+// creation time — the restart-restore and persist-recovery path, replaying
+// state the store already admitted.
+func (s *Server) registerAt(id, tenant string, matrix *bundling.Matrix, opts bundling.Options, version int, createdAt time.Time) (*session, error) {
+	return s.registerWith(id, tenant, matrix, opts, version, createdAt, false)
+}
+
+// registerWith is the shared body of register and registerAt: version 0 and
+// a zero time select the next generation and "now".
+func (s *Server) registerWith(id, tenant string, matrix *bundling.Matrix, opts bundling.Options, version int, createdAt time.Time, enforce bool) (*session, error) {
 	solver, err := s.cfg.NewSolver(matrix, opts)
 	if err != nil {
 		return nil, err
@@ -230,12 +387,16 @@ func (s *Server) register(id string, matrix *bundling.Matrix, opts bundling.Opti
 	if id == "" {
 		id = s.reg.nextID()
 	}
+	if createdAt.IsZero() {
+		createdAt = time.Now().UTC()
+	}
 	sess := &session{
 		id:        id,
+		tenant:    tenant,
 		solver:    solver,
 		opts:      opts,
 		stats:     solver.Stats(),
-		createdAt: time.Now().UTC(),
+		createdAt: createdAt,
 	}
 	sess.batcher = newBatcher(s.cfg.BatchWorkers, s.cfg.BatchWindow, solver.Evaluate)
 	sess.batcher.onBatch = func(size, unique int) {
@@ -243,7 +404,11 @@ func (s *Server) register(id string, matrix *bundling.Matrix, opts bundling.Opti
 		s.met.batchedRequests.Add(int64(size))
 		s.met.coalescedInBatch.Add(int64(size - unique))
 	}
-	replaced, evicted := s.reg.put(sess)
+	replaced, evicted, err := s.reg.putAt(sess, version, s.cfg.Quotas, enforce)
+	if err != nil {
+		releaseSession(sess) // a cluster engine has already fed its spans
+		return nil, err
+	}
 	releaseSession(replaced)
 	for _, victim := range evicted {
 		s.met.evictions.Add(1)
@@ -270,14 +435,28 @@ func releaseSession(sess *session) {
 
 // Preload registers a session programmatically — the daemon's -demo corpus
 // and in-process harnesses use it to seed sessions without an HTTP upload.
+// Preloaded sessions are public (no owning tenant) and are not persisted:
+// the daemon re-seeds them on every boot.
 func Preload(s *Server, id string, w *bundling.Matrix, opts bundling.Options) error {
-	_, err := s.register(id, w, opts)
+	_, err := s.register(id, "", w, opts, false)
 	return err
 }
 
-// handleList reports every live session.
+// handleList reports the live sessions the caller may see: with auth
+// enabled, its own plus the public ones; open servers list everything.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, ListCorporaResponse{Corpora: s.reg.list()})
+	infos := s.reg.list()
+	if s.cfg.Auth.Enabled() {
+		tenant := tenantOf(r)
+		visible := infos[:0]
+		for _, info := range infos {
+			if info.Tenant == "" || info.Tenant == tenant {
+				visible = append(visible, info)
+			}
+		}
+		infos = visible
+	}
+	writeJSON(w, http.StatusOK, ListCorporaResponse{Corpora: infos})
 }
 
 // handleInfo reports one session.
@@ -287,17 +466,33 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusNotFound, "no corpus %q", r.PathValue("id"))
 		return
 	}
+	if !s.authorize(w, r, sess) {
+		return
+	}
 	writeJSON(w, http.StatusOK, sess.info())
 }
 
-// handleDelete evicts a session.
+// handleDelete evicts a session and removes its persisted record.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	sess := s.reg.delete(r.PathValue("id"))
-	if sess == nil {
-		s.fail(w, http.StatusNotFound, "no corpus %q", r.PathValue("id"))
+	id := r.PathValue("id")
+	sess, ok := s.reg.get(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no corpus %q", id)
 		return
 	}
-	releaseSession(sess)
+	if !s.authorize(w, r, sess) {
+		return
+	}
+	releaseSession(s.reg.delete(id))
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Delete(id); err != nil {
+			// The session is gone from memory but would resurrect on
+			// restart; surface that instead of claiming a clean delete.
+			s.met.storeErrors.Add(1)
+			s.fail(w, http.StatusInternalServerError, "corpus evicted but persistence delete failed: %v", err)
+			return
+		}
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -308,6 +503,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.reg.get(r.PathValue("id"))
 	if !ok {
 		s.fail(w, http.StatusNotFound, "no corpus %q", r.PathValue("id"))
+		return
+	}
+	if !s.authorize(w, r, sess) {
 		return
 	}
 	var req SolveRequest
@@ -356,6 +554,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.reg.get(r.PathValue("id"))
 	if !ok {
 		s.fail(w, http.StatusNotFound, "no corpus %q", r.PathValue("id"))
+		return
+	}
+	if !s.authorize(w, r, sess) {
 		return
 	}
 	var req EvaluateRequest
@@ -416,7 +617,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // handleMetrics exposes the Prometheus text metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.render(w, s.reg.len(), s.cache.len())
+	persisted := -1
+	if s.cfg.Store != nil {
+		persisted = s.cfg.Store.Len()
+	}
+	s.met.render(w, s.reg.len(), s.cache.len(), persisted)
 }
 
 // canonicalOffers encodes an offer family independent of offer and item

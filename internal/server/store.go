@@ -1,0 +1,396 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bundling"
+)
+
+// Store is the corpus persistence layer of the serving tier: an
+// append-on-upload snapshot store under one data directory. Every uploaded
+// corpus is written as a versioned record (the MatrixDoc plus its session
+// metadata) and tracked in a manifest, so a restarted daemon restores its
+// session registry exactly — same corpora, same owners, same upload
+// generations. Generations matter beyond bookkeeping: result-cache keys and
+// cluster span identities embed them, so continuing the counter across
+// restarts is what keeps a post-restart re-upload from ever aliasing a
+// pre-restart result.
+//
+// Layout under the data directory:
+//
+//	manifest.json            live generation + last generation per corpus ID
+//	corpora/<name>.g<N>.json one record per (corpus, generation)
+//
+// Records are written to a temp file and renamed into place, and the
+// manifest is rewritten the same way, so a crash mid-upload leaves either
+// the previous corpus generation or the new one — never a torn record. A
+// background compactor deletes records superseded by a newer generation or
+// by a delete; until it runs they are dead weight on disk, never served.
+//
+// A Store is safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu  sync.Mutex
+	man manifest
+
+	compactCh chan struct{}
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// manifest is the store's durable index.
+type manifest struct {
+	// Live maps corpus ID to the generation currently serving. IDs absent
+	// from Live (but present in Generations) are deleted corpora.
+	Live map[string]int `json:"live"`
+	// Generations maps corpus ID to the last upload generation ever
+	// assigned, surviving deletes — the registry seeds its version counters
+	// from it so a re-created ID continues its sequence.
+	Generations map[string]int `json:"generations"`
+}
+
+// CorpusRecord is one persisted corpus snapshot: the uploaded matrix plus
+// everything the registry needs to rebuild the session it backed.
+type CorpusRecord struct {
+	ID         string              `json:"id"`
+	Tenant     string              `json:"tenant,omitempty"`
+	Generation int                 `json:"generation"`
+	CreatedAt  time.Time           `json:"created_at"`
+	Options    OptionsDoc          `json:"options"`
+	Matrix     *bundling.MatrixDoc `json:"matrix"`
+}
+
+// OpenStore opens (creating if needed) the snapshot store under dir and
+// starts its background compactor. Callers must Close it to flush the final
+// compaction pass.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "corpora"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:       dir,
+		man:       manifest{Live: map[string]int{}, Generations: map[string]int{}},
+		compactCh: make(chan struct{}, 1),
+		closed:    make(chan struct{}),
+	}
+	buf, err := os.ReadFile(s.manifestPath())
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(buf, &s.man); err != nil {
+			return nil, fmt.Errorf("store: manifest: %w", err)
+		}
+		if s.man.Live == nil {
+			s.man.Live = map[string]int{}
+		}
+		if s.man.Generations == nil {
+			s.man.Generations = map[string]int{}
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// fresh store
+	default:
+		return nil, fmt.Errorf("store: manifest: %w", err)
+	}
+	s.wg.Add(1)
+	go s.compactor()
+	s.kickCompact()
+	return s, nil
+}
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close stops the background compactor and runs one final synchronous
+// compaction pass — the graceful flush the daemon performs on shutdown.
+func (s *Store) Close() error {
+	close(s.closed)
+	s.wg.Wait()
+	return s.compactNow()
+}
+
+// Put durably records one uploaded corpus: the record file first, then the
+// manifest pointing at it. On return the corpus survives a crash.
+func (s *Store) Put(rec CorpusRecord) error {
+	if rec.Matrix == nil {
+		return fmt.Errorf("store: record %q has no matrix", rec.ID)
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode %q: %w", rec.ID, err)
+	}
+	if err := writeAtomic(s.recordPath(rec.ID, rec.Generation), buf); err != nil {
+		return fmt.Errorf("store: write %q: %w", rec.ID, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Live only ever advances: two concurrent re-uploads persist outside
+	// the registry lock, so the older generation's Put may land second and
+	// must not roll the manifest back behind what memory serves.
+	if rec.Generation > s.man.Live[rec.ID] {
+		s.man.Live[rec.ID] = rec.Generation
+	}
+	if rec.Generation > s.man.Generations[rec.ID] {
+		s.man.Generations[rec.ID] = rec.Generation
+	}
+	if err := s.saveManifestLocked(); err != nil {
+		return err
+	}
+	s.kickCompact()
+	return nil
+}
+
+// LiveRecord loads the live record of one corpus ID, if any — the recovery
+// source when a failed persist forces the serving layer to fall back to
+// the generation the disk still guarantees.
+func (s *Store) LiveRecord(id string) (CorpusRecord, bool) {
+	s.mu.Lock()
+	gen, ok := s.man.Live[id]
+	s.mu.Unlock()
+	if !ok {
+		return CorpusRecord{}, false
+	}
+	buf, err := os.ReadFile(s.recordPath(id, gen))
+	if err != nil {
+		return CorpusRecord{}, false
+	}
+	var rec CorpusRecord
+	if err := json.Unmarshal(buf, &rec); err != nil || rec.ID != id {
+		return CorpusRecord{}, false
+	}
+	return rec, true
+}
+
+// Delete durably removes a corpus from the manifest (its record files are
+// reclaimed by compaction). The ID's generation counter is retained so a
+// later re-upload continues the sequence.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.man.Live[id]; !ok {
+		return nil
+	}
+	delete(s.man.Live, id)
+	if err := s.saveManifestLocked(); err != nil {
+		return err
+	}
+	s.kickCompact()
+	return nil
+}
+
+// Restore loads every live corpus record, sorted by ID. A record that fails
+// to load is skipped and reported in the joined error; the good records are
+// still returned, so one corrupt file degrades to a missing corpus instead
+// of a daemon that cannot boot.
+func (s *Store) Restore() ([]CorpusRecord, error) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.man.Live))
+	gens := make(map[string]int, len(s.man.Live))
+	for id, gen := range s.man.Live {
+		ids = append(ids, id)
+		gens[id] = gen
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	var (
+		recs []CorpusRecord
+		errs []error
+	)
+	for _, id := range ids {
+		buf, err := os.ReadFile(s.recordPath(id, gens[id]))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("store: restore %q: %w", id, err))
+			continue
+		}
+		var rec CorpusRecord
+		if err := json.Unmarshal(buf, &rec); err != nil {
+			errs = append(errs, fmt.Errorf("store: restore %q: %w", id, err))
+			continue
+		}
+		if rec.ID != id || rec.Generation != gens[id] {
+			errs = append(errs, fmt.Errorf("store: restore %q: record names %q generation %d, manifest expects generation %d",
+				id, rec.ID, rec.Generation, gens[id]))
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs, errors.Join(errs...)
+}
+
+// Generations snapshots the last-assigned upload generation per corpus ID,
+// including deleted IDs — the registry's version-counter seed.
+func (s *Store) Generations() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.man.Generations))
+	for id, gen := range s.man.Generations {
+		out[id] = gen
+	}
+	return out
+}
+
+// Len returns the number of live (persisted, non-deleted) corpora.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.man.Live)
+}
+
+// --- internals --------------------------------------------------------------
+
+func (s *Store) manifestPath() string { return filepath.Join(s.dir, "manifest.json") }
+
+// recordPath names a (corpus, generation) record file. The name keeps a
+// sanitized prefix of the ID for operator readability and appends an FNV
+// hash of the full ID so two IDs that sanitize identically cannot collide.
+func (s *Store) recordPath(id string, gen int) string {
+	return filepath.Join(s.dir, "corpora", fmt.Sprintf("%s.g%d.json", recordName(id), gen))
+}
+
+// recordName renders a corpus ID filesystem-safe.
+func recordName(id string) string {
+	var b strings.Builder
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+		if b.Len() >= 48 {
+			break
+		}
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	return fmt.Sprintf("%s.%016x", b.String(), h.Sum64())
+}
+
+// saveManifestLocked rewrites the manifest atomically; callers hold s.mu.
+func (s *Store) saveManifestLocked() error {
+	buf, err := json.MarshalIndent(s.man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode manifest: %w", err)
+	}
+	if err := writeAtomic(s.manifestPath(), buf); err != nil {
+		return fmt.Errorf("store: write manifest: %w", err)
+	}
+	return nil
+}
+
+// writeAtomic writes buf to path via a temp file + rename, so readers (and
+// crashes) see either the old content or the new, never a torn write.
+func writeAtomic(path string, buf []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(buf)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if err := errors.Join(werr, serr, cerr); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// kickCompact schedules a compaction pass without blocking.
+func (s *Store) kickCompact() {
+	select {
+	case s.compactCh <- struct{}{}:
+	default:
+	}
+}
+
+// compactor runs compaction passes in the background until Close.
+func (s *Store) compactor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.compactCh:
+			_ = s.compactNow()
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+// compactNow deletes every record file superseded by a newer generation or
+// orphaned by a delete. It decides per file from the generation in the file
+// name, never by "not in the manifest snapshot": an upload writes its record
+// before the manifest, so a snapshot-membership rule would race a concurrent
+// Put and delete a record the manifest is about to point at. Comparing
+// generations is monotonic — a stale snapshot can only under-delete, and the
+// next pass finishes the job. Unrecognized files are left alone.
+func (s *Store) compactNow() error {
+	s.mu.Lock()
+	liveGen := make(map[string]int, len(s.man.Live))
+	for id, gen := range s.man.Live {
+		liveGen[recordName(id)] = gen
+	}
+	lastGen := make(map[string]int, len(s.man.Generations))
+	for id, gen := range s.man.Generations {
+		lastGen[recordName(id)] = gen
+	}
+	s.mu.Unlock()
+	entries, err := os.ReadDir(filepath.Join(s.dir, "corpora"))
+	if err != nil {
+		return err
+	}
+	var errs []error
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		key, gen, ok := parseRecordName(name)
+		if !ok {
+			continue
+		}
+		var dead bool
+		if live, isLive := liveGen[key]; isLive {
+			dead = gen < live // superseded by a newer upload
+		} else if last, known := lastGen[key]; known {
+			dead = gen <= last // deleted ID; a concurrent re-upload is > last
+		}
+		if !dead {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, "corpora", name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// parseRecordName splits a record file name into its ID key (the sanitized
+// prefix plus hash, i.e. recordName(id)) and generation.
+func parseRecordName(name string) (key string, gen int, ok bool) {
+	if !strings.HasSuffix(name, ".json") {
+		return "", 0, false
+	}
+	base := strings.TrimSuffix(name, ".json")
+	i := strings.LastIndex(base, ".g")
+	if i < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(base[i+2:])
+	if err != nil || n < 1 {
+		return "", 0, false
+	}
+	return base[:i], n, true
+}

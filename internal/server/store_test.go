@@ -1,0 +1,178 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bundling"
+)
+
+// testDoc builds a tiny MatrixDoc with a recognizable entry value.
+func testDoc(val float64) *bundling.MatrixDoc {
+	w := bundling.NewMatrix(2, 2)
+	w.MustSet(0, 0, val)
+	w.MustSet(1, 1, val/2)
+	return bundling.NewMatrixDoc(w)
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	rec := CorpusRecord{
+		ID:         "shop",
+		Tenant:     "alice",
+		Generation: 1,
+		CreatedAt:  time.Now().UTC().Truncate(time.Second),
+		Options:    OptionsDoc{Strategy: "mixed", Theta: -0.05},
+		Matrix:     testDoc(10),
+	}
+	if err := st.Put(rec); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	recs, err := st2.Restore()
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("restored %d records, want 1", len(recs))
+	}
+	got := recs[0]
+	if got.ID != "shop" || got.Tenant != "alice" || got.Generation != 1 {
+		t.Errorf("record = %+v", got)
+	}
+	if got.Options.Strategy != "mixed" || got.Options.Theta != -0.05 {
+		t.Errorf("options = %+v", got.Options)
+	}
+	if len(got.Matrix.Entries) != 2 || got.Matrix.Entries[0][2] != 10 {
+		t.Errorf("matrix = %+v", got.Matrix)
+	}
+	if !got.CreatedAt.Equal(rec.CreatedAt) {
+		t.Errorf("created_at %v, want %v", got.CreatedAt, rec.CreatedAt)
+	}
+}
+
+func TestStoreGenerationsSurviveDelete(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for gen := 1; gen <= 3; gen++ {
+		if err := st.Put(CorpusRecord{ID: "c", Generation: gen, Matrix: testDoc(float64(gen))}); err != nil {
+			t.Fatalf("put gen %d: %v", gen, err)
+		}
+	}
+	if err := st.Delete("c"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if st.Len() != 0 {
+		t.Fatalf("live = %d after delete", st.Len())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	if recs, _ := st2.Restore(); len(recs) != 0 {
+		t.Errorf("deleted corpus restored: %+v", recs)
+	}
+	// The generation counter must survive the delete, so a re-created ID
+	// continues its sequence.
+	if gens := st2.Generations(); gens["c"] != 3 {
+		t.Errorf("generations[c] = %d, want 3", gens["c"])
+	}
+}
+
+func TestStoreCompactionRemovesSuperseded(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for gen := 1; gen <= 3; gen++ {
+		if err := st.Put(CorpusRecord{ID: "c", Generation: gen, Matrix: testDoc(float64(gen))}); err != nil {
+			t.Fatalf("put gen %d: %v", gen, err)
+		}
+	}
+	if err := st.Put(CorpusRecord{ID: "gone", Generation: 1, Matrix: testDoc(1)}); err != nil {
+		t.Fatalf("put gone: %v", err)
+	}
+	if err := st.Delete("gone"); err != nil {
+		t.Fatalf("delete gone: %v", err)
+	}
+	// Close runs the final synchronous compaction pass.
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "corpora"))
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 1 || !strings.Contains(names[0], ".g3.") {
+		t.Errorf("after compaction files = %v, want only generation 3 of %q", names, "c")
+	}
+}
+
+func TestStorePutLiveMonotonic(t *testing.T) {
+	// Two concurrent re-uploads persist outside the registry lock: the
+	// older generation's Put may land second and must not roll Live back.
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Put(CorpusRecord{ID: "c", Generation: 2, Matrix: testDoc(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(CorpusRecord{ID: "c", Generation: 1, Matrix: testDoc(1)}); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := st.LiveRecord("c")
+	if !ok || rec.Generation != 2 {
+		t.Fatalf("LiveRecord = %+v, %v; want generation 2", rec, ok)
+	}
+	if recs, _ := st.Restore(); len(recs) != 1 || recs[0].Generation != 2 {
+		t.Fatalf("restore = %+v, want generation 2", recs)
+	}
+}
+
+func TestStoreRecordNameCollisions(t *testing.T) {
+	// Two IDs that sanitize identically must not share a record path.
+	a := (&Store{dir: "d"}).recordPath("a/b", 1)
+	b := (&Store{dir: "d"}).recordPath("a:b", 1)
+	if a == b {
+		t.Fatalf("record paths collide: %s", a)
+	}
+	// Unicode and path separators stay out of the file name.
+	name := recordName("ä/корпус:x")
+	if strings.ContainsAny(name, "/\\: ") {
+		t.Errorf("unsafe record name %q", name)
+	}
+	key, gen, ok := parseRecordName(recordName("a/b") + ".g7.json")
+	if !ok || gen != 7 || key != recordName("a/b") {
+		t.Errorf("parseRecordName = %q %d %v", key, gen, ok)
+	}
+}

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Check intra-repo markdown links: every relative link target in README.md
+# and docs/*.md must exist on disk (anchors are stripped; external http(s)
+# and mailto links are skipped). CI runs this in the docs job; locally it's
+# `make linkcheck`. Exits non-zero listing every broken link.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FILES="README.md $(find docs -name '*.md' 2>/dev/null || true)"
+STATUS=0
+
+for f in $FILES; do
+  [ -f "$f" ] || continue
+  dir=$(dirname "$f")
+  # Markdown inline links: every [...](target), possibly several per line.
+  targets=$(grep -o ']([^)]*)' "$f" | sed 's/^](//; s/)$//' || true)
+  for target in $targets; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "broken link in $f: $target" >&2
+      STATUS=1
+    fi
+  done
+done
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "linkcheck OK"
+fi
+exit "$STATUS"

@@ -4,8 +4,11 @@
 # non-200 the test observes. Then smoke the distributed mode: boot two
 # bundleworker daemons plus a coordinator bundled -workers, upload the demo
 # corpus to it, and fail on any non-200 or on a solve mismatch between the
-# cluster and local modes. CI runs this after the unit-test gate; locally
-# it's `make smoke`.
+# cluster and local modes. Finally smoke the durable multi-tenant mode:
+# boot with -data-dir and -auth-keys, upload as one tenant, check 401/403/
+# 429 enforcement, SIGTERM the daemon, reboot it on the same data dir, and
+# demand the restored corpus solve to the same revenue. CI runs this after
+# the unit-test gate; locally it's `make smoke`.
 set -eu
 
 ADDR="${BUNDLED_SMOKE_ADDR:-127.0.0.1:8077}"
@@ -79,8 +82,12 @@ for a in "$ADDR" "$CADDR"; do
   fi
 done
 
+# solve_revenue addr corpus algorithm [extra curl args...] — e.g. an
+# Authorization header for the multi-tenant daemon.
 solve_revenue() {
-  curl -sf -X POST "http://$1/v1/corpora/$2/solve" -d "{\"algorithm\":\"$3\"}" |
+  _addr=$1 _corpus=$2 _alg=$3
+  shift 3
+  curl -sf "$@" -X POST "http://$_addr/v1/corpora/$_corpus/solve" -d "{\"algorithm\":\"$_alg\"}" |
     grep -o '"revenue": [0-9.eE+-]*' | head -1 | awk '{print $2}'
 }
 
@@ -113,8 +120,76 @@ wait "$WPID1" 2>/dev/null || true
 wait_healthy "http://$CADDR" "$CPID" "$CLOG" 503
 echo "cluster smoke: coordinator degraded to 503 with a worker down"
 
+# --- durable multi-tenant mode ----------------------------------------------
+
+DADDR="${BUNDLED_SMOKE_DURABLE_ADDR:-127.0.0.1:8079}"
+DATADIR="$(mktemp -d)"
+DLOG="$(mktemp)"
+AKEY="sk-alice"
+BKEY="sk-bob"
+
+"$BIN" -addr "$DADDR" -data-dir "$DATADIR" -auth-keys "alice=$AKEY,bob=$BKEY" -quota-corpora 1 >"$DLOG" 2>&1 &
+DPID=$!
+PIDS="$PIDS $DPID"
+wait_healthy "http://$DADDR" "$DPID" "$DLOG"
+
+# Unauthenticated requests must be rejected with 401.
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$DADDR/v1/corpora")
+if [ "$code" != "401" ]; then
+  echo "unauthenticated list returned $code, want 401" >&2
+  exit 1
+fi
+
+# Alice uploads her corpus; it must persist across the restart below.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$DADDR/v1/corpora" \
+  -H "Authorization: Bearer $AKEY" -d "$CORPUS")
+if [ "$code" != "201" ]; then
+  echo "authenticated upload returned $code, want 201" >&2
+  cat "$DLOG" >&2
+  exit 1
+fi
+
+# Bob must not see or touch alice's corpus.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$DADDR/v1/corpora/smoke/solve" \
+  -H "Authorization: Bearer $BKEY" -d '{"algorithm":"matching"}')
+if [ "$code" != "403" ]; then
+  echo "cross-tenant solve returned $code, want 403" >&2
+  exit 1
+fi
+
+# A second distinct corpus exceeds alice's -quota-corpora 1: 429.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$DADDR/v1/corpora" \
+  -H "Authorization: Bearer $AKEY" -d "$(printf '%s' "$CORPUS" | sed 's/"smoke"/"smoke2"/')")
+if [ "$code" != "429" ]; then
+  echo "over-quota upload returned $code, want 429" >&2
+  exit 1
+fi
+
+R_BEFORE=$(solve_revenue "$DADDR" smoke matching -H "Authorization: Bearer $AKEY")
+
+# Kill the daemon and reboot it against the same data dir: the corpus and
+# its solve results must survive.
+kill -TERM "$DPID"
+wait "$DPID"
+"$BIN" -addr "$DADDR" -data-dir "$DATADIR" -auth-keys "alice=$AKEY,bob=$BKEY" -quota-corpora 1 >"$DLOG" 2>&1 &
+DPID=$!
+PIDS="$PIDS $DPID"
+wait_healthy "http://$DADDR" "$DPID" "$DLOG"
+
+R_AFTER=$(solve_revenue "$DADDR" smoke matching -H "Authorization: Bearer $AKEY")
+if [ -z "$R_BEFORE" ] || [ -z "$R_AFTER" ]; then
+  echo "missing restart revenues (before='$R_BEFORE' after='$R_AFTER')" >&2
+  cat "$DLOG" >&2
+  exit 1
+fi
+if ! awk -v a="$R_BEFORE" -v b="$R_AFTER" 'BEGIN{d=a-b; if (d<0) d=-d; exit !(d <= 1e-9*(1+(a<0?-a:a)))}'; then
+  echo "restart solve mismatch: before $R_BEFORE vs after $R_AFTER" >&2
+  exit 1
+fi
+echo "durable smoke: revenue $R_AFTER survived the restart"
+
 # Graceful shutdowns must complete cleanly.
-for p in "$CPID" "$WPID2" "$PID"; do
+for p in "$CPID" "$WPID2" "$PID" "$DPID"; do
   kill -TERM "$p"
   wait "$p"
 done
