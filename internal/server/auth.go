@@ -250,9 +250,17 @@ func (s *Server) guard(next http.Handler) http.Handler {
 // session with an empty owner is public — uploaded while authentication was
 // off (e.g. the -demo corpus) — and stays accessible to every tenant.
 func (s *Server) authorize(w http.ResponseWriter, r *http.Request, sess *session) bool {
-	if !s.cfg.Auth.Enabled() || sess.tenant == "" || sess.tenant == tenantOf(r) {
+	return s.authorizeOwner(w, r, sess.id, sess.tenant)
+}
+
+// authorizeOwner is the one ownership predicate for request handling:
+// authorize applies it to live sessions, the store read-through paths
+// (lazy reload, persisted delete) to a record's owner. The registry's
+// install gate shares its semantics via ownerError.
+func (s *Server) authorizeOwner(w http.ResponseWriter, r *http.Request, id, owner string) bool {
+	if !s.cfg.Auth.Enabled() || owner == "" || owner == tenantOf(r) {
 		return true
 	}
-	s.fail(w, http.StatusForbidden, "corpus %q belongs to another tenant", sess.id)
+	s.fail(w, http.StatusForbidden, "%v", &ownerError{id: id})
 	return false
 }

@@ -224,6 +224,150 @@ func TestQuotas(t *testing.T) {
 	}
 }
 
+// TestEvictedCorpusKeepsOwnershipAndQuota pins the durable-tenancy
+// guarantees to the store, not the in-memory registry: LRU-evicting a
+// session must not let another tenant take over its ID, must not stop the
+// corpus counting against its owner's quotas, and the owner must still be
+// able to DELETE it to free both.
+func TestEvictedCorpusKeepsOwnershipAndQuota(t *testing.T) {
+	auth, err := ParseAuthKeys("alice=sk-a,bob=sk-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := New(Config{Auth: auth, Store: st, MaxSessions: 1, Quotas: Quotas{MaxCorpora: 2}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Alice's second upload evicts her first session; its record persists.
+	for _, id := range []string{"a1", "a2"} {
+		if code, body := authRequest(t, ts, http.MethodPost, "/v1/corpora", "sk-a", tinyUpload(id, 3)); code != http.StatusCreated {
+			t.Fatalf("upload %s: %d: %s", id, code, body)
+		}
+	}
+	if srv.Sessions() != 1 {
+		t.Fatalf("sessions = %d, want 1 (MaxSessions)", srv.Sessions())
+	}
+	// The listing reaches past the registry: alice sees both corpora (the
+	// evicted one holds quota and is deletable), bob sees neither.
+	listIDs := func(key string) []string {
+		t.Helper()
+		code, body := authRequest(t, ts, http.MethodGet, "/v1/corpora", key, "")
+		if code != http.StatusOK {
+			t.Fatalf("list: %d: %s", code, body)
+		}
+		var list ListCorporaResponse
+		if err := json.Unmarshal([]byte(body), &list); err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]string, 0, len(list.Corpora))
+		for _, c := range list.Corpora {
+			ids = append(ids, c.ID)
+		}
+		return ids
+	}
+	if ids := listIDs("sk-a"); len(ids) != 2 || ids[0] != "a1" || ids[1] != "a2" {
+		t.Fatalf("alice lists %v, want [a1 a2]", ids)
+	}
+	if ids := listIDs("sk-b"); len(ids) != 0 {
+		t.Fatalf("bob lists %v, want none", ids)
+	}
+	// The evicted corpus still belongs to alice: bob cannot claim its ID.
+	if code, body := authRequest(t, ts, http.MethodPost, "/v1/corpora", "sk-b", tinyUpload("a1", 2)); code != http.StatusForbidden {
+		t.Fatalf("takeover of evicted corpus: %d: %s", code, body)
+	}
+	// ...and it still counts against her corpus quota.
+	if code, body := authRequest(t, ts, http.MethodPost, "/v1/corpora", "sk-a", tinyUpload("a3", 2)); code != http.StatusTooManyRequests {
+		t.Fatalf("quota ignored evicted corpus: %d: %s", code, body)
+	}
+	// Only the owner may delete the evicted corpus; the delete frees both
+	// the ID and the quota.
+	if code, body := authRequest(t, ts, http.MethodDelete, "/v1/corpora/a1", "sk-b", ""); code != http.StatusForbidden {
+		t.Fatalf("bob deleted alice's evicted corpus: %d: %s", code, body)
+	}
+	if code, body := authRequest(t, ts, http.MethodDelete, "/v1/corpora/a1", "sk-a", ""); code != http.StatusNoContent {
+		t.Fatalf("delete evicted corpus: %d: %s", code, body)
+	}
+	if code, body := authRequest(t, ts, http.MethodPost, "/v1/corpora", "sk-a", tinyUpload("a3", 2)); code != http.StatusCreated {
+		t.Fatalf("upload after freeing quota: %d: %s", code, body)
+	}
+	// A deleted ID is genuinely free: any tenant may claim it.
+	if code, body := authRequest(t, ts, http.MethodDelete, "/v1/corpora/a3", "sk-a", ""); code != http.StatusNoContent {
+		t.Fatalf("delete a3: %d: %s", code, body)
+	}
+	if code, body := authRequest(t, ts, http.MethodPost, "/v1/corpora", "sk-b", tinyUpload("a1", 2)); code != http.StatusCreated {
+		t.Fatalf("claim of deleted id: %d: %s", code, body)
+	}
+}
+
+// TestEvictedCorpusLazilyReloads: the registry is a bounded cache over the
+// store — solve/GET on an evicted-but-persisted corpus re-indexes it on
+// demand (serving identical results at the same generation) instead of
+// 404ing an ID the listing names, and ownership is checked before the
+// rebuild so other tenants cannot make the daemon churn index builds.
+func TestEvictedCorpusLazilyReloads(t *testing.T) {
+	auth, err := ParseAuthKeys("alice=sk-a,bob=sk-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := New(Config{Auth: auth, Store: st, MaxSessions: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, body := authRequest(t, ts, http.MethodPost, "/v1/corpora", "sk-a", tinyUpload("e1", 4)); code != http.StatusCreated {
+		t.Fatalf("upload e1: %d: %s", code, body)
+	}
+	solve := func(key string) (int, SolveResponse) {
+		code, body := authRequest(t, ts, http.MethodPost, "/v1/corpora/e1/solve", key, `{"algorithm":"matching"}`)
+		var resp SolveResponse
+		if code == http.StatusOK {
+			if err := json.Unmarshal([]byte(body), &resp); err != nil {
+				t.Fatalf("solve: %v: %s", err, body)
+			}
+		}
+		return code, resp
+	}
+	code, before := solve("sk-a")
+	if code != http.StatusOK {
+		t.Fatalf("pre-eviction solve: %d", code)
+	}
+	// Evict e1's session, then hit it again: bob is rejected without a
+	// rebuild, alice gets the same result at the same generation.
+	if code, body := authRequest(t, ts, http.MethodPost, "/v1/corpora", "sk-a", tinyUpload("e2", 4)); code != http.StatusCreated {
+		t.Fatalf("upload e2: %d: %s", code, body)
+	}
+	if srv.Sessions() != 1 {
+		t.Fatalf("sessions = %d, want 1", srv.Sessions())
+	}
+	if code, _ := solve("sk-b"); code != http.StatusForbidden {
+		t.Fatalf("bob solve on alice's evicted corpus: %d", code)
+	}
+	code, after := solve("sk-a")
+	if code != http.StatusOK {
+		t.Fatalf("post-eviction solve: %d", code)
+	}
+	if after.Version != before.Version {
+		t.Errorf("reloaded generation = %d, want %d", after.Version, before.Version)
+	}
+	if after.Config.Revenue != before.Config.Revenue {
+		t.Errorf("reloaded revenue %g, want %g", after.Config.Revenue, before.Config.Revenue)
+	}
+	if code, _ := authRequest(t, ts, http.MethodGet, "/v1/corpora/e2", "sk-a", ""); code != http.StatusOK {
+		t.Errorf("e2 (evicted by the reload) should lazily reload too")
+	}
+}
+
 func TestRateQuota(t *testing.T) {
 	srv := New(Config{Quotas: Quotas{RequestsPerSecond: 0.001, Burst: 2}})
 	defer srv.Close()

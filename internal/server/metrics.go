@@ -191,7 +191,7 @@ func (m *metrics) render(w io.Writer, sessions, cacheEntries, persisted int) {
 			{"bundled_quota_rps_rejections_total", "Requests rejected with 429 by the per-tenant request-rate quota.", m.quotaRPS.Load()},
 			{"bundled_quota_corpora_rejections_total", "Uploads rejected with 429 by the per-tenant corpus-count quota.", m.quotaCorpora.Load()},
 			{"bundled_quota_entries_rejections_total", "Uploads rejected with 429 by the per-tenant entry quota.", m.quotaEntries.Load()},
-			{"bundled_restored_sessions_total", "Sessions restored from the corpus store at startup.", m.restores.Load()},
+			{"bundled_restored_sessions_total", "Sessions restored from the corpus store (at startup or by lazy reload of an evicted corpus).", m.restores.Load()},
 			{"bundled_store_errors_total", "Corpus persistence operations that failed.", m.storeErrors.Load()},
 		})
 }

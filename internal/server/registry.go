@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,6 +10,10 @@ import (
 
 	"bundling"
 )
+
+// errAlreadyInstalled reports an if-absent install that found a session
+// under the ID — the caller serves that session instead.
+var errAlreadyInstalled = errors.New("session already installed")
 
 // session is one named, long-lived corpus session: an indexed
 // bundling.Solver plus the serving plumbing layered on it (per-session
@@ -58,6 +63,9 @@ func (s *session) info() CorpusInfo {
 // map), so an ID that is evicted and later re-created continues its version
 // sequence and can never collide with cached results of an earlier life.
 type registry struct {
+	authOn bool   // enforce corpus ownership on installs (auth is enabled)
+	store  *Store // durable ownership + quota source for evicted sessions (nil = memory only)
+
 	mu       sync.Mutex
 	max      int
 	sessions map[string]*session
@@ -104,34 +112,77 @@ type quotaError struct {
 
 func (e *quotaError) Error() string { return e.msg }
 
+// ownerError reports an install under an ID another tenant owns; the
+// handler maps it to 403.
+type ownerError struct{ id string }
+
+func (e *ownerError) Error() string {
+	return fmt.Sprintf("corpus %q belongs to another tenant", e.id)
+}
+
+// ownerCheckLocked rejects an install under an ID another tenant owns. The
+// live session is authoritative; when the session has been LRU-evicted the
+// persisted record still carries ownership, so eviction never opens a
+// takeover window. Callers hold r.mu.
+func (r *registry) ownerCheckLocked(tenant, id string) error {
+	if !r.authOn || id == "" {
+		return nil
+	}
+	owner, known := "", false
+	if sess, ok := r.sessions[id]; ok {
+		owner, known = sess.tenant, true
+	} else if r.store != nil {
+		owner, known = r.store.Owner(id)
+	}
+	if known && owner != "" && owner != tenant {
+		return &ownerError{id: id}
+	}
+	return nil
+}
+
 // quotaCheckLocked verifies that tenant may install a corpus of the given
-// size under id. Replacing a corpus the tenant already owns is always
-// within the corpus-count quota (and frees the predecessor's entries);
-// taking over a public corpus is not — it grows the tenant's holdings.
-// Callers hold r.mu.
+// size under id. Holdings are the union of live sessions and the store's
+// persisted corpora, deduplicated by ID: an LRU-evicted corpus keeps its
+// record (and resurrects on restart), so it keeps counting. Replacing a
+// corpus the tenant already owns is always within the corpus-count quota
+// (and frees the predecessor's entries); taking over a public corpus is not
+// — it grows the tenant's holdings. Callers hold r.mu.
 func (r *registry) quotaCheckLocked(tenant, id string, entries int, q Quotas) error {
-	existing := r.sessions[id]
-	ownReplace := existing != nil && existing.tenant == tenant
-	if q.MaxCorpora > 0 && !ownReplace {
-		owned := 0
-		for _, sess := range r.sessions {
-			if sess.tenant == tenant {
-				owned++
-			}
-		}
-		if owned >= q.MaxCorpora {
-			return &quotaError{"corpora", fmt.Sprintf("corpus quota exceeded (%d corpora)", q.MaxCorpora)}
+	if q.MaxCorpora <= 0 && q.MaxEntries <= 0 {
+		return nil
+	}
+	existingTenant, existingEntries, exists := "", 0, false
+	if sess, ok := r.sessions[id]; ok {
+		existingTenant, existingEntries, exists = sess.tenant, sess.stats.Entries, true
+	} else if r.store != nil {
+		if t, _, n, ok := r.store.LiveInfo(id); ok {
+			existingTenant, existingEntries, exists = t, n, true
 		}
 	}
-	if q.MaxEntries > 0 {
-		used := 0
-		for _, sess := range r.sessions {
-			if sess.tenant == tenant {
-				used += sess.stats.Entries
-			}
+	ownReplace := exists && existingTenant == tenant
+	owned, used := 0, 0
+	counted := make(map[string]bool, len(r.sessions))
+	for _, sess := range r.sessions {
+		counted[sess.id] = true
+		if sess.tenant == tenant {
+			owned++
+			used += sess.stats.Entries
 		}
+	}
+	if r.store != nil {
+		r.store.forEachLive(func(cid, ct string, n int) {
+			if !counted[cid] && ct == tenant {
+				owned++
+				used += n
+			}
+		})
+	}
+	if q.MaxCorpora > 0 && !ownReplace && owned >= q.MaxCorpora {
+		return &quotaError{"corpora", fmt.Sprintf("corpus quota exceeded (%d corpora)", q.MaxCorpora)}
+	}
+	if q.MaxEntries > 0 {
 		if ownReplace {
-			used -= existing.stats.Entries
+			used -= existingEntries
 		}
 		if used+entries > q.MaxEntries {
 			return &quotaError{"entries", fmt.Sprintf("entry quota exceeded (%d of %d entries in use, corpus adds %d)",
@@ -141,26 +192,44 @@ func (r *registry) quotaCheckLocked(tenant, id string, entries int, q Quotas) er
 	return nil
 }
 
-// admitCheck is the advisory pre-index quota gate: the same check putAt
-// enforces atomically, run before the expensive engine build so an
-// over-quota upload is rejected cheaply.
+// admitLocked is the full admission gate — ownership, then quotas. Callers
+// hold r.mu.
+func (r *registry) admitLocked(tenant, id string, entries int, q Quotas) error {
+	if err := r.ownerCheckLocked(tenant, id); err != nil {
+		return err
+	}
+	return r.quotaCheckLocked(tenant, id, entries, q)
+}
+
+// admitCheck is the advisory pre-index admission gate: the same ownership
+// and quota checks putAt enforces atomically, run before the expensive
+// engine build so a doomed upload is rejected cheaply.
 func (r *registry) admitCheck(tenant, id string, entries int, q Quotas) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.quotaCheckLocked(tenant, id, entries, q)
+	return r.admitLocked(tenant, id, entries, q)
 }
 
 // putAt installs a session. Version 0 assigns the next generation of the
 // ID's sequence (the upload path); a positive version installs at exactly
 // that generation (the restart-restore path, replaying a generation the
 // store already assigned) while keeping the ID's counter monotonic. With
-// enforce set the tenant quota check runs atomically with the install, so
-// concurrent uploads cannot slip past the gate together.
-func (r *registry) putAt(sess *session, version int, q Quotas, enforce bool) (replaced *session, evicted []*session, err error) {
+// enforce set the tenant ownership and quota checks run atomically with the
+// install, so concurrent uploads cannot slip past the gate together and no
+// eviction or race during the index build can open a takeover window. With
+// ifAbsent set the install fails with errAlreadyInstalled when any session
+// holds the ID — the paths replaying disk state (lazy reload, persist
+// recovery) must never stomp a session a concurrent upload installed.
+func (r *registry) putAt(sess *session, version int, q Quotas, enforce, ifAbsent bool) (replaced *session, evicted []*session, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if ifAbsent {
+		if _, ok := r.sessions[sess.id]; ok {
+			return nil, nil, errAlreadyInstalled
+		}
+	}
 	if enforce {
-		if err := r.quotaCheckLocked(sess.tenant, sess.id, sess.stats.Entries, q); err != nil {
+		if err := r.admitLocked(sess.tenant, sess.id, sess.stats.Entries, q); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -212,16 +281,16 @@ func (r *registry) peek(id string) (*session, bool) {
 	return sess, ok
 }
 
-// get returns the session for id, refreshing its LRU recency.
-func (r *registry) get(id string) (*session, bool) {
+// touch refreshes sess's LRU recency if it is still the installed session
+// for its ID. Handlers look sessions up with peek and promote only after
+// authorization succeeds, so a rejected request cannot perturb another
+// tenant's eviction order.
+func (r *registry) touch(sess *session) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	sess, ok := r.sessions[id]
-	if !ok {
-		return nil, false
+	if r.sessions[sess.id] == sess {
+		r.lru.MoveToFront(sess.elem)
 	}
-	r.lru.MoveToFront(sess.elem)
-	return sess, true
 }
 
 // delete removes and returns the session for id (nil if absent); the

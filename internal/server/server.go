@@ -133,6 +133,11 @@ func New(cfg Config) *Server {
 		met:   newMetrics(),
 		rates: newRateGate(cfg.Quotas),
 	}
+	// The registry's install gate and quota accounting reach past memory:
+	// an LRU-evicted corpus keeps its persisted record, so it keeps its
+	// owner and keeps counting against its tenant.
+	s.reg.authOn = cfg.Auth.Enabled()
+	s.reg.store = cfg.Store
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/corpora", s.handleCreate)
 	mux.HandleFunc("GET /v1/corpora", s.handleList)
@@ -277,23 +282,20 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tenant := tenantOf(r)
-	// Ownership and an advisory quota check run before the expensive
-	// engine build; the authoritative quota check runs atomically with the
-	// install inside the registry.
-	if existing, ok := s.reg.peek(req.ID); req.ID != "" && ok &&
-		s.cfg.Auth.Enabled() && existing.tenant != "" && existing.tenant != tenant {
-		s.fail(w, http.StatusForbidden, "corpus %q belongs to another tenant", req.ID)
-		return
-	}
+	// An advisory admission pass (ownership, quotas) runs before the
+	// expensive engine build so a doomed upload is rejected cheaply; the
+	// authoritative checks run atomically with the install inside the
+	// registry, where they also see evicted-but-persisted corpora.
 	if err := s.reg.admitCheck(tenant, req.ID, matrix.Entries(), s.cfg.Quotas); err != nil {
-		s.failQuota(w, err)
+		s.failAdmit(w, err)
 		return
 	}
 	sess, err := s.register(req.ID, tenant, matrix, opts, true)
 	if err != nil {
 		var qe *quotaError
-		if errors.As(err, &qe) {
-			s.failQuota(w, err)
+		var oe *ownerError
+		if errors.As(err, &qe) || errors.As(err, &oe) {
+			s.failAdmit(w, err)
 			return
 		}
 		s.fail(w, http.StatusBadRequest, "index corpus: %v", err)
@@ -307,6 +309,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			CreatedAt:  sess.createdAt,
 			Options:    NewOptionsDoc(opts),
 			Matrix:     req.Matrix,
+			Entries:    sess.stats.Entries, // parsed count, not raw doc length
 		}
 		if rec.Matrix == nil {
 			rec.Matrix = bundling.NewMatrixDoc(matrix) // csv uploads persist in canonical form
@@ -330,9 +333,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, sess.info())
 }
 
-// failQuota emits a 429 and bumps the rejection counter matching the
-// exceeded quota.
-func (s *Server) failQuota(w http.ResponseWriter, err error) {
+// failAdmit maps an admission error to its response: a cross-tenant install
+// is 403; an exceeded quota is 429 plus the matching rejection counter.
+func (s *Server) failAdmit(w http.ResponseWriter, err error) {
+	var oe *ownerError
+	if errors.As(err, &oe) {
+		s.fail(w, http.StatusForbidden, "%v", err)
+		return
+	}
 	var qe *quotaError
 	if errors.As(err, &qe) && qe.kind == "entries" {
 		s.met.quotaEntries.Add(1)
@@ -345,7 +353,9 @@ func (s *Server) failQuota(w http.ResponseWriter, err error) {
 // recoverFromStore re-indexes the store's live generation of id after a
 // failed persist wiped the in-memory session, restoring the corpus to the
 // state a restart would produce. Best effort: if the record cannot be
-// loaded the ID stays absent, exactly as after a crash.
+// loaded the ID stays absent, exactly as after a crash. Installs only if
+// the ID is still free — a concurrent upload that installed a newer
+// session meanwhile must not be stomped with stale disk state.
 func (s *Server) recoverFromStore(id string) {
 	rec, ok := s.cfg.Store.LiveRecord(id)
 	if !ok {
@@ -359,7 +369,7 @@ func (s *Server) recoverFromStore(id string) {
 	if err != nil {
 		return
 	}
-	_, _ = s.registerAt(rec.ID, rec.Tenant, matrix, opts, rec.Generation, rec.CreatedAt)
+	_, _ = s.registerIfAbsent(rec.ID, rec.Tenant, matrix, opts, rec.Generation, rec.CreatedAt)
 }
 
 // register indexes a corpus and installs its session (replacing any session
@@ -367,19 +377,26 @@ func (s *Server) recoverFromStore(id string) {
 // the tenant quota check runs atomically with the install; trusted paths
 // (preload, restore, recovery) pass false.
 func (s *Server) register(id, tenant string, matrix *bundling.Matrix, opts bundling.Options, enforce bool) (*session, error) {
-	return s.registerWith(id, tenant, matrix, opts, 0, time.Time{}, enforce)
+	return s.registerWith(id, tenant, matrix, opts, 0, time.Time{}, enforce, false)
 }
 
 // registerAt installs a session at an explicit upload generation and
-// creation time — the restart-restore and persist-recovery path, replaying
-// state the store already admitted.
+// creation time — the restart-restore path, replaying state the store
+// already admitted.
 func (s *Server) registerAt(id, tenant string, matrix *bundling.Matrix, opts bundling.Options, version int, createdAt time.Time) (*session, error) {
-	return s.registerWith(id, tenant, matrix, opts, version, createdAt, false)
+	return s.registerWith(id, tenant, matrix, opts, version, createdAt, false, false)
 }
 
-// registerWith is the shared body of register and registerAt: version 0 and
+// registerIfAbsent is registerAt for the lazy-reload and persist-recovery
+// paths: it fails with errAlreadyInstalled instead of replacing a session a
+// concurrent upload installed meanwhile.
+func (s *Server) registerIfAbsent(id, tenant string, matrix *bundling.Matrix, opts bundling.Options, version int, createdAt time.Time) (*session, error) {
+	return s.registerWith(id, tenant, matrix, opts, version, createdAt, false, true)
+}
+
+// registerWith is the shared body of the register variants: version 0 and
 // a zero time select the next generation and "now".
-func (s *Server) registerWith(id, tenant string, matrix *bundling.Matrix, opts bundling.Options, version int, createdAt time.Time, enforce bool) (*session, error) {
+func (s *Server) registerWith(id, tenant string, matrix *bundling.Matrix, opts bundling.Options, version int, createdAt time.Time, enforce, ifAbsent bool) (*session, error) {
 	solver, err := s.cfg.NewSolver(matrix, opts)
 	if err != nil {
 		return nil, err
@@ -404,7 +421,7 @@ func (s *Server) registerWith(id, tenant string, matrix *bundling.Matrix, opts b
 		s.met.batchedRequests.Add(int64(size))
 		s.met.coalescedInBatch.Add(int64(size - unique))
 	}
-	replaced, evicted, err := s.reg.putAt(sess, version, s.cfg.Quotas, enforce)
+	replaced, evicted, err := s.reg.putAt(sess, version, s.cfg.Quotas, enforce, ifAbsent)
 	if err != nil {
 		releaseSession(sess) // a cluster engine has already fed its spans
 		return nil, err
@@ -442,10 +459,26 @@ func Preload(s *Server, id string, w *bundling.Matrix, opts bundling.Options) er
 	return err
 }
 
-// handleList reports the live sessions the caller may see: with auth
-// enabled, its own plus the public ones; open servers list everything.
+// handleList reports the corpora the caller may see: with auth enabled,
+// its own plus the public ones; open servers list everything. The listing
+// reaches past the in-memory registry to evicted-but-persisted corpora —
+// they still hold quota and remain deletable, so the listing must agree
+// with the quota accounting and let a tenant find the IDs that DELETE
+// would free.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	infos := s.reg.list()
+	if s.cfg.Store != nil {
+		live := make(map[string]bool, len(infos))
+		for _, info := range infos {
+			live[info.ID] = true
+		}
+		for _, info := range s.cfg.Store.ListLive(tenantOf(r), !s.cfg.Auth.Enabled()) {
+			if !live[info.ID] {
+				infos = append(infos, info)
+			}
+		}
+		sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	}
 	if s.cfg.Auth.Enabled() {
 		tenant := tenantOf(r)
 		visible := infos[:0]
@@ -459,53 +492,167 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ListCorporaResponse{Corpora: infos})
 }
 
+// lookupSession resolves id to an authorized live session for serving. The
+// registry is a bounded cache over the store, so a miss reads through: an
+// evicted-but-persisted corpus is lazily re-indexed at its persisted
+// generation — every ID the listing names is servable, not just the ones
+// still in memory. Authorization runs before the expensive rebuild, so
+// another tenant probing the ID cannot make the daemon churn index builds.
+// Returns nil after writing the error response.
+func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request, id string) *session {
+	if sess, ok := s.reg.peek(id); ok {
+		return s.servePeeked(w, r, sess)
+	}
+	if s.cfg.Store == nil {
+		s.fail(w, http.StatusNotFound, "no corpus %q", id)
+		return nil
+	}
+	rec, ok := s.cfg.Store.LiveRecord(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no corpus %q", id)
+		return nil
+	}
+	if !s.authorizeOwner(w, r, id, rec.Tenant) {
+		return nil
+	}
+	opts, err := rec.Options.options()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "reload corpus %q: options: %v", id, err)
+		return nil
+	}
+	matrix, err := rec.Matrix.Matrix()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "reload corpus %q: %v", id, err)
+		return nil
+	}
+	sess, err := s.registerIfAbsent(rec.ID, rec.Tenant, matrix, opts, rec.Generation, rec.CreatedAt)
+	if errors.Is(err, errAlreadyInstalled) {
+		// A concurrent upload or reload won the install; serve its session.
+		if sess, ok := s.reg.peek(id); ok {
+			return s.servePeeked(w, r, sess)
+		}
+		s.fail(w, http.StatusNotFound, "no corpus %q", id)
+		return nil
+	}
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "reload corpus %q: index: %v", id, err)
+		return nil
+	}
+	// A DELETE may have durably removed the corpus while the rebuild ran;
+	// the install must not resurrect it as a ghost session that serves,
+	// holds quota and blocks re-claim of the freed ID. Re-validate
+	// liveness after the install and back out if the generation is gone
+	// (deletePersisted's memory sweep covers the opposite interleaving).
+	if _, gen, _, live := s.cfg.Store.LiveInfo(id); !live || gen != rec.Generation {
+		releaseSession(s.reg.deleteIf(sess))
+		s.fail(w, http.StatusNotFound, "no corpus %q", id)
+		return nil
+	}
+	s.met.restores.Add(1)
+	return sess
+}
+
+// servePeeked authorizes a peeked session and promotes its LRU recency for
+// serving; nil (response written) when the caller may not touch it.
+func (s *Server) servePeeked(w http.ResponseWriter, r *http.Request, sess *session) *session {
+	if !s.authorize(w, r, sess) {
+		return nil
+	}
+	s.reg.touch(sess)
+	return sess
+}
+
 // handleInfo reports one session.
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.reg.get(r.PathValue("id"))
-	if !ok {
-		s.fail(w, http.StatusNotFound, "no corpus %q", r.PathValue("id"))
-		return
-	}
-	if !s.authorize(w, r, sess) {
+	sess := s.lookupSession(w, r, r.PathValue("id"))
+	if sess == nil {
 		return
 	}
 	writeJSON(w, http.StatusOK, sess.info())
 }
 
-// handleDelete evicts a session and removes its persisted record.
+// handleDelete evicts a session and removes its persisted record. An ID
+// with no live session may still be an LRU-evicted corpus with a persisted
+// record — deletable too, or it would hold its tenant's quota forever.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	sess, ok := s.reg.get(id)
+	sess, ok := s.reg.peek(id)
 	if !ok {
-		s.fail(w, http.StatusNotFound, "no corpus %q", id)
+		s.deletePersisted(w, r, id)
 		return
 	}
 	if !s.authorize(w, r, sess) {
 		return
 	}
-	releaseSession(s.reg.delete(id))
-	if s.cfg.Store != nil {
-		if err := s.cfg.Store.Delete(id); err != nil {
-			// The session is gone from memory but would resurrect on
-			// restart; surface that instead of claiming a clean delete.
-			s.met.storeErrors.Add(1)
-			s.fail(w, http.StatusInternalServerError, "corpus evicted but persistence delete failed: %v", err)
-			return
-		}
+	// Delete exactly the session the caller was authorized on: a concurrent
+	// re-upload may have replaced it, and that newer corpus (possibly
+	// another tenant's claim of a freed ID) must survive — deleteIf skips a
+	// replaced session, and the generation-aware store delete is a no-op
+	// once a newer generation is persisted.
+	releaseSession(s.reg.deleteIf(sess))
+	if !s.deleteRecord(w, id, sess.version) {
+		return
 	}
+	s.sweepResurrected(id, sess.version)
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// deletePersisted handles DELETE for an ID with no live session: the corpus
+// may still hold a persisted record (and quota) after an LRU eviction.
+func (s *Server) deletePersisted(w http.ResponseWriter, r *http.Request, id string) {
+	if s.cfg.Store == nil {
+		s.fail(w, http.StatusNotFound, "no corpus %q", id)
+		return
+	}
+	owner, gen, _, ok := s.cfg.Store.LiveInfo(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no corpus %q", id)
+		return
+	}
+	if !s.authorizeOwner(w, r, id, owner) {
+		return
+	}
+	if !s.deleteRecord(w, id, gen) {
+		return
+	}
+	s.sweepResurrected(id, gen)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// sweepResurrected evicts a session a lazy reload re-installed at or below
+// the generation a delete just tombstoned. The reload re-checks store
+// liveness after installing and every delete path sweeps after
+// tombstoning, so whichever runs last cleans up — a durably deleted corpus
+// can never linger as a ghost session that serves, holds quota and blocks
+// re-claim of the freed ID.
+func (s *Server) sweepResurrected(id string, gen int) {
+	if sess, ok := s.reg.peek(id); ok && sess.version <= gen {
+		releaseSession(s.reg.deleteIf(sess))
+	}
+}
+
+// deleteRecord removes the persisted record of id at generation gen,
+// writing the error response on failure (the session may already be gone
+// from memory but would resurrect on restart; surface that instead of
+// claiming a clean delete). Reports whether the delete succeeded.
+func (s *Server) deleteRecord(w http.ResponseWriter, id string, gen int) bool {
+	if s.cfg.Store == nil {
+		return true
+	}
+	if err := s.cfg.Store.Delete(id, gen); err != nil {
+		s.met.storeErrors.Add(1)
+		s.fail(w, http.StatusInternalServerError, "corpus evicted but persistence delete failed: %v", err)
+		return false
+	}
+	return true
 }
 
 // handleSolve runs a configuration algorithm on a session, serving repeats
 // from the result cache.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	sess, ok := s.reg.get(r.PathValue("id"))
-	if !ok {
-		s.fail(w, http.StatusNotFound, "no corpus %q", r.PathValue("id"))
-		return
-	}
-	if !s.authorize(w, r, sess) {
+	sess := s.lookupSession(w, r, r.PathValue("id"))
+	if sess == nil {
 		return
 	}
 	var req SolveRequest
@@ -551,12 +698,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // one bounded worker pass.
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	sess, ok := s.reg.get(r.PathValue("id"))
-	if !ok {
-		s.fail(w, http.StatusNotFound, "no corpus %q", r.PathValue("id"))
-		return
-	}
-	if !s.authorize(w, r, sess) {
+	sess := s.lookupSession(w, r, r.PathValue("id"))
+	if sess == nil {
 		return
 	}
 	var req EvaluateRequest

@@ -258,8 +258,10 @@ func TestSessionEvictionLRU(t *testing.T) {
 		}
 	}
 	// Touch "a" so "b" is the LRU victim.
-	if _, ok := srv.reg.get("a"); !ok {
+	if sess, ok := srv.reg.peek("a"); !ok {
 		t.Fatal("session a missing")
+	} else {
+		srv.reg.touch(sess)
 	}
 	if err := Preload(srv, "c", w, bundling.Options{}); err != nil {
 		t.Fatal(err)
@@ -267,20 +269,20 @@ func TestSessionEvictionLRU(t *testing.T) {
 	if srv.Sessions() != 2 {
 		t.Fatalf("sessions = %d, want 2", srv.Sessions())
 	}
-	if _, ok := srv.reg.get("b"); ok {
+	if _, ok := srv.reg.peek("b"); ok {
 		t.Error("b should have been evicted as LRU")
 	}
-	if _, ok := srv.reg.get("a"); !ok {
+	if _, ok := srv.reg.peek("a"); !ok {
 		t.Error("a should have survived")
 	}
-	if _, ok := srv.reg.get("c"); !ok {
+	if _, ok := srv.reg.peek("c"); !ok {
 		t.Error("c should be live")
 	}
 	// An evicted-then-recreated ID continues its version sequence.
 	if err := Preload(srv, "b", w, bundling.Options{}); err != nil {
 		t.Fatal(err)
 	}
-	sess, ok := srv.reg.get("b")
+	sess, ok := srv.reg.peek("b")
 	if !ok || sess.version != 2 {
 		t.Errorf("recreated b version = %d, want 2 (versions survive eviction)", sess.version)
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"maps"
 	"os"
 	"path/filepath"
 	"sort"
@@ -28,7 +29,9 @@ import (
 //
 // Layout under the data directory:
 //
-//	manifest.json            live generation + last generation per corpus ID
+//	manifest.json            per corpus ID: live generation, owner, entry
+//	                         count and listing metadata, plus the last
+//	                         generation ever assigned and delete tombstones
 //	corpora/<name>.g<N>.json one record per (corpus, generation)
 //
 // Records are written to a temp file and renamed into place, and the
@@ -58,6 +61,46 @@ type manifest struct {
 	// assigned, surviving deletes — the registry seeds its version counters
 	// from it so a re-created ID continues its sequence.
 	Generations map[string]int `json:"generations"`
+	// Owners maps each live corpus ID to its owning tenant (absent =
+	// public). Ownership must outlive the in-memory session: an LRU-evicted
+	// corpus keeps its record, so its owner must keep blocking takeover.
+	Owners map[string]string `json:"owners,omitempty"`
+	// Entries maps each live corpus ID to its non-zero WTP entry count —
+	// the quota currency for corpora whose sessions are evicted.
+	Entries map[string]int `json:"entries,omitempty"`
+	// Deleted maps corpus ID to the highest deleted generation: the
+	// tombstone that stops the raced Put of that very generation — a delete
+	// can land between a session's install and its persist — from
+	// resurrecting a corpus the deleter was told is gone. Cleared when a
+	// genuinely newer generation goes live.
+	Deleted map[string]int `json:"deleted,omitempty"`
+	// Meta holds each live corpus's listing-sized metadata, so listing
+	// evicted corpora never reads their record files (whose matrices can be
+	// as large as the upload bound).
+	Meta map[string]corpusMeta `json:"meta,omitempty"`
+}
+
+// corpusMeta is the listing-sized slice of a corpus record: what
+// GET /v1/corpora needs without the matrix payload.
+type corpusMeta struct {
+	Consumers int        `json:"consumers"`
+	Items     int        `json:"items"`
+	CreatedAt time.Time  `json:"created_at"`
+	Options   OptionsDoc `json:"options"`
+}
+
+// clone deep-copies the manifest. Mutators work on a clone and install it
+// only after the rewrite hits disk, so a failed save never leaves the
+// in-memory index claiming state the disk does not hold.
+func (m manifest) clone() manifest {
+	return manifest{
+		Live:        maps.Clone(m.Live),
+		Generations: maps.Clone(m.Generations),
+		Owners:      maps.Clone(m.Owners),
+		Entries:     maps.Clone(m.Entries),
+		Deleted:     maps.Clone(m.Deleted),
+		Meta:        maps.Clone(m.Meta),
+	}
 }
 
 // CorpusRecord is one persisted corpus snapshot: the uploaded matrix plus
@@ -69,6 +112,20 @@ type CorpusRecord struct {
 	CreatedAt  time.Time           `json:"created_at"`
 	Options    OptionsDoc          `json:"options"`
 	Matrix     *bundling.MatrixDoc `json:"matrix"`
+	// Entries is the indexed non-zero WTP entry count — the quota currency.
+	// The raw doc may hold duplicate or zero-valued cells, so its length can
+	// overstate what the session actually indexed.
+	Entries int `json:"entries,omitempty"`
+}
+
+// quotaEntries returns the record's entry count for quota accounting,
+// falling back to the raw doc length for records written before the Entries
+// field existed.
+func (rec CorpusRecord) quotaEntries() int {
+	if rec.Entries > 0 || rec.Matrix == nil {
+		return rec.Entries
+	}
+	return len(rec.Matrix.Entries)
 }
 
 // OpenStore opens (creating if needed) the snapshot store under dir and
@@ -79,8 +136,15 @@ func OpenStore(dir string) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
-		dir:       dir,
-		man:       manifest{Live: map[string]int{}, Generations: map[string]int{}},
+		dir: dir,
+		man: manifest{
+			Live:        map[string]int{},
+			Generations: map[string]int{},
+			Owners:      map[string]string{},
+			Entries:     map[string]int{},
+			Deleted:     map[string]int{},
+			Meta:        map[string]corpusMeta{},
+		},
 		compactCh: make(chan struct{}, 1),
 		closed:    make(chan struct{}),
 	}
@@ -95,6 +159,18 @@ func OpenStore(dir string) (*Store, error) {
 		}
 		if s.man.Generations == nil {
 			s.man.Generations = map[string]int{}
+		}
+		if s.man.Owners == nil {
+			s.man.Owners = map[string]string{}
+		}
+		if s.man.Entries == nil {
+			s.man.Entries = map[string]int{}
+		}
+		if s.man.Deleted == nil {
+			s.man.Deleted = map[string]int{}
+		}
+		if s.man.Meta == nil {
+			s.man.Meta = map[string]corpusMeta{}
 		}
 	case errors.Is(err, os.ErrNotExist):
 		// fresh store
@@ -135,16 +211,35 @@ func (s *Store) Put(rec CorpusRecord) error {
 	defer s.mu.Unlock()
 	// Live only ever advances: two concurrent re-uploads persist outside
 	// the registry lock, so the older generation's Put may land second and
-	// must not roll the manifest back behind what memory serves.
-	if rec.Generation > s.man.Live[rec.ID] {
-		s.man.Live[rec.ID] = rec.Generation
+	// must not roll the manifest back behind what memory serves. Nor may it
+	// advance past a tombstone: a Delete that raced this Put already told
+	// its caller generations through Deleted[id] are gone, and the record
+	// of a tombstoned generation is dead on arrival (compaction reclaims
+	// it). Owner and entry count follow the generation that wins.
+	next := s.man.clone()
+	if rec.Generation > next.Live[rec.ID] && rec.Generation > next.Deleted[rec.ID] {
+		next.Live[rec.ID] = rec.Generation
+		if rec.Tenant == "" {
+			delete(next.Owners, rec.ID)
+		} else {
+			next.Owners[rec.ID] = rec.Tenant
+		}
+		next.Entries[rec.ID] = rec.quotaEntries()
+		next.Meta[rec.ID] = corpusMeta{
+			Consumers: rec.Matrix.Consumers,
+			Items:     rec.Matrix.Items,
+			CreatedAt: rec.CreatedAt,
+			Options:   rec.Options,
+		}
+		delete(next.Deleted, rec.ID)
 	}
-	if rec.Generation > s.man.Generations[rec.ID] {
-		s.man.Generations[rec.ID] = rec.Generation
+	if rec.Generation > next.Generations[rec.ID] {
+		next.Generations[rec.ID] = rec.Generation
 	}
-	if err := s.saveManifestLocked(); err != nil {
+	if err := s.saveManifestLocked(next); err != nil {
 		return err
 	}
+	s.man = next
 	s.kickCompact()
 	return nil
 }
@@ -164,27 +259,114 @@ func (s *Store) LiveRecord(id string) (CorpusRecord, bool) {
 		return CorpusRecord{}, false
 	}
 	var rec CorpusRecord
-	if err := json.Unmarshal(buf, &rec); err != nil || rec.ID != id {
+	if err := json.Unmarshal(buf, &rec); err != nil || rec.ID != id || rec.Matrix == nil {
 		return CorpusRecord{}, false
 	}
 	return rec, true
 }
 
-// Delete durably removes a corpus from the manifest (its record files are
-// reclaimed by compaction). The ID's generation counter is retained so a
-// later re-upload continues the sequence.
-func (s *Store) Delete(id string) error {
+// ListLive renders a listing entry for every live (persisted, non-deleted)
+// corpus the tenant may see — its own plus public ones; with all set, every
+// corpus. Built from the manifest alone: the listing's reach past the
+// in-memory registry never reads record files (whose matrices can be as
+// large as the upload bound). Stripe and total-WTP figures are unknown
+// until a corpus is re-indexed and stay zero.
+func (s *Store) ListLive(tenant string, all bool) []CorpusInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.man.Live[id]; !ok {
+	out := make([]CorpusInfo, 0, len(s.man.Live))
+	for id, gen := range s.man.Live {
+		owner := s.man.Owners[id]
+		if !all && owner != "" && owner != tenant {
+			continue
+		}
+		meta := s.man.Meta[id]
+		out = append(out, CorpusInfo{
+			ID:        id,
+			Version:   gen,
+			Tenant:    owner,
+			Consumers: meta.Consumers,
+			Items:     meta.Items,
+			Entries:   s.man.Entries[id],
+			Options:   meta.Options,
+			CreatedAt: meta.CreatedAt,
+		})
+	}
+	return out
+}
+
+// Delete durably removes a corpus from the manifest (its record files are
+// reclaimed by compaction) — but only while its live generation is still at
+// most gen, the generation the caller evicted. A concurrent re-upload that
+// already persisted a newer generation wins: its durably-acknowledged
+// corpus must never be un-persisted by a delete that raced it. The ID's
+// generation counter is retained so a later re-upload continues the
+// sequence.
+func (s *Store) Delete(id string, gen int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if live, ok := s.man.Live[id]; ok && live > gen {
 		return nil
 	}
-	delete(s.man.Live, id)
-	if err := s.saveManifestLocked(); err != nil {
+	if s.man.Deleted[id] >= gen {
+		return nil // already tombstoned through this generation
+	}
+	next := s.man.clone()
+	delete(next.Live, id)
+	delete(next.Owners, id)
+	delete(next.Entries, id)
+	delete(next.Meta, id)
+	// Tombstone through gen even when no live entry exists yet: the
+	// evicted session's Put may still be in flight, and landing after this
+	// delete must not resurrect the generation the caller was told is
+	// gone. Raising the generation counter alongside keeps post-restart
+	// uploads sequencing past the tombstone.
+	next.Deleted[id] = gen
+	if gen > next.Generations[id] {
+		next.Generations[id] = gen
+	}
+	if err := s.saveManifestLocked(next); err != nil {
 		return err
 	}
+	s.man = next
 	s.kickCompact()
 	return nil
+}
+
+// Owner reports the owning tenant of a live (persisted, non-deleted)
+// corpus; ok is false when the ID has no live record. The registry's
+// install gate consults it so an LRU-evicted corpus still blocks takeover
+// by another tenant.
+func (s *Store) Owner(id string) (tenant string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, live := s.man.Live[id]; !live {
+		return "", false
+	}
+	return s.man.Owners[id], true
+}
+
+// LiveInfo reports the owning tenant, live generation and entry count of a
+// persisted corpus.
+func (s *Store) LiveInfo(id string) (tenant string, gen, entries int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gen, ok = s.man.Live[id]
+	if !ok {
+		return "", 0, 0, false
+	}
+	return s.man.Owners[id], gen, s.man.Entries[id], true
+}
+
+// forEachLive calls fn for every live corpus with its owner and entry count
+// — the registry's durable-holdings source for quota accounting, so evicted
+// corpora keep counting against their tenant.
+func (s *Store) forEachLive(fn func(id, tenant string, entries int)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id := range s.man.Live {
+		fn(id, s.man.Owners[id], s.man.Entries[id])
+	}
 }
 
 // Restore loads every live corpus record, sorted by ID. A record that fails
@@ -221,9 +403,51 @@ func (s *Store) Restore() ([]CorpusRecord, error) {
 				id, rec.ID, rec.Generation, gens[id]))
 			continue
 		}
+		if rec.Matrix == nil {
+			errs = append(errs, fmt.Errorf("store: restore %q: record has no matrix", id))
+			continue
+		}
 		recs = append(recs, rec)
 	}
+	s.backfillManifest(recs)
 	return recs, errors.Join(errs...)
+}
+
+// backfillManifest fills ownership and entry counts missing from the
+// manifest (written by a version that tracked only generations) from the
+// records themselves, so the install gate and quota accounting see old data
+// dirs correctly. The in-memory fill sticks even when the rewrite fails —
+// it restates what the records already durably say — and the rewrite then
+// lands with the next successful Put.
+func (s *Store) backfillManifest(recs []CorpusRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed := false
+	for _, rec := range recs {
+		if s.man.Live[rec.ID] != rec.Generation {
+			continue
+		}
+		if _, ok := s.man.Entries[rec.ID]; !ok {
+			s.man.Entries[rec.ID] = rec.quotaEntries()
+			changed = true
+		}
+		if _, ok := s.man.Owners[rec.ID]; !ok && rec.Tenant != "" {
+			s.man.Owners[rec.ID] = rec.Tenant
+			changed = true
+		}
+		if _, ok := s.man.Meta[rec.ID]; !ok {
+			s.man.Meta[rec.ID] = corpusMeta{
+				Consumers: rec.Matrix.Consumers,
+				Items:     rec.Matrix.Items,
+				CreatedAt: rec.CreatedAt,
+				Options:   rec.Options,
+			}
+			changed = true
+		}
+	}
+	if changed {
+		_ = s.saveManifestLocked(s.man)
+	}
 }
 
 // Generations snapshots the last-assigned upload generation per corpus ID,
@@ -275,9 +499,10 @@ func recordName(id string) string {
 	return fmt.Sprintf("%s.%016x", b.String(), h.Sum64())
 }
 
-// saveManifestLocked rewrites the manifest atomically; callers hold s.mu.
-func (s *Store) saveManifestLocked() error {
-	buf, err := json.MarshalIndent(s.man, "", "  ")
+// saveManifestLocked rewrites the manifest atomically; callers hold s.mu
+// and install m as s.man only when the write succeeded.
+func (s *Store) saveManifestLocked(m manifest) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: encode manifest: %w", err)
 	}
@@ -304,6 +529,12 @@ func writeAtomic(path string, buf []byte) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		_ = os.Remove(tmp.Name())
 		return err
+	}
+	// The rename itself is only durable once the directory entry is synced;
+	// best effort on platforms whose directories reject Sync.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		_ = dir.Close()
 	}
 	return nil
 }

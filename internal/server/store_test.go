@@ -77,7 +77,7 @@ func TestStoreGenerationsSurviveDelete(t *testing.T) {
 			t.Fatalf("put gen %d: %v", gen, err)
 		}
 	}
-	if err := st.Delete("c"); err != nil {
+	if err := st.Delete("c", 3); err != nil {
 		t.Fatalf("delete: %v", err)
 	}
 	if st.Len() != 0 {
@@ -102,6 +102,71 @@ func TestStoreGenerationsSurviveDelete(t *testing.T) {
 	}
 }
 
+func TestStoreDeleteGenerationAware(t *testing.T) {
+	// A delete that raced a newer upload must not un-persist the upload:
+	// the handler evicted generation 1, but generation 2 is already durable
+	// (and acknowledged), so the delete is a no-op.
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for gen := 1; gen <= 2; gen++ {
+		if err := st.Put(CorpusRecord{ID: "c", Tenant: "alice", Generation: gen, Matrix: testDoc(float64(gen))}); err != nil {
+			t.Fatalf("put gen %d: %v", gen, err)
+		}
+	}
+	if err := st.Delete("c", 1); err != nil {
+		t.Fatalf("stale delete: %v", err)
+	}
+	if rec, ok := st.LiveRecord("c"); !ok || rec.Generation != 2 {
+		t.Fatalf("stale delete removed the newer generation: %+v, %v", rec, ok)
+	}
+	if owner, ok := st.Owner("c"); !ok || owner != "alice" {
+		t.Errorf("Owner = %q, %v; want alice", owner, ok)
+	}
+	if err := st.Delete("c", 2); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, ok := st.LiveRecord("c"); ok {
+		t.Error("corpus live after matching-generation delete")
+	}
+	if _, ok := st.Owner("c"); ok {
+		t.Error("deleted corpus still has an owner")
+	}
+}
+
+func TestStoreDeleteTombstonesInFlightPut(t *testing.T) {
+	// A delete can land between a session's install and its persist: the
+	// later Put of the tombstoned generation must not resurrect a corpus
+	// whose deleter was already told it is gone.
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Delete("c", 1); err != nil {
+		t.Fatalf("delete ahead of put: %v", err)
+	}
+	if err := st.Put(CorpusRecord{ID: "c", Generation: 1, Matrix: testDoc(1)}); err != nil {
+		t.Fatalf("raced put: %v", err)
+	}
+	if _, ok := st.LiveRecord("c"); ok {
+		t.Fatal("tombstoned generation resurrected by a raced Put")
+	}
+	// A genuinely newer upload re-claims the ID and clears the tombstone;
+	// the generation counter sequences past the tombstone.
+	if gens := st.Generations(); gens["c"] != 1 {
+		t.Fatalf("generations[c] = %d, want 1 (tombstone raises the counter)", gens["c"])
+	}
+	if err := st.Put(CorpusRecord{ID: "c", Generation: 2, Matrix: testDoc(2)}); err != nil {
+		t.Fatalf("re-claim put: %v", err)
+	}
+	if rec, ok := st.LiveRecord("c"); !ok || rec.Generation != 2 {
+		t.Fatalf("re-claimed corpus = %+v, %v; want generation 2 live", rec, ok)
+	}
+}
+
 func TestStoreCompactionRemovesSuperseded(t *testing.T) {
 	dir := t.TempDir()
 	st, err := OpenStore(dir)
@@ -116,7 +181,7 @@ func TestStoreCompactionRemovesSuperseded(t *testing.T) {
 	if err := st.Put(CorpusRecord{ID: "gone", Generation: 1, Matrix: testDoc(1)}); err != nil {
 		t.Fatalf("put gone: %v", err)
 	}
-	if err := st.Delete("gone"); err != nil {
+	if err := st.Delete("gone", 1); err != nil {
 		t.Fatalf("delete gone: %v", err)
 	}
 	// Close runs the final synchronous compaction pass.

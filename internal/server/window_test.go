@@ -96,7 +96,7 @@ func TestServerBatchWindowPlumbed(t *testing.T) {
 	if err := Preload(s, "c", w, bundling.Options{}); err != nil {
 		t.Fatal(err)
 	}
-	sess, ok := s.reg.get("c")
+	sess, ok := s.reg.peek("c")
 	if !ok {
 		t.Fatal("session missing")
 	}
