@@ -5,7 +5,7 @@
 GO ?= go
 NPROC ?= $(shell nproc 2>/dev/null || echo 2)
 
-.PHONY: build test vet fmt race check smoke linkcheck bench bench-parallel bench-serve bench-cluster fuzz
+.PHONY: build test vet fmt race check smoke chaos linkcheck bench bench-parallel bench-serve bench-cluster bench-chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,14 @@ linkcheck:
 smoke:
 	./scripts/smoke.sh
 
+# Fault-injection suite under the race detector: chaos transports (errors,
+# stale spans, blackholes, partitions), breaker trip/probe/recover cycles,
+# overload shedding, deadline propagation and panic recovery. CI runs this
+# as its own job; it is slower than `race` because blackhole scenarios wait
+# out real RPC deadlines.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestBreaker|TestSolveContext|TestEvaluateContext|TestLimiter|TestOverload|TestDeadline|TestPanic|TestBatcher' ./internal/cluster/ ./internal/server/
+
 # Benchmark the algorithm hot paths (one-shot and warm-session rows) at
 # bench scale and write machine-readable results. Compare against the
 # committed BENCH_greedy.json before and after performance work.
@@ -62,6 +70,13 @@ bench-serve:
 # every result equivalence-checked within 1e-9 (BENCH_cluster.json).
 bench-cluster:
 	$(GO) run ./cmd/bundlebench -exp cluster -servereqs 400 -serveconc 4 -benchout BENCH_cluster.json
+
+# Benchmark the resilience layer: the distributed evaluate path over a
+# 3-worker fleet with fault-injecting transports at 0/10/30% error rates,
+# recording throughput, p99 and the fallback rate while equivalence-checking
+# every result against the single-machine solver (BENCH_chaos.json).
+bench-chaos:
+	$(GO) run ./cmd/bundlebench -exp chaos -benchout BENCH_chaos.json
 
 # Short fuzz pass over the incremental-union equivalence property.
 fuzz:

@@ -98,6 +98,7 @@
 package bundling
 
 import (
+	"context"
 	"fmt"
 
 	"bundling/internal/adoption"
@@ -305,8 +306,23 @@ func (s *Solver) EvaluateAggregated(offers [][]int, agg Aggregator) (*Configurat
 	return s.inner.EvaluateAggregated(offers, agg)
 }
 
+// EvaluateAggregatedContext is EvaluateAggregated under a context: ctx is
+// handed to every aggregator reduction and checked between offers, so
+// distributed evaluates inherit the caller's deadline.
+func (s *Solver) EvaluateAggregatedContext(ctx context.Context, offers [][]int, agg Aggregator) (*Configuration, error) {
+	return s.inner.EvaluateAggregatedContext(ctx, offers, agg)
+}
+
 // Solve runs an algorithm on the session.
 func (s *Solver) Solve(a Algorithm) (*Configuration, error) { return s.inner.Solve(a) }
+
+// SolveContext is Solve under a context: a canceled or expired ctx aborts
+// the run at its next iteration boundary with the context's error, so a
+// serving layer can bound solve latency and stop work for disconnected
+// callers.
+func (s *Solver) SolveContext(ctx context.Context, a Algorithm) (*Configuration, error) {
+	return s.inner.SolveContext(ctx, a)
+}
 
 // Evaluate prices a caller-proposed configuration on the session — the
 // "what-if" counterpart of Solve. offers lists the item sets to put on
@@ -314,6 +330,12 @@ func (s *Solver) Solve(a Algorithm) (*Configuration, error) { return s.inner.Sol
 // pairwise disjoint under pure bundling and laminar (disjoint or nested)
 // under mixed bundling; they need not cover every item.
 func (s *Solver) Evaluate(offers [][]int) (*Configuration, error) { return s.inner.Evaluate(offers) }
+
+// EvaluateContext is Evaluate under a context: a canceled or expired ctx
+// aborts the evaluation between offers with the context's error.
+func (s *Solver) EvaluateContext(ctx context.Context, offers [][]int) (*Configuration, error) {
+	return s.inner.EvaluateContext(ctx, offers)
+}
 
 // Algorithms lists the algorithms runnable on this session.
 func (s *Solver) Algorithms() []Algorithm { return config.Algorithms() }

@@ -15,7 +15,12 @@
 // (also not part of `all`) boots the bundled serving subsystem in-process
 // and drives a concurrent mixed solve/evaluate load through the HTTP
 // client, reporting requests/sec, tail latency, and cache/batching
-// counters (BENCH_serve.json via -benchout).
+// counters (BENCH_serve.json via -benchout). `cluster` benchmarks
+// stripe-sharded distributed solving against the single-machine solver
+// (BENCH_cluster.json); `chaos` re-runs the distributed evaluate path
+// under injected transport faults at rising rates, recording throughput,
+// tail latency and fallback rate while equivalence-checking every result
+// (BENCH_chaos.json).
 package main
 
 import (
@@ -31,7 +36,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiment: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,wsp,case,ablations,joint,welfare,stats,perf,serve,cluster,all")
+		expFlag   = flag.String("exp", "all", "experiment: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,wsp,case,ablations,joint,welfare,stats,perf,serve,cluster,chaos,all")
 		scaleFlag = flag.String("scale", "bench", "dataset scale: small, bench, full")
 		lambda    = flag.Float64("lambda", experiments.DefaultLambda, "ratings→WTP conversion factor λ")
 		theta     = flag.Float64("theta", 0, "bundling coefficient θ")
@@ -74,11 +79,11 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchO
 	}
 	all := wants["all"]
 	need := func(name string) bool { return all || wants[name] }
-	if benchOut != "" && !wants["perf"] && !wants["serve"] && !wants["cluster"] {
-		// perf, serve and cluster are deliberately excluded from `all`;
+	if benchOut != "" && !wants["perf"] && !wants["serve"] && !wants["cluster"] && !wants["chaos"] {
+		// perf, serve, cluster and chaos are deliberately excluded from `all`;
 		// reject rather than silently dropping the flag (and never writing
 		// the file).
-		return fmt.Errorf("-benchout requires -exp perf, -exp serve or -exp cluster")
+		return fmt.Errorf("-benchout requires -exp perf, -exp serve, -exp cluster or -exp chaos")
 	}
 
 	// Table 1 needs no dataset.
@@ -98,7 +103,7 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchO
 	// perf, serve and cluster are opt-in only (not part of `all`): perf
 	// reruns each algorithm many times, and serve/cluster drive sustained
 	// load, any of which would dwarf the table/figure regeneration.
-	if wants["perf"] || wants["serve"] || wants["cluster"] {
+	if wants["perf"] || wants["serve"] || wants["cluster"] || wants["chaos"] {
 		needEnv = true
 	}
 	if !needEnv {
@@ -125,6 +130,11 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchO
 	if wants["cluster"] {
 		if err := runCluster(env, scaleName, benchOut, params, serveConc, serveReqs); err != nil {
 			return fmt.Errorf("cluster: %w", err)
+		}
+	}
+	if wants["chaos"] {
+		if err := runChaos(env, scaleName, benchOut, params, serveConc, serveReqs); err != nil {
+			return fmt.Errorf("chaos: %w", err)
 		}
 	}
 	if need("stats") {

@@ -65,6 +65,13 @@ type options struct {
 	demoUsers    int
 	demoItems    int
 	drainSecs    int
+
+	requestTimeout time.Duration
+	maxConcurrent  int
+	maxQueue       int
+	queueTimeout   time.Duration
+	rpcTimeout     time.Duration
+	breakerCool    time.Duration
 }
 
 func main() {
@@ -87,6 +94,12 @@ func main() {
 	flag.IntVar(&o.demoUsers, "demo-users", 300, "demo corpus users")
 	flag.IntVar(&o.demoItems, "demo-items", 60, "demo corpus items")
 	flag.IntVar(&o.drainSecs, "drain-seconds", 15, "graceful shutdown drain window")
+	flag.DurationVar(&o.requestTimeout, "request-timeout", 0, "server-side solve/evaluate execution budget; expired runs get 504 (0 = none; X-Deadline-Ms can only shorten it)")
+	flag.IntVar(&o.maxConcurrent, "max-concurrent", 64, "max in-flight solve/evaluate executions (negative disables admission control)")
+	flag.IntVar(&o.maxQueue, "queue", 0, "requests waiting for an execution slot before shedding with 503 (0 = 2x -max-concurrent, negative sheds immediately)")
+	flag.DurationVar(&o.queueTimeout, "queue-timeout", 2*time.Second, "max wait for an execution slot before shedding")
+	flag.DurationVar(&o.rpcTimeout, "rpc-timeout", 0, "per-RPC budget for cluster worker calls (0 = 10s)")
+	flag.DurationVar(&o.breakerCool, "breaker-cooldown", 0, "first circuit-breaker open period per failing worker, doubling per re-open (0 = 1s)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bundled:", err)
@@ -107,6 +120,10 @@ func run(o options) error {
 			RequestsPerSecond: o.quotaRPS,
 			Burst:             o.quotaBurst,
 		},
+		DefaultTimeout: o.requestTimeout,
+		MaxConcurrent:  o.maxConcurrent,
+		MaxQueue:       o.maxQueue,
+		QueueTimeout:   o.queueTimeout,
 	}
 	switch {
 	case o.authKeys != "" && o.authFile != "":
@@ -128,18 +145,64 @@ func run(o options) error {
 		log.Printf("auth enabled: %d tenants", cfg.Auth.Tenants())
 	}
 	if o.workers != "" {
-		transports, err := cluster.Transports(o.workers, nil)
+		raw, err := cluster.Transports(o.workers, nil)
 		if err != nil {
 			return err
 		}
+		// Wrap each worker in a circuit breaker once, daemon-wide: every
+		// session shares one health view per worker, a failing worker is
+		// skipped (straight to the replica or local fallback) instead of
+		// timing out request after request, and the breaker probes it back
+		// in with exponential backoff.
+		transports, breakers := cluster.WrapBreakers(raw, cluster.BreakerConfig{Cooldown: o.breakerCool})
 		// Every uploaded corpus becomes a coordinator session: its stripe
 		// spans are partitioned across the worker fleet and solves/evaluates
 		// scatter/gather over it. /healthz degrades to 503 while any worker
 		// is unreachable (solves still succeed via the local fallback).
 		cfg.NewSolver = func(w *bundling.Matrix, opts bundling.Options) (server.Solver, error) {
-			return cluster.NewSolver(w, opts, cluster.Config{Workers: transports})
+			return cluster.NewSolver(w, opts, cluster.Config{Workers: transports, RequestTimeout: o.rpcTimeout})
 		}
 		cfg.Ready = cluster.Ready(transports, 0)
+		cfg.WorkerStatus = func() []server.WorkerStatusDoc {
+			docs := make([]server.WorkerStatusDoc, len(breakers))
+			for i, b := range breakers {
+				s := b.Snapshot()
+				docs[i] = server.WorkerStatusDoc{
+					Addr: s.Addr, State: s.State, FailureRate: s.FailureRate,
+					Trips: s.Trips, RetryInMs: s.RetryInMs,
+				}
+			}
+			return docs
+		}
+		cfg.ExtraMetrics = func() ([]server.GaugeRow, []server.CounterRow) {
+			// Rows sharing a metric name must be adjacent: the renderer
+			// emits one HELP/TYPE header per consecutive name run.
+			snaps := make([]cluster.BreakerSnapshot, len(breakers))
+			labels := make([]string, len(breakers))
+			for i, b := range breakers {
+				snaps[i] = b.Snapshot()
+				labels[i] = fmt.Sprintf("worker=%q", snaps[i].Addr)
+			}
+			var gauges []server.GaugeRow
+			var counters []server.CounterRow
+			for i, s := range snaps {
+				open := 0.0
+				if s.State != "closed" {
+					open = 1
+				}
+				gauges = append(gauges, server.GaugeRow{Name: "bundled_worker_breaker_open", Help: "1 while the worker's circuit breaker is open or probing, 0 when closed.", Labels: labels[i], Value: open})
+			}
+			for i, s := range snaps {
+				gauges = append(gauges, server.GaugeRow{Name: "bundled_worker_breaker_failure_rate", Help: "Failure fraction in the worker's breaker window.", Labels: labels[i], Value: s.FailureRate})
+			}
+			for i, s := range snaps {
+				counters = append(counters, server.CounterRow{Name: "bundled_worker_breaker_trips_total", Help: "Times the worker's circuit breaker opened.", Labels: labels[i], Value: s.Trips})
+			}
+			for i, s := range snaps {
+				counters = append(counters, server.CounterRow{Name: "bundled_worker_breaker_rejected_total", Help: "Calls rejected without dialing by the worker's open breaker.", Labels: labels[i], Value: s.Rejected})
+			}
+			return gauges, counters
+		}
 		log.Printf("cluster mode: %d workers (%s)", len(transports), o.workers)
 	}
 	var store *server.Store

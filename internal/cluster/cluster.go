@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,13 @@ type Config struct {
 	// postings and needs a larger budget than a query RPC
 	// (0 = max(60s, RequestTimeout)).
 	FeedTimeout time.Duration
+	// FeedBackoff is the initial suppression window after a failed span
+	// feed to a worker (0 = 5s). Each consecutive failure to the same
+	// worker doubles the window — with ±25% jitter so a fleet's retries
+	// de-synchronize — up to FeedBackoffMax; a successful feed resets it.
+	FeedBackoff time.Duration
+	// FeedBackoffMax caps the exponential feed backoff (0 = 2m).
+	FeedBackoffMax time.Duration
 }
 
 // Stats counts the coordinator's worker traffic; tests and the bench
@@ -44,6 +52,7 @@ type Stats struct {
 	FeedFailures   int64 // span feeds that failed (worker backs off feedBackoff)
 	ReplicaRetries int64 // span requests retried on the replica worker
 	LocalFallbacks int64 // span requests computed from the local replica
+	BreakerSkips   int64 // RPCs rejected without dialing by an open circuit breaker
 }
 
 // Solver is the coordinator: a bundling session whose striped reductions
@@ -84,6 +93,17 @@ func NewSolver(w *bundling.Matrix, opts bundling.Options, cfg Config) (*Solver, 
 			feedTimeout = timeout
 		}
 	}
+	feedBackoff := cfg.FeedBackoff
+	if feedBackoff <= 0 {
+		feedBackoff = 5 * time.Second
+	}
+	feedBackoffMax := cfg.FeedBackoffMax
+	if feedBackoffMax <= 0 {
+		feedBackoffMax = 2 * time.Minute
+	}
+	if feedBackoffMax < feedBackoff {
+		feedBackoffMax = feedBackoff
+	}
 	x := &executor{
 		corpus: corpus,
 		// The wire version is a session-unique nonce, not the matrix
@@ -97,6 +117,8 @@ func NewSolver(w *bundling.Matrix, opts bundling.Options, cfg Config) (*Solver, 
 		workers: cfg.Workers,
 		timeout: timeout,
 		feedTO:  feedTimeout,
+		backoff: feedBackoff,
+		backMax: feedBackoffMax,
 	}
 	// Build the session first: singletons index from its local shard, so
 	// the executor is not consulted until it is wired below, and span
@@ -118,6 +140,7 @@ func NewSolver(w *bundling.Matrix, opts bundling.Options, cfg Config) (*Solver, 
 			doc:           doc,
 			primary:       i % len(cfg.Workers),
 			feedFailUntil: make([]atomic.Int64, len(cfg.Workers)),
+			feedFails:     make([]atomic.Int32, len(cfg.Workers)),
 		}
 		sl.hi = doc.End * stripeSize
 		if sl.hi > w.Consumers() {
@@ -170,7 +193,15 @@ func (s *Solver) Close() error {
 // Solve runs a configuration algorithm; its vector construction scatters
 // across the fleet.
 func (s *Solver) Solve(a bundling.Algorithm) (*bundling.Configuration, error) {
-	return s.inner.Solve(a)
+	return s.SolveContext(context.Background(), a)
+}
+
+// SolveContext is Solve under a caller context: every fan-out RPC and
+// re-feed the run issues derives its deadline from ctx, and a canceled ctx
+// aborts the run at its next iteration boundary — a disconnected client
+// stops consuming the fleet.
+func (s *Solver) SolveContext(ctx context.Context, a bundling.Algorithm) (*bundling.Configuration, error) {
+	return s.inner.SolveContext(ctx, a)
 }
 
 // Evaluate prices a caller-proposed lineup. Pure-bundling evaluates take
@@ -179,10 +210,15 @@ func (s *Solver) Solve(a bundling.Algorithm) (*bundling.Configuration, error) {
 // interested consumer; mixed evaluates, which thread per-consumer state
 // between offers, gather full vectors through the executor.
 func (s *Solver) Evaluate(offers [][]int) (*bundling.Configuration, error) {
+	return s.EvaluateContext(context.Background(), offers)
+}
+
+// EvaluateContext is Evaluate under a caller context; see SolveContext.
+func (s *Solver) EvaluateContext(ctx context.Context, offers [][]int) (*bundling.Configuration, error) {
 	if s.opts.Strategy == bundling.Mixed {
-		return s.inner.Evaluate(offers)
+		return s.inner.EvaluateContext(ctx, offers)
 	}
-	return s.inner.EvaluateAggregated(offers, s.exec)
+	return s.inner.EvaluateAggregatedContext(ctx, offers, s.exec)
 }
 
 // Algorithms lists the algorithms runnable on this session.
@@ -205,6 +241,7 @@ func (s *Solver) ClusterStats() Stats {
 		FeedFailures:   s.exec.feedFailures.Load(),
 		ReplicaRetries: s.exec.replicaRetries.Load(),
 		LocalFallbacks: s.exec.localFallbacks.Load(),
+		BreakerSkips:   s.exec.breakerSkips.Load(),
 	}
 }
 
@@ -268,16 +305,14 @@ type spanSlot struct {
 	// feedFailUntil[worker] is the unix-nano deadline before which re-feeds
 	// to that worker are skipped after a failed span upload, so a worker
 	// that cannot ingest the span is not hammered with the full transfer on
-	// every request.
+	// every request. feedFails[worker] counts consecutive failures, driving
+	// the capped exponential growth of that window.
 	feedFailUntil []atomic.Int64
+	feedFails     []atomic.Int32
 
 	localOnce sync.Once
 	local     *wtp.SpanStore
 }
-
-// feedBackoff is how long a failed span feed suppresses further feed
-// attempts to the same worker.
-const feedBackoff = 5 * time.Second
 
 // localStore materializes the span's local replica from the same wire doc
 // the workers ingest, so fallback arithmetic is identical to a worker's.
@@ -305,6 +340,8 @@ type executor struct {
 	spans   []*spanSlot
 	timeout time.Duration
 	feedTO  time.Duration
+	backoff time.Duration // initial feed-failure suppression window
+	backMax time.Duration // cap on the exponential feed backoff
 	alpha   float64
 	levels  int
 	feeding sync.WaitGroup // in-flight eager span feeds
@@ -314,6 +351,22 @@ type executor struct {
 	feedFailures   atomic.Int64
 	replicaRetries atomic.Int64
 	localFallbacks atomic.Int64
+	breakerSkips   atomic.Int64
+}
+
+// nextFeedBackoff computes the suppression window after the n-th (1-based)
+// consecutive feed failure: initial·2^(n-1) with ±25% jitter, capped.
+func (x *executor) nextFeedBackoff(n int32) time.Duration {
+	d := x.backoff
+	for i := int32(1); i < n && d < x.backMax; i++ {
+		d *= 2
+	}
+	if d > x.backMax {
+		d = x.backMax
+	}
+	// ±25% jitter de-synchronizes retries across coordinators and spans.
+	j := time.Duration(mrand.Int63n(int64(d)/2+1)) - d/4
+	return d + j
 }
 
 // forEachSpan runs fn for every span index, concurrently when there is more
@@ -338,14 +391,16 @@ func (x *executor) forEachSpan(fn func(i int)) {
 // re-feed retry on a stale/missing span), then the replica worker (fed on
 // demand), then the local span store. It cannot fail — the ladder ends on
 // local compute — which is what lets the engine's vector paths stay
-// error-free.
-func callSpan[T any](x *executor, sl *spanSlot, op func(ctx context.Context, t Transport) (T, error), local func(sp *wtp.SpanStore) T) T {
-	if v, err := tryWorker(x, sl, sl.primary, op); err == nil {
+// error-free. Every RPC derives its deadline from parent, so the ladder
+// never outlives its caller: under a canceled parent the workers fail fast
+// and the local store answers (the engine aborts at its next cancellation
+// check, discarding the result).
+func callSpan[T any](x *executor, parent context.Context, sl *spanSlot, op func(ctx context.Context, t Transport) (T, error), local func(sp *wtp.SpanStore) T) T {
+	if v, err := tryWorker(x, parent, sl, sl.primary, op); err == nil {
 		return v
-	}
-	if len(x.workers) > 1 {
+	} else if len(x.workers) > 1 && parent.Err() == nil {
 		x.replicaRetries.Add(1)
-		if v, err := tryWorker(x, sl, (sl.primary+1)%len(x.workers), op); err == nil {
+		if v, err = tryWorker(x, parent, sl, (sl.primary+1)%len(x.workers), op); err == nil {
 			return v
 		}
 	}
@@ -356,31 +411,40 @@ func callSpan[T any](x *executor, sl *spanSlot, op func(ctx context.Context, t T
 // tryWorker issues op against one worker, re-feeding the span and retrying
 // once when the worker reports it missing or stale. The re-feed runs under
 // its own (larger) deadline — a span upload can dwarf a query RPC — and a
-// failed feed backs the worker off for feedBackoff, so a worker that
-// cannot ingest the span is not sent the full transfer on every request.
-func tryWorker[T any](x *executor, sl *spanSlot, wi int, op func(ctx context.Context, t Transport) (T, error)) (T, error) {
+// failed feed backs the worker off with capped exponential jittered delays
+// (see Config.FeedBackoff), so a worker that cannot ingest the span is not
+// sent the full transfer on every request. An open circuit breaker (see
+// NewBreaker) rejects before dialing; the rejection is counted and the
+// ladder moves straight on to the replica or local store.
+func tryWorker[T any](x *executor, parent context.Context, sl *spanSlot, wi int, op func(ctx context.Context, t Transport) (T, error)) (T, error) {
 	t := x.workers[wi]
-	ctx, cancel := context.WithTimeout(context.Background(), x.timeout)
+	ctx, cancel := context.WithTimeout(parent, x.timeout)
 	x.remoteCalls.Add(1)
 	v, err := op(ctx, t)
 	cancel()
-	if err == nil || !errors.Is(err, ErrSpan) {
+	if err != nil && errors.Is(err, ErrBreakerOpen) {
+		x.breakerSkips.Add(1)
+		return v, err
+	}
+	if err == nil || !errors.Is(err, ErrSpan) || parent.Err() != nil {
 		return v, err
 	}
 	if time.Now().UnixNano() < sl.feedFailUntil[wi].Load() {
 		return v, err
 	}
 	x.refeeds.Add(1)
-	fctx, fcancel := context.WithTimeout(context.Background(), x.feedTO)
+	fctx, fcancel := context.WithTimeout(parent, x.feedTO)
 	aerr := t.Assign(fctx, sl.key, &AssignRequest{Corpus: sl.key, Span: sl.doc})
 	fcancel()
 	if aerr != nil {
 		x.feedFailures.Add(1)
-		sl.feedFailUntil[wi].Store(time.Now().Add(feedBackoff).UnixNano())
+		n := sl.feedFails[wi].Add(1)
+		sl.feedFailUntil[wi].Store(time.Now().Add(x.nextFeedBackoff(n)).UnixNano())
 		return v, err
 	}
+	sl.feedFails[wi].Store(0)
 	sl.feedFailUntil[wi].Store(0)
-	rctx, rcancel := context.WithTimeout(context.Background(), x.timeout)
+	rctx, rcancel := context.WithTimeout(parent, x.timeout)
 	defer rcancel()
 	x.remoteCalls.Add(1)
 	return op(rctx, t)
@@ -389,12 +453,12 @@ func tryWorker[T any](x *executor, sl *spanSlot, wi int, op func(ctx context.Con
 // BundleVector implements config.StripeExecutor: per-span vectors gathered
 // and concatenated in stripe order — identical to the local shard
 // reduction.
-func (x *executor) BundleVector(items []int, theta float64, dstIDs []int, dstVals []float64) ([]int, []float64) {
+func (x *executor) BundleVector(ctx context.Context, items []int, theta float64, dstIDs []int, dstVals []float64) ([]int, []float64) {
 	parts := make([]VectorResponse, len(x.spans))
 	x.forEachSpan(func(i int) {
 		sl := x.spans[i]
 		req := VectorRequest{Version: x.version, Items: items, Theta: theta}
-		parts[i] = callSpan(x, sl,
+		parts[i] = callSpan(x, ctx, sl,
 			func(ctx context.Context, t Transport) (VectorResponse, error) {
 				return t.Vector(ctx, sl.key, req)
 			},
@@ -415,7 +479,7 @@ func (x *executor) BundleVector(items []int, theta float64, dstIDs []int, dstVal
 // UnionVectors implements config.StripeExecutor: the two cached vectors are
 // cut at span boundaries, each span's slices merged by the worker owning
 // it, and the results concatenated in stripe order.
-func (x *executor) UnionVectors(aIDs []int, aVals []float64, sa float64, bIDs []int, bVals []float64, sb float64, dstIDs []int, dstVals []float64) ([]int, []float64) {
+func (x *executor) UnionVectors(ctx context.Context, aIDs []int, aVals []float64, sa float64, bIDs []int, bVals []float64, sb float64, dstIDs []int, dstVals []float64) ([]int, []float64) {
 	type cut struct{ a0, a1, b0, b1 int }
 	cuts := make([]cut, len(x.spans))
 	ai, bi := 0, 0
@@ -442,7 +506,7 @@ func (x *executor) UnionVectors(aIDs []int, aVals []float64, sa float64, bIDs []
 			AIDs:    aIDs[c.a0:c.a1], AVals: aVals[c.a0:c.a1], SA: sa,
 			BIDs: bIDs[c.b0:c.b1], BVals: bVals[c.b0:c.b1], SB: sb,
 		}
-		parts[i] = callSpan(x, sl,
+		parts[i] = callSpan(x, ctx, sl,
 			func(ctx context.Context, t Transport) (VectorResponse, error) {
 				return t.Union(ctx, sl.key, req)
 			},
@@ -461,12 +525,12 @@ func (x *executor) UnionVectors(aIDs []int, aVals []float64, sa float64, bIDs []
 }
 
 // BundleMax implements config.Aggregator: span maxima reduced by max.
-func (x *executor) BundleMax(items []int, theta float64) float64 {
+func (x *executor) BundleMax(ctx context.Context, items []int, theta float64) float64 {
 	parts := make([]StatsResponse, len(x.spans))
 	x.forEachSpan(func(i int) {
 		sl := x.spans[i]
 		req := StatsRequest{Version: x.version, Items: items, Theta: theta}
-		parts[i] = callSpan(x, sl,
+		parts[i] = callSpan(x, ctx, sl,
 			func(ctx context.Context, t Transport) (StatsResponse, error) {
 				return t.Stats(ctx, sl.key, req)
 			},
@@ -485,7 +549,7 @@ func (x *executor) BundleMax(items []int, theta float64) float64 {
 
 // BundleHistogram implements config.Aggregator: span histogram partials
 // reduced by element-wise addition, in stripe order for determinism.
-func (x *executor) BundleHistogram(items []int, theta float64, maxW float64, counts, sums []float64) {
+func (x *executor) BundleHistogram(ctx context.Context, items []int, theta float64, maxW float64, counts, sums []float64) {
 	parts := make([]HistResponse, len(x.spans))
 	x.forEachSpan(func(i int) {
 		sl := x.spans[i]
@@ -493,7 +557,7 @@ func (x *executor) BundleHistogram(items []int, theta float64, maxW float64, cou
 			Version: x.version, Items: items, Theta: theta,
 			MaxW: maxW, Alpha: x.alpha, Levels: x.levels,
 		}
-		parts[i] = callSpan(x, sl,
+		parts[i] = callSpan(x, ctx, sl,
 			func(ctx context.Context, t Transport) (HistResponse, error) {
 				return t.Hist(ctx, sl.key, req)
 			},

@@ -1,6 +1,7 @@
 package config
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -39,7 +40,7 @@ func newSpanAggregator(t *testing.T, w *wtp.Matrix, p Params, spans int) *spanAg
 	return a
 }
 
-func (a *spanAggregator) BundleMax(items []int, theta float64) float64 {
+func (a *spanAggregator) BundleMax(_ context.Context, items []int, theta float64) float64 {
 	var maxW float64
 	for _, sp := range a.stores {
 		_, vals := sp.BundleVector(items, theta, nil, nil)
@@ -52,7 +53,7 @@ func (a *spanAggregator) BundleMax(items []int, theta float64) float64 {
 	return maxW
 }
 
-func (a *spanAggregator) BundleHistogram(items []int, theta float64, maxW float64, counts, sums []float64) {
+func (a *spanAggregator) BundleHistogram(_ context.Context, items []int, theta float64, maxW float64, counts, sums []float64) {
 	pc := make([]float64, len(counts))
 	ps := make([]float64, len(sums))
 	for _, sp := range a.stores {

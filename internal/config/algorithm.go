@@ -1,6 +1,9 @@
 package config
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Algorithm is one bundle-configuration strategy runnable on a Solver
 // session. The five implementations — components, optimal2, matching,
@@ -12,7 +15,9 @@ type Algorithm interface {
 	Name() string
 	// Solve runs the algorithm on the session. Implementations must not
 	// mutate session state: all per-run bookkeeping lives in a run engine.
-	Solve(*Solver) (*Configuration, error)
+	// A canceled context aborts the run at its next iteration boundary with
+	// the context's error.
+	Solve(ctx context.Context, s *Solver) (*Configuration, error)
 }
 
 // componentsAlg prices every item individually — the no-bundling baseline.
@@ -20,8 +25,8 @@ type componentsAlg struct{}
 
 func (componentsAlg) Name() string { return "components" }
 
-func (componentsAlg) Solve(s *Solver) (*Configuration, error) {
-	e := s.newEngine()
+func (componentsAlg) Solve(ctx context.Context, s *Solver) (*Configuration, error) {
+	e := s.newEngineCtx(ctx)
 	defer e.release()
 	return e.components()
 }
@@ -34,8 +39,8 @@ type optimal2Alg struct{}
 
 func (optimal2Alg) Name() string { return "optimal2" }
 
-func (optimal2Alg) Solve(s *Solver) (*Configuration, error) {
-	e := s.newEngine()
+func (optimal2Alg) Solve(ctx context.Context, s *Solver) (*Configuration, error) {
+	e := s.newEngineCtx(ctx)
 	defer e.release()
 	e.k = 2
 	return e.matching()
@@ -46,8 +51,8 @@ type matchingAlg struct{}
 
 func (matchingAlg) Name() string { return "matching" }
 
-func (matchingAlg) Solve(s *Solver) (*Configuration, error) {
-	e := s.newEngine()
+func (matchingAlg) Solve(ctx context.Context, s *Solver) (*Configuration, error) {
+	e := s.newEngineCtx(ctx)
 	defer e.release()
 	return e.matching()
 }
@@ -57,8 +62,8 @@ type greedyAlg struct{}
 
 func (greedyAlg) Name() string { return "greedy" }
 
-func (greedyAlg) Solve(s *Solver) (*Configuration, error) {
-	e := s.newEngine()
+func (greedyAlg) Solve(ctx context.Context, s *Solver) (*Configuration, error) {
+	e := s.newEngineCtx(ctx)
 	defer e.release()
 	return e.greedy()
 }
@@ -71,8 +76,8 @@ type freqItemsetAlg struct {
 
 func (freqItemsetAlg) Name() string { return "freqitemset" }
 
-func (a freqItemsetAlg) Solve(s *Solver) (*Configuration, error) {
-	e := s.newEngine()
+func (a freqItemsetAlg) Solve(ctx context.Context, s *Solver) (*Configuration, error) {
+	e := s.newEngineCtx(ctx)
 	defer e.release()
 	return e.freqItemset(a.opts)
 }

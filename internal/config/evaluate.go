@@ -1,6 +1,7 @@
 package config
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -36,7 +37,15 @@ func Evaluate(w *wtp.Matrix, offers [][]int, params Params) (*Configuration, err
 // serving-path entry point for what-if traffic: many Evaluate calls (and
 // Solve calls) run concurrently against one indexed matrix.
 func (s *Solver) Evaluate(offers [][]int) (*Configuration, error) {
-	e := s.newEngine()
+	return s.EvaluateContext(context.Background(), offers)
+}
+
+// EvaluateContext is Evaluate with a request context: pricing aborts with
+// the context's error between offers once the context is canceled or past
+// its deadline, and a distributed session derives its worker RPC deadlines
+// from it.
+func (s *Solver) EvaluateContext(ctx context.Context, offers [][]int) (*Configuration, error) {
+	e := s.newEngineCtx(ctx)
 	defer e.release()
 	start := time.Now()
 	sets, err := normalizeOffers(s.w.Items(), offers)
@@ -52,6 +61,9 @@ func (s *Solver) Evaluate(offers [][]int) (*Configuration, error) {
 		var ids []int
 		var vals []float64
 		for _, items := range sets {
+			if err := e.canceled(); err != nil {
+				return nil, err
+			}
 			theta := e.params.Theta
 			if len(items) == 1 {
 				theta = 0
@@ -79,14 +91,17 @@ func (s *Solver) Evaluate(offers [][]int) (*Configuration, error) {
 // bundle from O(T) aggregate state instead of gathering the O(M) consumer
 // vector. Implementations must be infallible: a span whose worker is
 // unreachable is computed from a local replica, never dropped.
+// Like StripeExecutor, both methods receive the run's request context to
+// derive RPC deadlines from; a done context must still yield a correct
+// result (local fallback), with run abortion left to the engine.
 type Aggregator interface {
 	// BundleMax returns the maximum Eq. 1 bundle WTP over all consumers
 	// (0 when no consumer is interested).
-	BundleMax(items []int, theta float64) float64
+	BundleMax(ctx context.Context, items []int, theta float64) float64
 	// BundleHistogram accumulates the bundle's pricing histogram against the
 	// global maximum maxW into counts and sums (each of length levels+1,
 	// zeroed by the caller), exactly as pricing.Histogram does per span.
-	BundleHistogram(items []int, theta float64, maxW float64, counts, sums []float64)
+	BundleHistogram(ctx context.Context, items []int, theta float64, maxW float64, counts, sums []float64)
 }
 
 // EvaluateAggregated prices a pure-bundling offer family from reduced
@@ -102,13 +117,19 @@ type Aggregator interface {
 // cannot be priced from histograms; mixed evaluates (and the exact-sigmoid
 // ablation, which needs raw per-consumer values) must go through Evaluate.
 func (s *Solver) EvaluateAggregated(offers [][]int, agg Aggregator) (*Configuration, error) {
+	return s.EvaluateAggregatedContext(context.Background(), offers, agg)
+}
+
+// EvaluateAggregatedContext is EvaluateAggregated with a request context;
+// see EvaluateContext for the cancellation contract.
+func (s *Solver) EvaluateAggregatedContext(ctx context.Context, offers [][]int, agg Aggregator) (*Configuration, error) {
 	if s.params.Strategy != Pure {
 		return nil, fmt.Errorf("config: aggregated evaluation supports pure bundling only")
 	}
 	if s.params.ExactSigmoid && !s.params.Model.Deterministic() {
 		return nil, fmt.Errorf("config: aggregated evaluation cannot price under the exact-sigmoid ablation")
 	}
-	e := s.newEngine()
+	e := s.newEngineCtx(ctx)
 	defer e.release()
 	start := time.Now()
 	sets, err := normalizeOffers(s.w.Items(), offers)
@@ -123,13 +144,16 @@ func (s *Solver) EvaluateAggregated(offers [][]int, agg Aggregator) (*Configurat
 	counts := make([]float64, T+1)
 	sums := make([]float64, T+1)
 	for _, items := range sets {
+		if err := e.canceled(); err != nil {
+			return nil, err
+		}
 		theta := thetaFor(e.params.Theta, len(items))
 		var uq pricing.UtilityQuote
-		if maxW := agg.BundleMax(items, theta); maxW > 0 {
+		if maxW := agg.BundleMax(e.reqCtx, items, theta); maxW > 0 {
 			for i := range counts {
 				counts[i], sums[i] = 0, 0
 			}
-			agg.BundleHistogram(items, theta, maxW, counts, sums)
+			agg.BundleHistogram(e.reqCtx, items, theta, maxW, counts, sums)
 			uq = s.pr.PriceUtilityFromHistogram(counts, sums, maxW, e.objective(items))
 		}
 		cfg.Bundles = append(cfg.Bundles, Bundle{Items: items, Price: uq.Price, Revenue: uq.Revenue})
@@ -149,6 +173,9 @@ func (e *engine) evaluateMixed(sets [][]int, start time.Time) (*Configuration, e
 	priced := make([]*node, 0, len(sets))
 	isTop := make([]bool, len(sets))
 	for si, items := range sets {
+		if err := e.canceled(); err != nil {
+			return nil, err
+		}
 		// Maximal already-priced strict subsets of this offer; laminarity
 		// makes them pairwise disjoint.
 		var parts []*node

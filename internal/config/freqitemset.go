@@ -89,6 +89,9 @@ func (e *engine) freqItemset(opts FreqItemsetOptions) (*Configuration, error) {
 	}
 	var cands []candidate
 	for _, is := range itemsets {
+		if err := e.canceled(); err != nil {
+			return nil, err
+		}
 		if len(is.Items) < 2 {
 			continue
 		}

@@ -56,6 +56,11 @@ func (e *engine) greedy() (*Configuration, error) {
 	for _, r := range e.evalPairs(nodes, jobs, runToEnd) {
 		push(r.u, r.v, r.merged, r.gain)
 	}
+	if err := e.canceled(); err != nil {
+		// A done context truncates evalPairs; an empty heap here would end
+		// the run looking converged instead of aborted.
+		return nil, err
+	}
 	// Best-seen snapshot for the run-to-end variant.
 	bestTotal := total
 	bestSurplus := 0.0
@@ -75,6 +80,9 @@ func (e *engine) greedy() (*Configuration, error) {
 	}
 	iteration := 0
 	for h.Len() > 0 {
+		if err := e.canceled(); err != nil {
+			return nil, err
+		}
 		top := heap.Pop(h).(mergeCand)
 		if nodes[top.u].dead || nodes[top.v].dead {
 			continue
@@ -111,6 +119,11 @@ func (e *engine) greedy() (*Configuration, error) {
 		for _, r := range e.evalPairs(nodes, jobs, runToEnd) {
 			push(r.u, r.v, r.merged, r.gain)
 		}
+	}
+	if err := e.canceled(); err != nil {
+		// The heap can drain because a truncated evalPairs round pushed
+		// nothing; surface the abort rather than a half-merged result.
+		return nil, err
 	}
 	cfg := e.finish(nodes, iteration, trace)
 	if runToEnd && bestTotal > cfg.Revenue+minGain {

@@ -39,6 +39,9 @@ func (e *engine) matching() (*Configuration, error) {
 
 	iteration := 0
 	for {
+		if err := e.canceled(); err != nil {
+			return nil, err
+		}
 		iteration++
 		var jobs []pairJob
 		for i := 0; i < len(nodes); i++ {
@@ -54,6 +57,11 @@ func (e *engine) matching() (*Configuration, error) {
 			}
 		}
 		cands := e.evalPairs(nodes, jobs, false)
+		if err := e.canceled(); err != nil {
+			// A done context truncates evalPairs; an empty batch here means
+			// "aborted", not "converged" — it must not end the run silently.
+			return nil, err
+		}
 		if len(cands) == 0 {
 			break
 		}

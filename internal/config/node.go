@@ -158,7 +158,7 @@ func (e *engine) evalMergeWith(ctx *workerCtx, a, b *node, keepAll bool) (*node,
 	sc := ctx.sc
 	sc.items = mergeItemsInto(sc.items, a.items, b.items)
 	if e.incremental {
-		sc.ids, sc.vals = e.exec.UnionVectors(a.ids, a.vals, e.vectorScale(a), b.ids, b.vals, e.vectorScale(b), sc.ids, sc.vals)
+		sc.ids, sc.vals = e.exec.UnionVectors(e.reqCtx, a.ids, a.vals, e.vectorScale(a), b.ids, b.vals, e.vectorScale(b), sc.ids, sc.vals)
 	} else {
 		sc.ids, sc.vals = e.w.BundleVector(sc.items, e.params.Theta, sc.ids, sc.vals)
 	}

@@ -58,6 +58,11 @@ func (e *engine) evalPairs(nodes []*node, jobs []pairJob, keepAll bool) []pairRe
 	if workers <= 1 || len(jobs) < minParallelJobs {
 		out := make([]pairResult, 0, len(jobs))
 		for _, j := range jobs {
+			if e.reqCtx.Err() != nil {
+				// Abort the batch; the caller notices at its next canceled()
+				// check, so partial results are never acted on.
+				return out
+			}
 			if merged, gain := e.evalMerge(nodes[j.u], nodes[j.v], keepAll); merged != nil {
 				out = append(out, pairResult{u: j.u, v: j.v, merged: merged, gain: gain})
 			}
@@ -74,6 +79,11 @@ func (e *engine) evalPairs(nodes []*node, jobs []pairJob, keepAll bool) []pairRe
 		go func(ctx *workerCtx) {
 			defer wg.Done()
 			for {
+				if e.reqCtx.Err() != nil {
+					// Stop claiming chunks; the caller's next canceled()
+					// check discards the partial batch.
+					return
+				}
 				end := int(cursor.Add(int64(chunk)))
 				start := end - chunk
 				if start >= len(jobs) {

@@ -1,6 +1,7 @@
 package config
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -50,13 +51,32 @@ type Solver struct {
 // equivalent to the shard reductions (within float re-association) and safe
 // for concurrent use — parallel candidate evaluation calls them from many
 // goroutines.
+// Both methods receive the run's request context: a distributed executor
+// derives its per-RPC deadlines from it, so a canceled caller aborts the
+// fan-out instead of letting retries outlive the request. Implementations
+// must still return a correct result when the context is done (the local
+// shard ignores it; the cluster executor falls back to its local replica) —
+// run abortion is the engine's job, via its own cancellation checks.
 type StripeExecutor interface {
 	// BundleVector builds a bundle's interested-consumer vector (Eq. 1),
 	// appending into the dst slices; see wtp.Shard.BundleVector.
-	BundleVector(items []int, theta float64, dstIDs []int, dstVals []float64) ([]int, []float64)
+	BundleVector(ctx context.Context, items []int, theta float64, dstIDs []int, dstVals []float64) ([]int, []float64)
 	// UnionVectors derives a merged bundle's vector from two cached parent
 	// vectors; see wtp.Shard.UnionVectors.
-	UnionVectors(aIDs []int, aVals []float64, sa float64, bIDs []int, bVals []float64, sb float64, dstIDs []int, dstVals []float64) ([]int, []float64)
+	UnionVectors(ctx context.Context, aIDs []int, aVals []float64, sa float64, bIDs []int, bVals []float64, sb float64, dstIDs []int, dstVals []float64) ([]int, []float64)
+}
+
+// localExec adapts the local *wtp.Shard to the StripeExecutor contract: the
+// shard's reductions are in-process and synchronous, so the request context
+// carries no deadline worth plumbing further down.
+type localExec struct{ sh *wtp.Shard }
+
+func (l localExec) BundleVector(_ context.Context, items []int, theta float64, dstIDs []int, dstVals []float64) ([]int, []float64) {
+	return l.sh.BundleVector(items, theta, dstIDs, dstVals)
+}
+
+func (l localExec) UnionVectors(_ context.Context, aIDs []int, aVals []float64, sa float64, bIDs []int, bVals []float64, sb float64, dstIDs []int, dstVals []float64) ([]int, []float64) {
+	return l.sh.UnionVectors(aIDs, aVals, sa, bIDs, bVals, sb, dstIDs, dstVals)
 }
 
 // NewSolver validates params, indexes the matrix (striped shard + priced
@@ -92,7 +112,7 @@ func NewSolverOn(w *wtp.Matrix, params Params, exec StripeExecutor) (*Solver, er
 		k:      params.maxSize(),
 	}
 	if s.exec == nil {
-		s.exec = s.sh
+		s.exec = localExec{s.sh}
 	}
 	e := s.newEngine()
 	defer e.release()
@@ -102,7 +122,15 @@ func NewSolverOn(w *wtp.Matrix, params Params, exec StripeExecutor) (*Solver, er
 
 // Solve runs the algorithm on this session.
 func (s *Solver) Solve(a Algorithm) (*Configuration, error) {
-	return a.Solve(s)
+	return a.Solve(context.Background(), s)
+}
+
+// SolveContext is Solve with a request context: the run aborts with the
+// context's error at its next iteration boundary once the context is
+// canceled or past its deadline, and a distributed session derives every
+// worker RPC deadline from it.
+func (s *Solver) SolveContext(ctx context.Context, a Algorithm) (*Configuration, error) {
+	return a.Solve(ctx, s)
 }
 
 // Params returns the session's parameters.
@@ -205,8 +233,9 @@ type engine struct {
 	exec   StripeExecutor
 	params Params
 	pr     *pricing.Pricer
-	ctx    *workerCtx // the run's serial-path context
-	k      int        // effective bundle-size cap (Optimal2 overrides per run)
+	reqCtx context.Context // the run's request context (cancellation/deadline)
+	ctx    *workerCtx      // the run's serial-path context
+	k      int             // effective bundle-size cap (Optimal2 overrides per run)
 	// incremental routes candidate-merge vector construction through the
 	// parents' cached vectors (striped union) instead of a postings rescan;
 	// the equivalence tests set Params.referenceEval to diff the two paths.
@@ -216,8 +245,18 @@ type engine struct {
 	borrowed []*workerCtx
 }
 
-// newEngine opens a run on the session.
+// newEngine opens a run on the session with no cancellation.
 func (s *Solver) newEngine() *engine {
+	return s.newEngineCtx(context.Background())
+}
+
+// newEngineCtx opens a run bound to a request context: the run's iteration
+// boundaries observe cancellation, and the stripe executor derives worker
+// RPC deadlines from it.
+func (s *Solver) newEngineCtx(ctx context.Context) *engine {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &engine{
 		s:           s,
 		w:           s.w,
@@ -225,9 +264,23 @@ func (s *Solver) newEngine() *engine {
 		exec:        s.exec,
 		params:      s.params,
 		pr:          s.pr,
+		reqCtx:      ctx,
 		ctx:         s.getCtx(),
 		k:           s.k,
 		incremental: !s.params.referenceEval,
+	}
+}
+
+// canceled reports the run's context error, nil while the run may continue.
+// Algorithms call it at iteration boundaries — cheap enough for the hot
+// loops, frequent enough that a disconnected client aborts within one
+// iteration rather than running the solve to completion.
+func (e *engine) canceled() error {
+	select {
+	case <-e.reqCtx.Done():
+		return e.reqCtx.Err()
+	default:
+		return nil
 	}
 }
 
@@ -257,7 +310,7 @@ func (e *engine) workerPool(n int) []*workerCtx {
 // equivalence tests diff against).
 func (e *engine) bundleVector(items []int, theta float64, dstIDs []int, dstVals []float64) ([]int, []float64) {
 	if e.incremental {
-		return e.exec.BundleVector(items, theta, dstIDs, dstVals)
+		return e.exec.BundleVector(e.reqCtx, items, theta, dstIDs, dstVals)
 	}
 	return e.w.BundleVector(items, theta, dstIDs, dstVals)
 }

@@ -184,13 +184,27 @@ type EvaluateResponse struct {
 	Config    ConfigDoc `json:"config"`
 }
 
+// WorkerStatusDoc is one fleet worker's circuit-breaker view on /healthz:
+// State is "closed" (healthy), "open" (failing; calls skip straight to the
+// replica or local fallback until RetryInMs elapses) or "half-open" (a
+// recovery probe is due or in flight).
+type WorkerStatusDoc struct {
+	Addr        string  `json:"addr"`
+	State       string  `json:"state"`
+	FailureRate float64 `json:"failure_rate"`
+	Trips       int64   `json:"trips"`
+	RetryInMs   int64   `json:"retry_in_ms,omitempty"`
+}
+
 // HealthResponse is the GET /healthz payload. Status is "ok" (200) or
-// "degraded" (503, Detail naming the unreachable dependency).
+// "degraded" (503, Detail naming the unreachable dependency). Workers
+// lists per-worker circuit-breaker state when the daemon fronts a fleet.
 type HealthResponse struct {
-	Status        string  `json:"status"`
-	Sessions      int     `json:"sessions"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Detail        string  `json:"detail,omitempty"`
+	Status        string            `json:"status"`
+	Sessions      int               `json:"sessions"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Detail        string            `json:"detail,omitempty"`
+	Workers       []WorkerStatusDoc `json:"workers,omitempty"`
 }
 
 // ErrorResponse carries any non-2xx outcome.

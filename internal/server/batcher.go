@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -18,13 +19,18 @@ import (
 // by a bounded worker pool (one pooled worker context per goroutine inside
 // the session's Solver).
 type batcher struct {
-	eval    func(offers [][]int) (*bundling.Configuration, error)
+	eval    func(ctx context.Context, offers [][]int) (*bundling.Configuration, error)
 	workers int // concurrent evaluations per pass
 	// window is the gather delay before a drain takes its batch: 0 drains
 	// immediately (pure group commit), a positive window holds the drain
 	// back so more concurrent requests join the pass — larger batches and
 	// more coalescing at the cost of that much added latency.
 	window time.Duration
+	// budget bounds each batch execution (0 = none). The batch runs under
+	// its own server-budget context, not any single waiter's: one
+	// disconnected client must not abort an execution other requests in
+	// the same batch are waiting on.
+	budget time.Duration
 	// onBatch, if set, observes each processed pass: how many requests it
 	// drained and how many distinct evaluations they collapsed into.
 	onBatch func(size, unique int)
@@ -49,20 +55,28 @@ type evalResult struct {
 }
 
 // newBatcher wires a batcher over an evaluation function. window ≤ 0 drains
-// immediately.
-func newBatcher(workers int, window time.Duration, eval func([][]int) (*bundling.Configuration, error)) *batcher {
+// immediately; budget ≤ 0 leaves batch executions unbounded.
+func newBatcher(workers int, window, budget time.Duration, eval func(context.Context, [][]int) (*bundling.Configuration, error)) *batcher {
 	if workers < 1 {
 		workers = 1
 	}
 	if window < 0 {
 		window = 0
 	}
-	return &batcher{eval: eval, workers: workers, window: window}
+	if budget < 0 {
+		budget = 0
+	}
+	return &batcher{eval: eval, workers: workers, window: window, budget: budget}
 }
 
-// do submits an evaluate request and blocks for its result. key must be a
-// canonical encoding of offers (identical offer sets ⇒ identical keys).
-func (b *batcher) do(key string, offers [][]int) (*bundling.Configuration, bool, error) {
+// do submits an evaluate request and blocks for its result or ctx's end,
+// whichever comes first — a disconnected client's handler returns instead
+// of waiting out a batch nobody will read. The batch itself keeps running
+// under the batcher's own budget (its result still serves the other
+// waiters and the result cache); the abandoned call's result lands in its
+// buffered channel and is garbage collected. key must be a canonical
+// encoding of offers (identical offer sets ⇒ identical keys).
+func (b *batcher) do(ctx context.Context, key string, offers [][]int) (*bundling.Configuration, bool, error) {
 	call := &evalCall{key: key, offers: offers, done: make(chan evalResult, 1)}
 	b.mu.Lock()
 	b.pending = append(b.pending, call)
@@ -71,8 +85,12 @@ func (b *batcher) do(key string, offers [][]int) (*bundling.Configuration, bool,
 		go b.drain()
 	}
 	b.mu.Unlock()
-	res := <-call.done
-	return res.cfg, res.batched, res.err
+	select {
+	case res := <-call.done:
+		return res.cfg, res.batched, res.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
 }
 
 // drain processes batches until the queue is empty, then exits; the next
@@ -103,13 +121,13 @@ func (b *batcher) drain() {
 // batch executes on the drainer's goroutine, outside net/http's per-request
 // recovery, and an engine panic (e.g. the shard staleness check) must fail
 // that one request, not take down every session in the daemon.
-func (b *batcher) safeEval(offers [][]int) (cfg *bundling.Configuration, err error) {
+func (b *batcher) safeEval(ctx context.Context, offers [][]int) (cfg *bundling.Configuration, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			cfg, err = nil, fmt.Errorf("evaluation panicked: %v", r)
 		}
 	}()
-	return b.eval(offers)
+	return b.eval(ctx, offers)
 }
 
 // process executes one batch: group by key, evaluate each distinct group
@@ -130,9 +148,18 @@ func (b *batcher) process(batch []*evalCall) {
 	if workers > len(order) {
 		workers = len(order)
 	}
+	// The pass context is the batcher's own budget, not any waiter's: a
+	// canceled waiter stops waiting in do, while the execution completes
+	// for the rest of the group and the result cache.
+	ctx := context.Background()
+	if b.budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.budget)
+		defer cancel()
+	}
 	run := func(key string) {
 		calls := groups[key]
-		cfg, err := b.safeEval(calls[0].offers)
+		cfg, err := b.safeEval(ctx, calls[0].offers)
 		for i, c := range calls {
 			c.done <- evalResult{cfg: cfg, err: err, batched: i > 0}
 		}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -19,7 +20,7 @@ func TestBatcherCoalesces(t *testing.T) {
 	var executions atomic.Int64
 	firstRunning := make(chan struct{})
 	release := make(chan struct{})
-	b := newBatcher(2, 0, func(offers [][]int) (*bundling.Configuration, error) {
+	b := newBatcher(2, 0, 0, func(_ context.Context, offers [][]int) (*bundling.Configuration, error) {
 		n := executions.Add(1)
 		if n == 1 {
 			close(firstRunning)
@@ -39,7 +40,7 @@ func TestBatcherCoalesces(t *testing.T) {
 	blockerDone := make(chan struct{})
 	go func() {
 		defer close(blockerDone)
-		if _, _, err := b.do("blocker", [][]int{{0}}); err != nil {
+		if _, _, err := b.do(context.Background(), "blocker", [][]int{{0}}); err != nil {
 			t.Errorf("blocker: %v", err)
 		}
 	}()
@@ -53,7 +54,7 @@ func TestBatcherCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			cfg, wasBatched, err := b.do("dup", [][]int{{1, 2}})
+			cfg, wasBatched, err := b.do(context.Background(), "dup", [][]int{{1, 2}})
 			if err != nil {
 				t.Errorf("dup %d: %v", i, err)
 				return
@@ -106,7 +107,7 @@ func TestBatcherCoalesces(t *testing.T) {
 // TestBatcherDistinctKeys checks distinct concurrent requests all execute
 // and return their own results.
 func TestBatcherDistinctKeys(t *testing.T) {
-	b := newBatcher(4, 0, func(offers [][]int) (*bundling.Configuration, error) {
+	b := newBatcher(4, 0, 0, func(_ context.Context, offers [][]int) (*bundling.Configuration, error) {
 		return &bundling.Configuration{Revenue: float64(offers[0][0])}, nil
 	})
 	var wg sync.WaitGroup
@@ -114,7 +115,7 @@ func TestBatcherDistinctKeys(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			cfg, _, err := b.do(fmt.Sprintf("k%d", i), [][]int{{i}})
+			cfg, _, err := b.do(context.Background(), fmt.Sprintf("k%d", i), [][]int{{i}})
 			if err != nil {
 				t.Errorf("k%d: %v", i, err)
 				return
@@ -131,18 +132,18 @@ func TestBatcherDistinctKeys(t *testing.T) {
 // the drainer goroutine outside net/http's per-request recovery, so an
 // engine panic must surface as that request's error, not kill the process.
 func TestBatcherRecoversPanic(t *testing.T) {
-	b := newBatcher(1, 0, func(offers [][]int) (*bundling.Configuration, error) {
+	b := newBatcher(1, 0, 0, func(_ context.Context, offers [][]int) (*bundling.Configuration, error) {
 		panic("shard is stale")
 	})
-	_, _, err := b.do("k", [][]int{{0}})
+	_, _, err := b.do(context.Background(), "k", [][]int{{0}})
 	if err == nil || !strings.Contains(err.Error(), "shard is stale") {
 		t.Fatalf("err = %v, want recovered panic", err)
 	}
 	// The batcher must stay usable after a recovered panic.
-	b.eval = func(offers [][]int) (*bundling.Configuration, error) {
+	b.eval = func(_ context.Context, offers [][]int) (*bundling.Configuration, error) {
 		return &bundling.Configuration{Revenue: 7}, nil
 	}
-	cfg, _, err := b.do("k2", [][]int{{1}})
+	cfg, _, err := b.do(context.Background(), "k2", [][]int{{1}})
 	if err != nil || cfg.Revenue != 7 {
 		t.Fatalf("post-panic call: cfg=%+v err=%v", cfg, err)
 	}
@@ -150,10 +151,10 @@ func TestBatcherRecoversPanic(t *testing.T) {
 
 // TestBatcherError propagates evaluation errors to every coalesced waiter.
 func TestBatcherError(t *testing.T) {
-	b := newBatcher(1, 0, func(offers [][]int) (*bundling.Configuration, error) {
+	b := newBatcher(1, 0, 0, func(_ context.Context, offers [][]int) (*bundling.Configuration, error) {
 		return nil, fmt.Errorf("boom")
 	})
-	if _, _, err := b.do("k", [][]int{{0}}); err == nil || err.Error() != "boom" {
+	if _, _, err := b.do(context.Background(), "k", [][]int{{0}}); err == nil || err.Error() != "boom" {
 		t.Fatalf("err = %v, want boom", err)
 	}
 }

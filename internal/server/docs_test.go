@@ -17,6 +17,7 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"bundling"
 	"bundling/internal/server"
@@ -258,6 +259,17 @@ func TestAPIDocErrorCodesProducible(t *testing.T) {
 	record("degraded health", code, http.StatusServiceUnavailable, body)
 	dts.Close()
 	dsrv.Close()
+
+	// 504 with an already-expired execution budget.
+	tsrv := server.New(server.Config{DefaultTimeout: time.Nanosecond, CacheEntries: -1})
+	tts := httptest.NewServer(tsrv.Handler())
+	if err := server.Preload(tsrv, "slow", persistMatrix(40, 6, 3), bundling.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	code, body = do(t, http.MethodPost, tts.URL+"/v1/corpora/slow/solve", "", `{"algorithm":"matching"}`)
+	record("deadline budget", code, http.StatusGatewayTimeout, body)
+	tts.Close()
+	tsrv.Close()
 
 	// The doc's error table and reality must list the same codes (the
 	// success codes live unbackticked in the endpoint table).

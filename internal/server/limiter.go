@@ -1,0 +1,71 @@
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// limiter is the solve/evaluate admission gate: a fixed pool of execution
+// slots plus a short bounded queue. A request takes a free slot
+// immediately; when all slots are busy it waits in the queue up to the
+// queue timeout, and is shed — fast, with 503 + Retry-After at the
+// handler — when the queue itself is full or the wait runs out. Bounding
+// both the concurrency and the queue keeps an overloaded daemon at its
+// sustainable throughput with a small, predictable latency floor instead
+// of collapsing under an unbounded backlog.
+type limiter struct {
+	slots   chan struct{}
+	queue   chan struct{}
+	timeout time.Duration
+}
+
+// newLimiter sizes the gate; maxConcurrent < 0 disables admission control
+// entirely (nil limiter), maxQueue < 0 disables queueing (shed the moment
+// no slot is free).
+func newLimiter(maxConcurrent, maxQueue int, timeout time.Duration) *limiter {
+	if maxConcurrent < 0 {
+		return nil
+	}
+	if maxConcurrent == 0 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &limiter{
+		slots:   make(chan struct{}, maxConcurrent),
+		queue:   make(chan struct{}, maxQueue),
+		timeout: timeout,
+	}
+}
+
+// acquire takes an execution slot, waiting in the bounded queue when none
+// is free. ok=false means the request was shed (queue full, wait timed
+// out, or the caller's context ended); on ok the returned release must be
+// called exactly once.
+func (l *limiter) acquire(ctx context.Context) (release func(), ok bool) {
+	if l == nil {
+		return func() {}, true
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return func() { <-l.slots }, true
+	default:
+	}
+	select {
+	case l.queue <- struct{}{}:
+		defer func() { <-l.queue }()
+	default:
+		return nil, false
+	}
+	t := time.NewTimer(l.timeout)
+	defer t.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		return func() { <-l.slots }, true
+	case <-t.C:
+		return nil, false
+	case <-ctx.Done():
+		return nil, false
+	}
+}

@@ -81,16 +81,18 @@ func (m *Metrics) Observe(op string, d time.Duration) {
 func (m *Metrics) CountError() { m.errors.Add(1) }
 
 // GaugeRow and CounterRow are the extra exposition rows an embedding server
-// contributes to Render (session gauges, cache counters, …). Names must
-// carry the server's own prefix.
+// contributes to Render (session gauges, cache counters, per-worker breaker
+// gauges, …). Names must carry the server's own prefix. Labels, if set, is
+// a pre-rendered Prometheus label list without braces (`worker="w0"`);
+// consecutive rows sharing a Name emit one HELP/TYPE header.
 type (
 	GaugeRow struct {
-		Name, Help string
-		Value      float64
+		Name, Help, Labels string
+		Value              float64
 	}
 	CounterRow struct {
-		Name, Help string
-		Value      int64
+		Name, Help, Labels string
+		Value              int64
 	}
 )
 
@@ -101,8 +103,17 @@ func (m *Metrics) Render(w io.Writer, gauges []GaugeRow, counters []CounterRow) 
 	fmt.Fprintf(w, "# HELP %s_uptime_seconds Seconds since the server started.\n", m.prefix)
 	fmt.Fprintf(w, "# TYPE %s_uptime_seconds gauge\n", m.prefix)
 	fmt.Fprintf(w, "%s_uptime_seconds %g\n", m.prefix, m.Uptime().Seconds())
+	prev := ""
 	for _, g := range gauges {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.Name, g.Help, g.Name, g.Name, g.Value)
+		if g.Name != prev {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.Name, g.Help, g.Name)
+			prev = g.Name
+		}
+		if g.Labels != "" {
+			fmt.Fprintf(w, "%s{%s} %g\n", g.Name, g.Labels, g.Value)
+		} else {
+			fmt.Fprintf(w, "%s %g\n", g.Name, g.Value)
+		}
 	}
 
 	fmt.Fprintf(w, "# HELP %s_requests_total Completed requests by operation.\n", m.prefix)
@@ -112,10 +123,19 @@ func (m *Metrics) Render(w io.Writer, gauges []GaugeRow, counters []CounterRow) 
 		fmt.Fprintf(w, "%s_requests_total{op=%q} %d\n", m.prefix, op, c.(*atomic.Int64).Load())
 	}
 	all := append([]CounterRow{
-		{m.prefix + "_errors_total", "Requests that ended in an error response.", m.errors.Load()},
+		{Name: m.prefix + "_errors_total", Help: "Requests that ended in an error response.", Value: m.errors.Load()},
 	}, counters...)
+	prev = ""
 	for _, c := range all {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.Name, c.Help, c.Name, c.Name, c.Value)
+		if c.Name != prev {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.Name, c.Help, c.Name)
+			prev = c.Name
+		}
+		if c.Labels != "" {
+			fmt.Fprintf(w, "%s{%s} %d\n", c.Name, c.Labels, c.Value)
+		} else {
+			fmt.Fprintf(w, "%s %d\n", c.Name, c.Value)
+		}
 	}
 
 	fmt.Fprintf(w, "# HELP %s_request_duration_seconds Request latency by operation.\n", m.prefix)
@@ -163,37 +183,47 @@ type metrics struct {
 	quotaEntries atomic.Int64 // 429s from the per-tenant entry quota
 	restores     atomic.Int64 // sessions restored from the corpus store
 	storeErrors  atomic.Int64 // persistence operations that failed
+
+	shedRequests     atomic.Int64 // 503s from the solve/evaluate admission gate
+	deadlineExceeded atomic.Int64 // 504s: runs that outlived their execution budget
+	handlerPanics    atomic.Int64 // handler panics converted to 500 by the recoverer
 }
 
 func newMetrics() *metrics { return &metrics{Metrics: NewMetrics("bundled")} }
 
 // render writes the server's full exposition through the shared core.
 // persisted is the corpus store's live record count (negative when the
-// daemon runs without persistence, which omits the gauge).
-func (m *metrics) render(w io.Writer, sessions, cacheEntries, persisted int) {
+// daemon runs without persistence, which omits the gauge). extraG and
+// extraC are the Config.ExtraMetrics rows (fleet breaker state, …).
+func (m *metrics) render(w io.Writer, sessions, cacheEntries, persisted int, extraG []GaugeRow, extraC []CounterRow) {
 	gauges := []GaugeRow{
-		{"bundled_sessions", "Live corpus sessions in the registry.", float64(sessions)},
-		{"bundled_result_cache_entries", "Entries in the result cache.", float64(cacheEntries)},
+		{Name: "bundled_sessions", Help: "Live corpus sessions in the registry.", Value: float64(sessions)},
+		{Name: "bundled_result_cache_entries", Help: "Entries in the result cache.", Value: float64(cacheEntries)},
 	}
 	if persisted >= 0 {
-		gauges = append(gauges, GaugeRow{"bundled_persisted_corpora", "Live corpora in the persistence store.", float64(persisted)})
+		gauges = append(gauges, GaugeRow{Name: "bundled_persisted_corpora", Help: "Live corpora in the persistence store.", Value: float64(persisted)})
 	}
-	m.Render(w, gauges,
-		[]CounterRow{
-			{"bundled_cache_hits_total", "Result-cache hits.", m.cacheHits.Load()},
-			{"bundled_cache_misses_total", "Result-cache misses.", m.cacheMisses.Load()},
-			{"bundled_batches_total", "Micro-batch passes processed.", m.batches.Load()},
-			{"bundled_batched_requests_total", "Evaluate requests drained through micro-batches.", m.batchedRequests.Load()},
-			{"bundled_coalesced_requests_total", "Evaluate requests that shared an identical concurrent request's execution.", m.coalescedInBatch.Load()},
-			{"bundled_uploads_total", "Corpus uploads (session creations and replacements).", m.uploads.Load()},
-			{"bundled_session_evictions_total", "Sessions evicted by the registry's LRU bound.", m.evictions.Load()},
-			{"bundled_auth_failures_total", "Requests rejected with 401 for a missing or unknown API key.", m.authFailures.Load()},
-			{"bundled_quota_rps_rejections_total", "Requests rejected with 429 by the per-tenant request-rate quota.", m.quotaRPS.Load()},
-			{"bundled_quota_corpora_rejections_total", "Uploads rejected with 429 by the per-tenant corpus-count quota.", m.quotaCorpora.Load()},
-			{"bundled_quota_entries_rejections_total", "Uploads rejected with 429 by the per-tenant entry quota.", m.quotaEntries.Load()},
-			{"bundled_restored_sessions_total", "Sessions restored from the corpus store (at startup or by lazy reload of an evicted corpus).", m.restores.Load()},
-			{"bundled_store_errors_total", "Corpus persistence operations that failed.", m.storeErrors.Load()},
-		})
+	gauges = append(gauges, extraG...)
+	counters := []CounterRow{
+		{Name: "bundled_cache_hits_total", Help: "Result-cache hits.", Value: m.cacheHits.Load()},
+		{Name: "bundled_cache_misses_total", Help: "Result-cache misses.", Value: m.cacheMisses.Load()},
+		{Name: "bundled_batches_total", Help: "Micro-batch passes processed.", Value: m.batches.Load()},
+		{Name: "bundled_batched_requests_total", Help: "Evaluate requests drained through micro-batches.", Value: m.batchedRequests.Load()},
+		{Name: "bundled_coalesced_requests_total", Help: "Evaluate requests that shared an identical concurrent request's execution.", Value: m.coalescedInBatch.Load()},
+		{Name: "bundled_uploads_total", Help: "Corpus uploads (session creations and replacements).", Value: m.uploads.Load()},
+		{Name: "bundled_session_evictions_total", Help: "Sessions evicted by the registry's LRU bound.", Value: m.evictions.Load()},
+		{Name: "bundled_auth_failures_total", Help: "Requests rejected with 401 for a missing or unknown API key.", Value: m.authFailures.Load()},
+		{Name: "bundled_quota_rps_rejections_total", Help: "Requests rejected with 429 by the per-tenant request-rate quota.", Value: m.quotaRPS.Load()},
+		{Name: "bundled_quota_corpora_rejections_total", Help: "Uploads rejected with 429 by the per-tenant corpus-count quota.", Value: m.quotaCorpora.Load()},
+		{Name: "bundled_quota_entries_rejections_total", Help: "Uploads rejected with 429 by the per-tenant entry quota.", Value: m.quotaEntries.Load()},
+		{Name: "bundled_restored_sessions_total", Help: "Sessions restored from the corpus store (at startup or by lazy reload of an evicted corpus).", Value: m.restores.Load()},
+		{Name: "bundled_store_errors_total", Help: "Corpus persistence operations that failed.", Value: m.storeErrors.Load()},
+		{Name: "bundled_shed_requests_total", Help: "Requests shed with 503 by the solve/evaluate admission gate.", Value: m.shedRequests.Load()},
+		{Name: "bundled_deadline_exceeded_total", Help: "Runs that outlived their execution budget and returned 504.", Value: m.deadlineExceeded.Load()},
+		{Name: "bundled_handler_panics_total", Help: "Handler panics converted to 500 responses.", Value: m.handlerPanics.Load()},
+	}
+	counters = append(counters, extraC...)
+	m.Render(w, gauges, counters)
 }
 
 // trimFloat renders a bucket bound the way Prometheus clients do.

@@ -1,0 +1,342 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bundling"
+)
+
+// gatedSolver wraps a real solver but holds every solve until release is
+// closed (or the run's context ends), signalling each start on started.
+type gatedSolver struct {
+	Solver
+	release chan struct{}
+	started chan struct{}
+}
+
+func (g *gatedSolver) SolveContext(ctx context.Context, a bundling.Algorithm) (*bundling.Configuration, error) {
+	g.started <- struct{}{}
+	select {
+	case <-g.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return g.Solver.SolveContext(ctx, a)
+}
+
+func (g *gatedSolver) EvaluateContext(ctx context.Context, offers [][]int) (*bundling.Configuration, error) {
+	g.started <- struct{}{}
+	select {
+	case <-g.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return g.Solver.EvaluateContext(ctx, offers)
+}
+
+// gatedServer builds a server whose sessions block in the engine until the
+// returned release channel is closed.
+func gatedServer(t *testing.T, cfg Config) (*Server, *httptest.Server, chan struct{}, chan struct{}) {
+	t.Helper()
+	release := make(chan struct{})
+	started := make(chan struct{}, 64)
+	cfg.CacheEntries = -1 // every request must reach the engine
+	cfg.NewSolver = func(w *bundling.Matrix, o bundling.Options) (Solver, error) {
+		inner, err := bundling.NewSolver(w, o)
+		if err != nil {
+			return nil, err
+		}
+		return &gatedSolver{Solver: inner, release: release, started: started}, nil
+	}
+	srv := New(cfg)
+	t.Cleanup(srv.Close)
+	if err := Preload(srv, "c", testMatrix(t, 40, 6, 1), bundling.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, release, started
+}
+
+// TestOverloadShedsWithRetryAfter: with one execution slot busy and
+// queueing disabled, the next solve is shed immediately — 503, Retry-After,
+// and the shed counter on /metrics — while the in-flight run completes
+// normally once released.
+func TestOverloadShedsWithRetryAfter(t *testing.T) {
+	_, ts, release, started := gatedServer(t, Config{MaxConcurrent: 1, MaxQueue: -1})
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, ts, "/v1/corpora/c/solve", `{"algorithm":"matching"}`)
+		firstDone <- resp.StatusCode
+	}()
+	<-started // the first request holds the only slot inside the engine
+	resp, body := postJSON(t, ts, "/v1/corpora/c/solve", `{"algorithm":"greedy"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second solve = %d (%s), want 503", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Fatal("503 without a Retry-After header")
+	}
+	if !strings.Contains(body, "overloaded") {
+		t.Fatalf("shed body = %q", body)
+	}
+	close(release)
+	if code := <-firstDone; code != http.StatusOK {
+		t.Fatalf("first solve = %d after release, want 200", code)
+	}
+	mresp, metrics := postGet(t, ts, "/metrics")
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", mresp.StatusCode)
+	}
+	if !strings.Contains(metrics, "bundled_shed_requests_total 1") {
+		t.Fatal("shed request not counted on /metrics")
+	}
+}
+
+// TestOverloadQueueAdmits: a queued request gets the slot when the holder
+// releases it inside the queue timeout — bounded waiting, not a shed.
+func TestOverloadQueueAdmits(t *testing.T) {
+	_, ts, release, started := gatedServer(t, Config{MaxConcurrent: 1, MaxQueue: 1, QueueTimeout: 5 * time.Second})
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, ts, "/v1/corpora/c/solve", `{"algorithm":"matching"}`)
+		firstDone <- resp.StatusCode
+	}()
+	<-started
+	secondDone := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, ts, "/v1/corpora/c/solve", `{"algorithm":"greedy"}`)
+		secondDone <- resp.StatusCode
+	}()
+	// Give the second request time to enter the queue, then release the
+	// gate: both runs finish.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	if code := <-firstDone; code != http.StatusOK {
+		t.Fatalf("first solve = %d, want 200", code)
+	}
+	if code := <-secondDone; code != http.StatusOK {
+		t.Fatalf("queued solve = %d, want 200", code)
+	}
+}
+
+// TestDeadlineBudget504: a run that outlives the server's DefaultTimeout
+// returns 504 and bumps the deadline counter.
+func TestDeadlineBudget504(t *testing.T) {
+	_, ts, release, _ := gatedServer(t, Config{DefaultTimeout: 30 * time.Millisecond})
+	defer close(release) // never released within the budget
+	resp, body := postJSON(t, ts, "/v1/corpora/c/solve", `{"algorithm":"matching"}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("solve = %d (%s), want 504", resp.StatusCode, body)
+	}
+	_, metrics := postGet(t, ts, "/metrics")
+	if !strings.Contains(metrics, "bundled_deadline_exceeded_total 1") {
+		t.Fatal("deadline expiry not counted on /metrics")
+	}
+}
+
+// TestDeadlineHeader overrides the budget per request: a tiny X-Deadline-Ms
+// times the run out on a server with no default budget; a malformed value
+// is the client's 400.
+func TestDeadlineHeader(t *testing.T) {
+	_, ts, release, _ := gatedServer(t, Config{})
+	defer close(release)
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/corpora/c/evaluate", strings.NewReader(`{"offers":[[0,1],[2]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(deadlineHeader, "20")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("evaluate with %s: %d, want 504", deadlineHeader, resp.StatusCode)
+	}
+	for _, bad := range []string{"0", "-5", "soon"} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/corpora/c/solve", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(deadlineHeader, bad)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s=%q: %d, want 400", deadlineHeader, bad, resp.StatusCode)
+		}
+	}
+}
+
+// panicSolver blows up inside the handler's solve path.
+type panicSolver struct{ Solver }
+
+func (p *panicSolver) SolveContext(context.Context, bundling.Algorithm) (*bundling.Configuration, error) {
+	panic("solver exploded")
+}
+
+// TestPanicRecovery: a handler panic becomes a 500 with the panic counter
+// bumped; the server keeps serving afterwards.
+func TestPanicRecovery(t *testing.T) {
+	srv := New(Config{
+		CacheEntries: -1,
+		NewSolver: func(w *bundling.Matrix, o bundling.Options) (Solver, error) {
+			inner, err := bundling.NewSolver(w, o)
+			if err != nil {
+				return nil, err
+			}
+			return &panicSolver{Solver: inner}, nil
+		},
+	})
+	defer srv.Close()
+	if err := Preload(srv, "c", testMatrix(t, 40, 6, 1), bundling.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, body := postJSON(t, ts, "/v1/corpora/c/solve", `{"algorithm":"matching"}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking solve = %d (%s), want 500", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "internal error") {
+		t.Fatalf("500 body = %q", body)
+	}
+	// The daemon survives: metadata requests still answer.
+	resp2, metrics := postGet(t, ts, "/metrics")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics after panic = %d", resp2.StatusCode)
+	}
+	if !strings.Contains(metrics, "bundled_handler_panics_total 1") {
+		t.Fatal("panic not counted on /metrics")
+	}
+}
+
+// TestHealthWorkerStatus: a configured WorkerStatus hook surfaces breaker
+// state in the health payload.
+func TestHealthWorkerStatus(t *testing.T) {
+	srv := New(Config{
+		WorkerStatus: func() []WorkerStatusDoc {
+			return []WorkerStatusDoc{{Addr: "w0", State: "open", FailureRate: 1, Trips: 2, RetryInMs: 350}}
+		},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, body := postGet(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d (%s)", resp.StatusCode, body)
+	}
+	var hr HealthResponse
+	if err := decodeString(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if len(hr.Workers) != 1 || hr.Workers[0].State != "open" || hr.Workers[0].Trips != 2 {
+		t.Fatalf("workers = %+v", hr.Workers)
+	}
+}
+
+// TestExtraMetricsRendered: ExtraMetrics rows land in the exposition with
+// their labels, one header per metric name.
+func TestExtraMetricsRendered(t *testing.T) {
+	srv := New(Config{
+		ExtraMetrics: func() ([]GaugeRow, []CounterRow) {
+			return []GaugeRow{
+					{Name: "bundled_worker_breaker_open", Help: "Breaker open (1) per worker.", Labels: `worker="w0"`, Value: 1},
+					{Name: "bundled_worker_breaker_open", Labels: `worker="w1"`, Value: 0},
+				}, []CounterRow{
+					{Name: "bundled_worker_breaker_trips_total", Help: "Breaker trips per worker.", Labels: `worker="w0"`, Value: 3},
+				}
+		},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	_, body := postGet(t, ts, "/metrics")
+	for _, want := range []string{
+		`bundled_worker_breaker_open{worker="w0"} 1`,
+		`bundled_worker_breaker_open{worker="w1"} 0`,
+		`bundled_worker_breaker_trips_total{worker="w0"} 3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, body)
+		}
+	}
+	if strings.Count(body, "# TYPE bundled_worker_breaker_open gauge") != 1 {
+		t.Fatal("labelled gauge rows must share one TYPE header")
+	}
+}
+
+// TestBatcherCallerCancel: a waiter whose context ends stops waiting
+// immediately; the batch itself completes for everyone else.
+func TestBatcherCallerCancel(t *testing.T) {
+	release := make(chan struct{})
+	b := newBatcher(1, 0, 0, func(ctx context.Context, offers [][]int) (*bundling.Configuration, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &bundling.Configuration{Revenue: 7}, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := b.do(ctx, "k", [][]int{{0}})
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the call enter its pass
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled waiter did not return")
+	}
+	// The pass itself still completes once released: a second waiter on
+	// the same batcher gets a result.
+	close(release)
+	cfg, _, err := b.do(context.Background(), "k2", [][]int{{1}})
+	if err != nil || cfg.Revenue != 7 {
+		t.Fatalf("post-cancel evaluate: cfg=%+v err=%v", cfg, err)
+	}
+}
+
+// TestBatcherBudget: with a batch budget set and no caller deadline, a
+// stuck evaluation fails with DeadlineExceeded instead of hanging the
+// drainer forever.
+func TestBatcherBudget(t *testing.T) {
+	b := newBatcher(1, 0, 30*time.Millisecond, func(ctx context.Context, offers [][]int) (*bundling.Configuration, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	_, _, err := b.do(context.Background(), "k", [][]int{{0}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// postGet is postJSON's GET sibling.
+func postGet(t testing.TB, ts *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := copyAll(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, sb.String()
+}

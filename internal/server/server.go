@@ -28,6 +28,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,15 +42,18 @@ import (
 	"bundling"
 )
 
-// Solver is the session-engine surface the server serves: Solve runs a
-// configuration algorithm, Evaluate prices a what-if lineup, Stats
-// describes the indexed corpus (its Version keys the result cache). The
-// local *bundling.Solver implements it, and so does the cluster
-// coordinator, which is how one daemon serves either a single machine or a
-// worker fleet transparently.
+// Solver is the session-engine surface the server serves: SolveContext
+// runs a configuration algorithm, EvaluateContext prices a what-if lineup,
+// Stats describes the indexed corpus (its Version keys the result cache).
+// Both solve and evaluate take the request's context — a canceled or
+// expired context must abort the run promptly with the context's error, so
+// the server can bound execution latency and stop work for disconnected
+// clients. The local *bundling.Solver implements it, and so does the
+// cluster coordinator, which is how one daemon serves either a single
+// machine or a worker fleet transparently.
 type Solver interface {
-	Solve(a bundling.Algorithm) (*bundling.Configuration, error)
-	Evaluate(offers [][]int) (*bundling.Configuration, error)
+	SolveContext(ctx context.Context, a bundling.Algorithm) (*bundling.Configuration, error)
+	EvaluateContext(ctx context.Context, offers [][]int) (*bundling.Configuration, error)
 	Stats() bundling.SolverStats
 }
 
@@ -88,6 +92,31 @@ type Config struct {
 	// Quotas bounds each tenant's corpora, total entries and request rate.
 	// The zero value is unlimited.
 	Quotas Quotas
+	// MaxConcurrent bounds in-flight solve/evaluate executions — the
+	// engine-bound work, not cache hits or metadata requests (0 = 64,
+	// negative disables admission control). Excess requests wait in a short
+	// bounded queue and are shed with 503 + Retry-After when it overflows
+	// or the wait exceeds QueueTimeout, so overload degrades to fast
+	// rejections instead of a latency collapse.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an execution slot
+	// (0 = 2×MaxConcurrent, negative disables queueing: shed immediately
+	// when all slots are busy).
+	MaxQueue int
+	// QueueTimeout caps how long an admitted request waits for a slot
+	// before being shed (0 = 2s).
+	QueueTimeout time.Duration
+	// DefaultTimeout is the server-side execution budget for solve and
+	// evaluate when the client does not send X-Deadline-Ms (0 = none). A
+	// request whose budget expires gets 504 and its engine run aborts at
+	// the next iteration boundary.
+	DefaultTimeout time.Duration
+	// WorkerStatus, if set, reports the fleet's per-worker circuit-breaker
+	// state on /healthz (installed by cmd/bundled in cluster mode).
+	WorkerStatus func() []WorkerStatusDoc
+	// ExtraMetrics, if set, contributes extra rows to /metrics (the daemon
+	// installs fleet breaker gauges and coordinator fallback counters here).
+	ExtraMetrics func() ([]GaugeRow, []CounterRow)
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +137,15 @@ func (c Config) withDefaults() Config {
 	if c.BatchWorkers == 0 {
 		c.BatchWorkers = 4
 	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 64
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
 	return c
 }
 
@@ -119,6 +157,7 @@ type Server struct {
 	cache *resultCache
 	met   *metrics
 	rates *rateGate
+	lim   *limiter
 	mux   *http.ServeMux
 }
 
@@ -132,6 +171,7 @@ func New(cfg Config) *Server {
 		cache: newResultCache(cfg.CacheEntries),
 		met:   newMetrics(),
 		rates: newRateGate(cfg.Quotas),
+		lim:   newLimiter(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout),
 	}
 	// The registry's install gate and quota accounting reach past memory:
 	// an LRU-evicted corpus keeps its persisted record, so it keeps its
@@ -152,8 +192,32 @@ func New(cfg Config) *Server {
 }
 
 // Handler returns the server's HTTP handler: the API mux behind the
-// tenancy guard (authentication and the request-rate quota).
-func (s *Server) Handler() http.Handler { return s.guard(s.mux) }
+// tenancy guard (authentication and the request-rate quota) and the
+// panic-recovery middleware.
+func (s *Server) Handler() http.Handler { return s.recoverer(s.guard(s.mux)) }
+
+// recoverer converts a handler panic into a 500 response (when no bytes
+// were written yet) and a counted metric, instead of killing the
+// connection with an opaque empty reply. http.ErrAbortHandler re-panics:
+// it is net/http's own "drop this connection" idiom, not a bug.
+func (s *Server) recoverer(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.met.handlerPanics.Add(1)
+			// Best effort: if the handler already wrote a header this only
+			// logs through the metric — the wire is beyond repair.
+			s.fail(w, http.StatusInternalServerError, "internal error: %v", rec)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
 
 // Restore rebuilds the session registry from the configured Store: it seeds
 // every known ID's generation counter from the manifest (deleted IDs
@@ -415,7 +479,7 @@ func (s *Server) registerWith(id, tenant string, matrix *bundling.Matrix, opts b
 		stats:     solver.Stats(),
 		createdAt: createdAt,
 	}
-	sess.batcher = newBatcher(s.cfg.BatchWorkers, s.cfg.BatchWindow, solver.Evaluate)
+	sess.batcher = newBatcher(s.cfg.BatchWorkers, s.cfg.BatchWindow, s.cfg.DefaultTimeout, solver.EvaluateContext)
 	sess.batcher.onBatch = func(size, unique int) {
 		s.met.batches.Add(1)
 		s.met.batchedRequests.Add(int64(size))
@@ -647,6 +711,59 @@ func (s *Server) deleteRecord(w http.ResponseWriter, id string, gen int) bool {
 	return true
 }
 
+// deadlineHeader is the per-request execution-budget override: a positive
+// integer of milliseconds, taking the minimum with Config.DefaultTimeout.
+const deadlineHeader = "X-Deadline-Ms"
+
+// requestContext derives a solve/evaluate execution context from the HTTP
+// request: the request's own context (canceled when the client
+// disconnects), bounded by the X-Deadline-Ms header and the server's
+// DefaultTimeout, whichever is tighter. Returns ok=false after writing a
+// 400 for a malformed header.
+func (s *Server) requestContext(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	budget := s.cfg.DefaultTimeout
+	if h := r.Header.Get(deadlineHeader); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			s.fail(w, http.StatusBadRequest, "%s: want a positive integer of milliseconds, got %q", deadlineHeader, h)
+			return nil, nil, false
+		}
+		if d := time.Duration(ms) * time.Millisecond; budget == 0 || d < budget {
+			budget = d
+		}
+	}
+	if budget <= 0 {
+		return r.Context(), func() {}, true
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	return ctx, cancel, true
+}
+
+// admit acquires an execution slot for engine-bound work, shedding with
+// 503 + Retry-After when the server is saturated. Returns ok=false after
+// writing the response; otherwise the caller must call release.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	release, ok = s.lim.acquire(r.Context())
+	if !ok {
+		s.met.shedRequests.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusServiceUnavailable, "server overloaded: no execution slot within the queue budget; retry")
+	}
+	return release, ok
+}
+
+// failRun maps an engine-run error to its response: an expired budget (or
+// a client already gone) is 504 — the configured deadline, not the
+// request, is at fault — and anything else is the run's own 400.
+func (s *Server) failRun(w http.ResponseWriter, op string, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.met.deadlineExceeded.Add(1)
+		s.fail(w, http.StatusGatewayTimeout, "%s: %v", op, err)
+		return
+	}
+	s.fail(w, http.StatusBadRequest, "%s: %v", op, err)
+}
+
 // handleSolve runs a configuration algorithm on a session, serving repeats
 // from the result cache.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -674,9 +791,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.met.cacheHits.Add(1)
 	} else {
 		s.met.cacheMisses.Add(1)
-		cfg, err = sess.solver.Solve(alg)
+		release, ok := s.admit(w, r)
+		if !ok {
+			return
+		}
+		ctx, cancel, ok := s.requestContext(w, r)
+		if !ok {
+			release()
+			return
+		}
+		cfg, err = sess.solver.SolveContext(ctx, alg)
+		cancel()
+		release()
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, "solve: %v", err)
+			s.failRun(w, "solve", err)
 			return
 		}
 		s.cache.put(key, cfg)
@@ -718,10 +846,21 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.met.cacheHits.Add(1)
 	} else {
 		s.met.cacheMisses.Add(1)
+		release, ok := s.admit(w, r)
+		if !ok {
+			return
+		}
+		ctx, cancel, ok := s.requestContext(w, r)
+		if !ok {
+			release()
+			return
+		}
 		var err error
-		cfg, batched, err = sess.batcher.do(key, req.Offers)
+		cfg, batched, err = sess.batcher.do(ctx, key, req.Offers)
+		cancel()
+		release()
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, "evaluate: %v", err)
+			s.failRun(w, "evaluate", err)
 			return
 		}
 		s.cache.put(key, cfg)
@@ -746,6 +885,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Sessions:      s.reg.len(),
 		UptimeSeconds: s.met.Uptime().Seconds(),
 	}
+	if s.cfg.WorkerStatus != nil {
+		resp.Workers = s.cfg.WorkerStatus()
+	}
 	if s.cfg.Ready != nil {
 		if err := s.cfg.Ready(); err != nil {
 			resp.Status = "degraded"
@@ -764,7 +906,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Store != nil {
 		persisted = s.cfg.Store.Len()
 	}
-	s.met.render(w, s.reg.len(), s.cache.len(), persisted)
+	var extraG []GaugeRow
+	var extraC []CounterRow
+	if s.cfg.ExtraMetrics != nil {
+		extraG, extraC = s.cfg.ExtraMetrics()
+	}
+	s.met.render(w, s.reg.len(), s.cache.len(), persisted, extraG, extraC)
 }
 
 // canonicalOffers encodes an offer family independent of offer and item

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -17,7 +18,7 @@ import (
 // request executes in its own pass without waiting for company.
 func TestBatcherWindowZeroDrainsImmediately(t *testing.T) {
 	var executions atomic.Int64
-	b := newBatcher(2, 0, func(offers [][]int) (*bundling.Configuration, error) {
+	b := newBatcher(2, 0, 0, func(_ context.Context, offers [][]int) (*bundling.Configuration, error) {
 		executions.Add(1)
 		return &bundling.Configuration{}, nil
 	})
@@ -26,7 +27,7 @@ func TestBatcherWindowZeroDrainsImmediately(t *testing.T) {
 	b.onBatch = func(size, _ int) { mu.Lock(); sizes = append(sizes, size); mu.Unlock() }
 
 	start := time.Now()
-	if _, _, err := b.do("a", [][]int{{0}}); err != nil {
+	if _, _, err := b.do(context.Background(), "a", [][]int{{0}}); err != nil {
 		t.Fatal(err)
 	}
 	if d := time.Since(start); d > time.Second {
@@ -46,7 +47,7 @@ func TestBatcherWindowZeroDrainsImmediately(t *testing.T) {
 // submitted within it ride one pass instead of two.
 func TestBatcherWindowGathers(t *testing.T) {
 	var executions atomic.Int64
-	b := newBatcher(4, 300*time.Millisecond, func(offers [][]int) (*bundling.Configuration, error) {
+	b := newBatcher(4, 300*time.Millisecond, 0, func(_ context.Context, offers [][]int) (*bundling.Configuration, error) {
 		executions.Add(1)
 		return &bundling.Configuration{Revenue: float64(offers[0][0])}, nil
 	})
@@ -59,7 +60,7 @@ func TestBatcherWindowGathers(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			cfg, _, err := b.do(string(rune('a'+i)), [][]int{{i}})
+			cfg, _, err := b.do(context.Background(), string(rune('a'+i)), [][]int{{i}})
 			if err != nil {
 				t.Errorf("req %d: %v", i, err)
 				return

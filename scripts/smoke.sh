@@ -4,7 +4,10 @@
 # non-200 the test observes. Then smoke the distributed mode: boot two
 # bundleworker daemons plus a coordinator bundled -workers, upload the demo
 # corpus to it, and fail on any non-200 or on a solve mismatch between the
-# cluster and local modes. Finally smoke the durable multi-tenant mode:
+# cluster and local modes — including with one worker SIGSTOPped (a
+# blackhole: connections accepted, never answered), where the coordinator
+# must still answer within its deadline budget. Finally smoke the durable
+# multi-tenant mode:
 # boot with -data-dir and -auth-keys, upload as one tenant, check 401/403/
 # 429 enforcement, SIGTERM the daemon, reboot it on the same data dir, and
 # demand the restored corpus solve to the same revenue. CI runs this after
@@ -29,7 +32,9 @@ go build -o "$WBIN" ./cmd/bundleworker
 "$BIN" -addr "$ADDR" -demo >"$LOG" 2>&1 &
 PID=$!
 PIDS="$PID"
-trap 'kill $PIDS 2>/dev/null || true' EXIT INT TERM
+# CONT first: a SIGSTOPped worker (blackhole scenario below) would otherwise
+# never see the TERM.
+trap 'kill -CONT $PIDS 2>/dev/null; kill $PIDS 2>/dev/null || true' EXIT INT TERM
 
 # wait_healthy url pid log [want_status]
 wait_healthy() {
@@ -113,6 +118,40 @@ if ! curl -sf "http://$W1/healthz" | grep -q '"corpus"'; then
   exit 1
 fi
 
+# --- blackholed worker --------------------------------------------------------
+# A SIGSTOPped worker accepts TCP connections but never answers (a blackhole,
+# not a refused dial). A coordinator with a short per-RPC budget must still
+# answer solves within its deadline budget via the replica/local-fallback
+# ladder. Cache disabled so the timed solve really exercises the fan-out.
+
+SADDR="${BUNDLED_SMOKE_STALL_ADDR:-127.0.0.1:8076}"
+SLOG="$(mktemp)"
+"$BIN" -addr "$SADDR" -workers "$W1,$W2" -rpc-timeout 300ms -cache -1 -demo >"$SLOG" 2>&1 &
+SPID=$!
+PIDS="$PIDS $SPID"
+wait_healthy "http://$SADDR" "$SPID" "$SLOG"
+
+kill -STOP "$WPID1"
+T0=$(date +%s)
+RS=$(solve_revenue "$SADDR" demo matching)
+T1=$(date +%s)
+kill -CONT "$WPID1"
+if [ -z "$RS" ]; then
+  echo "solve with a blackholed worker failed; coordinator log:" >&2
+  cat "$SLOG" >&2
+  exit 1
+fi
+if [ $((T1 - T0)) -gt 10 ]; then
+  echo "solve with a blackholed worker took $((T1 - T0))s, budget is 10s" >&2
+  exit 1
+fi
+RD=$(solve_revenue "$ADDR" demo matching)
+if ! awk -v a="$RD" -v b="$RS" 'BEGIN{d=a-b; if (d<0) d=-d; exit !(d <= 1e-6*(1+(a<0?-a:a)))}'; then
+  echo "blackholed-worker solve mismatch: local $RD vs coordinator $RS" >&2
+  exit 1
+fi
+echo "cluster smoke: solve answered in $((T1 - T0))s with a blackholed worker (revenue $RS matches local)"
+
 # Killing a worker must degrade the coordinator's /healthz to 503 (solves
 # keep working via the local fallback — readiness is the operator signal).
 kill "$WPID1"
@@ -189,7 +228,7 @@ fi
 echo "durable smoke: revenue $R_AFTER survived the restart"
 
 # Graceful shutdowns must complete cleanly.
-for p in "$CPID" "$WPID2" "$PID" "$DPID"; do
+for p in "$CPID" "$SPID" "$WPID2" "$PID" "$DPID"; do
   kill -TERM "$p"
   wait "$p"
 done
