@@ -5,7 +5,7 @@
 GO ?= go
 NPROC ?= $(shell nproc 2>/dev/null || echo 2)
 
-.PHONY: build test vet fmt race check smoke chaos linkcheck bench bench-parallel bench-serve bench-cluster bench-chaos fuzz
+.PHONY: build test vet fmt race check smoke chaos linkcheck bench bench-parallel bench-serve bench-cluster bench-chaos bench-codec fuzz
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ test:
 # shared Solver sessions, per-stripe farming, the serving registry/batcher,
 # the cluster coordinator's scatter/gather fan-out).
 race:
-	$(GO) test -race ./internal/config/ ./internal/pricing/ ./internal/wtp/ ./internal/server/ ./internal/cluster/ ./client/
+	$(GO) test -race ./internal/config/ ./internal/pricing/ ./internal/wtp/ ./internal/codec/ ./internal/server/ ./internal/cluster/ ./client/
 
 check: fmt vet build test race linkcheck
 
@@ -78,6 +78,23 @@ bench-cluster:
 bench-chaos:
 	$(GO) run ./cmd/bundlebench -exp chaos -benchout BENCH_chaos.json
 
-# Short fuzz pass over the incremental-union equivalence property.
+# Certify the binary columnar codec at the paper's corpus scale: payload
+# bytes and encode/decode throughput vs JSON for the matrix, span-feed and
+# corpus-record envelopes, plus all five algorithms solved over a binary-fed
+# HTTP worker fleet and equivalence-checked within 1e-9 (on a recorded
+# solver-tractable slice of the corpus — full-scale pair pricing takes
+# hours). The harness fails if the span or record payload exceeds half its
+# JSON size, so the committed BENCH_codec.json is a size and correctness
+# certificate.
+bench-codec:
+	$(GO) run ./cmd/bundlebench -exp codec -scale full -benchout BENCH_codec.json
+
+# Short fuzz pass over the incremental-union equivalence property, then over
+# each binary codec decoder (truncated, corrupt and hostile inputs must
+# error — never panic or over-allocate). `go test -fuzz` takes one target
+# per run, hence the loop.
 fuzz:
 	$(GO) test ./internal/wtp -fuzz FuzzUnionVectors -fuzztime 30s -run '^$$'
+	for f in FuzzDecodeMatrix FuzzDecodeSpan FuzzDecodeRecord FuzzDecodeAssign; do \
+		$(GO) test ./internal/codec -fuzz $$f -fuzztime 15s -run '^$$' || exit 1; \
+	done

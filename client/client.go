@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"bundling"
+	"bundling/internal/codec"
 	"bundling/internal/server"
 )
 
@@ -82,23 +83,32 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("bundled: %d: %s", e.StatusCode, e.Message)
 }
 
-// do issues one request; a non-2xx status becomes an *APIError, a 2xx body
-// is decoded into out (unless nil).
+// do issues one JSON request; a non-2xx status becomes an *APIError, a 2xx
+// body is decoded into out (unless nil).
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	if in == nil {
+		return c.doRaw(ctx, method, path, "", nil, out)
+	}
+	buf, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return c.doRaw(ctx, method, path, "application/json", buf, out)
+}
+
+// doRaw issues one request with an explicit body and content type (empty =
+// no body); the JSON response handling matches do.
+func (c *Client) doRaw(ctx context.Context, method, path, contentType string, payload []byte, out any) error {
 	var body io.Reader
-	if in != nil {
-		buf, err := json.Marshal(in)
-		if err != nil {
-			return err
-		}
-		body = bytes.NewReader(buf)
+	if contentType != "" {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
 	}
 	if c.apiKey != "" {
 		req.Header.Set("Authorization", "Bearer "+c.apiKey)
@@ -139,6 +149,33 @@ func (c *Client) UploadMatrix(ctx context.Context, id string, w *bundling.Matrix
 		Options: OptionsFromLibrary(opts),
 		Matrix:  bundling.NewMatrixDoc(w),
 	})
+}
+
+// UploadMatrixBin uploads a WTP matrix under the given corpus ID as a
+// binary codec envelope — the compact upload path, roughly half the JSON
+// bytes for a real corpus and bit-identical on the server. Requires a
+// server that understands the codec Content-Type (this repo's bundled);
+// against an older daemon the call fails with a 400 *APIError, and
+// UploadMatrix remains the portable fallback.
+func (c *Client) UploadMatrixBin(ctx context.Context, id string, w *bundling.Matrix, opts bundling.Options) (*CorpusInfo, error) {
+	optsJSON, err := json.Marshal(OptionsFromLibrary(opts))
+	if err != nil {
+		return nil, err
+	}
+	doc := bundling.NewMatrixDoc(w)
+	payload, err := codec.EncodeRecord(&codec.Record{
+		ID:          id,
+		OptionsJSON: optsJSON,
+		Matrix:      codec.MatrixData(*doc),
+	})
+	if err != nil {
+		return nil, err
+	}
+	var info CorpusInfo
+	if err := c.doRaw(ctx, http.MethodPost, "/v1/corpora", codec.ContentType, payload, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
 }
 
 // UploadCSV uploads a ratings CSV corpus converted with factor lambda

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"bundling"
+	"bundling/internal/codec"
 	"bundling/internal/server"
 )
 
@@ -124,6 +125,50 @@ func TestClientCSVUpload(t *testing.T) {
 	}
 	if _, err := c.UploadCSV(ctx, "bad", "price,0\n", 0, bundling.Options{}); err == nil {
 		t.Error("malformed CSV upload should fail")
+	}
+}
+
+// TestClientBinaryUpload: the binary codec upload registers the same
+// session as the JSON path — identical info and solve results within 1e-9 —
+// while shipping a fraction of the bytes.
+func TestClientBinaryUpload(t *testing.T) {
+	ts := testServer(t)
+	c := New(ts.URL, nil)
+	ctx := context.Background()
+	w := testMatrix(t, 90, 18, 4)
+	opts := bundling.Options{Strategy: bundling.Mixed, Theta: -0.01}
+
+	jsonInfo, err := c.UploadMatrix(ctx, "viajson", w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binInfo, err := c.UploadMatrixBin(ctx, "viabin", w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binInfo.ID != "viabin" || binInfo.Version != 1 ||
+		binInfo.Consumers != jsonInfo.Consumers || binInfo.Items != jsonInfo.Items ||
+		binInfo.Entries != jsonInfo.Entries {
+		t.Fatalf("binary upload info %+v != json upload info %+v", binInfo, jsonInfo)
+	}
+	for _, alg := range []string{"components", "greedy", "matching"} {
+		jr, err := c.Solve(ctx, "viajson", alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br, err := c.Solve(ctx, "viabin", alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(jr.Config.Revenue-br.Config.Revenue) > 1e-9*(1+math.Abs(jr.Config.Revenue)) {
+			t.Errorf("%s: binary-uploaded revenue %g != json-uploaded %g", alg, br.Config.Revenue, jr.Config.Revenue)
+		}
+	}
+	// A hostile body must come back as a 400 APIError, not hang or 500.
+	if err := c.doRaw(ctx, "POST", "/v1/corpora", codec.ContentType, []byte{0xBC, 'X', 1, 0x03, 0xFF}, nil); err == nil {
+		t.Error("truncated binary upload should fail")
+	} else if apiErr, ok := err.(*APIError); !ok || apiErr.StatusCode != 400 {
+		t.Errorf("err = %v, want 400 APIError", err)
 	}
 }
 

@@ -1,11 +1,15 @@
 // Command bundle computes a revenue-maximizing bundle configuration from a
-// ratings CSV or a WTP-matrix JSON document and prints it as JSON or text.
+// ratings CSV, a WTP-matrix JSON document or a binary codec matrix, and
+// prints it as JSON or text.
 //
 // A .csv input holds ratings (see bundling.ReadDatasetCSV): one
 // "price,<item>,<value>" row per item and one
 // "rating,<consumer>,<item>,<stars>" row per rating. A .json input holds a
 // bundling.MatrixDoc: explicit dimensions plus sparse [consumer, item, wtp]
-// triples — the same corpus format the bundled server accepts.
+// triples — the same corpus format the bundled server accepts. A .bin input
+// holds the same matrix in the binary columnar codec (internal/codec, see
+// MatrixDoc.MarshalBinary) — roughly half the JSON bytes, bit-identical
+// values.
 //
 // Usage:
 //
@@ -77,8 +81,11 @@ func run(in string, demo bool, strategy, algo string, theta float64, k int, lamb
 		}
 		defer f.Close()
 		corpus := "csv"
-		if strings.HasSuffix(in, ".json") {
+		switch {
+		case strings.HasSuffix(in, ".json"):
 			corpus = "json"
+		case strings.HasSuffix(in, ".bin"):
+			corpus = "bin"
 		}
 		w, err = bundling.DecodeMatrix(f, corpus, lambda)
 		if err != nil {

@@ -20,7 +20,9 @@
 // (BENCH_cluster.json); `chaos` re-runs the distributed evaluate path
 // under injected transport faults at rising rates, recording throughput,
 // tail latency and fallback rate while equivalence-checking every result
-// (BENCH_chaos.json).
+// (BENCH_chaos.json); `codec` certifies the binary columnar wire/disk
+// format — payload bytes and throughput vs JSON plus all-algorithm
+// equivalence over a binary-fed fleet (BENCH_codec.json).
 package main
 
 import (
@@ -36,7 +38,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiment: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,wsp,case,ablations,joint,welfare,stats,perf,serve,cluster,chaos,all")
+		expFlag   = flag.String("exp", "all", "experiment: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,wsp,case,ablations,joint,welfare,stats,perf,serve,cluster,chaos,codec,all")
 		scaleFlag = flag.String("scale", "bench", "dataset scale: small, bench, full")
 		lambda    = flag.Float64("lambda", experiments.DefaultLambda, "ratings→WTP conversion factor λ")
 		theta     = flag.Float64("theta", 0, "bundling coefficient θ")
@@ -79,11 +81,11 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchO
 	}
 	all := wants["all"]
 	need := func(name string) bool { return all || wants[name] }
-	if benchOut != "" && !wants["perf"] && !wants["serve"] && !wants["cluster"] && !wants["chaos"] {
-		// perf, serve, cluster and chaos are deliberately excluded from `all`;
-		// reject rather than silently dropping the flag (and never writing
-		// the file).
-		return fmt.Errorf("-benchout requires -exp perf, -exp serve, -exp cluster or -exp chaos")
+	if benchOut != "" && !wants["perf"] && !wants["serve"] && !wants["cluster"] && !wants["chaos"] && !wants["codec"] {
+		// perf, serve, cluster, chaos and codec are deliberately excluded
+		// from `all`; reject rather than silently dropping the flag (and
+		// never writing the file).
+		return fmt.Errorf("-benchout requires -exp perf, -exp serve, -exp cluster, -exp chaos or -exp codec")
 	}
 
 	// Table 1 needs no dataset.
@@ -103,7 +105,7 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchO
 	// perf, serve and cluster are opt-in only (not part of `all`): perf
 	// reruns each algorithm many times, and serve/cluster drive sustained
 	// load, any of which would dwarf the table/figure regeneration.
-	if wants["perf"] || wants["serve"] || wants["cluster"] || wants["chaos"] {
+	if wants["perf"] || wants["serve"] || wants["cluster"] || wants["chaos"] || wants["codec"] {
 		needEnv = true
 	}
 	if !needEnv {
@@ -135,6 +137,11 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchO
 	if wants["chaos"] {
 		if err := runChaos(env, scaleName, benchOut, params, serveConc, serveReqs); err != nil {
 			return fmt.Errorf("chaos: %w", err)
+		}
+	}
+	if wants["codec"] {
+		if err := runCodec(env, scaleName, benchOut, params); err != nil {
+			return fmt.Errorf("codec: %w", err)
 		}
 	}
 	if need("stats") {

@@ -201,6 +201,11 @@ func run(o options) error {
 			for i, s := range snaps {
 				counters = append(counters, server.CounterRow{Name: "bundled_worker_breaker_rejected_total", Help: "Calls rejected without dialing by the worker's open breaker.", Labels: labels[i], Value: s.Rejected})
 			}
+			bin, legacy := cluster.FeedBytes()
+			counters = append(counters,
+				server.CounterRow{Name: "bundled_feed_bytes_total", Help: "Span-feed payload bytes shipped to workers, by codec.", Labels: `codec="bin"`, Value: bin},
+				server.CounterRow{Name: "bundled_feed_bytes_total", Help: "Span-feed payload bytes shipped to workers, by codec.", Labels: `codec="json"`, Value: legacy},
+			)
 			return gauges, counters
 		}
 		log.Printf("cluster mode: %d workers (%s)", len(transports), o.workers)
@@ -226,11 +231,11 @@ func run(o options) error {
 	if store != nil {
 		restored, err := srv.Restore()
 		if err != nil {
-			// Boot with what loaded; a skipped record reads as a missing
-			// corpus, which operators can see and re-upload.
+			// Boot with what the manifest describes; a skipped entry reads
+			// as a missing corpus, which operators can see and re-upload.
 			log.Printf("restore: %v", err)
 		}
-		log.Printf("restored %d persisted corpora from %s", restored, store.Dir())
+		log.Printf("serving %d persisted corpora from %s (lazy: each re-indexes on first use)", restored, store.Dir())
 	}
 	if o.demo {
 		if err := preloadDemo(srv, o.demoUsers, o.demoItems); err != nil {

@@ -4,14 +4,30 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"time"
+
+	"bundling/internal/codec"
 )
+
+// feedBytesBin and feedBytesJSON count span-feed request-body bytes shipped
+// by HTTP transports, by codec — the process-wide source of the
+// bundled_feed_bytes_total{codec=...} metric. Local transports bypass
+// serialization and count nothing.
+var feedBytesBin, feedBytesJSON atomic.Int64
+
+// FeedBytes reports the cumulative span-feed bytes shipped over HTTP
+// transports, per codec.
+func FeedBytes() (bin, legacyJSON int64) {
+	return feedBytesBin.Load(), feedBytesJSON.Load()
+}
 
 // Transport is one worker as the coordinator sees it. Two implementations
 // exist: Local wraps an in-process *Worker with direct method calls — the
@@ -77,10 +93,15 @@ func (l *Local) Addr() string {
 	return "inproc"
 }
 
-// HTTP speaks the bundleworker JSON API at a base URL.
+// HTTP speaks the bundleworker API at a base URL: binary codec span feeds
+// (falling back to JSON against a worker that predates the codec) and JSON
+// for everything else.
 type HTTP struct {
 	base string
 	hc   *http.Client
+	// jsonAssign sticks after a worker rejects a binary feed: a fleet mixing
+	// pre-codec workers pays the one failed probe per transport, not per feed.
+	jsonAssign atomic.Bool
 }
 
 // defaultClient is the transport's shared HTTP client: a bounded dial
@@ -111,23 +132,44 @@ func NewHTTP(baseURL string, httpClient *http.Client) *HTTP {
 
 func (h *HTTP) Addr() string { return h.base }
 
-// do issues one request. 409 and 404 map to ErrSpan (re-feed and retry);
-// other non-2xx statuses surface as plain errors.
+// statusError is a non-2xx worker reply that is not a span rejection; the
+// status code stays inspectable for content negotiation.
+type statusError struct {
+	addr string
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("cluster: %s: %d: %s", e.addr, e.code, e.msg)
+}
+
+// do issues one JSON request. 409 maps to ErrSpan (re-feed and retry); other
+// non-2xx statuses surface as errors.
 func (h *HTTP) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var buf []byte
 	if in != nil {
-		buf, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(in); err != nil {
 			return err
 		}
-		body = bytes.NewReader(buf)
+	}
+	return h.doBytes(ctx, method, path, "application/json", buf, out)
+}
+
+// doBytes issues one request with an explicit body encoding — the seam the
+// binary span feed shares with the JSON RPCs.
+func (h *HTTP) doBytes(ctx context.Context, method, path, contentType string, payload []byte, out any) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, h.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
+	if payload != nil {
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := h.hc.Do(req)
 	if err != nil {
@@ -147,7 +189,7 @@ func (h *HTTP) do(ctx context.Context, method, path string, in, out any) error {
 			// re-feed ladder on every call.
 			return fmt.Errorf("%w: %s: %s", ErrSpan, h.base, msg)
 		}
-		return fmt.Errorf("cluster: %s: %d: %s", h.base, resp.StatusCode, msg)
+		return &statusError{addr: h.base, code: resp.StatusCode, msg: msg}
 	}
 	if out == nil {
 		// Drain so net/http can reuse the connection for the next RPC.
@@ -165,8 +207,35 @@ func (h *HTTP) spanPath(corpus, op string) string {
 	return p
 }
 
+// Assign feeds a span, binary codec first: on realistic corpora the codec
+// body is well under half the JSON bytes, and the feed is the fattest RPC
+// the cluster sends. A worker that rejects the binary body (400/415 — it
+// predates the codec) gets the same span re-sent as JSON, and the transport
+// sticks to JSON from then on.
 func (h *HTTP) Assign(ctx context.Context, corpus string, req *AssignRequest) error {
-	return h.do(ctx, http.MethodPost, h.spanPath(corpus, ""), req, nil)
+	path := h.spanPath(corpus, "")
+	if !h.jsonAssign.Load() {
+		body := codec.EncodeAssign(corpus, req.Span)
+		err := h.doBytes(ctx, http.MethodPost, path, codec.ContentType, body, nil)
+		if err == nil {
+			feedBytesBin.Add(int64(len(body)))
+			return nil
+		}
+		var se *statusError
+		if !errors.As(err, &se) || (se.code != http.StatusBadRequest && se.code != http.StatusUnsupportedMediaType) {
+			return err // network fault or a worker-side failure, not a codec rejection
+		}
+	}
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	if err := h.doBytes(ctx, http.MethodPost, path, "application/json", buf, nil); err != nil {
+		return err
+	}
+	feedBytesJSON.Add(int64(len(buf)))
+	h.jsonAssign.Store(true)
+	return nil
 }
 
 func (h *HTTP) Drop(ctx context.Context, corpus string) error {

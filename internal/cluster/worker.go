@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"bundling/internal/codec"
 	"bundling/internal/pricing"
 	"bundling/internal/server"
 	"bundling/internal/wtp"
@@ -272,18 +275,35 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64) erro
 	return dec.Decode(v)
 }
 
+// handleAssign accepts a span feed in either encoding — the binary codec
+// envelope (Content-Type negotiation; what current coordinators send) or the
+// legacy JSON AssignRequest — so a mixed-version fleet keeps feeding.
 func (wk *Worker) handleAssign(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	var req AssignRequest
-	if err := decodeBody(w, r, &req, wk.cfg.MaxAssignBytes); err != nil {
-		wk.failErr(w, fmt.Errorf("decode span: %w", err))
-		return
+	var span *wtp.SpanDoc
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, codec.ContentType) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wk.cfg.MaxAssignBytes))
+		if err != nil {
+			wk.failErr(w, fmt.Errorf("decode span: %w", err))
+			return
+		}
+		if _, span, err = codec.DecodeAssign(body); err != nil {
+			wk.failErr(w, fmt.Errorf("decode span: %w", err))
+			return
+		}
+	} else {
+		var req AssignRequest
+		if err := decodeBody(w, r, &req, wk.cfg.MaxAssignBytes); err != nil {
+			wk.failErr(w, fmt.Errorf("decode span: %w", err))
+			return
+		}
+		span = req.Span
 	}
-	if req.Span == nil {
+	if span == nil {
 		wk.failErr(w, fmt.Errorf("cluster: assign request carries no span"))
 		return
 	}
-	if err := wk.Assign(r.PathValue("corpus"), req.Span); err != nil {
+	if err := wk.Assign(r.PathValue("corpus"), span); err != nil {
 		wk.failErr(w, err)
 		return
 	}

@@ -1,0 +1,123 @@
+package codec
+
+import (
+	"fmt"
+)
+
+// MatrixData is the codec's view of a willingness-to-pay matrix document:
+// explicit dimensions plus sparse [consumer, item, wtp] triples. It is
+// field-identical to bundling.MatrixDoc — the root package converts between
+// the two with a plain struct conversion — because this package sits below
+// bundling in the import graph and cannot name its types.
+type MatrixData struct {
+	Consumers int
+	Items     int
+	Entries   [][3]float64
+}
+
+// EncodeMatrix renders a matrix document as one codec envelope. The consumer
+// and item id columns delta-encode (canonical documents are item-major with
+// ascending consumers, so deltas are tiny) and values ship as raw float64
+// bits, preserving entry order and every bit of every value. Ids must be
+// integral — the same invariant MatrixDoc.Matrix enforces — or encoding
+// fails rather than silently rounding.
+func EncodeMatrix(m *MatrixData) ([]byte, error) {
+	dst := appendHeader(make([]byte, 0, hdrLen+16+11*len(m.Entries)), kindMatrix)
+	return appendMatrixPayload(dst, m)
+}
+
+// appendMatrixPayload appends the headerless matrix columns (shared with the
+// corpus record, which embeds a matrix after its metadata).
+func appendMatrixPayload(dst []byte, m *MatrixData) ([]byte, error) {
+	dst = appendDim(dst, m.Consumers)
+	dst = appendDim(dst, m.Items)
+	dst = appendDim(dst, len(m.Entries))
+	prev := int64(0)
+	for k, e := range m.Entries {
+		u := int64(e[0])
+		if float64(u) != e[0] {
+			return nil, fmt.Errorf("codec: entry %d has non-integral consumer id %g", k, e[0])
+		}
+		dst = appendSvarint(dst, u-prev)
+		prev = u
+	}
+	prev = 0
+	for k, e := range m.Entries {
+		i := int64(e[1])
+		if float64(i) != e[1] {
+			return nil, fmt.Errorf("codec: entry %d has non-integral item id %g", k, e[1])
+		}
+		dst = appendSvarint(dst, i-prev)
+		prev = i
+	}
+	vals := make([]float64, len(m.Entries))
+	for k, e := range m.Entries {
+		vals[k] = e[2]
+	}
+	return appendFloatColumn(dst, vals), nil
+}
+
+// DecodeMatrix parses one matrix envelope. Hostile input — truncated
+// buffers, corrupt varints, absurd entry counts — returns an error without
+// panicking or allocating beyond the input's own size class; semantic
+// validation (ids in range, values finite) stays with MatrixDoc.Matrix,
+// exactly as on the JSON path.
+func DecodeMatrix(buf []byte) (*MatrixData, error) {
+	r := &reader{buf: buf}
+	if err := r.header(kindMatrix); err != nil {
+		return nil, err
+	}
+	m, err := readMatrixPayload(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// readMatrixPayload reads the headerless matrix columns.
+func readMatrixPayload(r *reader) (*MatrixData, error) {
+	consumers, err := r.dim()
+	if err != nil {
+		return nil, err
+	}
+	items, err := r.dim()
+	if err != nil {
+		return nil, err
+	}
+	// Each entry needs at least one byte per id delta plus a one-byte value
+	// ref, so a hostile count cannot out-allocate its own buffer.
+	n, err := r.length(3)
+	if err != nil {
+		return nil, err
+	}
+	m := &MatrixData{
+		Consumers: consumers,
+		Items:     items,
+		Entries:   make([][3]float64, n),
+	}
+	for col := 0; col < 2; col++ {
+		prev := int64(0)
+		for k := range m.Entries {
+			d, err := r.svarint()
+			if err != nil {
+				return nil, err
+			}
+			prev += d
+			m.Entries[k][col] = float64(prev)
+		}
+	}
+	vals, err := r.floatColumn()
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != n {
+		return nil, fmt.Errorf("codec: value column of %d for %d entries", len(vals), n)
+	}
+	for k, v := range vals {
+		m.Entries[k][2] = v
+	}
+	return m, nil
+}

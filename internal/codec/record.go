@@ -1,0 +1,102 @@
+package codec
+
+import (
+	"time"
+)
+
+// Record is the codec's view of one persisted corpus snapshot: the matrix
+// plus the session metadata the serving store's CorpusRecord carries. The
+// store converts between the two; options travel as the store's own JSON
+// bytes — they are a few dozen bytes of tuning knobs defined a layer above
+// this package, not a hot column — while the corpus and tenant keys ride the
+// interned string table and the matrix rides the columnar encoding that
+// dominates the record's size.
+type Record struct {
+	ID          string
+	Tenant      string
+	Generation  int
+	CreatedAt   time.Time
+	OptionsJSON []byte
+	Matrix      MatrixData
+	Entries     int
+}
+
+// EncodeRecord renders a corpus record as one codec envelope.
+func EncodeRecord(rec *Record) ([]byte, error) {
+	dst := appendHeader(make([]byte, 0, hdrLen+64+len(rec.ID)+len(rec.Tenant)+len(rec.OptionsJSON)+11*len(rec.Matrix.Entries)), kindRecord)
+	dst = appendStringTable(dst, []string{rec.ID, rec.Tenant})
+	dst = appendDim(dst, 0) // ID ref
+	dst = appendDim(dst, 1) // tenant ref
+	dst = appendDim(dst, rec.Generation)
+	if rec.CreatedAt.IsZero() {
+		dst = appendDim(dst, 0)
+	} else {
+		dst = appendDim(dst, 1)
+		ns := rec.CreatedAt.UnixNano()
+		dst = append(dst,
+			byte(ns), byte(ns>>8), byte(ns>>16), byte(ns>>24),
+			byte(ns>>32), byte(ns>>40), byte(ns>>48), byte(ns>>56))
+	}
+	dst = appendDim(dst, rec.Entries)
+	dst = appendDim(dst, len(rec.OptionsJSON))
+	dst = append(dst, rec.OptionsJSON...)
+	return appendMatrixPayload(dst, &rec.Matrix)
+}
+
+// DecodeRecord parses one corpus record envelope. Times decode in UTC with
+// nanosecond fidelity (the same granularity the JSON records' RFC 3339
+// timestamps carry).
+func DecodeRecord(buf []byte) (*Record, error) {
+	r := &reader{buf: buf}
+	if err := r.header(kindRecord); err != nil {
+		return nil, err
+	}
+	table, err := r.stringTable()
+	if err != nil {
+		return nil, err
+	}
+	rec := &Record{}
+	if rec.ID, err = r.stringRef(table); err != nil {
+		return nil, err
+	}
+	if rec.Tenant, err = r.stringRef(table); err != nil {
+		return nil, err
+	}
+	if rec.Generation, err = r.dim(); err != nil {
+		return nil, err
+	}
+	hasTime, err := r.dim()
+	if err != nil {
+		return nil, err
+	}
+	if hasTime != 0 {
+		bits, err := r.fixed64()
+		if err != nil {
+			return nil, err
+		}
+		rec.CreatedAt = time.Unix(0, int64(bits)).UTC()
+	}
+	if rec.Entries, err = r.dim(); err != nil {
+		return nil, err
+	}
+	optLen, err := r.length(1)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := r.take(optLen)
+	if err != nil {
+		return nil, err
+	}
+	if optLen > 0 {
+		rec.OptionsJSON = append([]byte(nil), opt...)
+	}
+	m, err := readMatrixPayload(r)
+	if err != nil {
+		return nil, err
+	}
+	rec.Matrix = *m
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,117 @@
+package codec
+
+import (
+	"bundling/internal/wtp"
+)
+
+// EncodeSpan renders a stripe span as one codec envelope: the layout
+// dimensions as varints, the snapshot version as a fixed 8-byte word
+// (session nonces carry their high bit set, which a varint would balloon to
+// ten bytes), and the three columns — per-stripe offsets, posting ids, WTP
+// values. Offsets and ids are monotonic runs that reset at stripe and item
+// boundaries, so the zigzag deltas are mostly single bytes.
+func EncodeSpan(d *wtp.SpanDoc) []byte {
+	dst := appendHeader(make([]byte, 0, hdrLen+40+2*len(d.Offs)+2*len(d.IDs)+9*len(d.Vals)), kindSpan)
+	return appendSpanPayload(dst, d)
+}
+
+// appendSpanPayload appends the headerless span body (shared with the assign
+// envelope).
+func appendSpanPayload(dst []byte, d *wtp.SpanDoc) []byte {
+	dst = appendDim(dst, d.Consumers)
+	dst = appendDim(dst, d.Items)
+	dst = appendDim(dst, d.StripeSize)
+	dst = appendDim(dst, d.Start)
+	dst = appendDim(dst, d.End)
+	dst = append(dst,
+		byte(d.Version), byte(d.Version>>8), byte(d.Version>>16), byte(d.Version>>24),
+		byte(d.Version>>32), byte(d.Version>>40), byte(d.Version>>48), byte(d.Version>>56))
+	dst = appendInt32Column(dst, d.Offs)
+	dst = appendInt32Column(dst, d.IDs)
+	dst = appendFloatColumn(dst, d.Vals)
+	return dst
+}
+
+// DecodeSpan parses one span envelope. The decoder only reconstructs the
+// document; structural validation (offset monotonicity, posting ranges)
+// stays with SpanDoc.Store, exactly as on the JSON path, so a worker rejects
+// a semantically corrupt span identically however it arrived.
+func DecodeSpan(buf []byte) (*wtp.SpanDoc, error) {
+	r := &reader{buf: buf}
+	if err := r.header(kindSpan); err != nil {
+		return nil, err
+	}
+	d, err := readSpanPayload(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// readSpanPayload reads the headerless span body.
+func readSpanPayload(r *reader) (*wtp.SpanDoc, error) {
+	d := &wtp.SpanDoc{}
+	var err error
+	if d.Consumers, err = r.dim(); err != nil {
+		return nil, err
+	}
+	if d.Items, err = r.dim(); err != nil {
+		return nil, err
+	}
+	if d.StripeSize, err = r.dim(); err != nil {
+		return nil, err
+	}
+	if d.Start, err = r.dim(); err != nil {
+		return nil, err
+	}
+	if d.End, err = r.dim(); err != nil {
+		return nil, err
+	}
+	if d.Version, err = r.fixed64(); err != nil {
+		return nil, err
+	}
+	if d.Offs, err = r.int32Column(); err != nil {
+		return nil, err
+	}
+	if d.IDs, err = r.int32Column(); err != nil {
+		return nil, err
+	}
+	if d.Vals, err = r.floatColumn(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// EncodeAssign renders a span-feed request — the corpus key (interned) plus
+// the span — as one codec envelope, the binary body of POST /v1/spans/{corpus}.
+func EncodeAssign(corpus string, span *wtp.SpanDoc) []byte {
+	dst := appendHeader(make([]byte, 0, hdrLen+48+len(corpus)+2*len(span.Offs)+2*len(span.IDs)+9*len(span.Vals)), kindAssign)
+	dst = appendStringTable(dst, []string{corpus})
+	dst = appendDim(dst, 0) // corpus key ref
+	return appendSpanPayload(dst, span)
+}
+
+// DecodeAssign parses one assign envelope back into its corpus key and span.
+func DecodeAssign(buf []byte) (corpus string, span *wtp.SpanDoc, err error) {
+	r := &reader{buf: buf}
+	if err := r.header(kindAssign); err != nil {
+		return "", nil, err
+	}
+	table, err := r.stringTable()
+	if err != nil {
+		return "", nil, err
+	}
+	if corpus, err = r.stringRef(table); err != nil {
+		return "", nil, err
+	}
+	if span, err = readSpanPayload(r); err != nil {
+		return "", nil, err
+	}
+	if err := r.done(); err != nil {
+		return "", nil, err
+	}
+	return corpus, span, nil
+}

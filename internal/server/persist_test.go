@@ -15,6 +15,8 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -214,6 +216,108 @@ func TestRestartRoundTrip(t *testing.T) {
 	}
 	if info.Version != 2 {
 		t.Errorf("re-created deleted corpus generation = %d, want 2", info.Version)
+	}
+}
+
+// TestLazyBootDoesNotReadRecords pins the O(manifest) boot contract: a
+// restart must serve /healthz and listings from manifest metadata alone —
+// no record file is opened — and each corpus re-indexes lazily on its first
+// solve, with results identical within 1e-9. The proof is blunt: every
+// record file is replaced with garbage before the reboot, so any boot-time
+// read would fail loudly.
+func TestLazyBootDoesNotReadRecords(t *testing.T) {
+	dir := t.TempDir()
+	st, err := server.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Store: st})
+	ts := httptest.NewServer(srv.Handler())
+	ids := []string{"a", "b", "c"}
+	want := map[string]server.SolveResponse{}
+	for i, id := range ids {
+		w := persistMatrix(60+10*i, 12, int64(40+i))
+		if code, body := do(t, http.MethodPost, ts.URL+"/v1/corpora", "", uploadBody(t, id, w, bundling.Options{Theta: -0.02})); code != http.StatusCreated {
+			t.Fatalf("upload %s: %d: %s", id, code, body)
+		}
+		want[id] = solveResult(t, ts, "", id, "matching")
+	}
+	ts.Close()
+	srv.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison every record file. Boot must not notice.
+	recFiles, err := filepath.Glob(filepath.Join(dir, "corpora", "*"))
+	if err != nil || len(recFiles) != len(ids) {
+		t.Fatalf("record files = %v, %v; want %d", recFiles, err, len(ids))
+	}
+	saved := map[string][]byte{}
+	for _, f := range recFiles {
+		buf, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[f] = buf
+		if err := os.WriteFile(f, []byte("not a record"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st2, err := server.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	srv2 := server.New(server.Config{Store: st2})
+	defer srv2.Close()
+	restored, err := srv2.Restore()
+	if err != nil {
+		t.Fatalf("lazy restore read a record file: %v", err)
+	}
+	if restored != len(ids) {
+		t.Fatalf("restored = %d, want %d", restored, len(ids))
+	}
+	if n := srv2.Sessions(); n != 0 {
+		t.Fatalf("boot indexed %d sessions; lazy restore must index none", n)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	if code, body := do(t, http.MethodGet, ts2.URL+"/healthz", "", ""); code != http.StatusOK {
+		t.Fatalf("healthz after lazy boot: %d: %s", code, body)
+	}
+	code, body := do(t, http.MethodGet, ts2.URL+"/v1/corpora", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("list after lazy boot: %d: %s", code, body)
+	}
+	var list server.ListCorporaResponse
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Corpora) != len(ids) {
+		t.Fatalf("listing shows %d corpora, want %d: %s", len(list.Corpora), len(ids), body)
+	}
+	if n := srv2.Sessions(); n != 0 {
+		t.Fatalf("listing indexed %d sessions; must serve from manifest metadata", n)
+	}
+
+	// Heal the files; each first solve re-indexes through the read-through
+	// path and must match the pre-restart result exactly.
+	for f, buf := range saved {
+		if err := os.WriteFile(f, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		got := solveResult(t, ts2, "", id, "matching")
+		sameConfig(t, id+"/matching", want[id].Config, got.Config)
+		if got.Version != want[id].Version {
+			t.Errorf("%s: version %d after lazy restore, want %d", id, got.Version, want[id].Version)
+		}
+	}
+	if n := srv2.Sessions(); n != len(ids) {
+		t.Errorf("after first solves, %d sessions live, want %d", n, len(ids))
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"bundling"
+	"bundling/internal/codec"
 )
 
 // Solver is the session-engine surface the server serves: SolveContext
@@ -219,42 +220,25 @@ func (s *Server) recoverer(next http.Handler) http.Handler {
 	})
 }
 
-// Restore rebuilds the session registry from the configured Store: it seeds
-// every known ID's generation counter from the manifest (deleted IDs
-// included, so post-restart uploads continue their sequences), then
-// re-indexes each live corpus at its persisted generation through the
-// configured engine factory. A cluster-backed daemon therefore re-feeds
-// worker spans exactly as a fresh upload would — each restored session draws
-// a new span nonce, so stale pre-restart spans on the fleet can never
-// satisfy its version checks. Records that fail to load are skipped and
-// reported in the joined error alongside the count that did restore.
+// Restore readies the configured Store's corpora for serving — lazily. Boot
+// reads only the manifest: it seeds every known ID's generation counter
+// (deleted IDs included, so post-restart uploads continue their sequences)
+// and returns the live corpus count; no record file is opened and no index
+// is built, so restart time is O(manifest) instead of O(corpora × index
+// build). Listings and /healthz serve immediately from manifest metadata,
+// and each corpus re-indexes on its first solve/evaluate through the
+// registry's read-through path (lookupSession), exactly as an LRU-evicted
+// corpus always has. A cluster-backed daemon therefore feeds worker spans on
+// first touch — each lazily restored session draws a new span nonce, so
+// stale pre-restart spans on the fleet can never satisfy its version
+// checks. Manifests written before listing metadata existed get a targeted
+// backfill that reads only the affected records.
 func (s *Server) Restore() (int, error) {
 	if s.cfg.Store == nil {
 		return 0, nil
 	}
-	recs, err := s.cfg.Store.Restore()
-	errs := []error{err}
 	s.reg.seedVersions(s.cfg.Store.Generations())
-	restored := 0
-	for _, rec := range recs {
-		opts, oerr := rec.Options.options()
-		if oerr != nil {
-			errs = append(errs, fmt.Errorf("restore %q: options: %w", rec.ID, oerr))
-			continue
-		}
-		matrix, merr := rec.Matrix.Matrix()
-		if merr != nil {
-			errs = append(errs, fmt.Errorf("restore %q: %w", rec.ID, merr))
-			continue
-		}
-		if _, rerr := s.registerAt(rec.ID, rec.Tenant, matrix, opts, rec.Generation, rec.CreatedAt); rerr != nil {
-			errs = append(errs, fmt.Errorf("restore %q: index: %w", rec.ID, rerr))
-			continue
-		}
-		restored++
-		s.met.restores.Add(1)
-	}
-	return restored, errors.Join(errs...)
+	return s.cfg.Store.Bootstrap()
 }
 
 // Close releases every session (including any remote state a cluster
@@ -305,11 +289,18 @@ func decodeBodyLimit(w http.ResponseWriter, r *http.Request, v any, limit int64)
 }
 
 // handleCreate ingests a corpus and registers its session. Re-uploading an
-// existing ID atomically replaces the session and bumps its version.
+// existing ID atomically replaces the session and bumps its version. The
+// body is either the JSON CreateCorpusRequest or, with Content-Type
+// codec.ContentType, a binary codec record envelope (ID, options blob and
+// matrix columns — the same envelope the store persists).
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req CreateCorpusRequest
-	if err := decodeBodyLimit(w, r, &req, s.cfg.MaxUploadBytes); err != nil {
+	if strings.HasPrefix(r.Header.Get("Content-Type"), codec.ContentType) {
+		if !s.decodeCreateBinary(w, r, &req) {
+			return
+		}
+	} else if err := decodeBodyLimit(w, r, &req, s.cfg.MaxUploadBytes); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			s.fail(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", s.cfg.MaxUploadBytes)
@@ -395,6 +386,39 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.Observe("upload", time.Since(start))
 	writeJSON(w, http.StatusCreated, sess.info())
+}
+
+// decodeCreateBinary fills req from a binary corpus upload: a codec record
+// envelope whose ID, embedded options JSON and matrix columns map onto the
+// json-format CreateCorpusRequest fields (Generation, Tenant and CreatedAt
+// are server-assigned and ignored). On failure it writes the error response
+// and returns false.
+func (s *Server) decodeCreateBinary(w http.ResponseWriter, r *http.Request, req *CreateCorpusRequest) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", s.cfg.MaxUploadBytes)
+			return false
+		}
+		s.fail(w, http.StatusBadRequest, "read request: %v", err)
+		return false
+	}
+	cr, err := codec.DecodeRecord(body)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "decode binary upload: %v", err)
+		return false
+	}
+	req.ID = cr.ID
+	if len(cr.OptionsJSON) > 0 {
+		if err := json.Unmarshal(cr.OptionsJSON, &req.Options); err != nil {
+			s.fail(w, http.StatusBadRequest, "binary upload options: %v", err)
+			return false
+		}
+	}
+	doc := bundling.MatrixDoc(cr.Matrix)
+	req.Matrix = &doc
+	return true
 }
 
 // failAdmit maps an admission error to its response: a cross-tenant install
@@ -910,6 +934,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var extraC []CounterRow
 	if s.cfg.ExtraMetrics != nil {
 		extraG, extraC = s.cfg.ExtraMetrics()
+	}
+	if s.cfg.Store != nil {
+		extraG = append([]GaugeRow{{
+			Name:  "bundled_store_disk_bytes",
+			Help:  "Bytes of corpus records and manifest in the persistence directory.",
+			Value: float64(s.cfg.Store.DiskBytes()),
+		}}, extraG...)
 	}
 	s.met.render(w, s.reg.len(), s.cache.len(), persisted, extraG, extraC)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io/fs"
 	"maps"
 	"os"
 	"path/filepath"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"bundling"
+	"bundling/internal/codec"
 )
 
 // Store is the corpus persistence layer of the serving tier: an
@@ -32,7 +34,11 @@ import (
 //	manifest.json            per corpus ID: live generation, owner, entry
 //	                         count and listing metadata, plus the last
 //	                         generation ever assigned and delete tombstones
-//	corpora/<name>.g<N>.json one record per (corpus, generation)
+//	corpora/<name>.g<N>.bin  one record per (corpus, generation), in the
+//	                         binary columnar codec (internal/codec); legacy
+//	                         .json records from older daemons are read (and
+//	                         compacted) alongside, so existing data dirs
+//	                         restore unchanged
 //
 // Records are written to a temp file and renamed into place, and the
 // manifest is rewritten the same way, so a crash mid-upload leaves either
@@ -200,11 +206,11 @@ func (s *Store) Put(rec CorpusRecord) error {
 	if rec.Matrix == nil {
 		return fmt.Errorf("store: record %q has no matrix", rec.ID)
 	}
-	buf, err := json.Marshal(rec)
+	buf, err := encodeRecordBinary(rec)
 	if err != nil {
 		return fmt.Errorf("store: encode %q: %w", rec.ID, err)
 	}
-	if err := writeAtomic(s.recordPath(rec.ID, rec.Generation), buf); err != nil {
+	if err := writeAtomic(s.recordPath(rec.ID, rec.Generation, binExt), buf); err != nil {
 		return fmt.Errorf("store: write %q: %w", rec.ID, err)
 	}
 	s.mu.Lock()
@@ -254,12 +260,8 @@ func (s *Store) LiveRecord(id string) (CorpusRecord, bool) {
 	if !ok {
 		return CorpusRecord{}, false
 	}
-	buf, err := os.ReadFile(s.recordPath(id, gen))
-	if err != nil {
-		return CorpusRecord{}, false
-	}
-	var rec CorpusRecord
-	if err := json.Unmarshal(buf, &rec); err != nil || rec.ID != id || rec.Matrix == nil {
+	rec, err := s.readRecord(id, gen)
+	if err != nil || rec.ID != id || rec.Matrix == nil {
 		return CorpusRecord{}, false
 	}
 	return rec, true
@@ -388,13 +390,8 @@ func (s *Store) Restore() ([]CorpusRecord, error) {
 		errs []error
 	)
 	for _, id := range ids {
-		buf, err := os.ReadFile(s.recordPath(id, gens[id]))
+		rec, err := s.readRecord(id, gens[id])
 		if err != nil {
-			errs = append(errs, fmt.Errorf("store: restore %q: %w", id, err))
-			continue
-		}
-		var rec CorpusRecord
-		if err := json.Unmarshal(buf, &rec); err != nil {
 			errs = append(errs, fmt.Errorf("store: restore %q: %w", id, err))
 			continue
 		}
@@ -450,6 +447,63 @@ func (s *Store) backfillManifest(recs []CorpusRecord) {
 	}
 }
 
+// Bootstrap prepares the store for lazy serving without reading record
+// files: it returns the live corpus count the manifest already knows, after
+// backfilling listing metadata for any live ID a pre-metadata manifest
+// (written by an older daemon) left bare — only those records are read, so a
+// current-format data dir boots in O(manifest) regardless of corpus sizes.
+func (s *Store) Bootstrap() (int, error) {
+	s.mu.Lock()
+	n := len(s.man.Live)
+	var stale []string
+	gens := make(map[string]int)
+	for id, gen := range s.man.Live {
+		if _, meta := s.man.Meta[id]; meta {
+			if _, ent := s.man.Entries[id]; ent {
+				continue
+			}
+		}
+		stale = append(stale, id)
+		gens[id] = gen
+	}
+	s.mu.Unlock()
+	if len(stale) == 0 {
+		return n, nil
+	}
+	sort.Strings(stale)
+	var recs []CorpusRecord
+	var errs []error
+	for _, id := range stale {
+		rec, err := s.readRecord(id, gens[id])
+		if err != nil {
+			errs = append(errs, fmt.Errorf("store: bootstrap %q: %w", id, err))
+			continue
+		}
+		if rec.ID == id && rec.Matrix != nil {
+			recs = append(recs, rec)
+		}
+	}
+	s.backfillManifest(recs)
+	return n, errors.Join(errs...)
+}
+
+// DiskBytes walks the data directory and sums every file's size — manifest,
+// records and any not-yet-compacted garbage — the source of the
+// bundled_store_disk_bytes gauge.
+func (s *Store) DiskBytes() int64 {
+	var total int64
+	_ = filepath.WalkDir(s.dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if info, ierr := d.Info(); ierr == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
 // Generations snapshots the last-assigned upload generation per corpus ID,
 // including deleted IDs — the registry's version-counter seed.
 func (s *Store) Generations() map[string]int {
@@ -473,11 +527,84 @@ func (s *Store) Len() int {
 
 func (s *Store) manifestPath() string { return filepath.Join(s.dir, "manifest.json") }
 
+// Record file extensions: new records are written in the binary codec;
+// legacy JSON records are read and compacted but never written.
+const (
+	binExt  = ".bin"
+	jsonExt = ".json"
+)
+
 // recordPath names a (corpus, generation) record file. The name keeps a
 // sanitized prefix of the ID for operator readability and appends an FNV
 // hash of the full ID so two IDs that sanitize identically cannot collide.
-func (s *Store) recordPath(id string, gen int) string {
-	return filepath.Join(s.dir, "corpora", fmt.Sprintf("%s.g%d.json", recordName(id), gen))
+func (s *Store) recordPath(id string, gen int, ext string) string {
+	return filepath.Join(s.dir, "corpora", fmt.Sprintf("%s.g%d%s", recordName(id), gen, ext))
+}
+
+// readRecord loads one (corpus, generation) record, binary codec first and
+// legacy JSON as the fallback — the read side of the format migration, so a
+// data dir written by an older daemon (or holding a mix across an upgrade)
+// restores unchanged.
+func (s *Store) readRecord(id string, gen int) (CorpusRecord, error) {
+	buf, err := os.ReadFile(s.recordPath(id, gen, binExt))
+	switch {
+	case err == nil:
+		return decodeRecordBinary(buf)
+	case !errors.Is(err, os.ErrNotExist):
+		return CorpusRecord{}, err
+	}
+	if buf, err = os.ReadFile(s.recordPath(id, gen, jsonExt)); err != nil {
+		return CorpusRecord{}, err
+	}
+	var rec CorpusRecord
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return CorpusRecord{}, err
+	}
+	return rec, nil
+}
+
+// encodeRecordBinary lowers a corpus record to its codec envelope. Options
+// stay a JSON blob inside the envelope — they are a few dozen bytes defined
+// by this package, not a hot column — while the keys ride the interned
+// string table and the matrix rides the columnar encoding.
+func encodeRecordBinary(rec CorpusRecord) ([]byte, error) {
+	opt, err := json.Marshal(rec.Options)
+	if err != nil {
+		return nil, err
+	}
+	return codec.EncodeRecord(&codec.Record{
+		ID:          rec.ID,
+		Tenant:      rec.Tenant,
+		Generation:  rec.Generation,
+		CreatedAt:   rec.CreatedAt,
+		OptionsJSON: opt,
+		Matrix:      codec.MatrixData(*rec.Matrix),
+		Entries:     rec.Entries,
+	})
+}
+
+// decodeRecordBinary parses a codec record envelope back into the store's
+// record form.
+func decodeRecordBinary(buf []byte) (CorpusRecord, error) {
+	cr, err := codec.DecodeRecord(buf)
+	if err != nil {
+		return CorpusRecord{}, err
+	}
+	rec := CorpusRecord{
+		ID:         cr.ID,
+		Tenant:     cr.Tenant,
+		Generation: cr.Generation,
+		CreatedAt:  cr.CreatedAt,
+		Entries:    cr.Entries,
+	}
+	if len(cr.OptionsJSON) > 0 {
+		if err := json.Unmarshal(cr.OptionsJSON, &rec.Options); err != nil {
+			return CorpusRecord{}, fmt.Errorf("record options: %w", err)
+		}
+	}
+	doc := bundling.MatrixDoc(cr.Matrix)
+	rec.Matrix = &doc
+	return rec, nil
 }
 
 // recordName renders a corpus ID filesystem-safe.
@@ -609,12 +736,16 @@ func (s *Store) compactNow() error {
 }
 
 // parseRecordName splits a record file name into its ID key (the sanitized
-// prefix plus hash, i.e. recordName(id)) and generation.
+// prefix plus hash, i.e. recordName(id)) and generation. Both record formats
+// parse, so compaction reclaims superseded legacy JSON records exactly like
+// binary ones.
 func parseRecordName(name string) (key string, gen int, ok bool) {
-	if !strings.HasSuffix(name, ".json") {
-		return "", 0, false
+	base, found := strings.CutSuffix(name, binExt)
+	if !found {
+		if base, found = strings.CutSuffix(name, jsonExt); !found {
+			return "", 0, false
+		}
 	}
-	base := strings.TrimSuffix(name, ".json")
 	i := strings.LastIndex(base, ".g")
 	if i < 0 {
 		return "", 0, false

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -226,8 +227,8 @@ func TestStorePutLiveMonotonic(t *testing.T) {
 
 func TestStoreRecordNameCollisions(t *testing.T) {
 	// Two IDs that sanitize identically must not share a record path.
-	a := (&Store{dir: "d"}).recordPath("a/b", 1)
-	b := (&Store{dir: "d"}).recordPath("a:b", 1)
+	a := (&Store{dir: "d"}).recordPath("a/b", 1, binExt)
+	b := (&Store{dir: "d"}).recordPath("a:b", 1, binExt)
 	if a == b {
 		t.Fatalf("record paths collide: %s", a)
 	}
@@ -239,5 +240,103 @@ func TestStoreRecordNameCollisions(t *testing.T) {
 	key, gen, ok := parseRecordName(recordName("a/b") + ".g7.json")
 	if !ok || gen != 7 || key != recordName("a/b") {
 		t.Errorf("parseRecordName = %q %d %v", key, gen, ok)
+	}
+	key, gen, ok = parseRecordName(recordName("a/b") + ".g7.bin")
+	if !ok || gen != 7 || key != recordName("a/b") {
+		t.Errorf("parseRecordName(bin) = %q %d %v", key, gen, ok)
+	}
+}
+
+// TestStoreLegacyJSONRecords pins backward compatibility with data
+// directories written before the binary codec: their JSON records read back
+// unchanged, coexist with binary records written since, and compaction
+// reclaims a JSON generation once a binary one supersedes it.
+func TestStoreLegacyJSONRecords(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := CorpusRecord{
+		ID:         "legacy",
+		Tenant:     "alice",
+		Generation: 1,
+		CreatedAt:  time.Now().UTC().Truncate(time.Second),
+		Options:    OptionsDoc{Strategy: "mixed", Theta: -0.05},
+		Matrix:     testDoc(9),
+		Entries:    2,
+	}
+	if err := st.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Transcribe the record to the pre-codec on-disk form: the same
+	// CorpusRecord as a .json file (exactly what the old store wrote).
+	binFiles, err := filepath.Glob(filepath.Join(dir, "corpora", "*"+binExt))
+	if err != nil || len(binFiles) != 1 {
+		t.Fatalf("record files = %v, %v; want one %s record", binFiles, err, binExt)
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonFile := strings.TrimSuffix(binFiles[0], binExt) + jsonExt
+	if err := os.WriteFile(jsonFile, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(binFiles[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// The JSON-era directory restores unchanged, and a binary record written
+	// since coexists with it.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Put(CorpusRecord{ID: "modern", Generation: 1, Matrix: testDoc(4)}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st2.Restore()
+	if err != nil {
+		t.Fatalf("restore mixed dir: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("restored %d records, want 2", len(recs))
+	}
+	byID := map[string]CorpusRecord{}
+	for _, r := range recs {
+		byID[r.ID] = r
+	}
+	got := byID["legacy"]
+	if got.Tenant != "alice" || got.Generation != 1 || got.Entries != 2 ||
+		got.Options.Strategy != "mixed" || got.Options.Theta != -0.05 ||
+		!got.CreatedAt.Equal(rec.CreatedAt) {
+		t.Errorf("legacy record = %+v", got)
+	}
+	if len(got.Matrix.Entries) != 2 || got.Matrix.Entries[0][2] != 9 {
+		t.Errorf("legacy matrix = %+v", got.Matrix)
+	}
+
+	// A binary re-upload supersedes the JSON generation; compaction (the
+	// synchronous pass in Close) reclaims the .json file.
+	if err := st2.Put(CorpusRecord{ID: "legacy", Tenant: "alice", Generation: 2, Matrix: testDoc(11)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if left, _ := filepath.Glob(filepath.Join(dir, "corpora", "*"+jsonExt)); len(left) != 0 {
+		t.Errorf("superseded JSON records survive compaction: %v", left)
+	}
+	st3, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if rec, ok := st3.LiveRecord("legacy"); !ok || rec.Generation != 2 || rec.Matrix.Entries[0][2] != 11 {
+		t.Errorf("post-compaction live record = %+v, %v; want generation 2", rec, ok)
 	}
 }

@@ -14,8 +14,9 @@ import "fmt"
 // SpanDoc is the wire form of a contiguous stripe span of a sharded WTP
 // matrix: the global dimensions and stripe layout, the matrix version the
 // span snapshotted, and the span's per-stripe columnar postings flattened in
-// stripe order. It round-trips through JSON and rebuilds into a SpanStore on
-// the receiving worker.
+// stripe order. It round-trips through JSON or the binary columnar codec
+// (internal/codec — the compact default of the cluster feed) and rebuilds
+// into a SpanStore on the receiving worker.
 type SpanDoc struct {
 	Consumers  int `json:"consumers"`   // global consumer count M
 	Items      int `json:"items"`       // global item count N
