@@ -5,7 +5,7 @@
 GO ?= go
 NPROC ?= $(shell nproc 2>/dev/null || echo 2)
 
-.PHONY: build test vet fmt race check smoke chaos linkcheck bench bench-parallel bench-serve bench-cluster bench-chaos bench-codec fuzz
+.PHONY: build test vet fmt race check smoke chaos linkcheck bench bench-parallel bench-serve bench-cluster bench-chaos bench-codec fuzz profile tracing-gate
 
 build:
 	$(GO) build ./...
@@ -61,9 +61,24 @@ bench-parallel:
 
 # Load-test the serving subsystem (in-process server + HTTP client) and
 # write requests/sec, tail latency and cache/batching counters to
-# BENCH_serve.json, the serving companion of BENCH_greedy.json.
+# BENCH_serve.json, the serving companion of BENCH_greedy.json. The run
+# drives the load with the span recorder off and on, records both
+# throughputs and the relative cost (rps_tracing_off/on,
+# tracing_overhead_pct), and prints a machine-greppable tracing_gate line.
 bench-serve:
 	$(GO) run ./cmd/bundlebench -exp serve -servereqs 2000 -serveconc 16 -benchout BENCH_serve.json
+
+# CI perf gate: fail when the span recorder costs more than its budget of
+# serving throughput (grep for tracing_gate=ok on the bench-serve output).
+tracing-gate:
+	$(GO) run ./cmd/bundlebench -exp serve -servereqs 2000 -serveconc 16 | tee /tmp/serve-bench.out
+	grep -q 'tracing_gate=ok' /tmp/serve-bench.out
+
+# Profile the serving load: whole-run CPU and exit heap profiles for
+# `go tool pprof` (for a live daemon, use -pprof and /debug/pprof instead).
+profile:
+	$(GO) run ./cmd/bundlebench -exp serve -servereqs 2000 -serveconc 16 -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: go tool pprof cpu.pprof"
 
 # Benchmark distributed stripe-sharded solving: the scatter/gather evaluate
 # path over 1/2/4 in-process workers vs the single-machine Solver, with

@@ -24,9 +24,11 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"bundling"
 	"bundling/internal/codec"
+	"bundling/internal/obs"
 	"bundling/internal/server"
 )
 
@@ -51,6 +53,30 @@ type Client struct {
 	base   string
 	hc     *http.Client
 	apiKey string
+	// ids is shared by every WithAPIKey copy, so LastRequestID reflects the
+	// latest request through any derived client.
+	ids *lastIDs
+}
+
+// lastIDs remembers the correlation headers of the most recent response.
+type lastIDs struct {
+	mu        sync.Mutex
+	requestID string
+	traceID   string
+}
+
+func (l *lastIDs) set(h http.Header) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if id := h.Get(obs.HeaderRequest); id != "" {
+		l.requestID = id
+	}
+	if id := h.Get(obs.HeaderTrace); id != "" {
+		l.traceID = id
+	}
 }
 
 // New returns a client for the server at baseURL (e.g.
@@ -59,7 +85,24 @@ func New(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient, ids: &lastIDs{}}
+}
+
+// LastRequestID reports the X-Request-Id of the most recent response (any
+// status), or "" before the first one — the handle to quote when reporting
+// a failure to a server operator.
+func (c *Client) LastRequestID() string {
+	c.ids.mu.Lock()
+	defer c.ids.mu.Unlock()
+	return c.ids.requestID
+}
+
+// LastTraceID reports the X-Trace-Id of the most recent traced response, or
+// "" if the server is not tracing — the key into the server's /debug/traces.
+func (c *Client) LastTraceID() string {
+	c.ids.mu.Lock()
+	defer c.ids.mu.Unlock()
+	return c.ids.traceID
 }
 
 // WithAPIKey returns a copy of the client that authenticates every request
@@ -72,14 +115,20 @@ func (c *Client) WithAPIKey(key string) *Client {
 	return &dup
 }
 
-// APIError is a non-2xx server response.
+// APIError is a non-2xx server response. RequestID, when the server sent
+// one, identifies the failed request in the server's logs and traces.
 type APIError struct {
 	StatusCode int
 	Message    string
+	RequestID  string
 }
 
-// Error renders the status code and server-reported cause.
+// Error renders the status code, server-reported cause and, when present,
+// the request ID to quote in bug reports.
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("bundled: %d: %s (request %s)", e.StatusCode, e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("bundled: %d: %s", e.StatusCode, e.Message)
 }
 
@@ -118,13 +167,18 @@ func (c *Client) doRaw(ctx context.Context, method, path, contentType string, pa
 		return err
 	}
 	defer resp.Body.Close()
+	c.ids.set(resp.Header)
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var apiErr ErrorResponse
 		msg := resp.Status
 		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		reqID := apiErr.RequestID
+		if reqID == "" {
+			reqID = resp.Header.Get(obs.HeaderRequest)
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg, RequestID: reqID}
 	}
 	if out == nil {
 		return nil
@@ -256,6 +310,7 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 		return "", err
 	}
 	defer resp.Body.Close()
+	c.ids.set(resp.Header)
 	buf, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return "", err

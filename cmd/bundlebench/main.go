@@ -29,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,19 +40,49 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiment: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,wsp,case,ablations,joint,welfare,stats,perf,serve,cluster,chaos,codec,all")
-		scaleFlag = flag.String("scale", "bench", "dataset scale: small, bench, full")
-		lambda    = flag.Float64("lambda", experiments.DefaultLambda, "ratings→WTP conversion factor λ")
-		theta     = flag.Float64("theta", 0, "bundling coefficient θ")
-		k         = flag.Int("k", config.Unlimited, "max bundle size (0 = unlimited)")
-		seed      = flag.Int64("seed", 42, "dataset generator seed")
-		benchOut  = flag.String("benchout", "", "perf/serve experiments: write JSON results to this file (e.g. BENCH_greedy.json)")
-		parallel  = flag.Int("parallel", 0, "candidate-pricing workers (0 = GOMAXPROCS); recorded in the perf report")
-		serveConc = flag.Int("serveconc", 8, "serve experiment: concurrent client workers")
-		serveReqs = flag.Int("servereqs", 600, "serve experiment: total load-phase requests")
+		expFlag    = flag.String("exp", "all", "experiment: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,wsp,case,ablations,joint,welfare,stats,perf,serve,cluster,chaos,codec,all")
+		scaleFlag  = flag.String("scale", "bench", "dataset scale: small, bench, full")
+		lambda     = flag.Float64("lambda", experiments.DefaultLambda, "ratings→WTP conversion factor λ")
+		theta      = flag.Float64("theta", 0, "bundling coefficient θ")
+		k          = flag.Int("k", config.Unlimited, "max bundle size (0 = unlimited)")
+		seed       = flag.Int64("seed", 42, "dataset generator seed")
+		benchOut   = flag.String("benchout", "", "perf/serve experiments: write JSON results to this file (e.g. BENCH_greedy.json)")
+		parallel   = flag.Int("parallel", 0, "candidate-pricing workers (0 = GOMAXPROCS); recorded in the perf report")
+		serveConc  = flag.Int("serveconc", 8, "serve experiment: concurrent client workers")
+		serveReqs  = flag.Int("servereqs", 600, "serve experiment: total load-phase requests")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
-	if err := run(*expFlag, *scaleFlag, *lambda, *theta, *k, *seed, *benchOut, *parallel, *serveConc, *serveReqs); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bundlebench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bundlebench:", err)
+			os.Exit(1)
+		}
+	}
+	err := run(*expFlag, *scaleFlag, *lambda, *theta, *k, *seed, *benchOut, *parallel, *serveConc, *serveReqs)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, merr := os.Create(*memProfile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "bundlebench:", merr)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile shows live objects
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			fmt.Fprintln(os.Stderr, "bundlebench:", werr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bundlebench:", err)
 		os.Exit(1)
 	}

@@ -61,6 +61,14 @@ type ServeReport struct {
 	DurationSec float64 `json:"duration_seconds"`
 	RPS         float64 `json:"requests_per_second"`
 
+	// The tracing-overhead gate: the same workload driven with the span
+	// recorder disabled (rps_tracing_off) and enabled (rps_tracing_on =
+	// requests_per_second above), and the relative cost. The build fails
+	// its perf budget when the overhead exceeds serveTracingBudgetPct.
+	RPSTracingOff      float64 `json:"rps_tracing_off"`
+	RPSTracingOn       float64 `json:"rps_tracing_on"`
+	TracingOverheadPct float64 `json:"tracing_overhead_pct"`
+
 	Latency ServeLatency    `json:"latency"`
 	PerOp   []ServeOpResult `json:"per_op"`
 
@@ -78,9 +86,22 @@ type serveOp struct {
 	err     error
 }
 
-// runServe boots the server in-process and drives the load.
-func runServe(env *experiments.Env, scaleName, outPath string, base config.Params, conc, totalReqs int) error {
-	srv := server.New(server.Config{})
+// serveTracingBudgetPct is the gate: the span recorder may cost at most
+// this fraction of tracing-off throughput.
+const serveTracingBudgetPct = 5.0
+
+// serveRun is one measured load pass against a fresh in-process server.
+type serveRun struct {
+	rps      float64
+	durSec   float64
+	results  []serveOp
+	counters map[string]int64 // load-phase counter deltas
+}
+
+// driveServe boots a fresh server with the given config, warms it, drives
+// the mixed load and reports the measured pass.
+func driveServe(env *experiments.Env, base config.Params, conc, totalReqs int, scfg server.Config) (*serveRun, error) {
+	srv := server.New(scfg)
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -89,12 +110,12 @@ func runServe(env *experiments.Env, scaleName, outPath string, base config.Param
 
 	opts := bundling.Options{Theta: base.Theta, MaxBundleSize: base.K, Parallelism: base.Parallelism}
 	if _, err := c.UploadMatrix(ctx, "bench-pure", env.W, opts); err != nil {
-		return err
+		return nil, err
 	}
 	mixed := opts
 	mixed.Strategy = bundling.Mixed
 	if _, err := c.UploadMatrix(ctx, "bench-mixed", env.W, mixed); err != nil {
-		return err
+		return nil, err
 	}
 
 	// Warm phase: one solve per (session, algorithm) pays the algorithmic
@@ -105,13 +126,13 @@ func runServe(env *experiments.Env, scaleName, outPath string, base config.Param
 	for _, id := range corpora {
 		for _, a := range algos {
 			if _, err := c.Solve(ctx, id, a); err != nil {
-				return fmt.Errorf("warm %s/%s: %w", id, a, err)
+				return nil, fmt.Errorf("warm %s/%s: %w", id, a, err)
 			}
 		}
 	}
 	hits0, err := scrapeCounters(ctx, c)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	// Offer pool: a fixed set of what-if lineups that repeat across the load
@@ -150,9 +171,55 @@ func runServe(env *experiments.Env, scaleName, outPath string, base config.Param
 	loadDur := time.Since(startLoad)
 	hits1, err := scrapeCounters(ctx, c)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	deltas := map[string]int64{}
+	for k, v := range hits1 {
+		deltas[k] = v - hits0[k]
+	}
+	return &serveRun{
+		rps:      float64(totalReqs) / loadDur.Seconds(),
+		durSec:   loadDur.Seconds(),
+		results:  results,
+		counters: deltas,
+	}, nil
+}
 
+// serveGatePasses is how many off/on pass pairs the overhead gate runs;
+// the best pass of each mode is compared, damping scheduler and allocator
+// noise the way `go test -bench` repetitions do.
+const serveGatePasses = 3
+
+// runServe drives the load under both configurations — span recorder off
+// and on — reporting the serving numbers from the tracing-on pass (the
+// shipped configuration) and gating on the relative overhead. The passes
+// interleave off/on rather than running each mode as a block, so slow
+// machine-wide drift (thermal, co-tenant load) hits both modes alike
+// instead of masquerading as tracing cost.
+func runServe(env *experiments.Env, scaleName, outPath string, base config.Params, conc, totalReqs int) error {
+	var off, on *serveRun
+	for i := 0; i < serveGatePasses; i++ {
+		// Tracing-off control: same workload with the recorder disabled,
+		// the denominator of the overhead gate.
+		o, err := driveServe(env, base, conc, totalReqs, server.Config{TraceRing: -1})
+		if err != nil {
+			return err
+		}
+		t, err := driveServe(env, base, conc, totalReqs, server.Config{})
+		if err != nil {
+			return err
+		}
+		if off == nil || o.rps > off.rps {
+			off = o
+		}
+		if on == nil || t.rps > on.rps {
+			on = t
+		}
+	}
+	overheadPct := (off.rps - on.rps) / off.rps * 100
+
+	results := on.results
+	hits := on.counters
 	report := ServeReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Scale:       scaleName,
@@ -163,14 +230,18 @@ func runServe(env *experiments.Env, scaleName, outPath string, base config.Param
 		MaxProcs:    runtime.GOMAXPROCS(0),
 		Concurrency: conc,
 		Requests:    totalReqs,
-		DurationSec: loadDur.Seconds(),
-		RPS:         float64(totalReqs) / loadDur.Seconds(),
+		DurationSec: on.durSec,
+		RPS:         on.rps,
 
-		CacheHits:         hits1["bundled_cache_hits_total"] - hits0["bundled_cache_hits_total"],
-		CacheMisses:       hits1["bundled_cache_misses_total"] - hits0["bundled_cache_misses_total"],
-		Batches:           hits1["bundled_batches_total"] - hits0["bundled_batches_total"],
-		BatchedRequests:   hits1["bundled_batched_requests_total"] - hits0["bundled_batched_requests_total"],
-		CoalescedRequests: hits1["bundled_coalesced_requests_total"] - hits0["bundled_coalesced_requests_total"],
+		RPSTracingOff:      off.rps,
+		RPSTracingOn:       on.rps,
+		TracingOverheadPct: overheadPct,
+
+		CacheHits:         hits["bundled_cache_hits_total"],
+		CacheMisses:       hits["bundled_cache_misses_total"],
+		Batches:           hits["bundled_batches_total"],
+		BatchedRequests:   hits["bundled_batched_requests_total"],
+		CoalescedRequests: hits["bundled_coalesced_requests_total"],
 	}
 	var all []time.Duration
 	byOp := map[string][]time.Duration{}
@@ -204,6 +275,14 @@ func runServe(env *experiments.Env, scaleName, outPath string, base config.Param
 		report.Latency.P50, report.Latency.P99, report.Latency.Max)
 	fmt.Printf("serve: cache %d hits / %d misses; batching: %d passes, %d batched, %d coalesced; %d errors\n",
 		report.CacheHits, report.CacheMisses, report.Batches, report.BatchedRequests, report.CoalescedRequests, report.Errors)
+	gate := "ok"
+	if overheadPct > serveTracingBudgetPct {
+		gate = "fail"
+	}
+	// The gate line is machine-greppable: CI fails the build on
+	// tracing_gate=fail.
+	fmt.Printf("serve: tracing overhead %.2f%% (off %.1f req/s, on %.1f req/s, budget %.0f%%) tracing_gate=%s\n",
+		overheadPct, off.rps, on.rps, serveTracingBudgetPct, gate)
 	if report.Errors > 0 {
 		for _, r := range results {
 			if r.err != nil {

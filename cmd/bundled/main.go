@@ -17,6 +17,9 @@
 //	                                 # multi-tenant: keys, ownership, quotas
 //	bundled -addr :8080 -workers 127.0.0.1:9101,127.0.0.1:9102
 //	                                 # scale out: solve over bundleworker daemons
+//	bundled -addr :8080 -log-format json -pprof -slow-request 2s
+//	                                 # observability: JSON logs, /debug/pprof,
+//	                                 # span-tree dumps for slow requests
 //
 // Then:
 //
@@ -33,7 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -42,6 +45,7 @@ import (
 
 	"bundling"
 	"bundling/internal/cluster"
+	"bundling/internal/obs"
 	"bundling/internal/server"
 )
 
@@ -72,6 +76,12 @@ type options struct {
 	queueTimeout   time.Duration
 	rpcTimeout     time.Duration
 	breakerCool    time.Duration
+
+	logFormat   string
+	logLevel    string
+	slowRequest time.Duration
+	traceRing   int
+	pprof       bool
 }
 
 func main() {
@@ -100,6 +110,11 @@ func main() {
 	flag.DurationVar(&o.queueTimeout, "queue-timeout", 2*time.Second, "max wait for an execution slot before shedding")
 	flag.DurationVar(&o.rpcTimeout, "rpc-timeout", 0, "per-RPC budget for cluster worker calls (0 = 10s)")
 	flag.DurationVar(&o.breakerCool, "breaker-cooldown", 0, "first circuit-breaker open period per failing worker, doubling per re-open (0 = 1s)")
+	flag.StringVar(&o.logFormat, "log-format", "text", "structured log output format: text or json")
+	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+	flag.DurationVar(&o.slowRequest, "slow-request", 0, "log the full span tree of any /v1 request slower than this (0 = never)")
+	flag.IntVar(&o.traceRing, "trace-ring", 0, "recent request traces kept for /debug/traces (0 = 128, negative disables tracing)")
+	flag.BoolVar(&o.pprof, "pprof", false, "serve net/http/pprof profiles under /debug/pprof")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bundled:", err)
@@ -108,7 +123,16 @@ func main() {
 }
 
 func run(o options) error {
+	logger, err := obs.NewLogger(os.Stderr, o.logFormat, o.logLevel)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 	cfg := server.Config{
+		Logger:         logger,
+		SlowRequest:    o.slowRequest,
+		TraceRing:      o.traceRing,
+		Pprof:          o.pprof,
 		MaxSessions:    o.maxSessions,
 		CacheEntries:   o.cacheEntries,
 		MaxUploadBytes: o.maxUploadMB << 20,
@@ -142,7 +166,7 @@ func run(o options) error {
 		cfg.Auth = auth
 	}
 	if cfg.Auth.Enabled() {
-		log.Printf("auth enabled: %d tenants", cfg.Auth.Tenants())
+		logger.Info("auth enabled", "tenants", cfg.Auth.Tenants())
 	}
 	if o.workers != "" {
 		raw, err := cluster.Transports(o.workers, nil)
@@ -208,7 +232,7 @@ func run(o options) error {
 			)
 			return gauges, counters
 		}
-		log.Printf("cluster mode: %d workers (%s)", len(transports), o.workers)
+		logger.Info("cluster mode", "workers", len(transports), "addrs", o.workers)
 	}
 	var store *server.Store
 	if o.dataDir != "" {
@@ -221,7 +245,7 @@ func run(o options) error {
 			// Graceful flush: the final compaction pass runs after the
 			// listener has drained and the sessions are released.
 			if err := store.Close(); err != nil {
-				log.Printf("store close: %v", err)
+				logger.Error("store close failed", "err", err)
 			}
 		}()
 		cfg.Store = store
@@ -233,15 +257,15 @@ func run(o options) error {
 		if err != nil {
 			// Boot with what the manifest describes; a skipped entry reads
 			// as a missing corpus, which operators can see and re-upload.
-			log.Printf("restore: %v", err)
+			logger.Warn("restore incomplete", "err", err)
 		}
-		log.Printf("serving %d persisted corpora from %s (lazy: each re-indexes on first use)", restored, store.Dir())
+		logger.Info("serving persisted corpora (lazy: each re-indexes on first use)", "corpora", restored, "dir", store.Dir())
 	}
 	if o.demo {
 		if err := preloadDemo(srv, o.demoUsers, o.demoItems); err != nil {
 			return fmt.Errorf("demo corpus: %w", err)
 		}
-		log.Printf("preloaded synthetic corpus as session %q (%d users × %d items)", "demo", o.demoUsers, o.demoItems)
+		logger.Info("preloaded synthetic corpus", "session", "demo", "users", o.demoUsers, "items", o.demoItems)
 	}
 
 	hs := &http.Server{
@@ -251,7 +275,7 @@ func run(o options) error {
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("bundled listening on %s", o.addr)
+		logger.Info("bundled listening", "addr", o.addr, "pprof", o.pprof)
 		errCh <- hs.ListenAndServe()
 	}()
 
@@ -262,7 +286,7 @@ func run(o options) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down, draining for up to %ds", o.drainSecs)
+	logger.Info("shutting down", "drain_seconds", o.drainSecs)
 	drainCtx, cancel := context.WithTimeout(context.Background(), time.Duration(o.drainSecs)*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(drainCtx); err != nil {
@@ -271,7 +295,7 @@ func run(o options) error {
 	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("bundled stopped")
+	logger.Info("bundled stopped")
 	return nil
 }
 

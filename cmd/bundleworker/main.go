@@ -24,7 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,31 +32,55 @@ import (
 	"time"
 
 	"bundling/internal/cluster"
+	"bundling/internal/obs"
 )
 
+// options collects the daemon's flag values.
+type options struct {
+	addr      string
+	maxSpans  int
+	drainSecs int
+	logFormat string
+	logLevel  string
+	traceRing int
+	pprof     bool
+}
+
 func main() {
-	var (
-		addr      = flag.String("addr", ":9101", "listen address")
-		maxSpans  = flag.Int("max-spans", 64, "max assigned spans (LRU eviction beyond)")
-		drainSecs = flag.Int("drain-seconds", 15, "graceful shutdown drain window")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":9101", "listen address")
+	flag.IntVar(&o.maxSpans, "max-spans", 64, "max assigned spans (LRU eviction beyond)")
+	flag.IntVar(&o.drainSecs, "drain-seconds", 15, "graceful shutdown drain window")
+	flag.StringVar(&o.logFormat, "log-format", "text", "structured log output format: text or json")
+	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+	flag.IntVar(&o.traceRing, "trace-ring", 0, "recent RPC trace records kept for /debug/traces (0 = 128, negative disables)")
+	flag.BoolVar(&o.pprof, "pprof", false, "serve net/http/pprof profiles under /debug/pprof")
 	flag.Parse()
-	if err := run(*addr, *maxSpans, *drainSecs); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bundleworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxSpans, drainSecs int) error {
-	wk := cluster.NewWorker(cluster.WorkerConfig{MaxSpans: maxSpans})
+func run(o options) error {
+	logger, err := obs.NewLogger(os.Stderr, o.logFormat, o.logLevel)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
+	wk := cluster.NewWorker(cluster.WorkerConfig{
+		MaxSpans:  o.maxSpans,
+		TraceRing: o.traceRing,
+		Pprof:     o.pprof,
+	})
 	hs := &http.Server{
-		Addr:              addr,
+		Addr:              o.addr,
 		Handler:           wk.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("bundleworker listening on %s", addr)
+		logger.Info("bundleworker listening", "addr", o.addr, "pprof", o.pprof)
 		errCh <- hs.ListenAndServe()
 	}()
 
@@ -67,8 +91,8 @@ func run(addr string, maxSpans, drainSecs int) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down, draining for up to %ds", drainSecs)
-	drainCtx, cancel := context.WithTimeout(context.Background(), time.Duration(drainSecs)*time.Second)
+	logger.Info("shutting down", "drain_seconds", o.drainSecs)
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Duration(o.drainSecs)*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
@@ -76,6 +100,6 @@ func run(addr string, maxSpans, drainSecs int) error {
 	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("bundleworker stopped")
+	logger.Info("bundleworker stopped")
 	return nil
 }

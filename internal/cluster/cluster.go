@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"bundling"
+	"bundling/internal/obs"
 	"bundling/internal/wtp"
 )
 
@@ -395,17 +396,23 @@ func (x *executor) forEachSpan(fn func(i int)) {
 // never outlives its caller: under a canceled parent the workers fail fast
 // and the local store answers (the engine aborts at its next cancellation
 // check, discarding the result).
-func callSpan[T any](x *executor, parent context.Context, sl *spanSlot, op func(ctx context.Context, t Transport) (T, error), local func(sp *wtp.SpanStore) T) T {
-	if v, err := tryWorker(x, parent, sl, sl.primary, op); err == nil {
+func callSpan[T any](x *executor, parent context.Context, sl *spanSlot, op string, call func(ctx context.Context, t Transport) (T, error), local func(sp *wtp.SpanStore) T) T {
+	if v, err := tryWorker(x, parent, sl, sl.primary, op, "primary", call); err == nil {
 		return v
 	} else if len(x.workers) > 1 && parent.Err() == nil {
 		x.replicaRetries.Add(1)
-		if v, err = tryWorker(x, parent, sl, (sl.primary+1)%len(x.workers), op); err == nil {
+		if v, err = tryWorker(x, parent, sl, (sl.primary+1)%len(x.workers), op, "replica", call); err == nil {
 			return v
 		}
 	}
 	x.localFallbacks.Add(1)
-	return local(sl.localStore())
+	_, sp := obs.StartSpan(parent, "rpc")
+	sp.Tag("op", op)
+	sp.Tag("worker", "local")
+	sp.Tag("outcome", "local_fallback")
+	v := local(sl.localStore())
+	sp.End()
+	return v
 }
 
 // tryWorker issues op against one worker, re-feeding the span and retrying
@@ -416,38 +423,62 @@ func callSpan[T any](x *executor, parent context.Context, sl *spanSlot, op func(
 // sent the full transfer on every request. An open circuit breaker (see
 // NewBreaker) rejects before dialing; the rejection is counted and the
 // ladder moves straight on to the replica or local store.
-func tryWorker[T any](x *executor, parent context.Context, sl *spanSlot, wi int, op func(ctx context.Context, t Transport) (T, error)) (T, error) {
+func tryWorker[T any](x *executor, parent context.Context, sl *spanSlot, wi int, op, role string, call func(ctx context.Context, t Transport) (T, error)) (T, error) {
 	t := x.workers[wi]
-	ctx, cancel := context.WithTimeout(parent, x.timeout)
+	sctx, sp := obs.StartSpan(parent, "rpc")
+	sp.Tag("op", op)
+	sp.Tag("worker", t.Addr())
+	sp.Tag("role", role)
+	defer sp.End()
+	ctx, cancel := context.WithTimeout(sctx, x.timeout)
 	x.remoteCalls.Add(1)
-	v, err := op(ctx, t)
+	v, err := call(ctx, t)
 	cancel()
 	if err != nil && errors.Is(err, ErrBreakerOpen) {
 		x.breakerSkips.Add(1)
+		sp.Tag("outcome", "breaker_open")
 		return v, err
 	}
 	if err == nil || !errors.Is(err, ErrSpan) || parent.Err() != nil {
+		sp.Tag("outcome", outcomeTag(err))
 		return v, err
 	}
 	if time.Now().UnixNano() < sl.feedFailUntil[wi].Load() {
+		sp.Tag("outcome", "feed_backoff")
 		return v, err
 	}
 	x.refeeds.Add(1)
-	fctx, fcancel := context.WithTimeout(parent, x.feedTO)
+	sp.Tag("refeed", true)
+	fctx, fcancel := context.WithTimeout(sctx, x.feedTO)
+	fctx, fsp := obs.StartSpan(fctx, "feed")
+	fsp.Tag("worker", t.Addr())
 	aerr := t.Assign(fctx, sl.key, &AssignRequest{Corpus: sl.key, Span: sl.doc})
+	fsp.Tag("outcome", outcomeTag(aerr))
+	fsp.End()
 	fcancel()
 	if aerr != nil {
 		x.feedFailures.Add(1)
 		n := sl.feedFails[wi].Add(1)
 		sl.feedFailUntil[wi].Store(time.Now().Add(x.nextFeedBackoff(n)).UnixNano())
+		sp.Tag("outcome", "feed_failed")
 		return v, err
 	}
 	sl.feedFails[wi].Store(0)
 	sl.feedFailUntil[wi].Store(0)
-	rctx, rcancel := context.WithTimeout(parent, x.timeout)
+	rctx, rcancel := context.WithTimeout(sctx, x.timeout)
 	defer rcancel()
 	x.remoteCalls.Add(1)
-	return op(rctx, t)
+	v, err = call(rctx, t)
+	sp.Tag("outcome", outcomeTag(err))
+	return v, err
+}
+
+// outcomeTag renders an RPC result for span tags.
+func outcomeTag(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return "error"
 }
 
 // BundleVector implements config.StripeExecutor: per-span vectors gathered
@@ -458,7 +489,7 @@ func (x *executor) BundleVector(ctx context.Context, items []int, theta float64,
 	x.forEachSpan(func(i int) {
 		sl := x.spans[i]
 		req := VectorRequest{Version: x.version, Items: items, Theta: theta}
-		parts[i] = callSpan(x, ctx, sl,
+		parts[i] = callSpan(x, ctx, sl, "vector",
 			func(ctx context.Context, t Transport) (VectorResponse, error) {
 				return t.Vector(ctx, sl.key, req)
 			},
@@ -506,7 +537,7 @@ func (x *executor) UnionVectors(ctx context.Context, aIDs []int, aVals []float64
 			AIDs:    aIDs[c.a0:c.a1], AVals: aVals[c.a0:c.a1], SA: sa,
 			BIDs: bIDs[c.b0:c.b1], BVals: bVals[c.b0:c.b1], SB: sb,
 		}
-		parts[i] = callSpan(x, ctx, sl,
+		parts[i] = callSpan(x, ctx, sl, "union",
 			func(ctx context.Context, t Transport) (VectorResponse, error) {
 				return t.Union(ctx, sl.key, req)
 			},
@@ -530,7 +561,7 @@ func (x *executor) BundleMax(ctx context.Context, items []int, theta float64) fl
 	x.forEachSpan(func(i int) {
 		sl := x.spans[i]
 		req := StatsRequest{Version: x.version, Items: items, Theta: theta}
-		parts[i] = callSpan(x, ctx, sl,
+		parts[i] = callSpan(x, ctx, sl, "stats",
 			func(ctx context.Context, t Transport) (StatsResponse, error) {
 				return t.Stats(ctx, sl.key, req)
 			},
@@ -557,7 +588,7 @@ func (x *executor) BundleHistogram(ctx context.Context, items []int, theta float
 			Version: x.version, Items: items, Theta: theta,
 			MaxW: maxW, Alpha: x.alpha, Levels: x.levels,
 		}
-		parts[i] = callSpan(x, ctx, sl,
+		parts[i] = callSpan(x, ctx, sl, "hist",
 			func(ctx context.Context, t Transport) (HistResponse, error) {
 				return t.Hist(ctx, sl.key, req)
 			},

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"bundling/internal/codec"
+	"bundling/internal/obs"
 )
 
 // feedBytesBin and feedBytesJSON count span-feed request-body bytes shipped
@@ -171,6 +172,9 @@ func (h *HTTP) doBytes(ctx context.Context, method, path, contentType string, pa
 	if payload != nil {
 		req.Header.Set("Content-Type", contentType)
 	}
+	// Propagate the caller's trace so the worker can record its side of the
+	// RPC under the same trace ID; a no-op for untraced contexts.
+	obs.Inject(ctx, req.Header)
 	resp, err := h.hc.Do(req)
 	if err != nil {
 		return err
@@ -215,7 +219,11 @@ func (h *HTTP) spanPath(corpus, op string) string {
 func (h *HTTP) Assign(ctx context.Context, corpus string, req *AssignRequest) error {
 	path := h.spanPath(corpus, "")
 	if !h.jsonAssign.Load() {
+		_, esp := obs.StartSpan(ctx, "feed_encode")
 		body := codec.EncodeAssign(corpus, req.Span)
+		esp.Tag("codec", "binary")
+		esp.Tag("bytes", len(body))
+		esp.End()
 		err := h.doBytes(ctx, http.MethodPost, path, codec.ContentType, body, nil)
 		if err == nil {
 			feedBytesBin.Add(int64(len(body)))
@@ -226,7 +234,11 @@ func (h *HTTP) Assign(ctx context.Context, corpus string, req *AssignRequest) er
 			return err // network fault or a worker-side failure, not a codec rejection
 		}
 	}
+	_, esp := obs.StartSpan(ctx, "feed_encode")
 	buf, err := json.Marshal(req)
+	esp.Tag("codec", "json")
+	esp.Tag("bytes", len(buf))
+	esp.End()
 	if err != nil {
 		return err
 	}

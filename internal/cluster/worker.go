@@ -7,12 +7,14 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bundling/internal/codec"
+	"bundling/internal/obs"
 	"bundling/internal/pricing"
 	"bundling/internal/server"
 	"bundling/internal/wtp"
@@ -28,6 +30,13 @@ type WorkerConfig struct {
 	// MaxRequestBytes bounds the other request bodies (0 = 32 MiB; unions
 	// ship cached consumer vectors).
 	MaxRequestBytes int64
+	// TraceRing bounds the ring of recent RPC trace records served at
+	// /debug/traces — one single-span trace per coordinator-traced RPC,
+	// recorded under the coordinator's X-Trace-Id so the two sides can be
+	// joined (0 = 128, negative disables).
+	TraceRing int
+	// Pprof mounts net/http/pprof under /debug/pprof (-pprof).
+	Pprof bool
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -50,8 +59,9 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 // value backs both the in-process transport (direct method calls) and the
 // bundleworker daemon's HTTP handler.
 type Worker struct {
-	cfg WorkerConfig
-	met *server.Metrics
+	cfg    WorkerConfig
+	met    *server.Metrics
+	traces *obs.Ring // nil when tracing is disabled
 
 	mu    sync.RWMutex
 	spans map[string]*workerSpan
@@ -75,6 +85,9 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		met:   server.NewMetrics("bundleworker"),
 		spans: make(map[string]*workerSpan),
 	}
+	if wk.cfg.TraceRing >= 0 {
+		wk.traces = obs.NewRing(wk.cfg.TraceRing)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/spans/{corpus}", wk.handleAssign)
 	mux.HandleFunc("DELETE /v1/spans/{corpus}", wk.handleDrop)
@@ -84,8 +97,35 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	mux.HandleFunc("POST /v1/spans/{corpus}/hist", wk.handleHist)
 	mux.HandleFunc("GET /healthz", wk.handleHealth)
 	mux.HandleFunc("GET /metrics", wk.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", wk.handleTraces)
+	if wk.cfg.Pprof {
+		server.RegisterPprof(mux)
+	}
 	wk.mux = mux
 	return wk
+}
+
+// Traces returns up to limit recent RPC trace records, newest first
+// (limit <= 0 = all retained) — what /debug/traces serves.
+func (wk *Worker) Traces(limit int) []obs.TraceDoc { return wk.traces.Snapshot(limit) }
+
+// recordRemote records the worker's side of one coordinator RPC as a
+// single-span trace under the coordinator's trace ID, so a worker's
+// /debug/traces can be joined with the coordinator's trace by ID. Untraced
+// requests (no X-Trace-Id) record nothing.
+func (wk *Worker) recordRemote(r *http.Request, op, corpus string, start time.Time, err error) {
+	if wk.traces == nil {
+		return
+	}
+	traceID, parent := obs.Extract(r.Header)
+	if traceID == "" {
+		return
+	}
+	tags := []obs.Tag{{Key: "corpus", Value: corpus}}
+	if err != nil {
+		tags = append(tags, obs.Tag{Key: "outcome", Value: "error"})
+	}
+	wk.traces.Push(obs.RemoteSpan(traceID, parent, "worker."+op, start, time.Since(start), tags...))
 }
 
 // Handler returns the worker's HTTP handler (the bundleworker daemon's
@@ -304,10 +344,12 @@ func (wk *Worker) handleAssign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := wk.Assign(r.PathValue("corpus"), span); err != nil {
+		wk.recordRemote(r, "assign", r.PathValue("corpus"), start, err)
 		wk.failErr(w, err)
 		return
 	}
 	wk.met.Observe("assign", time.Since(start))
+	wk.recordRemote(r, "assign", r.PathValue("corpus"), start, nil)
 	// No payload: the coordinator ignores it, and a full health report per
 	// feed would just be discarded bytes (spans are visible on /healthz).
 	w.WriteHeader(http.StatusNoContent)
@@ -321,12 +363,14 @@ func (wk *Worker) handleDrop(w http.ResponseWriter, r *http.Request) {
 }
 
 func (wk *Worker) handleVector(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var req VectorRequest
 	if err := decodeBody(w, r, &req, wk.cfg.MaxRequestBytes); err != nil {
 		wk.failErr(w, fmt.Errorf("decode request: %w", err))
 		return
 	}
 	resp, err := wk.Vector(r.PathValue("corpus"), req)
+	wk.recordRemote(r, "vector", r.PathValue("corpus"), start, err)
 	if err != nil {
 		wk.failErr(w, err)
 		return
@@ -335,12 +379,14 @@ func (wk *Worker) handleVector(w http.ResponseWriter, r *http.Request) {
 }
 
 func (wk *Worker) handleUnion(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var req UnionRequest
 	if err := decodeBody(w, r, &req, wk.cfg.MaxRequestBytes); err != nil {
 		wk.failErr(w, fmt.Errorf("decode request: %w", err))
 		return
 	}
 	resp, err := wk.Union(r.PathValue("corpus"), req)
+	wk.recordRemote(r, "union", r.PathValue("corpus"), start, err)
 	if err != nil {
 		wk.failErr(w, err)
 		return
@@ -349,12 +395,14 @@ func (wk *Worker) handleUnion(w http.ResponseWriter, r *http.Request) {
 }
 
 func (wk *Worker) handleStats(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var req StatsRequest
 	if err := decodeBody(w, r, &req, wk.cfg.MaxRequestBytes); err != nil {
 		wk.failErr(w, fmt.Errorf("decode request: %w", err))
 		return
 	}
 	resp, err := wk.Stats(r.PathValue("corpus"), req)
+	wk.recordRemote(r, "stats", r.PathValue("corpus"), start, err)
 	if err != nil {
 		wk.failErr(w, err)
 		return
@@ -363,12 +411,14 @@ func (wk *Worker) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (wk *Worker) handleHist(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var req HistRequest
 	if err := decodeBody(w, r, &req, wk.cfg.MaxRequestBytes); err != nil {
 		wk.failErr(w, fmt.Errorf("decode request: %w", err))
 		return
 	}
 	resp, err := wk.Hist(r.PathValue("corpus"), req)
+	wk.recordRemote(r, "hist", r.PathValue("corpus"), start, err)
 	if err != nil {
 		wk.failErr(w, err)
 		return
@@ -378,6 +428,29 @@ func (wk *Worker) handleHist(w http.ResponseWriter, r *http.Request) {
 
 func (wk *Worker) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, wk.Health())
+}
+
+// handleTraces serves the worker's recent RPC trace records, newest first
+// (?limit=N bounds the reply). Workers serve a trusted coordinator network
+// and have no auth layer, so the route is open like the rest of their API.
+func (wk *Worker) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			wk.met.CountError()
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("limit: want a positive integer, got %q", q)})
+			return
+		}
+		limit = n
+	}
+	docs := wk.traces.Snapshot(limit)
+	if docs == nil {
+		docs = []obs.TraceDoc{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Traces []obs.TraceDoc `json:"traces"`
+	}{Traces: docs})
 }
 
 func (wk *Worker) handleMetrics(w http.ResponseWriter, r *http.Request) {

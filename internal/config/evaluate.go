@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"bundling/internal/obs"
 	"bundling/internal/pricing"
 	"bundling/internal/wtp"
 )
@@ -45,6 +46,9 @@ func (s *Solver) Evaluate(offers [][]int) (*Configuration, error) {
 // its deadline, and a distributed session derives its worker RPC deadlines
 // from it.
 func (s *Solver) EvaluateContext(ctx context.Context, offers [][]int) (*Configuration, error) {
+	ctx, sp := obs.StartSpan(ctx, "evaluate")
+	sp.Tag("offers", len(offers))
+	defer sp.End()
 	e := s.newEngineCtx(ctx)
 	defer e.release()
 	start := time.Now()
@@ -129,6 +133,10 @@ func (s *Solver) EvaluateAggregatedContext(ctx context.Context, offers [][]int, 
 	if s.params.ExactSigmoid && !s.params.Model.Deterministic() {
 		return nil, fmt.Errorf("config: aggregated evaluation cannot price under the exact-sigmoid ablation")
 	}
+	ctx, sp := obs.StartSpan(ctx, "evaluate")
+	sp.Tag("offers", len(offers))
+	sp.Tag("aggregated", true)
+	defer sp.End()
 	e := s.newEngineCtx(ctx)
 	defer e.release()
 	start := time.Now()

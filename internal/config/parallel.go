@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"bundling/internal/obs"
 	"bundling/internal/pricing"
 )
 
@@ -51,6 +52,9 @@ func (e *engine) evalPairs(nodes []*node, jobs []pairJob, keepAll bool) []pairRe
 	if len(jobs) == 0 {
 		return nil
 	}
+	_, sp := obs.StartSpan(e.reqCtx, "price_candidates")
+	sp.Tag("pairs", len(jobs))
+	defer sp.End()
 	workers := e.params.parallelism()
 	if workers > len(jobs) {
 		workers = len(jobs)

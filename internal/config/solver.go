@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"bundling/internal/obs"
 	"bundling/internal/pricing"
 	"bundling/internal/wtp"
 )
@@ -130,7 +131,14 @@ func (s *Solver) Solve(a Algorithm) (*Configuration, error) {
 // canceled or past its deadline, and a distributed session derives every
 // worker RPC deadline from it.
 func (s *Solver) SolveContext(ctx context.Context, a Algorithm) (*Configuration, error) {
-	return a.Solve(ctx, s)
+	ctx, sp := obs.StartSpan(ctx, "solve")
+	sp.Tag("algorithm", a.Name())
+	cfg, err := a.Solve(ctx, s)
+	if cfg != nil {
+		sp.Tag("iterations", cfg.Iterations)
+	}
+	sp.End()
+	return cfg, err
 }
 
 // Params returns the session's parameters.

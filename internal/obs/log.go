@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// NewLogger builds the daemon logger from the -log-format/-log-level flag
+// values: format "text" (default) or "json", level "debug", "info"
+// (default), "warn" or "error".
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
+
+// RuntimeStats is one sample of the process-level gauges exported on
+// /metrics next to the serving counters.
+type RuntimeStats struct {
+	Goroutines   int
+	HeapAlloc    uint64
+	HeapSys      uint64
+	NumGC        uint32
+	GCPauseTotal time.Duration
+}
+
+// ReadRuntime samples the runtime. It uses runtime.ReadMemStats, which
+// stops the world briefly — cheap enough for a metrics scrape, not for a
+// hot loop.
+func ReadRuntime() RuntimeStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return RuntimeStats{
+		Goroutines:   runtime.NumGoroutine(),
+		HeapAlloc:    m.HeapAlloc,
+		HeapSys:      m.HeapSys,
+		NumGC:        m.NumGC,
+		GCPauseTotal: time.Duration(m.PauseTotalNs),
+	}
+}

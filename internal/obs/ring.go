@@ -1,0 +1,55 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded buffer of finished traces, newest first — the store
+// behind /debug/traces. The zero value is unusable; construct with NewRing.
+// A nil *Ring is a valid no-op sink (tracing disabled).
+type Ring struct {
+	mu   sync.Mutex
+	buf  []TraceDoc
+	next int
+	n    int
+}
+
+// NewRing returns a ring keeping the most recent capacity traces
+// (capacity <= 0 selects 128).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &Ring{buf: make([]TraceDoc, capacity)}
+}
+
+// Push records a finished trace, evicting the oldest when full.
+func (r *Ring) Push(doc TraceDoc) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = doc
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns up to limit recent traces, newest first (limit <= 0 =
+// all retained).
+func (r *Ring) Snapshot(limit int) []TraceDoc {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]TraceDoc, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

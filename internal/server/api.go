@@ -199,15 +199,25 @@ type WorkerStatusDoc struct {
 // HealthResponse is the GET /healthz payload. Status is "ok" (200) or
 // "degraded" (503, Detail naming the unreachable dependency). Workers
 // lists per-worker circuit-breaker state when the daemon fronts a fleet.
+// Sessions counts live in-memory sessions; Corpora counts everything
+// addressable, including evicted-but-persisted corpora. GoVersion,
+// BuildVersion and Revision identify the binary (runtime/debug build
+// info; version and revision are omitted when the build is unstamped).
 type HealthResponse struct {
 	Status        string            `json:"status"`
 	Sessions      int               `json:"sessions"`
+	Corpora       int               `json:"corpora"`
 	UptimeSeconds float64           `json:"uptime_seconds"`
+	GoVersion     string            `json:"go_version,omitempty"`
+	BuildVersion  string            `json:"build_version,omitempty"`
+	Revision      string            `json:"revision,omitempty"`
 	Detail        string            `json:"detail,omitempty"`
 	Workers       []WorkerStatusDoc `json:"workers,omitempty"`
 }
 
-// ErrorResponse carries any non-2xx outcome.
+// ErrorResponse carries any non-2xx outcome. RequestID echoes the response's
+// X-Request-Id header so client-side reports can be matched to server logs.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"bundling/internal/obs"
 )
 
 // Auth is the serving tier's tenancy map: API key → tenant ID. A request
@@ -211,12 +213,15 @@ func (g *rateGate) allow(tenant string) bool {
 }
 
 // guard wraps the API mux with the tenancy layer: API-key authentication
-// and the per-tenant request-rate quota. Only /v1 routes are guarded —
-// /healthz and /metrics stay open, they are the operator's probes, not
-// tenant traffic.
+// and the per-tenant request-rate quota. /v1 routes and /debug/traces are
+// guarded (traces carry corpus IDs and request shapes — tenant data);
+// /healthz, /metrics and /debug/pprof stay open, they are the operator's
+// probes, not tenant traffic.
 func (s *Server) guard(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if !strings.HasPrefix(r.URL.Path, "/v1/") && r.URL.Path != "/v1" {
+		guarded := strings.HasPrefix(r.URL.Path, "/v1/") || r.URL.Path == "/v1" ||
+			r.URL.Path == "/debug/traces"
+		if !guarded {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -241,6 +246,9 @@ func (s *Server) guard(next http.Handler) http.Handler {
 			w.Header().Set("Retry-After", "1")
 			s.fail(w, http.StatusTooManyRequests, "request rate quota exceeded (%g req/s)", s.cfg.Quotas.RequestsPerSecond)
 			return
+		}
+		if tenant != "" {
+			obs.Annotate(r.Context(), "tenant", tenant)
 		}
 		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantKey{}, tenant)))
 	})

@@ -115,6 +115,7 @@ func TestAPIDocMatchesServer(t *testing.T) {
 		"POST /v1/corpora", "GET /v1/corpora", "GET /v1/corpora/{id}",
 		"DELETE /v1/corpora/{id}", "POST /v1/corpora/{id}/solve",
 		"POST /v1/corpora/{id}/evaluate", "GET /healthz", "GET /metrics",
+		"GET /debug/traces",
 	}
 	if len(documented) != len(served) {
 		t.Errorf("doc lists %d routes, server has %d", len(documented), len(served))

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"bundling/internal/obs"
 )
 
 // latencyBuckets are the cumulative histogram upper bounds (seconds) of the
@@ -47,6 +49,7 @@ type Metrics struct {
 	errors   atomic.Int64
 
 	latency sync.Map // op string → *histogram
+	stages  sync.Map // stage string → *histogram
 }
 
 // NewMetrics returns a metrics core whose exposition names start with
@@ -80,6 +83,19 @@ func (m *Metrics) Observe(op string, d time.Duration) {
 // CountError records one request that ended in an error response.
 func (m *Metrics) CountError() { m.errors.Add(1) }
 
+// ObserveStage records one per-stage duration from the request tracer
+// (queue wait, index build, solve, per-worker RPC, persist, …), exposed as
+// the <prefix>_stage_seconds histogram family. The signature matches the
+// tracer's OnSpanEnd hook, so every span feeds it — including spans past a
+// trace's record cap.
+func (m *Metrics) ObserveStage(stage string, d time.Duration) {
+	h, ok := m.stages.Load(stage)
+	if !ok {
+		h, _ = m.stages.LoadOrStore(stage, newHistogram())
+	}
+	h.(*histogram).observe(d)
+}
+
 // GaugeRow and CounterRow are the extra exposition rows an embedding server
 // contributes to Render (session gauges, cache counters, per-worker breaker
 // gauges, …). Names must carry the server's own prefix. Labels, if set, is
@@ -103,6 +119,16 @@ func (m *Metrics) Render(w io.Writer, gauges []GaugeRow, counters []CounterRow) 
 	fmt.Fprintf(w, "# HELP %s_uptime_seconds Seconds since the server started.\n", m.prefix)
 	fmt.Fprintf(w, "# TYPE %s_uptime_seconds gauge\n", m.prefix)
 	fmt.Fprintf(w, "%s_uptime_seconds %g\n", m.prefix, m.Uptime().Seconds())
+	rt := obs.ReadRuntime()
+	gauges = append([]GaugeRow{
+		{Name: m.prefix + "_goroutines", Help: "Live goroutines in the process.", Value: float64(rt.Goroutines)},
+		{Name: m.prefix + "_heap_alloc_bytes", Help: "Bytes of allocated heap objects.", Value: float64(rt.HeapAlloc)},
+		{Name: m.prefix + "_heap_sys_bytes", Help: "Bytes of heap obtained from the OS.", Value: float64(rt.HeapSys)},
+		{Name: m.prefix + "_gc_pause_seconds", Help: "Cumulative stop-the-world GC pause time (monotonically increasing).", Value: rt.GCPauseTotal.Seconds()},
+	}, gauges...)
+	counters = append([]CounterRow{
+		{Name: m.prefix + "_gc_runs_total", Help: "Completed garbage-collection cycles.", Value: int64(rt.NumGC)},
+	}, counters...)
 	prev := ""
 	for _, g := range gauges {
 		if g.Name != prev {
@@ -138,20 +164,31 @@ func (m *Metrics) Render(w io.Writer, gauges []GaugeRow, counters []CounterRow) 
 		}
 	}
 
-	fmt.Fprintf(w, "# HELP %s_request_duration_seconds Request latency by operation.\n", m.prefix)
-	fmt.Fprintf(w, "# TYPE %s_request_duration_seconds histogram\n", m.prefix)
-	for _, op := range m.ops(&m.latency) {
-		hv, _ := m.latency.Load(op)
+	m.renderHistogramFamily(w, &m.latency, "request_duration_seconds", "op", "Request latency by operation.")
+	m.renderHistogramFamily(w, &m.stages, "stage_seconds", "stage", "Per-stage latency from the request tracer (queue, index, solve, rpc, persist, …).")
+}
+
+// renderHistogramFamily writes one labeled histogram family from a
+// sync.Map of label value → *histogram; empty families emit nothing.
+func (m *Metrics) renderHistogramFamily(w io.Writer, sm *sync.Map, name, label, help string) {
+	keys := m.ops(sm)
+	if len(keys) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s_%s %s\n", m.prefix, name, help)
+	fmt.Fprintf(w, "# TYPE %s_%s histogram\n", m.prefix, name)
+	for _, key := range keys {
+		hv, _ := sm.Load(key)
 		h := hv.(*histogram)
 		var cum int64
 		for i, le := range latencyBuckets {
 			cum += h.counts[i].Load()
-			fmt.Fprintf(w, "%s_request_duration_seconds_bucket{op=%q,le=%q} %d\n", m.prefix, op, trimFloat(le), cum)
+			fmt.Fprintf(w, "%s_%s_bucket{%s=%q,le=%q} %d\n", m.prefix, name, label, key, trimFloat(le), cum)
 		}
 		cum += h.counts[len(latencyBuckets)].Load()
-		fmt.Fprintf(w, "%s_request_duration_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", m.prefix, op, cum)
-		fmt.Fprintf(w, "%s_request_duration_seconds_sum{op=%q} %g\n", m.prefix, op, time.Duration(h.sumNano.Load()).Seconds())
-		fmt.Fprintf(w, "%s_request_duration_seconds_count{op=%q} %d\n", m.prefix, op, h.total.Load())
+		fmt.Fprintf(w, "%s_%s_bucket{%s=%q,le=\"+Inf\"} %d\n", m.prefix, name, label, key, cum)
+		fmt.Fprintf(w, "%s_%s_sum{%s=%q} %g\n", m.prefix, name, label, key, time.Duration(h.sumNano.Load()).Seconds())
+		fmt.Fprintf(w, "%s_%s_count{%s=%q} %d\n", m.prefix, name, label, key, h.total.Load())
 	}
 }
 

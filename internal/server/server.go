@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -41,6 +42,7 @@ import (
 
 	"bundling"
 	"bundling/internal/codec"
+	"bundling/internal/obs"
 )
 
 // Solver is the session-engine surface the server serves: SolveContext
@@ -118,6 +120,25 @@ type Config struct {
 	// ExtraMetrics, if set, contributes extra rows to /metrics (the daemon
 	// installs fleet breaker gauges and coordinator fallback counters here).
 	ExtraMetrics func() ([]GaugeRow, []CounterRow)
+	// Logger, if set, receives one structured line per completed /v1
+	// request (trace ID, request ID, tenant, corpus, algorithm, status,
+	// duration) plus the slow-request span dumps. Nil disables request
+	// logging; tracing and /debug/traces work either way.
+	Logger *slog.Logger
+	// SlowRequest, when positive, dumps the full span tree of any /v1
+	// request slower than this budget to the Logger at warn level.
+	SlowRequest time.Duration
+	// TraceRing bounds the in-memory ring of recent traces served at
+	// /debug/traces (0 = 128, negative disables request tracing entirely —
+	// X-Request-Id is still stamped, but no spans are recorded).
+	TraceRing int
+	// TraceSpans caps recorded spans per trace (0 = obs.DefaultMaxSpans).
+	// Past the cap spans still feed the stage histograms but drop out of
+	// the stored trace, so an RPC-heavy cluster solve cannot balloon it.
+	TraceSpans int
+	// Pprof mounts net/http/pprof under /debug/pprof when set — auth-exempt
+	// like /metrics, so gate it at the operator's discretion (-pprof).
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -153,13 +174,14 @@ func (c Config) withDefaults() Config {
 // Server is the bundle-pricing service. One Server handles any number of
 // concurrent requests; all state is internally synchronized.
 type Server struct {
-	cfg   Config
-	reg   *registry
-	cache *resultCache
-	met   *metrics
-	rates *rateGate
-	lim   *limiter
-	mux   *http.ServeMux
+	cfg    Config
+	reg    *registry
+	cache  *resultCache
+	met    *metrics
+	rates  *rateGate
+	lim    *limiter
+	mux    *http.ServeMux
+	traces *obs.Ring // nil when tracing is disabled
 }
 
 // New assembles a Server.
@@ -173,6 +195,9 @@ func New(cfg Config) *Server {
 		met:   newMetrics(),
 		rates: newRateGate(cfg.Quotas),
 		lim:   newLimiter(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout),
+	}
+	if cfg.TraceRing >= 0 {
+		s.traces = obs.NewRing(cfg.TraceRing)
 	}
 	// The registry's install gate and quota accounting reach past memory:
 	// an LRU-evicted corpus keeps its persisted record, so it keeps its
@@ -188,14 +213,20 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/corpora/{id}/evaluate", s.handleEvaluate)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.traces != nil {
+		mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	}
+	if cfg.Pprof {
+		RegisterPprof(mux)
+	}
 	s.mux = mux
 	return s
 }
 
 // Handler returns the server's HTTP handler: the API mux behind the
-// tenancy guard (authentication and the request-rate quota) and the
-// panic-recovery middleware.
-func (s *Server) Handler() http.Handler { return s.recoverer(s.guard(s.mux)) }
+// tenancy guard (authentication and the request-rate quota), the tracing
+// and request-ID middleware, and the panic-recovery middleware.
+func (s *Server) Handler() http.Handler { return s.recoverer(s.trace(s.guard(s.mux))) }
 
 // recoverer converts a handler panic into a 500 response (when no bytes
 // were written yet) and a counted metric, instead of killing the
@@ -263,10 +294,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// fail emits an error response and counts it.
+// fail emits an error response and counts it. The middleware stamps the
+// request ID on the response headers before the handler runs, so the error
+// body can echo it for log correlation without threading the request here.
 func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
 	s.met.CountError()
-	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, ErrorResponse{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get(obs.HeaderRequest),
+	})
 }
 
 // maxRequestBytes bounds non-upload request bodies (solve/evaluate); only
@@ -337,6 +373,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tenant := tenantOf(r)
+	obs.Annotate(r.Context(), "corpus", req.ID)
 	// An advisory admission pass (ownership, quotas) runs before the
 	// expensive engine build so a doomed upload is rejected cheaply; the
 	// authoritative checks run atomically with the install inside the
@@ -345,7 +382,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.failAdmit(w, err)
 		return
 	}
+	_, isp := obs.StartSpan(r.Context(), "index")
+	isp.Tag("entries", matrix.Entries())
 	sess, err := s.register(req.ID, tenant, matrix, opts, true)
+	isp.End()
 	if err != nil {
 		var qe *quotaError
 		var oe *ownerError
@@ -369,7 +409,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		if rec.Matrix == nil {
 			rec.Matrix = bundling.NewMatrixDoc(matrix) // csv uploads persist in canonical form
 		}
-		if perr := s.cfg.Store.Put(rec); perr != nil {
+		_, psp := obs.StartSpan(r.Context(), "persist")
+		perr := s.cfg.Store.Put(rec)
+		psp.End()
+		if perr != nil {
 			// An upload the caller cannot trust to survive a restart must
 			// not be accepted: roll the session back (only if it is still
 			// ours — a concurrent upload may have replaced it) and fall
@@ -613,7 +656,10 @@ func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request, id string
 		s.fail(w, http.StatusInternalServerError, "reload corpus %q: %v", id, err)
 		return nil
 	}
+	_, isp := obs.StartSpan(r.Context(), "index")
+	isp.Tag("reload", true)
 	sess, err := s.registerIfAbsent(rec.ID, rec.Tenant, matrix, opts, rec.Generation, rec.CreatedAt)
+	isp.End()
 	if errors.Is(err, errAlreadyInstalled) {
 		// A concurrent upload or reload won the install; serve its session.
 		if sess, ok := s.reg.peek(id); ok {
@@ -767,7 +813,10 @@ func (s *Server) requestContext(w http.ResponseWriter, r *http.Request) (context
 // 503 + Retry-After when the server is saturated. Returns ok=false after
 // writing the response; otherwise the caller must call release.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	_, qsp := obs.StartSpan(r.Context(), "queue")
 	release, ok = s.lim.acquire(r.Context())
+	qsp.Tag("admitted", ok)
+	qsp.End()
 	if !ok {
 		s.met.shedRequests.Add(1)
 		w.Header().Set("Retry-After", "1")
@@ -809,8 +858,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	obs.Annotate(r.Context(), "corpus", sess.id)
+	obs.Annotate(r.Context(), "algorithm", req.Algorithm)
 	key := sess.cacheKey("solve", req.Algorithm)
 	cfg, hit := s.cache.get(key)
+	obs.Annotate(r.Context(), "cached", hit)
 	if hit {
 		s.met.cacheHits.Add(1)
 	} else {
@@ -863,8 +915,10 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "no offers to evaluate")
 		return
 	}
+	obs.Annotate(r.Context(), "corpus", sess.id)
 	key := sess.cacheKey("evaluate", canonicalOffers(req.Offers))
 	cfg, hit := s.cache.get(key)
+	obs.Annotate(r.Context(), "cached", hit)
 	var batched bool
 	if hit {
 		s.met.cacheHits.Add(1)
@@ -879,8 +933,15 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			release()
 			return
 		}
+		// The batch executes under the batcher's own background context, so
+		// engine-internal spans cannot attach to this trace; the waiter-side
+		// span covers the coalesce window plus the shared execution.
+		bctx, bsp := obs.StartSpan(ctx, "batch")
+		bsp.Tag("offers", len(req.Offers))
 		var err error
-		cfg, batched, err = sess.batcher.do(ctx, key, req.Offers)
+		cfg, batched, err = sess.batcher.do(bctx, key, req.Offers)
+		bsp.Tag("coalesced", batched)
+		bsp.End()
 		cancel()
 		release()
 		if err != nil {
@@ -904,10 +965,15 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 // degrades to 503 while a required dependency (e.g. a cluster worker span)
 // is unreachable.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	goVersion, modVersion, revision := buildInfo()
 	resp := HealthResponse{
 		Status:        "ok",
 		Sessions:      s.reg.len(),
+		Corpora:       s.corporaCount(),
 		UptimeSeconds: s.met.Uptime().Seconds(),
+		GoVersion:     goVersion,
+		BuildVersion:  modVersion,
+		Revision:      revision,
 	}
 	if s.cfg.WorkerStatus != nil {
 		resp.Workers = s.cfg.WorkerStatus()

@@ -29,7 +29,7 @@ WLOG2="$(mktemp)"
 go build -o "$BIN" ./cmd/bundled
 go build -o "$WBIN" ./cmd/bundleworker
 
-"$BIN" -addr "$ADDR" -demo >"$LOG" 2>&1 &
+"$BIN" -addr "$ADDR" -demo -pprof >"$LOG" 2>&1 &
 PID=$!
 PIDS="$PID"
 # CONT first: a SIGSTOPped worker (blackhole scenario below) would otherwise
@@ -59,6 +59,36 @@ wait_healthy() {
 wait_healthy "http://$ADDR" "$PID" "$LOG"
 
 BUNDLED_ADDR="http://$ADDR" go test ./client -run TestServerSmoke -count=1 -v
+
+# --- observability ----------------------------------------------------------
+# Every /v1 response must carry an X-Request-Id, the solve's X-Trace-Id must
+# be retrievable from /debug/traces, and with -pprof the heap profile must
+# serve.
+
+HDRS="$(mktemp)"
+curl -sf -D "$HDRS" -o /dev/null -X POST "http://$ADDR/v1/corpora/demo/solve" -d '{"algorithm":"matching"}'
+REQ_ID=$(tr -d '\r' <"$HDRS" | awk 'tolower($1)=="x-request-id:"{print $2}')
+TRACE_ID=$(tr -d '\r' <"$HDRS" | awk 'tolower($1)=="x-trace-id:"{print $2}')
+if [ -z "$REQ_ID" ]; then
+  echo "solve response missing X-Request-Id; headers:" >&2
+  cat "$HDRS" >&2
+  exit 1
+fi
+if [ -z "$TRACE_ID" ]; then
+  echo "solve response missing X-Trace-Id; headers:" >&2
+  cat "$HDRS" >&2
+  exit 1
+fi
+if ! curl -sf "http://$ADDR/debug/traces" | grep -q "$TRACE_ID"; then
+  echo "/debug/traces does not contain trace $TRACE_ID" >&2
+  exit 1
+fi
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/debug/pprof/heap?debug=1")
+if [ "$code" != "200" ]; then
+  echo "/debug/pprof/heap returned $code with -pprof, want 200" >&2
+  exit 1
+fi
+echo "observability smoke: request $REQ_ID traced as $TRACE_ID, pprof serving"
 
 # --- distributed mode -------------------------------------------------------
 
