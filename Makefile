@@ -5,7 +5,7 @@
 GO ?= go
 NPROC ?= $(shell nproc 2>/dev/null || echo 2)
 
-.PHONY: build test vet fmt race check smoke chaos linkcheck bench bench-parallel bench-serve bench-cluster bench-chaos bench-codec fuzz profile tracing-gate
+.PHONY: build test vet fmt race check smoke chaos linkcheck bench bench-parallel bench-serve bench-cluster bench-chaos bench-codec fuzz profile tracing-gate usage-gate
 
 build:
 	$(GO) build ./...
@@ -68,11 +68,18 @@ bench-parallel:
 bench-serve:
 	$(GO) run ./cmd/bundlebench -exp serve -servereqs 2000 -serveconc 16 -benchout BENCH_serve.json
 
-# CI perf gate: fail when the span recorder costs more than its budget of
-# serving throughput (grep for tracing_gate=ok on the bench-serve output).
+# CI perf gates: fail when the span recorder or the workload accountant
+# costs more than its budget of serving throughput (one bench run prints
+# both machine-greppable gate lines).
 tracing-gate:
 	$(GO) run ./cmd/bundlebench -exp serve -servereqs 2000 -serveconc 16 | tee /tmp/serve-bench.out
 	grep -q 'tracing_gate=ok' /tmp/serve-bench.out
+	grep -q 'usage_gate=ok' /tmp/serve-bench.out
+
+# The usage gate standalone (same bench run, gating only the accountant).
+usage-gate:
+	$(GO) run ./cmd/bundlebench -exp serve -servereqs 2000 -serveconc 16 | tee /tmp/serve-bench.out
+	grep -q 'usage_gate=ok' /tmp/serve-bench.out
 
 # Profile the serving load: whole-run CPU and exit heap profiles for
 # `go tool pprof` (for a live daemon, use -pprof and /debug/pprof instead).

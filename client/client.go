@@ -45,6 +45,12 @@ type (
 	OfferDoc            = server.OfferDoc
 	HealthResponse      = server.HealthResponse
 	ErrorResponse       = server.ErrorResponse
+	UsageResponse       = server.UsageResponse
+	UsageRow            = server.UsageRow
+	FleetResponse       = server.FleetResponse
+	FleetWorkerDoc      = server.FleetWorkerDoc
+	FleetSpanDoc        = server.FleetSpanDoc
+	WorkerLoadDoc       = server.WorkerLoadDoc
 )
 
 // Client talks to one bundled server. The zero value is unusable; construct
@@ -291,6 +297,29 @@ func (c *Client) Evaluate(ctx context.Context, id string, offers [][]int) (*Eval
 func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 	var resp HealthResponse
 	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Usage fetches the server's workload accounting — per-tenant and
+// per-corpus request/error/byte meters with a sliding-window rate. Against
+// an authenticated daemon the view is scoped to the calling tenant; an open
+// daemon reports the full (admin) view.
+func (c *Client) Usage(ctx context.Context) (*UsageResponse, error) {
+	var resp UsageResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/usage", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Fleet fetches a cluster coordinator's merged fleet view: every worker's
+// health and span placement joined with the coordinator's breaker and load
+// state. A non-cluster daemon answers 404 (*APIError).
+func (c *Client) Fleet(ctx context.Context) (*FleetResponse, error) {
+	var resp FleetResponse
+	if err := c.do(ctx, http.MethodGet, "/debug/fleet", nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

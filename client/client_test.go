@@ -216,6 +216,82 @@ func TestClientAPIKey(t *testing.T) {
 	}
 }
 
+// TestClientUsageFleet drives the introspection helpers against an
+// authenticated server: Usage must 401 anonymously and come back
+// tenant-scoped with a key, and Fleet must 401 anonymously, decode the
+// coordinator view with a key, and surface 404 on a non-cluster daemon.
+func TestClientUsageFleet(t *testing.T) {
+	auth, err := server.ParseAuthKeys("alice=sk-a,bob=sk-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := func(ctx context.Context) server.FleetResponse {
+		return server.FleetResponse{
+			Workers: []server.FleetWorkerDoc{
+				{Addr: "w0", Reachable: true, Status: "ok", Spans: []server.FleetSpanDoc{}},
+				{Addr: "w1", Reachable: true, Status: "ok", Spans: []server.FleetSpanDoc{}},
+			},
+			Reachable: 2,
+		}
+	}
+	srv := server.New(server.Config{Auth: auth, Fleet: fleet})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+	ctx := context.Background()
+	w := testMatrix(t, 30, 8, 11)
+
+	anon := New(ts.URL, nil)
+	if _, err := anon.Usage(ctx); !isStatus(err, 401) {
+		t.Fatalf("anonymous usage: %v", err)
+	}
+	if _, err := anon.Fleet(ctx); !isStatus(err, 401) {
+		t.Fatalf("anonymous fleet: %v", err)
+	}
+
+	alice := anon.WithAPIKey("sk-a")
+	if _, err := alice.UploadMatrix(ctx, "al", w, bundling.Options{}); err != nil {
+		t.Fatalf("alice upload: %v", err)
+	}
+	if _, err := alice.Solve(ctx, "al", "matching"); err != nil {
+		t.Fatalf("alice solve: %v", err)
+	}
+	use, err := alice.Usage(ctx)
+	if err != nil {
+		t.Fatalf("alice usage: %v", err)
+	}
+	if use.Scope != "tenant" || use.Tenant != "alice" {
+		t.Fatalf("usage scope: %+v", use)
+	}
+	if len(use.Tenants) != 1 || use.Tenants[0].Key != "alice" || use.Tenants[0].Requests != 2 {
+		t.Fatalf("usage tenants: %+v", use.Tenants)
+	}
+	var corpusKeys []string
+	for _, row := range use.Corpora {
+		corpusKeys = append(corpusKeys, row.Key)
+	}
+	if len(corpusKeys) != 1 || corpusKeys[0] != "al" {
+		t.Fatalf("usage corpora: %v", corpusKeys)
+	}
+
+	fl, err := alice.Fleet(ctx)
+	if err != nil {
+		t.Fatalf("alice fleet: %v", err)
+	}
+	if fl.Reachable != 2 || len(fl.Workers) != 2 || fl.Workers[0].Addr != "w0" {
+		t.Fatalf("fleet: %+v", fl)
+	}
+
+	// A daemon without a cluster view has no /debug/fleet route at all.
+	solo := server.New(server.Config{})
+	tsSolo := httptest.NewServer(solo.Handler())
+	t.Cleanup(tsSolo.Close)
+	t.Cleanup(solo.Close)
+	if _, err := New(tsSolo.URL, nil).Fleet(ctx); !isStatus(err, 404) {
+		t.Fatalf("solo fleet: %v", err)
+	}
+}
+
 // isStatus reports whether err is an APIError with the given status.
 func isStatus(err error, status int) bool {
 	apiErr, ok := err.(*APIError)

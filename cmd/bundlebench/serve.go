@@ -62,12 +62,21 @@ type ServeReport struct {
 	RPS         float64 `json:"requests_per_second"`
 
 	// The tracing-overhead gate: the same workload driven with the span
-	// recorder disabled (rps_tracing_off) and enabled (rps_tracing_on =
-	// requests_per_second above), and the relative cost. The build fails
+	// recorder disabled (rps_tracing_off) and enabled (rps_tracing_on),
+	// usage accounting off in both, and the relative cost. The build fails
 	// its perf budget when the overhead exceeds serveTracingBudgetPct.
 	RPSTracingOff      float64 `json:"rps_tracing_off"`
 	RPSTracingOn       float64 `json:"rps_tracing_on"`
 	TracingOverheadPct float64 `json:"tracing_overhead_pct"`
+
+	// The usage-accounting gate: tracing-on throughput with the workload
+	// accountant off (rps_usage_off = rps_tracing_on) vs the shipped
+	// configuration with both on (rps_usage_on = requests_per_second
+	// above). The build fails when the accountant costs more than
+	// serveUsageBudgetPct.
+	RPSUsageOff      float64 `json:"rps_usage_off"`
+	RPSUsageOn       float64 `json:"rps_usage_on"`
+	UsageOverheadPct float64 `json:"usage_overhead_pct"`
 
 	Latency ServeLatency    `json:"latency"`
 	PerOp   []ServeOpResult `json:"per_op"`
@@ -89,6 +98,10 @@ type serveOp struct {
 // serveTracingBudgetPct is the gate: the span recorder may cost at most
 // this fraction of tracing-off throughput.
 const serveTracingBudgetPct = 5.0
+
+// serveUsageBudgetPct is the workload-accounting gate: the usage meters may
+// cost at most this fraction of accounting-off throughput.
+const serveUsageBudgetPct = 2.0
 
 // serveRun is one measured load pass against a fresh in-process server.
 type serveRun struct {
@@ -190,21 +203,29 @@ func driveServe(env *experiments.Env, base config.Params, conc, totalReqs int, s
 // noise the way `go test -bench` repetitions do.
 const serveGatePasses = 3
 
-// runServe drives the load under both configurations — span recorder off
-// and on — reporting the serving numbers from the tracing-on pass (the
-// shipped configuration) and gating on the relative overhead. The passes
-// interleave off/on rather than running each mode as a block, so slow
-// machine-wide drift (thermal, co-tenant load) hits both modes alike
-// instead of masquerading as tracing cost.
+// runServe drives the load under three configurations — everything off,
+// tracing only, and the shipped default (tracing + usage accounting) —
+// reporting the serving numbers from the shipped pass and gating on each
+// instrumentation layer's relative overhead. The passes interleave the
+// modes rather than running each as a block, so slow machine-wide drift
+// (thermal, co-tenant load) hits all modes alike instead of masquerading
+// as instrumentation cost.
 func runServe(env *experiments.Env, scaleName, outPath string, base config.Params, conc, totalReqs int) error {
-	var off, on *serveRun
+	var off, traced, on *serveRun
 	for i := 0; i < serveGatePasses; i++ {
-		// Tracing-off control: same workload with the recorder disabled,
-		// the denominator of the overhead gate.
-		o, err := driveServe(env, base, conc, totalReqs, server.Config{TraceRing: -1})
+		// All-off control: recorder and accountant disabled, the
+		// denominator of the tracing gate.
+		o, err := driveServe(env, base, conc, totalReqs, server.Config{TraceRing: -1, UsageTopK: -1})
 		if err != nil {
 			return err
 		}
+		// Tracing-only: the tracing gate's numerator and the usage gate's
+		// denominator.
+		tr, err := driveServe(env, base, conc, totalReqs, server.Config{UsageTopK: -1})
+		if err != nil {
+			return err
+		}
+		// The shipped configuration: tracing and usage accounting on.
 		t, err := driveServe(env, base, conc, totalReqs, server.Config{})
 		if err != nil {
 			return err
@@ -212,11 +233,15 @@ func runServe(env *experiments.Env, scaleName, outPath string, base config.Param
 		if off == nil || o.rps > off.rps {
 			off = o
 		}
+		if traced == nil || tr.rps > traced.rps {
+			traced = tr
+		}
 		if on == nil || t.rps > on.rps {
 			on = t
 		}
 	}
-	overheadPct := (off.rps - on.rps) / off.rps * 100
+	overheadPct := (off.rps - traced.rps) / off.rps * 100
+	usagePct := (traced.rps - on.rps) / traced.rps * 100
 
 	results := on.results
 	hits := on.counters
@@ -234,8 +259,12 @@ func runServe(env *experiments.Env, scaleName, outPath string, base config.Param
 		RPS:         on.rps,
 
 		RPSTracingOff:      off.rps,
-		RPSTracingOn:       on.rps,
+		RPSTracingOn:       traced.rps,
 		TracingOverheadPct: overheadPct,
+
+		RPSUsageOff:      traced.rps,
+		RPSUsageOn:       on.rps,
+		UsageOverheadPct: usagePct,
 
 		CacheHits:         hits["bundled_cache_hits_total"],
 		CacheMisses:       hits["bundled_cache_misses_total"],
@@ -279,10 +308,16 @@ func runServe(env *experiments.Env, scaleName, outPath string, base config.Param
 	if overheadPct > serveTracingBudgetPct {
 		gate = "fail"
 	}
-	// The gate line is machine-greppable: CI fails the build on
-	// tracing_gate=fail.
+	// The gate lines are machine-greppable: CI fails the build on
+	// tracing_gate=fail or usage_gate=fail.
 	fmt.Printf("serve: tracing overhead %.2f%% (off %.1f req/s, on %.1f req/s, budget %.0f%%) tracing_gate=%s\n",
-		overheadPct, off.rps, on.rps, serveTracingBudgetPct, gate)
+		overheadPct, off.rps, traced.rps, serveTracingBudgetPct, gate)
+	usageGate := "ok"
+	if usagePct > serveUsageBudgetPct {
+		usageGate = "fail"
+	}
+	fmt.Printf("serve: usage accounting overhead %.2f%% (off %.1f req/s, on %.1f req/s, budget %.0f%%) usage_gate=%s\n",
+		usagePct, traced.rps, on.rps, serveUsageBudgetPct, usageGate)
 	if report.Errors > 0 {
 		for _, r := range results {
 			if r.err != nil {

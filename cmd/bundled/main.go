@@ -82,6 +82,9 @@ type options struct {
 	slowRequest time.Duration
 	traceRing   int
 	pprof       bool
+
+	usageTopK   int
+	usageWindow time.Duration
 }
 
 func main() {
@@ -115,6 +118,8 @@ func main() {
 	flag.DurationVar(&o.slowRequest, "slow-request", 0, "log the full span tree of any /v1 request slower than this (0 = never)")
 	flag.IntVar(&o.traceRing, "trace-ring", 0, "recent request traces kept for /debug/traces (0 = 128, negative disables tracing)")
 	flag.BoolVar(&o.pprof, "pprof", false, "serve net/http/pprof profiles under /debug/pprof")
+	flag.IntVar(&o.usageTopK, "usage-topk", 0, "distinct tenants/corpora the workload accountant tracks individually, rest in \"other\" (0 = 32, negative disables /v1/usage)")
+	flag.DurationVar(&o.usageWindow, "usage-window", 0, "sliding window behind the workload accountant's request rates (0 = 60s)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bundled:", err)
@@ -148,6 +153,8 @@ func run(o options) error {
 		MaxConcurrent:  o.maxConcurrent,
 		MaxQueue:       o.maxQueue,
 		QueueTimeout:   o.queueTimeout,
+		UsageTopK:      o.usageTopK,
+		UsageWindow:    o.usageWindow,
 	}
 	switch {
 	case o.authKeys != "" && o.authFile != "":
@@ -178,7 +185,14 @@ func run(o options) error {
 		// skipped (straight to the replica or local fallback) instead of
 		// timing out request after request, and the breaker probes it back
 		// in with exponential backoff.
-		transports, breakers := cluster.WrapBreakers(raw, cluster.BreakerConfig{Cooldown: o.breakerCool})
+		wrapped, breakers := cluster.WrapBreakers(raw, cluster.BreakerConfig{Cooldown: o.breakerCool})
+		// The load recorders sit outside the breakers so breaker rejections
+		// land in each worker's observed outcome mix instead of vanishing.
+		transports, loads := cluster.WrapLoad(wrapped)
+		// The fleet view probes the raw transports (an open breaker must not
+		// veto a health probe) and joins breaker + load state per worker.
+		fleet := cluster.NewFleet(cluster.FleetConfig{Probes: raw, Breakers: breakers, Loads: loads})
+		cfg.Fleet = fleet.Report
 		// Every uploaded corpus becomes a coordinator session: its stripe
 		// spans are partitioned across the worker fleet and solves/evaluates
 		// scatter/gather over it. /healthz degrades to 503 while any worker
@@ -230,7 +244,8 @@ func run(o options) error {
 				server.CounterRow{Name: "bundled_feed_bytes_total", Help: "Span-feed payload bytes shipped to workers, by codec.", Labels: `codec="bin"`, Value: bin},
 				server.CounterRow{Name: "bundled_feed_bytes_total", Help: "Span-feed payload bytes shipped to workers, by codec.", Labels: `codec="json"`, Value: legacy},
 			)
-			return gauges, counters
+			loadG, loadC := fleet.MetricRows()
+			return append(gauges, loadG...), append(counters, loadC...)
 		}
 		logger.Info("cluster mode", "workers", len(transports), "addrs", o.workers)
 	}

@@ -1,0 +1,230 @@
+// Command bundlestat is the fleet-introspection console of a bundled
+// deployment. It polls the server's workload accounting (GET /v1/usage) and,
+// on a cluster coordinator, the merged fleet view (GET /debug/fleet), and
+// renders the busiest tenants, the hottest corpora, and each worker's load
+// and breaker state as plain-text tables.
+//
+// Usage:
+//
+//	bundlestat -addr http://localhost:8080              # one snapshot
+//	bundlestat -addr http://localhost:8080 -watch       # refreshing console
+//	bundlestat -addr ... -api-key sk-alice              # tenant-scoped view
+//
+// Against a non-cluster daemon the fleet section is simply omitted (the
+// endpoint answers 404); against a daemon started with accounting disabled
+// (-usage-topk -1) bundlestat reports that and exits non-zero.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"bundling/client"
+)
+
+// options collects the console's flag values.
+type options struct {
+	addr     string
+	apiKey   string
+	watch    bool
+	interval time.Duration
+	top      int
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "http://localhost:8080", "bundled server base URL")
+	flag.StringVar(&o.apiKey, "api-key", "", "tenant API key (Authorization: Bearer) for authenticated daemons")
+	flag.BoolVar(&o.watch, "watch", false, "refresh the console every -interval instead of printing once")
+	flag.DurationVar(&o.interval, "interval", 2*time.Second, "refresh period in -watch mode")
+	flag.IntVar(&o.top, "top", 10, "rows shown per table")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "bundlestat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	c := client.New(o.addr, nil)
+	if o.apiKey != "" {
+		c = c.WithAPIKey(o.apiKey)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if !o.watch {
+		return render(ctx, os.Stdout, c, o.top, false)
+	}
+	tick := time.NewTicker(o.interval)
+	defer tick.Stop()
+	for {
+		if err := render(ctx, os.Stdout, c, o.top, true); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return nil
+		case <-tick.C:
+		}
+	}
+}
+
+// render fetches one usage+fleet snapshot and writes the console view.
+func render(ctx context.Context, w io.Writer, c *client.Client, top int, clear bool) error {
+	use, err := c.Usage(ctx)
+	if err != nil {
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode == 404 {
+			return errors.New("server has workload accounting disabled (/v1/usage is 404)")
+		}
+		return err
+	}
+	fleet, err := c.Fleet(ctx)
+	if err != nil {
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+			return err
+		}
+		fleet = nil // single-node daemon: no fleet view to show
+	}
+	if clear {
+		fmt.Fprint(w, "\x1b[H\x1b[2J") // cursor home + clear, a poor man's watch(1)
+	}
+	scope := use.Scope
+	if use.Tenant != "" {
+		scope += " (" + use.Tenant + ")"
+	}
+	fmt.Fprintf(w, "bundled usage @ %s  scope=%s  window=%.0fs\n\n",
+		time.Now().Format("15:04:05"), scope, use.WindowSeconds)
+	usageTable(w, "TENANT", use.Tenants, top)
+	usageTable(w, "CORPUS", use.Corpora, top)
+	if fleet != nil {
+		fleetTable(w, fleet)
+	}
+	return nil
+}
+
+// usageTable renders one meter dimension, busiest rows first.
+func usageTable(w io.Writer, label string, rows []client.UsageRow, top int) {
+	if len(rows) == 0 {
+		fmt.Fprintf(w, "%s: no traffic yet\n\n", strings.ToLower(label))
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\tREQS\tERRS\tHITS\tRATE/S\tIN\tOUT\tWALL\n", label)
+	for i, r := range rows {
+		if i >= top {
+			fmt.Fprintf(tw, "… %d more\t\t\t\t\t\t\t\n", len(rows)-i)
+			break
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.2f\t%s\t%s\t%.2fs\n",
+			r.Key, r.Requests, r.Errors, r.CacheHits, r.RatePerSec,
+			sizeOf(r.BytesIn), sizeOf(r.BytesOut), r.WallSeconds)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// fleetTable renders the per-worker load/breaker join.
+func fleetTable(w io.Writer, fleet *client.FleetResponse) {
+	fmt.Fprintf(w, "fleet: %d/%d workers reachable (probe %.1fms)\n",
+		fleet.Reachable, len(fleet.Workers), fleet.ProbeMS)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "WORKER\tSTATE\tSPANS\tSPAN REQS\tRPCS\tERRS\tSKIPS\tEWMA\tBREAKER\n")
+	for _, wk := range fleet.Workers {
+		state := "down"
+		if wk.Reachable {
+			state = wk.Status
+		} else if wk.Error != "" {
+			state = "down: " + truncate(wk.Error, 40)
+		}
+		var spanReqs int64
+		for _, sp := range wk.Spans {
+			spanReqs += sp.Requests
+		}
+		rpcs, errs, skips, ewma := "-", "-", "-", "-"
+		if wk.Load != nil {
+			rpcs = fmt.Sprintf("%d", wk.Load.RPCs)
+			errs = fmt.Sprintf("%d", wk.Load.Errors)
+			skips = fmt.Sprintf("%d", wk.Load.BreakerSkips)
+			ewma = fmt.Sprintf("%.2fms", wk.Load.LatencyEWMAMs)
+		}
+		breaker := "-"
+		if wk.Breaker != nil {
+			breaker = wk.Breaker.State
+			if wk.Breaker.Trips > 0 {
+				breaker += fmt.Sprintf(" (%d trips)", wk.Breaker.Trips)
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			wk.Addr, state, len(wk.Spans), spanReqs, rpcs, errs, skips, ewma, breaker)
+	}
+	tw.Flush()
+	// The hottest spans across the fleet, when any worker reported some.
+	type hotSpan struct {
+		worker string
+		span   client.FleetSpanDoc
+	}
+	var spans []hotSpan
+	for _, wk := range fleet.Workers {
+		for _, sp := range wk.Spans {
+			spans = append(spans, hotSpan{worker: wk.Addr, span: sp})
+		}
+	}
+	if len(spans) > 0 {
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].span.Requests != spans[j].span.Requests {
+				return spans[i].span.Requests > spans[j].span.Requests
+			}
+			return spans[i].span.Corpus < spans[j].span.Corpus
+		})
+		fmt.Fprintln(w)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "SPAN\tWORKER\tSTRIPES\tENTRIES\tREQS\n")
+		for i, hs := range spans {
+			if i >= 10 {
+				fmt.Fprintf(tw, "… %d more\t\t\t\t\n", len(spans)-i)
+				break
+			}
+			fmt.Fprintf(tw, "%s v%d\t%s\t[%d,%d)\t%d\t%d\n",
+				hs.span.Corpus, hs.span.Version, hs.worker,
+				hs.span.StartStripe, hs.span.EndStripe, hs.span.Entries, hs.span.Requests)
+		}
+		tw.Flush()
+	}
+	fmt.Fprintln(w)
+}
+
+// sizeOf renders a byte count in the nearest binary unit.
+func sizeOf(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// truncate clips s to at most n runes.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

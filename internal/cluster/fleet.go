@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"bundling/internal/server"
+)
+
+// FleetConfig assembles a Fleet view.
+type FleetConfig struct {
+	// Probes are the transports the concurrent health probes go through —
+	// pass the raw (unwrapped) transports so an open breaker cannot veto a
+	// probe; a transport that implements Bytes() (the HTTP transport)
+	// additionally contributes its per-worker wire-byte counts.
+	Probes []Transport
+	// Breakers, index-aligned with Probes, joins each worker's
+	// coordinator-side circuit-breaker state (nil omits the column).
+	Breakers []*Breaker
+	// Loads, index-aligned with Probes, joins each worker's
+	// coordinator-side observed load (nil omits the column).
+	Loads []*WorkerLoad
+	// Timeout bounds each probe (0 = 2s).
+	Timeout time.Duration
+}
+
+// Fleet serves the coordinator's merged fleet-introspection view: one call
+// probes every worker's health concurrently and joins the replies with the
+// coordinator's breaker and load state — the GET /debug/fleet data source,
+// replacing a hand-rolled scrape of N worker daemons.
+type Fleet struct {
+	cfg FleetConfig
+}
+
+// NewFleet returns a fleet view over the given workers.
+func NewFleet(cfg FleetConfig) *Fleet {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	return &Fleet{cfg: cfg}
+}
+
+// byteser is the optional per-transport wire-accounting surface (the HTTP
+// transport implements it; in-process transports move no bytes).
+type byteser interface{ Bytes() TransportBytes }
+
+// Report probes every worker concurrently and assembles the merged view.
+func (f *Fleet) Report(ctx context.Context) server.FleetResponse {
+	start := time.Now()
+	docs := make([]server.FleetWorkerDoc, len(f.cfg.Probes))
+	var wg sync.WaitGroup
+	for i, t := range f.cfg.Probes {
+		wg.Add(1)
+		go func(i int, t Transport) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, f.cfg.Timeout)
+			defer cancel()
+			doc := server.FleetWorkerDoc{Addr: t.Addr(), Spans: []server.FleetSpanDoc{}}
+			health, err := t.Health(pctx)
+			if err != nil {
+				doc.Error = err.Error()
+			} else {
+				doc.Reachable = true
+				doc.Status = health.Status
+				doc.UptimeSeconds = health.UptimeSeconds
+				doc.StaleRejections = health.StaleRejections
+				doc.Ops = health.Ops
+				for _, sp := range health.Spans {
+					doc.Spans = append(doc.Spans, server.FleetSpanDoc{
+						Corpus:      sp.Corpus,
+						Version:     sp.Version,
+						StartStripe: sp.StartStripe,
+						EndStripe:   sp.EndStripe,
+						Entries:     sp.Entries,
+						Requests:    sp.Requests,
+					})
+				}
+			}
+			docs[i] = doc
+		}(i, t)
+	}
+	wg.Wait()
+	for i := range docs {
+		if i < len(f.cfg.Breakers) && f.cfg.Breakers[i] != nil {
+			snap := f.cfg.Breakers[i].Snapshot()
+			docs[i].Breaker = &server.WorkerStatusDoc{
+				Addr:        snap.Addr,
+				State:       snap.State,
+				FailureRate: snap.FailureRate,
+				Trips:       snap.Trips,
+				RetryInMs:   snap.RetryInMs,
+			}
+		}
+		if i < len(f.cfg.Loads) && f.cfg.Loads[i] != nil {
+			snap := f.cfg.Loads[i].Snapshot()
+			load := &server.WorkerLoadDoc{
+				RPCs:          snap.RPCs,
+				Errors:        snap.Errors,
+				BreakerSkips:  snap.BreakerSkips,
+				LatencyEWMAMs: snap.LatencyEWMAMs,
+				Ops:           snap.Ops,
+			}
+			if b, ok := f.cfg.Probes[i].(byteser); ok {
+				tb := b.Bytes()
+				load.BytesOut, load.BytesIn = tb.BytesOut, tb.BytesIn
+				load.FeedBytesBin, load.FeedBytesJSON = tb.FeedBin, tb.FeedLegacy
+			}
+			docs[i].Load = load
+		}
+	}
+	resp := server.FleetResponse{
+		Workers: docs,
+		ProbeMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, d := range docs {
+		if d.Reachable {
+			resp.Reachable++
+		}
+	}
+	return resp
+}
+
+// MetricRows renders the coordinator-side load state as /metrics rows —
+// the bundled_worker_* families cmd/bundled contributes via ExtraMetrics.
+func (f *Fleet) MetricRows() ([]server.GaugeRow, []server.CounterRow) {
+	var gauges []server.GaugeRow
+	var counters []server.CounterRow
+	snaps := make([]LoadSnapshot, 0, len(f.cfg.Loads))
+	for _, ld := range f.cfg.Loads {
+		if ld != nil {
+			snaps = append(snaps, ld.Snapshot())
+		}
+	}
+	counter := func(suffix, help string, val func(LoadSnapshot) int64) {
+		for _, s := range snaps {
+			counters = append(counters, server.CounterRow{
+				Name: "bundled_worker" + suffix, Help: help,
+				Labels: `worker="` + s.Addr + `"`, Value: val(s),
+			})
+		}
+	}
+	counter("_rpcs_total", "Coordinator RPCs issued per worker.",
+		func(s LoadSnapshot) int64 { return s.RPCs })
+	counter("_rpc_errors_total", "Coordinator RPCs that failed per worker (breaker rejections excluded).",
+		func(s LoadSnapshot) int64 { return s.Errors })
+	counter("_breaker_skips_total", "Coordinator RPCs rejected by an open circuit breaker per worker.",
+		func(s LoadSnapshot) int64 { return s.BreakerSkips })
+	for _, s := range snaps {
+		gauges = append(gauges, server.GaugeRow{
+			Name: "bundled_worker_rpc_latency_ewma_ms", Help: "EWMA of successful RPC latency per worker (milliseconds).",
+			Labels: `worker="` + s.Addr + `"`, Value: s.LatencyEWMAMs,
+		})
+	}
+	return gauges, counters
+}

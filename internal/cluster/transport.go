@@ -103,6 +103,41 @@ type HTTP struct {
 	// jsonAssign sticks after a worker rejects a binary feed: a fleet mixing
 	// pre-codec workers pays the one failed probe per transport, not per feed.
 	jsonAssign atomic.Bool
+	// Per-worker wire accounting: request/response body bytes across all
+	// RPCs, plus span-feed bytes split by codec (the fleet view's
+	// bytes-by-codec column; the package-level FeedBytes counters stay the
+	// process-wide /metrics source).
+	bytesOut, bytesIn   atomic.Int64
+	feedBin, feedLegacy atomic.Int64
+}
+
+// TransportBytes is one HTTP transport's cumulative wire traffic.
+type TransportBytes struct {
+	BytesOut, BytesIn   int64 // request payloads sent / response bodies read
+	FeedBin, FeedLegacy int64 // span-feed payload bytes by codec (binary / JSON)
+}
+
+// Bytes reports this transport's cumulative wire traffic. Local transports
+// move no bytes and do not implement it.
+func (h *HTTP) Bytes() TransportBytes {
+	return TransportBytes{
+		BytesOut:   h.bytesOut.Load(),
+		BytesIn:    h.bytesIn.Load(),
+		FeedBin:    h.feedBin.Load(),
+		FeedLegacy: h.feedLegacy.Load(),
+	}
+}
+
+// countingReader counts response-body bytes as they are decoded.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // defaultClient is the transport's shared HTTP client: a bounded dial
@@ -175,15 +210,18 @@ func (h *HTTP) doBytes(ctx context.Context, method, path, contentType string, pa
 	// Propagate the caller's trace so the worker can record its side of the
 	// RPC under the same trace ID; a no-op for untraced contexts.
 	obs.Inject(ctx, req.Header)
+	h.bytesOut.Add(int64(len(payload)))
 	resp, err := h.hc.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	cr := &countingReader{r: resp.Body}
+	defer func() { h.bytesIn.Add(cr.n) }()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var apiErr ErrorResponse
 		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+		if json.NewDecoder(cr).Decode(&apiErr) == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
 		if resp.StatusCode == http.StatusConflict {
@@ -197,10 +235,10 @@ func (h *HTTP) doBytes(ctx context.Context, method, path, contentType string, pa
 	}
 	if out == nil {
 		// Drain so net/http can reuse the connection for the next RPC.
-		_, _ = io.Copy(io.Discard, resp.Body)
+		_, _ = io.Copy(io.Discard, cr)
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return json.NewDecoder(cr).Decode(out)
 }
 
 func (h *HTTP) spanPath(corpus, op string) string {
@@ -227,6 +265,7 @@ func (h *HTTP) Assign(ctx context.Context, corpus string, req *AssignRequest) er
 		err := h.doBytes(ctx, http.MethodPost, path, codec.ContentType, body, nil)
 		if err == nil {
 			feedBytesBin.Add(int64(len(body)))
+			h.feedBin.Add(int64(len(body)))
 			return nil
 		}
 		var se *statusError
@@ -246,6 +285,7 @@ func (h *HTTP) Assign(ctx context.Context, corpus string, req *AssignRequest) er
 		return err
 	}
 	feedBytesJSON.Add(int64(len(buf)))
+	h.feedLegacy.Add(int64(len(buf)))
 	h.jsonAssign.Store(true)
 	return nil
 }

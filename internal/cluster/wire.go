@@ -105,6 +105,9 @@ type HistResponse struct {
 }
 
 // SpanInfo describes one span a worker holds, for health reporting.
+// Requests counts the reduction RPCs served from the span since it was
+// assigned — the per-span load signal behind the fleet view (and the
+// observed-load input hot-span replication will consume).
 type SpanInfo struct {
 	Corpus      string `json:"corpus"`
 	Version     uint64 `json:"version"`
@@ -114,15 +117,21 @@ type SpanInfo struct {
 	HiConsumer  int    `json:"hi_consumer"`
 	Items       int    `json:"items"`
 	Entries     int    `json:"entries"`
+	Requests    int64  `json:"requests,omitempty"`
 }
 
 // WorkerHealth is the bundleworker /healthz payload: liveness plus every
 // assigned span with its corpus version, so operators (and the coordinator's
 // readiness gate) can see exactly which shard of the corpus a worker serves.
+// Ops carries the worker's per-operation request totals and
+// StaleRejections its span-version rejections, so one probe returns the
+// worker's whole load picture — what the coordinator's /debug/fleet joins.
 type WorkerHealth struct {
-	Status        string     `json:"status"`
-	UptimeSeconds float64    `json:"uptime_seconds"`
-	Spans         []SpanInfo `json:"spans"`
+	Status          string           `json:"status"`
+	UptimeSeconds   float64          `json:"uptime_seconds"`
+	Spans           []SpanInfo       `json:"spans"`
+	Ops             map[string]int64 `json:"ops,omitempty"`
+	StaleRejections int64            `json:"stale_rejections,omitempty"`
 }
 
 // ErrorResponse carries any non-2xx worker outcome.

@@ -17,6 +17,7 @@ import (
 	"bundling/internal/obs"
 	"bundling/internal/pricing"
 	"bundling/internal/server"
+	"bundling/internal/usage"
 	"bundling/internal/wtp"
 )
 
@@ -71,11 +72,13 @@ type Worker struct {
 	mux *http.ServeMux
 }
 
-// workerSpan is one assigned span plus its LRU recency.
+// workerSpan is one assigned span plus its LRU recency and served-request
+// count (the per-span load signal health reports).
 type workerSpan struct {
 	corpus  string
 	store   *wtp.SpanStore
 	lastUse atomic.Int64
+	hits    atomic.Int64
 }
 
 // NewWorker returns an empty worker.
@@ -186,6 +189,7 @@ func (wk *Worker) span(corpus string, version uint64) (*wtp.SpanStore, error) {
 		return nil, fmt.Errorf("%w: corpus %q at version %d, caller wants %d", ErrSpan, corpus, v, version)
 	}
 	sp.lastUse.Store(wk.seq.Add(1))
+	sp.hits.Add(1)
 	return sp.store, nil
 }
 
@@ -244,7 +248,12 @@ func (wk *Worker) Hist(corpus string, req HistRequest) (HistResponse, error) {
 func (wk *Worker) Health() WorkerHealth {
 	wk.mu.RLock()
 	defer wk.mu.RUnlock()
-	h := WorkerHealth{Status: "ok", UptimeSeconds: wk.met.Uptime().Seconds()}
+	h := WorkerHealth{
+		Status:          "ok",
+		UptimeSeconds:   wk.met.Uptime().Seconds(),
+		Ops:             wk.met.Counts(),
+		StaleRejections: wk.stale.Load(),
+	}
 	for _, sp := range wk.spans {
 		s0, s1 := sp.store.StripeRange()
 		lo, hi := sp.store.Bounds()
@@ -257,6 +266,7 @@ func (wk *Worker) Health() WorkerHealth {
 			HiConsumer:  hi,
 			Items:       sp.store.Items(),
 			Entries:     sp.store.Entries(),
+			Requests:    sp.hits.Load(),
 		})
 	}
 	sort.Slice(h.Spans, func(i, j int) bool { return h.Spans[i].Corpus < h.Spans[j].Corpus })
@@ -456,12 +466,28 @@ func (wk *Worker) handleTraces(w http.ResponseWriter, r *http.Request) {
 func (wk *Worker) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	wk.mu.RLock()
-	spans := len(wk.spans)
+	gauges := []server.GaugeRow{
+		{Name: "bundleworker_spans", Help: "Stripe spans currently assigned.", Value: float64(len(wk.spans))},
+	}
+	// Per-span request gauges stay bounded by MaxSpans (the family tracks
+	// live spans only) and the corpus keys — derived from user-supplied
+	// corpus IDs — are sanitized before labeling.
+	keys := make([]string, 0, len(wk.spans))
+	for key := range wk.spans {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		gauges = append(gauges, server.GaugeRow{
+			Name:   "bundleworker_span_requests",
+			Help:   "Reduction RPCs served per resident span since assignment.",
+			Labels: `corpus="` + usage.SanitizeLabel(key) + `"`,
+			Value:  float64(wk.spans[key].hits.Load()),
+		})
+	}
 	wk.mu.RUnlock()
 	wk.met.Render(w,
-		[]server.GaugeRow{
-			{Name: "bundleworker_spans", Help: "Stripe spans currently assigned.", Value: float64(spans)},
-		},
+		gauges,
 		[]server.CounterRow{
 			{Name: "bundleworker_stale_rejections_total", Help: "Requests rejected for a missing or stale span (each triggers a coordinator re-feed).", Value: wk.stale.Load()},
 		})

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bundling"
+	"bundling/internal/usage"
 )
 
 // This file defines the JSON wire types of the bundled HTTP API. The thin
@@ -220,4 +221,79 @@ type HealthResponse struct {
 type ErrorResponse struct {
 	Error     string `json:"error"`
 	RequestID string `json:"request_id,omitempty"`
+}
+
+// UsageRow is one metered key's workload: lifetime totals (requests,
+// errors, cache hits, bytes in/out, wall seconds) plus the sliding-window
+// request count and its derived per-second rate. The key "other" aggregates
+// every identifier past the accountant's top-K bound; the key "anonymous"
+// is unauthenticated traffic on an open server.
+type UsageRow = usage.Row
+
+// UsageResponse is the GET /v1/usage payload. Scope is "admin" (the full
+// per-tenant breakdown; served when the daemon runs open) or "tenant" (the
+// authenticated caller's own slice: its tenant row plus the corpora it may
+// see). WindowSeconds is the sliding window behind every row's
+// window_requests/rate_per_sec.
+type UsageResponse struct {
+	Scope         string     `json:"scope"`
+	Tenant        string     `json:"tenant,omitempty"`
+	WindowSeconds float64    `json:"window_seconds"`
+	Tenants       []UsageRow `json:"tenants"`
+	Corpora       []UsageRow `json:"corpora"`
+}
+
+// WorkerLoadDoc is the coordinator's locally observed load on one worker:
+// RPC volume and outcome mix across every session, a latency EWMA over the
+// worker's successful calls, and — for HTTP workers — wire bytes split by
+// span-feed codec.
+type WorkerLoadDoc struct {
+	RPCs          int64            `json:"rpcs"`
+	Errors        int64            `json:"errors"`
+	BreakerSkips  int64            `json:"breaker_skips"`
+	LatencyEWMAMs float64          `json:"latency_ewma_ms"`
+	Ops           map[string]int64 `json:"ops,omitempty"`
+	BytesOut      int64            `json:"bytes_out,omitempty"`
+	BytesIn       int64            `json:"bytes_in,omitempty"`
+	FeedBytesBin  int64            `json:"feed_bytes_binary,omitempty"`
+	FeedBytesJSON int64            `json:"feed_bytes_json,omitempty"`
+}
+
+// FleetSpanDoc is one stripe span resident on a worker, as the worker's
+// health probe reports it, with the worker-side request count that marks
+// hot spans.
+type FleetSpanDoc struct {
+	Corpus      string `json:"corpus"`
+	Version     uint64 `json:"version"`
+	StartStripe int    `json:"start_stripe"`
+	EndStripe   int    `json:"end_stripe"`
+	Entries     int    `json:"entries"`
+	Requests    int64  `json:"requests"`
+}
+
+// FleetWorkerDoc joins three views of one worker: the live probe result
+// (Reachable, Status, uptime, per-op totals, resident spans — absent when
+// the probe failed), the coordinator's breaker state, and the coordinator's
+// observed load.
+type FleetWorkerDoc struct {
+	Addr            string           `json:"addr"`
+	Reachable       bool             `json:"reachable"`
+	Error           string           `json:"error,omitempty"`
+	Status          string           `json:"status,omitempty"`
+	UptimeSeconds   float64          `json:"uptime_seconds,omitempty"`
+	StaleRejections int64            `json:"stale_rejections,omitempty"`
+	Ops             map[string]int64 `json:"ops,omitempty"`
+	Spans           []FleetSpanDoc   `json:"spans"`
+	Breaker         *WorkerStatusDoc `json:"breaker,omitempty"`
+	Load            *WorkerLoadDoc   `json:"load,omitempty"`
+}
+
+// FleetResponse is the GET /debug/fleet payload: every worker probed
+// concurrently and joined with coordinator-side state — one request
+// replacing a scrape of N daemons. ProbeMS is the wall time of the slowest
+// probe (the fan-out runs them in parallel).
+type FleetResponse struct {
+	Workers   []FleetWorkerDoc `json:"workers"`
+	Reachable int              `json:"reachable"`
+	ProbeMS   float64          `json:"probe_ms"`
 }

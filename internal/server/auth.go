@@ -213,14 +213,14 @@ func (g *rateGate) allow(tenant string) bool {
 }
 
 // guard wraps the API mux with the tenancy layer: API-key authentication
-// and the per-tenant request-rate quota. /v1 routes and /debug/traces are
-// guarded (traces carry corpus IDs and request shapes — tenant data);
-// /healthz, /metrics and /debug/pprof stay open, they are the operator's
-// probes, not tenant traffic.
+// and the per-tenant request-rate quota. /v1 routes, /debug/traces and
+// /debug/fleet are guarded (traces and the fleet view carry corpus IDs and
+// request shapes — tenant data); /healthz, /metrics and /debug/pprof stay
+// open, they are the operator's probes, not tenant traffic.
 func (s *Server) guard(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		guarded := strings.HasPrefix(r.URL.Path, "/v1/") || r.URL.Path == "/v1" ||
-			r.URL.Path == "/debug/traces"
+			r.URL.Path == "/debug/traces" || r.URL.Path == "/debug/fleet"
 		if !guarded {
 			next.ServeHTTP(w, r)
 			return

@@ -8,6 +8,7 @@ package server_test
 // needs a failing disk).
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -114,8 +115,9 @@ func TestAPIDocMatchesServer(t *testing.T) {
 	served := []string{
 		"POST /v1/corpora", "GET /v1/corpora", "GET /v1/corpora/{id}",
 		"DELETE /v1/corpora/{id}", "POST /v1/corpora/{id}/solve",
-		"POST /v1/corpora/{id}/evaluate", "GET /healthz", "GET /metrics",
-		"GET /debug/traces",
+		"POST /v1/corpora/{id}/evaluate", "GET /v1/usage",
+		"GET /healthz", "GET /metrics",
+		"GET /debug/traces", "GET /debug/fleet",
 	}
 	if len(documented) != len(served) {
 		t.Errorf("doc lists %d routes, server has %d", len(documented), len(served))
@@ -163,6 +165,12 @@ func TestAPIDocMatchesServer(t *testing.T) {
 		t.Fatalf("doc evaluate example: %d: %s", code, body)
 	}
 
+	code, usageBody := do(t, http.MethodGet, ts.URL+"/v1/usage", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("usage: %d: %s", code, usageBody)
+	}
+	liveKeysDocumented(t, "UsageResponse", usageBody, docBlock(t, blocks, `"scope"`, `"tenants"`))
+
 	code, healthBody := do(t, http.MethodGet, ts.URL+"/healthz", "", "")
 	if code != http.StatusOK {
 		t.Fatalf("healthz: %d", code)
@@ -175,6 +183,20 @@ func TestAPIDocMatchesServer(t *testing.T) {
 	if code, _ := do(t, http.MethodDelete, ts.URL+"/v1/corpora/shop", "", ""); code != http.StatusNoContent {
 		t.Fatalf("delete: %d", code)
 	}
+
+	// The fleet view needs a coordinator; a stub Fleet hook stands in so the
+	// documented response shape is still checked against a live handler.
+	fsrv := server.New(server.Config{Fleet: func(ctx context.Context) server.FleetResponse {
+		return server.FleetResponse{Workers: []server.FleetWorkerDoc{}, ProbeMS: 0.1}
+	}})
+	defer fsrv.Close()
+	fts := httptest.NewServer(fsrv.Handler())
+	defer fts.Close()
+	code, fleetBody := do(t, http.MethodGet, fts.URL+"/debug/fleet", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("fleet: %d: %s", code, fleetBody)
+	}
+	liveKeysDocumented(t, "FleetResponse", fleetBody, docBlock(t, blocks, `"probe_ms"`))
 }
 
 func TestAPIDocErrorCodesProducible(t *testing.T) {

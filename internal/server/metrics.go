@@ -83,6 +83,18 @@ func (m *Metrics) Observe(op string, d time.Duration) {
 // CountError records one request that ended in an error response.
 func (m *Metrics) CountError() { m.errors.Add(1) }
 
+// Counts snapshots the per-operation request counters — the worker's
+// health report embeds them so the coordinator's fleet view can show each
+// worker's op mix without a second scrape.
+func (m *Metrics) Counts() map[string]int64 {
+	out := map[string]int64{}
+	m.requests.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
+}
+
 // ObserveStage records one per-stage duration from the request tracer
 // (queue wait, index build, solve, per-worker RPC, persist, …), exposed as
 // the <prefix>_stage_seconds histogram family. The signature matches the

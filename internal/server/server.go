@@ -117,6 +117,19 @@ type Config struct {
 	// WorkerStatus, if set, reports the fleet's per-worker circuit-breaker
 	// state on /healthz (installed by cmd/bundled in cluster mode).
 	WorkerStatus func() []WorkerStatusDoc
+	// Fleet, if set, assembles the merged fleet-introspection view served
+	// at GET /debug/fleet — concurrent worker probes joined with
+	// coordinator-side breaker and load state (installed by cmd/bundled in
+	// cluster mode; the route is absent otherwise).
+	Fleet func(ctx context.Context) FleetResponse
+	// UsageTopK bounds the distinct tenant and corpus keys the workload
+	// accountant tracks individually; later keys collapse into the "other"
+	// bucket, so user-supplied IDs can never explode /metrics (0 = 32,
+	// negative disables accounting and the /v1/usage endpoint).
+	UsageTopK int
+	// UsageWindow is the sliding window behind the accountant's
+	// window_requests/rate_per_sec columns and *_window_rps gauges (0 = 60s).
+	UsageWindow time.Duration
 	// ExtraMetrics, if set, contributes extra rows to /metrics (the daemon
 	// installs fleet breaker gauges and coordinator fallback counters here).
 	ExtraMetrics func() ([]GaugeRow, []CounterRow)
@@ -182,6 +195,7 @@ type Server struct {
 	lim    *limiter
 	mux    *http.ServeMux
 	traces *obs.Ring // nil when tracing is disabled
+	use    *usageSet // nil when workload accounting is disabled
 }
 
 // New assembles a Server.
@@ -199,6 +213,7 @@ func New(cfg Config) *Server {
 	if cfg.TraceRing >= 0 {
 		s.traces = obs.NewRing(cfg.TraceRing)
 	}
+	s.use = newUsageSet(cfg.UsageTopK, cfg.UsageWindow)
 	// The registry's install gate and quota accounting reach past memory:
 	// an LRU-evicted corpus keeps its persisted record, so it keeps its
 	// owner and keeps counting against its tenant.
@@ -213,8 +228,14 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/corpora/{id}/evaluate", s.handleEvaluate)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.use != nil {
+		mux.HandleFunc("GET /v1/usage", s.handleUsage)
+	}
 	if s.traces != nil {
 		mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	}
+	if cfg.Fleet != nil {
+		mux.HandleFunc("GET /debug/fleet", s.handleFleet)
 	}
 	if cfg.Pprof {
 		RegisterPprof(mux)
@@ -224,9 +245,12 @@ func New(cfg Config) *Server {
 }
 
 // Handler returns the server's HTTP handler: the API mux behind the
-// tenancy guard (authentication and the request-rate quota), the tracing
-// and request-ID middleware, and the panic-recovery middleware.
-func (s *Server) Handler() http.Handler { return s.recoverer(s.trace(s.guard(s.mux))) }
+// workload accountant (inside the guard, so it meters by authenticated
+// tenant), the tenancy guard (authentication and the request-rate quota),
+// the tracing and request-ID middleware, and the panic-recovery middleware.
+func (s *Server) Handler() http.Handler {
+	return s.recoverer(s.trace(s.guard(s.account(s.mux))))
+}
 
 // recoverer converts a handler panic into a 500 response (when no bytes
 // were written yet) and a counted metric, instead of killing the
@@ -374,6 +398,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	tenant := tenantOf(r)
 	obs.Annotate(r.Context(), "corpus", req.ID)
+	accountCorpus(r.Context(), req.ID)
 	// An advisory admission pass (ownership, quotas) runs before the
 	// expensive engine build so a doomed upload is rejected cheaply; the
 	// authoritative checks run atomically with the install inside the
@@ -386,6 +411,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	isp.Tag("entries", matrix.Entries())
 	sess, err := s.register(req.ID, tenant, matrix, opts, true)
 	isp.End()
+	if err == nil {
+		accountCorpus(r.Context(), sess.id) // covers server-assigned IDs
+	}
 	if err != nil {
 		var qe *quotaError
 		var oe *ownerError
@@ -863,6 +891,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	key := sess.cacheKey("solve", req.Algorithm)
 	cfg, hit := s.cache.get(key)
 	obs.Annotate(r.Context(), "cached", hit)
+	accountCacheHit(r.Context(), hit)
 	if hit {
 		s.met.cacheHits.Add(1)
 	} else {
@@ -919,6 +948,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	key := sess.cacheKey("evaluate", canonicalOffers(req.Offers))
 	cfg, hit := s.cache.get(key)
 	obs.Annotate(r.Context(), "cached", hit)
+	accountCacheHit(r.Context(), hit)
 	var batched bool
 	if hit {
 		s.met.cacheHits.Add(1)
@@ -1001,6 +1031,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.ExtraMetrics != nil {
 		extraG, extraC = s.cfg.ExtraMetrics()
 	}
+	usageG, usageC := s.usageMetricRows()
+	extraG = append(extraG, usageG...)
+	extraC = append(extraC, usageC...)
 	if s.cfg.Store != nil {
 		extraG = append([]GaugeRow{{
 			Name:  "bundled_store_disk_bytes",

@@ -1,0 +1,262 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"bundling/internal/usage"
+)
+
+// AnonTenant is the accounting key for unauthenticated traffic: with auth
+// disabled every request shares the anonymous tenant "", which would render
+// as an empty metric label, so the accountant files it under this name.
+const AnonTenant = "anonymous"
+
+// usageSet is the server's workload accountant: one bounded meter per
+// dimension. Both share the same top-K and window configuration.
+type usageSet struct {
+	tenants *usage.Meter
+	corpora *usage.Meter
+}
+
+// newUsageSet builds the accountant; nil when topK is negative (accounting
+// disabled, /v1/usage absent).
+func newUsageSet(topK int, window time.Duration) *usageSet {
+	if topK < 0 {
+		return nil
+	}
+	cfg := usage.Config{TopK: topK, Window: window}
+	return &usageSet{tenants: usage.NewMeter(cfg), corpora: usage.NewMeter(cfg)}
+}
+
+// acctKey carries the request's mutable accounting record through the
+// context, so handlers can contribute facts the middleware cannot see from
+// the outside (the corpus ID inside an upload body, a cache hit).
+type acctKey struct{}
+
+type acctInfo struct {
+	corpus   string
+	cacheHit bool
+}
+
+// accountCorpus records the request's corpus ID for accounting — used by
+// handleCreate, where the ID lives in the body rather than the path.
+func accountCorpus(ctx context.Context, id string) {
+	if info, _ := ctx.Value(acctKey{}).(*acctInfo); info != nil {
+		info.corpus = id
+	}
+}
+
+// accountCacheHit marks the request as served from the result cache.
+func accountCacheHit(ctx context.Context, hit bool) {
+	if info, _ := ctx.Value(acctKey{}).(*acctInfo); info != nil {
+		info.cacheHit = hit
+	}
+}
+
+// corpusFromPath extracts the corpus ID from a /v1/corpora/{id}[/op] path.
+// The accounting middleware runs before mux routing, so PathValue is not
+// populated yet.
+func corpusFromPath(p string) string {
+	rest, ok := strings.CutPrefix(p, "/v1/corpora/")
+	if !ok || rest == "" {
+		return ""
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	if id, err := url.PathUnescape(rest); err == nil {
+		return id
+	}
+	return rest
+}
+
+// countingBody counts the request-body bytes the handler actually read.
+type countingBody struct {
+	rc io.ReadCloser
+	n  atomic.Int64
+}
+
+func (b *countingBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	b.n.Add(int64(n))
+	return n, err
+}
+
+func (b *countingBody) Close() error { return b.rc.Close() }
+
+// countingWriter captures the response status and body size for accounting.
+type countingWriter struct {
+	statusWriter
+	n atomic.Int64
+}
+
+func (w *countingWriter) Write(b []byte) (int, error) {
+	n, err := w.statusWriter.Write(b)
+	w.n.Add(int64(n))
+	return n, err
+}
+
+// account is the workload-accounting middleware, sitting between the
+// tenancy guard (which resolved the tenant into the context) and the API
+// mux. Every /v1 request that passed the guard is metered by tenant and —
+// when one is addressed — by corpus: count, outcome, wall time, body bytes
+// both ways, cache hits. Requests the guard rejected (401/429) never reach
+// it; they have no tenant to bill.
+func (s *Server) account(next http.Handler) http.Handler {
+	if s.use == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !tracedPath(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		body := &countingBody{rc: r.Body}
+		r.Body = body
+		cw := &countingWriter{statusWriter: statusWriter{ResponseWriter: w}}
+		info := &acctInfo{corpus: corpusFromPath(r.URL.Path)}
+		r = r.WithContext(context.WithValue(r.Context(), acctKey{}, info))
+		next.ServeHTTP(cw, r)
+		sample := usage.Sample{
+			Err:      cw.status() >= 400,
+			Wall:     time.Since(start),
+			BytesIn:  body.n.Load(),
+			BytesOut: cw.n.Load(),
+			CacheHit: info.cacheHit,
+		}
+		tenant := tenantOf(r)
+		if tenant == "" {
+			tenant = AnonTenant
+		}
+		s.use.tenants.Add(tenant, sample)
+		if info.corpus != "" {
+			s.use.corpora.Add(info.corpus, sample)
+		}
+	})
+}
+
+// corpusOwner resolves a corpus ID to its owning tenant, looking past the
+// in-memory registry to evicted-but-persisted corpora. ok=false when the
+// ID is unknown (e.g. metered traffic to a since-deleted corpus).
+func (s *Server) corpusOwner(id string) (owner string, ok bool) {
+	if sess, live := s.reg.peek(id); live {
+		return sess.tenant, true
+	}
+	if s.cfg.Store != nil {
+		if owner, _, _, live := s.cfg.Store.LiveInfo(id); live {
+			return owner, true
+		}
+	}
+	return "", false
+}
+
+// handleUsage serves the workload-accounting snapshot. An open daemon
+// serves the admin view: every metered tenant and corpus. With auth
+// enabled the view is tenant-scoped — the caller's own tenant row plus the
+// corpora it may see (its own and public ones); the overflow bucket and
+// unknown corpora stay admin-only, so one tenant cannot read another's
+// traffic shape.
+func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
+	resp := UsageResponse{
+		Scope:         "admin",
+		WindowSeconds: s.use.tenants.Window().Seconds(),
+		Tenants:       s.use.tenants.Snapshot(),
+		Corpora:       s.use.corpora.Snapshot(),
+	}
+	if s.cfg.Auth.Enabled() {
+		tenant := tenantOf(r)
+		resp.Scope = "tenant"
+		resp.Tenant = tenant
+		scoped := resp.Tenants[:0]
+		for _, row := range resp.Tenants {
+			if row.Key == tenant {
+				scoped = append(scoped, row)
+			}
+		}
+		resp.Tenants = scoped
+		visible := resp.Corpora[:0]
+		for _, row := range resp.Corpora {
+			if row.Key == usage.Other {
+				continue
+			}
+			if owner, known := s.corpusOwner(row.Key); known && (owner == "" || owner == tenant) {
+				visible = append(visible, row)
+			}
+		}
+		resp.Corpora = visible
+	}
+	if resp.Tenants == nil {
+		resp.Tenants = []UsageRow{}
+	}
+	if resp.Corpora == nil {
+		resp.Corpora = []UsageRow{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// usageMetricRows renders the accountant as labeled exposition rows —
+// bundled_tenant_* and bundled_corpus_* families, at most top-K+1 series
+// each, label values sanitized so a hostile ID cannot corrupt the scrape.
+func (s *Server) usageMetricRows() ([]GaugeRow, []CounterRow) {
+	if s.use == nil {
+		return nil, nil
+	}
+	var gauges []GaugeRow
+	var counters []CounterRow
+	for _, dim := range []struct {
+		label string
+		rows  []usage.Row
+	}{
+		{"tenant", s.use.tenants.Snapshot()},
+		{"corpus", s.use.corpora.Snapshot()},
+	} {
+		prefix := "bundled_" + dim.label
+		labels := make([]string, len(dim.rows))
+		for i, row := range dim.rows {
+			labels[i] = dim.label + `="` + usage.SanitizeLabel(row.Key) + `"`
+		}
+		counter := func(suffix, help string, val func(usage.Row) int64) {
+			for i, row := range dim.rows {
+				counters = append(counters, CounterRow{
+					Name: prefix + suffix, Help: help, Labels: labels[i], Value: val(row),
+				})
+			}
+		}
+		counter("_requests_total", "Completed /v1 requests by "+dim.label+" (top-K, rest in \"other\").",
+			func(r usage.Row) int64 { return r.Requests })
+		counter("_errors_total", "Requests that ended in an error response, by "+dim.label+".",
+			func(r usage.Row) int64 { return r.Errors })
+		counter("_cache_hits_total", "Requests served from the result cache, by "+dim.label+".",
+			func(r usage.Row) int64 { return r.CacheHits })
+		counter("_bytes_in_total", "Request-body bytes read, by "+dim.label+".",
+			func(r usage.Row) int64 { return r.BytesIn })
+		counter("_bytes_out_total", "Response-body bytes written, by "+dim.label+".",
+			func(r usage.Row) int64 { return r.BytesOut })
+		for i, row := range dim.rows {
+			gauges = append(gauges, GaugeRow{
+				Name: prefix + "_wall_seconds", Help: "Cumulative request wall-clock seconds by " + dim.label + " (monotonically increasing).",
+				Labels: labels[i], Value: row.WallSeconds,
+			})
+		}
+		for i, row := range dim.rows {
+			gauges = append(gauges, GaugeRow{
+				Name: prefix + "_window_rps", Help: "Request rate over the accountant's sliding window, by " + dim.label + ".",
+				Labels: labels[i], Value: row.RatePerSec,
+			})
+		}
+	}
+	return gauges, counters
+}
+
+// handleFleet serves the merged fleet view the Config.Fleet hook assembles
+// (installed by cmd/bundled in cluster mode; the route is absent otherwise).
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Fleet(r.Context()))
+}

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"bundling"
+)
+
+// getUsage fetches and decodes /v1/usage with an optional API key.
+func getUsage(t *testing.T, ts *httptest.Server, key string) UsageResponse {
+	t.Helper()
+	status, body := authRequest(t, ts, http.MethodGet, "/v1/usage", key, "")
+	if status != http.StatusOK {
+		t.Fatalf("usage: %d: %s", status, body)
+	}
+	var resp UsageResponse
+	if err := decodeString(body, &resp); err != nil {
+		t.Fatalf("usage decode: %v\n%s", err, body)
+	}
+	return resp
+}
+
+// TestUsageScriptedCounters runs a fixed request sequence against an open
+// daemon and asserts the accounting matches it exactly: request and error
+// counts, cache hits, and a corpus row per addressed ID — including an ID
+// that never existed (the 404 is still that corpus's traffic).
+func TestUsageScriptedCounters(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	up := tinyUpload("shop", 4)
+	if status, body := authRequest(t, ts, http.MethodPost, "/v1/corpora", "", up); status != http.StatusCreated {
+		t.Fatalf("upload: %d: %s", status, body)
+	}
+	for i := 0; i < 2; i++ { // second solve is a cache hit
+		if status, body := authRequest(t, ts, http.MethodPost, "/v1/corpora/shop/solve", "", `{"algorithm":"components"}`); status != http.StatusOK {
+			t.Fatalf("solve %d: %d: %s", i, status, body)
+		}
+	}
+	if status, body := authRequest(t, ts, http.MethodPost, "/v1/corpora/shop/evaluate", "", `{"offers":[[0],[1]]}`); status != http.StatusOK {
+		t.Fatalf("evaluate: %d: %s", status, body)
+	}
+	if status, _ := authRequest(t, ts, http.MethodPost, "/v1/corpora/ghost/solve", "", `{}`); status != http.StatusNotFound {
+		t.Fatalf("ghost solve: %d, want 404", status)
+	}
+
+	use := getUsage(t, ts, "")
+	if use.Scope != "admin" || use.Tenant != "" {
+		t.Fatalf("scope: %+v", use)
+	}
+	if use.WindowSeconds != 60 {
+		t.Errorf("window = %v, want 60", use.WindowSeconds)
+	}
+	if len(use.Tenants) != 1 {
+		t.Fatalf("tenants: %+v", use.Tenants)
+	}
+	anon := use.Tenants[0]
+	if anon.Key != AnonTenant {
+		t.Fatalf("tenant key = %q, want %q", anon.Key, AnonTenant)
+	}
+	// 1 upload + 2 solves + 1 evaluate + 1 ghost solve = 5; the usage call
+	// itself is accounted after its handler runs, so it is not yet visible.
+	if anon.Requests != 5 || anon.Errors != 1 || anon.CacheHits != 1 {
+		t.Errorf("anon row: %+v, want requests=5 errors=1 cache_hits=1", anon)
+	}
+	if anon.BytesIn <= 0 || anon.BytesOut <= 0 || anon.WallSeconds <= 0 {
+		t.Errorf("anon row missing byte/wall accounting: %+v", anon)
+	}
+	if anon.WindowRequests != 5 || anon.RatePerSec <= 0 {
+		t.Errorf("anon window: %+v", anon)
+	}
+
+	rows := map[string]UsageRow{}
+	for _, row := range use.Corpora {
+		rows[row.Key] = row
+	}
+	if len(rows) != 2 {
+		t.Fatalf("corpora: %+v", use.Corpora)
+	}
+	if shop := rows["shop"]; shop.Requests != 4 || shop.Errors != 0 || shop.CacheHits != 1 {
+		t.Errorf("shop row: %+v, want requests=4 errors=0 cache_hits=1", shop)
+	}
+	if ghost := rows["ghost"]; ghost.Requests != 1 || ghost.Errors != 1 {
+		t.Errorf("ghost row: %+v, want requests=1 errors=1", ghost)
+	}
+
+	// A second usage call now sees the first one billed to the tenant meter
+	// (no corpus addressed, so corpus rows are unchanged).
+	use2 := getUsage(t, ts, "")
+	if use2.Tenants[0].Requests != 6 {
+		t.Errorf("after usage call: requests = %d, want 6", use2.Tenants[0].Requests)
+	}
+	if len(use2.Corpora) != 2 {
+		t.Errorf("after usage call: corpora %+v", use2.Corpora)
+	}
+}
+
+// TestUsageTenantScoping verifies the authenticated view is tenant-scoped:
+// each tenant sees exactly its own tenant row and its own corpora, never the
+// neighbour's traffic shape or the overflow bucket.
+func TestUsageTenantScoping(t *testing.T) {
+	auth, err := ParseAuthKeys("alice=sk-a,bob=sk-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Auth: auth})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if status, body := authRequest(t, ts, http.MethodPost, "/v1/corpora", "sk-a", tinyUpload("al", 4)); status != http.StatusCreated {
+		t.Fatalf("alice upload: %d: %s", status, body)
+	}
+	if status, body := authRequest(t, ts, http.MethodPost, "/v1/corpora", "sk-b", tinyUpload("bo", 4)); status != http.StatusCreated {
+		t.Fatalf("bob upload: %d: %s", status, body)
+	}
+	for i := 0; i < 3; i++ {
+		if status, body := authRequest(t, ts, http.MethodPost, "/v1/corpora/bo/solve", "sk-b", `{"algorithm":"components"}`); status != http.StatusOK {
+			t.Fatalf("bob solve: %d: %s", status, body)
+		}
+	}
+	// Guard-rejected traffic must not be billed to anyone.
+	if status, _ := authRequest(t, ts, http.MethodGet, "/v1/corpora", "", ""); status != http.StatusUnauthorized {
+		t.Fatalf("anonymous list: %d, want 401", status)
+	}
+
+	alice := getUsage(t, ts, "sk-a")
+	if alice.Scope != "tenant" || alice.Tenant != "alice" {
+		t.Fatalf("alice scope: %+v", alice)
+	}
+	if len(alice.Tenants) != 1 || alice.Tenants[0].Key != "alice" || alice.Tenants[0].Requests != 1 {
+		t.Fatalf("alice tenants: %+v", alice.Tenants)
+	}
+	if len(alice.Corpora) != 1 || alice.Corpora[0].Key != "al" {
+		t.Fatalf("alice corpora: %+v", alice.Corpora)
+	}
+
+	bob := getUsage(t, ts, "sk-b")
+	if len(bob.Tenants) != 1 || bob.Tenants[0].Key != "bob" || bob.Tenants[0].Requests != 4 {
+		t.Fatalf("bob tenants: %+v", bob.Tenants)
+	}
+	if len(bob.Corpora) != 1 || bob.Corpora[0].Key != "bo" || bob.Corpora[0].Requests != 4 {
+		t.Fatalf("bob corpora: %+v", bob.Corpora)
+	}
+}
+
+// TestUsageMetricCardinalityBounded hammers the accountant with 1000
+// distinct tenants and asserts /metrics stays bounded: at most top-K+1
+// series per usage family, with the long tail folded into "other".
+func TestUsageMetricCardinalityBounded(t *testing.T) {
+	const distinct, topK = 1000, 8
+	keys := make([]string, distinct)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("t%04d=sk-%04d", i, i)
+	}
+	auth, err := ParseAuthKeys(strings.Join(keys, ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Auth: auth, UsageTopK: topK})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < distinct; i++ {
+		if status, body := authRequest(t, ts, http.MethodGet, "/v1/corpora", fmt.Sprintf("sk-%04d", i), ""); status != http.StatusOK {
+			t.Fatalf("tenant %d list: %d: %s", i, status, body)
+		}
+	}
+	status, text := authRequest(t, ts, http.MethodGet, "/metrics", "", "")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: %d", status)
+	}
+	series := 0
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "bundled_tenant_requests_total{") {
+			series++
+		}
+	}
+	if series != topK+1 {
+		t.Errorf("bundled_tenant_requests_total series = %d, want %d (top-K+other)", series, topK+1)
+	}
+	want := fmt.Sprintf(`bundled_tenant_requests_total{tenant="other"} %d`, distinct-topK)
+	if !strings.Contains(text, want) {
+		t.Errorf("metrics missing %q", want)
+	}
+}
+
+// expositionLine matches one Prometheus text-format sample or comment. The
+// label-value alternation forbids raw quotes, newlines and dangling
+// backslashes, so a mis-escaped hostile label fails the match.
+var expositionLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) .+|[a-zA-Z_:][a-zA-Z0-9_:]*(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\\\|\\"|\\n|[^"\\])*",?)*\})? [0-9eE.+-]+(Inf|NaN)?)$`)
+
+// TestUsageMetricsExpositionSanitized uploads corpora with hostile IDs —
+// quotes, backslashes, newlines — and then parses every /metrics line
+// against the exposition grammar: sanitization must keep the scrape intact.
+func TestUsageMetricsExpositionSanitized(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	hostile := []string{
+		`ev"il`,
+		`back\slash`,
+		"new\nline",
+		`mix"ed\every` + "\nthing",
+	}
+	for _, id := range hostile {
+		w := bundling.NewMatrix(2, 2)
+		w.MustSet(0, 0, 5)
+		w.MustSet(1, 1, 7)
+		doc, err := jsonMarshal(CreateCorpusRequest{ID: id, Matrix: bundling.NewMatrixDoc(w)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status, body := authRequest(t, ts, http.MethodPost, "/v1/corpora", "", string(doc)); status != http.StatusCreated {
+			t.Fatalf("upload %q: %d: %s", id, status, body)
+		}
+	}
+	status, text := authRequest(t, ts, http.MethodGet, "/metrics", "", "")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: %d", status)
+	}
+	if !strings.Contains(text, `bundled_corpus_requests_total{corpus="ev\"il"}`) {
+		t.Errorf("metrics missing escaped hostile corpus label:\n%s", grepMetric(text, "bundled_corpus_requests_total"))
+	}
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("metrics line %d does not parse: %q", i+1, line)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package usage is the dependency-free workload-accounting core of the
+// serving stack: bounded-cardinality meters that answer "which tenant is
+// burning the fleet" and "which corpus is hot" without ever letting
+// user-supplied identifiers explode the metrics exposition.
+//
+// A Meter tracks, per key (a tenant ID, a corpus ID, a worker address),
+// lifetime totals — request count, errors, wall-clock seconds, bytes in and
+// out, cache hits — plus a sliding-window request count from which a
+// per-second rate is derived. Only the first TopK distinct keys get their
+// own slot; every later key collapses into the reserved "other" bucket, so
+// the exposition stays at TopK+1 series no matter how many distinct IDs
+// traffic presents. The clock is injectable for deterministic window tests,
+// and all methods are safe for concurrent use.
+package usage
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Other is the reserved overflow key: every key past the meter's TopK bound
+// accounts here, as does a (hostile or unlucky) real key literally named
+// "other" — folding it in keeps the bucket unambiguous in the exposition.
+const Other = "other"
+
+// Config tunes a Meter. The zero value tracks 32 keys over a 60-second
+// window split into 12 slots.
+type Config struct {
+	// TopK bounds the distinct keys tracked individually; later keys
+	// collapse into the Other bucket (0 = 32).
+	TopK int
+	// Window is the sliding interval behind WindowRequests/RatePerSec
+	// (0 = 60s).
+	Window time.Duration
+	// Slots is the bucket count the window is split into — the rolling
+	// granularity (0 = 12).
+	Slots int
+	// Now is the meter's clock, injectable for tests (nil = time.Now).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.TopK <= 0 {
+		c.TopK = 32
+	}
+	if c.Window <= 0 {
+		c.Window = 60 * time.Second
+	}
+	if c.Slots <= 0 {
+		c.Slots = 12
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Sample is one accounted event — typically one completed HTTP request.
+type Sample struct {
+	// Err marks an event that ended in an error response.
+	Err bool
+	// Wall is the event's wall-clock duration.
+	Wall time.Duration
+	// BytesIn and BytesOut are the request and response payload sizes.
+	BytesIn, BytesOut int64
+	// CacheHit marks an event served from a result cache.
+	CacheHit bool
+}
+
+// Totals is the lifetime accumulation for one key.
+type Totals struct {
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	CacheHits   int64   `json:"cache_hits"`
+	BytesIn     int64   `json:"bytes_in"`
+	BytesOut    int64   `json:"bytes_out"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Row is one key's snapshot: lifetime totals plus the sliding-window view.
+type Row struct {
+	// Key is the metered identifier; Other for the overflow bucket.
+	Key string `json:"key"`
+	Totals
+	// WindowRequests is the request count inside the sliding window.
+	WindowRequests int64 `json:"window_requests"`
+	// RatePerSec is WindowRequests spread over the window length.
+	RatePerSec float64 `json:"rate_per_sec"`
+}
+
+// entry is one key's live state: totals plus the window's slot ring.
+type entry struct {
+	total Totals
+	ring  []int64 // per-slot request counts
+	slot  int64   // absolute slot index of the ring's current head
+}
+
+// Meter is a bounded top-K sliding-window accounting table.
+type Meter struct {
+	cfg  Config
+	slot time.Duration // window / slots
+
+	mu      sync.Mutex
+	entries map[string]*entry // real keys only, ≤ TopK
+	other   *entry            // overflow bucket, outside the TopK bound
+}
+
+// NewMeter returns a meter with the given bounds.
+func NewMeter(cfg Config) *Meter {
+	cfg = cfg.withDefaults()
+	return &Meter{
+		cfg:     cfg,
+		slot:    cfg.Window / time.Duration(cfg.Slots),
+		entries: make(map[string]*entry, cfg.TopK),
+	}
+}
+
+// Window returns the meter's sliding-window length.
+func (m *Meter) Window() time.Duration { return m.cfg.Window }
+
+// newEntry allocates an entry positioned at the current absolute slot.
+func (m *Meter) newEntry(now time.Time) *entry {
+	return &entry{ring: make([]int64, m.cfg.Slots), slot: m.absSlot(now)}
+}
+
+// absSlot maps a time to its absolute slot index.
+func (m *Meter) absSlot(now time.Time) int64 { return now.UnixNano() / int64(m.slot) }
+
+// roll advances an entry's ring to the current slot, zeroing every slot the
+// clock skipped (bounded by the ring length — after a full window of
+// silence the whole ring clears).
+func (e *entry) roll(abs int64) {
+	gap := abs - e.slot
+	if gap <= 0 {
+		return
+	}
+	if gap > int64(len(e.ring)) {
+		gap = int64(len(e.ring))
+	}
+	for i := int64(1); i <= gap; i++ {
+		e.ring[(e.slot+i)%int64(len(e.ring))] = 0
+	}
+	e.slot = abs
+}
+
+// Add accounts one event under key. The first TopK distinct keys are
+// tracked individually, in arrival order; later keys (and the literal
+// Other key) collapse deterministically into the overflow bucket.
+func (m *Meter) Add(key string, s Sample) {
+	now := m.cfg.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if !ok {
+		if key != Other && len(m.entries) < m.cfg.TopK {
+			e = m.newEntry(now)
+			m.entries[key] = e
+		} else {
+			if m.other == nil {
+				m.other = m.newEntry(now)
+			}
+			e = m.other
+		}
+	}
+	abs := m.absSlot(now)
+	e.roll(abs)
+	e.ring[abs%int64(len(e.ring))]++
+	e.total.Requests++
+	if s.Err {
+		e.total.Errors++
+	}
+	if s.CacheHit {
+		e.total.CacheHits++
+	}
+	e.total.BytesIn += s.BytesIn
+	e.total.BytesOut += s.BytesOut
+	e.total.WallSeconds += s.Wall.Seconds()
+}
+
+// row snapshots one entry at the current slot. Callers hold m.mu.
+func (m *Meter) row(key string, e *entry, abs int64) Row {
+	e.roll(abs)
+	var win int64
+	for _, c := range e.ring {
+		win += c
+	}
+	return Row{
+		Key:            key,
+		Totals:         e.total,
+		WindowRequests: win,
+		RatePerSec:     float64(win) / m.cfg.Window.Seconds(),
+	}
+}
+
+// Snapshot returns every tracked key's row, busiest first (by lifetime
+// request count, ties broken by key), with the overflow bucket — if it ever
+// absorbed traffic — always last regardless of its size.
+func (m *Meter) Snapshot() []Row {
+	now := m.cfg.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	abs := m.absSlot(now)
+	rows := make([]Row, 0, len(m.entries)+1)
+	for key, e := range m.entries {
+		rows = append(rows, m.row(key, e, abs))
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Requests != rows[j].Requests {
+			return rows[i].Requests > rows[j].Requests
+		}
+		return rows[i].Key < rows[j].Key
+	})
+	if m.other != nil {
+		rows = append(rows, m.row(Other, m.other, abs))
+	}
+	return rows
+}
+
+// Get returns one key's row (the overflow bucket under Other) and whether
+// the key is tracked.
+func (m *Meter) Get(key string) (Row, bool) {
+	now := m.cfg.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	abs := m.absSlot(now)
+	if key == Other {
+		if m.other == nil {
+			return Row{}, false
+		}
+		return m.row(Other, m.other, abs), true
+	}
+	e, ok := m.entries[key]
+	if !ok {
+		return Row{}, false
+	}
+	return m.row(key, e, abs), true
+}
+
+// Keys returns the count of individually tracked keys (the overflow bucket
+// excluded) — the exposition's cardinality bound check.
+func (m *Meter) Keys() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// maxLabelRunes caps a sanitized label value so one hostile ID cannot bloat
+// every scrape.
+const maxLabelRunes = 120
+
+// SanitizeLabel makes a user-supplied identifier safe as a Prometheus label
+// value: backslash, double quote and newline are escaped per the text
+// exposition format, every other control character becomes '_', and the
+// result is truncated to a bounded rune count. The empty string stays
+// empty; callers label anonymous traffic explicitly.
+func SanitizeLabel(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	n := 0
+	for _, r := range s {
+		if n >= maxLabelRunes {
+			break
+		}
+		switch {
+		case r == '\\':
+			b.WriteString(`\\`)
+		case r == '"':
+			b.WriteString(`\"`)
+		case r == '\n':
+			b.WriteString(`\n`)
+		case r < 0x20 || r == 0x7f:
+			b.WriteByte('_')
+		default:
+			b.WriteRune(r)
+		}
+		n++
+	}
+	return b.String()
+}

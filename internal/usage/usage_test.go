@@ -1,0 +1,207 @@
+package usage
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced meter clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestMeterTotals(t *testing.T) {
+	m := NewMeter(Config{Now: newFakeClock().Now})
+	m.Add("alice", Sample{Wall: 100 * time.Millisecond, BytesIn: 10, BytesOut: 100})
+	m.Add("alice", Sample{Err: true, Wall: 50 * time.Millisecond, BytesIn: 5, BytesOut: 50})
+	m.Add("alice", Sample{CacheHit: true, BytesOut: 7})
+	row, ok := m.Get("alice")
+	if !ok {
+		t.Fatal("alice not tracked")
+	}
+	want := Totals{Requests: 3, Errors: 1, CacheHits: 1, BytesIn: 15, BytesOut: 157}
+	if math.Abs(row.WallSeconds-0.15) > 1e-9 {
+		t.Fatalf("wall seconds = %g, want 0.15", row.WallSeconds)
+	}
+	row.WallSeconds = 0
+	if row.Totals != want {
+		t.Fatalf("totals = %+v, want %+v", row.Totals, want)
+	}
+	if row.WindowRequests != 3 {
+		t.Fatalf("window requests = %d, want 3", row.WindowRequests)
+	}
+}
+
+// TestMeterTopKOverflow checks the cardinality bound: the first K distinct
+// keys get their own slot, and keys K+1..N all collapse into "other".
+func TestMeterTopKOverflow(t *testing.T) {
+	const k = 4
+	m := NewMeter(Config{TopK: k, Now: newFakeClock().Now})
+	for i := 0; i < 1000; i++ {
+		m.Add(fmt.Sprintf("tenant-%03d", i), Sample{})
+	}
+	if got := m.Keys(); got != k {
+		t.Fatalf("tracked keys = %d, want %d", got, k)
+	}
+	rows := m.Snapshot()
+	if len(rows) != k+1 {
+		t.Fatalf("snapshot rows = %d, want %d (top-K + other)", len(rows), k+1)
+	}
+	// Deterministic: arrival order decides who owns a slot.
+	for i := 0; i < k; i++ {
+		want := fmt.Sprintf("tenant-%03d", i)
+		if _, ok := m.Get(want); !ok {
+			t.Fatalf("early key %s lost its slot", want)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.Key != Other {
+		t.Fatalf("last row = %q, want %q", last.Key, Other)
+	}
+	if last.Requests != 1000-k {
+		t.Fatalf("other bucket requests = %d, want %d", last.Requests, 1000-k)
+	}
+	// A key literally named "other" must fold into the overflow bucket even
+	// while slots remain, so the bucket stays unambiguous.
+	m2 := NewMeter(Config{TopK: k, Now: newFakeClock().Now})
+	m2.Add(Other, Sample{})
+	if m2.Keys() != 0 {
+		t.Fatalf("literal %q key claimed a top-K slot", Other)
+	}
+	if row, ok := m2.Get(Other); !ok || row.Requests != 1 {
+		t.Fatalf("literal %q key not accounted in overflow: %+v ok=%v", Other, row, ok)
+	}
+}
+
+// TestMeterWindowRolls drives the injectable clock through slot boundaries
+// and checks the windowed count decays while totals persist.
+func TestMeterWindowRolls(t *testing.T) {
+	clk := newFakeClock()
+	m := NewMeter(Config{Window: 60 * time.Second, Slots: 12, Now: clk.Now})
+	for i := 0; i < 6; i++ {
+		m.Add("t", Sample{})
+		clk.Advance(5 * time.Second) // one slot per event
+	}
+	row, _ := m.Get("t")
+	if row.WindowRequests != 6 || row.Requests != 6 {
+		t.Fatalf("after burst: window=%d total=%d, want 6/6", row.WindowRequests, row.Requests)
+	}
+	if want := 6.0 / 60.0; row.RatePerSec != want {
+		t.Fatalf("rate = %g, want %g", row.RatePerSec, want)
+	}
+	// Advance to one full window past the first event: exactly that first
+	// event's slot rolls out.
+	clk.Advance(30 * time.Second)
+	row, _ = m.Get("t")
+	if row.WindowRequests != 5 {
+		t.Fatalf("one window after first event: window=%d, want 5", row.WindowRequests)
+	}
+	if row.Requests != 6 {
+		t.Fatalf("totals must not decay: %d", row.Requests)
+	}
+	// Advance past the whole window: the windowed view drains to zero.
+	clk.Advance(2 * time.Minute)
+	row, _ = m.Get("t")
+	if row.WindowRequests != 0 || row.RatePerSec != 0 {
+		t.Fatalf("after idle window: window=%d rate=%g, want 0/0", row.WindowRequests, row.RatePerSec)
+	}
+	if row.Requests != 6 {
+		t.Fatalf("totals must not decay: %d", row.Requests)
+	}
+}
+
+// TestMeterSnapshotOrder checks busiest-first ordering with other pinned
+// last even when it is the biggest bucket.
+func TestMeterSnapshotOrder(t *testing.T) {
+	m := NewMeter(Config{TopK: 2, Now: newFakeClock().Now})
+	m.Add("a", Sample{})
+	for i := 0; i < 3; i++ {
+		m.Add("b", Sample{})
+	}
+	for i := 0; i < 9; i++ {
+		m.Add("spill", Sample{}) // third key → other
+	}
+	rows := m.Snapshot()
+	got := make([]string, len(rows))
+	for i, r := range rows {
+		got[i] = r.Key
+	}
+	want := []string{"b", "a", Other}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestMeterConcurrent hammers one meter from many goroutines; run under
+// -race this is the accounting path's data-race check.
+func TestMeterConcurrent(t *testing.T) {
+	m := NewMeter(Config{TopK: 8})
+	var wg sync.WaitGroup
+	const workers, per = 16, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Add(fmt.Sprintf("tenant-%d", (w+i)%12), Sample{BytesIn: 1})
+				if i%10 == 0 {
+					m.Snapshot()
+					m.Keys()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var sum int64
+	for _, r := range m.Snapshot() {
+		sum += r.Requests
+	}
+	if sum != workers*per {
+		t.Fatalf("accounted %d events, want %d", sum, workers*per)
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain-id", "plain-id"},
+		{`quote"inside`, `quote\"inside`},
+		{`back\slash`, `back\\slash`},
+		{"line\nbreak", `line\nbreak`},
+		{"ctrl\x01\x7fchars", "ctrl__chars"},
+		{"tabs\tstay_bounded", "tabs_stay_bounded"},
+		{"unicode-✓", "unicode-✓"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := SanitizeLabel(c.in); got != c.want {
+			t.Errorf("SanitizeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	long := strings.Repeat("x", 5000)
+	if got := SanitizeLabel(long); len(got) != maxLabelRunes {
+		t.Errorf("long label not truncated: %d runes", len(got))
+	}
+}

@@ -148,6 +148,25 @@ if ! curl -sf "http://$W1/healthz" | grep -q '"corpus"'; then
   exit 1
 fi
 
+# The coordinator's merged fleet view must list both workers as reachable,
+# with the coordinator-side load join filled in from the solves above.
+FLEET=$(curl -sf "http://$CADDR/debug/fleet" | tr -d ' \n')
+for w in "$W1" "$W2"; do
+  if ! printf '%s' "$FLEET" | grep -q "\"addr\":\"[^\"]*$w\""; then
+    echo "/debug/fleet does not list worker $w: $FLEET" >&2
+    exit 1
+  fi
+done
+if ! printf '%s' "$FLEET" | grep -q '"reachable":2'; then
+  echo "/debug/fleet does not report 2 reachable workers: $FLEET" >&2
+  exit 1
+fi
+if ! printf '%s' "$FLEET" | grep -q '"rpcs":[1-9]'; then
+  echo "/debug/fleet load join reports no RPCs: $FLEET" >&2
+  exit 1
+fi
+echo "cluster smoke: /debug/fleet lists both workers with live load state"
+
 # --- blackholed worker --------------------------------------------------------
 # A SIGSTOPped worker accepts TCP connections but never answers (a blackhole,
 # not a refused dial). A coordinator with a short per-RPC budget must still
@@ -235,6 +254,28 @@ if [ "$code" != "429" ]; then
 fi
 
 R_BEFORE=$(solve_revenue "$DADDR" smoke matching -H "Authorization: Bearer $AKEY")
+
+# The workload accounting must reflect exactly the requests alice just made
+# (upload + over-quota upload + solve = 3), scoped to her own tenant row.
+USAGE=$(curl -sf -H "Authorization: Bearer $AKEY" "http://$DADDR/v1/usage" | tr -d ' \n')
+if ! printf '%s' "$USAGE" | grep -q '"scope":"tenant","tenant":"alice"'; then
+  echo "/v1/usage is not alice-scoped: $USAGE" >&2
+  exit 1
+fi
+ALICE_REQS=$(printf '%s' "$USAGE" | sed -n 's/.*"tenants":\[{"key":"alice","requests":\([0-9]*\).*/\1/p')
+if [ "$ALICE_REQS" != "3" ]; then
+  echo "/v1/usage reports $ALICE_REQS requests for alice, want 3: $USAGE" >&2
+  exit 1
+fi
+if ! printf '%s' "$USAGE" | grep -q '"key":"smoke"'; then
+  echo "/v1/usage does not meter corpus smoke: $USAGE" >&2
+  exit 1
+fi
+if printf '%s' "$USAGE" | grep -q '"key":"bob"'; then
+  echo "/v1/usage leaks bob's row to alice: $USAGE" >&2
+  exit 1
+fi
+echo "usage smoke: /v1/usage accounts alice's 3 requests, tenant-scoped"
 
 # Kill the daemon and reboot it against the same data dir: the corpus and
 # its solve results must survive.
