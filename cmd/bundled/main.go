@@ -83,8 +83,9 @@ type options struct {
 	traceRing   int
 	pprof       bool
 
-	usageTopK   int
-	usageWindow time.Duration
+	usageTopK    int
+	usageWindow  time.Duration
+	usageMetrics bool
 }
 
 func main() {
@@ -120,6 +121,7 @@ func main() {
 	flag.BoolVar(&o.pprof, "pprof", false, "serve net/http/pprof profiles under /debug/pprof")
 	flag.IntVar(&o.usageTopK, "usage-topk", 0, "distinct tenants/corpora the workload accountant tracks individually, rest in \"other\" (0 = 32, negative disables /v1/usage)")
 	flag.DurationVar(&o.usageWindow, "usage-window", 0, "sliding window behind the workload accountant's request rates (0 = 60s)")
+	flag.BoolVar(&o.usageMetrics, "usage-metrics", false, "expose labeled per-tenant/per-corpus usage series on the unauthenticated /metrics endpoint (labels carry tenant names and corpus IDs; keep off unless the scrape endpoint is private)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bundled:", err)
@@ -155,6 +157,7 @@ func run(o options) error {
 		QueueTimeout:   o.queueTimeout,
 		UsageTopK:      o.usageTopK,
 		UsageWindow:    o.usageWindow,
+		UsageMetrics:   o.usageMetrics,
 	}
 	switch {
 	case o.authKeys != "" && o.authFile != "":

@@ -37,13 +37,14 @@ import (
 
 // options collects the daemon's flag values.
 type options struct {
-	addr      string
-	maxSpans  int
-	drainSecs int
-	logFormat string
-	logLevel  string
-	traceRing int
-	pprof     bool
+	addr         string
+	maxSpans     int
+	drainSecs    int
+	logFormat    string
+	logLevel     string
+	traceRing    int
+	pprof        bool
+	usageMetrics bool
 }
 
 func main() {
@@ -55,6 +56,7 @@ func main() {
 	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.IntVar(&o.traceRing, "trace-ring", 0, "recent RPC trace records kept for /debug/traces (0 = 128, negative disables)")
 	flag.BoolVar(&o.pprof, "pprof", false, "serve net/http/pprof profiles under /debug/pprof")
+	flag.BoolVar(&o.usageMetrics, "usage-metrics", false, "label the per-span request gauges on the open /metrics endpoint with corpus keys (corpus IDs are tenant data; keep off unless the scrape endpoint is private)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bundleworker:", err)
@@ -69,9 +71,10 @@ func run(o options) error {
 	}
 	slog.SetDefault(logger)
 	wk := cluster.NewWorker(cluster.WorkerConfig{
-		MaxSpans:  o.maxSpans,
-		TraceRing: o.traceRing,
-		Pprof:     o.pprof,
+		MaxSpans:     o.maxSpans,
+		TraceRing:    o.traceRing,
+		Pprof:        o.pprof,
+		UsageMetrics: o.usageMetrics,
 	})
 	hs := &http.Server{
 		Addr:              o.addr,

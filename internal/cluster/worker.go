@@ -38,6 +38,11 @@ type WorkerConfig struct {
 	TraceRing int
 	// Pprof mounts net/http/pprof under /debug/pprof (-pprof).
 	Pprof bool
+	// UsageMetrics labels the per-span request gauges on /metrics with
+	// their corpus keys (-usage-metrics). Off by default: the worker's
+	// /metrics is open and corpus IDs are tenant data, so the default
+	// exposition carries only unlabeled aggregates.
+	UsageMetrics bool
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -469,21 +474,24 @@ func (wk *Worker) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauges := []server.GaugeRow{
 		{Name: "bundleworker_spans", Help: "Stripe spans currently assigned.", Value: float64(len(wk.spans))},
 	}
-	// Per-span request gauges stay bounded by MaxSpans (the family tracks
-	// live spans only) and the corpus keys — derived from user-supplied
-	// corpus IDs — are sanitized before labeling.
-	keys := make([]string, 0, len(wk.spans))
-	for key := range wk.spans {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-	for _, key := range keys {
-		gauges = append(gauges, server.GaugeRow{
-			Name:   "bundleworker_span_requests",
-			Help:   "Reduction RPCs served per resident span since assignment.",
-			Labels: `corpus="` + usage.SanitizeLabel(key) + `"`,
-			Value:  float64(wk.spans[key].hits.Load()),
-		})
+	// Per-span request gauges are opt-in (UsageMetrics): /metrics serves
+	// unauthenticated and the corpus keys are tenant data. When enabled
+	// the family stays bounded by MaxSpans (it tracks live spans only) and
+	// the user-supplied corpus IDs are sanitized before labeling.
+	if wk.cfg.UsageMetrics {
+		keys := make([]string, 0, len(wk.spans))
+		for key := range wk.spans {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			gauges = append(gauges, server.GaugeRow{
+				Name:   "bundleworker_span_requests",
+				Help:   "Reduction RPCs served per resident span since assignment.",
+				Labels: `corpus="` + usage.SanitizeLabel(key) + `"`,
+				Value:  float64(wk.spans[key].hits.Load()),
+			})
+		}
 	}
 	wk.mu.RUnlock()
 	wk.met.Render(w,

@@ -134,6 +134,35 @@ func TestWorkerHTTPSurface(t *testing.T) {
 	}
 }
 
+// TestWorkerSpanMetricsOptIn: the per-span request gauges carry corpus
+// keys — tenant data — so they must stay off the worker's open /metrics
+// unless the operator opted in (-usage-metrics).
+func TestWorkerSpanMetricsOptIn(t *testing.T) {
+	w := testMatrix(t, 48, 5, 8)
+	doc := spanDocFor(w, 16)
+	for _, labeled := range []bool{false, true} {
+		wk := NewWorker(WorkerConfig{UsageMetrics: labeled})
+		if err := wk.Assign("secret-corpus/0", doc); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wk.Vector("secret-corpus/0", VectorRequest{Version: doc.Version, Items: []int{0}}); err != nil {
+			t.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		wk.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+		body := rec.Body.String()
+		if got := strings.Contains(body, "bundleworker_span_requests{"); got != labeled {
+			t.Errorf("UsageMetrics=%v: span gauge present=%v in:\n%s", labeled, got, body)
+		}
+		if labeled != strings.Contains(body, "secret-corpus") {
+			t.Errorf("UsageMetrics=%v: corpus key exposure wrong", labeled)
+		}
+		if !strings.Contains(body, "bundleworker_spans 1") {
+			t.Errorf("unlabeled span count must always serve:\n%s", body)
+		}
+	}
+}
+
 // TestClusterOverHTTP: the coordinator over real HTTP transports matches
 // the local solver, and keeps matching (via replica + local fallback) after
 // a worker daemon dies mid-session.

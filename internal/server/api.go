@@ -291,8 +291,12 @@ type FleetWorkerDoc struct {
 // FleetResponse is the GET /debug/fleet payload: every worker probed
 // concurrently and joined with coordinator-side state — one request
 // replacing a scrape of N daemons. ProbeMS is the wall time of the slowest
-// probe (the fan-out runs them in parallel).
+// probe (the fan-out runs them in parallel). Scope mirrors UsageResponse:
+// "admin" on an open daemon, "tenant" under auth — then Tenant names the
+// caller and each worker's span list is filtered to the corpora it may see.
 type FleetResponse struct {
+	Scope     string           `json:"scope,omitempty"`
+	Tenant    string           `json:"tenant,omitempty"`
 	Workers   []FleetWorkerDoc `json:"workers"`
 	Reachable int              `json:"reachable"`
 	ProbeMS   float64          `json:"probe_ms"`

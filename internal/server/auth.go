@@ -215,8 +215,11 @@ func (g *rateGate) allow(tenant string) bool {
 // guard wraps the API mux with the tenancy layer: API-key authentication
 // and the per-tenant request-rate quota. /v1 routes, /debug/traces and
 // /debug/fleet are guarded (traces and the fleet view carry corpus IDs and
-// request shapes — tenant data); /healthz, /metrics and /debug/pprof stay
-// open, they are the operator's probes, not tenant traffic.
+// request shapes — tenant data; the fleet view's span rows are
+// additionally tenant-scoped, see handleFleet); /healthz, /metrics and
+// /debug/pprof stay open, they are the operator's probes, not tenant
+// traffic — which is also why the labeled per-tenant/per-corpus usage
+// families on /metrics are opt-in (Config.UsageMetrics).
 func (s *Server) guard(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		guarded := strings.HasPrefix(r.URL.Path, "/v1/") || r.URL.Path == "/v1" ||

@@ -130,6 +130,14 @@ type Config struct {
 	// UsageWindow is the sliding window behind the accountant's
 	// window_requests/rate_per_sec columns and *_window_rps gauges (0 = 60s).
 	UsageWindow time.Duration
+	// UsageMetrics additionally exposes the accountant as labeled
+	// bundled_tenant_*/bundled_corpus_* series on /metrics. Off by default:
+	// /metrics is deliberately unauthenticated, and the label values are
+	// tenant data (tenant names, corpus IDs, their traffic shape) — opt in
+	// only when the scrape endpoint is private (-usage-metrics). The
+	// auth-guarded, tenant-scoped /v1/usage serves the same numbers either
+	// way.
+	UsageMetrics bool
 	// ExtraMetrics, if set, contributes extra rows to /metrics (the daemon
 	// installs fleet breaker gauges and coordinator fallback counters here).
 	ExtraMetrics func() ([]GaugeRow, []CounterRow)

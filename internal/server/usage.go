@@ -61,9 +61,13 @@ func accountCacheHit(ctx context.Context, hit bool) {
 
 // corpusFromPath extracts the corpus ID from a /v1/corpora/{id}[/op] path.
 // The accounting middleware runs before mux routing, so PathValue is not
-// populated yet.
-func corpusFromPath(p string) string {
-	rest, ok := strings.CutPrefix(p, "/v1/corpora/")
+// populated yet; it takes the ESCAPED path (r.URL.EscapedPath()) and
+// applies the mux's own decoding — split on literal '/', unescape the one
+// segment — so an ID containing an encoded slash or a literal %XX run
+// bills under exactly the key PathValue hands the handlers. Feeding it the
+// already-decoded r.URL.Path would double-decode those IDs.
+func corpusFromPath(escaped string) string {
+	rest, ok := strings.CutPrefix(escaped, "/v1/corpora/")
 	if !ok || rest == "" {
 		return ""
 	}
@@ -121,7 +125,7 @@ func (s *Server) account(next http.Handler) http.Handler {
 		body := &countingBody{rc: r.Body}
 		r.Body = body
 		cw := &countingWriter{statusWriter: statusWriter{ResponseWriter: w}}
-		info := &acctInfo{corpus: corpusFromPath(r.URL.Path)}
+		info := &acctInfo{corpus: corpusFromPath(r.URL.EscapedPath())}
 		r = r.WithContext(context.WithValue(r.Context(), acctKey{}, info))
 		next.ServeHTTP(cw, r)
 		sample := usage.Sample{
@@ -204,8 +208,13 @@ func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
 // usageMetricRows renders the accountant as labeled exposition rows —
 // bundled_tenant_* and bundled_corpus_* families, at most top-K+1 series
 // each, label values sanitized so a hostile ID cannot corrupt the scrape.
+// The families are opt-in (Config.UsageMetrics): /metrics serves
+// unauthenticated, and the label values name tenants and corpora — the
+// very data the guard keeps /debug/traces and /v1/usage behind auth for —
+// so by default the open endpoint stays label-free and the accountant is
+// read through /v1/usage instead.
 func (s *Server) usageMetricRows() ([]GaugeRow, []CounterRow) {
-	if s.use == nil {
+	if s.use == nil || !s.cfg.UsageMetrics {
 		return nil, nil
 	}
 	var gauges []GaugeRow
@@ -255,8 +264,47 @@ func (s *Server) usageMetricRows() ([]GaugeRow, []CounterRow) {
 	return gauges, counters
 }
 
+// spanCorpusID maps a worker span key back to the corpus ID that fed it:
+// the cluster coordinator keys spans as "<corpus>/<startStripe>" (see
+// internal/cluster.NewSolver), so a trailing all-digit segment is
+// stripped. A key without one is returned unchanged.
+func spanCorpusID(key string) string {
+	i := strings.LastIndexByte(key, '/')
+	if i < 0 || i == len(key)-1 {
+		return key
+	}
+	for _, r := range key[i+1:] {
+		if r < '0' || r > '9' {
+			return key
+		}
+	}
+	return key[:i]
+}
+
 // handleFleet serves the merged fleet view the Config.Fleet hook assembles
-// (installed by cmd/bundled in cluster mode; the route is absent otherwise).
+// (installed by cmd/bundled in cluster mode; the route is absent
+// otherwise). Like /v1/usage, the view is scoped: an open daemon serves
+// the admin view, while an authenticated caller sees every worker's
+// health, breaker and load state but only the span rows of corpora it may
+// see (its own and public ones) — one tenant cannot read another's corpus
+// IDs or per-span traffic. Spans of unknown corpora (deleted since being
+// fed) stay admin-only.
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.cfg.Fleet(r.Context()))
+	resp := s.cfg.Fleet(r.Context())
+	resp.Scope = "admin"
+	if s.cfg.Auth.Enabled() {
+		tenant := tenantOf(r)
+		resp.Scope = "tenant"
+		resp.Tenant = tenant
+		for i := range resp.Workers {
+			visible := resp.Workers[i].Spans[:0]
+			for _, sp := range resp.Workers[i].Spans {
+				if owner, known := s.corpusOwner(spanCorpusID(sp.Corpus)); known && (owner == "" || owner == tenant) {
+					visible = append(visible, sp)
+				}
+			}
+			resp.Workers[i].Spans = visible
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -164,7 +165,7 @@ func TestUsageMetricCardinalityBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(Config{Auth: auth, UsageTopK: topK})
+	srv := New(Config{Auth: auth, UsageTopK: topK, UsageMetrics: true})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -193,6 +194,56 @@ func TestUsageMetricCardinalityBounded(t *testing.T) {
 	}
 }
 
+// TestUsageMetricsOptIn asserts the default posture: /metrics serves
+// unauthenticated, so without Config.UsageMetrics the accountant must not
+// put tenant or corpus IDs on the wire there — the labeled families are
+// reserved for operators who opted in (-usage-metrics). /v1/usage keeps
+// serving the same numbers behind the guard either way.
+func TestUsageMetricsOptIn(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if status, body := authRequest(t, ts, http.MethodPost, "/v1/corpora", "", tinyUpload("secret-corpus", 4)); status != http.StatusCreated {
+		t.Fatalf("upload: %d: %s", status, body)
+	}
+	status, text := authRequest(t, ts, http.MethodGet, "/metrics", "", "")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: %d", status)
+	}
+	for _, family := range []string{"bundled_tenant_", "bundled_corpus_", "secret-corpus"} {
+		if strings.Contains(text, family) {
+			t.Errorf("default /metrics leaks %q:\n%s", family, grepMetric(text, family))
+		}
+	}
+	use := getUsage(t, ts, "")
+	if len(use.Corpora) != 1 || use.Corpora[0].Key != "secret-corpus" {
+		t.Errorf("/v1/usage must keep accounting with metrics exposition off: %+v", use.Corpora)
+	}
+}
+
+// TestCorpusFromPath feeds the accounting-key parser escaped paths and
+// demands the same single decode the mux's PathValue applies: an encoded
+// slash stays inside the ID, and a literal %XX run decodes exactly once.
+func TestCorpusFromPath(t *testing.T) {
+	cases := []struct{ escaped, want string }{
+		{"/v1/corpora/shop", "shop"},
+		{"/v1/corpora/shop/solve", "shop"},
+		{"/v1/corpora/a%2Fb", "a/b"},
+		{"/v1/corpora/a%2Fb/evaluate", "a/b"},
+		{"/v1/corpora/pct%2541", "pct%41"}, // literal %41 in the ID: one decode, not two
+		{"/v1/corpora/", ""},
+		{"/v1/usage", ""},
+		{"/healthz", ""},
+	}
+	for _, c := range cases {
+		if got := corpusFromPath(c.escaped); got != c.want {
+			t.Errorf("corpusFromPath(%q) = %q, want %q", c.escaped, got, c.want)
+		}
+	}
+}
+
 // expositionLine matches one Prometheus text-format sample or comment. The
 // label-value alternation forbids raw quotes, newlines and dangling
 // backslashes, so a mis-escaped hostile label fails the match.
@@ -203,7 +254,7 @@ var expositionLine = regexp.MustCompile(
 // quotes, backslashes, newlines — and then parses every /metrics line
 // against the exposition grammar: sanitization must keep the scrape intact.
 func TestUsageMetricsExpositionSanitized(t *testing.T) {
-	srv := New(Config{})
+	srv := New(Config{UsageMetrics: true})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -240,5 +291,123 @@ func TestUsageMetricsExpositionSanitized(t *testing.T) {
 		if !expositionLine.MatchString(line) {
 			t.Errorf("metrics line %d does not parse: %q", i+1, line)
 		}
+	}
+}
+
+// TestSpanCorpusID checks the worker-span-key → corpus-ID mapping the
+// fleet scoping relies on (the coordinator keys spans "<corpus>/<start>").
+func TestSpanCorpusID(t *testing.T) {
+	cases := []struct{ key, want string }{
+		{"shop/0", "shop"},
+		{"shop/128", "shop"},
+		{"a/b/64", "a/b"},
+		{"x/123/0", "x/123"},
+		{"noslash", "noslash"},
+		{"trailing/", "trailing/"},
+		{"not/digits", "not/digits"},
+	}
+	for _, c := range cases {
+		if got := spanCorpusID(c.key); got != c.want {
+			t.Errorf("spanCorpusID(%q) = %q, want %q", c.key, got, c.want)
+		}
+	}
+}
+
+// TestFleetTenantScoping verifies GET /debug/fleet is scoped like
+// /v1/usage: an authenticated tenant sees every worker's health and load
+// but only the span rows of its own and public corpora — never another
+// tenant's corpus IDs or per-span traffic — while an open daemon serves
+// the full admin view.
+func TestFleetTenantScoping(t *testing.T) {
+	fleet := func(ctx context.Context) FleetResponse {
+		return FleetResponse{
+			Workers: []FleetWorkerDoc{{
+				Addr: "w1", Reachable: true, Status: "ok",
+				Spans: []FleetSpanDoc{
+					{Corpus: "al/0", Requests: 3},
+					{Corpus: "bo/0", Requests: 5},
+					{Corpus: "pub/0", Requests: 1},
+					{Corpus: "ghost/0", Requests: 9}, // fed once, corpus since deleted
+				},
+			}},
+			Reachable: 1,
+		}
+	}
+	auth, err := ParseAuthKeys("alice=sk-a,bob=sk-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Auth: auth, Fleet: fleet})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if status, body := authRequest(t, ts, http.MethodPost, "/v1/corpora", "sk-a", tinyUpload("al", 4)); status != http.StatusCreated {
+		t.Fatalf("alice upload: %d: %s", status, body)
+	}
+	if status, body := authRequest(t, ts, http.MethodPost, "/v1/corpora", "sk-b", tinyUpload("bo", 4)); status != http.StatusCreated {
+		t.Fatalf("bob upload: %d: %s", status, body)
+	}
+	// A corpus registered while auth was off is public: visible to everyone.
+	if err := Preload(srv, "pub", testMatrix(t, 4, 2, 1), bundling.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	getFleet := func(key string) FleetResponse {
+		t.Helper()
+		status, body := authRequest(t, ts, http.MethodGet, "/debug/fleet", key, "")
+		if status != http.StatusOK {
+			t.Fatalf("fleet (%s): %d: %s", key, status, body)
+		}
+		var resp FleetResponse
+		if err := decodeString(body, &resp); err != nil {
+			t.Fatalf("fleet decode: %v\n%s", err, body)
+		}
+		return resp
+	}
+	spanKeys := func(resp FleetResponse) []string {
+		var keys []string
+		for _, w := range resp.Workers {
+			for _, sp := range w.Spans {
+				keys = append(keys, sp.Corpus)
+			}
+		}
+		return keys
+	}
+
+	alice := getFleet("sk-a")
+	if alice.Scope != "tenant" || alice.Tenant != "alice" {
+		t.Fatalf("alice scope = %q tenant = %q, want tenant/alice", alice.Scope, alice.Tenant)
+	}
+	if got, want := spanKeys(alice), []string{"al/0", "pub/0"}; fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("alice spans = %v, want %v", got, want)
+	}
+	if len(alice.Workers) != 1 || !alice.Workers[0].Reachable {
+		t.Errorf("scoping must keep the worker rows: %+v", alice.Workers)
+	}
+
+	bob := getFleet("sk-b")
+	if got, want := spanKeys(bob), []string{"bo/0", "pub/0"}; fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("bob spans = %v, want %v", got, want)
+	}
+
+	// The open daemon serves the admin view: every span, ghost included.
+	osrv := New(Config{Fleet: fleet})
+	defer osrv.Close()
+	ots := httptest.NewServer(osrv.Handler())
+	defer ots.Close()
+	status, body := authRequest(t, ots, http.MethodGet, "/debug/fleet", "", "")
+	if status != http.StatusOK {
+		t.Fatalf("open fleet: %d: %s", status, body)
+	}
+	var open FleetResponse
+	if err := decodeString(body, &open); err != nil {
+		t.Fatal(err)
+	}
+	if open.Scope != "admin" || open.Tenant != "" {
+		t.Fatalf("open scope = %q tenant = %q, want admin/\"\"", open.Scope, open.Tenant)
+	}
+	if got := spanKeys(open); len(got) != 4 {
+		t.Errorf("admin spans = %v, want all 4", got)
 	}
 }

@@ -6,10 +6,15 @@
 // A Meter tracks, per key (a tenant ID, a corpus ID, a worker address),
 // lifetime totals — request count, errors, wall-clock seconds, bytes in and
 // out, cache hits — plus a sliding-window request count from which a
-// per-second rate is derived. Only the first TopK distinct keys get their
-// own slot; every later key collapses into the reserved "other" bucket, so
-// the exposition stays at TopK+1 series no matter how many distinct IDs
-// traffic presents. The clock is injectable for deterministic window tests,
+// per-second rate is derived. At most TopK distinct keys hold their own
+// slot at a time. A new key past that bound first tries to reclaim a slot
+// whose holder has gone idle — no requests inside the sliding window — in
+// which case the idle key's totals fold into the reserved "other" bucket
+// (sums across a snapshot stay conserved); while every slot-holder is
+// still busy, the new key collapses into "other" itself. Either way the
+// exposition stays at TopK+1 series no matter how many distinct IDs
+// traffic presents, and a burst of early one-off IDs cannot permanently
+// squat the table. The clock is injectable for deterministic window tests,
 // and all methods are safe for concurrent use.
 package usage
 
@@ -21,15 +26,17 @@ import (
 )
 
 // Other is the reserved overflow key: every key past the meter's TopK bound
-// accounts here, as does a (hostile or unlucky) real key literally named
+// accounts here (along with the carried-over totals of idle keys whose slot
+// was reclaimed), as does a (hostile or unlucky) real key literally named
 // "other" — folding it in keeps the bucket unambiguous in the exposition.
 const Other = "other"
 
 // Config tunes a Meter. The zero value tracks 32 keys over a 60-second
 // window split into 12 slots.
 type Config struct {
-	// TopK bounds the distinct keys tracked individually; later keys
-	// collapse into the Other bucket (0 = 32).
+	// TopK bounds the distinct keys tracked individually at any moment;
+	// past it a new key evicts a window-idle holder or collapses into the
+	// Other bucket (0 = 32).
 	TopK int
 	// Window is the sliding interval behind WindowRequests/RatePerSec
 	// (0 = 60s).
@@ -145,26 +152,33 @@ func (e *entry) roll(abs int64) {
 	e.slot = abs
 }
 
-// Add accounts one event under key. The first TopK distinct keys are
-// tracked individually, in arrival order; later keys (and the literal
-// Other key) collapse deterministically into the overflow bucket.
+// Add accounts one event under key. Up to TopK distinct keys are tracked
+// individually, in arrival order; once the table is full a new key first
+// reclaims a window-idle slot (reclaim) and otherwise — like the literal
+// Other key always — collapses deterministically into the overflow bucket.
 func (m *Meter) Add(key string, s Sample) {
 	now := m.cfg.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	abs := m.absSlot(now)
 	e, ok := m.entries[key]
 	if !ok {
-		if key != Other && len(m.entries) < m.cfg.TopK {
-			e = m.newEntry(now)
-			m.entries[key] = e
-		} else {
+		if key != Other {
+			if len(m.entries) >= m.cfg.TopK {
+				m.reclaim(abs, now)
+			}
+			if len(m.entries) < m.cfg.TopK {
+				e = m.newEntry(now)
+				m.entries[key] = e
+			}
+		}
+		if e == nil {
 			if m.other == nil {
 				m.other = m.newEntry(now)
 			}
 			e = m.other
 		}
 	}
-	abs := m.absSlot(now)
 	e.roll(abs)
 	e.ring[abs%int64(len(e.ring))]++
 	e.total.Requests++
@@ -177,6 +191,51 @@ func (m *Meter) Add(key string, s Sample) {
 	e.total.BytesIn += s.BytesIn
 	e.total.BytesOut += s.BytesOut
 	e.total.WallSeconds += s.Wall.Seconds()
+}
+
+// reclaim frees one slot held by an idle key — zero requests inside the
+// sliding window — so a full table tracks keys that are actually busy
+// rather than whichever TopK arrived first. The victim is deterministic:
+// the idle entry with the fewest lifetime requests, ties broken by key.
+// Its totals fold into the overflow bucket so sums across a snapshot stay
+// conserved (a reclaimed key that returns restarts its own series from
+// zero — a counter reset to a scraper). With every holder busy nothing is
+// evicted and the caller's key lands in the overflow bucket. Callers hold
+// m.mu.
+func (m *Meter) reclaim(abs int64, now time.Time) {
+	var victimKey string
+	var victim *entry
+	for key, e := range m.entries {
+		e.roll(abs)
+		idle := true
+		for _, c := range e.ring {
+			if c != 0 {
+				idle = false
+				break
+			}
+		}
+		if !idle {
+			continue
+		}
+		if victim == nil || e.total.Requests < victim.total.Requests ||
+			(e.total.Requests == victim.total.Requests && key < victimKey) {
+			victimKey, victim = key, e
+		}
+	}
+	if victim == nil {
+		return
+	}
+	delete(m.entries, victimKey)
+	if m.other == nil {
+		m.other = m.newEntry(now)
+	}
+	t, v := &m.other.total, victim.total
+	t.Requests += v.Requests
+	t.Errors += v.Errors
+	t.CacheHits += v.CacheHits
+	t.BytesIn += v.BytesIn
+	t.BytesOut += v.BytesOut
+	t.WallSeconds += v.WallSeconds
 }
 
 // row snapshots one entry at the current slot. Callers hold m.mu.

@@ -94,6 +94,58 @@ func TestMeterTopKOverflow(t *testing.T) {
 	}
 }
 
+// TestMeterIdleSlotReclaim checks that a full table is not first-come
+// forever: a new key evicts a holder that has been idle for a full window
+// (deterministically the least-busy one, ties by key), the evicted totals
+// fold into "other", and busy holders are never evicted.
+func TestMeterIdleSlotReclaim(t *testing.T) {
+	clk := newFakeClock()
+	m := NewMeter(Config{TopK: 2, Window: 60 * time.Second, Slots: 12, Now: clk.Now})
+	m.Add("a", Sample{BytesIn: 3})
+	m.Add("b", Sample{})
+	m.Add("b", Sample{})
+
+	// While both holders are in-window, a third key must not evict anyone.
+	m.Add("c", Sample{})
+	if _, ok := m.Get("a"); !ok {
+		t.Fatal("in-window key a evicted")
+	}
+	if row, ok := m.Get(Other); !ok || row.Requests != 1 {
+		t.Fatalf("busy-table overflow: %+v ok=%v, want 1 request", row, ok)
+	}
+
+	// A full window of silence idles both holders; the next fresh key must
+	// reclaim the least-busy one ("a": 1 request vs b's 2) and its totals
+	// must move to the overflow bucket.
+	clk.Advance(2 * time.Minute)
+	m.Add("d", Sample{})
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("idle key a kept its slot over a fresh busy key")
+	}
+	if _, ok := m.Get("b"); !ok {
+		t.Fatal("busier idle key b evicted before a")
+	}
+	if _, ok := m.Get("d"); !ok {
+		t.Fatal("fresh key d did not claim the reclaimed slot")
+	}
+	other, ok := m.Get(Other)
+	if !ok || other.Requests != 2 || other.BytesIn != 3 {
+		t.Fatalf("overflow after reclaim: %+v ok=%v, want requests=2 bytes_in=3", other, ok)
+	}
+	if m.Keys() != 2 {
+		t.Fatalf("tracked keys = %d, want 2", m.Keys())
+	}
+
+	// Global sums stay conserved across the eviction: 5 events accounted.
+	var sum int64
+	for _, r := range m.Snapshot() {
+		sum += r.Requests
+	}
+	if sum != 5 {
+		t.Fatalf("snapshot sums %d events, want 5", sum)
+	}
+}
+
 // TestMeterWindowRolls drives the injectable clock through slot boundaries
 // and checks the windowed count decays while totals persist.
 func TestMeterWindowRolls(t *testing.T) {

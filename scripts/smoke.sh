@@ -277,6 +277,14 @@ if printf '%s' "$USAGE" | grep -q '"key":"bob"'; then
 fi
 echo "usage smoke: /v1/usage accounts alice's 3 requests, tenant-scoped"
 
+# Without -usage-metrics the open /metrics endpoint must not carry the
+# labeled usage families (their labels are tenant names and corpus IDs).
+if curl -sf "http://$DADDR/metrics" | grep -q -e bundled_tenant_ -e bundled_corpus_; then
+  echo "/metrics exposes labeled usage series without -usage-metrics" >&2
+  exit 1
+fi
+echo "usage smoke: labeled usage series stay off the open /metrics endpoint"
+
 # Kill the daemon and reboot it against the same data dir: the corpus and
 # its solve results must survive.
 kill -TERM "$DPID"
