@@ -5,7 +5,7 @@
 GO ?= go
 NPROC ?= $(shell nproc 2>/dev/null || echo 2)
 
-.PHONY: build test vet fmt race check smoke chaos linkcheck bench bench-parallel bench-serve bench-cluster bench-chaos bench-codec fuzz profile tracing-gate usage-gate
+.PHONY: build test vet fmt race check smoke chaos linkcheck bench bench-parallel bench-serve bench-cluster bench-chaos bench-codec fuzz profile tracing-gate usage-gate mutate-gate mutate-gate-fast
 
 build:
 	$(GO) build ./...
@@ -111,12 +111,29 @@ bench-chaos:
 bench-codec:
 	$(GO) run ./cmd/bundlebench -exp codec -scale full -benchout BENCH_codec.json
 
+# Certify the incremental mutation path at the paper's corpus scale: a
+# 1-cell PATCH delta (decode, per-stripe posting maintenance, singleton
+# repair, registry swap) timed against a full binary re-upload through a
+# real HTTP server, with every mutation replayed onto a shadow matrix and
+# the patched session equivalence-checked against a from-scratch rebuild
+# within 1e-9. Fails unless the 1-cell delta costs under 5% of the
+# re-upload, so the committed BENCH_mutate.json is a cost and correctness
+# certificate for delta upserts.
+mutate-gate:
+	$(GO) run ./cmd/bundlebench -exp mutate -scale full -benchout BENCH_mutate.json
+	grep -q '"gate_passed": true' BENCH_mutate.json
+
+# The same gate at bench scale (seconds, not minutes) for the per-PR CI job.
+mutate-gate-fast:
+	$(GO) run ./cmd/bundlebench -exp mutate | tee /tmp/mutate-bench.out
+	grep -q 'mutate_gate=ok' /tmp/mutate-bench.out
+
 # Short fuzz pass over the incremental-union equivalence property, then over
 # each binary codec decoder (truncated, corrupt and hostile inputs must
 # error — never panic or over-allocate). `go test -fuzz` takes one target
 # per run, hence the loop.
 fuzz:
 	$(GO) test ./internal/wtp -fuzz FuzzUnionVectors -fuzztime 30s -run '^$$'
-	for f in FuzzDecodeMatrix FuzzDecodeSpan FuzzDecodeRecord FuzzDecodeAssign; do \
+	for f in FuzzDecodeMatrix FuzzDecodeSpan FuzzDecodeRecord FuzzDecodeAssign FuzzDecodeDelta; do \
 		$(GO) test ./internal/codec -fuzz $$f -fuzztime 15s -run '^$$' || exit 1; \
 	done

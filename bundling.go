@@ -294,6 +294,32 @@ func NewSolverOn(w *Matrix, opts Options, exec StripeExecutor) (*Solver, error) 
 	return &Solver{inner: inner}, nil
 }
 
+// DeltaCell is one cell mutation of a corpus delta: set (Consumer, Item) to
+// Value, or remove the cell when Delete is set. Later cells of one delta
+// override earlier ones for the same coordinate.
+type DeltaCell = wtp.Cell
+
+// ApplyDelta derives a new session with the delta applied, leaving the
+// receiver untouched and still serving its own snapshot. The mutation is
+// incremental: the matrix is patched copy-on-write, only the index stripes
+// holding mutated consumers rebuild, and only the mutated items' priced
+// singleton prototypes re-price. The new session's Stats().Version advances
+// by exactly one, which is what invalidates version-keyed result caches.
+func (s *Solver) ApplyDelta(cells []DeltaCell) (*Solver, error) {
+	return s.ApplyDeltaOn(cells, nil)
+}
+
+// ApplyDeltaOn is ApplyDelta with a pluggable stripe executor for the new
+// session; nil selects the patched local shard, making it identical to
+// ApplyDelta.
+func (s *Solver) ApplyDeltaOn(cells []DeltaCell, exec StripeExecutor) (*Solver, error) {
+	inner, err := s.inner.ApplyDelta(cells, exec)
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{inner: inner}, nil
+}
+
 // Aggregator computes the distributed pricing aggregates of the
 // scatter/gather evaluate path; see the config package for the reduction
 // contract.

@@ -34,23 +34,26 @@ import (
 
 // Wire types of the bundled API, shared verbatim with the server.
 type (
-	OptionsDoc          = server.OptionsDoc
-	CreateCorpusRequest = server.CreateCorpusRequest
-	CorpusInfo          = server.CorpusInfo
-	SolveRequest        = server.SolveRequest
-	SolveResponse       = server.SolveResponse
-	EvaluateRequest     = server.EvaluateRequest
-	EvaluateResponse    = server.EvaluateResponse
-	ConfigDoc           = server.ConfigDoc
-	OfferDoc            = server.OfferDoc
-	HealthResponse      = server.HealthResponse
-	ErrorResponse       = server.ErrorResponse
-	UsageResponse       = server.UsageResponse
-	UsageRow            = server.UsageRow
-	FleetResponse       = server.FleetResponse
-	FleetWorkerDoc      = server.FleetWorkerDoc
-	FleetSpanDoc        = server.FleetSpanDoc
-	WorkerLoadDoc       = server.WorkerLoadDoc
+	OptionsDoc           = server.OptionsDoc
+	CreateCorpusRequest  = server.CreateCorpusRequest
+	CorpusInfo           = server.CorpusInfo
+	SolveRequest         = server.SolveRequest
+	SolveResponse        = server.SolveResponse
+	EvaluateRequest      = server.EvaluateRequest
+	EvaluateResponse     = server.EvaluateResponse
+	ConfigDoc            = server.ConfigDoc
+	OfferDoc             = server.OfferDoc
+	MutateCorpusRequest  = server.MutateCorpusRequest
+	MutateCorpusResponse = server.MutateCorpusResponse
+	DeltaCell            = bundling.DeltaCell
+	HealthResponse       = server.HealthResponse
+	ErrorResponse        = server.ErrorResponse
+	UsageResponse        = server.UsageResponse
+	UsageRow             = server.UsageRow
+	FleetResponse        = server.FleetResponse
+	FleetWorkerDoc       = server.FleetWorkerDoc
+	FleetSpanDoc         = server.FleetSpanDoc
+	WorkerLoadDoc        = server.WorkerLoadDoc
 )
 
 // Client talks to one bundled server. The zero value is unusable; construct
@@ -236,6 +239,32 @@ func (c *Client) UploadMatrixBin(ctx context.Context, id string, w *bundling.Mat
 		return nil, err
 	}
 	return &info, nil
+}
+
+// PatchCorpus applies a delta mutation — cell upserts and deletes — to an
+// existing corpus in place. ifGeneration 0 applies unconditionally; a
+// non-zero value must match the corpus's current generation or the server
+// rejects the patch with a 409 *APIError and applies nothing.
+func (c *Client) PatchCorpus(ctx context.Context, id string, ifGeneration int, cells []DeltaCell) (*MutateCorpusResponse, error) {
+	var out MutateCorpusResponse
+	req := MutateCorpusRequest{IfGeneration: ifGeneration, Cells: cells}
+	if err := c.do(ctx, http.MethodPatch, "/v1/corpora/"+id, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PatchCorpusBin applies a delta mutation as a binary codec envelope — the
+// compact mutation path, columnar like UploadMatrixBin. Requires a server
+// that understands the codec Content-Type; against an older daemon the call
+// fails with a 400 *APIError, and PatchCorpus remains the portable fallback.
+func (c *Client) PatchCorpusBin(ctx context.Context, id string, ifGeneration int, cells []DeltaCell) (*MutateCorpusResponse, error) {
+	d := codec.DeltaFromCells(id, uint64(ifGeneration), cells)
+	var out MutateCorpusResponse
+	if err := c.doRaw(ctx, http.MethodPatch, "/v1/corpora/"+id, codec.ContentType, codec.EncodeDelta(d), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // UploadCSV uploads a ratings CSV corpus converted with factor lambda

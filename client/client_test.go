@@ -297,3 +297,68 @@ func isStatus(err error, status int) bool {
 	apiErr, ok := err.(*APIError)
 	return ok && apiErr.StatusCode == status
 }
+
+func TestClientPatchCorpus(t *testing.T) {
+	ts := testServer(t)
+	c := New(ts.URL, nil)
+	ctx := context.Background()
+	w := testMatrix(t, 60, 10, 6)
+	if _, err := c.UploadMatrix(ctx, "inc", w, bundling.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// JSON patch, then a binary patch conditioned on the generation the
+	// first one reported; replay the same cells locally and compare.
+	first := []DeltaCell{{Consumer: 0, Item: 0, Value: 7.5}, {Consumer: 1, Item: 2, Delete: true}}
+	out, err := c.PatchCorpus(ctx, "inc", 1, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != 2 || out.Applied != len(first) {
+		t.Fatalf("patch: %+v", out)
+	}
+	second := []DeltaCell{{Consumer: 3, Item: 4, Value: 12}, {Consumer: 0, Item: 0, Delete: true}}
+	out, err = c.PatchCorpusBin(ctx, "inc", out.Version, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != 3 {
+		t.Fatalf("binary patch: %+v", out)
+	}
+	for _, cell := range append(append([]DeltaCell{}, first...), second...) {
+		if cell.Delete {
+			if err := w.Delete(cell.Consumer, cell.Item); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			w.MustSet(cell.Consumer, cell.Item, cell.Value)
+		}
+	}
+	direct, err := bundling.NewSolver(w, bundling.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Solve(bundling.Matching())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Solve(ctx, "inc", "matching")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Config.Revenue-want.Revenue) > 1e-9 {
+		t.Errorf("patched revenue %.12f != library %.12f", res.Config.Revenue, want.Revenue)
+	}
+
+	// A stale generation precondition is a 409 and leaves the corpus alone.
+	if _, err := c.PatchCorpus(ctx, "inc", 1, first); !isStatus(err, 409) {
+		t.Errorf("stale patch err = %v, want 409 APIError", err)
+	}
+	info, err := c.Corpus(ctx, "inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 3 {
+		t.Errorf("version after rejected patch = %d, want 3", info.Version)
+	}
+}

@@ -40,7 +40,7 @@ import (
 
 func main() {
 	var (
-		expFlag    = flag.String("exp", "all", "experiment: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,wsp,case,ablations,joint,welfare,stats,perf,serve,cluster,chaos,codec,all")
+		expFlag    = flag.String("exp", "all", "experiment: table1,table2,fig2,fig3,fig4,fig5,fig6,fig7,wsp,case,ablations,joint,welfare,stats,perf,serve,cluster,chaos,codec,mutate,all")
 		scaleFlag  = flag.String("scale", "bench", "dataset scale: small, bench, full")
 		lambda     = flag.Float64("lambda", experiments.DefaultLambda, "ratings→WTP conversion factor λ")
 		theta      = flag.Float64("theta", 0, "bundling coefficient θ")
@@ -113,11 +113,11 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchO
 	}
 	all := wants["all"]
 	need := func(name string) bool { return all || wants[name] }
-	if benchOut != "" && !wants["perf"] && !wants["serve"] && !wants["cluster"] && !wants["chaos"] && !wants["codec"] {
+	if benchOut != "" && !wants["perf"] && !wants["serve"] && !wants["cluster"] && !wants["chaos"] && !wants["codec"] && !wants["mutate"] {
 		// perf, serve, cluster, chaos and codec are deliberately excluded
 		// from `all`; reject rather than silently dropping the flag (and
 		// never writing the file).
-		return fmt.Errorf("-benchout requires -exp perf, -exp serve, -exp cluster, -exp chaos or -exp codec")
+		return fmt.Errorf("-benchout requires -exp perf, -exp serve, -exp cluster, -exp chaos, -exp codec or -exp mutate")
 	}
 
 	// Table 1 needs no dataset.
@@ -137,7 +137,7 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchO
 	// perf, serve and cluster are opt-in only (not part of `all`): perf
 	// reruns each algorithm many times, and serve/cluster drive sustained
 	// load, any of which would dwarf the table/figure regeneration.
-	if wants["perf"] || wants["serve"] || wants["cluster"] || wants["chaos"] || wants["codec"] {
+	if wants["perf"] || wants["serve"] || wants["cluster"] || wants["chaos"] || wants["codec"] || wants["mutate"] {
 		needEnv = true
 	}
 	if !needEnv {
@@ -174,6 +174,11 @@ func run(exp, scaleName string, lambda, theta float64, k int, seed int64, benchO
 	if wants["codec"] {
 		if err := runCodec(env, scaleName, benchOut, params); err != nil {
 			return fmt.Errorf("codec: %w", err)
+		}
+	}
+	if wants["mutate"] {
+		if err := runMutate(env, scaleName, benchOut, params); err != nil {
+			return fmt.Errorf("mutate: %w", err)
 		}
 	}
 	if need("stats") {

@@ -1,0 +1,265 @@
+package main
+
+// The mutate experiment certifies the incremental mutation path on the
+// generated corpus through a real HTTP server: a full binary re-upload
+// (decode + session rebuild + registry swap) is timed against PATCH deltas
+// of one cell and of a batch, every mutation is replayed onto a shadow
+// matrix, and at the end the patched session must agree with a solver built
+// from scratch on the shadow within 1e-9. The harness prints a
+// machine-greppable mutate_gate line and fails unless a 1-cell delta costs
+// under 5% of a full re-upload, so the committed BENCH_mutate.json is a
+// correctness and cost certificate for delta upserts, not just a timing.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"bundling"
+	"bundling/client"
+	"bundling/internal/codec"
+	"bundling/internal/config"
+	"bundling/internal/experiments"
+	"bundling/internal/server"
+)
+
+// MutateReport is the file schema of BENCH_mutate.json.
+type MutateReport struct {
+	GeneratedAt string `json:"generated_at"`
+	Scale       string `json:"scale"`
+	Users       int    `json:"users"`
+	Items       int    `json:"items"`
+	Entries     int    `json:"entries"`
+	Go          string `json:"go"`
+	NumCPU      int    `json:"numcpu"`
+	MaxProcs    int    `json:"maxprocs"`
+
+	// Payload bytes on the wire: the full binary corpus record vs a 1-cell
+	// binary delta envelope.
+	UploadBytes int `json:"upload_bytes"`
+	Delta1Bytes int `json:"delta1_bytes"`
+
+	// Mean wall-clock per operation against the HTTP server.
+	FullUploadMS   float64 `json:"full_upload_ms"`
+	Delta1MS       float64 `json:"delta1_ms"`
+	BatchCells     int     `json:"batch_cells"`
+	DeltaBatchMS   float64 `json:"delta_batch_ms"`
+	UploadRounds   int     `json:"upload_rounds"`
+	Delta1Rounds   int     `json:"delta1_rounds"`
+	BatchRounds    int     `json:"batch_rounds"`
+	FinalGen       int     `json:"final_generation"`
+	EquivAlgorithm string  `json:"equiv_algorithm"`
+	EquivRelDiff   float64 `json:"equiv_rel_diff"`
+
+	// The acceptance gate: Delta1MS / FullUploadMS must stay under Threshold.
+	Delta1OverUpload float64 `json:"delta1_over_upload"`
+	Threshold        float64 `json:"threshold"`
+	GatePassed       bool    `json:"gate_passed"`
+}
+
+// timedRounds runs fn n times and returns the mean wall-clock milliseconds.
+func timedRounds(n int, fn func(round int) error) (float64, error) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Seconds() * 1000 / float64(n), nil
+}
+
+// runMutate measures delta-apply vs full re-upload and writes
+// BENCH_mutate.json with -benchout.
+func runMutate(env *experiments.Env, scaleName, outPath string, base config.Params) error {
+	users, items := env.W.Consumers(), env.W.Items()
+	report := MutateReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       scaleName,
+		Users:       users,
+		Items:       items,
+		Entries:     env.W.Entries(),
+		Go:          runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		Threshold:   0.05,
+	}
+
+	srv := server.New(server.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+	ctx := context.Background()
+
+	opts := bundling.Options{
+		Strategy:    bundling.Mixed,
+		Theta:       base.Theta,
+		Parallelism: base.Parallelism,
+	}
+	// The shadow: an independent copy of the corpus that every mutation is
+	// replayed onto, so the final equivalence check rebuilds from scratch.
+	shadow, err := bundling.NewMatrixDoc(env.W).Matrix()
+	if err != nil {
+		return err
+	}
+
+	// --- full upload: the baseline the delta path must beat --------------
+	optsJSON, err := json.Marshal(client.OptionsFromLibrary(opts))
+	if err != nil {
+		return err
+	}
+	doc := bundling.NewMatrixDoc(env.W)
+	payload, err := codec.EncodeRecord(&codec.Record{
+		ID: "mut", OptionsJSON: optsJSON, Matrix: codec.MatrixData(*doc),
+	})
+	if err != nil {
+		return err
+	}
+	report.UploadBytes = len(payload)
+	if _, err := c.UploadMatrixBin(ctx, "mut", env.W, opts); err != nil {
+		return fmt.Errorf("initial upload: %w", err)
+	}
+	report.UploadRounds = 5
+	report.FullUploadMS, err = timedRounds(report.UploadRounds, func(int) error {
+		_, err := c.UploadMatrixBin(ctx, "mut", env.W, opts)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("full re-upload: %w", err)
+	}
+	fmt.Printf("mutate: full re-upload %.1f ms mean (%d rounds, %d bytes)\n",
+		report.FullUploadMS, report.UploadRounds, report.UploadBytes)
+
+	// --- 1-cell delta: the tentpole measurement --------------------------
+	// Each round upserts a fresh value into one existing cell — the smallest
+	// possible mutation, end to end through decode, incremental posting
+	// maintenance, singleton repair and the registry swap.
+	rng := rand.New(rand.NewSource(7))
+	oneCell := func(round int) []client.DeltaCell {
+		u := rng.Intn(users)
+		i := rng.Intn(items)
+		return []client.DeltaCell{{Consumer: u, Item: i, Value: 1 + float64(round%20) + rng.Float64()*10}}
+	}
+	report.Delta1Rounds = 30
+	var applied [][]client.DeltaCell
+	report.Delta1MS, err = timedRounds(report.Delta1Rounds, func(round int) error {
+		cells := oneCell(round)
+		applied = append(applied, cells)
+		out, err := c.PatchCorpusBin(ctx, "mut", 0, cells)
+		if err != nil {
+			return err
+		}
+		report.FinalGen = out.Version
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("1-cell delta: %w", err)
+	}
+	report.Delta1Bytes = len(codec.EncodeDelta(codec.DeltaFromCells("mut", 0, []bundling.DeltaCell{{Consumer: 0, Item: 0, Value: 1}})))
+	fmt.Printf("mutate: 1-cell delta %.2f ms mean (%d rounds, %d bytes)\n",
+		report.Delta1MS, report.Delta1Rounds, report.Delta1Bytes)
+
+	// --- batch delta: the amortized shape --------------------------------
+	report.BatchCells, report.BatchRounds = 128, 3
+	report.DeltaBatchMS, err = timedRounds(report.BatchRounds, func(round int) error {
+		cells := make([]client.DeltaCell, 0, report.BatchCells)
+		for len(cells) < report.BatchCells {
+			u, i := rng.Intn(users), rng.Intn(items)
+			cell := client.DeltaCell{Consumer: u, Item: i}
+			if rng.Intn(4) == 0 && shadowHas(shadow, applied, u, i) {
+				cell.Delete = true
+			} else {
+				cell.Value = 1 + rng.Float64()*30
+			}
+			cells = append(cells, cell)
+		}
+		applied = append(applied, cells)
+		out, err := c.PatchCorpusBin(ctx, "mut", 0, cells)
+		if err != nil {
+			return err
+		}
+		report.FinalGen = out.Version
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("batch delta: %w", err)
+	}
+	fmt.Printf("mutate: %d-cell delta %.2f ms mean (%d rounds)\n",
+		report.BatchCells, report.DeltaBatchMS, report.BatchRounds)
+
+	// --- equivalence: the patched session vs a from-scratch rebuild ------
+	for _, batch := range applied {
+		for _, cell := range batch {
+			if cell.Delete {
+				if err := shadow.Delete(cell.Consumer, cell.Item); err != nil {
+					return err
+				}
+			} else {
+				shadow.MustSet(cell.Consumer, cell.Item, cell.Value)
+			}
+		}
+	}
+	direct, err := bundling.NewSolver(shadow, opts)
+	if err != nil {
+		return err
+	}
+	want, err := direct.Solve(bundling.Greedy())
+	if err != nil {
+		return err
+	}
+	got, err := c.Solve(ctx, "mut", "greedy")
+	if err != nil {
+		return err
+	}
+	report.EquivAlgorithm = "greedy"
+	report.EquivRelDiff = math.Abs(got.Config.Revenue-want.Revenue) / (1 + math.Abs(want.Revenue))
+	fmt.Printf("mutate: greedy equivalence after %d mutation batches, rel diff %.3g\n",
+		len(applied), report.EquivRelDiff)
+	if report.EquivRelDiff > 1e-9 {
+		return fmt.Errorf("patched session diverged from rebuild: rel diff %.3g > 1e-9", report.EquivRelDiff)
+	}
+
+	report.Delta1OverUpload = report.Delta1MS / report.FullUploadMS
+	report.GatePassed = report.Delta1OverUpload < report.Threshold
+	status := "ok"
+	if !report.GatePassed {
+		status = "fail"
+	}
+	fmt.Printf("mutate_gate=%s delta1_ms=%.2f upload_ms=%.1f ratio=%.4f threshold=%.2f\n\n",
+		status, report.Delta1MS, report.FullUploadMS, report.Delta1OverUpload, report.Threshold)
+
+	if outPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if !report.GatePassed {
+		return fmt.Errorf("mutate gate failed: a 1-cell delta costs %.1f%% of a full re-upload (budget 5%%)",
+			report.Delta1OverUpload*100)
+	}
+	return nil
+}
+
+// shadowHas reports whether cell (u,i) is currently set, given the base
+// shadow matrix and the mutation batches applied so far (later wins).
+func shadowHas(shadow *bundling.Matrix, applied [][]client.DeltaCell, u, i int) bool {
+	for b := len(applied) - 1; b >= 0; b-- {
+		batch := applied[b]
+		for k := len(batch) - 1; k >= 0; k-- {
+			if batch[k].Consumer == u && batch[k].Item == i {
+				return !batch[k].Delete
+			}
+		}
+	}
+	return shadow.At(u, i) > 0
+}

@@ -59,6 +59,7 @@ type options struct {
 	batchWindow  time.Duration
 	workers      string
 	dataDir      string
+	deltaFold    int
 	authKeys     string
 	authFile     string
 	quotaCorpora int
@@ -98,6 +99,7 @@ func main() {
 	flag.DurationVar(&o.batchWindow, "batch-window", 0, "evaluate micro-batch gather window (0 = drain immediately)")
 	flag.StringVar(&o.workers, "workers", "", "comma-separated bundleworker addresses; enables distributed stripe-sharded solving")
 	flag.StringVar(&o.dataDir, "data-dir", "", "corpus persistence directory; uploads survive restarts (empty = in-memory only)")
+	flag.IntVar(&o.deltaFold, "delta-fold", 0, "delta-record chain length folded into a snapshot at compaction (0 = 16)")
 	flag.StringVar(&o.authKeys, "auth-keys", "", "inline tenant=key[,tenant=key...] API keys; enables multi-tenant auth")
 	flag.StringVar(&o.authFile, "auth-file", "", "API key file, one tenant=key per line (# comments); enables multi-tenant auth")
 	flag.IntVar(&o.quotaCorpora, "quota-corpora", 0, "max live corpora per tenant (0 = unlimited)")
@@ -258,6 +260,9 @@ func run(o options) error {
 		store, err = server.OpenStore(o.dataDir)
 		if err != nil {
 			return err
+		}
+		if o.deltaFold > 0 {
+			store.SetDeltaFold(o.deltaFold)
 		}
 		defer func() {
 			// Graceful flush: the final compaction pass runs after the

@@ -316,6 +316,20 @@ func (b *Breaker) Assign(ctx context.Context, corpus string, req *AssignRequest)
 	return err
 }
 
+// Delta gates the span-delta feed like any other RPC when the wrapped
+// transport supports it; otherwise it reports delta-unsupported without
+// touching the breaker, and the coordinator full-feeds instead.
+func (b *Breaker) Delta(ctx context.Context, corpus string, req DeltaRequest) error {
+	dt, ok := b.t.(DeltaTransport)
+	if !ok {
+		return errDeltaUnsupported
+	}
+	_, err := call(b, ctx, func() (struct{}, error) {
+		return struct{}{}, dt.Delta(ctx, corpus, req)
+	})
+	return err
+}
+
 func (b *Breaker) Drop(ctx context.Context, corpus string) error {
 	_, err := call(b, ctx, func() (struct{}, error) {
 		return struct{}{}, b.t.Drop(ctx, corpus)

@@ -54,6 +54,8 @@ type Stats struct {
 	ReplicaRetries int64 // span requests retried on the replica worker
 	LocalFallbacks int64 // span requests computed from the local replica
 	BreakerSkips   int64 // RPCs rejected without dialing by an open circuit breaker
+	DeltaFeeds     int64 // spans rebased in place on a worker by a delta feed
+	DeltaFallbacks int64 // delta feeds that fell back to a full span feed
 }
 
 // Solver is the coordinator: a bundling session whose striped reductions
@@ -243,6 +245,8 @@ func (s *Solver) ClusterStats() Stats {
 		ReplicaRetries: s.exec.replicaRetries.Load(),
 		LocalFallbacks: s.exec.localFallbacks.Load(),
 		BreakerSkips:   s.exec.breakerSkips.Load(),
+		DeltaFeeds:     s.exec.deltaFeeds.Load(),
+		DeltaFallbacks: s.exec.deltaFallbacks.Load(),
 	}
 }
 
@@ -353,6 +357,8 @@ type executor struct {
 	replicaRetries atomic.Int64
 	localFallbacks atomic.Int64
 	breakerSkips   atomic.Int64
+	deltaFeeds     atomic.Int64
+	deltaFallbacks atomic.Int64
 }
 
 // nextFeedBackoff computes the suppression window after the n-th (1-based)

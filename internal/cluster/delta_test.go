@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"bundling"
+)
+
+// clusterDelta draws a random mutation batch against the current dimensions:
+// adds, updates of likely-occupied cells, deletes (some of absent cells) and
+// duplicate coordinates, mirroring the wtp-level differential harness.
+func clusterDelta(rng *rand.Rand, consumers, items, n int) []bundling.DeltaCell {
+	cells := make([]bundling.DeltaCell, 0, n)
+	for len(cells) < n {
+		c := bundling.DeltaCell{Consumer: rng.Intn(consumers), Item: rng.Intn(items)}
+		switch rng.Intn(4) {
+		case 0:
+			c.Delete = true
+		default:
+			c.Value = rng.Float64() * 20
+		}
+		cells = append(cells, c)
+	}
+	return cells
+}
+
+// replayMatrix rebuilds the corpus from scratch: the seed matrix re-generated
+// plus every delta batch replayed through the plain Set/Delete mutation path.
+func replayMatrix(t *testing.T, consumers, items int, seed int64, history [][]bundling.DeltaCell) *bundling.Matrix {
+	t.Helper()
+	w := testMatrix(t, consumers, items, seed)
+	for _, batch := range history {
+		for _, c := range batch {
+			if c.Delete {
+				if err := w.Delete(c.Consumer, c.Item); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				w.MustSet(c.Consumer, c.Item, c.Value)
+			}
+		}
+	}
+	return w
+}
+
+// TestClusterDeltaMatchesRebuild is the fleet half of the differential
+// harness: random delta chains applied through the coordinator's span-scoped
+// delta feeds must match a from-scratch local rebuild within 1e-9 on all
+// five algorithms and Evaluate, over a 2-worker in-process fleet.
+func TestClusterDeltaMatchesRebuild(t *testing.T) {
+	const consumers, items, seed = 150, 12, 2
+	for _, strategy := range []bundling.Strategy{bundling.Pure, bundling.Mixed} {
+		opts := bundling.Options{Strategy: strategy, Theta: -0.1, StripeSize: 16}
+		w := testMatrix(t, consumers, items, seed)
+		_, transports := fleet(2)
+		cs, err := NewSolver(w, opts, Config{Workers: transports})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed * 7))
+		var history [][]bundling.DeltaCell
+		for round := 0; round < 3; round++ {
+			cells := clusterDelta(rng, consumers, items, 5+rng.Intn(10))
+			history = append(history, cells)
+			next, err := cs.ApplyDelta(cells)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs.Close()
+			cs = next
+			local, err := bundling.NewSolver(replayMatrix(t, consumers, items, seed, history), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A delta bumps the version once per batch while the replay's
+			// Set/Delete path counts every mutation, so compare everything
+			// but the counter.
+			gotStats, wantStats := cs.Stats(), local.Stats()
+			gotStats.Version, wantStats.Version = 0, 0
+			if gotStats != wantStats {
+				t.Fatalf("round %d: stats %+v != %+v", round, gotStats, wantStats)
+			}
+			for _, alg := range bundling.Algorithms() {
+				want, err := local.Solve(alg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := cs.Solve(alg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameConfig(t, alg.Name()+"/"+strategy.String(), got, want)
+			}
+			want, err := local.Evaluate(evalOffers())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cs.Evaluate(evalOffers())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameConfig(t, "evaluate/"+strategy.String(), got, want)
+		}
+		st := cs.ClusterStats()
+		if st.DeltaFeeds == 0 {
+			t.Fatalf("strategy %v: no delta feeds recorded: %+v", strategy, st)
+		}
+		if st.DeltaFallbacks != 0 {
+			t.Fatalf("strategy %v: unexpected delta fallbacks: %+v", strategy, st)
+		}
+		cs.Close()
+	}
+}
+
+// plainTransport hides the DeltaTransport extension of a Local transport, so
+// the coordinator must take the full-feed fallback.
+type plainTransport struct{ l *Local }
+
+func (p plainTransport) Assign(ctx context.Context, corpus string, req *AssignRequest) error {
+	return p.l.Assign(ctx, corpus, req)
+}
+func (p plainTransport) Drop(ctx context.Context, corpus string) error {
+	return p.l.Drop(ctx, corpus)
+}
+func (p plainTransport) Vector(ctx context.Context, corpus string, req VectorRequest) (VectorResponse, error) {
+	return p.l.Vector(ctx, corpus, req)
+}
+func (p plainTransport) Union(ctx context.Context, corpus string, req UnionRequest) (VectorResponse, error) {
+	return p.l.Union(ctx, corpus, req)
+}
+func (p plainTransport) Stats(ctx context.Context, corpus string, req StatsRequest) (StatsResponse, error) {
+	return p.l.Stats(ctx, corpus, req)
+}
+func (p plainTransport) Hist(ctx context.Context, corpus string, req HistRequest) (HistResponse, error) {
+	return p.l.Hist(ctx, corpus, req)
+}
+func (p plainTransport) Health(ctx context.Context) (WorkerHealth, error) {
+	return p.l.Health(ctx)
+}
+func (p plainTransport) Addr() string { return p.l.Addr() }
+
+// TestClusterDeltaFallback drives the two fallback legs: a transport without
+// delta support and a worker that lost the base span both converge through a
+// full span feed, with the fallback counted.
+func TestClusterDeltaFallback(t *testing.T) {
+	const consumers, items, seed = 96, 10, 3
+	opts := bundling.Options{StripeSize: 16}
+	cells := []bundling.DeltaCell{{Consumer: 3, Item: 2, Value: 9.5}, {Consumer: 90, Item: 1, Delete: true}}
+	local, err := bundling.NewSolver(replayMatrix(t, consumers, items, seed, [][]bundling.DeltaCell{cells}), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := local.Solve(bundling.Matching())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("no_delta_transport", func(t *testing.T) {
+		workers, _ := fleet(2)
+		transports := []Transport{
+			plainTransport{NewLocal(workers[0], "w0")},
+			plainTransport{NewLocal(workers[1], "w1")},
+		}
+		cs, err := NewSolver(testMatrix(t, consumers, items, seed), opts, Config{Workers: transports})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cs.Close()
+		next, err := cs.ApplyDelta(cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer next.Close()
+		got, err := next.Solve(bundling.Matching())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameConfig(t, "no_delta_transport", got, want)
+		st := next.ClusterStats()
+		if st.DeltaFeeds != 0 || st.DeltaFallbacks == 0 {
+			t.Fatalf("expected only fallbacks: %+v", st)
+		}
+	})
+
+	t.Run("missing_base_span", func(t *testing.T) {
+		workers, transports := fleet(2)
+		cs, err := NewSolver(testMatrix(t, consumers, items, seed), opts, Config{Workers: transports})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cs.Close()
+		cs.exec.feeding.Wait()
+		// Evict every base span: the workers reject the delta rebase with
+		// ErrSpan and the coordinator must re-ship the spans whole.
+		for _, sl := range cs.exec.spans {
+			for _, wk := range workers {
+				_ = wk.Drop(sl.key)
+			}
+		}
+		next, err := cs.ApplyDelta(cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer next.Close()
+		got, err := next.Solve(bundling.Matching())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameConfig(t, "missing_base_span", got, want)
+		st := next.ClusterStats()
+		if st.DeltaFeeds != 0 || st.DeltaFallbacks == 0 {
+			t.Fatalf("expected only fallbacks: %+v", st)
+		}
+	})
+}
+
+// TestClusterDeltaConcurrentSolves mutates the corpus while solves run on
+// the base session over the fleet — the race detector's view of the
+// copy-on-write claim at the coordinator layer.
+func TestClusterDeltaConcurrentSolves(t *testing.T) {
+	const consumers, items, seed = 120, 10, 4
+	opts := bundling.Options{StripeSize: 16}
+	_, transports := fleet(2)
+	base, err := NewSolver(testMatrix(t, consumers, items, seed), opts, Config{Workers: transports})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Solve(bundling.Greedy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, err := base.Solve(bundling.Greedy())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				sameConfig(t, "concurrent base solve", got, want)
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cur := base
+	var derived []*Solver
+	for round := 0; round < 5; round++ {
+		next, err := cur.ApplyDelta(clusterDelta(rng, consumers, items, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := next.Solve(bundling.Matching()); err != nil {
+			t.Fatal(err)
+		}
+		derived = append(derived, next)
+		cur = next
+	}
+	close(stop)
+	wg.Wait()
+	base.Close()
+	for _, s := range derived {
+		s.Close()
+	}
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bundling"
+	"bundling/internal/codec"
+	"bundling/internal/server"
+)
+
+// TestFleetPatchDifferential is the clustered serving half of the
+// differential harness: a server whose sessions are cluster coordinators
+// over two HTTP workers takes PATCH mutations — JSON and binary codec
+// payloads interleaved — and after every round all five algorithms plus
+// Evaluate must agree with a from-scratch local rebuild within 1e-9.
+func TestFleetPatchDifferential(t *testing.T) {
+	const consumers, items, seed = 150, 12, 4
+	workers := make([]*Worker, 2)
+	transports := make([]Transport, 2)
+	for i := range workers {
+		workers[i] = NewWorker(WorkerConfig{})
+		wts := httptest.NewServer(workers[i].Handler())
+		defer wts.Close()
+		transports[i] = NewHTTP(wts.URL, nil)
+	}
+	srv := server.New(server.Config{
+		NewSolver: func(w *bundling.Matrix, opts bundling.Options) (server.Solver, error) {
+			return NewSolver(w, opts, Config{Workers: transports})
+		},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) (int, string) {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+	patch := func(contentType string, body []byte) (int, string) {
+		req, err := http.NewRequest(http.MethodPatch, ts.URL+"/v1/corpora/fd", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", contentType)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+
+	opts := bundling.Options{Theta: -0.1, StripeSize: 16}
+	w := testMatrix(t, consumers, items, seed)
+	createBody, err := json.Marshal(server.CreateCorpusRequest{
+		ID:      "fd",
+		Options: server.NewOptionsDoc(opts),
+		Matrix:  bundling.NewMatrixDoc(w),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := post("/v1/corpora", string(createBody)); code != http.StatusCreated {
+		t.Fatalf("upload: %d: %s", code, body)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	var history [][]bundling.DeltaCell
+	for round := 0; round < 3; round++ {
+		cells := clusterDelta(rng, consumers, items, 6)
+		history = append(history, cells)
+		var code int
+		var body string
+		if round%2 == 0 {
+			buf, err := json.Marshal(server.MutateCorpusRequest{Cells: cells})
+			if err != nil {
+				t.Fatal(err)
+			}
+			code, body = patch("application/json", buf)
+		} else {
+			d := codec.DeltaFromCells("fd", uint64(round+1), cells)
+			code, body = patch(codec.ContentType, codec.EncodeDelta(d))
+		}
+		if code != http.StatusOK {
+			t.Fatalf("round %d: patch: %d: %s", round, code, body)
+		}
+		var out server.MutateCorpusResponse
+		if err := json.Unmarshal([]byte(body), &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Version != round+2 {
+			t.Fatalf("round %d: generation %d, want %d", round, out.Version, round+2)
+		}
+
+		rebuilt := replayMatrix(t, consumers, items, seed, history)
+		direct, err := bundling.NewSolver(rebuilt, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range bundling.Algorithms() {
+			want, err := direct.Solve(alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			code, body := post("/v1/corpora/fd/solve", fmt.Sprintf(`{"algorithm":%q}`, alg.Name()))
+			if code != http.StatusOK {
+				t.Fatalf("round %d: solve %s: %d: %s", round, alg.Name(), code, body)
+			}
+			var out server.SolveResponse
+			if err := json.Unmarshal([]byte(body), &out); err != nil {
+				t.Fatal(err)
+			}
+			if out.Cached {
+				t.Fatalf("round %d: %s served a cached result across the mutation", round, alg.Name())
+			}
+			if math.Abs(out.Config.Revenue-want.Revenue) > 1e-9*(1+math.Abs(want.Revenue)) {
+				t.Fatalf("round %d %s: revenue %.12f != rebuild %.12f", round, alg.Name(), out.Config.Revenue, want.Revenue)
+			}
+		}
+		want, err := direct.Evaluate(evalOffers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		offers, err := json.Marshal(evalOffers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, body = post("/v1/corpora/fd/evaluate", fmt.Sprintf(`{"offers":%s}`, offers))
+		if code != http.StatusOK {
+			t.Fatalf("round %d: evaluate: %d: %s", round, code, body)
+		}
+		var ev server.EvaluateResponse
+		if err := json.Unmarshal([]byte(body), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ev.Config.Revenue-want.Revenue) > 1e-9*(1+math.Abs(want.Revenue)) {
+			t.Fatalf("round %d evaluate: %.12f != %.12f", round, ev.Config.Revenue, want.Revenue)
+		}
+	}
+
+	// The mutated spans must be resident on the workers: every worker that
+	// held spans before the chain still serves spans for the live session.
+	var spans int
+	for _, wk := range workers {
+		spans += len(wk.Health().Spans)
+	}
+	if spans == 0 {
+		t.Fatal("no spans resident on workers after delta chain")
+	}
+}

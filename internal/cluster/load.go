@@ -130,6 +130,17 @@ func (lt *loadTransport) Assign(ctx context.Context, corpus string, req *AssignR
 	return err
 }
 
+func (lt *loadTransport) Delta(ctx context.Context, corpus string, req DeltaRequest) error {
+	dt, ok := lt.t.(DeltaTransport)
+	if !ok {
+		return errDeltaUnsupported
+	}
+	start := time.Now()
+	err := dt.Delta(ctx, corpus, req)
+	lt.ld.record("delta", time.Since(start), err)
+	return err
+}
+
 func (lt *loadTransport) Drop(ctx context.Context, corpus string) error {
 	start := time.Now()
 	err := lt.t.Drop(ctx, corpus)

@@ -48,6 +48,20 @@ type Transport interface {
 	Addr() string
 }
 
+// DeltaTransport is the optional span-delta extension of Transport: rebasing
+// a resident span under a new corpus key by shipping only the mutated cells.
+// The coordinator asserts it per worker; a transport (or wrapper) that does
+// not implement it — or answers any error — simply gets the full span feed
+// instead, so mixed fleets stay correct.
+type DeltaTransport interface {
+	Delta(ctx context.Context, corpus string, req DeltaRequest) error
+}
+
+// errDeltaUnsupported is what a wrapper transport answers when the transport
+// it wraps has no delta support; the coordinator treats it like any other
+// delta failure and ships the full span.
+var errDeltaUnsupported = errors.New("cluster: wrapped transport does not support span deltas")
+
 // Local is the in-process transport: direct calls into a *Worker in the
 // same address space, bypassing serialization entirely.
 type Local struct {
@@ -60,6 +74,10 @@ func NewLocal(w *Worker, name string) *Local { return &Local{W: w, Name: name} }
 
 func (l *Local) Assign(_ context.Context, corpus string, req *AssignRequest) error {
 	return l.W.Assign(corpus, req.Span)
+}
+
+func (l *Local) Delta(_ context.Context, corpus string, req DeltaRequest) error {
+	return l.W.Delta(corpus, req)
 }
 
 func (l *Local) Drop(_ context.Context, corpus string) error {
@@ -288,6 +306,16 @@ func (h *HTTP) Assign(ctx context.Context, corpus string, req *AssignRequest) er
 	h.feedLegacy.Add(int64(len(buf)))
 	h.jsonAssign.Store(true)
 	return nil
+}
+
+// Delta ships a span rebase as a binary codec delta envelope — the payload
+// is a few cells, so there is no JSON fallback to negotiate: a worker that
+// cannot decode it answers an error and the coordinator full-feeds instead.
+func (h *HTTP) Delta(ctx context.Context, corpus string, req DeltaRequest) error {
+	d := codec.DeltaFromCells(req.BaseCorpus, 0, req.Cells)
+	d.FromVersion = req.FromVersion
+	d.ToVersion = req.ToVersion
+	return h.doBytes(ctx, http.MethodPost, h.spanPath(corpus, "delta"), codec.ContentType, codec.EncodeDelta(d), nil)
 }
 
 func (h *HTTP) Drop(ctx context.Context, corpus string) error {

@@ -46,6 +46,20 @@ type AssignRequest struct {
 	Span   *wtp.SpanDoc `json:"span"`
 }
 
+// DeltaRequest rebases a worker's span replica instead of re-shipping it:
+// the worker resolves the span registered under BaseCorpus, checks it holds
+// snapshot FromVersion (missing or stale → ErrSpan, and the coordinator
+// falls back to a full span feed), applies the span-scoped cells, and
+// registers the patched replica under the request's corpus key stamped
+// ToVersion. An empty cell list is a cheap alias feed: the new session key
+// adopts the untouched base span without re-shipping its postings.
+type DeltaRequest struct {
+	BaseCorpus  string     `json:"base_corpus"`
+	FromVersion uint64     `json:"from_version"`
+	ToVersion   uint64     `json:"to_version"`
+	Cells       []wtp.Cell `json:"cells,omitempty"`
+}
+
 // VectorRequest asks a worker for its span's share of a bundle's
 // interested-consumer vector (Eq. 1).
 type VectorRequest struct {

@@ -98,6 +98,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/spans/{corpus}", wk.handleAssign)
+	mux.HandleFunc("POST /v1/spans/{corpus}/delta", wk.handleDelta)
 	mux.HandleFunc("DELETE /v1/spans/{corpus}", wk.handleDrop)
 	mux.HandleFunc("POST /v1/spans/{corpus}/vector", wk.handleVector)
 	mux.HandleFunc("POST /v1/spans/{corpus}/union", wk.handleUnion)
@@ -150,6 +151,13 @@ func (wk *Worker) Assign(corpus string, doc *wtp.SpanDoc) error {
 	if err != nil {
 		return err
 	}
+	wk.register(corpus, store)
+	return nil
+}
+
+// register installs a span store under a corpus key, evicting the
+// least-recently-used span when the bound is exceeded.
+func (wk *Worker) register(corpus string, store *wtp.SpanStore) {
 	sp := &workerSpan{corpus: corpus, store: store}
 	sp.lastUse.Store(wk.seq.Add(1))
 	wk.mu.Lock()
@@ -165,6 +173,28 @@ func (wk *Worker) Assign(corpus string, doc *wtp.SpanDoc) error {
 		}
 		delete(wk.spans, victim)
 	}
+}
+
+// Delta rebases a resident span under a new corpus key: the base span must
+// be registered under req.BaseCorpus at snapshot req.FromVersion (missing or
+// stale answers ErrSpan so the coordinator falls back to a full feed), the
+// span-scoped cells are applied to a patched copy sharing every untouched
+// stripe, and the copy registers under corpus stamped req.ToVersion. The
+// base span stays resident and untouched, so the previous session keeps
+// serving while it drains.
+func (wk *Worker) Delta(corpus string, req DeltaRequest) error {
+	if corpus == "" {
+		return fmt.Errorf("cluster: empty corpus key")
+	}
+	base, err := wk.span(req.BaseCorpus, req.FromVersion)
+	if err != nil {
+		return err
+	}
+	store, err := base.ApplyDelta(req.Cells, req.ToVersion)
+	if err != nil {
+		return err
+	}
+	wk.register(corpus, store)
 	return nil
 }
 
@@ -367,6 +397,39 @@ func (wk *Worker) handleAssign(w http.ResponseWriter, r *http.Request) {
 	wk.recordRemote(r, "assign", r.PathValue("corpus"), start, nil)
 	// No payload: the coordinator ignores it, and a full health report per
 	// feed would just be discarded bytes (spans are visible on /healthz).
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleDelta accepts a span-delta feed in either encoding — the binary
+// codec delta envelope (what current coordinators send; the envelope's
+// interned ID carries the base corpus key) or its JSON DeltaRequest form —
+// mirroring handleAssign's negotiation.
+func (wk *Worker) handleDelta(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req DeltaRequest
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, codec.ContentType) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wk.cfg.MaxRequestBytes))
+		if err != nil {
+			wk.failErr(w, fmt.Errorf("decode delta: %w", err))
+			return
+		}
+		d, err := codec.DecodeDelta(body)
+		if err != nil {
+			wk.failErr(w, fmt.Errorf("decode delta: %w", err))
+			return
+		}
+		req = DeltaRequest{BaseCorpus: d.ID, FromVersion: d.FromVersion, ToVersion: d.ToVersion, Cells: d.Cells()}
+	} else if err := decodeBody(w, r, &req, wk.cfg.MaxRequestBytes); err != nil {
+		wk.failErr(w, fmt.Errorf("decode delta: %w", err))
+		return
+	}
+	err := wk.Delta(r.PathValue("corpus"), req)
+	wk.recordRemote(r, "delta", r.PathValue("corpus"), start, err)
+	if err != nil {
+		wk.failErr(w, err)
+		return
+	}
+	wk.met.Observe("delta", time.Since(start))
 	w.WriteHeader(http.StatusNoContent)
 }
 

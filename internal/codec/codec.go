@@ -52,6 +52,7 @@ const (
 	kindSpan   = 0x02
 	kindRecord = 0x03
 	kindAssign = 0x04
+	kindDelta  = 0x05
 )
 
 // appendHeader starts an envelope of the given kind.
@@ -135,6 +136,14 @@ func (r *reader) take(n int) ([]byte, error) {
 	b := r.buf[r.off : r.off+n]
 	r.off += n
 	return b, nil
+}
+
+// appendFixed64 appends one little-endian uint64 (version nonces carry their
+// high bit set, so a varint would balloon them to 10 bytes).
+func appendFixed64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 }
 
 // fixed64 reads one little-endian uint64 (span version nonces carry their

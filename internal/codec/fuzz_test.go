@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"bundling/internal/codec"
+	"bundling/internal/wtp"
 )
 
 // encodedJSONLen is the JSON byte size of v, the baseline the size tests
@@ -104,6 +105,35 @@ func FuzzDecodeRecord(f *testing.F) {
 		}
 		if again.ID != rec.ID || again.Tenant != rec.Tenant || again.Generation != rec.Generation {
 			t.Fatal("re-encoded record changed identity")
+		}
+	})
+}
+
+func FuzzDecodeDelta(f *testing.F) {
+	valid := codec.EncodeDelta(codec.DeltaFromCells("c", 3, []wtp.Cell{
+		{Consumer: 0, Item: 1, Value: 2.5},
+		{Consumer: 4, Item: 0, Delete: true},
+		{Consumer: 2, Item: 1, Value: 0.25},
+	}))
+	seedCorpus(f, valid)
+	// Hostile shapes specific to the delta payload: misaligned columns,
+	// out-of-range and descending delete indices, a value on a deleted cell.
+	f.Add([]byte{0xBC, 'X', 1, 0x05, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 0, 2, 1, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := codec.DecodeDelta(data)
+		if err != nil {
+			return
+		}
+		again, err := codec.DecodeDelta(codec.EncodeDelta(d))
+		if err != nil || !reflect.DeepEqual(again, d) {
+			t.Fatalf("re-encoded delta did not round-trip: %v", err)
+		}
+		// A decoded delta must always convert to cells without panicking,
+		// and the cells must survive the column round-trip.
+		cells := d.Cells()
+		back := codec.DeltaFromCells(d.ID, d.IfGeneration, cells)
+		if !reflect.DeepEqual(back.Consumers, d.Consumers) || !reflect.DeepEqual(back.Values, d.Values) {
+			t.Fatal("cells did not round-trip through columns")
 		}
 	})
 }

@@ -23,9 +23,7 @@ func appendSpanPayload(dst []byte, d *wtp.SpanDoc) []byte {
 	dst = appendDim(dst, d.StripeSize)
 	dst = appendDim(dst, d.Start)
 	dst = appendDim(dst, d.End)
-	dst = append(dst,
-		byte(d.Version), byte(d.Version>>8), byte(d.Version>>16), byte(d.Version>>24),
-		byte(d.Version>>32), byte(d.Version>>40), byte(d.Version>>48), byte(d.Version>>56))
+	dst = appendFixed64(dst, d.Version)
 	dst = appendInt32Column(dst, d.Offs)
 	dst = appendInt32Column(dst, d.IDs)
 	dst = appendFloatColumn(dst, d.Vals)

@@ -1,0 +1,59 @@
+package config
+
+import (
+	"bundling/internal/wtp"
+)
+
+// ApplyDelta derives a new session serving the mutated corpus from this one,
+// without re-indexing: the matrix is patched copy-on-write (wtp.WithDelta),
+// the striped shard rebuilds only the stripes holding mutated consumers, and
+// the priced singleton prototypes are repaired for the mutated items only.
+// Re-pricing a singleton re-runs the Sec. 4.2 price-search over the item's
+// patched consumer vector — the per-item WTP histogram the search walks is
+// derived from that vector, so the repair is exactly a histogram rebuild for
+// the touched items. Every untouched prototype (vector, quote, mixed-bundling
+// state) is shared read-only with the receiver.
+//
+// exec follows the NewSolverOn contract: nil selects the new local shard; a
+// distributed caller passes the executor wired to the patched worker spans.
+// The frequent-itemset transaction lists are not carried over — they are
+// per-consumer views that a delta invalidates row-wise, and they re-mine
+// lazily on the next FreqItemset solve, keeping ApplyDelta free of any
+// O(entries) work.
+//
+// The receiver is untouched and keeps serving its own snapshot, so in-flight
+// solves race with nothing: ApplyDelta only reads state that is immutable
+// after NewSolver.
+func (s *Solver) ApplyDelta(cells []wtp.Cell, exec StripeExecutor) (*Solver, error) {
+	nw, err := s.w.WithDelta(cells)
+	if err != nil {
+		return nil, err
+	}
+	nsh, err := s.sh.ApplyDelta(nw, cells)
+	if err != nil {
+		return nil, err
+	}
+	ns := &Solver{
+		w:      nw,
+		sh:     nsh,
+		exec:   exec,
+		params: s.params,
+		pr:     s.pr,
+		k:      s.k,
+	}
+	if ns.exec == nil {
+		ns.exec = localExec{nsh}
+	}
+	touched := make(map[int]bool, len(cells))
+	for _, c := range cells {
+		touched[c.Item] = true
+	}
+	ns.protos = make([]*node, len(s.protos))
+	copy(ns.protos, s.protos)
+	e := ns.newEngine()
+	defer e.release()
+	for i := range touched {
+		ns.protos[i] = e.buildSingleton(e.ctx, i)
+	}
+	return ns, nil
+}

@@ -1,0 +1,181 @@
+package config
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"bundling/internal/wtp"
+)
+
+// deltaBatch draws a random mutation batch against the matrix: adds, value
+// updates, deletes of present and absent cells, duplicates and no-op
+// rewrites — the full alphabet the differential suite must cover.
+func deltaBatch(rng *rand.Rand, w *wtp.Matrix, count int) []wtp.Cell {
+	cells := make([]wtp.Cell, 0, count)
+	for len(cells) < count {
+		u, i := rng.Intn(w.Consumers()), rng.Intn(w.Items())
+		switch rng.Intn(6) {
+		case 0:
+			cells = append(cells, wtp.Cell{Consumer: u, Item: i, Delete: true})
+		case 1:
+			cells = append(cells, wtp.Cell{Consumer: u, Item: i, Value: w.At(u, i)})
+		default:
+			cells = append(cells, wtp.Cell{Consumer: u, Item: i, Value: 0.5 + rng.Float64()*30})
+		}
+		if len(cells) < count && rng.Intn(3) == 0 {
+			prev := cells[len(cells)-1]
+			cells = append(cells, wtp.Cell{Consumer: prev.Consumer, Item: prev.Item, Value: 0.5 + rng.Float64()*30})
+		}
+	}
+	return cells
+}
+
+// replay applies the delta to a from-scratch mutable copy of w — the
+// reference a delta-derived session is diffed against.
+func replay(t *testing.T, w *wtp.Matrix, cells []wtp.Cell) *wtp.Matrix {
+	t.Helper()
+	nw := wtp.MustNew(w.Consumers(), w.Items())
+	for u := 0; u < w.Consumers(); u++ {
+		for i := 0; i < w.Items(); i++ {
+			if v := w.At(u, i); v != 0 {
+				nw.MustSet(u, i, v)
+			}
+		}
+	}
+	for _, c := range cells {
+		if c.Delete {
+			if err := nw.Delete(c.Consumer, c.Item); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			nw.MustSet(c.Consumer, c.Item, c.Value)
+		}
+	}
+	return nw
+}
+
+// TestDeltaSolverMatchesRebuild chains random deltas through Solver.ApplyDelta
+// and, at every generation, diffs all five algorithms plus Evaluate against a
+// from-scratch session over an independently rebuilt matrix. Tolerance 1e-9.
+func TestDeltaSolverMatchesRebuild(t *testing.T) {
+	for _, strategy := range []Strategy{Pure, Mixed} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%v/seed%d", strategy, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				params := DefaultParams()
+				params.Strategy = strategy
+				params.Theta = 0.1
+				w := equivMatrix(t, seed*101, 60, 14, 0.3)
+				s, err := NewSolver(w, params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for round := 0; round < 3; round++ {
+					cells := deltaBatch(rng, s.Matrix(), 1+rng.Intn(15))
+					next, err := s.ApplyDelta(cells, nil)
+					if err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+					if next.Stats().Version != s.Stats().Version+1 {
+						t.Fatalf("round %d: version %d, want %d", round, next.Stats().Version, s.Stats().Version+1)
+					}
+					rebuilt := replay(t, s.Matrix(), cells)
+					fresh, err := NewSolver(rebuilt, params)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, a := range Algorithms() {
+						label := fmt.Sprintf("round %d %s", round, a.Name())
+						got, err := next.Solve(a)
+						if err != nil {
+							t.Fatalf("%s (delta): %v", label, err)
+						}
+						want, err := fresh.Solve(a)
+						if err != nil {
+							t.Fatalf("%s (rebuild): %v", label, err)
+						}
+						sameConfiguration(t, label, got, want, 1e-9)
+					}
+					// Evaluate the rebuilt session's greedy partition on both.
+					cfg, err := fresh.Solve(GreedyAlgorithm())
+					if err != nil {
+						t.Fatal(err)
+					}
+					offers := make([][]int, 0, len(cfg.Bundles))
+					for _, b := range cfg.Bundles {
+						offers = append(offers, b.Items)
+					}
+					got, err := next.Evaluate(offers)
+					if err != nil {
+						t.Fatalf("round %d evaluate (delta): %v", round, err)
+					}
+					want, err := fresh.Evaluate(offers)
+					if err != nil {
+						t.Fatalf("round %d evaluate (rebuild): %v", round, err)
+					}
+					sameConfiguration(t, fmt.Sprintf("round %d evaluate", round), got, want, 1e-9)
+					s = next
+				}
+			})
+		}
+	}
+}
+
+// TestDeltaConcurrentSolves races solves against mutation: worker goroutines
+// keep solving on whatever session generation they hold while the main
+// goroutine chains deltas. Old generations must keep serving their snapshot
+// unperturbed (run with -race).
+func TestDeltaConcurrentSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := equivMatrix(t, 7, 50, 12, 0.3)
+	params := DefaultParams()
+	s, err := NewSolver(w, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := s.Solve(GreedyAlgorithm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				cfg, err := s.Solve(GreedyAlgorithm())
+				if err != nil {
+					t.Errorf("concurrent solve: %v", err)
+					return
+				}
+				if math.Abs(cfg.Revenue-baseline.Revenue) > 1e-9 {
+					t.Errorf("old generation drifted: revenue %.12f, want %.12f", cfg.Revenue, baseline.Revenue)
+					return
+				}
+			}
+		}()
+	}
+	cur := s
+	for round := 0; round < 8; round++ {
+		cells := deltaBatch(rng, cur.Matrix(), 1+rng.Intn(10))
+		next, err := cur.ApplyDelta(cells, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := next.Solve(MatchingAlgorithm()); err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	close(done)
+	wg.Wait()
+}

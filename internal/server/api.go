@@ -87,6 +87,34 @@ type CreateCorpusRequest struct {
 	CSV     string              `json:"csv,omitempty"`
 }
 
+// DeltaCellDoc is one mutation cell of a PATCH request: set (consumer,
+// item) to value, or delete the cell. Within one request the last write to
+// a coordinate wins.
+type DeltaCellDoc = bundling.DeltaCell
+
+// MutateCorpusRequest applies a delta upsert to a corpus in place of a full
+// re-upload. IfGeneration, when non-zero, makes the mutation conditional:
+// it must equal the corpus's current generation or the request fails with
+// 409 and nothing is applied — the optimistic-concurrency handle for
+// read-modify-write callers. The binary alternative is a codec delta
+// envelope (Content-Type application/x-bundling-codec) carrying the same
+// cells and condition.
+type MutateCorpusRequest struct {
+	IfGeneration int            `json:"if_generation,omitempty"`
+	Cells        []DeltaCellDoc `json:"cells"`
+}
+
+// MutateCorpusResponse reports an applied mutation: the corpus's new
+// generation (every cached result of the previous generation is dead) and
+// the post-mutation session info.
+type MutateCorpusResponse struct {
+	Corpus    string     `json:"corpus"`
+	Version   int        `json:"version"` // new generation after the mutation
+	Applied   int        `json:"applied"` // cells in the request (last-wins per coordinate)
+	ElapsedMS float64    `json:"elapsed_ms"`
+	Info      CorpusInfo `json:"info"`
+}
+
 // CorpusInfo describes one live session.
 type CorpusInfo struct {
 	ID        string     `json:"id"`

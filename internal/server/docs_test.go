@@ -107,14 +107,15 @@ func TestAPIDocMatchesServer(t *testing.T) {
 	}
 
 	// The documented endpoint table must list exactly the served routes.
-	routeRE := regexp.MustCompile("\\| `((?:GET|POST|DELETE) /[^`]*)` \\|")
+	routeRE := regexp.MustCompile("\\| `((?:GET|POST|PATCH|DELETE) /[^`]*)` \\|")
 	documented := map[string]bool{}
 	for _, m := range routeRE.FindAllStringSubmatch(md, -1) {
 		documented[m[1]] = true
 	}
 	served := []string{
 		"POST /v1/corpora", "GET /v1/corpora", "GET /v1/corpora/{id}",
-		"DELETE /v1/corpora/{id}", "POST /v1/corpora/{id}/solve",
+		"PATCH /v1/corpora/{id}", "DELETE /v1/corpora/{id}",
+		"POST /v1/corpora/{id}/solve",
 		"POST /v1/corpora/{id}/evaluate", "GET /v1/usage",
 		"GET /healthz", "GET /metrics",
 		"GET /debug/traces", "GET /debug/fleet",
@@ -139,7 +140,14 @@ func TestAPIDocMatchesServer(t *testing.T) {
 	if code != http.StatusCreated {
 		t.Fatalf("doc upload example: %d: %s", code, body)
 	}
-	liveKeysDocumented(t, "CorpusInfo", body, docBlock(t, blocks, `"created_at"`, `"total_wtp"`, `!"corpora"`))
+	liveKeysDocumented(t, "CorpusInfo", body, docBlock(t, blocks, `"created_at"`, `"total_wtp"`, `!"corpora"`, `!"applied"`))
+
+	patchReq := docBlock(t, blocks, `"cells"`, `"if_generation"`)
+	code, body = do(t, http.MethodPatch, ts.URL+"/v1/corpora/shop", "", patchReq)
+	if code != http.StatusOK {
+		t.Fatalf("doc patch example: %d: %s", code, body)
+	}
+	liveKeysDocumented(t, "MutateCorpusResponse", body, docBlock(t, blocks, `"applied"`))
 
 	csvUpload := docBlock(t, blocks, `"format": "csv"`)
 	if code, body := do(t, http.MethodPost, ts.URL+"/v1/corpora", "", csvUpload); code != http.StatusCreated {
@@ -236,6 +244,9 @@ func TestAPIDocErrorCodesProducible(t *testing.T) {
 	record("bad algorithm", code, http.StatusBadRequest, body)
 	code, body = do(t, http.MethodGet, ts.URL+"/v1/corpora/ghost", "", "")
 	record("missing corpus", code, http.StatusNotFound, body)
+	code, body = do(t, http.MethodPatch, ts.URL+"/v1/corpora/c", "",
+		`{"if_generation": 99, "cells": [{"consumer": 0, "item": 0, "value": 5}]}`)
+	record("stale mutation generation", code, http.StatusConflict, body)
 	ts.Close()
 	srv.Close()
 

@@ -15,6 +15,11 @@ import (
 // under the ID — the caller serves that session instead.
 var errAlreadyInstalled = errors.New("session already installed")
 
+// errReplacedMeanwhile reports a conditional replace whose expected
+// predecessor is no longer installed — a concurrent upload or mutation won;
+// the mutation handler maps it to 409.
+var errReplacedMeanwhile = errors.New("session concurrently replaced")
+
 // session is one named, long-lived corpus session: an indexed
 // bundling.Solver plus the serving plumbing layered on it (per-session
 // evaluate batcher, cache-key identity). Sessions are immutable after
@@ -254,6 +259,29 @@ func (r *registry) putAt(sess *session, version int, q Quotas, enforce, ifAbsent
 		evicted = append(evicted, victim)
 	}
 	return replaced, evicted, nil
+}
+
+// putReplacing installs sess at the next generation only if old is still
+// the installed session for the ID — the delta-mutation path, whose new
+// session was derived from old and must not stomp a session a concurrent
+// upload or mutation installed from a different base. The entry quota is
+// re-checked atomically (a delta can grow the corpus); ownership needs no
+// check, the new session inherits old's tenant.
+func (r *registry) putReplacing(sess, old *session, q Quotas) (replaced *session, evicted []*session, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sessions[sess.id] != old {
+		return nil, nil, errReplacedMeanwhile
+	}
+	if err := r.quotaCheckLocked(sess.tenant, sess.id, sess.stats.Entries, q); err != nil {
+		return nil, nil, err
+	}
+	r.versions[sess.id]++
+	sess.version = r.versions[sess.id]
+	r.lru.Remove(old.elem)
+	sess.elem = r.lru.PushFront(sess)
+	r.sessions[sess.id] = sess
+	return old, nil, nil
 }
 
 // seedVersions raises the per-ID generation counters to at least the given

@@ -60,6 +60,17 @@ type Solver interface {
 	Stats() bundling.SolverStats
 }
 
+// DeltaSolver is the optional incremental-mutation extension of Solver: an
+// engine that can derive a new session with a cell delta applied, without
+// rebuilding from the full matrix. The cluster coordinator implements it
+// (span-scoped delta feeds to the workers); the local *bundling.Solver has
+// the same capability through its concrete ApplyDelta and is dispatched
+// directly. The receiver must stay intact and serving — in-flight requests
+// hold it until the registry swap completes.
+type DeltaSolver interface {
+	ApplyDeltaSolver(cells []bundling.DeltaCell) (Solver, error)
+}
+
 // Config tunes a Server. The zero value serves with sensible defaults.
 type Config struct {
 	// MaxSessions bounds the registry; creating a session beyond it evicts
@@ -231,6 +242,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/corpora", s.handleCreate)
 	mux.HandleFunc("GET /v1/corpora", s.handleList)
 	mux.HandleFunc("GET /v1/corpora/{id}", s.handleInfo)
+	mux.HandleFunc("PATCH /v1/corpora/{id}", s.handlePatch)
 	mux.HandleFunc("DELETE /v1/corpora/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/corpora/{id}/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/corpora/{id}/evaluate", s.handleEvaluate)
@@ -574,6 +586,26 @@ func (s *Server) registerWith(id, tenant string, matrix *bundling.Matrix, opts b
 	if createdAt.IsZero() {
 		createdAt = time.Now().UTC()
 	}
+	sess := s.newSession(id, tenant, solver, opts, createdAt)
+	replaced, evicted, err := s.reg.putAt(sess, version, s.cfg.Quotas, enforce, ifAbsent)
+	if err != nil {
+		releaseSession(sess) // a cluster engine has already fed its spans
+		return nil, err
+	}
+	releaseSession(replaced)
+	for _, victim := range evicted {
+		s.met.evictions.Add(1)
+		releaseSession(victim)
+	}
+	s.met.uploads.Add(1)
+	return sess, nil
+}
+
+// newSession assembles a session around an already-built engine: stats
+// snapshot plus the per-session evaluate micro-batcher wired to the server
+// metrics. The caller installs it through one of the registry put paths,
+// which assigns the generation.
+func (s *Server) newSession(id, tenant string, solver Solver, opts bundling.Options, createdAt time.Time) *session {
 	sess := &session{
 		id:        id,
 		tenant:    tenant,
@@ -588,18 +620,7 @@ func (s *Server) registerWith(id, tenant string, matrix *bundling.Matrix, opts b
 		s.met.batchedRequests.Add(int64(size))
 		s.met.coalescedInBatch.Add(int64(size - unique))
 	}
-	replaced, evicted, err := s.reg.putAt(sess, version, s.cfg.Quotas, enforce, ifAbsent)
-	if err != nil {
-		releaseSession(sess) // a cluster engine has already fed its spans
-		return nil, err
-	}
-	releaseSession(replaced)
-	for _, victim := range evicted {
-		s.met.evictions.Add(1)
-		releaseSession(victim)
-	}
-	s.met.uploads.Add(1)
-	return sess, nil
+	return sess
 }
 
 // releaseSession frees a session's external resources once it has left the
@@ -815,6 +836,130 @@ func (s *Server) deleteRecord(w http.ResponseWriter, id string, gen int) bool {
 		return false
 	}
 	return true
+}
+
+// handlePatch applies a delta upsert to a corpus in place: the session
+// engine derives a new session incrementally (touched stripes, touched
+// singletons, span-scoped worker feeds) instead of re-indexing the matrix,
+// the registry swaps it in under the next generation — which retires every
+// cached result of the old snapshot through the generation-keyed cache —
+// and the store appends a generation-chained delta record that compaction
+// later folds into a snapshot. The body is the JSON MutateCorpusRequest or,
+// with Content-Type codec.ContentType, a binary codec delta envelope.
+func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := r.PathValue("id")
+	var req MutateCorpusRequest
+	if strings.HasPrefix(r.Header.Get("Content-Type"), codec.ContentType) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "read request: %v", err)
+			return
+		}
+		d, err := codec.DecodeDelta(body)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "decode binary delta: %v", err)
+			return
+		}
+		if d.ID != "" && d.ID != id {
+			s.fail(w, http.StatusBadRequest, "delta names corpus %q, path names %q", d.ID, id)
+			return
+		}
+		req.IfGeneration = int(d.IfGeneration)
+		req.Cells = d.Cells()
+	} else if err := decodeBody(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(req.Cells) == 0 {
+		s.fail(w, http.StatusBadRequest, "no cells to apply")
+		return
+	}
+	sess := s.lookupSession(w, r, id)
+	if sess == nil {
+		return
+	}
+	obs.Annotate(r.Context(), "corpus", sess.id)
+	if req.IfGeneration != 0 && req.IfGeneration != sess.version {
+		s.fail(w, http.StatusConflict, "corpus %q is at generation %d, not %d", id, sess.version, req.IfGeneration)
+		return
+	}
+	// The incremental repair is engine-bound work (touched-item singleton
+	// re-pricing, worker delta feeds), so it runs under an execution slot
+	// like a solve.
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	_, msp := obs.StartSpan(r.Context(), "mutate")
+	msp.Tag("cells", len(req.Cells))
+	var solver Solver
+	var err error
+	switch t := sess.solver.(type) {
+	case *bundling.Solver:
+		solver, err = t.ApplyDelta(req.Cells)
+	case DeltaSolver:
+		solver, err = t.ApplyDeltaSolver(req.Cells)
+	default:
+		err = fmt.Errorf("session engine does not support incremental mutation")
+	}
+	msp.End()
+	release()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "apply delta: %v", err)
+		return
+	}
+	nsess := s.newSession(sess.id, sess.tenant, solver, sess.opts, sess.createdAt)
+	replaced, evicted, err := s.reg.putReplacing(nsess, sess, s.cfg.Quotas)
+	if err != nil {
+		releaseSession(nsess)
+		if errors.Is(err, errReplacedMeanwhile) {
+			s.fail(w, http.StatusConflict, "corpus %q was concurrently replaced; re-read and retry", id)
+			return
+		}
+		s.failAdmit(w, err)
+		return
+	}
+	releaseSession(replaced)
+	for _, victim := range evicted {
+		s.met.evictions.Add(1)
+		releaseSession(victim)
+	}
+	if s.cfg.Store != nil {
+		rec := CorpusRecord{
+			ID:             nsess.id,
+			Tenant:         nsess.tenant,
+			Generation:     nsess.version,
+			BaseGeneration: sess.version,
+			CreatedAt:      nsess.createdAt,
+			Options:        NewOptionsDoc(nsess.opts),
+			Cells:          req.Cells,
+			Entries:        nsess.stats.Entries,
+		}
+		_, psp := obs.StartSpan(r.Context(), "persist")
+		perr := s.cfg.Store.PutDelta(rec)
+		psp.End()
+		if perr != nil {
+			// Same contract as an upload: a mutation the caller cannot trust
+			// to survive a restart is not accepted. Roll back to what the
+			// disk guarantees.
+			s.met.storeErrors.Add(1)
+			if removed := s.reg.deleteIf(nsess); removed != nil {
+				releaseSession(removed)
+				s.recoverFromStore(nsess.id)
+			}
+			s.fail(w, http.StatusInternalServerError, "persist delta: %v", perr)
+			return
+		}
+	}
+	s.met.Observe("mutate", time.Since(start))
+	writeJSON(w, http.StatusOK, MutateCorpusResponse{
+		Corpus:    nsess.id,
+		Version:   nsess.version,
+		Applied:   len(req.Cells),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Info:      nsess.info(),
+	})
 }
 
 // deadlineHeader is the per-request execution-budget override: a positive

@@ -48,7 +48,8 @@ import (
 //
 // A Store is safe for concurrent use.
 type Store struct {
-	dir string
+	dir    string
+	foldAt int // delta-chain length that triggers compaction folding
 
 	mu  sync.Mutex
 	man manifest
@@ -84,6 +85,12 @@ type manifest struct {
 	// evicted corpora never reads their record files (whose matrices can be
 	// as large as the upload bound).
 	Meta map[string]corpusMeta `json:"meta,omitempty"`
+	// Bases maps a live corpus whose head record is a delta to the
+	// generation of the snapshot its chain bottoms out on. Records between
+	// base and live are the chain links and must survive compaction; absent
+	// means the live record is itself a snapshot. Compaction folds long
+	// chains back into snapshots and clears the entry.
+	Bases map[string]int `json:"bases,omitempty"`
 }
 
 // corpusMeta is the listing-sized slice of a corpus record: what
@@ -106,6 +113,7 @@ func (m manifest) clone() manifest {
 		Entries:     maps.Clone(m.Entries),
 		Deleted:     maps.Clone(m.Deleted),
 		Meta:        maps.Clone(m.Meta),
+		Bases:       maps.Clone(m.Bases),
 	}
 }
 
@@ -122,7 +130,18 @@ type CorpusRecord struct {
 	// The raw doc may hold duplicate or zero-valued cells, so its length can
 	// overstate what the session actually indexed.
 	Entries int `json:"entries,omitempty"`
+	// BaseGeneration and Cells make the record a delta: it holds no Matrix,
+	// only the mutation cells applied on top of the record at
+	// BaseGeneration (which may itself be a delta — chains bottom out on a
+	// snapshot). LiveRecord and Restore materialize chains transparently;
+	// compaction folds them back into snapshots.
+	BaseGeneration int                  `json:"base_generation,omitempty"`
+	Cells          []bundling.DeltaCell `json:"cells,omitempty"`
 }
+
+// isDelta reports whether the record is a chained delta rather than a full
+// snapshot.
+func (rec CorpusRecord) isDelta() bool { return rec.BaseGeneration > 0 && rec.Matrix == nil }
 
 // quotaEntries returns the record's entry count for quota accounting,
 // falling back to the raw doc length for records written before the Entries
@@ -142,7 +161,8 @@ func OpenStore(dir string) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
-		dir: dir,
+		dir:    dir,
+		foldAt: defaultFoldAt,
 		man: manifest{
 			Live:        map[string]int{},
 			Generations: map[string]int{},
@@ -150,6 +170,7 @@ func OpenStore(dir string) (*Store, error) {
 			Entries:     map[string]int{},
 			Deleted:     map[string]int{},
 			Meta:        map[string]corpusMeta{},
+			Bases:       map[string]int{},
 		},
 		compactCh: make(chan struct{}, 1),
 		closed:    make(chan struct{}),
@@ -177,6 +198,9 @@ func OpenStore(dir string) (*Store, error) {
 		}
 		if s.man.Meta == nil {
 			s.man.Meta = map[string]corpusMeta{}
+		}
+		if s.man.Bases == nil {
+			s.man.Bases = map[string]int{}
 		}
 	case errors.Is(err, os.ErrNotExist):
 		// fresh store
@@ -238,6 +262,7 @@ func (s *Store) Put(rec CorpusRecord) error {
 			Options:   rec.Options,
 		}
 		delete(next.Deleted, rec.ID)
+		delete(next.Bases, rec.ID) // a full snapshot resets any delta chain
 	}
 	if rec.Generation > next.Generations[rec.ID] {
 		next.Generations[rec.ID] = rec.Generation
@@ -250,9 +275,138 @@ func (s *Store) Put(rec CorpusRecord) error {
 	return nil
 }
 
+// defaultFoldAt is the delta-chain length at which compaction folds a
+// chain into a snapshot: long enough that a burst of PATCHes stays on the
+// cheap append path, short enough that restart replay and record reads stay
+// O(1)-ish.
+const defaultFoldAt = 16
+
+// SetDeltaFold overrides the delta-chain length that triggers compaction
+// folding (the -delta-fold daemon flag); n < 1 keeps the default.
+func (s *Store) SetDeltaFold(n int) {
+	if n >= 1 {
+		s.foldAt = n
+	}
+}
+
+// PutDelta durably records one corpus mutation as a generation-chained
+// delta: the cells applied on top of the record at rec.BaseGeneration,
+// without re-writing the matrix. Reads materialize the chain transparently;
+// the background compactor folds chains past the fold threshold back into
+// snapshots. Same durability contract as Put: on return the mutation
+// survives a crash.
+func (s *Store) PutDelta(rec CorpusRecord) error {
+	if !rec.isDelta() || len(rec.Cells) == 0 {
+		return fmt.Errorf("store: record %q is not a delta", rec.ID)
+	}
+	if rec.BaseGeneration >= rec.Generation {
+		return fmt.Errorf("store: delta %q generation %d does not follow its base %d",
+			rec.ID, rec.Generation, rec.BaseGeneration)
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode delta %q: %w", rec.ID, err)
+	}
+	if err := writeAtomic(s.recordPath(rec.ID, rec.Generation, jsonExt), buf); err != nil {
+		return fmt.Errorf("store: write delta %q: %w", rec.ID, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Same advance-only rules as Put — and the base must still be the live
+	// generation: a delta chained on a superseded or deleted base describes
+	// a corpus state that no longer exists and must not be installed.
+	if s.man.Live[rec.ID] != rec.BaseGeneration {
+		return fmt.Errorf("store: delta %q bases on generation %d, live is %d",
+			rec.ID, rec.BaseGeneration, s.man.Live[rec.ID])
+	}
+	next := s.man.clone()
+	if rec.Generation > next.Live[rec.ID] && rec.Generation > next.Deleted[rec.ID] {
+		if _, chained := next.Bases[rec.ID]; !chained {
+			next.Bases[rec.ID] = rec.BaseGeneration // chain root: the snapshot we extend
+		}
+		next.Live[rec.ID] = rec.Generation
+		next.Entries[rec.ID] = rec.Entries
+		delete(next.Deleted, rec.ID)
+	}
+	if rec.Generation > next.Generations[rec.ID] {
+		next.Generations[rec.ID] = rec.Generation
+	}
+	if err := s.saveManifestLocked(next); err != nil {
+		return err
+	}
+	s.man = next
+	s.kickCompact()
+	return nil
+}
+
+// materialize resolves a record into a full snapshot: a plain record passes
+// through, a delta record walks its base chain down to the snapshot and
+// replays every cell batch in order onto the matrix doc.
+func (s *Store) materialize(rec CorpusRecord) (CorpusRecord, error) {
+	if !rec.isDelta() {
+		return rec, nil
+	}
+	head := rec
+	var batches [][]bundling.DeltaCell
+	for rec.isDelta() {
+		// Generations strictly decrease down the chain (PutDelta enforces
+		// it), so the walk terminates; the explicit bound catches a
+		// hand-corrupted record before it can loop or recurse the disk.
+		if len(batches) >= 1<<16 {
+			return CorpusRecord{}, fmt.Errorf("store: delta chain of %q exceeds %d links", head.ID, 1<<16)
+		}
+		batches = append(batches, rec.Cells)
+		base, err := s.readRecord(rec.ID, rec.BaseGeneration)
+		if err != nil {
+			return CorpusRecord{}, fmt.Errorf("store: delta base g%d of %q: %w", rec.BaseGeneration, rec.ID, err)
+		}
+		if base.isDelta() && base.Generation >= rec.Generation {
+			return CorpusRecord{}, fmt.Errorf("store: delta chain of %q does not descend at g%d", head.ID, base.Generation)
+		}
+		rec = base
+	}
+	if rec.Matrix == nil {
+		return CorpusRecord{}, fmt.Errorf("store: delta chain of %q bottoms out without a matrix", head.ID)
+	}
+	doc, err := foldCells(rec.Matrix, batches)
+	if err != nil {
+		return CorpusRecord{}, fmt.Errorf("store: fold chain of %q: %w", head.ID, err)
+	}
+	head.Matrix = doc
+	head.Cells = nil
+	head.BaseGeneration = 0
+	if head.CreatedAt.IsZero() {
+		head.CreatedAt = rec.CreatedAt
+	}
+	return head, nil
+}
+
+// foldCells replays delta batches (oldest last in the slice — the chain is
+// walked head-first) onto a snapshot matrix doc, producing the folded doc.
+func foldCells(base *bundling.MatrixDoc, batches [][]bundling.DeltaCell) (*bundling.MatrixDoc, error) {
+	w, err := base.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(batches) - 1; i >= 0; i-- {
+		for _, c := range batches[i] {
+			if c.Delete {
+				err = w.Delete(c.Consumer, c.Item)
+			} else {
+				err = w.Set(c.Consumer, c.Item, c.Value)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return bundling.NewMatrixDoc(w), nil
+}
+
 // LiveRecord loads the live record of one corpus ID, if any — the recovery
 // source when a failed persist forces the serving layer to fall back to
-// the generation the disk still guarantees.
+// the generation the disk still guarantees. A delta chain is materialized
+// into the full snapshot it describes.
 func (s *Store) LiveRecord(id string) (CorpusRecord, bool) {
 	s.mu.Lock()
 	gen, ok := s.man.Live[id]
@@ -260,11 +414,18 @@ func (s *Store) LiveRecord(id string) (CorpusRecord, bool) {
 	if !ok {
 		return CorpusRecord{}, false
 	}
-	rec, err := s.readRecord(id, gen)
-	if err != nil || rec.ID != id || rec.Matrix == nil {
-		return CorpusRecord{}, false
+	// Two attempts: a concurrent compaction can fold the chain and reclaim a
+	// link mid-walk; the re-read then sees the folded snapshot directly.
+	for attempt := 0; attempt < 2; attempt++ {
+		rec, err := s.readRecord(id, gen)
+		if err == nil {
+			rec, err = s.materialize(rec)
+		}
+		if err == nil && rec.ID == id && rec.Matrix != nil {
+			return rec, true
+		}
 	}
-	return rec, true
+	return CorpusRecord{}, false
 }
 
 // ListLive renders a listing entry for every live (persisted, non-deleted)
@@ -318,6 +479,7 @@ func (s *Store) Delete(id string, gen int) error {
 	delete(next.Owners, id)
 	delete(next.Entries, id)
 	delete(next.Meta, id)
+	delete(next.Bases, id)
 	// Tombstone through gen even when no live entry exists yet: the
 	// evicted session's Put may still be in flight, and landing after this
 	// delete must not resurrect the generation the caller was told is
@@ -391,6 +553,9 @@ func (s *Store) Restore() ([]CorpusRecord, error) {
 	)
 	for _, id := range ids {
 		rec, err := s.readRecord(id, gens[id])
+		if err == nil {
+			rec, err = s.materialize(rec)
+		}
 		if err != nil {
 			errs = append(errs, fmt.Errorf("store: restore %q: %w", id, err))
 			continue
@@ -687,18 +852,75 @@ func (s *Store) compactor() {
 	}
 }
 
-// compactNow deletes every record file superseded by a newer generation or
-// orphaned by a delete. It decides per file from the generation in the file
-// name, never by "not in the manifest snapshot": an upload writes its record
-// before the manifest, so a snapshot-membership rule would race a concurrent
-// Put and delete a record the manifest is about to point at. Comparing
-// generations is monotonic — a stale snapshot can only under-delete, and the
-// next pass finishes the job. Unrecognized files are left alone.
+// foldChains rewrites every live delta chain past the fold threshold as a
+// full snapshot at the head generation: the materialized record lands as a
+// binary record file under the same (corpus, generation) name — readers
+// prefer it over the delta head immediately — and the manifest's chain-root
+// entry is cleared so the next reclaim pass frees the chain links. A chain
+// that grew meanwhile simply folds again on a later pass.
+func (s *Store) foldChains() {
+	type chain struct {
+		id  string
+		gen int
+	}
+	s.mu.Lock()
+	var chains []chain
+	for id, base := range s.man.Bases {
+		if gen, ok := s.man.Live[id]; ok && gen-base >= s.foldAt {
+			chains = append(chains, chain{id, gen})
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range chains {
+		rec, err := s.readRecord(c.id, c.gen)
+		if err == nil {
+			rec, err = s.materialize(rec)
+		}
+		if err != nil || rec.Matrix == nil {
+			continue // unreadable chain: leave it for the read path to surface
+		}
+		buf, err := encodeRecordBinary(rec)
+		if err != nil {
+			continue
+		}
+		if writeAtomic(s.recordPath(c.id, c.gen, binExt), buf) != nil {
+			continue
+		}
+		s.mu.Lock()
+		if s.man.Live[c.id] == c.gen {
+			next := s.man.clone()
+			delete(next.Bases, c.id)
+			if s.saveManifestLocked(next) == nil {
+				s.man = next
+			}
+		}
+		s.mu.Unlock()
+		// The delta head at the same generation is superseded by the binary
+		// snapshot (readRecord prefers .bin); drop it directly — the reclaim
+		// scan compares generations and would never touch an equal one.
+		_ = os.Remove(s.recordPath(c.id, c.gen, jsonExt))
+	}
+}
+
+// compactNow folds over-long delta chains into snapshots, then deletes every
+// record file superseded by a newer generation or orphaned by a delete. It
+// decides per file from the generation in the file name, never by "not in
+// the manifest snapshot": an upload writes its record before the manifest,
+// so a snapshot-membership rule would race a concurrent Put and delete a
+// record the manifest is about to point at. Comparing generations is
+// monotonic — a stale snapshot can only under-delete, and the next pass
+// finishes the job. A live delta chain's links (every generation from its
+// snapshot root up) are retained. Unrecognized files are left alone.
 func (s *Store) compactNow() error {
+	s.foldChains()
 	s.mu.Lock()
 	liveGen := make(map[string]int, len(s.man.Live))
 	for id, gen := range s.man.Live {
-		liveGen[recordName(id)] = gen
+		key := recordName(id)
+		if base, chained := s.man.Bases[id]; chained && base < gen {
+			gen = base // keep the whole chain down to its snapshot root
+		}
+		liveGen[key] = gen
 	}
 	lastGen := make(map[string]int, len(s.man.Generations))
 	for id, gen := range s.man.Generations {

@@ -33,11 +33,15 @@ type Entry struct {
 // Construct with New or FromRatings. The zero value is unusable.
 type Matrix struct {
 	m, n     int
-	dense    []float64 // row-major: dense[u*n+i]
-	postings [][]Entry // per item: consumers with non-zero WTP, ascending
-	colSum   []float64 // per item: total WTP (upper bound of item revenue)
-	total    float64   // grand total WTP (upper bound of any revenue)
-	version  uint64    // bumped by every mutation; Shard staleness checks
+	rows     [][]float64 // per consumer: dense row of n WTP values
+	postings [][]Entry   // per item: consumers with non-zero WTP, ascending
+	colSum   []float64   // per item: total WTP (upper bound of item revenue)
+	total    float64     // grand total WTP (upper bound of any revenue)
+	version  uint64      // bumped by every mutation; Shard staleness checks
+	// cow marks a matrix derived by WithDelta: its rows and posting lists may
+	// share backing arrays with the parent snapshot, so every write must
+	// clone the touched row / posting list before storing through it.
+	cow bool
 }
 
 // maxDenseCells caps the dense backing array of a Matrix. The limit exists
@@ -54,10 +58,15 @@ func New(consumers, items int) (*Matrix, error) {
 	if items > 0 && consumers > maxDenseCells/items {
 		return nil, fmt.Errorf("wtp: matrix %d×%d exceeds %d dense cells", consumers, items, maxDenseCells)
 	}
+	backing := make([]float64, consumers*items)
+	rows := make([][]float64, consumers)
+	for u := range rows {
+		rows[u] = backing[u*items : (u+1)*items : (u+1)*items]
+	}
 	return &Matrix{
 		m:        consumers,
 		n:        items,
-		dense:    make([]float64, consumers*items),
+		rows:     rows,
 		postings: make([][]Entry, items),
 		colSum:   make([]float64, items),
 	}, nil
@@ -89,12 +98,47 @@ func (w *Matrix) Set(u, i int, value float64) error {
 	if value < 0 || math.IsNaN(value) || math.IsInf(value, 0) {
 		return fmt.Errorf("wtp: willingness to pay %g must be finite and non-negative", value)
 	}
-	old := w.dense[u*w.n+i]
-	if old == value {
+	if w.rows[u][i] == value {
 		return nil
 	}
 	w.version++
-	w.dense[u*w.n+i] = value
+	w.put(u, i, value)
+	return nil
+}
+
+// Delete removes consumer u's willingness to pay for item i: the cell becomes
+// a true absence — it leaves the dense row, the posting list, and the
+// column/grand totals, so it can never resurface through BundleVector,
+// UnionVectors, or a serialized snapshot. Deleting an already-absent cell is
+// a no-op (and does not bump the version).
+func (w *Matrix) Delete(u, i int) error {
+	if u < 0 || u >= w.m || i < 0 || i >= w.n {
+		return fmt.Errorf("wtp: index (%d,%d) out of range %d×%d", u, i, w.m, w.n)
+	}
+	if w.rows[u][i] == 0 {
+		return nil
+	}
+	w.version++
+	w.put(u, i, 0)
+	return nil
+}
+
+// put writes one cell — the dense row, the posting list, and the column and
+// grand totals — assuming bounds and value validity were already checked and
+// the value actually changes something is the caller's concern (writing the
+// current value is a harmless no-op here). On a copy-on-write matrix the
+// touched row and posting list are cloned first, so snapshots sharing the
+// parent's arrays are never written through.
+func (w *Matrix) put(u, i int, value float64) {
+	old := w.rows[u][i]
+	if old == value {
+		return
+	}
+	if w.cow {
+		w.rows[u] = append([]float64(nil), w.rows[u]...)
+		w.postings[i] = append([]Entry(nil), w.postings[i]...)
+	}
+	w.rows[u][i] = value
 	w.colSum[i] += value - old
 	w.total += value - old
 	p := w.postings[i]
@@ -121,7 +165,6 @@ func (w *Matrix) Set(u, i int, value float64) error {
 		p[lo] = Entry{Consumer: u, Value: value}
 		w.postings[i] = p
 	}
-	return nil
 }
 
 // MustSet is Set but panics on error; intended for tests and examples.
@@ -133,7 +176,7 @@ func (w *Matrix) MustSet(u, i int, value float64) {
 
 // At returns consumer u's willingness to pay for item i.
 func (w *Matrix) At(u, i int) float64 {
-	return w.dense[u*w.n+i]
+	return w.rows[u][i]
 }
 
 // Postings returns the consumers with non-zero WTP for item i, in ascending
@@ -166,8 +209,9 @@ func (w *Matrix) Version() uint64 { return w.version }
 // WTP and is rejected by Params validation upstream; here it is clamped at 0.
 func (w *Matrix) BundleWTP(u int, items []int, theta float64) float64 {
 	var sum float64
+	row := w.rows[u]
 	for _, i := range items {
-		sum += w.dense[u*w.n+i]
+		sum += row[i]
 	}
 	v := sum * (1 + theta)
 	if v < 0 {

@@ -306,6 +306,57 @@ if ! awk -v a="$R_BEFORE" -v b="$R_AFTER" 'BEGIN{d=a-b; if (d<0) d=-d; exit !(d 
 fi
 echo "durable smoke: revenue $R_AFTER survived the restart"
 
+# --- delta mutation round trip ----------------------------------------------
+# PATCH alice's corpus in place (upsert one cell, delete another), solve,
+# restart the daemon, and demand the restored chain solve to the same
+# revenue — the delta records must replay on top of the snapshot.
+
+PATCH_OUT="$(mktemp)"
+code=$(curl -s -o "$PATCH_OUT" -w '%{http_code}' -X PATCH "http://$DADDR/v1/corpora/smoke" \
+  -H "Authorization: Bearer $AKEY" \
+  -d '{"if_generation":1,"cells":[{"consumer":0,"item":0,"value":50},{"consumer":3,"item":2,"delete":true}]}')
+if [ "$code" != "200" ]; then
+  echo "corpus patch returned $code, want 200:" >&2
+  cat "$PATCH_OUT" >&2
+  exit 1
+fi
+if ! grep -q '"version": 2' "$PATCH_OUT"; then
+  echo "corpus patch did not bump the generation to 2:" >&2
+  cat "$PATCH_OUT" >&2
+  exit 1
+fi
+# A stale precondition must be rejected without applying anything.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X PATCH "http://$DADDR/v1/corpora/smoke" \
+  -H "Authorization: Bearer $AKEY" \
+  -d '{"if_generation":1,"cells":[{"consumer":1,"item":0,"value":99}]}')
+if [ "$code" != "409" ]; then
+  echo "stale-generation patch returned $code, want 409" >&2
+  exit 1
+fi
+
+R_PATCHED=$(solve_revenue "$DADDR" smoke matching -H "Authorization: Bearer $AKEY")
+kill -TERM "$DPID"
+wait "$DPID"
+"$BIN" -addr "$DADDR" -data-dir "$DATADIR" -auth-keys "alice=$AKEY,bob=$BKEY" -quota-corpora 1 -delta-fold 8 >"$DLOG" 2>&1 &
+DPID=$!
+PIDS="$PIDS $DPID"
+wait_healthy "http://$DADDR" "$DPID" "$DLOG"
+R_REPLAYED=$(solve_revenue "$DADDR" smoke matching -H "Authorization: Bearer $AKEY")
+if [ -z "$R_PATCHED" ] || [ -z "$R_REPLAYED" ]; then
+  echo "missing patched revenues (before='$R_PATCHED' after='$R_REPLAYED')" >&2
+  cat "$DLOG" >&2
+  exit 1
+fi
+if ! awk -v a="$R_PATCHED" -v b="$R_REPLAYED" 'BEGIN{d=a-b; if (d<0) d=-d; exit !(d <= 1e-9*(1+(a<0?-a:a)))}'; then
+  echo "patched-restart solve mismatch: before $R_PATCHED vs after $R_REPLAYED" >&2
+  exit 1
+fi
+if awk -v a="$R_BEFORE" -v b="$R_PATCHED" 'BEGIN{d=a-b; if (d<0) d=-d; exit !(d <= 1e-9)}'; then
+  echo "patch left the revenue unchanged ($R_PATCHED); the mutation did not apply" >&2
+  exit 1
+fi
+echo "mutation smoke: patched revenue $R_REPLAYED survived the restart (was $R_BEFORE before the patch)"
+
 # Graceful shutdowns must complete cleanly.
 for p in "$CPID" "$SPID" "$WPID2" "$PID" "$DPID"; do
   kill -TERM "$p"
